@@ -1,0 +1,201 @@
+// Package bounce is the public API of the "Bounce in the Wild"
+// reproduction (IMC 2024): it wires the world generator, the delivery
+// engine, the Drain+EBRC classification pipeline, the analysis layer
+// and the squatting scanner into a one-call study.
+//
+// The typical flow:
+//
+//	study := bounce.Run(bounce.Options{Scale: bounce.ScaleSmall})
+//	study.WriteReport(os.Stdout, bounce.AllSections)
+//
+// or piecewise:
+//
+//	w, records := bounce.Generate(world.DefaultConfig())
+//	a := bounce.Analyze(records, bounce.NewEnvironment(w))
+//
+// Everything is deterministic in the configured seed.
+package bounce
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/delivery"
+	"repro/internal/geo"
+	"repro/internal/squat"
+	"repro/internal/world"
+)
+
+// Scale selects a preset world size.
+type Scale int
+
+// Preset scales.
+const (
+	// ScaleDefault is the calibrated ~400K-email corpus used for the
+	// headline reproduction.
+	ScaleDefault Scale = iota
+	// ScaleSmall is a ~100K-email corpus for faster interactive runs.
+	ScaleSmall
+	// ScaleTiny is a few thousand emails for tests and examples.
+	ScaleTiny
+)
+
+// Options configures a study run.
+type Options struct {
+	// Scale picks a preset; Config (if non-zero TotalEmails) overrides
+	// it entirely.
+	Scale  Scale
+	Config world.Config
+	// Pipeline overrides the classification pipeline parameters.
+	Pipeline analysis.PipelineConfig
+	// PinProxy enables the greylist-friendly proxy-pinning ablation.
+	PinProxy bool
+	// MaxAttempts overrides Coremail's retry budget (default 5).
+	MaxAttempts int
+}
+
+// ConfigForScale returns the world config for a preset scale.
+func ConfigForScale(s Scale) world.Config {
+	switch s {
+	case ScaleSmall:
+		cfg := world.DefaultConfig()
+		cfg.TotalEmails = 100_000
+		return cfg
+	case ScaleTiny:
+		return world.TinyConfig()
+	default:
+		return world.DefaultConfig()
+	}
+}
+
+// Study is a completed simulation + analysis.
+type Study struct {
+	World      *world.World
+	Engine     *delivery.Engine
+	Records    []dataset.Record
+	Truths     []delivery.Truth
+	Analysis   *analysis.Analysis
+	Detections *analysis.Detections
+}
+
+// Generate builds a world and delivers its full 15-month workload,
+// returning the Figure-3 records.
+func Generate(cfg world.Config) (*world.World, []dataset.Record) {
+	w := world.New(cfg)
+	e := delivery.New(w)
+	var records []dataset.Record
+	e.Run(func(rec dataset.Record, _ *world.Submission, _ delivery.Truth) {
+		records = append(records, rec)
+	})
+	return w, records
+}
+
+// NewEnvironment exposes a world's external services (geo, blocklist,
+// leak corpus, DNS, registries) to the analysis layer — the services
+// the paper consulted beside its passive dataset.
+func NewEnvironment(w *world.World) *analysis.Environment {
+	env := &analysis.Environment{
+		Geo:         w.Geo,
+		Blocklist:   w.Blocklist,
+		Breach:      w.Breach,
+		Resolver:    w.Resolver,
+		Registry:    w.Registry,
+		UserRegs:    w.UserRegs,
+		ProxyRegion: make(map[string]string, len(w.Proxies)),
+	}
+	for _, p := range w.Proxies {
+		env.ProxyIPs = append(env.ProxyIPs, p.IP)
+		env.ProxyRegion[p.IP] = p.Region
+	}
+	return env
+}
+
+// Analyze classifies records with the default pipeline configuration.
+func Analyze(records []dataset.Record, env *analysis.Environment) *analysis.Analysis {
+	return analysis.New(records, env)
+}
+
+// Run executes a full study: generate, deliver, classify, detect.
+func Run(opts Options) *Study {
+	cfg := opts.Config
+	if cfg.TotalEmails == 0 {
+		cfg = ConfigForScale(opts.Scale)
+	}
+	w := world.New(cfg)
+	e := delivery.New(w)
+	if opts.PinProxy {
+		e.PinProxy = true
+	}
+	if opts.MaxAttempts > 0 {
+		e.MaxAttempts = opts.MaxAttempts
+	}
+	s := &Study{World: w, Engine: e}
+	e.Run(func(rec dataset.Record, _ *world.Submission, truth delivery.Truth) {
+		s.Records = append(s.Records, rec)
+		s.Truths = append(s.Truths, truth)
+	})
+	pcfg := opts.Pipeline
+	if pcfg.TopTemplates == 0 {
+		pcfg = analysis.DefaultPipelineConfig()
+	}
+	s.Analysis = analysis.NewWithPipeline(s.Records, analysis.BuildPipeline(s.Records, pcfg), NewEnvironment(w))
+	s.Detections = s.Analysis.Detect()
+	return s
+}
+
+// Squat runs the Section-5 squatting scan over the study.
+func (s *Study) Squat(cfg squat.Config) *squat.Result {
+	return squat.Scan(s.Analysis, s.Detections, cfg)
+}
+
+// ProxyRegions re-exports the fleet layout for callers that do not
+// want to import internal packages.
+func ProxyRegions() []geo.ProxyRegion { return geo.ProxyRegions }
+
+// Section identifies one reproducible table or figure.
+type Section string
+
+// Report sections.
+const (
+	SecOverview Section = "overview"
+	SecPipeline Section = "pipeline"
+	SecTable1   Section = "table1"
+	SecTable2   Section = "table2"
+	SecTable3   Section = "table3"
+	SecTable4   Section = "table4"
+	SecTable5   Section = "table5"
+	SecTable6   Section = "table6"
+	SecFig4     Section = "fig4"
+	SecFig5     Section = "fig5"
+	SecFig6     Section = "fig6"
+	SecFig7     Section = "fig7"
+	SecFig8     Section = "fig8"
+	SecFig10    Section = "fig10"
+	SecSTARTTLS Section = "starttls"
+	SecAttacker Section = "attackers"
+	SecTypos    Section = "typos"
+	SecSquat    Section = "squat"
+	SecFilters  Section = "filters"
+	SecAdvice   Section = "advice"
+)
+
+// AllSections lists every report section in presentation order.
+var AllSections = []Section{
+	SecOverview, SecPipeline, SecTable1, SecTable2, SecTable3, SecTable4,
+	SecTable5, SecTable6, SecFig4, SecFig5, SecFig6, SecFig7, SecFig8,
+	SecFig10, SecSTARTTLS, SecAttacker, SecFilters, SecTypos, SecSquat,
+	SecAdvice,
+}
+
+// WriteReport renders the requested sections to w.
+func (s *Study) WriteReport(w io.Writer, sections []Section) error {
+	for _, sec := range sections {
+		if err := s.writeSection(w, sec); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

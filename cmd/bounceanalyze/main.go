@@ -1,0 +1,84 @@
+// Command bounceanalyze reproduces every table and figure of the paper
+// over a simulated corpus: it generates (or loads) a dataset, runs the
+// Drain+EBRC classification pipeline, and prints the requested report
+// sections with the paper's published values alongside.
+//
+// Usage:
+//
+//	bounceanalyze                         # full report at default scale
+//	bounceanalyze -emails 100000          # faster run
+//	bounceanalyze -section table1,fig8    # specific sections
+//	bounceanalyze -in dataset.jsonl -seed 42   # analyze a bouncegen file
+//
+// When -in is given, the world is regenerated from -seed (deterministic)
+// to supply the external services — geolocation, blocklist state, leak
+// corpus, registries — that the paper also consulted out-of-band.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/delivery"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bounceanalyze: ")
+	var (
+		emails  = flag.Int("emails", 400_000, "corpus size when generating")
+		seed    = flag.Uint64("seed", 42, "world seed")
+		in      = flag.String("in", "", "analyze an existing JSONL dataset instead of generating")
+		section = flag.String("section", "all", "comma-separated sections or 'all'")
+		asJSON  = flag.Bool("json", false, "emit a machine-readable summary instead of the report")
+	)
+	flag.Parse()
+
+	cfg := world.DefaultConfig()
+	cfg.TotalEmails = *emails
+	cfg.Seed = *seed
+
+	var study *bounce.Study
+	if *in == "" {
+		study = bounce.Run(bounce.Options{Config: cfg})
+	} else {
+		records, err := dataset.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := world.New(cfg)
+		// Re-run the delivery to restore stateful external services
+		// (blocklist listings accrue during delivery).
+		e := delivery.New(w)
+		e.Run(func(dataset.Record, *world.Submission, delivery.Truth) {})
+		study = &bounce.Study{World: w, Records: records}
+		study.Analysis = analysis.New(records, bounce.NewEnvironment(w))
+		study.Detections = study.Analysis.Detect()
+	}
+
+	if *asJSON {
+		if err := study.Summary().WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	sections := bounce.AllSections
+	if *section != "all" {
+		sections = nil
+		for _, s := range strings.Split(*section, ",") {
+			sections = append(sections, bounce.Section(strings.TrimSpace(s)))
+		}
+	}
+	if err := study.WriteReport(os.Stdout, sections); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command ebrc trains and evaluates the Email Bounce Reason Classifier
+// in isolation, replicating the paper's evaluation protocol: train on
+// template-matched raw NDR messages, then manually-verify a 100-message
+// sample per type via the confusion matrix (paper: 93.85% recall,
+// 91.24% precision).
+//
+// Usage:
+//
+//	ebrc -train 1000 -eval 100 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/ebrc"
+	"repro/internal/ndr"
+	"repro/internal/simrng"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		trainN = flag.Int("train", 1000, "training samples per type")
+		evalN  = flag.Int("eval", 100, "evaluation samples per type (the paper's manual check)")
+		seed   = flag.Uint64("seed", 7, "sampling seed")
+		noise  = flag.Float64("noise", 0.5, "per-message probability of wire-level corruption in the eval set")
+	)
+	flag.Parse()
+
+	train := corpus(*trainN, simrng.New(*seed))
+	test := corpus(*evalN, simrng.New(*seed^0x5eed))
+	// Real NDRs are messier than freshly rendered templates: truncated
+	// lines, injected gateway prefixes, dropped words. Perturb the eval
+	// set so the measurement reflects the paper's conditions.
+	nrng := simrng.New(*seed ^ 0xab15e)
+	for i := range test {
+		if nrng.Bool(*noise) {
+			test[i].Text = corrupt(nrng, test[i].Text)
+		}
+	}
+	cls := ebrc.Train(train)
+
+	cm := ebrc.NewConfusion(cls.Classes())
+	for _, s := range test {
+		pred, _ := cls.Predict(s.Text)
+		cm.Add(s.Type, pred)
+	}
+
+	fmt.Printf("EBRC evaluation over %d samples/type (trained on %d/type)\n", *evalN, *trainN)
+	fmt.Printf("%-5s %8s %9s\n", "type", "recall", "precision")
+	for _, t := range cls.Classes() {
+		fmt.Printf("%-5s %7.2f%% %8.2f%%\n", t, cm.Recall(t)*100, cm.Precision(t)*100)
+	}
+	fmt.Printf("\nmacro recall:    %6.2f%% (paper: 93.85%%)\n", cm.MacroRecall()*100)
+	fmt.Printf("macro precision: %6.2f%% (paper: 91.24%%)\n", cm.MacroPrecision()*100)
+	fmt.Printf("accuracy:        %6.2f%%\n", cm.Accuracy()*100)
+
+	top := cm.TopConfusions(5)
+	if len(top) > 0 {
+		fmt.Println("\ntop confusions (truth -> predicted):")
+		for _, c := range top {
+			fmt.Printf("  %s -> %s: %d\n", c.Truth, c.Pred, c.Count)
+		}
+	}
+	if cm.MacroRecall() < 0.85 || cm.MacroPrecision() < 0.85 {
+		fmt.Fprintln(os.Stderr, "ebrc: WARNING: below the paper's >90% operating point")
+		os.Exit(1)
+	}
+}
+
+// corpus renders n labeled samples per non-ambiguous catalog template.
+func corpus(n int, rng *simrng.RNG) []ebrc.Sample {
+	var out []ebrc.Sample
+	for _, typ := range ndr.AllTypes {
+		idxs := ndr.NonAmbiguousTemplatesFor(typ)
+		if len(idxs) == 0 {
+			continue
+		}
+		per := n / len(idxs)
+		if per < 1 {
+			per = 1
+		}
+		for _, ti := range idxs {
+			for k := 0; k < per; k++ {
+				out = append(out, ebrc.Sample{Text: ndr.Catalog[ti].Render(randParams(rng)), Type: typ})
+			}
+		}
+	}
+	return out
+}
+
+// corrupt applies one wire-level mutation: gateway prefix injection,
+// word dropout, truncation, or casing damage.
+func corrupt(rng *simrng.RNG, line string) string {
+	words := strings.Fields(line)
+	switch rng.IntN(4) {
+	case 0:
+		return "smtp;" + line // relay prefix
+	case 1:
+		if len(words) > 3 {
+			i := 1 + rng.IntN(len(words)-2)
+			words = append(words[:i], words[i+1:]...)
+		}
+		return strings.Join(words, " ")
+	case 2:
+		if len(words) > 4 {
+			words = words[:len(words)-1-rng.IntN(2)]
+		}
+		return strings.Join(words, " ")
+	default:
+		return strings.ToUpper(line)
+	}
+}
+
+func randParams(rng *simrng.RNG) ndr.Params {
+	return ndr.Params{
+		Addr:   fmt.Sprintf("u%d@d%d.com", rng.IntN(100000), rng.IntN(5000)),
+		Local:  fmt.Sprintf("u%d", rng.IntN(100000)),
+		Domain: fmt.Sprintf("d%d.com", rng.IntN(5000)),
+		IP:     fmt.Sprintf("%d.%d.%d.%d", 5+rng.IntN(200), rng.IntN(250), rng.IntN(250), 1+rng.IntN(250)),
+		MX:     fmt.Sprintf("mx%d.d%d.com", rng.IntN(4), rng.IntN(5000)),
+		BL:     []string{"Spamhaus", "SpamCop", "Barracuda"}[rng.IntN(3)],
+		Vendor: fmt.Sprintf("v%x", rng.Uint64()&0xffffff),
+		Sec:    fmt.Sprintf("%d", 60+rng.IntN(600)),
+		Size:   fmt.Sprintf("%d", 1000000+rng.IntN(50000000)),
+	}
+}

@@ -1,0 +1,122 @@
+// Command mailsim demonstrates the live SMTP substrate: it starts a
+// real RFC 5321 receiver MTA on loopback whose policy callbacks run the
+// same checks as the bulk simulator (user existence, quota, greylist,
+// blocklist, content filter, STARTTLS mandate), then delivers a set of
+// emails through the real client and prints each wire-level verdict.
+//
+// Usage:
+//
+//	mailsim            # run the scripted scenario
+//	mailsim -listen 127.0.0.1:2525 -serve   # leave the server running
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/greylist"
+	"repro/internal/mail"
+	"repro/internal/ndr"
+	"repro/internal/smtp"
+	"repro/internal/spamfilter"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mailsim: ")
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "listen address")
+		serve  = flag.Bool("serve", false, "keep serving after the scenario")
+	)
+	flag.Parse()
+
+	users := map[string]bool{"bob": true, "carol": true, "dave": true}
+	full := map[string]bool{"carol": true}
+	gl := greylist.New(2*time.Second, time.Hour)
+	filter := spamfilter.NewCanonical("demo-receiver")
+	blocked := map[string]bool{} // client IPs "on the blocklist"
+
+	backend := smtp.Backend{
+		Hostname: "mx1.demo.example",
+		MaxSize:  1 << 20,
+		OnConnect: func(s *smtp.Session) *smtp.Reply {
+			if blocked[s.RemoteAddr] {
+				return smtp.FromNDRLine("554 Service unavailable; Client host [" + s.RemoteAddr + "] blocked using Spamhaus")
+			}
+			return nil
+		},
+		OnRcpt: func(s *smtp.Session, from, to string) *smtp.Reply {
+			addr, err := mail.ParseAddress(to)
+			if err != nil {
+				return smtp.NewReply(553, mail.EnhBadMailbox, "malformed recipient")
+			}
+			// Greylisting guards dave's mailbox in this scenario (a real
+			// deployment would greylist every unseen tuple).
+			if addr.Local == "dave" {
+				if v := gl.Check(s.RemoteAddr, from, to, time.Now()); v == greylist.Defer {
+					return smtp.NewReply(450, mail.EnhGreylisted, "Greylisted, please try again in 2 seconds")
+				}
+			}
+			if !users[addr.Local] {
+				line := ndr.Catalog[ndr.TemplatesFor(ndr.T8NoSuchUser)[0]].Render(ndr.Params{Addr: to, Local: addr.Local, Vendor: "demo"})
+				return smtp.FromNDRLine(line)
+			}
+			if full[addr.Local] {
+				return smtp.NewReply(452, mail.EnhMailboxFull, "The email account that you tried to reach is over quota")
+			}
+			return nil
+		},
+		OnData: func(s *smtp.Session, data []byte) *smtp.Reply {
+			if filter.Classify(strings.Fields(string(data))) {
+				return smtp.NewReply(550, mail.EnhSecurityPolicy, "Message contains spam or virus.")
+			}
+			return nil
+		},
+	}
+	srv := smtp.NewServer(backend)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+	fmt.Printf("receiver MTA listening on %s\n\n", addr)
+
+	scenario := []struct {
+		desc, from, to, body string
+	}{
+		{"existing user", "alice@corp.example", "bob@demo.example", "meeting agenda attached"},
+		{"greylisted first attempt", "alice@corp.example", "dave@demo.example", "quarterly-report draft"},
+		{"non-existent user (typo)", "alice@corp.example", "bbo@demo.example", "meeting agenda"},
+		{"mailbox over quota", "alice@corp.example", "carol@demo.example", "invoice attached"},
+		{"spam content", "offers@bulk.example", "bob@demo.example", "free-money crypto-double prize winner lottery act-now"},
+	}
+	opts := smtp.SendOptions{Timeout: 5 * time.Second}
+	for _, sc := range scenario {
+		rep, err := smtp.SendMail(addr, sc.from, sc.to, []byte(sc.body), opts)
+		if err != nil {
+			log.Fatalf("%s: %v", sc.desc, err)
+		}
+		fmt.Printf("%-28s -> %s\n", sc.desc, rep)
+	}
+
+	// Greylist retry: same tuple after the delay is accepted.
+	fmt.Println("\nretrying greylisted tuple after the minimum delay...")
+	time.Sleep(2100 * time.Millisecond)
+	rep, err := smtp.SendMail(addr, "alice@corp.example", "dave@demo.example", []byte("quarterly-report draft"), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s -> %s\n", "greylisted retry", rep)
+
+	if *serve {
+		fmt.Println("\nserving until interrupted (ctrl-c)...")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}

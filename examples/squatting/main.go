@@ -1,0 +1,56 @@
+// squatting: evaluate the email-address squatting risk of Section 5 —
+// generate typo candidates like dnstwist, run the vulnerable-domain and
+// vulnerable-username funnels over a simulated corpus, and print the
+// exposure findings.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+	"repro/internal/squat"
+	"repro/internal/typo"
+)
+
+func main() {
+	// Part 1: the typo generator that feeds the funnel.
+	fmt.Println("typo candidates for hotmail.com (dnstwist-style):")
+	byKind := map[typo.Kind][]string{}
+	for _, c := range typo.Domain("hotmail.com") {
+		if len(byKind[c.Kind]) < 3 {
+			byKind[c.Kind] = append(byKind[c.Kind], c.Name)
+		}
+	}
+	for _, k := range []typo.Kind{typo.Omission, typo.Replacement, typo.Bitsquatting,
+		typo.Transposition, typo.Repetition, typo.TLDRepetition} {
+		fmt.Printf("  %-15s %v\n", k, byKind[k])
+	}
+
+	// The paper's own example: hotmail.com -> lotmail.com (bitsquatting).
+	if kind, ok := typo.Classify("lotmail.com", "hotmail.com"); ok {
+		fmt.Printf("\n\"lotmail.com\" is a %s typo of \"hotmail.com\" (paper's example)\n\n", kind)
+	}
+
+	// Part 2: the full funnel over a simulated world.
+	fmt.Println("running the squatting funnel over a small simulated corpus...")
+	study := bounce.Run(bounce.Options{Scale: bounce.ScaleTiny})
+	res := study.Squat(squat.DefaultConfig())
+	report.Squat(os.Stdout, res)
+
+	if len(res.VulnerableDomains) > 0 {
+		fmt.Println("\nmost-exposed vulnerable domains:")
+		for i, f := range res.VulnerableDomains {
+			if i >= 5 {
+				break
+			}
+			class := "expired"
+			if f.IsTypo {
+				class = "typo"
+			}
+			fmt.Printf("  %-28s %-8s %3d senders %4d emails (received historically: %v)\n",
+				f.Domain, class, f.Senders, f.Emails, f.ReceivedHistorically)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"strings"
+
+	"repro/internal/breach"
+	"repro/internal/dataset"
+	"repro/internal/dns"
+	"repro/internal/dnsbl"
+	"repro/internal/geo"
+	"repro/internal/ndr"
+	"repro/internal/registrar"
+)
+
+// Environment bundles the external services the paper consulted beside
+// its passive dataset: geolocation (ip-api), the blocklist state
+// (Spamhaus), the leak corpus (HaveIBeenPwned), DNS, and the registries
+// (GoDaddy/WHOIS + provider registration UIs). All fields are optional;
+// analyses requiring a missing service return zero results.
+type Environment struct {
+	Geo       *geo.DB
+	Blocklist *dnsbl.Blocklist
+	Breach    *breach.Corpus
+	Resolver  *dns.Resolver
+	Registry  *registrar.Registry
+	UserRegs  map[string]*registrar.UsernameRegistry
+
+	// ProxyIPs/ProxyRegion describe the sender fleet (known to the
+	// operator running the analysis, as at Coremail).
+	ProxyIPs    []string
+	ProxyRegion map[string]string // proxy IP -> country code
+}
+
+// ClassifiedRecord is one record run through the bounce pipeline.
+type ClassifiedRecord struct {
+	Degree dataset.Degree
+	// AttemptTypes aligns with DeliveryResult; TNone for accepted
+	// attempts.
+	AttemptTypes []ndr.Type
+	// Types is the set of distinct non-ambiguous bounce types across
+	// failed attempts.
+	Types []ndr.Type
+	// Ambiguous reports that every failed attempt carried only
+	// ambiguous NDR text — the 6M emails the paper excludes.
+	Ambiguous bool
+}
+
+// HasType reports whether t appears among the record's bounce types.
+func (c *ClassifiedRecord) HasType(t ndr.Type) bool {
+	for _, x := range c.Types {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Analysis holds a classified corpus ready for table/figure extraction.
+type Analysis struct {
+	Records    []dataset.Record
+	Classified []ClassifiedRecord
+	Pipeline   *Pipeline
+	Env        *Environment
+
+	rank    []dataset.RankEntry
+	rankPos map[string]int
+}
+
+// New classifies records with a freshly built pipeline and prepares the
+// derived indexes. env may be nil for dataset-only analyses.
+func New(records []dataset.Record, env *Environment) *Analysis {
+	return NewWithPipeline(records, BuildPipeline(records, DefaultPipelineConfig()), env)
+}
+
+// NewWithPipeline classifies records with a pre-built pipeline.
+func NewWithPipeline(records []dataset.Record, p *Pipeline, env *Environment) *Analysis {
+	a := &Analysis{
+		Records:  records,
+		Pipeline: p,
+		Env:      env,
+		rankPos:  make(map[string]int),
+	}
+	a.Classified = make([]ClassifiedRecord, len(records))
+	for i := range records {
+		a.Classified[i] = a.classify(&records[i])
+	}
+	a.rank = dataset.InEmailRank(records)
+	for i, e := range a.rank {
+		a.rankPos[e.Domain] = i
+	}
+	return a
+}
+
+func (a *Analysis) classify(rec *dataset.Record) ClassifiedRecord {
+	c := ClassifiedRecord{Degree: rec.BounceDegree()}
+	c.AttemptTypes = make([]ndr.Type, len(rec.DeliveryResult))
+	seen := map[ndr.Type]bool{}
+	failed, ambiguousOnly := 0, true
+	for i, line := range rec.DeliveryResult {
+		if strings.HasPrefix(line, "2") {
+			c.AttemptTypes[i] = ndr.TNone
+			continue
+		}
+		failed++
+		typ, amb := a.Pipeline.ClassifyLine(line)
+		c.AttemptTypes[i] = typ
+		if amb {
+			continue
+		}
+		ambiguousOnly = false
+		if !seen[typ] {
+			seen[typ] = true
+			c.Types = append(c.Types, typ)
+		}
+	}
+	c.Ambiguous = failed > 0 && ambiguousOnly
+	return c
+}
+
+// InEmailRank returns the receiver-domain popularity list.
+func (a *Analysis) InEmailRank() []dataset.RankEntry { return a.rank }
+
+// RankOf returns the InEmailRank position of domain (-1 if absent).
+func (a *Analysis) RankOf(domain string) int {
+	if p, ok := a.rankPos[domain]; ok {
+		return p
+	}
+	return -1
+}
+
+// Overview is the Section-4.1 headline statistic.
+type Overview struct {
+	Total       int
+	NonBounced  int
+	SoftBounced int
+	HardBounced int
+	// SoftAvgAttempts is the mean delivery count of soft-bounced emails
+	// (paper: ~3, grounding the "retry at least three times" advice).
+	SoftAvgAttempts float64
+	// AmbiguousBounced is the count of bounced emails with only
+	// ambiguous NDRs (paper: 6M of 38M).
+	AmbiguousBounced int
+}
+
+// Overview computes the bounce-degree distribution.
+func (a *Analysis) Overview() Overview {
+	var o Overview
+	softAttempts := 0
+	for i := range a.Classified {
+		o.Total++
+		switch a.Classified[i].Degree {
+		case dataset.NonBounced:
+			o.NonBounced++
+		case dataset.SoftBounced:
+			o.SoftBounced++
+			softAttempts += a.Records[i].Attempts()
+		default:
+			o.HardBounced++
+		}
+		if a.Classified[i].Ambiguous {
+			o.AmbiguousBounced++
+		}
+	}
+	if o.SoftBounced > 0 {
+		o.SoftAvgAttempts = float64(softAttempts) / float64(o.SoftBounced)
+	}
+	return o
+}
+
+// Bounced reports the number of emails that bounced at least once.
+func (o Overview) Bounced() int { return o.SoftBounced + o.HardBounced }
+
+// TypeDistribution is Table 1: per-type email counts among bounced,
+// non-ambiguous emails (an email may carry several types).
+func (a *Analysis) TypeDistribution() map[ndr.Type]int {
+	out := map[ndr.Type]int{}
+	for i := range a.Classified {
+		c := &a.Classified[i]
+		if c.Degree == dataset.NonBounced || c.Ambiguous {
+			continue
+		}
+		for _, t := range c.Types {
+			out[t]++
+		}
+	}
+	return out
+}
+
+// NoEnhancedCodeShare returns the share of NDR lines lacking an RFC 3463
+// enhanced status code (paper: 28.79%).
+func (a *Analysis) NoEnhancedCodeShare() float64 {
+	with, total := 0, 0
+	for i := range a.Records {
+		for _, line := range a.Records[i].NDRs() {
+			total++
+			if ndr.HasEnhancedCode(line) {
+				with++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(with)/float64(total)
+}
+
+// AmbiguousTemplate is one Table-6 row.
+type AmbiguousTemplate struct {
+	Template string
+	Count    int
+}
+
+// AmbiguousTemplates returns the mined templates flagged ambiguous with
+// their message counts, descending (Table 6).
+func (a *Analysis) AmbiguousTemplates() []AmbiguousTemplate {
+	var out []AmbiguousTemplate
+	for _, g := range a.Pipeline.Parser.Groups() {
+		if a.Pipeline.groupAmbiguous[g.ID] {
+			out = append(out, AmbiguousTemplate{Template: g.Template(), Count: g.Count})
+		}
+	}
+	return out
+}

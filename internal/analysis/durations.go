@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/ndr"
+	"repro/internal/stats"
+)
+
+// EpisodeStats summarizes misconfiguration episodes inferred from the
+// dataset for one entity class (Figure 7).
+type EpisodeStats struct {
+	Entities     int       // entities with at least one episode
+	AlwaysBroken int       // never observed recovering
+	Recurrent    int       // ≥2 separate episodes
+	Durations    []float64 // completed episode durations in days
+}
+
+// MeanDays returns the mean completed-episode duration.
+func (e EpisodeStats) MeanDays() float64 { return stats.Mean(e.Durations) }
+
+// MedianDays returns the median completed-episode duration.
+func (e EpisodeStats) MedianDays() float64 { return stats.Median(e.Durations) }
+
+// ShareAtLeast returns the fraction of completed episodes lasting at
+// least d days.
+func (e EpisodeStats) ShareAtLeast(d float64) float64 {
+	return stats.FractionAtLeast(e.Durations, d)
+}
+
+// DurationsFigure is Figure 7's three distributions.
+type DurationsFigure struct {
+	AuthDKIMSPF EpisodeStats // per sender domain (paper: 12-day mean fix)
+	MXRecords   EpisodeStats // per receiver domain (mostly <1 day)
+	MailboxFull EpisodeStats // per recipient (86-day mean, >51% ≥30d)
+}
+
+// event is a timestamped good/bad observation for one entity.
+type event struct {
+	at  time.Time
+	bad bool
+}
+
+// episodize converts an entity's event sequence into episode durations:
+// an episode starts at the first bad event and completes at the first
+// subsequent good event. Entities whose final episode never completes
+// count as always-broken when they had exactly one (unfinished)
+// episode.
+func episodize(events []event) (durations []float64, episodes int, completedAll bool) {
+	sort.Slice(events, func(i, j int) bool { return events[i].at.Before(events[j].at) })
+	var start time.Time
+	inEpisode := false
+	completedAll = true
+	for _, ev := range events {
+		if ev.bad {
+			if !inEpisode {
+				inEpisode = true
+				start = ev.at
+				episodes++
+			}
+			continue
+		}
+		if inEpisode {
+			durations = append(durations, ev.at.Sub(start).Hours()/24)
+			inEpisode = false
+		}
+	}
+	if inEpisode {
+		completedAll = false
+	}
+	return durations, episodes, completedAll
+}
+
+// Durations infers Figure 7 from the dataset alone: misconfiguration
+// periods are bounded by observed bounces of the relevant type and the
+// next observed success for the same entity.
+func (a *Analysis) Durations(det *Detections) DurationsFigure {
+	if det == nil {
+		det = a.Detect()
+	}
+	var fig DurationsFigure
+
+	// --- DKIM/SPF (T3) per sender domain. A "good" event is a success
+	// from the sender at a receiver that previously T3-bounced it.
+	authEvents := map[string][]event{}
+	t3Receivers := map[string]map[string]bool{}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		from := rec.FromDomain()
+		if a.Classified[i].HasType(ndr.T3AuthFail) {
+			authEvents[from] = append(authEvents[from], event{rec.StartTime, true})
+			if t3Receivers[from] == nil {
+				t3Receivers[from] = map[string]bool{}
+			}
+			t3Receivers[from][rec.ToDomain()] = true
+		}
+	}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		from := rec.FromDomain()
+		if rec.Succeeded() && t3Receivers[from][rec.ToDomain()] {
+			authEvents[from] = append(authEvents[from], event{rec.EndTime, false})
+		}
+	}
+	fig.AuthDKIMSPF = summarize(authEvents)
+
+	// --- MX errors (T2, excluding typo domains) per receiver domain.
+	// First pass finds affected domains, second collects their good/bad
+	// events (successes before the first bounce delimit episodes too).
+	mxEvents := map[string][]event{}
+	t2Domains := map[string]bool{}
+	for i := range a.Records {
+		if a.Classified[i].HasType(ndr.T2ReceiverDNS) {
+			to := a.Records[i].ToDomain()
+			if _, isTypo := det.DomainTypos[to]; !isTypo {
+				t2Domains[to] = true
+			}
+		}
+	}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		to := rec.ToDomain()
+		if !t2Domains[to] {
+			continue
+		}
+		if a.Classified[i].HasType(ndr.T2ReceiverDNS) {
+			mxEvents[to] = append(mxEvents[to], event{rec.StartTime, true})
+		} else if rec.Succeeded() {
+			mxEvents[to] = append(mxEvents[to], event{rec.EndTime, false})
+		}
+	}
+	fig.MXRecords = summarize(mxEvents)
+
+	// --- Mailbox full (T9) per recipient address.
+	fullEvents := map[string][]event{}
+	t9Addrs := det.FullMailboxes
+	for i := range a.Records {
+		rec := &a.Records[i]
+		if !t9Addrs[rec.To] {
+			continue
+		}
+		if a.Classified[i].HasType(ndr.T9MailboxFull) {
+			fullEvents[rec.To] = append(fullEvents[rec.To], event{rec.StartTime, true})
+		} else if rec.Succeeded() {
+			fullEvents[rec.To] = append(fullEvents[rec.To], event{rec.EndTime, false})
+		}
+	}
+	fig.MailboxFull = summarize(fullEvents)
+	return fig
+}
+
+func summarize(events map[string][]event) EpisodeStats {
+	var s EpisodeStats
+	for _, evs := range events {
+		durations, episodes, completed := episodize(evs)
+		if episodes == 0 {
+			continue
+		}
+		s.Entities++
+		s.Durations = append(s.Durations, durations...)
+		if !completed && len(durations) == 0 {
+			s.AlwaysBroken++
+		}
+		if episodes >= 2 {
+			s.Recurrent++
+		}
+	}
+	sort.Float64s(s.Durations)
+	return s
+}

@@ -1,0 +1,441 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dataset"
+	"repro/internal/ndr"
+	"repro/internal/stats"
+)
+
+// Timeline is Figure 5's data: per-day bounce-degree counts and
+// per-month volumes.
+type Timeline struct {
+	Days   [clock.StudyDays]struct{ Non, Soft, Hard int }
+	Months []MonthVolume
+}
+
+// MonthVolume is one point of Figure 5's monthly line.
+type MonthVolume struct {
+	Month  string
+	Emails int
+}
+
+// Timeline computes Figure 5.
+func (a *Analysis) Timeline() Timeline {
+	var tl Timeline
+	monthly := map[string]int{}
+	for i := range a.Records {
+		day := clock.Day(a.Records[i].StartTime)
+		switch a.Classified[i].Degree {
+		case dataset.NonBounced:
+			tl.Days[day].Non++
+		case dataset.SoftBounced:
+			tl.Days[day].Soft++
+		default:
+			tl.Days[day].Hard++
+		}
+		monthly[clock.MonthKey(a.Records[i].StartTime)]++
+	}
+	for m, n := range monthly {
+		tl.Months = append(tl.Months, MonthVolume{Month: m, Emails: n})
+	}
+	sort.Slice(tl.Months, func(i, j int) bool { return tl.Months[i].Month < tl.Months[j].Month })
+	return tl
+}
+
+// BlocklistFigure is Figure 6's data.
+type BlocklistFigure struct {
+	// ListedPerDay is how many proxy MTAs are blocklisted each day.
+	ListedPerDay [clock.StudyDays]int
+	// BlockedNormal/BlockedSpam count T5-bounced emails per day by
+	// sender-ESP flag.
+	BlockedNormal [clock.StudyDays]int
+	BlockedSpam   [clock.StudyDays]int
+	// ProxiesOver70Pct counts proxies listed on >70% of days (paper: 5).
+	ProxiesOver70Pct int
+	// AvgListed is the mean number of listed proxies per day
+	// (paper: about half of 34).
+	AvgListed float64
+	// NormalShare is the share of T5-blocked emails flagged Normal
+	// (paper: 78.06%).
+	NormalShare float64
+}
+
+// BlocklistFigure computes Figure 6. Requires Env.Blocklist and
+// Env.ProxyIPs.
+func (a *Analysis) BlocklistFigure() BlocklistFigure {
+	var f BlocklistFigure
+	if a.Env == nil || a.Env.Blocklist == nil {
+		return f
+	}
+	perProxy := make([]int, len(a.Env.ProxyIPs))
+	sum := 0
+	for day := 0; day < clock.StudyDays; day++ {
+		at := clock.DayStart(day).Add(12 * time.Hour)
+		n := 0
+		for i, ip := range a.Env.ProxyIPs {
+			if a.Env.Blocklist.Listed(ip, at) {
+				n++
+				perProxy[i]++
+			}
+		}
+		f.ListedPerDay[day] = n
+		sum += n
+	}
+	f.AvgListed = float64(sum) / clock.StudyDays
+	for _, days := range perProxy {
+		if float64(days)/clock.StudyDays > 0.7 {
+			f.ProxiesOver70Pct++
+		}
+	}
+	normal, spam := 0, 0
+	for i := range a.Records {
+		if !a.Classified[i].HasType(ndr.T5Blocklisted) {
+			continue
+		}
+		day := clock.Day(a.Records[i].StartTime)
+		if a.Records[i].EmailFlag == "Spam" {
+			f.BlockedSpam[day]++
+			spam++
+		} else {
+			f.BlockedNormal[day]++
+			normal++
+		}
+	}
+	if normal+spam > 0 {
+		f.NormalShare = float64(normal) / float64(normal+spam)
+	}
+	return f
+}
+
+// InfraMatrix is Figure 8: timeout ratio per (sender proxy country,
+// receiver country).
+type InfraMatrix struct {
+	SenderCCs   []string
+	ReceiverCCs []string
+	// Ratio[s][r] is timeouts/emails ×100 for sender CC s, receiver CC r.
+	Ratio [][]float64
+	// Totals per receiver country (for ranking the worst).
+	ReceiverTimeoutPct map[string]float64
+}
+
+// InfraMatrix computes Figure 8 over receiver countries with at least
+// minEmails deliveries, reporting the worst n receiver countries.
+// Requires Env.Geo and Env.ProxyRegion.
+func (a *Analysis) InfraMatrix(minEmails, n int) InfraMatrix {
+	out := InfraMatrix{ReceiverTimeoutPct: map[string]float64{}}
+	if a.Env == nil || a.Env.Geo == nil {
+		return out
+	}
+	type cell struct{ emails, timeouts int }
+	cells := map[[2]string]*cell{}
+	rcvrTotals := map[string]*cell{}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		// Attribute per attempt: each attempt has a proxy and may be a
+		// timeout; email-level N2 counts an email once per sender CC it
+		// timed out from.
+		seenPair := map[[2]string]bool{}
+		seenRcvr := map[string]bool{}
+		for j := range rec.DeliveryResult {
+			proxyCC := a.Env.ProxyRegion[rec.FromIP[j]]
+			ip := rec.ToIP[j]
+			cc := ""
+			if ip != "" {
+				cc, _, _ = a.Env.Geo.Lookup(ip)
+			}
+			if cc == "" {
+				cc = a.receiverCC(rec)
+			}
+			if proxyCC == "" || cc == "" {
+				continue
+			}
+			key := [2]string{proxyCC, cc}
+			c := cells[key]
+			if c == nil {
+				c = &cell{}
+				cells[key] = c
+			}
+			rt := rcvrTotals[cc]
+			if rt == nil {
+				rt = &cell{}
+				rcvrTotals[cc] = rt
+			}
+			if !seenPair[key] {
+				seenPair[key] = true
+				c.emails++
+			}
+			if !seenRcvr[cc] {
+				seenRcvr[cc] = true
+				rt.emails++
+			}
+			if a.Classified[i].AttemptTypes[j] == ndr.T14Timeout {
+				c.timeouts++
+				rt.timeouts++
+			}
+		}
+	}
+	// Rank receiver countries by timeout ratio.
+	type rk struct {
+		cc  string
+		pct float64
+	}
+	var ranked []rk
+	for cc, c := range rcvrTotals {
+		if c.emails < minEmails {
+			continue
+		}
+		p := 100 * float64(c.timeouts) / float64(c.emails)
+		out.ReceiverTimeoutPct[cc] = p
+		ranked = append(ranked, rk{cc, p})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].pct > ranked[j].pct })
+	if n < len(ranked) {
+		ranked = ranked[:n]
+	}
+	for _, r := range ranked {
+		out.ReceiverCCs = append(out.ReceiverCCs, r.cc)
+	}
+	out.SenderCCs = []string{"US", "DE", "GB", "HK"} // Figure 8's rows
+	out.Ratio = make([][]float64, len(out.SenderCCs))
+	for si, s := range out.SenderCCs {
+		out.Ratio[si] = make([]float64, len(out.ReceiverCCs))
+		for ri, r := range out.ReceiverCCs {
+			c := cells[[2]string{s, r}]
+			if c != nil && c.emails > 0 {
+				out.Ratio[si][ri] = 100 * float64(c.timeouts) / float64(c.emails)
+			}
+		}
+	}
+	return out
+}
+
+// receiverCC geolocates a record's receiver by any attempt with an IP.
+func (a *Analysis) receiverCC(rec *dataset.Record) string {
+	ip := lastNonEmpty(rec.ToIP)
+	if ip == "" {
+		return ""
+	}
+	cc, _, _ := a.Env.Geo.Lookup(ip)
+	return cc
+}
+
+// CountryLatency is one Figure-10 point.
+type CountryLatency struct {
+	Country  string
+	Emails   int
+	MedianMS float64
+}
+
+// LatencyStats is Figure 10 plus the Appendix-C aggregates.
+type LatencyStats struct {
+	Countries []CountryLatency
+	// Global latency over successful deliveries.
+	GlobalMeanMS   float64
+	GlobalMedianMS float64
+	// Fast/slow-Internet split (Appendix C: 9.74s/6.97s vs 16.73s/12.54s).
+	FastMeanMS   float64
+	FastMedianMS float64
+	SlowMeanMS   float64
+	SlowMedianMS float64
+}
+
+// LatencyByCountry computes Figure 10 over successful deliveries,
+// excluding countries below minEmails. Requires Env.Geo.
+func (a *Analysis) LatencyByCountry(minEmails int) LatencyStats {
+	var out LatencyStats
+	if a.Env == nil || a.Env.Geo == nil {
+		return out
+	}
+	perCC := map[string][]float64{}
+	var global, fast, slow []float64
+	for i := range a.Records {
+		rec := &a.Records[i]
+		if !rec.Succeeded() {
+			continue
+		}
+		// Latency of the successful (final) attempt.
+		lat := float64(rec.DeliveryLatency[len(rec.DeliveryLatency)-1])
+		cc := a.receiverCC(rec)
+		if cc == "" {
+			continue
+		}
+		perCC[cc] = append(perCC[cc], lat)
+		global = append(global, lat)
+		if c, ok := a.Env.Geo.Country(cc); ok {
+			if c.FastInternet {
+				fast = append(fast, lat)
+			} else {
+				slow = append(slow, lat)
+			}
+		}
+	}
+	for cc, lats := range perCC {
+		if len(lats) < minEmails {
+			continue
+		}
+		out.Countries = append(out.Countries, CountryLatency{
+			Country: cc, Emails: len(lats), MedianMS: stats.Median(lats),
+		})
+	}
+	sort.Slice(out.Countries, func(i, j int) bool {
+		return out.Countries[i].MedianMS > out.Countries[j].MedianMS
+	})
+	out.GlobalMeanMS = stats.Mean(global)
+	out.GlobalMedianMS = stats.Median(global)
+	out.FastMeanMS = stats.Mean(fast)
+	out.FastMedianMS = stats.Median(fast)
+	out.SlowMeanMS = stats.Mean(slow)
+	out.SlowMedianMS = stats.Median(slow)
+	return out
+}
+
+// STARTTLSStats is the Section-4.3.1 TLS-mandate measurement, derived
+// from observed T4 NDRs (behavior, not configuration).
+type STARTTLSStats struct {
+	MandatingDomains int
+	// Top100Share / Top10KShare are the shares of the InEmailRank
+	// top-100 and the whole observed population that mandate TLS
+	// (paper: 38% vs 8.53%).
+	Top100Share float64
+	AllShare    float64
+	// SoftBounced counts emails that T4-bounced.
+	SoftBounced int
+}
+
+// STARTTLS computes the TLS-mandate stats.
+func (a *Analysis) STARTTLS() STARTTLSStats {
+	var out STARTTLSStats
+	mandating := map[string]bool{}
+	for i := range a.Records {
+		if a.Classified[i].HasType(ndr.T4STARTTLS) {
+			mandating[a.Records[i].ToDomain()] = true
+			out.SoftBounced++
+		}
+	}
+	out.MandatingDomains = len(mandating)
+	top100, all := 0, 0
+	for rank, e := range a.rank {
+		if mandating[e.Domain] {
+			all++
+			if rank < 100 {
+				top100++
+			}
+		}
+	}
+	if len(a.rank) > 0 {
+		n100 := 100
+		if len(a.rank) < 100 {
+			n100 = len(a.rank)
+		}
+		out.Top100Share = float64(top100) / float64(n100)
+		out.AllShare = float64(all) / float64(len(a.rank))
+	}
+	return out
+}
+
+// FilterDisagreement is the Section-4.2.2 cross-ESP spam-filter
+// comparison: rule differences between the sender ESP's filter (the
+// email_flag) and receiver filters cause both wasted single-shot
+// deliveries and reputation-damaging retries.
+type FilterDisagreement struct {
+	// SenderSpamTotal is the number of Coremail-flagged spam emails.
+	SenderSpamTotal int
+	// SenderSpamNotSpamAtReceiver: flagged Spam, yet the receiver did
+	// not judge it spam — it was accepted or bounced for a non-content
+	// reason (receiver disagreed; paper: 46.49%).
+	SenderSpamNotSpamAtReceiver int
+	// ReceiverSpamTotal is the number of emails receivers rejected as
+	// spam content (T13).
+	ReceiverSpamTotal int
+	// ReceiverSpamFlaggedNormal: rejected as spam by the receiver but
+	// flagged Normal by the sender (paper: 39.46%) — these get retried,
+	// burning reputation.
+	ReceiverSpamFlaggedNormal int
+	// NormalSpamRetryAttempts counts the extra attempts spent retrying
+	// receiver-rejected spam that the sender considered Normal.
+	NormalSpamRetryAttempts int
+}
+
+// SenderDisagreeShare is the share of sender-flagged spam the receiver
+// accepted.
+func (f FilterDisagreement) SenderDisagreeShare() float64 {
+	if f.SenderSpamTotal == 0 {
+		return 0
+	}
+	return float64(f.SenderSpamNotSpamAtReceiver) / float64(f.SenderSpamTotal)
+}
+
+// ReceiverDisagreeShare is the share of receiver-rejected spam the
+// sender flagged Normal.
+func (f FilterDisagreement) ReceiverDisagreeShare() float64 {
+	if f.ReceiverSpamTotal == 0 {
+		return 0
+	}
+	return float64(f.ReceiverSpamFlaggedNormal) / float64(f.ReceiverSpamTotal)
+}
+
+// FilterDisagreement computes the cross-filter comparison.
+func (a *Analysis) FilterDisagreement() FilterDisagreement {
+	var f FilterDisagreement
+	for i := range a.Records {
+		rec := &a.Records[i]
+		isT13 := a.Classified[i].HasType(ndr.T13ContentSpam)
+		if rec.EmailFlag == "Spam" {
+			f.SenderSpamTotal++
+			if rec.Succeeded() || !isT13 {
+				f.SenderSpamNotSpamAtReceiver++
+			}
+		}
+		if isT13 {
+			f.ReceiverSpamTotal++
+			if rec.EmailFlag != "Spam" {
+				f.ReceiverSpamFlaggedNormal++
+				if n := rec.Attempts(); n > 1 {
+					f.NormalSpamRetryAttempts += n - 1
+				}
+			}
+		}
+	}
+	return f
+}
+
+// BlocklistRecovery quantifies the Section-4.2.2 finding that most
+// blocklist bounces recover by switching proxy MTAs (paper: 80.71%
+// redelivered, at an average of three attempts).
+type BlocklistRecovery struct {
+	Affected    int // emails with at least one T5 attempt
+	Recovered   int // of those, eventually delivered
+	AvgAttempts float64
+}
+
+// RecoveryShare is Recovered/Affected.
+func (b BlocklistRecovery) RecoveryShare() float64 {
+	if b.Affected == 0 {
+		return 0
+	}
+	return float64(b.Recovered) / float64(b.Affected)
+}
+
+// BlocklistRecovery computes the T5 recovery statistic.
+func (a *Analysis) BlocklistRecovery() BlocklistRecovery {
+	var out BlocklistRecovery
+	attempts := 0
+	for i := range a.Records {
+		if !a.Classified[i].HasType(ndr.T5Blocklisted) {
+			continue
+		}
+		out.Affected++
+		if a.Records[i].Succeeded() {
+			out.Recovered++
+			attempts += a.Records[i].Attempts()
+		}
+	}
+	if out.Recovered > 0 {
+		out.AvgAttempts = float64(attempts) / float64(out.Recovered)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import "sort"
+
+// MTACountry is one Figure-4 data point: distinct receiver-MTA IPs
+// observed per country.
+type MTACountry struct {
+	Country string
+	MTAs    int
+	Share   float64
+}
+
+// MTACountryDistribution computes Figure 4: the geographic distribution
+// of receiver MTAs (distinct to_ip values), via the Env.Geo lookup the
+// paper performed with ip-api.
+func (a *Analysis) MTACountryDistribution() []MTACountry {
+	if a.Env == nil || a.Env.Geo == nil {
+		return nil
+	}
+	seen := map[string]string{} // ip -> country
+	for i := range a.Records {
+		for _, ip := range a.Records[i].ToIP {
+			if ip == "" {
+				continue
+			}
+			if _, ok := seen[ip]; ok {
+				continue
+			}
+			cc, _, ok := a.Env.Geo.Lookup(ip)
+			if !ok {
+				cc = "??"
+			}
+			seen[ip] = cc
+		}
+	}
+	counts := map[string]int{}
+	for _, cc := range seen {
+		counts[cc]++
+	}
+	total := len(seen)
+	out := make([]MTACountry, 0, len(counts))
+	for cc, n := range counts {
+		share := 0.0
+		if total > 0 {
+			share = float64(n) / float64(total)
+		}
+		out = append(out, MTACountry{Country: cc, MTAs: n, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MTAs != out[j].MTAs {
+			return out[i].MTAs > out[j].MTAs
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}

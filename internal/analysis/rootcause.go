@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/ndr"
+	"repro/internal/typo"
+)
+
+// RootCause is one of the paper's five root causes (Table 2).
+type RootCause int
+
+// Root causes.
+const (
+	CauseMalicious RootCause = iota
+	CauseSpamPolicy
+	CauseMisconfig
+	CauseUserOperation
+	CauseInfrastructure
+)
+
+// String returns the Table-2 name.
+func (c RootCause) String() string {
+	switch c {
+	case CauseMalicious:
+		return "Malicious Email Behavior"
+	case CauseSpamPolicy:
+		return "Spam Blocking Policy"
+	case CauseMisconfig:
+		return "Server Manager Misconfiguration"
+	case CauseUserOperation:
+		return "Improper User Operation"
+	case CauseInfrastructure:
+		return "Poor Email Infrastructure"
+	}
+	return "?"
+}
+
+// RootCauseRow is one Table-2 line.
+type RootCauseRow struct {
+	Cause    RootCause
+	Type     string // e.g. "T8", "T8/T13"
+	Reason   string
+	Degree   string // "hard", "soft", "hard/soft"
+	Causer   string // causative entity
+	Emails   int
+	Examples []string // a few sample recipients/domains for reports
+}
+
+// RootCauseTable is the full Table 2.
+type RootCauseTable struct {
+	Rows         []RootCauseRow
+	TotalBounced int // non-ambiguous bounced emails
+}
+
+// CauseTotal sums the rows of one cause.
+func (t *RootCauseTable) CauseTotal(c RootCause) int {
+	n := 0
+	for _, r := range t.Rows {
+		if r.Cause == c {
+			n += r.Emails
+		}
+	}
+	return n
+}
+
+// Detections holds the intermediate entity detections the attribution
+// rules need; exposed for the attacker/typo sections of the report.
+type Detections struct {
+	// GuessingSenders maps sender domain -> victim receiver domain for
+	// detected username-guessing campaigns.
+	GuessingSenders map[string]string
+	// GuessStats quantifies the campaigns (paper: 4,273 usernames, 39
+	// hits = 0.91%, 536 malicious emails received).
+	GuessTargets   int // distinct guessed addresses
+	GuessHits      int // guessed addresses that accepted mail
+	GuessDelivered int // emails accepted at guessed addresses
+
+	// BulkSpamSenders are sender domains whose recipients are >80%
+	// leaked (paper: 31 domains, 3M emails, 70.12% hard).
+	BulkSpamSenders map[string]bool
+	BulkEmails      int
+	BulkHard        int
+	BulkSoft        int
+
+	// UsernameTypos maps bounced recipient address -> matched typo kind.
+	UsernameTypos map[string]typo.Kind
+	// DomainTypos maps never-resolving receiver domain -> typo kind
+	// (matched against the top of InEmailRank, like dnstwist).
+	DomainTypos map[string]typo.Kind
+	// NeverResolved lists receiver domains whose deliveries always
+	// failed DNS resolution (squat-scan input).
+	NeverResolved []string
+	// InactiveAddrs are recipients bounced with "inactive" NDR text.
+	InactiveAddrs map[string]bool
+	// FullMailboxes are recipients that bounced T9 at least once.
+	FullMailboxes map[string]bool
+}
+
+// Detect runs the entity detections over the classified corpus.
+func (a *Analysis) Detect() *Detections {
+	d := &Detections{
+		GuessingSenders: map[string]string{},
+		BulkSpamSenders: map[string]bool{},
+		UsernameTypos:   map[string]typo.Kind{},
+		DomainTypos:     map[string]typo.Kind{},
+		InactiveAddrs:   map[string]bool{},
+		FullMailboxes:   map[string]bool{},
+	}
+	a.detectAttackers(d)
+	a.detectTypos(d)
+	a.detectMailboxStates(d)
+	return d
+}
+
+// detectAttackers implements Section 4.2.1's two detections.
+func (a *Analysis) detectAttackers(d *Detections) {
+	type senderAgg struct {
+		recipients map[string]bool
+		t8PerRcvr  map[string]int // receiver domain -> distinct T8 rcpts
+		total      int
+	}
+	agg := map[string]*senderAgg{}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		s := agg[rec.FromDomain()]
+		if s == nil {
+			s = &senderAgg{recipients: map[string]bool{}, t8PerRcvr: map[string]int{}}
+			agg[rec.FromDomain()] = s
+		}
+		s.total++
+		s.recipients[rec.To] = true
+		if a.Classified[i].HasType(ndr.T8NoSuchUser) {
+			s.t8PerRcvr[rec.ToDomain()]++
+		}
+	}
+	for domain, s := range agg {
+		// Username guessing: many non-existent recipients concentrated
+		// at one receiver domain.
+		for rcvr, n := range s.t8PerRcvr {
+			if n >= 30 && float64(n) > 0.5*float64(s.total) {
+				d.GuessingSenders[domain] = rcvr
+			}
+		}
+		// Bulk spam: >80% of recipients in the leak corpus.
+		if a.Env != nil && a.Env.Breach != nil && len(s.recipients) >= 30 {
+			addrs := make([]string, 0, len(s.recipients))
+			for r := range s.recipients {
+				addrs = append(addrs, r)
+			}
+			if a.Env.Breach.PwnedShare(addrs) > 0.80 {
+				d.BulkSpamSenders[domain] = true
+			}
+		}
+	}
+	// Quantify.
+	guessTargets := map[string]bool{}
+	guessHits := map[string]bool{}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		if victim, ok := d.GuessingSenders[rec.FromDomain()]; ok && rec.ToDomain() == victim {
+			guessTargets[rec.To] = true
+			if rec.Succeeded() {
+				guessHits[rec.To] = true
+				d.GuessDelivered++
+			}
+		}
+		if d.BulkSpamSenders[rec.FromDomain()] {
+			d.BulkEmails++
+			switch a.Classified[i].Degree {
+			case dataset.HardBounced:
+				d.BulkHard++
+			case dataset.SoftBounced:
+				d.BulkSoft++
+			}
+		}
+	}
+	d.GuessTargets = len(guessTargets)
+	d.GuessHits = len(guessHits)
+}
+
+// detectTypos implements the Section-4.3.2 pipelines for username and
+// domain typos.
+func (a *Analysis) detectTypos(d *Detections) {
+	// Username typos: T8-bounced addresses paired with successful
+	// recipients of the SAME sender at >90% similarity, verified against
+	// the dnstwist-style candidate set.
+	type senderIO struct {
+		failed map[string]bool     // T8-bounced recipient addrs
+		okBy   map[string][]string // domain -> successful locals
+	}
+	per := map[string]*senderIO{}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		s := per[rec.From]
+		if s == nil {
+			s = &senderIO{failed: map[string]bool{}, okBy: map[string][]string{}}
+			per[rec.From] = s
+		}
+		domain := rec.ToDomain()
+		local := localOf(rec.To)
+		if rec.Succeeded() {
+			s.okBy[domain] = append(s.okBy[domain], local)
+		}
+		if a.Classified[i].HasType(ndr.T8NoSuchUser) {
+			s.failed[rec.To] = true
+		}
+	}
+	for _, s := range per {
+		for failedAddr := range s.failed {
+			dpos := strings.LastIndexByte(failedAddr, '@')
+			if dpos < 0 {
+				continue
+			}
+			flocal, fdomain := failedAddr[:dpos], failedAddr[dpos+1:]
+			for _, okLocal := range s.okBy[fdomain] {
+				if okLocal == flocal || typo.Similarity(flocal, okLocal) <= 0.9 {
+					continue
+				}
+				if kind, ok := typo.ClassifyLocal(flocal, okLocal); ok {
+					d.UsernameTypos[failedAddr] = kind
+					break
+				}
+			}
+		}
+	}
+
+	// Domain typos: domains whose deliveries never resolved, matched
+	// against typo candidates of the top of InEmailRank.
+	neverResolved := a.neverResolvedDomains()
+	d.NeverResolved = neverResolved
+	top := a.rank
+	if len(top) > 1000 {
+		top = top[:1000]
+	}
+	for _, cand := range neverResolved {
+		for _, popular := range top {
+			if kind, ok := typo.Classify(cand, popular.Domain); ok {
+				d.DomainTypos[cand] = kind
+				break
+			}
+		}
+	}
+}
+
+// neverResolvedDomains returns receiver domains whose every attempt was
+// classified T2 (DNS failure) and that never accepted an email.
+func (a *Analysis) neverResolvedDomains() []string {
+	status := map[string]int{} // 0 unseen, 1 only-T2, 2 had other outcome
+	for i := range a.Records {
+		rec := &a.Records[i]
+		domain := rec.ToDomain()
+		onlyT2 := !rec.Succeeded()
+		for _, t := range a.Classified[i].AttemptTypes {
+			if t != ndr.T2ReceiverDNS {
+				onlyT2 = false
+				break
+			}
+		}
+		if onlyT2 {
+			if status[domain] == 0 {
+				status[domain] = 1
+			}
+		} else {
+			status[domain] = 2
+		}
+	}
+	var out []string
+	for domain, st := range status {
+		if st == 1 {
+			out = append(out, domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// detectMailboxStates collects inactive and full recipients from NDR
+// text.
+func (a *Analysis) detectMailboxStates(d *Detections) {
+	for i := range a.Records {
+		rec := &a.Records[i]
+		c := &a.Classified[i]
+		for j, t := range c.AttemptTypes {
+			switch t {
+			case ndr.T9MailboxFull:
+				d.FullMailboxes[rec.To] = true
+			case ndr.T8NoSuchUser:
+				if strings.Contains(strings.ToLower(rec.DeliveryResult[j]), "inactive") {
+					d.InactiveAddrs[rec.To] = true
+				}
+			}
+		}
+	}
+}
+
+func localOf(addr string) string {
+	if i := strings.LastIndexByte(addr, '@'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// RootCauses builds Table 2 using the detections.
+func (a *Analysis) RootCauses(d *Detections) RootCauseTable {
+	if d == nil {
+		d = a.Detect()
+	}
+	counts := map[string]int{}
+	total := 0
+	for i := range a.Records {
+		rec := &a.Records[i]
+		c := &a.Classified[i]
+		if c.Degree == dataset.NonBounced || c.Ambiguous {
+			continue
+		}
+		total++
+		fromDom := rec.FromDomain()
+		toDom := rec.ToDomain()
+		isGuess := false
+		if victim, ok := d.GuessingSenders[fromDom]; ok && toDom == victim {
+			isGuess = true
+		}
+		isBulk := d.BulkSpamSenders[fromDom]
+		for _, t := range c.Types {
+			switch t {
+			case ndr.T8NoSuchUser:
+				switch {
+				case isGuess:
+					counts["guess"]++
+				case isBulk:
+					counts["bulkspam"]++
+				case d.UsernameTypos[rec.To] != typo.KindNone:
+					counts["usertypo"]++
+				case d.InactiveAddrs[rec.To]:
+					counts["inactive"]++
+				default:
+					counts["usertypo-unverified"]++
+				}
+			case ndr.T13ContentSpam:
+				if isBulk {
+					counts["bulkspam"]++
+				} else {
+					counts["spamfilter"]++
+				}
+			case ndr.T5Blocklisted:
+				counts["blocklist"]++
+			case ndr.T6Greylisted:
+				counts["greylist"]++
+			case ndr.T7TooFast:
+				counts["toofast"]++
+			case ndr.T11RateLimited:
+				counts["ratelimit"]++
+			case ndr.T3AuthFail:
+				counts["authfail"]++
+			case ndr.T4STARTTLS:
+				counts["starttls"]++
+			case ndr.T2ReceiverDNS:
+				if _, isTypo := d.DomainTypos[toDom]; isTypo {
+					counts["domtypo"]++
+				} else {
+					counts["mxerror"]++
+				}
+			case ndr.T9MailboxFull:
+				counts["mailboxfull"]++
+			case ndr.T14Timeout:
+				counts["timeout"]++
+			}
+		}
+	}
+
+	rows := []RootCauseRow{
+		{CauseMalicious, "T8", "Guess victim email addresses", "hard", "Attacker", counts["guess"], nil},
+		{CauseMalicious, "T8/T13", "Delivering large amounts of spam", "hard", "Attacker", counts["bulkspam"], nil},
+		{CauseSpamPolicy, "T5", "Sender MTA listed in blocklists", "hard/soft", "Receiver mail server", counts["blocklist"], nil},
+		{CauseSpamPolicy, "T6", "Sender MTA blocked by greylisting", "hard/soft", "Receiver mail server", counts["greylist"], nil},
+		{CauseSpamPolicy, "T7", "Sender MTA delivers too fast", "soft", "Receiver mail server", counts["toofast"], nil},
+		{CauseSpamPolicy, "T13", "Email detected as spam", "hard", "Receiver mail server", counts["spamfilter"], nil},
+		{CauseSpamPolicy, "T11", "User gets too much email", "hard", "Receiver mail server", counts["ratelimit"], nil},
+		{CauseMisconfig, "T3", "Sender authentication failure", "hard", "Sender name server", counts["authfail"], nil},
+		{CauseMisconfig, "T4", "Server does not support STARTTLS", "soft", "Sender mail server", counts["starttls"], nil},
+		{CauseMisconfig, "T2", "Error MX record for receiver domain", "hard", "Receiver name server", counts["mxerror"], nil},
+		{CauseUserOperation, "T2", "Receiver domain name typo", "hard", "Sender", counts["domtypo"], nil},
+		{CauseUserOperation, "T8", "Receiver username typo", "hard", "Sender", counts["usertypo"] + counts["usertypo-unverified"], nil},
+		{CauseUserOperation, "T8", "Receiver email address is inactive", "hard", "Receiver", counts["inactive"], nil},
+		{CauseUserOperation, "T9", "Receiver mailbox is full", "hard", "Receiver", counts["mailboxfull"], nil},
+		{CauseInfrastructure, "T14", "SMTP session timeout", "soft", "/", counts["timeout"], nil},
+	}
+	return RootCauseTable{Rows: rows, TotalBounced: total}
+}

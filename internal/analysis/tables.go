@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/ndr"
+)
+
+// DomainStats is one Table-3 row.
+type DomainStats struct {
+	Domain string
+	Emails int
+	Hard   int
+	Soft   int
+}
+
+// HardPct returns the hard-bounce percentage.
+func (d DomainStats) HardPct() float64 { return pct(d.Hard, d.Emails) }
+
+// SoftPct returns the soft-bounce percentage.
+func (d DomainStats) SoftPct() float64 { return pct(d.Soft, d.Emails) }
+
+// TopDomains returns Table 3: the n most popular receiver domains with
+// their bounce ratios.
+func (a *Analysis) TopDomains(n int) []DomainStats {
+	agg := map[string]*DomainStats{}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		d := agg[rec.ToDomain()]
+		if d == nil {
+			d = &DomainStats{Domain: rec.ToDomain()}
+			agg[rec.ToDomain()] = d
+		}
+		d.Emails++
+		switch a.Classified[i].Degree {
+		case dataset.HardBounced:
+			d.Hard++
+		case dataset.SoftBounced:
+			d.Soft++
+		}
+	}
+	out := make([]DomainStats, 0, len(agg))
+	for _, d := range agg {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Emails != out[j].Emails {
+			return out[i].Emails > out[j].Emails
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// ASStats is one Table-4 row.
+type ASStats struct {
+	ASN    int
+	Org    string
+	Emails int
+	Hard   int
+	Soft   int
+}
+
+// HardPct returns the hard-bounce percentage.
+func (s ASStats) HardPct() float64 { return pct(s.Hard, s.Emails) }
+
+// SoftPct returns the soft-bounce percentage.
+func (s ASStats) SoftPct() float64 { return pct(s.Soft, s.Emails) }
+
+// TopASes returns Table 4: ASes of receiver MTAs by email volume.
+// Requires Env.Geo; attempts with no receiver IP are skipped.
+func (a *Analysis) TopASes(n int) []ASStats {
+	if a.Env == nil || a.Env.Geo == nil {
+		return nil
+	}
+	agg := map[int]*ASStats{}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		ip := lastNonEmpty(rec.ToIP)
+		if ip == "" {
+			continue
+		}
+		_, asn, ok := a.Env.Geo.Lookup(ip)
+		if !ok {
+			continue
+		}
+		s := agg[asn]
+		if s == nil {
+			s = &ASStats{ASN: asn, Org: a.Env.Geo.ASOrg(asn)}
+			agg[asn] = s
+		}
+		s.Emails++
+		switch a.Classified[i].Degree {
+		case dataset.HardBounced:
+			s.Hard++
+		case dataset.SoftBounced:
+			s.Soft++
+		}
+	}
+	out := make([]ASStats, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Emails != out[j].Emails {
+			return out[i].Emails > out[j].Emails
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// CountryStats is one Table-5 row.
+type CountryStats struct {
+	Country  string
+	Emails   int
+	Hard     int
+	Soft     int
+	MajorCat ndr.Category // dominant bounce category
+	MajorTyp ndr.Type     // dominant bounce type
+	// MajorTypShare is the dominant type's share of the country's
+	// bounced emails.
+	MajorTypShare float64
+}
+
+// HardPct returns the hard-bounce percentage.
+func (s CountryStats) HardPct() float64 { return pct(s.Hard, s.Emails) }
+
+// SoftPct returns the soft-bounce percentage.
+func (s CountryStats) SoftPct() float64 { return pct(s.Soft, s.Emails) }
+
+// CountryBounces aggregates per receiver-MTA country, excluding
+// countries below minEmails (the paper's 1,000-email representativeness
+// threshold, scaled by the caller). Requires Env.Geo.
+func (a *Analysis) CountryBounces(minEmails int) []CountryStats {
+	if a.Env == nil || a.Env.Geo == nil {
+		return nil
+	}
+	type agg struct {
+		CountryStats
+		types map[ndr.Type]int
+	}
+	byCC := map[string]*agg{}
+	for i := range a.Records {
+		rec := &a.Records[i]
+		ip := lastNonEmpty(rec.ToIP)
+		cc := ""
+		if ip != "" {
+			cc, _, _ = a.Env.Geo.Lookup(ip)
+		}
+		if cc == "" {
+			continue
+		}
+		s := byCC[cc]
+		if s == nil {
+			s = &agg{CountryStats: CountryStats{Country: cc}, types: map[ndr.Type]int{}}
+			byCC[cc] = s
+		}
+		s.Emails++
+		switch a.Classified[i].Degree {
+		case dataset.HardBounced:
+			s.Hard++
+		case dataset.SoftBounced:
+			s.Soft++
+		}
+		for _, t := range a.Classified[i].Types {
+			s.types[t]++
+		}
+	}
+	var out []CountryStats
+	for _, s := range byCC {
+		if s.Emails < minEmails {
+			continue
+		}
+		best, bestN := ndr.TNone, 0
+		for _, t := range ndr.AllTypes {
+			if s.types[t] > bestN {
+				best, bestN = t, s.types[t]
+			}
+		}
+		s.MajorTyp = best
+		s.MajorCat = best.Category()
+		if b := s.Hard + s.Soft; b > 0 {
+			s.MajorTypShare = float64(bestN) / float64(b)
+		}
+		out = append(out, s.CountryStats)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
+	return out
+}
+
+// TopByHard / TopBySoft sort country stats for the two halves of
+// Table 5.
+func TopByHard(stats []CountryStats, n int) []CountryStats {
+	out := append([]CountryStats(nil), stats...)
+	sort.Slice(out, func(i, j int) bool { return out[i].HardPct() > out[j].HardPct() })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopBySoft sorts countries by soft-bounce percentage.
+func TopBySoft(stats []CountryStats, n int) []CountryStats {
+	out := append([]CountryStats(nil), stats...)
+	sort.Slice(out, func(i, j int) bool { return out[i].SoftPct() > out[j].SoftPct() })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+func lastNonEmpty(xs []string) string {
+	for i := len(xs) - 1; i >= 0; i-- {
+		if xs[i] != "" {
+			return xs[i]
+		}
+	}
+	return ""
+}
+
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

@@ -1,0 +1,68 @@
+package auth
+
+import (
+	"testing"
+
+	"repro/internal/dns"
+)
+
+func benchSPFWorld() *SPFEvaluator {
+	a := dns.NewAuthority()
+	a.Add(dns.Record{Name: "corp.com", Type: dns.TypeTXT, TXT: "v=spf1 include:_spf.esp.com -all"})
+	spf := "v=spf1"
+	for i := 0; i < 34; i++ {
+		spf += " ip4:10.0.0." + string(rune('0'+i%10))
+	}
+	a.Add(dns.Record{Name: "_spf.esp.com", Type: dns.TypeTXT, TXT: spf + " ip4:50.0.0.1 -all"})
+	return &SPFEvaluator{Resolver: dns.NewResolver(a, nil)}
+}
+
+func BenchmarkSPFEvaluate(b *testing.B) {
+	e := benchSPFWorld()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := e.Evaluate("50.0.0.1", "corp.com", t0); r != SPFPass {
+			b.Fatal(r)
+		}
+	}
+}
+
+func BenchmarkDKIMSign(b *testing.B) {
+	s := NewSigner("bench.com", "s1", seedBench(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sign("msg-1")
+	}
+}
+
+func BenchmarkDKIMVerify(b *testing.B) {
+	s := NewSigner("bench.com", "s1", seedBench(2))
+	a := dns.NewAuthority()
+	a.Add(dns.Record{Name: s.RecordName(), Type: dns.TypeTXT, TXT: s.TXTRecord()})
+	v := &DKIMVerifier{Resolver: dns.NewResolver(a, nil)}
+	sig := s.Sign("msg-1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := v.Verify(sig, "msg-1", t0); r != DKIMPass {
+			b.Fatal(r)
+		}
+	}
+}
+
+func BenchmarkDMARCEvaluate(b *testing.B) {
+	a := dns.NewAuthority()
+	a.Add(dns.Record{Name: "_dmarc.bench.com", Type: dns.TypeTXT, TXT: "v=DMARC1; p=reject"})
+	e := &DMARCEvaluator{Resolver: dns.NewResolver(a, nil)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Evaluate("bench.com", SPFPass, "bench.com", DKIMNone, "", t0)
+	}
+}
+
+func seedBench(v byte) (s [32]byte) {
+	for i := range s {
+		s[i] = v
+	}
+	return
+}

@@ -1,0 +1,146 @@
+package auth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dns"
+)
+
+func seed(b byte) (s [32]byte) {
+	for i := range s {
+		s[i] = b
+	}
+	return
+}
+
+func dkimWorld(signer *Signer, record string) *DKIMVerifier {
+	a := dns.NewAuthority()
+	a.Add(dns.Record{Name: signer.RecordName(), Type: dns.TypeTXT, TXT: record})
+	return &DKIMVerifier{Resolver: dns.NewResolver(a, nil)}
+}
+
+func TestDKIMSignVerify(t *testing.T) {
+	s := NewSigner("a.com", "s1", seed(1))
+	v := dkimWorld(s, s.TXTRecord())
+	sig := s.Sign("msg-123")
+	if got := v.Verify(sig, "msg-123", t0); got != DKIMPass {
+		t.Errorf("verify own signature: %v", got)
+	}
+}
+
+func TestDKIMTamperedMessageFails(t *testing.T) {
+	s := NewSigner("a.com", "s1", seed(2))
+	v := dkimWorld(s, s.TXTRecord())
+	sig := s.Sign("msg-123")
+	if got := v.Verify(sig, "msg-456", t0); got != DKIMFail {
+		t.Errorf("verify over different message: %v want fail", got)
+	}
+}
+
+func TestDKIMBrokenPublishedKeyFails(t *testing.T) {
+	s := NewSigner("a.com", "s1", seed(3))
+	v := dkimWorld(s, s.BrokenTXTRecord())
+	sig := s.Sign("msg-1")
+	if got := v.Verify(sig, "msg-1", t0); got != DKIMFail {
+		t.Errorf("verify against corrupted key: %v want fail", got)
+	}
+}
+
+func TestDKIMNoKeyPublished(t *testing.T) {
+	s := NewSigner("a.com", "s1", seed(4))
+	a := dns.NewAuthority()
+	a.Add(dns.Record{Name: "a.com", Type: dns.TypeA, A: "1.1.1.1"}) // domain exists, no key
+	v := &DKIMVerifier{Resolver: dns.NewResolver(a, nil)}
+	sig := s.Sign("m")
+	if got := v.Verify(sig, "m", t0); got != DKIMPermError {
+		t.Errorf("no key record: %v want permerror", got)
+	}
+}
+
+func TestDKIMKeyRemovedNXDomain(t *testing.T) {
+	s := NewSigner("ghost.example", "s1", seed(5))
+	a := dns.NewAuthority()
+	v := &DKIMVerifier{Resolver: dns.NewResolver(a, nil)}
+	if got := v.Verify(s.Sign("m"), "m", t0); got != DKIMPermError {
+		t.Errorf("NXDOMAIN key: %v want permerror", got)
+	}
+}
+
+func TestDKIMTempErrorOnOutage(t *testing.T) {
+	s := NewSigner("a.com", "s1", seed(6))
+	a := dns.NewAuthority()
+	a.Add(dns.Record{Name: s.RecordName(), Type: dns.TypeTXT, TXT: s.TXTRecord()})
+	a.AddOutage(dns.Outage{Name: s.RecordName(), Code: dns.ServFail})
+	v := &DKIMVerifier{Resolver: dns.NewResolver(a, nil)}
+	if got := v.Verify(s.Sign("m"), "m", t0); got != DKIMTempError {
+		t.Errorf("outage: %v want temperror", got)
+	}
+}
+
+func TestDKIMUnsignedMessage(t *testing.T) {
+	v := &DKIMVerifier{Resolver: dns.NewResolver(dns.NewAuthority(), nil)}
+	if got := v.Verify(Signature{}, "m", t0); got != DKIMNone {
+		t.Errorf("empty signature: %v want none", got)
+	}
+}
+
+func TestDKIMCrossDomainForgeryFails(t *testing.T) {
+	// An attacker signing with their own key but claiming d=victim.com
+	// must fail against victim.com's published key.
+	victim := NewSigner("victim.com", "s1", seed(7))
+	attacker := NewSigner("victim.com", "s1", seed(8)) // different key, same claims
+	v := dkimWorld(victim, victim.TXTRecord())
+	forged := attacker.Sign("m")
+	if got := v.Verify(forged, "m", t0); got != DKIMFail {
+		t.Errorf("forged signature: %v want fail", got)
+	}
+}
+
+func TestDKIMDeterministicKeys(t *testing.T) {
+	a := NewSigner("a.com", "s1", seed(9))
+	b := NewSigner("a.com", "s1", seed(9))
+	if a.TXTRecord() != b.TXTRecord() {
+		t.Error("same seed must yield same key")
+	}
+	c := NewSigner("a.com", "s1", seed(10))
+	if a.TXTRecord() == c.TXTRecord() {
+		t.Error("different seeds must yield different keys")
+	}
+}
+
+func TestDKIMSignaturePropertyRoundTrip(t *testing.T) {
+	s := NewSigner("p.com", "sel", seed(11))
+	v := dkimWorld(s, s.TXTRecord())
+	f := func(msgID string) bool {
+		sig := s.Sign(msgID)
+		return v.Verify(sig, msgID, t0) == DKIMPass
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDKIMKeyErrors(t *testing.T) {
+	for _, txt := range []string{
+		"not a dkim record",
+		"v=DKIM1; k=ed25519",  // no p=
+		"v=DKIM1; p=!!!",      // bad base64
+		"v=DKIM1; p=aGVsbG8=", // wrong size
+		"v=spf1 -all",         // different record type
+	} {
+		if _, err := parseDKIMKey(txt); err == nil {
+			t.Errorf("parseDKIMKey(%q) should fail", txt)
+		}
+	}
+}
+
+func TestDKIMResultStrings(t *testing.T) {
+	if DKIMPass.String() != "pass" || DKIMFail.String() != "fail" ||
+		DKIMNone.String() != "none" || DKIMResult(99).String() != "?" {
+		t.Error("DKIMResult.String mismatch")
+	}
+	if !DKIMPass.Pass() || DKIMFail.Pass() {
+		t.Error("DKIMResult.Pass mismatch")
+	}
+}

@@ -1,0 +1,178 @@
+package auth
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/dns"
+)
+
+// DMARCPolicy is the p= disposition a domain publishes.
+type DMARCPolicy int
+
+// DMARC policies.
+const (
+	DMARCNone DMARCPolicy = iota
+	DMARCQuarantine
+	DMARCReject
+)
+
+// String returns the policy keyword.
+func (p DMARCPolicy) String() string {
+	switch p {
+	case DMARCNone:
+		return "none"
+	case DMARCQuarantine:
+		return "quarantine"
+	case DMARCReject:
+		return "reject"
+	}
+	return "?"
+}
+
+// DMARCRecord is a parsed _dmarc TXT record.
+type DMARCRecord struct {
+	Policy      DMARCPolicy
+	StrictDKIM  bool // adkim=s
+	StrictSPF   bool // aspf=s
+	Percent     int  // pct= (default 100)
+	RUA         string
+	hasPolicyTg bool
+}
+
+// ParseDMARC parses a DMARC TXT record. It returns ok=false when the
+// string is not a DMARC record at all, and a non-nil error-equivalent
+// permerror via ok=false when required tags are missing.
+func ParseDMARC(txt string) (DMARCRecord, bool) {
+	if !strings.HasPrefix(strings.TrimSpace(txt), "v=DMARC1") {
+		return DMARCRecord{}, false
+	}
+	rec := DMARCRecord{Percent: 100}
+	for _, part := range strings.Split(txt, ";") {
+		part = strings.TrimSpace(part)
+		key, val, found := strings.Cut(part, "=")
+		if !found {
+			continue
+		}
+		switch strings.ToLower(key) {
+		case "p":
+			rec.hasPolicyTg = true
+			switch strings.ToLower(val) {
+			case "none":
+				rec.Policy = DMARCNone
+			case "quarantine":
+				rec.Policy = DMARCQuarantine
+			case "reject":
+				rec.Policy = DMARCReject
+			default:
+				return DMARCRecord{}, false
+			}
+		case "adkim":
+			rec.StrictDKIM = strings.EqualFold(val, "s")
+		case "aspf":
+			rec.StrictSPF = strings.EqualFold(val, "s")
+		case "pct":
+			rec.Percent = atoiDefault(val, 100)
+		case "rua":
+			rec.RUA = val
+		}
+	}
+	if !rec.hasPolicyTg {
+		return DMARCRecord{}, false
+	}
+	return rec, true
+}
+
+func atoiDefault(s string, def int) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return def
+		}
+		n = n*10 + int(c-'0')
+	}
+	if s == "" {
+		return def
+	}
+	return n
+}
+
+// DMARCResult is the outcome of DMARC evaluation for one message.
+type DMARCResult struct {
+	Found   bool        // a valid record was published
+	Aligned bool        // SPF or DKIM passed with alignment
+	Policy  DMARCPolicy // requested disposition when not aligned
+}
+
+// DMARCEvaluator evaluates DMARC for incoming mail.
+type DMARCEvaluator struct {
+	Resolver *dns.Resolver
+}
+
+// Evaluate applies RFC 7489: it fetches _dmarc.<fromDomain>, falling
+// back to the organizational domain, and checks identifier alignment of
+// the SPF-authenticated domain and the DKIM d= domain against the
+// RFC5322.From domain.
+func (e *DMARCEvaluator) Evaluate(fromDomain string, spf SPFResult, spfDomain string,
+	dkim DKIMResult, dkimDomain string, t time.Time) DMARCResult {
+
+	rec, found := e.fetch(fromDomain, t)
+	if !found {
+		rec, found = e.fetch(orgDomain(fromDomain), t)
+	}
+	if !found {
+		return DMARCResult{}
+	}
+	aligned := false
+	if spf.Pass() && domainsAligned(spfDomain, fromDomain, rec.StrictSPF) {
+		aligned = true
+	}
+	if dkim.Pass() && domainsAligned(dkimDomain, fromDomain, rec.StrictDKIM) {
+		aligned = true
+	}
+	return DMARCResult{Found: true, Aligned: aligned, Policy: rec.Policy}
+}
+
+func (e *DMARCEvaluator) fetch(domain string, t time.Time) (DMARCRecord, bool) {
+	if domain == "" {
+		return DMARCRecord{}, false
+	}
+	txts, code := e.Resolver.ResolveTXT("_dmarc."+domain, t)
+	if code != dns.NoError {
+		return DMARCRecord{}, false
+	}
+	for _, txt := range txts {
+		if rec, ok := ParseDMARC(txt); ok {
+			return rec, true
+		}
+	}
+	return DMARCRecord{}, false
+}
+
+// domainsAligned implements relaxed/strict identifier alignment.
+func domainsAligned(authDomain, fromDomain string, strict bool) bool {
+	authDomain = strings.ToLower(authDomain)
+	fromDomain = strings.ToLower(fromDomain)
+	if authDomain == fromDomain {
+		return true
+	}
+	if strict {
+		return false
+	}
+	return orgDomain(authDomain) == orgDomain(fromDomain)
+}
+
+// orgDomain approximates the organizational domain with the same
+// two-label heuristic the dns package uses.
+func orgDomain(name string) string {
+	labels := strings.Split(name, ".")
+	if len(labels) <= 2 {
+		return name
+	}
+	tld2 := labels[len(labels)-2] + "." + labels[len(labels)-1]
+	switch tld2 {
+	case "com.cn", "edu.cn", "org.cn", "net.cn", "co.uk", "ac.uk", "com.br", "co.jp":
+		return labels[len(labels)-3] + "." + tld2
+	}
+	return tld2
+}

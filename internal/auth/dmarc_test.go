@@ -1,0 +1,145 @@
+package auth
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dns"
+)
+
+func dmarcWorld(records map[string]string) *DMARCEvaluator {
+	a := dns.NewAuthority()
+	for name, v := range records {
+		a.Add(dns.Record{Name: name, Type: dns.TypeTXT, TXT: v})
+	}
+	return &DMARCEvaluator{Resolver: dns.NewResolver(a, nil)}
+}
+
+func TestParseDMARC(t *testing.T) {
+	rec, ok := ParseDMARC("v=DMARC1; p=reject; adkim=s; aspf=r; pct=50; rua=mailto:agg@a.com")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if rec.Policy != DMARCReject || !rec.StrictDKIM || rec.StrictSPF || rec.Percent != 50 {
+		t.Errorf("parsed %+v", rec)
+	}
+	if rec.RUA != "mailto:agg@a.com" {
+		t.Errorf("rua %q", rec.RUA)
+	}
+}
+
+func TestParseDMARCRejectsInvalid(t *testing.T) {
+	for _, txt := range []string{
+		"v=spf1 -all",
+		"v=DMARC1",           // missing p=
+		"v=DMARC1; p=banana", // bad policy
+		"p=reject",           // missing version
+	} {
+		if _, ok := ParseDMARC(txt); ok {
+			t.Errorf("ParseDMARC(%q) should fail", txt)
+		}
+	}
+}
+
+func TestParseDMARCDefaults(t *testing.T) {
+	rec, ok := ParseDMARC("v=DMARC1; p=none")
+	if !ok || rec.Policy != DMARCNone || rec.Percent != 100 || rec.StrictDKIM || rec.StrictSPF {
+		t.Errorf("defaults wrong: %+v ok=%v", rec, ok)
+	}
+	// Bad pct falls back to 100.
+	rec, _ = ParseDMARC("v=DMARC1; p=none; pct=abc")
+	if rec.Percent != 100 {
+		t.Errorf("bad pct should default: %d", rec.Percent)
+	}
+}
+
+func TestDMARCAlignedBySPF(t *testing.T) {
+	e := dmarcWorld(map[string]string{"_dmarc.a.com": "v=DMARC1; p=reject"})
+	res := e.Evaluate("a.com", SPFPass, "a.com", DKIMNone, "", t0)
+	if !res.Found || !res.Aligned {
+		t.Errorf("SPF-aligned: %+v", res)
+	}
+}
+
+func TestDMARCAlignedByDKIMOnly(t *testing.T) {
+	e := dmarcWorld(map[string]string{"_dmarc.a.com": "v=DMARC1; p=quarantine"})
+	res := e.Evaluate("a.com", SPFFail, "other.com", DKIMPass, "a.com", t0)
+	if !res.Aligned {
+		t.Errorf("DKIM-aligned despite SPF fail: %+v", res)
+	}
+}
+
+func TestDMARCUnalignedPass(t *testing.T) {
+	// SPF passes for a different, unrelated domain: no alignment.
+	e := dmarcWorld(map[string]string{"_dmarc.a.com": "v=DMARC1; p=reject"})
+	res := e.Evaluate("a.com", SPFPass, "esp-bulk.net", DKIMNone, "", t0)
+	if !res.Found || res.Aligned || res.Policy != DMARCReject {
+		t.Errorf("unaligned: %+v", res)
+	}
+}
+
+func TestDMARCRelaxedVsStrictAlignment(t *testing.T) {
+	// mail.a.com authenticates; From is a.com. Relaxed aligns, strict not.
+	relaxed := dmarcWorld(map[string]string{"_dmarc.a.com": "v=DMARC1; p=reject"})
+	strict := dmarcWorld(map[string]string{"_dmarc.a.com": "v=DMARC1; p=reject; aspf=s"})
+	r1 := relaxed.Evaluate("a.com", SPFPass, "mail.a.com", DKIMNone, "", t0)
+	r2 := strict.Evaluate("a.com", SPFPass, "mail.a.com", DKIMNone, "", t0)
+	if !r1.Aligned {
+		t.Errorf("relaxed alignment should pass: %+v", r1)
+	}
+	if r2.Aligned {
+		t.Errorf("strict alignment should fail: %+v", r2)
+	}
+}
+
+func TestDMARCOrgDomainFallback(t *testing.T) {
+	// Record only at the organizational domain; From is a subdomain.
+	e := dmarcWorld(map[string]string{"_dmarc.a.com": "v=DMARC1; p=reject"})
+	res := e.Evaluate("news.a.com", SPFFail, "", DKIMNone, "", t0)
+	if !res.Found || res.Policy != DMARCReject {
+		t.Errorf("org-domain fallback: %+v", res)
+	}
+}
+
+func TestDMARCNoRecord(t *testing.T) {
+	e := dmarcWorld(map[string]string{})
+	res := e.Evaluate("a.com", SPFPass, "a.com", DKIMNone, "", t0)
+	if res.Found {
+		t.Errorf("no record published: %+v", res)
+	}
+}
+
+func TestDMARCWindowedMisconfiguration(t *testing.T) {
+	// A domain publishes p=reject but its SPF/DKIM break for an episode:
+	// during the episode mail is unaligned and subject to reject.
+	a := dns.NewAuthority()
+	a.Add(dns.Record{Name: "_dmarc.corp.com", Type: dns.TypeTXT, TXT: "v=DMARC1; p=reject"})
+	e := &DMARCEvaluator{Resolver: dns.NewResolver(a, nil)}
+	res := e.Evaluate("corp.com", SPFPermError, "corp.com", DKIMFail, "corp.com", t0)
+	if !res.Found || res.Aligned || res.Policy != DMARCReject {
+		t.Errorf("broken auth under reject policy: %+v", res)
+	}
+}
+
+func TestDMARCPolicyString(t *testing.T) {
+	if DMARCNone.String() != "none" || DMARCQuarantine.String() != "quarantine" ||
+		DMARCReject.String() != "reject" || DMARCPolicy(9).String() != "?" {
+		t.Error("DMARCPolicy.String mismatch")
+	}
+}
+
+func TestOrgDomain(t *testing.T) {
+	cases := map[string]string{
+		"mail.a.com":          "a.com",
+		"a.com":               "a.com",
+		"x.y.tsinghua.edu.cn": "tsinghua.edu.cn",
+		"com":                 "com",
+	}
+	for in, want := range cases {
+		if got := orgDomain(in); got != want {
+			t.Errorf("orgDomain(%q)=%q want %q", in, got, want)
+		}
+	}
+}
+
+var _ = time.Now // keep time import if unused in future edits

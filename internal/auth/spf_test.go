@@ -1,0 +1,232 @@
+package auth
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dns"
+)
+
+var t0 = time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func spfWorld(records map[string][]dns.Record) *SPFEvaluator {
+	a := dns.NewAuthority()
+	for _, recs := range records {
+		for _, r := range recs {
+			a.Add(r)
+		}
+	}
+	return &SPFEvaluator{Resolver: dns.NewResolver(a, nil)}
+}
+
+func txt(name, v string) dns.Record { return dns.Record{Name: name, Type: dns.TypeTXT, TXT: v} }
+func aRec(name, ip string) dns.Record {
+	return dns.Record{Name: name, Type: dns.TypeA, A: ip}
+}
+func mxRec(name, host string, pref int) dns.Record {
+	return dns.Record{Name: name, Type: dns.TypeMX, MX: dns.MX{Host: host, Pref: pref}}
+}
+
+func TestSPFIP4Mechanism(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"a.com": {txt("a.com", "v=spf1 ip4:5.6.7.8 ip4:9.0.0.0/8 -all")},
+	})
+	cases := []struct {
+		ip   string
+		want SPFResult
+	}{
+		{"5.6.7.8", SPFPass},
+		{"9.1.2.3", SPFPass},
+		{"5.6.7.9", SPFFail},
+		{"10.0.0.1", SPFFail},
+	}
+	for _, c := range cases {
+		if got := e.Evaluate(c.ip, "a.com", t0); got != c.want {
+			t.Errorf("Evaluate(%s) = %v want %v", c.ip, got, c.want)
+		}
+	}
+}
+
+func TestSPFQualifiers(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"q.com": {txt("q.com", "v=spf1 ~ip4:1.1.1.1 ?ip4:2.2.2.2 +ip4:3.3.3.3 -all")},
+	})
+	cases := map[string]SPFResult{
+		"1.1.1.1": SPFSoftFail,
+		"2.2.2.2": SPFNeutral,
+		"3.3.3.3": SPFPass,
+		"4.4.4.4": SPFFail,
+	}
+	for ip, want := range cases {
+		if got := e.Evaluate(ip, "q.com", t0); got != want {
+			t.Errorf("Evaluate(%s) = %v want %v", ip, got, want)
+		}
+	}
+}
+
+func TestSPFAMechanism(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"a.com": {
+			txt("a.com", "v=spf1 a a:alt.a.com -all"),
+			aRec("a.com", "7.7.7.7"),
+			aRec("alt.a.com", "8.8.8.8"),
+		},
+	})
+	if got := e.Evaluate("7.7.7.7", "a.com", t0); got != SPFPass {
+		t.Errorf("a mechanism self: %v", got)
+	}
+	if got := e.Evaluate("8.8.8.8", "a.com", t0); got != SPFPass {
+		t.Errorf("a mechanism with arg: %v", got)
+	}
+	if got := e.Evaluate("9.9.9.9", "a.com", t0); got != SPFFail {
+		t.Errorf("a mechanism nonmatch: %v", got)
+	}
+}
+
+func TestSPFMXMechanism(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"m.com": {
+			txt("m.com", "v=spf1 mx -all"),
+			mxRec("m.com", "mx1.m.com", 10),
+			aRec("mx1.m.com", "6.6.6.6"),
+		},
+	})
+	if got := e.Evaluate("6.6.6.6", "m.com", t0); got != SPFPass {
+		t.Errorf("mx mechanism: %v", got)
+	}
+	if got := e.Evaluate("6.6.6.7", "m.com", t0); got != SPFFail {
+		t.Errorf("mx nonmatch: %v", got)
+	}
+}
+
+func TestSPFInclude(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"corp.com": {txt("corp.com", "v=spf1 include:_spf.esp.com -all")},
+		"_spf.esp.com": {
+			txt("_spf.esp.com", "v=spf1 ip4:50.0.0.0/16 -all"),
+			// authority requires apex registration; TXT above does that
+		},
+	})
+	if got := e.Evaluate("50.0.1.2", "corp.com", t0); got != SPFPass {
+		t.Errorf("include pass: %v", got)
+	}
+	// include's fail does NOT terminate: falls through to -all.
+	if got := e.Evaluate("60.0.0.1", "corp.com", t0); got != SPFFail {
+		t.Errorf("include fail-through: %v", got)
+	}
+}
+
+func TestSPFIncludeMissingTargetIsPermError(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"corp.com": {txt("corp.com", "v=spf1 include:ghost.example -all")},
+	})
+	if got := e.Evaluate("1.2.3.4", "corp.com", t0); got != SPFPermError {
+		t.Errorf("include of SPF-less domain: %v want permerror", got)
+	}
+}
+
+func TestSPFRedirect(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"r.com":    {txt("r.com", "v=spf1 redirect=base.com")},
+		"base.com": {txt("base.com", "v=spf1 ip4:77.0.0.1 -all")},
+	})
+	if got := e.Evaluate("77.0.0.1", "r.com", t0); got != SPFPass {
+		t.Errorf("redirect pass: %v", got)
+	}
+	if got := e.Evaluate("78.0.0.1", "r.com", t0); got != SPFFail {
+		t.Errorf("redirect fail: %v", got)
+	}
+}
+
+func TestSPFNoRecord(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"x.com": {aRec("x.com", "1.1.1.1")}, // exists, but no SPF
+	})
+	if got := e.Evaluate("1.1.1.1", "x.com", t0); got != SPFNone {
+		t.Errorf("no SPF record: %v want none", got)
+	}
+	if got := e.Evaluate("1.1.1.1", "ghost.com", t0); got != SPFNone {
+		t.Errorf("NXDOMAIN: %v want none", got)
+	}
+}
+
+func TestSPFMultipleRecordsPermError(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"d.com": {
+			txt("d.com", "v=spf1 ip4:1.1.1.1 -all"),
+			txt("d.com", "v=spf1 ip4:2.2.2.2 -all"),
+		},
+	})
+	if got := e.Evaluate("1.1.1.1", "d.com", t0); got != SPFPermError {
+		t.Errorf("multiple records: %v want permerror", got)
+	}
+}
+
+func TestSPFBrokenRecordPermError(t *testing.T) {
+	for _, rec := range []string{
+		"v=spf1 bogusmech -all",
+		"v=spf1 ip4:not-an-ip -all",
+		"v=spf1 ip4:1.2.3.0/99 -all",
+		"v=spf1 %{i}.lookup.com -all",
+		"v=spf1 include: -all",
+	} {
+		e := spfWorld(map[string][]dns.Record{"b.com": {txt("b.com", rec)}})
+		if got := e.Evaluate("1.2.3.4", "b.com", t0); got != SPFPermError {
+			t.Errorf("record %q: %v want permerror", rec, got)
+		}
+	}
+}
+
+func TestSPFNeutralDefault(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{
+		"n.com": {txt("n.com", "v=spf1 ip4:1.1.1.1")},
+	})
+	if got := e.Evaluate("9.9.9.9", "n.com", t0); got != SPFNeutral {
+		t.Errorf("record without all: %v want neutral", got)
+	}
+}
+
+func TestSPFLookupBudget(t *testing.T) {
+	// Chain of 12 includes exceeds the 10-lookup budget -> permerror.
+	records := map[string][]dns.Record{}
+	for i := 0; i < 12; i++ {
+		name := domainN(i)
+		next := domainN(i + 1)
+		records[name] = []dns.Record{txt(name, "v=spf1 include:"+next+" -all")}
+	}
+	records[domainN(12)] = []dns.Record{txt(domainN(12), "v=spf1 +all")}
+	e := spfWorld(records)
+	if got := e.Evaluate("1.2.3.4", domainN(0), t0); got != SPFPermError {
+		t.Errorf("lookup budget: %v want permerror", got)
+	}
+}
+
+func domainN(i int) string { return "d" + string(rune('a'+i)) + ".com" }
+
+func TestSPFTempErrorOnServfail(t *testing.T) {
+	a := dns.NewAuthority()
+	a.Add(txt("s.com", "v=spf1 a -all"))
+	a.Add(aRec("s.com", "1.1.1.1"))
+	a.AddOutage(dns.Outage{Name: "s.com", Types: []dns.RType{dns.TypeA}, Code: dns.ServFail})
+	e := &SPFEvaluator{Resolver: dns.NewResolver(a, nil)}
+	if got := e.Evaluate("1.1.1.1", "s.com", t0); got != SPFTempError {
+		t.Errorf("servfail during a: %v want temperror", got)
+	}
+}
+
+func TestSPFInvalidClientIP(t *testing.T) {
+	e := spfWorld(map[string][]dns.Record{"a.com": {txt("a.com", "v=spf1 +all")}})
+	if got := e.Evaluate("zzz", "a.com", t0); got != SPFPermError {
+		t.Errorf("bad client ip: %v", got)
+	}
+}
+
+func TestSPFResultStringsAndPass(t *testing.T) {
+	if SPFPass.String() != "pass" || SPFSoftFail.String() != "softfail" ||
+		SPFTempError.String() != "temperror" || SPFResult(99).String() != "?" {
+		t.Error("SPFResult.String mismatch")
+	}
+	if !SPFPass.Pass() || SPFNeutral.Pass() {
+		t.Error("SPFResult.Pass mismatch")
+	}
+}

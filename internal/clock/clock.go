@@ -1,0 +1,102 @@
+// Package clock models the paper's 15-month study window
+// (2022-06-14 through 2023-09-06) as virtual time. The workload generator
+// uses its calendar helpers to reproduce the temporal shape of Figure 5:
+// weekend dips, the surge ahead of Chinese New Year (2023-01-22), and a
+// mild growth trend across the window.
+package clock
+
+import "time"
+
+// Study window bounds, matching Section 3.1 of the paper.
+var (
+	StudyStart = time.Date(2022, 6, 14, 0, 0, 0, 0, time.UTC)
+	StudyEnd   = time.Date(2023, 9, 6, 23, 59, 59, 0, time.UTC)
+	// ChineseNewYear2023 drives the January 2023 delivery surge the paper
+	// observes ("increased user work and company business ahead of the
+	// Chinese New Year").
+	ChineseNewYear2023 = time.Date(2023, 1, 22, 0, 0, 0, 0, time.UTC)
+)
+
+// StudyDays is the number of calendar days in the study window.
+const StudyDays = 450
+
+// Day returns the zero-based day index of t within the study window.
+// Times before the window map to 0 and after to StudyDays-1.
+func Day(t time.Time) int {
+	d := int(t.Sub(StudyStart).Hours() / 24)
+	if d < 0 {
+		return 0
+	}
+	if d >= StudyDays {
+		return StudyDays - 1
+	}
+	return d
+}
+
+// DayStart returns the midnight UTC time of study day d.
+func DayStart(d int) time.Time { return StudyStart.AddDate(0, 0, d) }
+
+// Week returns the zero-based ISO-agnostic week index (blocks of 7 study
+// days), used by the squatting timeline (Figure 9, 64 weeks).
+func Week(t time.Time) int { return Day(t) / 7 }
+
+// StudyWeeks is the number of 7-day blocks in the window (the paper's
+// Figure 9 spans 64 full weeks).
+const StudyWeeks = (StudyDays + 6) / 7
+
+// MonthKey returns a sortable YYYY-MM key for t, used by the monthly
+// volume line of Figure 5.
+func MonthKey(t time.Time) string { return t.Format("2006-01") }
+
+// IsWeekend reports whether t falls on Saturday or Sunday. The paper
+// observes a "significant decrease in the number of email deliveries on
+// Saturdays and Sundays".
+func IsWeekend(t time.Time) bool {
+	wd := t.Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// ActivityFactor returns the relative email-submission intensity for
+// study day d (1.0 = baseline weekday). It composes:
+//
+//   - a weekend dip to ~40% of weekday volume,
+//   - a pre-Chinese-New-Year surge peaking in the two weeks before
+//     2023-01-22 and a quiet holiday week after it,
+//   - a slow secular growth across the window.
+func ActivityFactor(d int) float64 {
+	t := DayStart(d)
+	f := 1.0 + 0.25*float64(d)/float64(StudyDays) // secular growth
+	if IsWeekend(t) {
+		f *= 0.40
+	}
+	daysToCNY := int(ChineseNewYear2023.Sub(t).Hours() / 24)
+	switch {
+	case daysToCNY > 0 && daysToCNY <= 21:
+		// Ramp up over the three weeks before the holiday.
+		f *= 1.0 + 0.6*float64(21-daysToCNY)/21
+	case daysToCNY <= 0 && daysToCNY > -7:
+		// Holiday week: offices are closed.
+		f *= 0.35
+	}
+	return f
+}
+
+// HourOfDayWeight returns the relative submission intensity for an hour
+// of the (sender-local) day; senders are mostly Chinese staff and
+// students, so volume concentrates in working hours.
+func HourOfDayWeight(hour int) float64 {
+	switch {
+	case hour >= 9 && hour < 12:
+		return 2.0
+	case hour >= 14 && hour < 18:
+		return 1.8
+	case hour >= 12 && hour < 14:
+		return 1.0
+	case hour >= 19 && hour < 23:
+		return 0.8
+	case hour >= 7 && hour < 9:
+		return 0.7
+	default:
+		return 0.15
+	}
+}

@@ -1,0 +1,115 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStudyDaysMatchesWindow(t *testing.T) {
+	got := int(StudyEnd.Sub(StudyStart).Hours()/24) + 1
+	if got != StudyDays {
+		t.Errorf("window spans %d days, StudyDays=%d", got, StudyDays)
+	}
+}
+
+func TestDayClamping(t *testing.T) {
+	if d := Day(StudyStart.Add(-time.Hour)); d != 0 {
+		t.Errorf("before-window day = %d, want 0", d)
+	}
+	if d := Day(StudyEnd.AddDate(0, 0, 5)); d != StudyDays-1 {
+		t.Errorf("after-window day = %d, want %d", d, StudyDays-1)
+	}
+	if d := Day(StudyStart); d != 0 {
+		t.Errorf("Day(StudyStart) = %d", d)
+	}
+	if d := Day(StudyStart.AddDate(0, 0, 100).Add(13 * time.Hour)); d != 100 {
+		t.Errorf("mid-window day = %d, want 100", d)
+	}
+}
+
+func TestDayStartRoundTrip(t *testing.T) {
+	for _, d := range []int{0, 1, 100, 250, StudyDays - 1} {
+		if got := Day(DayStart(d)); got != d {
+			t.Errorf("Day(DayStart(%d)) = %d", d, got)
+		}
+	}
+}
+
+func TestWeek(t *testing.T) {
+	if w := Week(StudyStart); w != 0 {
+		t.Errorf("first week = %d", w)
+	}
+	if w := Week(StudyStart.AddDate(0, 0, 13)); w != 1 {
+		t.Errorf("day 13 week = %d, want 1", w)
+	}
+	if StudyWeeks != 65 {
+		t.Errorf("StudyWeeks = %d, want 65 (450 days)", StudyWeeks)
+	}
+}
+
+func TestMonthKey(t *testing.T) {
+	if k := MonthKey(time.Date(2023, 1, 5, 0, 0, 0, 0, time.UTC)); k != "2023-01" {
+		t.Errorf("MonthKey = %q", k)
+	}
+}
+
+func TestIsWeekend(t *testing.T) {
+	sat := time.Date(2022, 6, 18, 12, 0, 0, 0, time.UTC)
+	mon := time.Date(2022, 6, 20, 12, 0, 0, 0, time.UTC)
+	if !IsWeekend(sat) {
+		t.Error("2022-06-18 is a Saturday")
+	}
+	if IsWeekend(mon) {
+		t.Error("2022-06-20 is a Monday")
+	}
+}
+
+func TestActivityFactorWeekendDip(t *testing.T) {
+	// 2022-06-20 (Mon) is day 6; 2022-06-18 (Sat) is day 4.
+	mon := ActivityFactor(6)
+	sat := ActivityFactor(4)
+	if sat >= mon {
+		t.Errorf("weekend factor %g >= weekday factor %g", sat, mon)
+	}
+	if ratio := sat / mon; ratio < 0.3 || ratio > 0.5 {
+		t.Errorf("weekend/weekday ratio %g, want ~0.4", ratio)
+	}
+}
+
+func TestActivityFactorCNYSurge(t *testing.T) {
+	// Compare a weekday ~1 week before CNY with a weekday in early
+	// December (outside the surge), and a weekday inside the holiday
+	// week with both.
+	preCNY := Day(time.Date(2023, 1, 16, 0, 0, 0, 0, time.UTC))   // Monday
+	baseline := Day(time.Date(2022, 12, 5, 0, 0, 0, 0, time.UTC)) // Monday
+	holiday := Day(time.Date(2023, 1, 25, 0, 0, 0, 0, time.UTC))  // Wednesday
+	if ActivityFactor(preCNY) <= ActivityFactor(baseline) {
+		t.Errorf("pre-CNY %g not above baseline %g",
+			ActivityFactor(preCNY), ActivityFactor(baseline))
+	}
+	if ActivityFactor(holiday) >= ActivityFactor(baseline)*0.6 {
+		t.Errorf("holiday week %g not depressed vs baseline %g",
+			ActivityFactor(holiday), ActivityFactor(baseline))
+	}
+}
+
+func TestActivityFactorGrowth(t *testing.T) {
+	// Same weekday one year apart, both outside CNY effects: later should
+	// be higher (secular growth).
+	early := Day(time.Date(2022, 7, 4, 0, 0, 0, 0, time.UTC))
+	late := Day(time.Date(2023, 7, 3, 0, 0, 0, 0, time.UTC))
+	if ActivityFactor(late) <= ActivityFactor(early) {
+		t.Errorf("growth trend violated: %g <= %g", ActivityFactor(late), ActivityFactor(early))
+	}
+}
+
+func TestHourOfDayWeightShape(t *testing.T) {
+	if HourOfDayWeight(10) <= HourOfDayWeight(3) {
+		t.Error("working hours should outweigh night")
+	}
+	for h := 0; h < 24; h++ {
+		if HourOfDayWeight(h) <= 0 {
+			t.Errorf("hour %d weight must be positive", h)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package dataset
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func BenchmarkMarshal(b *testing.B) {
+	r := sampleRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	raw, _ := json.Marshal(sampleRecord())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r Record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInEmailRank(b *testing.B) {
+	records := make([]Record, 5000)
+	for i := range records {
+		r := sampleRecord()
+		r.To = "u@" + string(rune('a'+i%26)) + ".com"
+		records[i] = r
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InEmailRank(records)
+	}
+}

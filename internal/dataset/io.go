@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Writer streams records as JSON Lines.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w for JSONL output.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record line.
+func (w *Writer) Write(r *Record) error {
+	w.n++
+	return w.enc.Encode(r)
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// WriteFile writes all records to path as JSONL.
+func WriteFile(path string, records []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f)
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadAll parses every JSONL record from r.
+func ReadAll(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// ReadFile parses a JSONL dataset file.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// Stream calls fn for each record in r without retaining them,
+// supporting datasets larger than memory.
+func Stream(r io.Reader, fn func(*Record) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if err := fn(&rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// RankEntry is one InEmailRank row.
+type RankEntry struct {
+	Domain string
+	Emails int
+}
+
+// InEmailRank builds the receiver-domain popularity list the paper uses
+// throughout ("we build a popularity ranking list based on the number
+// of incoming emails for receiver domains").
+func InEmailRank(records []Record) []RankEntry {
+	counts := map[string]int{}
+	for i := range records {
+		counts[records[i].ToDomain()]++
+	}
+	out := make([]RankEntry, 0, len(counts))
+	for d, n := range counts {
+		out = append(out, RankEntry{Domain: d, Emails: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Emails != out[j].Emails {
+			return out[i].Emails > out[j].Emails
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}

@@ -1,0 +1,598 @@
+// Package delivery executes email deliveries against a generated
+// world: Coremail's random-proxy retry strategy on the sender side, and
+// the full receiver-side policy gauntlet (DNS, TLS mandate, DNSBL,
+// greylisting, rate limits, SPF/DKIM/DMARC, recipient existence, quota,
+// size, content filtering) on the other. Every delivery produces a
+// Figure-3 dataset record; the bounce-reason ground truth is returned
+// separately for validation only and never enters the dataset.
+package delivery
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/dataset"
+	"repro/internal/dns"
+	"repro/internal/greylist"
+	"repro/internal/mail"
+	"repro/internal/ndr"
+	"repro/internal/simrng"
+	"repro/internal/world"
+)
+
+// Engine drives deliveries. Create with New; not safe for concurrent
+// use (the simulation is single-threaded by design for determinism).
+type Engine struct {
+	W *world.World
+
+	// MaxAttempts is Coremail's retry budget for Normal email; Spam is
+	// delivered exactly once (Section 3.1).
+	MaxAttempts int
+
+	// PinProxy repeats the same proxy MTA for every retry of an email
+	// instead of picking randomly — the greylist-friendly remediation
+	// the paper says Coremail promised (ablation knob).
+	PinProxy bool
+
+	rng   *simrng.RNG
+	spf   *auth.SPFEvaluator
+	dkim  *auth.DKIMVerifier
+	dmarc *auth.DMARCEvaluator
+
+	tlsLearned    map[uint64]bool     // (proxy, domain) -> mandate learned
+	perProxyHour  map[uint64]int      // (domain, proxy, hour) inbound counter
+	perUserDay    map[uint64]int      // (recipient, day) inbound counter
+	senderHistory map[string][]string // sender domain -> recipient addrs (for analysis substrates)
+}
+
+// New creates an engine over w with the default 5-attempt budget.
+func New(w *world.World) *Engine {
+	root := simrng.New(w.Cfg.Seed ^ 0xde11ef27)
+	return &Engine{
+		W:             w,
+		MaxAttempts:   5,
+		rng:           root.Stream("engine"),
+		spf:           &auth.SPFEvaluator{Resolver: w.Resolver},
+		dkim:          &auth.DKIMVerifier{Resolver: w.Resolver},
+		dmarc:         &auth.DMARCEvaluator{Resolver: w.Resolver},
+		tlsLearned:    make(map[uint64]bool),
+		perProxyHour:  make(map[uint64]int),
+		perUserDay:    make(map[uint64]int),
+		senderHistory: make(map[string][]string),
+	}
+}
+
+// Truth is the engine's ground-truth annotation for one delivered
+// email: the bounce type of each failed attempt. Validation tests use
+// it; the analysis pipeline never sees it.
+type Truth struct {
+	AttemptTypes []ndr.Type
+}
+
+// attemptOutcome is one delivery attempt's result.
+type attemptOutcome struct {
+	reply     string
+	latencyMS int64
+	toIP      string
+	success   bool
+	temporary bool
+	typ       ndr.Type
+}
+
+// Deliver executes the full delivery of one submission and returns its
+// dataset record plus ground truth.
+func (e *Engine) Deliver(sub *world.Submission) (dataset.Record, Truth) {
+	msg := sub.Msg
+	maxAttempts := e.MaxAttempts
+	if msg.IsSpam() {
+		maxAttempts = 1 // "Coremail sends emails that are determined to be spam once"
+	}
+	rec := dataset.Record{
+		From:      msg.From.String(),
+		To:        msg.To.String(),
+		StartTime: msg.QueuedAt,
+		EmailFlag: string(msg.Flag),
+	}
+	var truth Truth
+	t := msg.QueuedAt
+	var pinned *world.ProxyMTA
+	st := deliveryState{}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		proxy := e.W.PickProxy(e.rng)
+		if e.PinProxy {
+			if pinned == nil {
+				pinned = proxy
+			}
+			proxy = pinned
+		}
+		st.first = attempt == 0
+		out := e.attempt(msg, proxy, t, &st)
+		if out.typ == ndr.T4STARTTLS {
+			// Coremail "immediately switches to using STARTTLS to
+			// redeliver the email": later attempts of this message
+			// negotiate TLS up front.
+			st.forceTLS = true
+		}
+		rec.FromIP = append(rec.FromIP, proxy.IP)
+		rec.ToIP = append(rec.ToIP, out.toIP)
+		rec.DeliveryResult = append(rec.DeliveryResult, out.reply)
+		rec.DeliveryLatency = append(rec.DeliveryLatency, out.latencyMS)
+		truth.AttemptTypes = append(truth.AttemptTypes, out.typ)
+		t = t.Add(time.Duration(out.latencyMS) * time.Millisecond)
+		rec.EndTime = t
+		if out.success || attempt == maxAttempts-1 {
+			break
+		}
+		t = t.Add(e.retryDelay(attempt))
+	}
+	e.recordHistory(&rec)
+	return rec, truth
+}
+
+// Run delivers the whole 15-month workload in chronological order,
+// passing each record to consume.
+func (e *Engine) Run(consume func(rec dataset.Record, sub *world.Submission, truth Truth)) {
+	for day := 0; day < clock.StudyDays; day++ {
+		for _, sub := range e.W.EmailsForDay(day) {
+			rec, truth := e.Deliver(sub)
+			consume(rec, sub, truth)
+		}
+	}
+}
+
+// retryDelay is Coremail's backoff schedule: minutes at first, hours
+// later (soft-bounced emails average ~3 attempts over tens of minutes).
+func (e *Engine) retryDelay(attempt int) time.Duration {
+	base := []time.Duration{
+		7 * time.Minute, 22 * time.Minute, time.Hour, 3 * time.Hour,
+	}
+	d := base[minInt(attempt, len(base)-1)]
+	jitter := 0.7 + 0.6*e.rng.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// attempt runs one delivery attempt through DNS, the network model,
+// and the receiver's policy gauntlet.
+// deliveryState carries per-message knowledge across retry attempts.
+type deliveryState struct {
+	first    bool
+	forceTLS bool
+}
+
+func (e *Engine) attempt(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, st *deliveryState) attemptOutcome {
+	w := e.W
+	rcvrDomain := msg.To.Domain
+
+	// 1. Resolve the receiver's MX (T2 on failure).
+	hosts, code := w.Resolver.ResolveMX(rcvrDomain, t)
+	if code != dns.NoError {
+		return e.senderSideBounce(msg, proxy, t, ndr.T2ReceiverDNS, code, "")
+	}
+	ips, code := w.Resolver.ResolveA(hosts[0], t)
+	if code != dns.NoError || len(ips) == 0 {
+		return e.senderSideBounce(msg, proxy, t, ndr.T2ReceiverDNS, code, hosts[0])
+	}
+	mxIP := ips[0]
+
+	d := w.DomainByName[rcvrDomain]
+	lat := e.sessionLatencyMS(proxy, d, rcvrDomain)
+
+	// 2. Network quality (T14 timeout / T15 interruption).
+	country := ""
+	if d != nil {
+		country = d.Country
+	} else if cc, _, ok := w.Geo.Lookup(mxIP); ok {
+		country = cc
+	}
+	pTimeout := w.Geo.TimeoutProb(proxy.Region, country)
+	if e.rng.Bool(pTimeout) {
+		out := e.senderSideBounce(msg, proxy, t, ndr.T14Timeout, dns.NoError, hosts[0])
+		out.toIP = mxIP
+		out.latencyMS = 30000 + int64(e.rng.IntN(270000))
+		return out
+	}
+	if e.rng.Bool(pTimeout * 0.45) {
+		out := e.senderSideBounce(msg, proxy, t, ndr.T15Interrupted, dns.NoError, hosts[0])
+		out.toIP = mxIP
+		out.latencyMS = lat / 2
+		return out
+	}
+
+	// Mid-study dead domains (and other MX-resolvable hosts without a
+	// live policy object) accept mail.
+	if d == nil {
+		return attemptOutcome{
+			reply:     ndr.RenderSuccess(e.rng.IntN(4), ndr.Params{Vendor: e.vendor(), Domain: rcvrDomain}),
+			latencyMS: lat, toIP: mxIP, success: true, typ: ndr.TNone,
+		}
+	}
+
+	// 3. Receiver policy gauntlet. Each closure returns a non-zero type
+	// on rejection; the first hit decides the reply.
+	if typ, tmpl := e.policyVerdict(msg, proxy, d, t, st); typ != ndr.TNone {
+		out := e.renderReceiverBounce(msg, proxy, d, typ, tmpl, lat, mxIP)
+		return out
+	}
+
+	return attemptOutcome{
+		reply:     ndr.RenderSuccess(int(e.rng.Uint64()), ndr.Params{Vendor: e.vendor(), Domain: rcvrDomain}),
+		latencyMS: lat, toIP: mxIP, success: true, typ: ndr.TNone,
+	}
+}
+
+// policyVerdict runs the receiver's checks in MTA order and returns the
+// bounce type plus an optional template override (-1 = dialect pick).
+func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, t time.Time, st *deliveryState) (ndr.Type, int) {
+	w := e.W
+	pol := &d.Policy
+
+	// STARTTLS mandate (T4): Coremail starts in plaintext and learns
+	// per proxy+domain (Section 4.3.1).
+	// STARTTLS mandate (T4): Coremail starts in plaintext and learns the
+	// mandate on first contact. High-volume domains get their mandate
+	// propagated across a region's proxies (shared configuration); for
+	// tail domains every proxy discovers it individually.
+	if pol.TLS == world.TLSMandatory && !st.forceTLS {
+		var key uint64
+		if d.Rank < 100 {
+			key = pairKey("tls", int(proxy.Region[0])<<8|int(proxy.Region[1]), d.Name, 0)
+		} else {
+			key = pairKey("tls", proxy.ID+1000, d.Name, 0)
+		}
+		if !e.tlsLearned[key] {
+			e.tlsLearned[key] = true
+			return ndr.T4STARTTLS, -1
+		}
+	}
+
+	// DNSBL (T5).
+	if pol.UsesDNSBL && !t.Before(pol.DNSBLFrom) && w.Blocklist.Listed(proxy.IP, t) {
+		return ndr.T5Blocklisted, -1
+	}
+
+	// Greylisting (T6).
+	if pol.Greylisting && d.Greylist != nil {
+		v := d.Greylist.Check(proxy.IP, msg.From.String(), msg.To.String(), t)
+		if v == greylist.Defer {
+			return ndr.T6Greylisted, -1
+		}
+	}
+
+	// Spamtraps fire once the sender is past connection-level blocks:
+	// spam content reaching trap addresses damages the proxy's
+	// reputation (drives Figure 6).
+	if msg.IsSpam() || d.Filter.Classify(msg.Tokens) {
+		if e.rng.Bool(w.TrapProb * proxy.TrapExposure * (pol.SpamtrapShare / 0.03)) {
+			w.Blocklist.ReportSpam(proxy.IP, t)
+		}
+	}
+
+	// Source rate limiting (T7). Quota is consumed by fresh emails only
+	// (retries re-test the limit without draining it, like a real MTA
+	// rejecting at connection time).
+	if pol.PerProxyHourlyLimit > 0 {
+		key := pairKey("hr", proxy.ID, d.Name, clock.Day(t))
+		if st.first {
+			e.perProxyHour[key]++
+		}
+		if e.perProxyHour[key] > pol.PerProxyHourlyLimit {
+			return ndr.T7TooFast, -1
+		}
+	}
+
+	// Sender-domain DNS health (T1): the receiver resolves the MAIL
+	// FROM domain for basic validation and SPF.
+	senderDomain := msg.From.Domain
+	if ans := w.Resolver.Lookup(senderDomain, dns.TypeNS, t); ans.Code == dns.ServFail || ans.Code == dns.Timeout {
+		return ndr.T1SenderDNS, -1
+	}
+
+	// Authentication (T3).
+	if pol.EnforceAuth {
+		if typ, tmpl := e.authVerdict(msg, proxy, t); typ != ndr.TNone {
+			return typ, tmpl
+		}
+	}
+
+	// Recipient count (T10).
+	if pol.MaxRcpts > 0 && msg.RcptCount > pol.MaxRcpts {
+		return ndr.T10TooManyRcpts, -1
+	}
+
+	// Recipient existence (T8) / inactive accounts.
+	mbox, ok := d.Users[msg.To.Local]
+	if !ok {
+		return ndr.T8NoSuchUser, -1
+	}
+	if mbox.InactiveAt(t) {
+		return ndr.T8NoSuchUser, e.inactiveTemplate()
+	}
+
+	// Quota (T9).
+	if mbox.FullAt(t) {
+		return ndr.T9MailboxFull, -1
+	}
+
+	// Per-user and per-domain inbound rate (T11).
+	if pol.UserDailyLimit > 0 {
+		key := pairKey("ud", 0, msg.To.String(), clock.Day(t))
+		if st.first {
+			e.perUserDay[key]++
+		}
+		if e.perUserDay[key] > pol.UserDailyLimit {
+			return ndr.T11RateLimited, -1
+		}
+	}
+	if pol.DomainDailyLimit > 0 {
+		key := pairKey("dd", 0, d.Name, clock.Day(t))
+		if st.first {
+			e.perUserDay[key]++
+		}
+		if e.perUserDay[key] > pol.DomainDailyLimit {
+			return ndr.T11RateLimited, -1
+		}
+	}
+
+	// Size (T12).
+	if pol.MaxMsgSize > 0 && msg.SizeBytes > pol.MaxMsgSize {
+		return ndr.T12TooLarge, -1
+	}
+
+	// Content (T13).
+	if d.Filter.Classify(msg.Tokens) {
+		return ndr.T13ContentSpam, -1
+	}
+
+	// Idiosyncratic rejections (T16: RFC-compliance pedantry, intrusion
+	// prevention, and similar receiver quirks the paper catalogs).
+	if pol.QuirkProb > 0 && e.rng.Bool(pol.QuirkProb) {
+		return ndr.T16Unknown, -1
+	}
+	return ndr.TNone, -1
+}
+
+// authVerdict evaluates SPF, DKIM and DMARC for the message.
+func (e *Engine) authVerdict(msg *mail.Message, proxy *world.ProxyMTA, t time.Time) (ndr.Type, int) {
+	senderDomain := msg.From.Domain
+	spfRes := e.spf.Evaluate(proxy.IP, senderDomain, t)
+
+	var sd *world.SenderDomain
+	for _, cand := range e.W.SenderDomains {
+		if cand.Name == senderDomain {
+			sd = cand
+			break
+		}
+	}
+	dkimRes := auth.DKIMNone
+	if sd != nil {
+		dkimRes = e.dkim.Verify(sd.Signer.Sign(msg.ID), msg.ID, t)
+	}
+	if spfRes.Pass() || dkimRes.Pass() {
+		return ndr.TNone, -1
+	}
+	if spfRes == auth.SPFTempError || dkimRes == auth.DKIMTempError {
+		return ndr.T3AuthFail, tmplAuthBoth // temp 421 variant
+	}
+	dm := e.dmarc.Evaluate(senderDomain, spfRes, senderDomain, dkimRes, senderDomain, t)
+	if dm.Found && dm.Policy == auth.DMARCReject && !dm.Aligned {
+		return ndr.T3AuthFail, tmplAuthDMARC
+	}
+	// Neither mechanism passed; strict receivers bounce (the paper's
+	// 42%/55% both-vs-either split emerges from how records break).
+	if spfRes == auth.SPFFail && dkimRes == auth.DKIMFail {
+		return ndr.T3AuthFail, tmplAuthBoth
+	}
+	return ndr.T3AuthFail, tmplAuthEither
+}
+
+// Template override markers resolved in renderReceiverBounce.
+const (
+	tmplAuthBoth   = -2
+	tmplAuthEither = -3
+	tmplAuthDMARC  = -4
+)
+
+// inactiveTemplate returns the catalog index of the "account inactive"
+// T8 variant.
+func (e *Engine) inactiveTemplate() int {
+	for _, i := range ndr.TemplatesFor(ndr.T8NoSuchUser) {
+		if ndr.Catalog[i].Enh == (mail.EnhancedCode{Class: 5, Subject: 2, Detail: 1}) {
+			return i
+		}
+	}
+	return -1
+}
+
+// renderReceiverBounce renders the receiver's NDR for the decided type.
+func (e *Engine) renderReceiverBounce(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, typ ndr.Type, tmplOverride int, lat int64, mxIP string) attemptOutcome {
+	idx := -1
+	switch tmplOverride {
+	case tmplAuthBoth:
+		idx = findAuthTemplate("SPF and DKIM both")
+	case tmplAuthEither:
+		idx = findAuthTemplate("SPF or DKIM")
+	case tmplAuthDMARC:
+		idx = findAuthTemplate("DMARC policy")
+	default:
+		if tmplOverride >= 0 {
+			idx = tmplOverride
+		}
+	}
+	// Ambiguous-NDR domains obscure reception refusals (Table 6).
+	if d.Policy.AmbiguousNDR && ambiguousEligible(typ) {
+		idx = d.AmbiguousTemplate(e.rng)
+	}
+	if idx < 0 {
+		idx = d.TemplateFor(typ, e.rng)
+	}
+	tp := &ndr.Catalog[idx]
+	params := ndr.Params{
+		Addr:   msg.To.String(),
+		Local:  msg.To.Local,
+		Domain: e.templateDomain(typ, msg, d),
+		IP:     proxy.IP,
+		MX:     d.MXHost,
+		BL:     e.blName(d),
+		Vendor: e.vendor(),
+		Sec:    "300",
+		Size:   fmt.Sprintf("%d", d.Policy.MaxMsgSize),
+	}
+	return attemptOutcome{
+		reply:     tp.Render(params),
+		latencyMS: lat,
+		toIP:      mxIP,
+		temporary: tp.Soft(),
+		typ:       typ,
+	}
+}
+
+// templateDomain picks which domain name appears in the NDR text:
+// sender-side identity types reference the sender domain.
+func (e *Engine) templateDomain(typ ndr.Type, msg *mail.Message, d *world.ReceiverDomain) string {
+	switch typ {
+	case ndr.T1SenderDNS, ndr.T3AuthFail:
+		return msg.From.Domain
+	case ndr.T4STARTTLS, ndr.T11RateLimited:
+		return d.Name
+	default:
+		return msg.To.Domain
+	}
+}
+
+func ambiguousEligible(typ ndr.Type) bool {
+	switch typ {
+	case ndr.T8NoSuchUser, ndr.T13ContentSpam, ndr.T11RateLimited,
+		ndr.T5Blocklisted, ndr.T3AuthFail, ndr.T1SenderDNS:
+		return true
+	}
+	return false
+}
+
+func findAuthTemplate(marker string) int {
+	for _, i := range ndr.TemplatesFor(ndr.T3AuthFail) {
+		if strings.Contains(ndr.Catalog[i].Text, marker) {
+			return i
+		}
+	}
+	return -1
+}
+
+// senderSideBounce renders an NDR written by Coremail's own proxy (DNS
+// failures and connection errors never reach the receiver MTA).
+func (e *Engine) senderSideBounce(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, typ ndr.Type, code dns.RCode, mxHost string) attemptOutcome {
+	idxs := ndr.NonAmbiguousTemplatesFor(typ)
+	// Temporary DNS trouble uses the 4xx variant; NXDOMAIN the 5xx one.
+	var idx int
+	switch typ {
+	case ndr.T2ReceiverDNS:
+		if code == dns.ServFail || code == dns.Timeout {
+			idx = pickByCodeClass(idxs, true, e.rng)
+		} else {
+			idx = pickByCodeClass(idxs, false, e.rng)
+		}
+	default:
+		idx = idxs[e.rng.IntN(len(idxs))]
+	}
+	tp := &ndr.Catalog[idx]
+	if mxHost == "" {
+		mxHost = "mx1." + msg.To.Domain
+	}
+	params := ndr.Params{
+		Addr: msg.To.String(), Local: msg.To.Local, Domain: msg.To.Domain,
+		IP: proxy.IP, MX: mxHost, Vendor: e.vendor(),
+		Sec: fmt.Sprintf("%d", 30+e.rng.IntN(270)),
+	}
+	return attemptOutcome{
+		reply:     tp.Render(params),
+		latencyMS: 200 + int64(e.rng.IntN(2500)),
+		temporary: tp.Soft(),
+		typ:       typ,
+	}
+}
+
+func pickByCodeClass(idxs []int, temporary bool, r *simrng.RNG) int {
+	var matching []int
+	for _, i := range idxs {
+		if ndr.Catalog[i].Soft() == temporary {
+			matching = append(matching, i)
+		}
+	}
+	if len(matching) == 0 {
+		matching = idxs
+	}
+	return matching[r.IntN(len(matching))]
+}
+
+// sessionLatencyMS draws the SMTP session latency for a successful or
+// policy-terminated session.
+func (e *Engine) sessionLatencyMS(proxy *world.ProxyMTA, d *world.ReceiverDomain, domain string) int64 {
+	country := ""
+	if d != nil {
+		country = d.Country
+	}
+	median := e.W.Geo.MedianLatencyMS(proxy.Region, country)
+	v := e.rng.LogNormal(math.Log(median), 0.55)
+	if v < 400 {
+		v = 400
+	}
+	if v > 590000 {
+		v = 590000
+	}
+	return int64(v)
+}
+
+// blName picks the blocklist the domain names in its T5 NDRs.
+func (e *Engine) blName(d *world.ReceiverDomain) string {
+	h := fnv.New32a()
+	h.Write([]byte(d.Name))
+	switch h.Sum32() % 10 {
+	case 0:
+		return "SpamCop"
+	case 1:
+		return "Barracuda"
+	default:
+		return "Spamhaus"
+	}
+}
+
+func (e *Engine) vendor() string {
+	return fmt.Sprintf("x%08x", uint32(e.rng.Uint64()))
+}
+
+// recordHistory keeps the per-sender-domain recipient history the
+// bulk-spammer detection rule needs (Section 4.2.1).
+func (e *Engine) recordHistory(rec *dataset.Record) {
+	dom := rec.FromDomain()
+	if len(e.senderHistory[dom]) < 5000 {
+		e.senderHistory[dom] = append(e.senderHistory[dom], rec.To)
+	}
+}
+
+// SenderRecipients returns the recorded recipient history of a sender
+// domain.
+func (e *Engine) SenderRecipients(domain string) []string {
+	return e.senderHistory[domain]
+}
+
+func pairKey(kind string, a int, s string, b int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	h.Write([]byte{byte(a), byte(a >> 8)})
+	h.Write([]byte(s))
+	var buf [4]byte
+	buf[0], buf[1], buf[2], buf[3] = byte(b), byte(b>>8), byte(b>>16), byte(b>>24)
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+package dnsbl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simrng"
+)
+
+func BenchmarkListed(b *testing.B) {
+	bl := New(DefaultConfig(), simrng.New(1))
+	at := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		bl.ReportSpam("5.0.0.1", at.Add(time.Duration(i)*time.Minute))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.Listed("5.0.0.1", at.Add(time.Hour))
+	}
+}
+
+func BenchmarkReportSpam(b *testing.B) {
+	bl := New(DefaultConfig(), simrng.New(2))
+	at := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.ReportSpam("6.0.0.1", at.Add(time.Duration(i)*time.Minute))
+	}
+}

@@ -1,0 +1,58 @@
+package drain
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchLines(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		switch i % 3 {
+		case 0:
+			out[i] = fmt.Sprintf("550 5.1.1 user u%d not found in directory", i)
+		case 1:
+			out[i] = fmt.Sprintf("452 4.2.2 mailbox m%d over quota limit reached", i)
+		default:
+			out[i] = fmt.Sprintf("421 4.4.1 connection to host%d timed out after wait", i)
+		}
+	}
+	return out
+}
+
+func BenchmarkTrain(b *testing.B) {
+	lines := benchLines(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := New(DefaultConfig())
+		for _, l := range lines {
+			p.Train(l)
+		}
+	}
+}
+
+func BenchmarkTrainPerLine(b *testing.B) {
+	lines := benchLines(1000)
+	p := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Train(lines[i%len(lines)])
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	lines := benchLines(1000)
+	p := New(DefaultConfig())
+	for _, l := range lines {
+		p.Train(l)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Match(lines[i%len(lines)]) == nil {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package drain_test
+
+import (
+	"fmt"
+
+	"repro/internal/drain"
+)
+
+func ExampleParser() {
+	p := drain.New(drain.DefaultConfig())
+	p.Train("550 5.1.1 user alice not found")
+	p.Train("550 5.1.1 user bob not found")
+	p.Train("550 5.1.1 user carol not found")
+	g := p.Groups()[0]
+	fmt.Println(g.Count, g.Template())
+	// Output: 3 550 5.1.1 user (.*) not found
+}

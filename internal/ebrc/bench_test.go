@@ -1,0 +1,53 @@
+package ebrc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ndr"
+)
+
+func benchSamples(n int) []Sample {
+	var out []Sample
+	for _, typ := range ndr.AllTypes {
+		for _, ti := range ndr.NonAmbiguousTemplatesFor(typ) {
+			for k := 0; k < n; k++ {
+				out = append(out, Sample{
+					Text: ndr.Catalog[ti].Render(ndr.Params{
+						Addr: fmt.Sprintf("u%d@d.com", k), Local: "u", Domain: "d.com",
+						IP: "9.1.2.3", MX: "mx.d.com", BL: "Spamhaus",
+						Vendor: fmt.Sprintf("v%d", k), Sec: "60", Size: "1",
+					}),
+					Type: typ,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	line := "550-5.7.26 This message does not have authentication information or fails to pass authentication checks (SPF or DKIM)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(line)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	samples := benchSamples(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(samples)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	cls := Train(benchSamples(20))
+	line := "452-4.2.2 The email account that you tried to reach is over quota"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls.Predict(line)
+	}
+}

@@ -1,0 +1,174 @@
+package ebrc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/ndr"
+	"repro/internal/simrng"
+)
+
+// corpus renders n samples per non-ambiguous catalog template with
+// varying parameters, labeled with the template's true type.
+func corpus(n int, seed uint64) []Sample {
+	rng := simrng.New(seed)
+	var out []Sample
+	for _, typ := range ndr.AllTypes {
+		for _, ti := range ndr.NonAmbiguousTemplatesFor(typ) {
+			for k := 0; k < n; k++ {
+				p := ndr.Params{
+					Addr:   fmt.Sprintf("u%d@d%d.com", rng.IntN(10000), rng.IntN(3000)),
+					Local:  fmt.Sprintf("u%d", rng.IntN(10000)),
+					Domain: fmt.Sprintf("d%d.com", rng.IntN(3000)),
+					IP:     fmt.Sprintf("%d.%d.%d.%d", 5+rng.IntN(200), rng.IntN(250), rng.IntN(250), 1+rng.IntN(250)),
+					MX:     fmt.Sprintf("mx%d.d%d.com", rng.IntN(4), rng.IntN(3000)),
+					BL:     []string{"Spamhaus", "SpamCop", "Barracuda"}[rng.IntN(3)],
+					Vendor: fmt.Sprintf("v%x", rng.Uint64()%0xffffff),
+					Sec:    fmt.Sprintf("%d", 60+rng.IntN(600)),
+					Size:   fmt.Sprintf("%d", 1000000+rng.IntN(50000000)),
+				}
+				out = append(out, Sample{Text: ndr.Catalog[ti].Render(p), Type: typ})
+			}
+		}
+	}
+	return out
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("550-5.1.1 bob@b.com Email could not be found (v12ab)")
+	want := []string{"550", "5", "1", "1", "<addr>", "email", "could", "not", "be", "found", "<id>"}
+	if !reflect.DeepEqual(toks, want) {
+		t.Errorf("Tokenize = %v want %v", toks, want)
+	}
+}
+
+func TestNormalizeToken(t *testing.T) {
+	cases := map[string]string{
+		"hello":  "hello",
+		"550":    "550",
+		"421":    "421",
+		"5":      "5",
+		"12345":  "<num>",
+		"300":    "<num>", // 3xx is not a reply-code class we keep
+		"v12ab":  "<id>",
+		"201806": "<num>",
+	}
+	for in, want := range cases {
+		if got := normalizeToken(in); got != want {
+			t.Errorf("normalizeToken(%q)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestTrainPredictOnCatalog(t *testing.T) {
+	cls := Train(corpus(40, 1))
+	test := corpus(10, 2)
+	correct := 0
+	for _, s := range test {
+		got, _ := cls.Predict(s.Text)
+		if got == s.Type {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test))
+	if acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f, want >= 0.90 (paper: ~0.92)", acc)
+	}
+}
+
+func TestEvaluationMatchesPaperOperatingPoint(t *testing.T) {
+	// The paper's protocol: manual evaluation over 100 messages per type
+	// → 93.85% recall, 91.24% precision. Our NB substitute must land in
+	// the same >90% regime on held-out renders.
+	cls := Train(corpus(60, 3))
+	test := corpus(12, 4)
+	cm := NewConfusion(cls.Classes())
+	for _, s := range test {
+		pred, _ := cls.Predict(s.Text)
+		cm.Add(s.Type, pred)
+	}
+	if r := cm.MacroRecall(); r < 0.90 {
+		t.Errorf("macro recall %.4f < 0.90", r)
+	}
+	if p := cm.MacroPrecision(); p < 0.88 {
+		t.Errorf("macro precision %.4f < 0.88", p)
+	}
+	if a := cm.Accuracy(); a < 0.90 {
+		t.Errorf("accuracy %.4f < 0.90", a)
+	}
+}
+
+func TestPredictTemplateMajority(t *testing.T) {
+	cls := Train(corpus(40, 5))
+	// 100 renders of one T9 template must majority-vote to T9.
+	rng := simrng.New(6)
+	var lines []string
+	ti := ndr.NonAmbiguousTemplatesFor(ndr.T9MailboxFull)[0]
+	for i := 0; i < 100; i++ {
+		lines = append(lines, ndr.Catalog[ti].Render(ndr.Params{
+			Addr: fmt.Sprintf("u%d@x.com", rng.IntN(1e6)), Local: "u",
+		}))
+	}
+	if got := cls.PredictTemplate(lines); got != ndr.T9MailboxFull {
+		t.Errorf("PredictTemplate = %v want T9", got)
+	}
+}
+
+func TestPredictMarginPositive(t *testing.T) {
+	cls := Train(corpus(30, 7))
+	_, margin := cls.Predict("452-4.2.2 The email account that you tried to reach is over quota")
+	if margin <= 0 {
+		t.Errorf("margin %g should be positive for a clear case", margin)
+	}
+}
+
+func TestTrainPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Train(nil) should panic")
+		}
+	}()
+	Train(nil)
+}
+
+func TestConfusionCounters(t *testing.T) {
+	cm := NewConfusion([]ndr.Type{ndr.T8NoSuchUser, ndr.T9MailboxFull})
+	cm.Add(ndr.T8NoSuchUser, ndr.T8NoSuchUser)
+	cm.Add(ndr.T8NoSuchUser, ndr.T9MailboxFull)
+	cm.Add(ndr.T9MailboxFull, ndr.T9MailboxFull)
+	cm.Add(ndr.T5Blocklisted, ndr.T8NoSuchUser) // unknown class: ignored
+
+	if r := cm.Recall(ndr.T8NoSuchUser); r != 0.5 {
+		t.Errorf("recall = %g want 0.5", r)
+	}
+	if p := cm.Precision(ndr.T9MailboxFull); p != 0.5 {
+		t.Errorf("precision = %g want 0.5", p)
+	}
+	if a := cm.Accuracy(); a != 2.0/3.0 {
+		t.Errorf("accuracy = %g", a)
+	}
+	top := cm.TopConfusions(5)
+	if len(top) != 1 || top[0].Truth != ndr.T8NoSuchUser || top[0].Pred != ndr.T9MailboxFull {
+		t.Errorf("TopConfusions = %+v", top)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	cm := NewConfusion([]ndr.Type{ndr.T8NoSuchUser})
+	if cm.Accuracy() != 0 || cm.MacroRecall() != 0 || cm.MacroPrecision() != 0 {
+		t.Error("empty matrix should report zeros, not NaN")
+	}
+	if cm.Recall(ndr.T5Blocklisted) != 0 || cm.Precision(ndr.T5Blocklisted) != 0 {
+		t.Error("unknown class should report 0")
+	}
+}
+
+func TestClassesCopy(t *testing.T) {
+	cls := Train(corpus(5, 8))
+	c1 := cls.Classes()
+	c1[0] = ndr.TNone
+	if cls.Classes()[0] == ndr.TNone {
+		t.Error("Classes() leaked internal slice")
+	}
+}

@@ -1,0 +1,170 @@
+// Package geo is the reproduction's substitute for the ip-api geolocation
+// service and per-country Internet-quality statistics the paper relies on.
+// It provides a deterministic synthetic IPv4 allocator, a curated country
+// database (covering every country named in the paper's tables and
+// figures), an AS registry seeded with the paper's Table 4, and the
+// network-quality model that drives SMTP latency (Figure 10, Appendix C)
+// and timeout rates (Figure 8).
+package geo
+
+// Country describes one receiver country/region in the world model.
+type Country struct {
+	Code      string // ISO 3166-1 alpha-2
+	Name      string
+	Continent string
+
+	// MTAWeight is the relative share of receiver MTAs located in the
+	// country (Figure 4: US 28.53%, DE 10.59%, CA 5.42%, ...).
+	MTAWeight float64
+
+	// MedianLatencySec is the median successful-delivery latency the
+	// paper measured to the country (Figure 10; global median 14.03 s,
+	// Singapore 5.96 s, Cambodia 83.81 s).
+	MedianLatencySec float64
+
+	// TimeoutBase is the baseline probability that an SMTP session to
+	// the country times out (T14), before per-proxy-pair adjustment
+	// (Figure 8).
+	TimeoutBase float64
+
+	// FastInternet reports bandwidth >= 25 Mbps per the World Population
+	// Review split used in Appendix C.
+	FastInternet bool
+}
+
+// ProxyRegion identifies one of the six countries/regions hosting
+// Coremail's 34 proxy MTAs.
+type ProxyRegion struct {
+	Code    string
+	Name    string
+	Proxies int // number of proxy MTAs in the region (sums to 34)
+}
+
+// ProxyRegions lists the proxy deployment per Section 3.1: 34 proxy MTAs
+// across the United States, Hong Kong, Germany, Singapore, the United
+// Kingdom, and India. Figure 8 uses only US/DE/GB/HK as sender countries
+// (SG and IN carry too little volume).
+var ProxyRegions = []ProxyRegion{
+	{"US", "United States", 10},
+	{"HK", "Hong Kong", 8},
+	{"DE", "Germany", 6},
+	{"GB", "United Kingdom", 5},
+	{"SG", "Singapore", 3},
+	{"IN", "India", 2},
+}
+
+// countries is the curated database. Weights are relative; Lookup-time
+// normalization makes them a distribution. Every country named in the
+// paper's Tables 4-5 and Figures 8 and 10 appears here, with latency and
+// timeout parameters set to reproduce the published shape.
+var countries = []Country{
+	// Major receiver locations (Figure 4 heat map).
+	{"US", "United States", "North America", 28.53, 9.0, 0.010, true},
+	{"DE", "Germany", "Europe", 10.59, 8.0, 0.010, true},
+	{"CA", "Canada", "North America", 5.42, 9.5, 0.010, true},
+	{"GB", "United Kingdom", "Europe", 4.40, 8.5, 0.010, true},
+	{"FR", "France", "Europe", 3.30, 9.0, 0.012, true},
+	{"NL", "Netherlands", "Europe", 2.90, 8.0, 0.010, true},
+	{"JP", "Japan", "Asia", 2.80, 10.0, 0.012, true},
+	{"AU", "Australia", "Oceania", 2.30, 12.0, 0.015, true},
+	{"HK", "Hong Kong", "Asia", 2.10, 7.0, 0.010, true},
+	{"CN", "China", "Asia", 1.90, 11.0, 0.020, true},
+	{"IN", "India", "Asia", 1.85, 16.0, 0.030, false},
+	{"BR", "Brazil", "South America", 1.60, 18.0, 0.030, false},
+	{"SG", "Singapore", "Asia", 1.55, 5.96, 0.008, true},
+	{"KR", "South Korea", "Asia", 1.50, 8.5, 0.010, true},
+	{"RU", "Russia", "Europe", 1.45, 15.0, 0.030, true},
+	{"IT", "Italy", "Europe", 1.40, 10.0, 0.015, true},
+	{"ES", "Spain", "Europe", 1.20, 10.0, 0.014, true},
+	{"TW", "Taiwan", "Asia", 1.15, 9.0, 0.012, true},
+	{"SE", "Sweden", "Europe", 0.95, 8.0, 0.010, true},
+	{"CH", "Switzerland", "Europe", 0.90, 8.0, 0.010, true},
+	{"PL", "Poland", "Europe", 0.90, 10.5, 0.015, true},
+	{"MX", "Mexico", "North America", 0.85, 17.0, 0.030, false},
+	{"ID", "Indonesia", "Asia", 0.80, 19.0, 0.040, false},
+	{"TR", "Turkey", "Asia", 0.75, 15.0, 0.030, false},
+	{"TH", "Thailand", "Asia", 0.70, 16.0, 0.030, true},
+	{"MY", "Malaysia", "Asia", 0.65, 14.0, 0.025, true},
+	{"VN", "Vietnam", "Asia", 0.60, 18.0, 0.035, false},
+	{"AR", "Argentina", "South America", 0.55, 19.0, 0.035, false},
+	{"ZA", "South Africa", "Africa", 0.50, 20.0, 0.078, false},
+	{"AE", "United Arab Emirates", "Asia", 0.50, 13.0, 0.020, true},
+	{"IL", "Israel", "Asia", 0.45, 11.0, 0.015, true},
+	{"BE", "Belgium", "Europe", 0.45, 8.5, 0.010, true},
+	{"AT", "Austria", "Europe", 0.40, 8.5, 0.010, true},
+	{"DK", "Denmark", "Europe", 0.40, 8.0, 0.010, true},
+	{"NO", "Norway", "Europe", 0.38, 8.0, 0.010, true},
+	{"FI", "Finland", "Europe", 0.36, 8.5, 0.010, true},
+	{"IE", "Ireland", "Europe", 0.35, 8.5, 0.010, true},
+	{"PT", "Portugal", "Europe", 0.34, 10.0, 0.014, true},
+	{"CZ", "Czechia", "Europe", 0.33, 9.5, 0.013, true},
+	{"GR", "Greece", "Europe", 0.30, 12.0, 0.020, true},
+	{"HU", "Hungary", "Europe", 0.28, 10.5, 0.016, true},
+	{"PH", "Philippines", "Asia", 0.45, 20.0, 0.045, false},
+	{"PK", "Pakistan", "Asia", 0.35, 24.0, 0.060, false},
+	{"BD", "Bangladesh", "Asia", 0.28, 26.0, 0.065, false},
+	{"NG", "Nigeria", "Africa", 0.22, 28.0, 0.100, false},
+	{"EG", "Egypt", "Africa", 0.25, 25.0, 0.110, false},
+	{"KE", "Kenya", "Africa", 0.15, 27.0, 0.115, false},
+	{"MA", "Morocco", "Africa", 0.15, 24.0, 0.085, false},
+	{"CI", "Ivory Coast", "Africa", 0.08, 30.0, 0.082, false},
+	{"CL", "Chile", "South America", 0.30, 76.29, 0.040, true},
+	{"CO", "Colombia", "South America", 0.28, 20.0, 0.038, false},
+	{"PE", "Peru", "South America", 0.20, 22.0, 0.040, false},
+	{"NZ", "New Zealand", "Oceania", 0.30, 11.0, 0.014, true},
+	{"SA", "Saudi Arabia", "Asia", 0.30, 14.0, 0.022, true},
+	{"QA", "Qatar", "Asia", 0.18, 13.0, 0.020, true},
+	{"IR", "Iran", "Asia", 0.35, 22.0, 0.050, false},
+	{"IQ", "Iraq", "Asia", 0.10, 26.0, 0.070, false},
+	{"UA", "Ukraine", "Europe", 0.30, 14.0, 0.030, true},
+	{"RO", "Romania", "Europe", 0.28, 12.0, 0.035, true},
+	{"BG", "Bulgaria", "Europe", 0.18, 12.0, 0.022, true},
+	{"RS", "Serbia", "Europe", 0.14, 13.0, 0.024, true},
+	{"HR", "Croatia", "Europe", 0.12, 11.0, 0.018, true},
+	{"SK", "Slovakia", "Europe", 0.16, 14.0, 0.120, true},
+	{"LV", "Latvia", "Europe", 0.12, 10.0, 0.016, true},
+	{"LT", "Lithuania", "Europe", 0.12, 10.0, 0.016, true},
+	{"EE", "Estonia", "Europe", 0.10, 9.5, 0.014, true},
+	{"LI", "Liechtenstein", "Europe", 0.02, 16.0, 0.100, true},
+	{"ME", "Montenegro", "Europe", 0.03, 18.0, 0.060, false},
+	{"MM", "Myanmar", "Asia", 0.08, 28.0, 0.070, false},
+	{"KH", "Cambodia", "Asia", 0.07, 83.81, 0.075, false},
+	{"NP", "Nepal", "Asia", 0.07, 26.0, 0.125, false},
+	{"LK", "Sri Lanka", "Asia", 0.10, 22.0, 0.050, false},
+	{"MN", "Mongolia", "Asia", 0.04, 24.0, 0.078, false},
+	{"KG", "Kyrgyzstan", "Asia", 0.04, 26.0, 0.100, false},
+	{"TJ", "Tajikistan", "Asia", 0.03, 28.0, 0.120, false},
+	{"KZ", "Kazakhstan", "Asia", 0.12, 18.0, 0.040, false},
+	{"UZ", "Uzbekistan", "Asia", 0.08, 22.0, 0.055, false},
+	{"GE", "Georgia", "Asia", 0.06, 20.0, 0.080, false},
+	{"AM", "Armenia", "Asia", 0.05, 20.0, 0.060, false},
+	{"AZ", "Azerbaijan", "Asia", 0.06, 20.0, 0.058, false},
+	{"SY", "Syria", "Asia", 0.04, 30.0, 0.135, false},
+	{"PS", "Palestine", "Asia", 0.04, 27.0, 0.112, false},
+	{"JO", "Jordan", "Asia", 0.10, 18.0, 0.040, false},
+	{"LB", "Lebanon", "Asia", 0.08, 20.0, 0.050, false},
+	{"BN", "Brunei", "Asia", 0.03, 16.0, 0.045, true},
+	{"VE", "Venezuela", "South America", 0.08, 30.0, 0.095, false},
+	{"BO", "Bolivia", "South America", 0.06, 26.0, 0.060, false},
+	{"EC", "Ecuador", "South America", 0.10, 22.0, 0.045, false},
+	{"DO", "Dominican Republic", "North America", 0.07, 24.0, 0.130, false},
+	{"SV", "El Salvador", "North America", 0.04, 26.0, 0.145, false},
+	{"BZ", "Belize", "North America", 0.02, 30.0, 0.150, false},
+	{"PR", "Puerto Rico", "North America", 0.05, 18.0, 0.079, true},
+	{"GL", "Greenland", "North America", 0.01, 66.85, 0.060, false},
+	{"NA", "Namibia", "Africa", 0.02, 34.0, 0.240, false},
+	{"RW", "Rwanda", "Africa", 0.02, 32.0, 0.170, false},
+	{"ZW", "Zimbabwe", "Africa", 0.03, 30.0, 0.160, false},
+	{"MG", "Madagascar", "Africa", 0.03, 31.0, 0.150, false},
+	{"TZ", "Tanzania", "Africa", 0.04, 77.49, 0.120, false},
+	{"AO", "Angola", "Africa", 0.03, 64.92, 0.110, false},
+	{"GH", "Ghana", "Africa", 0.08, 26.0, 0.080, false},
+	{"SN", "Senegal", "Africa", 0.05, 27.0, 0.078, false},
+	{"ET", "Ethiopia", "Africa", 0.05, 30.0, 0.100, false},
+	{"UG", "Uganda", "Africa", 0.04, 29.0, 0.095, false},
+	{"ZM", "Zambia", "Africa", 0.03, 30.0, 0.100, false},
+	{"MZ", "Mozambique", "Africa", 0.03, 31.0, 0.105, false},
+	{"CM", "Cameroon", "Africa", 0.04, 29.0, 0.090, false},
+	{"DZ", "Algeria", "Africa", 0.10, 24.0, 0.070, false},
+	{"TN", "Tunisia", "Africa", 0.08, 22.0, 0.060, false},
+}

@@ -1,0 +1,16 @@
+package greylist
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkCheck(b *testing.B) {
+	g := New(300*time.Second, 0)
+	at := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Check(fmt.Sprintf("5.0.%d.%d", i/250%250, i%250), "a@a.com", "b@b.com", at)
+	}
+}

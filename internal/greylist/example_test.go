@@ -1,0 +1,24 @@
+package greylist_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/greylist"
+)
+
+func ExampleGreylist_Check() {
+	g := greylist.New(300*time.Second, 0)
+	t0 := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	// First contact from a tuple is deferred; retrying from the SAME
+	// server after the delay is accepted. Coremail's random-proxy retry
+	// changes the IP, so the tuple never repeats — the paper's T6.
+	fmt.Println(g.Check("1.1.1.1", "a@a.com", "b@b.com", t0))
+	fmt.Println(g.Check("2.2.2.2", "a@a.com", "b@b.com", t0.Add(6*time.Minute))) // different proxy
+	fmt.Println(g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(6*time.Minute))) // same proxy
+	// Output:
+	// defer
+	// defer
+	// accept
+}

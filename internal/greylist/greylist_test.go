@@ -1,0 +1,128 @@
+package greylist
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFirstAttemptDeferred(t *testing.T) {
+	g := New(300*time.Second, 0)
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", t0); v != Defer {
+		t.Errorf("first attempt: %v want Defer", v)
+	}
+}
+
+func TestSameTupleRetryAfterDelayAccepted(t *testing.T) {
+	g := New(300*time.Second, 0)
+	g.Check("1.1.1.1", "a@a.com", "b@b.com", t0)
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(6*time.Minute)); v != Accept {
+		t.Errorf("retry after delay: %v want Accept", v)
+	}
+	// Subsequent deliveries hit the whitelist.
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(time.Hour)); v != AcceptKnown {
+		t.Errorf("whitelisted tuple: %v want AcceptKnown", v)
+	}
+}
+
+func TestTooFastRetryDeferred(t *testing.T) {
+	g := New(300*time.Second, 0)
+	g.Check("1.1.1.1", "a@a.com", "b@b.com", t0)
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(time.Minute)); v != Defer {
+		t.Errorf("fast retry: %v want Defer", v)
+	}
+	// The original first-seen clock keeps running: a retry 6 minutes
+	// after the FIRST attempt passes.
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(6*time.Minute)); v != Accept {
+		t.Errorf("retry after original window: %v want Accept", v)
+	}
+}
+
+func TestDifferentProxyIPIsNewTuple(t *testing.T) {
+	// This is the Coremail failure mode from the paper: each retry comes
+	// from a different proxy MTA, so the tuple never repeats and the
+	// email keeps getting deferred.
+	g := New(300*time.Second, 0)
+	proxies := []string{"1.1.1.1", "2.2.2.2", "3.3.3.3", "4.4.4.4"}
+	at := t0
+	for _, ip := range proxies {
+		if v := g.Check(ip, "a@a.com", "b@b.com", at); v != Defer {
+			t.Fatalf("proxy %s: %v want Defer (tuple includes IP)", ip, v)
+		}
+		at = at.Add(10 * time.Minute)
+	}
+}
+
+func TestTupleComponentsMatter(t *testing.T) {
+	g := New(300*time.Second, 0)
+	g.Check("1.1.1.1", "a@a.com", "b@b.com", t0)
+	if v := g.Check("1.1.1.1", "other@a.com", "b@b.com", t0.Add(6*time.Minute)); v != Defer {
+		t.Errorf("different sender should be new tuple: %v", v)
+	}
+	if v := g.Check("1.1.1.1", "a@a.com", "other@b.com", t0.Add(6*time.Minute)); v != Defer {
+		t.Errorf("different recipient should be new tuple: %v", v)
+	}
+}
+
+func TestWhitelistExpiry(t *testing.T) {
+	g := New(300*time.Second, 24*time.Hour)
+	g.Check("1.1.1.1", "a@a.com", "b@b.com", t0)
+	g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(6*time.Minute)) // Accept
+	// Two days later the whitelist entry expired; back to defer.
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(48*time.Hour)); v != Defer {
+		t.Errorf("expired whitelist: %v want Defer", v)
+	}
+}
+
+func TestStateSizes(t *testing.T) {
+	g := New(300*time.Second, 0)
+	g.Check("1.1.1.1", "a@a.com", "b@b.com", t0)
+	g.Check("2.2.2.2", "a@a.com", "b@b.com", t0)
+	if g.PendingLen() != 2 || g.KnownLen() != 0 {
+		t.Errorf("pending=%d known=%d", g.PendingLen(), g.KnownLen())
+	}
+	g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(6*time.Minute))
+	if g.PendingLen() != 1 || g.KnownLen() != 1 {
+		t.Errorf("after accept: pending=%d known=%d", g.PendingLen(), g.KnownLen())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := New(0, 0)
+	if g.MinDelay() != 300*time.Second {
+		t.Errorf("default MinDelay = %v", g.MinDelay())
+	}
+}
+
+func TestPrefixMatching(t *testing.T) {
+	g := NewPrefix(300*time.Second, 0, 24)
+	g.Check("5.0.0.1", "a@a.com", "b@b.com", t0)
+	// A different host in the same /24 satisfies the tuple.
+	if v := g.Check("5.0.0.99", "a@a.com", "b@b.com", t0.Add(6*time.Minute)); v != Accept {
+		t.Errorf("same /24 retry: %v want Accept", v)
+	}
+	// A host in another /24 is a fresh tuple.
+	if v := g.Check("5.0.1.1", "a@a.com", "b@b.com", t0.Add(12*time.Minute)); v != Defer {
+		t.Errorf("other /24: %v want Defer", v)
+	}
+}
+
+func TestPrefixBoundsClamped(t *testing.T) {
+	g := NewPrefix(0, 0, 40) // clamps to 32 = exact
+	g.Check("1.1.1.1", "a@a", "b@b", t0)
+	if v := g.Check("1.1.1.2", "a@a", "b@b", t0.Add(6*time.Minute)); v != Defer {
+		t.Errorf("clamped exact matching: %v", v)
+	}
+	if NewPrefix(0, 0, -3).prefixBits != 0 {
+		t.Error("negative prefix should clamp to 0")
+	}
+}
+
+func TestPrefixNonIPClientFallsBack(t *testing.T) {
+	g := NewPrefix(300*time.Second, 0, 24)
+	g.Check("not-an-ip", "a@a", "b@b", t0)
+	if v := g.Check("not-an-ip", "a@a", "b@b", t0.Add(6*time.Minute)); v != Accept {
+		t.Errorf("literal client key retry: %v", v)
+	}
+}

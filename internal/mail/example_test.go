@@ -1,0 +1,22 @@
+package mail_test
+
+import (
+	"fmt"
+
+	"repro/internal/mail"
+)
+
+func ExampleParseAddress() {
+	addr, _ := mail.ParseAddress("Jun.Li@B.COM")
+	fmt.Println(addr.Local, addr.Domain)
+	fmt.Println(addr)
+	// Output:
+	// Jun.Li b.com
+	// Jun.Li@b.com
+}
+
+func ExampleParseEnhancedCode() {
+	code, ok := mail.ParseEnhancedCode("4.2.2")
+	fmt.Println(code, ok, code == mail.EnhMailboxFull)
+	// Output: 4.2.2 true true
+}

@@ -1,0 +1,38 @@
+package mail
+
+import "time"
+
+// Flag is Coremail's content-compliance verdict recorded with each email
+// (the email_flag field of the dataset schema in Figure 3 of the paper).
+type Flag string
+
+// Possible values of Flag.
+const (
+	FlagNormal Flag = "Normal"
+	FlagSpam   Flag = "Spam"
+)
+
+// Message is one email submitted by a sender for delivery. It carries only
+// the metadata the paper's dataset retains (no subject, no body text);
+// Tokens stands in for the content features a spam filter would extract,
+// so that receiver-side filters can disagree with the sender-side flag
+// without the simulator shipping real content around.
+type Message struct {
+	ID        string    // unique within a run
+	From      Address   // envelope sender
+	To        Address   // envelope recipient
+	QueuedAt  time.Time // when the sender ESP accepted the message
+	SizeBytes int       // RFC 5321 size
+	RcptCount int       // number of recipients on the original submission
+	Flag      Flag      // sender-ESP (Coremail) spam-filter verdict
+
+	// Tokens are content-derived features used by spam filters. They are
+	// generated, not extracted from real mail, preserving the paper's
+	// no-content ethics posture while still letting heterogeneous filters
+	// reach different verdicts on the same message.
+	Tokens []string
+}
+
+// IsSpam reports whether the sender ESP flagged the message as spam.
+// Per the paper, the sender delivers spam-flagged email exactly once.
+func (m *Message) IsSpam() bool { return m.Flag == FlagSpam }

@@ -1,0 +1,103 @@
+package mail
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ReplyCode is a three-digit SMTP reply code (RFC 5321 §4.2).
+type ReplyCode int
+
+// Common reply codes used by the simulator and the SMTP substrate.
+const (
+	CodeReady          ReplyCode = 220
+	CodeClosing        ReplyCode = 221
+	CodeOK             ReplyCode = 250
+	CodeStartData      ReplyCode = 354
+	CodeUnavailable    ReplyCode = 421
+	CodeMailboxBusy    ReplyCode = 450
+	CodeLocalError     ReplyCode = 451
+	CodeInsufficient   ReplyCode = 452
+	CodeSyntaxError    ReplyCode = 500
+	CodeParamError     ReplyCode = 501
+	CodeNotImplemented ReplyCode = 502
+	CodeBadSequence    ReplyCode = 503
+	CodeMailboxUnavail ReplyCode = 550
+	CodeUserNotLocal   ReplyCode = 551
+	CodeExceededQuota  ReplyCode = 552
+	CodeNameNotAllowed ReplyCode = 553
+	CodeTransactFailed ReplyCode = 554
+)
+
+// Temporary reports whether the reply code signals a transient (4xx)
+// failure that the sender should retry.
+func (c ReplyCode) Temporary() bool { return c >= 400 && c < 500 }
+
+// Permanent reports whether the reply code signals a permanent (5xx)
+// failure.
+func (c ReplyCode) Permanent() bool { return c >= 500 && c < 600 }
+
+// Success reports whether the reply code signals success (2xx).
+func (c ReplyCode) Success() bool { return c >= 200 && c < 300 }
+
+// EnhancedCode is an RFC 3463 enhanced mail system status code
+// (class.subject.detail, e.g. 4.2.2 for "mailbox full").
+type EnhancedCode struct {
+	Class   int // 2 success, 4 persistent transient, 5 permanent
+	Subject int
+	Detail  int
+}
+
+// Enhanced status codes the NDR templates reference. Names follow the
+// RFC 3463 subject/detail registry.
+var (
+	EnhOK              = EnhancedCode{2, 0, 0}
+	EnhBadMailbox      = EnhancedCode{5, 1, 1} // bad destination mailbox address
+	EnhBadDomain       = EnhancedCode{5, 1, 2} // bad destination system address
+	EnhMailboxFull     = EnhancedCode{4, 2, 2} // mailbox full
+	EnhMailboxDisabled = EnhancedCode{5, 2, 1} // mailbox disabled
+	EnhMsgTooBig       = EnhancedCode{5, 3, 4} // message too big for system
+	EnhNetworkError    = EnhancedCode{4, 4, 1} // no answer from host
+	EnhBadConnection   = EnhancedCode{4, 4, 2} // bad connection
+	EnhRoutingError    = EnhancedCode{5, 4, 4} // unable to route
+	EnhCongestion      = EnhancedCode{4, 4, 5} // mail system congestion
+	EnhProtocolError   = EnhancedCode{5, 5, 0} // protocol error
+	EnhTooManyRcpts    = EnhancedCode{5, 5, 3} // too many recipients
+	EnhSecurityPolicy  = EnhancedCode{5, 7, 1} // delivery not authorized
+	EnhTLSRequired     = EnhancedCode{5, 7, 10}
+	EnhAuthFailure     = EnhancedCode{5, 7, 26} // multiple auth checks failed
+	EnhAuthTempFail    = EnhancedCode{4, 7, 0}
+	EnhGreylisted      = EnhancedCode{4, 7, 1}
+	EnhRateLimited     = EnhancedCode{4, 5, 2}
+)
+
+// IsZero reports whether e is unset. The paper finds 28.79% of NDR
+// messages carry no enhanced status code; those render with a zero code.
+func (e EnhancedCode) IsZero() bool { return e.Class == 0 }
+
+// String renders class.subject.detail.
+func (e EnhancedCode) String() string {
+	return fmt.Sprintf("%d.%d.%d", e.Class, e.Subject, e.Detail)
+}
+
+// ParseEnhancedCode parses "c.s.d". It returns ok=false for strings that
+// are not an enhanced status code (the common case for 28.79% of NDRs).
+func ParseEnhancedCode(s string) (EnhancedCode, bool) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return EnhancedCode{}, false
+	}
+	var vals [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 999 {
+			return EnhancedCode{}, false
+		}
+		vals[i] = n
+	}
+	if vals[0] != 2 && vals[0] != 4 && vals[0] != 5 {
+		return EnhancedCode{}, false
+	}
+	return EnhancedCode{vals[0], vals[1], vals[2]}, true
+}

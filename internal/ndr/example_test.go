@@ -1,0 +1,28 @@
+package ndr_test
+
+import (
+	"fmt"
+
+	"repro/internal/ndr"
+)
+
+func ExampleTemplate_Render() {
+	idx := ndr.NonAmbiguousTemplatesFor(ndr.T9MailboxFull)[0]
+	line := ndr.Catalog[idx].Render(ndr.Params{Addr: "jun@b.com"})
+	fmt.Println(line)
+	// Output: 452-4.2.2 The email account that you tried to reach is over quota
+}
+
+func ExampleParse() {
+	p := ndr.Parse("550-5.1.1 jun@b.com Email address could not be found, or was misspelled (g-42)")
+	fmt.Println(p.Code, p.Enh, p.Temporary())
+	// Output: 550 5.1.1 false
+}
+
+func ExampleType_Category() {
+	fmt.Println(ndr.T5Blocklisted.Category())
+	fmt.Println(ndr.T14Timeout.Category())
+	// Output:
+	// Restrict email source
+	// SMTP connection error
+}

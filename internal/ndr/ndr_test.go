@@ -1,0 +1,255 @@
+package ndr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mail"
+)
+
+func TestEveryTypeHasTemplates(t *testing.T) {
+	for _, typ := range AllTypes {
+		if len(TemplatesFor(typ)) == 0 {
+			t.Errorf("%v has no templates", typ)
+		}
+	}
+}
+
+func TestCatalogConsistency(t *testing.T) {
+	for i, tp := range Catalog {
+		if tp.Weight <= 0 {
+			t.Errorf("template %d has non-positive weight", i)
+		}
+		if tp.Type == TNone {
+			t.Errorf("template %d has no type", i)
+		}
+		// The rendered prefix must match the declared reply code.
+		prefix := tp.Text[:3]
+		if got := string(rune('0'+int(tp.Code)/100)) + string(rune('0'+int(tp.Code)/10%10)) + string(rune('0'+int(tp.Code)%10)); got != prefix {
+			t.Errorf("template %d: text prefix %q != code %d", i, prefix, tp.Code)
+		}
+		// Declared enhanced code must appear in the text (when set).
+		if !tp.Enh.IsZero() && !strings.Contains(tp.Text, tp.Enh.String()) {
+			t.Errorf("template %d: enh %v not in text %q", i, tp.Enh, tp.Text)
+		}
+		if tp.Ambiguous && tp.Type != T16Unknown {
+			t.Errorf("template %d: ambiguous templates must be typed T16", i)
+		}
+	}
+}
+
+func TestPaperQuotedTemplatesPresent(t *testing.T) {
+	// Strings the paper quotes verbatim must exist in the catalog.
+	quotes := []string{
+		"The email account that you tried to reach is over quota",
+		"This message does not pass authentication checks (SPF and DKIM both do not pass)",
+		"fails to pass authentication checks (SPF or DKIM)",
+		"is not accepted due to domain's DMARC policy",
+		"Email address could not be found, or was misspelled",
+		"blocked using",
+		"Recipient address rejected: Access denied. AS(201806281)",
+		"Message rejected due to local policy",
+		"Mail is rejected by recipients",
+		"Not allowed.(CONNECT)",
+		"Relay access denied",
+		"This message is not RFC 5322 compliant",
+		"Intrusion prevention active for",
+		"has exceeded his/her disk space limit",
+	}
+	for _, q := range quotes {
+		found := false
+		for _, tp := range Catalog {
+			if strings.Contains(tp.Text, q) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("paper-quoted template missing: %q", q)
+		}
+	}
+}
+
+func TestRenderSubstitution(t *testing.T) {
+	idx := TemplatesFor(T8NoSuchUser)[0]
+	tp := Catalog[idx]
+	got := tp.Render(Params{Addr: "bob@b.com", Vendor: "x17"})
+	if strings.Contains(got, "{") {
+		t.Errorf("unsubstituted placeholder in %q", got)
+	}
+	if !strings.Contains(got, "bob@b.com") {
+		t.Errorf("address missing from %q", got)
+	}
+}
+
+func TestAmbiguousTemplates(t *testing.T) {
+	amb := AmbiguousTemplates()
+	if len(amb) != 5 {
+		t.Errorf("want the 5 Table-6 templates, got %d", len(amb))
+	}
+	// The dominant ambiguous template (76.99% in Table 6) is Access denied.
+	var maxW float64
+	var maxText string
+	for _, i := range amb {
+		if Catalog[i].Weight > maxW {
+			maxW = Catalog[i].Weight
+			maxText = Catalog[i].Text
+		}
+	}
+	if !strings.Contains(maxText, "Access denied. AS(201806281)") {
+		t.Errorf("dominant ambiguous template is %q", maxText)
+	}
+}
+
+func TestNonAmbiguousTemplatesFor(t *testing.T) {
+	for _, i := range NonAmbiguousTemplatesFor(T16Unknown) {
+		if Catalog[i].Ambiguous {
+			t.Errorf("template %d should be non-ambiguous", i)
+		}
+	}
+	if len(NonAmbiguousTemplatesFor(T8NoSuchUser)) != len(TemplatesFor(T8NoSuchUser)) {
+		t.Error("T8 has no ambiguous templates; lists should match")
+	}
+}
+
+func TestTypeStringsAndCategories(t *testing.T) {
+	if T5Blocklisted.String() != "T5" || T16Unknown.String() != "T16" || TNone.String() != "T0" {
+		t.Error("Type.String mismatch")
+	}
+	cases := map[Type]Category{
+		T1SenderDNS:     CatDNSFailure,
+		T2ReceiverDNS:   CatDNSFailure,
+		T3AuthFail:      CatProtocolViolation,
+		T4STARTTLS:      CatProtocolViolation,
+		T5Blocklisted:   CatRestrictSource,
+		T6Greylisted:    CatRestrictSource,
+		T7TooFast:       CatRestrictSource,
+		T8NoSuchUser:    CatRefuseReception,
+		T9MailboxFull:   CatRefuseReception,
+		T10TooManyRcpts: CatRefuseReception,
+		T11RateLimited:  CatRefuseReception,
+		T12TooLarge:     CatRefuseReception,
+		T13ContentSpam:  CatRefuseReception,
+		T14Timeout:      CatConnectionError,
+		T15Interrupted:  CatConnectionError,
+		T16Unknown:      CatUnknown,
+	}
+	for typ, want := range cases {
+		if got := typ.Category(); got != want {
+			t.Errorf("%v.Category() = %v want %v", typ, got, want)
+		}
+	}
+	for _, typ := range AllTypes {
+		if typ.Description() == "" || typ.Category().String() == "" {
+			t.Errorf("%v missing description/category name", typ)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in       string
+		code     mail.ReplyCode
+		enh      mail.EnhancedCode
+		textPart string
+	}{
+		{"550-5.1.1 bob@b.com not found", 550, mail.EnhBadMailbox, "bob@b.com not found"},
+		{"550 5.1.1 user unknown", 550, mail.EnhBadMailbox, "user unknown"},
+		{"452-4.2.2 The email account that you tried to reach is over quota", 452, mail.EnhMailboxFull, "over quota"},
+		{"250 OK", 250, mail.EnhancedCode{}, "OK"},
+		{"554 Service unavailable; Client host [1.2.3.4] blocked using Spamhaus", 554, mail.EnhancedCode{}, "blocked using Spamhaus"},
+		{"no code at all", 0, mail.EnhancedCode{}, "no code at all"},
+		{"421 4.4.1 [internal] Connection timed out", 421, mail.EnhNetworkError, "timed out"},
+	}
+	for _, c := range cases {
+		p := Parse(c.in)
+		if p.Code != c.code {
+			t.Errorf("Parse(%q).Code = %d want %d", c.in, p.Code, c.code)
+		}
+		if p.Enh != c.enh {
+			t.Errorf("Parse(%q).Enh = %v want %v", c.in, p.Enh, c.enh)
+		}
+		if !strings.Contains(p.Text, c.textPart) {
+			t.Errorf("Parse(%q).Text = %q missing %q", c.in, p.Text, c.textPart)
+		}
+	}
+}
+
+func TestParseClassifiers(t *testing.T) {
+	if !Parse("250 2.0.0 OK").Success() {
+		t.Error("250 should be success")
+	}
+	if !Parse("450 4.7.1 Greylisted").Temporary() {
+		t.Error("450 should be temporary")
+	}
+	if Parse("550 5.1.1 no user").Temporary() || Parse("550 5.1.1 no user").Success() {
+		t.Error("550 misclassified")
+	}
+}
+
+func TestHasEnhancedCode(t *testing.T) {
+	if !HasEnhancedCode("550-5.1.1 user unknown") {
+		t.Error("should detect enhanced code")
+	}
+	if HasEnhancedCode("550 No such user here") {
+		t.Error("no enhanced code present")
+	}
+}
+
+func TestRenderAllTemplatesNoLeftoverPlaceholders(t *testing.T) {
+	p := Params{
+		Addr: "a@b.com", Local: "a", Domain: "b.com", IP: "1.2.3.4",
+		MX: "mx.b.com", BL: "Spamhaus", Vendor: "v123", Sec: "300", Size: "10485760",
+	}
+	for i := range Catalog {
+		out := Catalog[i].Render(p)
+		if strings.ContainsAny(out, "{}") {
+			t.Errorf("template %d: leftover placeholder in %q", i, out)
+		}
+	}
+}
+
+func TestRenderedParseRoundTrip(t *testing.T) {
+	// Parsing a rendered template must recover the declared code and
+	// enhanced code for every catalog entry.
+	p := Params{Addr: "a@b.com", Local: "a", Domain: "b.com", IP: "1.2.3.4",
+		MX: "mx.b.com", BL: "Spamhaus", Vendor: "v1", Sec: "300", Size: "1000"}
+	for i, tp := range Catalog {
+		parsed := Parse(tp.Render(p))
+		if parsed.Code != tp.Code {
+			t.Errorf("template %d: parsed code %d want %d", i, parsed.Code, tp.Code)
+		}
+		if parsed.Enh != tp.Enh {
+			t.Errorf("template %d: parsed enh %v want %v (text %q)", i, parsed.Enh, tp.Enh, tp.Text)
+		}
+	}
+}
+
+func TestRenderSuccess(t *testing.T) {
+	s := RenderSuccess(1, Params{Vendor: "q99", Domain: "b.com"})
+	if !strings.HasPrefix(s, "250") {
+		t.Errorf("success reply %q", s)
+	}
+	if strings.Contains(s, "{") {
+		t.Errorf("placeholder left in %q", s)
+	}
+	// Negative index must not panic.
+	_ = RenderSuccess(-3, Params{})
+}
+
+func TestSoft(t *testing.T) {
+	for _, i := range TemplatesFor(T6Greylisted) {
+		if !Catalog[i].Soft() {
+			t.Errorf("greylist template %d should be soft (4xx)", i)
+		}
+	}
+	hard := 0
+	for _, i := range TemplatesFor(T8NoSuchUser) {
+		if !Catalog[i].Soft() {
+			hard++
+		}
+	}
+	if hard != len(TemplatesFor(T8NoSuchUser)) {
+		t.Error("all T8 templates should be permanent (5xx)")
+	}
+}

@@ -1,0 +1,150 @@
+// Package ndr models non-delivery report messages: the 16 bounce-reason
+// types the paper defines (Section 3.2), a catalog of per-ESP NDR
+// template dialects (including the ambiguous Table-6 templates and the
+// 28.79% of messages that omit enhanced status codes), rendering with
+// vendor-code noise, and parsing. The NDR text is the ONLY signal the
+// classification pipeline gets — exactly the paper's setting.
+package ndr
+
+// Type is one of the paper's 16 bounce-reason types T1–T16.
+type Type int
+
+// Bounce-reason types, following Section 3.2 of the paper.
+const (
+	TNone           Type = iota // delivery succeeded / no NDR
+	T1SenderDNS                 // T1: sender domain DNS resolution failed
+	T2ReceiverDNS               // T2: receiver domain DNS resolution failed
+	T3AuthFail                  // T3: DKIM/SPF/DMARC verification failed
+	T4STARTTLS                  // T4: sender MTA STARTTLS problem
+	T5Blocklisted               // T5: sender MTA listed in blocklists
+	T6Greylisted                // T6: blocked by greylisting
+	T7TooFast                   // T7: sender delivering too fast
+	T8NoSuchUser                // T8: receiver address does not exist
+	T9MailboxFull               // T9: receiver mailbox is full
+	T10TooManyRcpts             // T10: excessive (invalid) recipient count
+	T11RateLimited              // T11: incoming volume/rate exceeds limit
+	T12TooLarge                 // T12: email too large
+	T13ContentSpam              // T13: content considered spam
+	T14Timeout                  // T14: SMTP session timeout
+	T15Interrupted              // T15: SMTP session interruption
+	T16Unknown                  // T16: unknown / other
+)
+
+// NumTypes is the count of real types (T1..T16).
+const NumTypes = 16
+
+// AllTypes lists T1..T16 in order.
+var AllTypes = []Type{
+	T1SenderDNS, T2ReceiverDNS, T3AuthFail, T4STARTTLS, T5Blocklisted,
+	T6Greylisted, T7TooFast, T8NoSuchUser, T9MailboxFull, T10TooManyRcpts,
+	T11RateLimited, T12TooLarge, T13ContentSpam, T14Timeout,
+	T15Interrupted, T16Unknown,
+}
+
+// String returns the paper's short label (T1..T16).
+func (t Type) String() string {
+	if t == TNone {
+		return "T0"
+	}
+	labels := [...]string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
+		"T9", "T10", "T11", "T12", "T13", "T14", "T15", "T16"}
+	if int(t) >= 1 && int(t) <= NumTypes {
+		return labels[t-1]
+	}
+	return "T?"
+}
+
+// Description returns the human-readable reason.
+func (t Type) Description() string {
+	switch t {
+	case T1SenderDNS:
+		return "sender domain DNS resolution failed"
+	case T2ReceiverDNS:
+		return "receiver domain DNS resolution failed"
+	case T3AuthFail:
+		return "sender authentication (DKIM/SPF/DMARC) failed"
+	case T4STARTTLS:
+		return "STARTTLS required or misimplemented"
+	case T5Blocklisted:
+		return "sender MTA listed in blocklists"
+	case T6Greylisted:
+		return "blocked by greylisting"
+	case T7TooFast:
+		return "sender delivering too fast"
+	case T8NoSuchUser:
+		return "receiver email address does not exist"
+	case T9MailboxFull:
+		return "receiver mailbox is full"
+	case T10TooManyRcpts:
+		return "too many (invalid) recipients"
+	case T11RateLimited:
+		return "incoming email number/rate exceeds limit"
+	case T12TooLarge:
+		return "email too large"
+	case T13ContentSpam:
+		return "email content considered spam"
+	case T14Timeout:
+		return "SMTP session timeout"
+	case T15Interrupted:
+		return "SMTP session interruption"
+	case T16Unknown:
+		return "unknown / other"
+	default:
+		return "no bounce"
+	}
+}
+
+// Category is one of the six reason categories of Section 3.2.
+type Category int
+
+// Categories.
+const (
+	CatNone Category = iota
+	CatDNSFailure
+	CatProtocolViolation
+	CatRestrictSource
+	CatRefuseReception
+	CatConnectionError
+	CatUnknown
+)
+
+// String returns the paper's category name.
+func (c Category) String() string {
+	switch c {
+	case CatDNSFailure:
+		return "DNS query failure"
+	case CatProtocolViolation:
+		return "Violate protocol standard"
+	case CatRestrictSource:
+		return "Restrict email source"
+	case CatRefuseReception:
+		return "Refuse email reception"
+	case CatConnectionError:
+		return "SMTP connection error"
+	case CatUnknown:
+		return "Unknown/other"
+	default:
+		return "none"
+	}
+}
+
+// Category maps a type to its category per the paper's taxonomy.
+func (t Type) Category() Category {
+	switch t {
+	case T1SenderDNS, T2ReceiverDNS:
+		return CatDNSFailure
+	case T3AuthFail, T4STARTTLS:
+		return CatProtocolViolation
+	case T5Blocklisted, T6Greylisted, T7TooFast:
+		return CatRestrictSource
+	case T8NoSuchUser, T9MailboxFull, T10TooManyRcpts, T11RateLimited,
+		T12TooLarge, T13ContentSpam:
+		return CatRefuseReception
+	case T14Timeout, T15Interrupted:
+		return CatConnectionError
+	case T16Unknown:
+		return CatUnknown
+	default:
+		return CatNone
+	}
+}

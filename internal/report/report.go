@@ -1,0 +1,440 @@
+// Package report renders every table and figure of the paper as plain
+// text: aligned tables for Tables 1-6 and ASCII charts (sparklines,
+// bar rows, heat grids, CDF tables) for Figures 4-10. All renderers
+// write to an io.Writer so commands, examples and tests share them.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/advise"
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/ndr"
+	"repro/internal/squat"
+	"repro/internal/stats"
+)
+
+// sparkChars are the eight block glyphs used for inline charts.
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a block-glyph strip scaled to the series
+// maximum.
+func Sparkline(values []float64) string {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(sparkChars)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkChars) {
+			idx = len(sparkChars) - 1
+		}
+		b.WriteRune(sparkChars[idx])
+	}
+	return b.String()
+}
+
+// hbar renders a horizontal bar of width proportional to v/max.
+func hbar(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n)
+}
+
+// Overview prints the Section-4.1 headline numbers.
+func Overview(w io.Writer, o analysis.Overview) {
+	fmt.Fprintf(w, "== Overview (paper: 87.07%% non / 4.82%% soft / 8.11%% hard; soft ≈3 attempts) ==\n")
+	fmt.Fprintf(w, "emails          %9d\n", o.Total)
+	fmt.Fprintf(w, "non-bounced     %9d (%6.2f%%)\n", o.NonBounced, stats.Pct(o.NonBounced, o.Total))
+	fmt.Fprintf(w, "soft-bounced    %9d (%6.2f%%)\n", o.SoftBounced, stats.Pct(o.SoftBounced, o.Total))
+	fmt.Fprintf(w, "hard-bounced    %9d (%6.2f%%)\n", o.HardBounced, stats.Pct(o.HardBounced, o.Total))
+	fmt.Fprintf(w, "bounced ≥1      %9d (%6.2f%%)\n", o.Bounced(), stats.Pct(o.Bounced(), o.Total))
+	fmt.Fprintf(w, "ambiguous-only  %9d (%6.2f%% of bounced; paper: 6M of 38M)\n",
+		o.AmbiguousBounced, stats.Pct(o.AmbiguousBounced, o.Bounced()))
+	fmt.Fprintf(w, "soft avg attempts %.2f\n", o.SoftAvgAttempts)
+}
+
+// paperTable1 holds the published Table-1 shares for side-by-side
+// comparison.
+var paperTable1 = map[ndr.Type]float64{
+	ndr.T1SenderDNS: 1.79, ndr.T2ReceiverDNS: 20.06, ndr.T3AuthFail: 2.65,
+	ndr.T4STARTTLS: 1.86, ndr.T5Blocklisted: 31.10, ndr.T6Greylisted: 2.63,
+	ndr.T7TooFast: 2.54, ndr.T8NoSuchUser: 7.46, ndr.T9MailboxFull: 2.06,
+	ndr.T10TooManyRcpts: 0.78, ndr.T11RateLimited: 1.87, ndr.T12TooLarge: 0.53,
+	ndr.T13ContentSpam: 9.31, ndr.T14Timeout: 15.04, ndr.T15Interrupted: 6.51,
+	ndr.T16Unknown: 4.26,
+}
+
+// Table1 prints the NDR type distribution next to the paper's shares.
+func Table1(w io.Writer, dist map[ndr.Type]int, bounced int) {
+	fmt.Fprintf(w, "== Table 1: NDR message types among bounced emails ==\n")
+	fmt.Fprintf(w, "%-4s %-46s %9s %8s %8s\n", "type", "reason", "emails", "share", "paper")
+	for _, t := range ndr.AllTypes {
+		fmt.Fprintf(w, "%-4s %-46s %9d %7.2f%% %7.2f%%\n",
+			t, t.Description(), dist[t], stats.Pct(dist[t], bounced), paperTable1[t])
+	}
+}
+
+// Table2 prints the root-cause attribution.
+func Table2(w io.Writer, t analysis.RootCauseTable) {
+	fmt.Fprintf(w, "== Table 2: root causes of bounced emails (total %d) ==\n", t.TotalBounced)
+	last := analysis.RootCause(-1)
+	for _, row := range t.Rows {
+		if row.Cause != last {
+			last = row.Cause
+			fmt.Fprintf(w, "-- %s: %d (%.2f%%)\n", row.Cause,
+				t.CauseTotal(row.Cause), stats.Pct(t.CauseTotal(row.Cause), t.TotalBounced))
+		}
+		fmt.Fprintf(w, "   %-7s %-40s %-9s %-22s %8d (%5.2f%%)\n",
+			row.Type, row.Reason, row.Degree, row.Causer, row.Emails,
+			stats.Pct(row.Emails, t.TotalBounced))
+	}
+}
+
+// Table3 prints the top receiver domains.
+func Table3(w io.Writer, rows []analysis.DomainStats) {
+	fmt.Fprintf(w, "== Table 3: top receiver domains ==\n")
+	fmt.Fprintf(w, "%-18s %9s %9s %9s\n", "domain", "emails", "hard", "soft")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %9d %8.2f%% %8.2f%%\n", r.Domain, r.Emails, r.HardPct(), r.SoftPct())
+	}
+}
+
+// Table4 prints the top receiver ASes.
+func Table4(w io.Writer, rows []analysis.ASStats) {
+	fmt.Fprintf(w, "== Table 4: top receiver ASes ==\n")
+	fmt.Fprintf(w, "%-8s %-38s %9s %8s %8s\n", "AS", "organization", "emails", "hard", "soft")
+	for _, r := range rows {
+		fmt.Fprintf(w, "AS%-6d %-38s %9d %7.2f%% %7.2f%%\n", r.ASN, r.Org, r.Emails, r.HardPct(), r.SoftPct())
+	}
+}
+
+// Table5 prints the two country rankings.
+func Table5(w io.Writer, all []analysis.CountryStats, n int) {
+	fmt.Fprintf(w, "== Table 5: countries by bounce ratio (min-volume filtered) ==\n")
+	print := func(rows []analysis.CountryStats, label string) {
+		fmt.Fprintf(w, "-- top %d by %s --\n", len(rows), label)
+		fmt.Fprintf(w, "%-3s %-8s %9s %8s %8s  %-24s %-5s\n",
+			"cc", "", "emails", "hard", "soft", "major category", "type")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-3s %-8s %9d %7.2f%% %7.2f%%  %-24s %-5s (%.0f%%)\n",
+				r.Country, "", r.Emails, r.HardPct(), r.SoftPct(), r.MajorCat, r.MajorTyp, 100*r.MajorTypShare)
+		}
+	}
+	print(analysis.TopByHard(all, n), "hard-bounce ratio")
+	print(analysis.TopBySoft(all, n), "soft-bounce ratio")
+}
+
+// Table6 prints the ambiguous template ranking.
+func Table6(w io.Writer, rows []analysis.AmbiguousTemplate, ambiguousEmails int) {
+	fmt.Fprintf(w, "== Table 6: ambiguous NDR templates (%d ambiguous-only emails) ==\n", ambiguousEmails)
+	total := 0
+	for _, r := range rows {
+		total += r.Count
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	for i, r := range rows {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(w, "%8d (%5.2f%%)  %s\n", r.Count, stats.Pct(r.Count, total), clip(r.Template, 90))
+	}
+}
+
+// Fig4 prints the receiver-MTA country distribution.
+func Fig4(w io.Writer, rows []analysis.MTACountry, n int) {
+	fmt.Fprintf(w, "== Figure 4: receiver MTA geographic distribution (paper: US 28.53%%, DE 10.59%%, CA 5.42%%) ==\n")
+	max := 0.0
+	for _, r := range rows {
+		if r.Share > max {
+			max = r.Share
+		}
+	}
+	for i, r := range rows {
+		if i >= n {
+			break
+		}
+		fmt.Fprintf(w, "%-3s %6.2f%% %6d  %s\n", r.Country, r.Share*100, r.MTAs, hbar(r.Share, max, 40))
+	}
+}
+
+// Fig5 prints the daily/monthly delivery timeline.
+func Fig5(w io.Writer, tl analysis.Timeline) {
+	fmt.Fprintf(w, "== Figure 5: daily deliveries by bounce degree + monthly volume ==\n")
+	daily := make([]float64, clock.StudyDays)
+	hard := make([]float64, clock.StudyDays)
+	soft := make([]float64, clock.StudyDays)
+	for d := 0; d < clock.StudyDays; d++ {
+		daily[d] = float64(tl.Days[d].Non + tl.Days[d].Soft + tl.Days[d].Hard)
+		hard[d] = float64(tl.Days[d].Hard)
+		soft[d] = float64(tl.Days[d].Soft)
+	}
+	fmt.Fprintf(w, "daily volume : %s\n", Sparkline(downsample(daily, 90)))
+	fmt.Fprintf(w, "daily hard   : %s\n", Sparkline(downsample(hard, 90)))
+	fmt.Fprintf(w, "daily soft   : %s\n", Sparkline(downsample(soft, 90)))
+	fmt.Fprintf(w, "%-8s %9s\n", "month", "emails")
+	maxM := 0
+	for _, m := range tl.Months {
+		if m.Emails > maxM {
+			maxM = m.Emails
+		}
+	}
+	for _, m := range tl.Months {
+		fmt.Fprintf(w, "%-8s %9d  %s\n", m.Month, m.Emails, hbar(float64(m.Emails), float64(maxM), 40))
+	}
+}
+
+// Fig6 prints the blocklist dynamics.
+func Fig6(w io.Writer, f analysis.BlocklistFigure) {
+	fmt.Fprintf(w, "== Figure 6: proxies blocklisted + emails blocked via the DNSBL ==\n")
+	listed := make([]float64, clock.StudyDays)
+	blocked := make([]float64, clock.StudyDays)
+	totN, totS := 0, 0
+	for d := 0; d < clock.StudyDays; d++ {
+		listed[d] = float64(f.ListedPerDay[d])
+		blocked[d] = float64(f.BlockedNormal[d] + f.BlockedSpam[d])
+		totN += f.BlockedNormal[d]
+		totS += f.BlockedSpam[d]
+	}
+	fmt.Fprintf(w, "proxies listed/day : %s (avg %.1f of 34; paper: ~17)\n",
+		Sparkline(downsample(listed, 90)), f.AvgListed)
+	fmt.Fprintf(w, "blocked emails/day : %s (%d normal + %d spam)\n",
+		Sparkline(downsample(blocked, 90)), totN, totS)
+	fmt.Fprintf(w, "proxies listed >70%% of days: %d (paper: 5)\n", f.ProxiesOver70Pct)
+	fmt.Fprintf(w, "normal share of blocked emails: %.2f%% (paper: 78.06%%)\n", f.NormalShare*100)
+}
+
+// Fig7 prints the misconfiguration-duration distributions.
+func Fig7(w io.Writer, f analysis.DurationsFigure) {
+	fmt.Fprintf(w, "== Figure 7: misconfiguration duration CDFs (days) ==\n")
+	marks := []float64{1, 3, 7, 14, 30, 60, 90}
+	header := "series              entities always recur  mean   med"
+	for _, m := range marks {
+		header += fmt.Sprintf(" ≤%3.0fd", m)
+	}
+	fmt.Fprintln(w, header)
+	row := func(name string, e analysis.EpisodeStats) {
+		line := fmt.Sprintf("%-19s %8d %6d %5d %5.1f %5.1f",
+			name, e.Entities, e.AlwaysBroken, e.Recurrent, e.MeanDays(), e.MedianDays())
+		for _, m := range marks {
+			line += fmt.Sprintf(" %4.0f%%", 100*(1-e.ShareAtLeast(m+1e-9)))
+		}
+		fmt.Fprintln(w, line)
+	}
+	row("DKIM/SPF (senders)", f.AuthDKIMSPF)
+	row("MX records (rcvrs)", f.MXRecords)
+	row("mailbox full", f.MailboxFull)
+	fmt.Fprintf(w, "paper anchors: DKIM/SPF mean fix 12d; MX mostly <1d; mailbox-full mean 86d, >51%% ≥30d\n")
+}
+
+// Fig8 prints the infrastructure heat matrix.
+func Fig8(w io.Writer, m analysis.InfraMatrix) {
+	fmt.Fprintf(w, "== Figure 8: SMTP timeout ratio (%%) by sender proxy country × receiver country ==\n")
+	fmt.Fprintf(w, "%-3s", "")
+	for _, cc := range m.ReceiverCCs {
+		fmt.Fprintf(w, " %5s", cc)
+	}
+	fmt.Fprintln(w)
+	for si, s := range m.SenderCCs {
+		fmt.Fprintf(w, "%-3s", s)
+		for ri := range m.ReceiverCCs {
+			fmt.Fprintf(w, " %5.1f", m.Ratio[si][ri])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "paper anchors: HK→NA 35.11, US→NA 22.87, HK→BZ 0.34; 8 of top-20 in Africa\n")
+}
+
+// Fig9 prints the squatting exposure timeline.
+func Fig9(w io.Writer, r *squat.Result) {
+	fmt.Fprintf(w, "== Figure 9: weekly senders/emails exposed to squatting ==\n")
+	senders := make([]float64, clock.StudyWeeks)
+	emails := make([]float64, clock.StudyWeeks)
+	maxS, maxE := 0, 0
+	for i := 0; i < clock.StudyWeeks; i++ {
+		senders[i] = float64(r.WeeklySenders[i])
+		emails[i] = float64(r.WeeklyEmails[i])
+		if r.WeeklySenders[i] > maxS {
+			maxS = r.WeeklySenders[i]
+		}
+		if r.WeeklyEmails[i] > maxE {
+			maxE = r.WeeklyEmails[i]
+		}
+	}
+	fmt.Fprintf(w, "weekly senders: %s (peak %d)\n", Sparkline(senders), maxS)
+	fmt.Fprintf(w, "weekly emails : %s (peak %d)\n", Sparkline(emails), maxE)
+}
+
+// Squat prints the full Section-5 results.
+func Squat(w io.Writer, r *squat.Result) {
+	fmt.Fprintf(w, "== Section 5: email address squatting ==\n")
+	fmt.Fprintf(w, "never-resolved domains observed:   %d\n", r.NeverResolved)
+	fmt.Fprintf(w, "NXDOMAIN at scan date:             %d\n", r.NXDomainAtScan)
+	fmt.Fprintf(w, "vulnerable (registrable) domains:  %d (paper: 3K)\n", r.VulnerableCount)
+	fmt.Fprintf(w, "  typo-sourced:                    %d\n", r.TypoDomains)
+	fmt.Fprintf(w, "  historically received mail:      %d (paper: 592)\n", r.HistoricallyRecv)
+	fmt.Fprintf(w, "  senders exposed / emails:        %d / %d (paper: 9K / 158K)\n", r.DomainSenders, r.DomainEmails)
+	fmt.Fprintf(w, "re-registered by audit date:       %d (with MX: %d; same registrant: %d, changed: %d)\n",
+		r.ReRegistered, r.ReRegisteredMX, r.RegistrantSame, r.RegistrantChanged)
+	fmt.Fprintf(w, "usernames probed:                  %d (paper: 875)\n", r.ProbedUsernames)
+	fmt.Fprintf(w, "registrable (vulnerable):          %d (%.1f%%; paper: 312 = 35.7%%)\n",
+		r.RegistrableCount, stats.Pct(r.RegistrableCount, r.ProbedUsernames))
+	fmt.Fprintf(w, "  past-working among vulnerable:   %d (paper: 25)\n", r.PastWorking)
+	fmt.Fprintf(w, "  senders exposed / emails:        %d / %d (paper: 672 / 46K)\n", r.UsernameSenders, r.UsernameEmails)
+	Fig9(w, r)
+}
+
+// Fig10 prints per-country latency plus the Appendix-C aggregates.
+func Fig10(w io.Writer, l analysis.LatencyStats, n int) {
+	fmt.Fprintf(w, "== Figure 10 / Appendix C: delivery latency of successful emails ==\n")
+	fmt.Fprintf(w, "global mean/median: %.2fs / %.2fs (paper: 19.37s / 14.03s)\n",
+		l.GlobalMeanMS/1000, l.GlobalMedianMS/1000)
+	fmt.Fprintf(w, "fast-Internet mean/median: %.2fs / %.2fs (paper: 9.74s / 6.97s)\n",
+		l.FastMeanMS/1000, l.FastMedianMS/1000)
+	fmt.Fprintf(w, "slow-Internet mean/median: %.2fs / %.2fs (paper: 16.73s / 12.54s)\n",
+		l.SlowMeanMS/1000, l.SlowMedianMS/1000)
+	fmt.Fprintf(w, "-- %d slowest countries by median --\n", n)
+	for i, c := range l.Countries {
+		if i >= n {
+			break
+		}
+		fmt.Fprintf(w, "%-3s %8.2fs (%d emails)\n", c.Country, c.MedianMS/1000, c.Emails)
+	}
+}
+
+// STARTTLS prints the Section-4.3.1 mandate shares.
+func STARTTLS(w io.Writer, s analysis.STARTTLSStats) {
+	fmt.Fprintf(w, "== STARTTLS mandates (Section 4.3.1) ==\n")
+	fmt.Fprintf(w, "mandating domains observed: %d; T4 soft-bounced emails: %d\n", s.MandatingDomains, s.SoftBounced)
+	fmt.Fprintf(w, "top-100 share: %.2f%% (paper: 38%%); all-domain share: %.2f%% (paper: 8.53%% of top 10K)\n",
+		s.Top100Share*100, s.AllShare*100)
+}
+
+// Attackers prints the Section-4.2.1 detections.
+func Attackers(w io.Writer, d *analysis.Detections) {
+	fmt.Fprintf(w, "== Attackers (Section 4.2.1) ==\n")
+	fmt.Fprintf(w, "username-guessing sender domains: %d (paper: 9)\n", len(d.GuessingSenders))
+	fmt.Fprintf(w, "  guessed addresses: %d, hits: %d (%.2f%%; paper: 0.91%%), malicious emails delivered: %d (paper: 536)\n",
+		d.GuessTargets, d.GuessHits, stats.Pct(d.GuessHits, d.GuessTargets), d.GuessDelivered)
+	fmt.Fprintf(w, "bulk-spam sender domains: %d (paper: 31)\n", len(d.BulkSpamSenders))
+	fmt.Fprintf(w, "  emails: %d, hard: %d (%.2f%%; paper: 70.12%%), soft: %d (%.2f%%; paper: 7.32%%)\n",
+		d.BulkEmails, d.BulkHard, stats.Pct(d.BulkHard, d.BulkEmails),
+		d.BulkSoft, stats.Pct(d.BulkSoft, d.BulkEmails))
+}
+
+// Typos prints the Section-4.3.2 typo findings.
+func Typos(w io.Writer, d *analysis.Detections) {
+	fmt.Fprintf(w, "== Typos (Section 4.3.2) ==\n")
+	fmt.Fprintf(w, "verified username typos: %d; never-resolving domains: %d; matched domain typos: %d\n",
+		len(d.UsernameTypos), len(d.NeverResolved), len(d.DomainTypos))
+	fmt.Fprintf(w, "username typo kinds (paper: omission 43.92%%, bitsquatting 12.83%%, replacement 10.58%%):\n")
+	printKindDist(w, kindCounts(d.UsernameTypos))
+	fmt.Fprintf(w, "domain typo kinds (paper: omission 37.14%%, replacement 15.02%%, bitsquatting 12.34%%):\n")
+	printKindDist(w, kindCounts(d.DomainTypos))
+}
+
+func kindCounts[K comparable](m map[string]K) map[K]int {
+	out := map[K]int{}
+	for _, k := range m {
+		out[k]++
+	}
+	return out
+}
+
+func printKindDist[K interface {
+	comparable
+	fmt.Stringer
+}](w io.Writer, counts map[K]int) {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	type kv struct {
+		k K
+		n int
+	}
+	var rows []kv
+	for k, n := range counts {
+		rows = append(rows, kv{k, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-15s %6d (%5.2f%%)\n", r.k.String(), r.n, stats.Pct(r.n, total))
+	}
+}
+
+// EnhancedCodeStat prints the no-status-code share.
+func EnhancedCodeStat(w io.Writer, share float64) {
+	fmt.Fprintf(w, "NDR lines without enhanced status code: %.2f%% (paper: 28.79%%)\n", share*100)
+}
+
+// PipelineStats prints the Drain/EBRC pipeline shape.
+func PipelineStats(w io.Writer, templates, labeled int, coverage float64) {
+	fmt.Fprintf(w, "Drain templates mined: %d (paper: 10,089); labeled top templates: %d covering %.2f%% of NDRs (paper: 200 / 68.49%%)\n",
+		templates, labeled, coverage*100)
+}
+
+// downsample reduces a series to at most n points by bucket means.
+func downsample(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(xs) / n
+		hi := (i + 1) * len(xs) / n
+		out[i] = stats.Mean(xs[lo:hi])
+	}
+	return out
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+// Advisories prints the Section-6.2 recommendation engine's output.
+func Advisories(w io.Writer, advs []advise.Advisory) {
+	fmt.Fprintf(w, "== Recommendations (Section 6.2): %d advisories ==\n", len(advs))
+	for _, a := range advs {
+		fmt.Fprintf(w, "[%s] to %-15s %s\n", a.Severity, a.Audience, a.Subject)
+		fmt.Fprintf(w, "       action:   %s\n", a.Action)
+		fmt.Fprintf(w, "       evidence: %s\n", a.Evidence)
+	}
+}
+
+// Filters prints the Section-4.2.2 cross-ESP filter comparison and the
+// blocklist-recovery statistic.
+func Filters(w io.Writer, f analysis.FilterDisagreement, r analysis.BlocklistRecovery) {
+	fmt.Fprintf(w, "== Spam-filter disagreement (Section 4.2.2) ==\n")
+	fmt.Fprintf(w, "sender-flagged spam not judged spam there:  %d/%d (%.2f%%; paper: 46.49%%)\n",
+		f.SenderSpamNotSpamAtReceiver, f.SenderSpamTotal, f.SenderDisagreeShare()*100)
+	fmt.Fprintf(w, "receiver-rejected spam flagged Normal:     %d/%d (%.2f%%; paper: 39.46%%)\n",
+		f.ReceiverSpamFlaggedNormal, f.ReceiverSpamTotal, f.ReceiverDisagreeShare()*100)
+	fmt.Fprintf(w, "extra retry attempts burned on them:       %d\n", f.NormalSpamRetryAttempts)
+	fmt.Fprintf(w, "blocklist recovery by switching proxies:   %d/%d (%.2f%%; paper: 80.71%%), avg %.2f attempts (paper: 3)\n",
+		r.Recovered, r.Affected, r.RecoveryShare()*100, r.AvgAttempts)
+}

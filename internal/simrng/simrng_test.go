@@ -1,0 +1,241 @@
+package simrng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	// Streams with the same name derived from freshly seeded parents are
+	// reproducible; differently named streams differ.
+	s1 := New(7).Stream("dns")
+	s2 := New(7).Stream("dns")
+	s3 := New(7).Stream("blocklist")
+	for i := 0; i < 100; i++ {
+		v1, v2, v3 := s1.Uint64(), s2.Uint64(), s3.Uint64()
+		if v1 != v2 {
+			t.Fatalf("same-name streams diverged at %d", i)
+		}
+		if v1 == v3 {
+			t.Fatalf("different-name streams collided at %d", i)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	for _, p := range []float64{0.0, 0.1, 0.5, 0.9, 1.0} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bool(%g) frequency %g", p, got)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(12)
+	}
+	mean := sum / n
+	if math.Abs(mean-12) > 0.3 {
+		t.Errorf("Exp(12) sample mean %g", mean)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(5)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(2, 1)
+	}
+	// Median of LogNormal(mu, sigma) is e^mu. Use a selection-free check:
+	// count below e^2.
+	below := 0
+	for _, v := range vals {
+		if v < math.Exp(2) {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("LogNormal median check: %g below e^mu, want ~0.5", frac)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(3, 1.5)
+		if v < 3 {
+			t.Fatalf("Pareto(3,1.5) produced %g < xm", v)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(7)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("Poisson(%g) sample mean %g", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := New(8)
+	z := NewZipf(100, 1.0)
+	const n = 300000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Rank 0 should receive close to its theoretical mass and strictly
+	// dominate rank 9 by roughly 10x (s=1).
+	got0 := float64(counts[0]) / n
+	if math.Abs(got0-z.Prob(0)) > 0.01 {
+		t.Errorf("rank-0 frequency %g want %g", got0, z.Prob(0))
+	}
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 7 || ratio > 13 {
+		t.Errorf("rank0/rank9 ratio %g, want ~10", ratio)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(50, 0.8)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Zipf probabilities sum to %g", sum)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) should panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func TestWeightedSample(t *testing.T) {
+	r := New(9)
+	w := NewWeighted([]float64{0, 1, 3, 0, 6})
+	const n = 200000
+	counts := make([]int, 5)
+	for i := 0; i < n; i++ {
+		counts[w.Sample(r)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Errorf("zero-weight indices sampled: %v", counts)
+	}
+	if f := float64(counts[4]) / n; math.Abs(f-0.6) > 0.01 {
+		t.Errorf("weight-6 index frequency %g want 0.6", f)
+	}
+	if f := float64(counts[1]) / n; math.Abs(f-0.1) > 0.01 {
+		t.Errorf("weight-1 index frequency %g want 0.1", f)
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"negative": {1, -1},
+		"allZero":  {0, 0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeighted(%s) should panic", name)
+				}
+			}()
+			NewWeighted(weights)
+		}()
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(10)
+	items := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, items)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick over 100 draws saw %d/3 items", len(seen))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := New(seed).IntN(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

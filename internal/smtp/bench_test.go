@@ -1,0 +1,72 @@
+package smtp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mail"
+)
+
+func BenchmarkSendMailRoundTrip(b *testing.B) {
+	s := NewServer(Backend{Hostname: "bench.mx"})
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	addr := s.Addr().String()
+	payload := []byte("Subject: bench\n\nhello world\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := SendMail(addr, "a@a.com", "b@b.com", payload, SendOptions{Timeout: 5 * time.Second})
+		if err != nil || !rep.Success() {
+			b.Fatalf("%v %v", err, rep)
+		}
+	}
+}
+
+func BenchmarkPersistentSession(b *testing.B) {
+	s := NewServer(Backend{Hostname: "bench.mx"})
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr().String(), 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Quit()
+	if _, err := c.Hello("bench.client"); err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("hello")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Mail("a@a.com"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Rcpt("b@b.com"); err != nil {
+			b.Fatal(err)
+		}
+		if rep, err := c.Data(payload); err != nil || !rep.Success() {
+			b.Fatalf("%v %v", err, rep)
+		}
+	}
+}
+
+func BenchmarkReplyWire(b *testing.B) {
+	r := NewReply(550, mail.EnhBadMailbox, "user unknown in the directory")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.wire()
+	}
+}
+
+func BenchmarkFromNDRLine(b *testing.B) {
+	line := "550-5.1.1 bob@b.com Email address could not be found, or was misspelled (v12)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = FromNDRLine(line)
+	}
+}

@@ -1,0 +1,73 @@
+package smtp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+)
+
+// errTooLarge reports a DATA payload exceeding the advertised SIZE.
+var errTooLarge = errors.New("smtp: message exceeds maximum size")
+
+// lineReader reads CRLF-terminated command lines and dot-terminated
+// DATA payloads with dot-unstuffing (RFC 5321 §4.5.2).
+type lineReader struct {
+	br *bufio.Reader
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{br: bufio.NewReader(r)}
+}
+
+// ReadLine reads one command line without its line ending. Lines longer
+// than 4096 bytes are an error (RFC 5321 limits command lines to 512).
+func (l *lineReader) ReadLine() (string, error) {
+	line, err := l.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > 4096 {
+		return "", errors.New("smtp: command line too long")
+	}
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}
+
+// ReadDotBytes reads a DATA payload up to the terminating
+// "<CRLF>.<CRLF>", unstuffing leading dots. maxSize of 0 means
+// unlimited; exceeding it returns errTooLarge after draining to the
+// terminator so the session can continue.
+func (l *lineReader) ReadDotBytes(maxSize int) ([]byte, error) {
+	var buf bytes.Buffer
+	tooLarge := false
+	for {
+		line, err := l.br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		trimmed := line
+		for len(trimmed) > 0 && (trimmed[len(trimmed)-1] == '\n' || trimmed[len(trimmed)-1] == '\r') {
+			trimmed = trimmed[:len(trimmed)-1]
+		}
+		if trimmed == "." {
+			if tooLarge {
+				return nil, errTooLarge
+			}
+			return buf.Bytes(), nil
+		}
+		if len(trimmed) > 0 && trimmed[0] == '.' {
+			trimmed = trimmed[1:] // dot-unstuff
+		}
+		if maxSize > 0 && buf.Len()+len(trimmed)+1 > maxSize {
+			tooLarge = true
+			continue // keep draining to the terminator
+		}
+		if !tooLarge {
+			buf.WriteString(trimmed)
+			buf.WriteByte('\n')
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package smtp implements a minimal but real RFC 5321 SMTP server and
+// client over net.Conn, with STARTTLS (RFC 3207). The live examples and
+// integration tests deliver mail through actual sockets using the same
+// receiver policy decisions as the bulk in-process simulator, so the
+// wire protocol path is a true subset check of the delivery engine.
+package smtp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mail"
+)
+
+// Reply is one SMTP reply, possibly multi-line.
+type Reply struct {
+	Code  mail.ReplyCode
+	Enh   mail.EnhancedCode // optional
+	Lines []string          // at least one line of text
+}
+
+// NewReply builds a single-line reply.
+func NewReply(code mail.ReplyCode, enh mail.EnhancedCode, text string) *Reply {
+	return &Reply{Code: code, Enh: enh, Lines: []string{text}}
+}
+
+// Success reports whether the reply is 2xx.
+func (r *Reply) Success() bool { return r.Code.Success() }
+
+// Temporary reports whether the reply is 4xx.
+func (r *Reply) Temporary() bool { return r.Code.Temporary() }
+
+// String renders the reply's first line the way it travels on the wire
+// (without CRLF), which is also how delivery_result strings are stored.
+func (r *Reply) String() string {
+	text := ""
+	if len(r.Lines) > 0 {
+		text = r.Lines[0]
+	}
+	if r.Enh.IsZero() {
+		return fmt.Sprintf("%d %s", r.Code, text)
+	}
+	return fmt.Sprintf("%d %s %s", r.Code, r.Enh, text)
+}
+
+// wire renders all lines with continuation markers and CRLFs.
+func (r *Reply) wire() string {
+	lines := r.Lines
+	if len(lines) == 0 {
+		lines = []string{""}
+	}
+	var b strings.Builder
+	for i, l := range lines {
+		sep := " "
+		if i < len(lines)-1 {
+			sep = "-"
+		}
+		if i == 0 && !r.Enh.IsZero() {
+			fmt.Fprintf(&b, "%d%s%s %s\r\n", r.Code, sep, r.Enh, l)
+		} else {
+			fmt.Fprintf(&b, "%d%s%s\r\n", r.Code, sep, l)
+		}
+	}
+	return b.String()
+}
+
+// FromNDRLine converts a rendered NDR catalog line (e.g.
+// "550-5.1.1 user not found") into a Reply so policy engines can speak
+// catalog templates over the wire.
+func FromNDRLine(line string) *Reply {
+	var code mail.ReplyCode
+	var enh mail.EnhancedCode
+	text := line
+	if len(line) >= 3 {
+		var n int
+		if _, err := fmt.Sscanf(line[:3], "%d", &n); err == nil && n >= 200 && n < 600 {
+			code = mail.ReplyCode(n)
+			text = strings.TrimLeft(line[3:], "- ")
+			if i := strings.IndexByte(text, ' '); i > 0 {
+				if e, ok := mail.ParseEnhancedCode(text[:i]); ok {
+					enh = e
+					text = text[i+1:]
+				}
+			}
+		}
+	}
+	if code == 0 {
+		code = mail.CodeTransactFailed
+	}
+	return NewReply(code, enh, text)
+}

@@ -1,0 +1,324 @@
+package smtp
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mail"
+)
+
+// Session describes one SMTP connection for policy callbacks.
+type Session struct {
+	RemoteAddr string
+	Hostname   string // EHLO/HELO argument
+	TLS        bool   // STARTTLS completed
+	From       string
+	Rcpts      []string
+}
+
+// Backend supplies the receiver MTA's policy. Nil callbacks accept.
+// Returning a non-nil Reply from a callback rejects that phase with the
+// given reply — this is where blocklists, greylisting, quotas and auth
+// checks plug in.
+type Backend struct {
+	Hostname   string
+	TLSConfig  *tls.Config // enables the STARTTLS extension when non-nil
+	RequireTLS bool        // reject MAIL until STARTTLS completes
+	MaxSize    int         // advertised SIZE limit; 0 = unlimited
+
+	OnConnect func(s *Session) *Reply
+	OnMail    func(s *Session, from string) *Reply
+	OnRcpt    func(s *Session, from, to string) *Reply
+	OnData    func(s *Session, data []byte) *Reply
+
+	// ReadTimeout bounds each command read; 0 = 30s.
+	ReadTimeout time.Duration
+}
+
+// Server is an SMTP listener bound to a Backend.
+type Server struct {
+	backend Backend
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server for the backend.
+func NewServer(b Backend) *Server {
+	if b.Hostname == "" {
+		b.Hostname = "mx.simulated.example"
+	}
+	if b.ReadTimeout == 0 {
+		b.ReadTimeout = 30 * time.Second
+	}
+	return &Server{backend: b}
+}
+
+// ListenAndServe binds addr ("127.0.0.1:0" for an ephemeral port) and
+// serves until Close. It returns once the listener is bound; serving
+// continues in background goroutines.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("smtp: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops the listener and waits for in-flight sessions.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+type connState struct {
+	conn net.Conn
+	r    *lineReader
+	sess Session
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	st := &connState{
+		conn: conn,
+		r:    newLineReader(conn),
+		sess: Session{RemoteAddr: remoteIP(conn)},
+	}
+	if cb := s.backend.OnConnect; cb != nil {
+		if rep := cb(&st.sess); rep != nil {
+			s.write(st, rep)
+			return
+		}
+	}
+	s.write(st, NewReply(mail.CodeReady, mail.EnhancedCode{}, s.backend.Hostname+" ESMTP ready"))
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.backend.ReadTimeout))
+		line, err := st.r.ReadLine()
+		if err != nil {
+			return
+		}
+		verb, arg := splitVerb(line)
+		switch verb {
+		case "EHLO", "HELO":
+			st.sess.Hostname = arg
+			s.writeEhlo(st, verb == "EHLO")
+		case "STARTTLS":
+			if s.backend.TLSConfig == nil {
+				s.write(st, NewReply(mail.CodeNotImplemented, mail.EnhancedCode{}, "STARTTLS not offered"))
+				continue
+			}
+			if st.sess.TLS {
+				s.write(st, NewReply(mail.CodeBadSequence, mail.EnhancedCode{}, "TLS already active"))
+				continue
+			}
+			s.write(st, NewReply(mail.CodeReady, mail.EnhancedCode{}, "Ready to start TLS"))
+			tconn := tls.Server(st.conn, s.backend.TLSConfig)
+			if err := tconn.Handshake(); err != nil {
+				return
+			}
+			st.conn = tconn
+			st.r = newLineReader(tconn)
+			st.sess = Session{RemoteAddr: st.sess.RemoteAddr, TLS: true} // RFC 3207: reset state
+		case "MAIL":
+			s.handleMail(st, arg)
+		case "RCPT":
+			s.handleRcpt(st, arg)
+		case "DATA":
+			if !s.handleData(st) {
+				return
+			}
+		case "RSET":
+			st.sess.From, st.sess.Rcpts = "", nil
+			s.write(st, NewReply(mail.CodeOK, mail.EnhOK, "Flushed"))
+		case "NOOP":
+			s.write(st, NewReply(mail.CodeOK, mail.EnhOK, "OK"))
+		case "VRFY", "EXPN":
+			// RFC 2505 anti-spam guidance: do not disclose user existence.
+			s.write(st, NewReply(252, mail.EnhancedCode{}, "Cannot VRFY user, but will accept message and attempt delivery"))
+		case "QUIT":
+			s.write(st, NewReply(mail.CodeClosing, mail.EnhOK, s.backend.Hostname+" closing connection"))
+			return
+		default:
+			s.write(st, NewReply(mail.CodeSyntaxError, mail.EnhancedCode{}, "Command unrecognized"))
+		}
+	}
+}
+
+func (s *Server) writeEhlo(st *connState, esmtp bool) {
+	if !esmtp {
+		s.write(st, NewReply(mail.CodeOK, mail.EnhancedCode{}, s.backend.Hostname))
+		return
+	}
+	lines := []string{s.backend.Hostname + " greets " + st.sess.Hostname, "PIPELINING", "8BITMIME"}
+	if s.backend.MaxSize > 0 {
+		lines = append(lines, fmt.Sprintf("SIZE %d", s.backend.MaxSize))
+	}
+	if s.backend.TLSConfig != nil && !st.sess.TLS {
+		lines = append(lines, "STARTTLS")
+	}
+	s.write(st, &Reply{Code: mail.CodeOK, Lines: lines})
+}
+
+func (s *Server) handleMail(st *connState, arg string) {
+	if s.backend.RequireTLS && !st.sess.TLS {
+		s.write(st, NewReply(530, mail.EnhTLSRequired, "Must issue a STARTTLS command first"))
+		return
+	}
+	from, ok := parsePath(arg, "FROM")
+	if !ok {
+		s.write(st, NewReply(mail.CodeParamError, mail.EnhancedCode{}, "Syntax: MAIL FROM:<address>"))
+		return
+	}
+	if cb := s.backend.OnMail; cb != nil {
+		if rep := cb(&st.sess, from); rep != nil {
+			s.write(st, rep)
+			return
+		}
+	}
+	st.sess.From = from
+	st.sess.Rcpts = nil
+	s.write(st, NewReply(mail.CodeOK, mail.EnhOK, "Sender OK"))
+}
+
+func (s *Server) handleRcpt(st *connState, arg string) {
+	if st.sess.From == "" {
+		s.write(st, NewReply(mail.CodeBadSequence, mail.EnhancedCode{}, "Need MAIL before RCPT"))
+		return
+	}
+	to, ok := parsePath(arg, "TO")
+	if !ok {
+		s.write(st, NewReply(mail.CodeParamError, mail.EnhancedCode{}, "Syntax: RCPT TO:<address>"))
+		return
+	}
+	if cb := s.backend.OnRcpt; cb != nil {
+		if rep := cb(&st.sess, st.sess.From, to); rep != nil {
+			s.write(st, rep)
+			return
+		}
+	}
+	st.sess.Rcpts = append(st.sess.Rcpts, to)
+	s.write(st, NewReply(mail.CodeOK, mail.EnhOK, "Recipient OK"))
+}
+
+// handleData runs the DATA phase; it returns false when the connection
+// should be dropped.
+func (s *Server) handleData(st *connState) bool {
+	if len(st.sess.Rcpts) == 0 {
+		s.write(st, NewReply(mail.CodeBadSequence, mail.EnhancedCode{}, "Need RCPT before DATA"))
+		return true
+	}
+	s.write(st, NewReply(mail.CodeStartData, mail.EnhancedCode{}, "Start mail input; end with <CRLF>.<CRLF>"))
+	data, err := st.r.ReadDotBytes(s.backend.MaxSize)
+	if err != nil {
+		if errors.Is(err, errTooLarge) {
+			s.write(st, NewReply(mail.CodeExceededQuota, mail.EnhMsgTooBig, "Message size exceeds fixed maximum message size"))
+			return true
+		}
+		return false
+	}
+	rep := NewReply(mail.CodeOK, mail.EnhOK, "Message accepted for delivery")
+	if cb := s.backend.OnData; cb != nil {
+		if r := cb(&st.sess, data); r != nil {
+			rep = r
+		}
+	}
+	s.write(st, rep)
+	st.sess.From, st.sess.Rcpts = "", nil
+	return true
+}
+
+func (s *Server) write(st *connState, r *Reply) {
+	st.conn.SetWriteDeadline(time.Now().Add(s.backend.ReadTimeout))
+	io.WriteString(st.conn, r.wire())
+}
+
+func splitVerb(line string) (verb, arg string) {
+	line = strings.TrimRight(line, "\r\n")
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return strings.ToUpper(line[:i]), strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(line), ""
+}
+
+// parsePath extracts the address from "FROM:<a@b>" / "TO:<a@b>" syntax,
+// tolerating missing angle brackets and extensions after the path.
+func parsePath(arg, keyword string) (string, bool) {
+	rest, ok := cutPrefixFold(arg, keyword+":")
+	if !ok {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "<") {
+		end := strings.IndexByte(rest, '>')
+		if end < 0 {
+			return "", false
+		}
+		return rest[1:end], true
+	}
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) || !strings.EqualFold(s[:len(prefix)], prefix) {
+		return s, false
+	}
+	return s[len(prefix):], true
+}
+
+func remoteIP(conn net.Conn) string {
+	addr := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}

@@ -1,0 +1,153 @@
+// Package smtpbridge serves a simulated receiver domain's policy over
+// the real SMTP substrate: it builds an smtp.Backend whose callbacks
+// make the same decisions (recipient existence, inactive accounts,
+// quota at a virtual instant, recipient count, TLS mandate, DNSBL,
+// greylisting, content filtering) as the bulk delivery engine, and
+// renders the same NDR catalog templates on the wire. Integration tests
+// use it to prove the wire path is a true subset of the in-process
+// simulation; cmd/mailsim-style tools can expose any generated domain
+// as a live MTA.
+package smtpbridge
+
+import (
+	"crypto/tls"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/greylist"
+	"repro/internal/mail"
+	"repro/internal/ndr"
+	"repro/internal/simrng"
+	"repro/internal/smtp"
+	"repro/internal/world"
+)
+
+// Options configures the bridge.
+type Options struct {
+	// At is the virtual instant policy is evaluated at (quota windows,
+	// blocklist state, DNSBL adoption date).
+	At time.Time
+	// TLS enables STARTTLS; required when the domain mandates TLS.
+	TLS *tls.Config
+	// ClientIP maps a session to the simulated client address used for
+	// DNSBL and greylist decisions. Defaults to resolving the EHLO
+	// hostname in the world's DNS (falling back to the socket address),
+	// so tests can impersonate proxy MTAs by HELO name.
+	ClientIP func(s *smtp.Session) string
+	// Seed drives template dialect jitter.
+	Seed uint64
+}
+
+// Backend builds the policy-enforcing backend for domain d of world w.
+func Backend(w *world.World, d *world.ReceiverDomain, opts Options) smtp.Backend {
+	if opts.At.IsZero() {
+		opts.At = time.Date(2022, 7, 1, 12, 0, 0, 0, time.UTC)
+	}
+	rng := simrng.New(opts.Seed ^ 0xb21d6e)
+	clientIP := opts.ClientIP
+	if clientIP == nil {
+		clientIP = func(s *smtp.Session) string {
+			if s.Hostname != "" {
+				if ips, code := w.Resolver.ResolveA(s.Hostname, opts.At); code == 0 && len(ips) > 0 {
+					return ips[0]
+				}
+			}
+			return s.RemoteAddr
+		}
+	}
+	render := func(typ ndr.Type, to string) *smtp.Reply {
+		local, _, _ := strings.Cut(to, "@")
+		idx := -1
+		if d.Policy.AmbiguousNDR && ambiguousEligible(typ) {
+			idx = d.AmbiguousTemplate(rng)
+		}
+		if idx < 0 {
+			idx = d.TemplateFor(typ, rng)
+		}
+		line := ndr.Catalog[idx].Render(ndr.Params{
+			Addr: to, Local: local, Domain: d.Name, IP: "client",
+			MX: d.MXHost, BL: "Spamhaus", Vendor: fmt.Sprintf("w%06x", rng.Uint64()&0xffffff),
+			Sec: "300", Size: fmt.Sprintf("%d", d.Policy.MaxMsgSize),
+		})
+		return smtp.FromNDRLine(line)
+	}
+
+	return smtp.Backend{
+		Hostname:   d.MXHost,
+		TLSConfig:  opts.TLS,
+		RequireTLS: d.Policy.TLS == world.TLSMandatory && opts.TLS != nil,
+		MaxSize:    d.Policy.MaxMsgSize,
+		OnMail: func(s *smtp.Session, from string) *smtp.Reply {
+			ip := clientIP(s)
+			if d.Policy.UsesDNSBL && !opts.At.Before(d.Policy.DNSBLFrom) &&
+				w.Blocklist.Listed(ip, opts.At) {
+				return render(ndr.T5Blocklisted, from)
+			}
+			return nil
+		},
+		OnRcpt: func(s *smtp.Session, from, to string) *smtp.Reply {
+			addr, err := mail.ParseAddress(to)
+			if err != nil {
+				return smtp.NewReply(mail.CodeNameNotAllowed, mail.EnhBadMailbox, "malformed recipient")
+			}
+			if d.Policy.Greylisting && d.Greylist != nil {
+				if v := d.Greylist.Check(clientIP(s), from, to, opts.At); v == greylist.Defer {
+					return render(ndr.T6Greylisted, to)
+				}
+			}
+			if d.Policy.MaxRcpts > 0 && len(s.Rcpts) >= d.Policy.MaxRcpts {
+				return render(ndr.T10TooManyRcpts, to)
+			}
+			mbox, ok := d.Users[addr.Local]
+			if !ok {
+				return render(ndr.T8NoSuchUser, to)
+			}
+			if mbox.InactiveAt(opts.At) {
+				return render(ndr.T8NoSuchUser, to)
+			}
+			if mbox.FullAt(opts.At) {
+				return render(ndr.T9MailboxFull, to)
+			}
+			return nil
+		},
+		OnData: func(s *smtp.Session, data []byte) *smtp.Reply {
+			if d.Filter.Classify(strings.Fields(string(data))) {
+				return render(ndr.T13ContentSpam, s.From)
+			}
+			return nil
+		},
+	}
+}
+
+// ambiguousEligible mirrors the delivery engine's ambiguity rule for
+// receiver-side rejection types.
+func ambiguousEligible(typ ndr.Type) bool {
+	switch typ {
+	case ndr.T8NoSuchUser, ndr.T13ContentSpam, ndr.T11RateLimited, ndr.T5Blocklisted:
+		return true
+	}
+	return false
+}
+
+// Verdict summarizes a wire reply for equivalence checks.
+type Verdict int
+
+// Verdict classes.
+const (
+	Accepted Verdict = iota
+	RejectedPermanent
+	RejectedTemporary
+)
+
+// Classify maps a reply to its verdict class.
+func Classify(rep *smtp.Reply) Verdict {
+	switch {
+	case rep.Success():
+		return Accepted
+	case rep.Temporary():
+		return RejectedTemporary
+	default:
+		return RejectedPermanent
+	}
+}

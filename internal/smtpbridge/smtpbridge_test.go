@@ -1,0 +1,239 @@
+package smtpbridge
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ndr"
+	"repro/internal/simrng"
+	"repro/internal/smtp"
+	"repro/internal/spamfilter"
+	"repro/internal/world"
+)
+
+var at = clock.StudyStart.AddDate(0, 0, 20).Add(12 * time.Hour)
+
+func tinyWorld(t *testing.T) *world.World {
+	t.Helper()
+	return world.New(world.TinyConfig())
+}
+
+// serve starts the bridge for domain d and returns its address.
+func serve(t *testing.T, w *world.World, d *world.ReceiverDomain) string {
+	t.Helper()
+	srv := smtp.NewServer(Backend(w, d, Options{At: at, Seed: 1}))
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv.Addr().String()
+}
+
+// cleanDomain finds a plain-policy domain for focused checks.
+func cleanDomain(t *testing.T, w *world.World) *world.ReceiverDomain {
+	t.Helper()
+	for _, d := range w.Domains {
+		p := d.Policy
+		if d.Rank >= 11 && !p.AmbiguousNDR && !p.UsesDNSBL && !p.Greylisting &&
+			p.TLS != world.TLSMandatory && p.QuirkProb == 0 && len(d.UserList) > 3 {
+			return d
+		}
+	}
+	t.Skip("no clean domain in tiny world")
+	return nil
+}
+
+func send(t *testing.T, addr, from, to, body string) *smtp.Reply {
+	t.Helper()
+	rep, err := smtp.SendMail(addr, from, to, []byte(body), smtp.SendOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestWireMatchesPolicyForRecipients(t *testing.T) {
+	w := tinyWorld(t)
+	d := cleanDomain(t, w)
+	addr := serve(t, w, d)
+
+	// Every simulated mailbox state must produce the equivalent wire
+	// verdict: the subset check DESIGN.md promises.
+	checked := 0
+	for _, local := range d.UserList {
+		mbox := d.Users[local]
+		rep := send(t, addr, "tester@sender.example", local+"@"+d.Name, "meeting agenda timesheet")
+		var want Verdict
+		switch {
+		case mbox.InactiveAt(at):
+			want = RejectedPermanent
+		case mbox.FullAt(at):
+			// Quota templates are 4xx or 5xx depending on dialect; both
+			// are rejections.
+			if Classify(rep) == Accepted {
+				t.Errorf("full mailbox %s accepted on the wire", local)
+			}
+			continue
+		default:
+			want = Accepted
+		}
+		if got := Classify(rep); got != want {
+			t.Errorf("user %s: wire verdict %v want %v (%s)", local, got, want, rep)
+		}
+		checked++
+		if checked >= 12 {
+			break
+		}
+	}
+
+	// Ghost recipient: permanent rejection with T8-style text.
+	rep := send(t, addr, "tester@sender.example", "no-such-user-zz@"+d.Name, "hello")
+	if Classify(rep) != RejectedPermanent {
+		t.Errorf("ghost user verdict: %s", rep)
+	}
+}
+
+func TestWireContentFilterMatchesSimulator(t *testing.T) {
+	w := tinyWorld(t)
+	d := cleanDomain(t, w)
+	addr := serve(t, w, d)
+	to := d.UserList[0] + "@" + d.Name
+
+	spammy := strings.Join(spamfilter.GenerateTokens(simRNG(), 0.97, 16), " ")
+	hammy := "meeting agenda quarterly-report timesheet invoice"
+
+	repSpam := send(t, addr, "x@s.example", to, spammy)
+	repHam := send(t, addr, "x@s.example", to, hammy)
+
+	wantSpam := d.Filter.Classify(strings.Fields(spammy))
+	wantHam := d.Filter.Classify(strings.Fields(hammy))
+	if (Classify(repSpam) != Accepted) != wantSpam {
+		t.Errorf("spam verdict mismatch: wire %s, filter says %v", repSpam, wantSpam)
+	}
+	if (Classify(repHam) != Accepted) != wantHam {
+		t.Errorf("ham verdict mismatch: wire %s, filter says %v", repHam, wantHam)
+	}
+}
+
+func TestWireGreylisting(t *testing.T) {
+	w := tinyWorld(t)
+	var d *world.ReceiverDomain
+	for _, cand := range w.Domains {
+		if cand.Policy.Greylisting && cand.Greylist != nil && len(cand.UserList) > 0 {
+			d = cand
+			break
+		}
+	}
+	if d == nil {
+		t.Skip("no greylisting domain in tiny world")
+	}
+	addr := serve(t, w, d)
+	to := d.UserList[0] + "@" + d.Name
+	rep := send(t, addr, "a@s.example", to, "hello")
+	if Classify(rep) != RejectedTemporary {
+		t.Fatalf("first tuple contact should defer: %s", rep)
+	}
+	// The wire NDR must be greylist-flavored.
+	if !strings.Contains(strings.ToLower(rep.String()), "greylist") {
+		t.Errorf("greylist NDR text: %s", rep)
+	}
+}
+
+func TestWireBlocklistViaHELOIdentity(t *testing.T) {
+	w := tinyWorld(t)
+	var d *world.ReceiverDomain
+	for _, cand := range w.Domains {
+		p := cand.Policy
+		if p.UsesDNSBL && !p.DNSBLFrom.After(at) && !p.Greylisting &&
+			p.TLS != world.TLSMandatory && len(cand.UserList) > 0 && !p.AmbiguousNDR {
+			d = cand
+			break
+		}
+	}
+	if d == nil {
+		t.Skip("no DNSBL domain in tiny world")
+	}
+	// List proxy 0 and impersonate it by EHLO hostname.
+	proxy := w.Proxies[0]
+	w.Blocklist.ReportSpam(proxy.IP, at.Add(-time.Hour))
+	if !w.Blocklist.Listed(proxy.IP, at) {
+		t.Fatal("proxy not listed")
+	}
+	addr := serve(t, w, d)
+	to := d.UserList[0] + "@" + d.Name
+	rep, err := smtp.SendMail(addr, "a@s.example", to, []byte("hi"),
+		smtp.SendOptions{Helo: proxy.Hostname, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Classify(rep) == Accepted {
+		t.Fatalf("listed proxy accepted: %s", rep)
+	}
+	// A clean identity passes.
+	rep, err = smtp.SendMail(addr, "a@s.example", to, []byte("meeting agenda"),
+		smtp.SendOptions{Helo: "clean.sender.example", Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Classify(rep) != Accepted {
+		t.Fatalf("clean sender rejected: %s", rep)
+	}
+}
+
+func TestWireAmbiguousDomainText(t *testing.T) {
+	w := tinyWorld(t)
+	d := w.DomainByName["hotmail.com"]
+	addr := serve(t, w, d)
+	rep := send(t, addr, "a@s.example", "ghost-zz@hotmail.com", "hello")
+	if Classify(rep) == Accepted {
+		t.Fatalf("ghost accepted: %s", rep)
+	}
+	text := rep.String()
+	informative := strings.Contains(text, "could not be found") ||
+		strings.Contains(text, "does not exist") || strings.Contains(text, "User unknown")
+	if informative {
+		t.Errorf("ambiguous domain leaked informative NDR: %s", text)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		line string
+		want Verdict
+	}{
+		{"250 2.0.0 OK", Accepted},
+		{"450 4.7.1 Greylisted", RejectedTemporary},
+		{"550 5.1.1 no such user", RejectedPermanent},
+	}
+	for _, c := range cases {
+		if got := Classify(smtp.FromNDRLine(c.line)); got != c.want {
+			t.Errorf("Classify(%q) = %v want %v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestVerdictTextUsesCatalog(t *testing.T) {
+	// Wire NDRs must come from the shared catalog so the analysis
+	// pipeline can classify them.
+	w := tinyWorld(t)
+	d := cleanDomain(t, w)
+	addr := serve(t, w, d)
+	rep := send(t, addr, "a@s.example", "ghost-yy@"+d.Name, "hello")
+	matched := false
+	for _, i := range ndr.TemplatesFor(ndr.T8NoSuchUser) {
+		sig := ndr.Catalog[i].Text
+		if j := strings.IndexByte(sig, '{'); j > 4 {
+			sig = sig[4:j] // skip the code prefix, stop at first placeholder
+		}
+		if sig != "" && strings.Contains(rep.String(), strings.TrimSpace(sig)) {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Errorf("wire NDR not from catalog: %s", rep)
+	}
+}
+
+func simRNG() *simrng.RNG { return simrng.New(99) }

@@ -1,0 +1,115 @@
+// Package stats provides the small numeric helpers the analysis layer
+// uses: means, percentiles, CDFs and fixed-bucket histograms.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It sorts a copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// FractionAtLeast returns the share of values >= threshold.
+func FractionAtLeast(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // P(value <= X)
+}
+
+// CDF returns the empirical CDF of xs evaluated at the given points.
+func CDF(xs []float64, at []float64) []CDFPoint {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(at))
+	for i, x := range at {
+		idx := sort.SearchFloat64s(s, math.Nextafter(x, math.Inf(1)))
+		f := 0.0
+		if len(s) > 0 {
+			f = float64(idx) / float64(len(s))
+		}
+		out[i] = CDFPoint{X: x, F: f}
+	}
+	return out
+}
+
+// Histogram counts values into equal-width buckets over [lo, hi);
+// values outside clamp to the edge buckets.
+func Histogram(xs []float64, lo, hi float64, buckets int) []int {
+	if buckets <= 0 || hi <= lo {
+		return nil
+	}
+	counts := make([]int, buckets)
+	w := (hi - lo) / float64(buckets)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= buckets {
+			i = buckets - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// Ratio is a safe division returning 0 for a zero denominator.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Pct is Ratio×100.
+func Pct(num, den int) float64 { return Ratio(num, den) * 100 }

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("interpolated median = %g", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil)")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestMedianIsP50(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		return Median(xs) == Percentile(xs, 50)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionAtLeast(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := FractionAtLeast(xs, 30); got != 0.5 {
+		t.Errorf("FractionAtLeast = %g", got)
+	}
+	if FractionAtLeast(nil, 1) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	pts := CDF(xs, []float64{0, 1, 2.5, 4, 9})
+	want := []float64{0, 0.25, 0.5, 1, 1}
+	for i, p := range pts {
+		if p.F != want[i] {
+			t.Errorf("CDF at %g = %g want %g", p.X, p.F, want[i])
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		at := []float64{-10, -1, 0, 1, 10, 100}
+		pts := CDF(xs, at)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].F < pts[i-1].F {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{-5, 0, 1, 5, 9, 15}
+	h := Histogram(xs, 0, 10, 2)
+	if h[0] != 3 || h[1] != 3 { // -5 clamps to 0-bucket, 15 clamps to last; 5 opens bucket 1
+		t.Errorf("Histogram = %v", h)
+	}
+	if Histogram(xs, 10, 0, 2) != nil || Histogram(xs, 0, 10, 0) != nil {
+		t.Error("invalid params should return nil")
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram loses values: %d", total)
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 0) != 0 || Pct(1, 0) != 0 {
+		t.Error("zero denominator should yield 0")
+	}
+	if Ratio(1, 4) != 0.25 || Pct(1, 4) != 25 {
+		t.Error("ratio math")
+	}
+}

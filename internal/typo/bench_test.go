@@ -1,0 +1,26 @@
+package typo
+
+import "testing"
+
+func BenchmarkDomainCandidates(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Domain("hotmail.com")
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Classify("lotmail.com", "hotmail.com"); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Similarity("alice.smith", "alice.smth")
+	}
+}

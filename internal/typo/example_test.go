@@ -1,0 +1,22 @@
+package typo_test
+
+import (
+	"fmt"
+
+	"repro/internal/typo"
+)
+
+func ExampleClassify() {
+	// The paper's own example: a bit flip turns hotmail into lotmail.
+	kind, ok := typo.Classify("lotmail.com", "hotmail.com")
+	fmt.Println(kind, ok)
+	// Output: bitsquatting true
+}
+
+func ExampleSimilarity() {
+	fmt.Printf("%.2f\n", typo.Similarity("alice.smith", "alice.smth"))
+	fmt.Printf("%.2f\n", typo.Similarity("alice.smith", "bob.jones"))
+	// Output:
+	// 0.91
+	// 0.09
+}

@@ -1,0 +1,226 @@
+package typo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(cands []Candidate) map[string]Kind {
+	m := make(map[string]Kind, len(cands))
+	for _, c := range cands {
+		if _, ok := m[c.Name]; !ok {
+			m[c.Name] = c.Kind
+		}
+	}
+	return m
+}
+
+func TestPaperExamples(t *testing.T) {
+	// The typo examples quoted in Section 4.3.2.
+	cases := []struct {
+		original, observed string
+		kind               Kind
+	}{
+		{"yahoo.com.cn", "yaho.com.cn", Omission},
+		{"hotmail.com", "lotmail.com", Bitsquatting}, // 'h'^0x04 = 'l'
+		{"springer.com", "springer.comm", TLDRepetition},
+	}
+	for _, c := range cases {
+		got, ok := Classify(c.observed, c.original)
+		if !ok {
+			t.Errorf("Classify(%q, %q): not recognized", c.observed, c.original)
+			continue
+		}
+		if got != c.kind {
+			t.Errorf("Classify(%q, %q) = %v want %v", c.observed, c.original, got, c.kind)
+		}
+	}
+	// icloud→icloyd is a keyboard replacement (u→y adjacency).
+	if k, ok := Classify("icloyd.com", "icloud.com"); !ok || k != Replacement {
+		t.Errorf("icloyd.com: %v %v", k, ok)
+	}
+}
+
+func TestLabelKinds(t *testing.T) {
+	m := kinds(Label("alice"))
+	wantMembers := map[string]Kind{
+		"alce":   Omission,      // drop i
+		"aalice": Repetition,    // double a
+		"laice":  Transposition, // swap al
+		"a-lice": Hyphenation,
+		"alicce": Repetition,
+		"olice":  VowelSwap, // a→o... also bitsquat? 'a'^0x0e no; keep as member check
+	}
+	for name := range wantMembers {
+		if _, ok := m[name]; !ok {
+			t.Errorf("Label(alice) missing candidate %q", name)
+		}
+	}
+}
+
+func TestLabelExcludesOriginalAndDuplicates(t *testing.T) {
+	f := func(raw string) bool {
+		label := sanitize(raw)
+		if label == "" {
+			return true
+		}
+		seen := map[string]bool{}
+		for _, c := range Label(label) {
+			if c.Name == label {
+				return false
+			}
+			if seen[c.Name] {
+				return false
+			}
+			seen[c.Name] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(raw string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(raw) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteByte(byte(r))
+		}
+		if b.Len() >= 12 {
+			break
+		}
+	}
+	return b.String()
+}
+
+func TestDomainKeepsSuffix(t *testing.T) {
+	for _, c := range Domain("paypal.com") {
+		if c.Kind == TLDRepetition {
+			if c.Name != "paypal.comm" {
+				t.Errorf("TLD repetition = %q", c.Name)
+			}
+			continue
+		}
+		if !strings.HasSuffix(c.Name, ".com") {
+			t.Errorf("candidate %q lost the .com suffix", c.Name)
+		}
+	}
+}
+
+func TestDomainMultiLabel(t *testing.T) {
+	m := kinds(Domain("yahoo.com.cn"))
+	if k, ok := m["yaho.com.cn"]; !ok || k != Omission {
+		t.Errorf("yaho.com.cn: %v %v", k, ok)
+	}
+	if k, ok := m["yahoo.com.cnn"]; !ok || k != TLDRepetition {
+		t.Errorf("yahoo.com.cnn: %v %v", k, ok)
+	}
+}
+
+func TestClassifyNonTypo(t *testing.T) {
+	if _, ok := Classify("completely-different.com", "paypal.com"); ok {
+		t.Error("unrelated name classified as typo")
+	}
+	if _, ok := Classify("paypal.com", "paypal.com"); ok {
+		t.Error("identical name must not classify as typo")
+	}
+}
+
+func TestUsernameGeneration(t *testing.T) {
+	m := kinds(Username("john.smith"))
+	if len(m) < 30 {
+		t.Errorf("too few username candidates: %d", len(m))
+	}
+	if k, ok := m["john.smth"]; !ok || k != Omission {
+		t.Errorf("john.smth: %v %v", k, ok)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		lo   float64
+		hi   float64
+	}{
+		{"alice", "alice", 1, 1},
+		{"alice", "alce", 0.79, 0.81}, // 1 edit over 5
+		{"alice", "bob", 0, 0.3},
+		{"", "", 1, 1},
+		{"a", "", 0, 0},
+	}
+	for _, c := range cases {
+		got := Similarity(c.a, c.b)
+		if got < c.lo || got > c.hi {
+			t.Errorf("Similarity(%q,%q)=%g want [%g,%g]", c.a, c.b, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestSimilaritySymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 || len(b) > 30 {
+			return true
+		}
+		return Similarity(a, b) == Similarity(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratedCandidatesAreHighSimilarity(t *testing.T) {
+	// Every generated typo of a reasonably long name stays above the
+	// paper's 90% pairing threshold.
+	for _, c := range Label("engineering") {
+		if s := Similarity(c.Name, "engineering"); s < 0.9 {
+			t.Errorf("candidate %q similarity %g < 0.9", c.Name, s)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("levenshtein(%q,%q)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	all := []Kind{Omission, Repetition, Transposition, Replacement,
+		Insertion, Bitsquatting, VowelSwap, Hyphenation, TLDRepetition}
+	seen := map[string]bool{}
+	for _, k := range all {
+		s := k.String()
+		if s == "none" || seen[s] {
+			t.Errorf("Kind %d has bad/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if KindNone.String() != "none" {
+		t.Error("KindNone name")
+	}
+}
+
+func TestClassifyLocalDottedUsernames(t *testing.T) {
+	// Classify would treat "alice.smith" as a domain; ClassifyLocal must
+	// handle the dot as part of the label.
+	if k, ok := ClassifyLocal("alice.smth", "alice.smith"); !ok || k != Omission {
+		t.Errorf("ClassifyLocal dotted = %v %v", k, ok)
+	}
+	if _, ok := ClassifyLocal("totally.other", "alice.smith"); ok {
+		t.Error("unrelated local classified as typo")
+	}
+}

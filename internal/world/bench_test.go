@@ -1,0 +1,27 @@
+package world
+
+import "testing"
+
+func BenchmarkNewTinyWorld(b *testing.B) {
+	cfg := TinyConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		New(cfg)
+	}
+}
+
+func BenchmarkNewDefaultWorld(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		New(cfg)
+	}
+}
+
+func BenchmarkEmailsForDay(b *testing.B) {
+	w := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.EmailsForDay(i % 450)
+	}
+}

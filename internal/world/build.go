@@ -1,0 +1,817 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/breach"
+	"repro/internal/clock"
+	"repro/internal/dns"
+	"repro/internal/dnsbl"
+	"repro/internal/geo"
+	"repro/internal/greylist"
+	"repro/internal/mail"
+	"repro/internal/registrar"
+	"repro/internal/simrng"
+	"repro/internal/spamfilter"
+)
+
+// ProxyASN is the AS number of Coremail's international proxy fleet.
+const ProxyASN = 63888
+
+// SPFIncludeName is the shared SPF record customer domains include,
+// authorizing all 34 proxy IPs.
+const SPFIncludeName = "_spf.coremail-intl.example"
+
+// FreemailProviders are the five registration-probeable providers of
+// Section 5.1.
+var FreemailProviders = []string{"gmail.com", "hotmail.com", "yahoo.com", "outlook.com", "aol.com"}
+
+// World is one fully generated ecosystem.
+type World struct {
+	Cfg Config
+
+	Geo       *geo.DB
+	DNS       *dns.Authority
+	Resolver  *dns.Resolver
+	Blocklist *dnsbl.Blocklist
+	Breach    *breach.Corpus
+	Registry  *registrar.Registry
+	UserRegs  map[string]*registrar.UsernameRegistry
+
+	Proxies       []*ProxyMTA
+	Domains       []*ReceiverDomain
+	DomainByName  map[string]*ReceiverDomain
+	DeadDomains   []*DeadDomain
+	SenderDomains []*SenderDomain
+	Senders       []*Sender
+
+	CoremailFilter *spamfilter.Filter
+
+	// TrapProb is the auto-scaled per-spam spamtrap hit probability
+	// (see Config.SpamtrapHitProb).
+	TrapProb float64
+
+	domainSampler *simrng.Weighted
+	senderSampler *simrng.Weighted
+	workRNG       *simrng.RNG
+	wl            *workload
+	nextMsg       int
+}
+
+// DeadDomain is an expired domain real users still write to.
+type DeadDomain struct {
+	Name      string
+	ExpiredAt time.Time // may precede the study window
+}
+
+// wellKnown pins the paper's Table-3 top receiver domains with their
+// volume shares (fractions of all email), hosting AS, MTA country, and
+// policy traits. aol.com is added for the Section-5.1 probe set.
+var wellKnown = []struct {
+	name        string
+	frac        float64
+	asn         int
+	country     string
+	fullMult    float64
+	dnsbl       bool
+	enforce     bool
+	ambiguous   bool
+	tls         TLSLevel
+	spamMagnet  float64 // extra weight as a bulk-spam target
+	trapShare   float64
+	recycleable bool
+}{
+	{"gmail.com", 0.0796, 15169, "US", 2.5, false, true, false, TLSSupported, 3.0, 0.05, false},
+	{"hotmail.com", 0.0163, 8075, "US", 1.2, true, true, true, TLSSupported, 4.0, 0.06, false},
+	{"yahoo.com", 0.0104, 10310, "US", 2.0, true, true, false, TLSSupported, 4.0, 0.06, true},
+	{"apple.com", 0.0099, 714, "US", 0.8, false, true, false, TLSSupported, 1.5, 0.03, false},
+	{"bbva.com", 0.0098, 52129, "ES", 0.2, false, false, false, TLSMandatory, 0.1, 0.02, false},
+	{"cma-cgm.com", 0.0065, 22843, "FR", 0.2, false, false, false, TLSSupported, 0.2, 0.02, false},
+	{"outlook.com", 0.0059, 8075, "US", 1.2, true, true, true, TLSSupported, 4.0, 0.06, false},
+	{"dbschenker.com", 0.0050, 26211, "DE", 0.2, false, false, false, TLSSupported, 0.2, 0.02, false},
+	{"dhl.com", 0.0046, 16417, "DE", 0.2, false, false, false, TLSMandatory, 0.2, 0.02, false},
+	{"amazon.com", 0.0044, 16509, "US", 0.2, false, false, false, TLSSupported, 0.5, 0.04, false},
+	{"aol.com", 0.0040, 10310, "US", 1.8, true, true, false, TLSSupported, 2.0, 0.05, true},
+}
+
+// hostedAS assigns corporate-domain MX hosting: the Office-365 /
+// Google-Workspace / security-vendor concentration that produces the
+// paper's Table 4.
+var hostedAS = []struct {
+	asn    int
+	weight float64
+}{
+	{8075, 33}, {15169, 13}, {16509, 4.5}, {52129, 2.8}, {22843, 2.2},
+	{26211, 1.8}, {3462, 1.7}, {16417, 1.1}, {30238, 1.0}, {0, 39}, // 0 = generic country AS
+}
+
+// New generates a world from cfg. Generation is deterministic in
+// cfg.Seed.
+func New(cfg Config) *World {
+	root := simrng.New(cfg.Seed)
+	w := &World{
+		Cfg:          cfg,
+		Geo:          geo.NewDB(),
+		DNS:          dns.NewAuthority(),
+		Breach:       breach.NewCorpus(),
+		Registry:     registrar.NewRegistry(),
+		UserRegs:     make(map[string]*registrar.UsernameRegistry),
+		DomainByName: make(map[string]*ReceiverDomain),
+	}
+	blCfg := dnsbl.DefaultConfig()
+	blCfg.ReportThreshold = 1  // Spamhaus-style: one trap hit lists the source
+	blCfg.DelistMeanHours = 60 // delisting "is not always simple and timely"
+	w.Blocklist = dnsbl.New(blCfg, root.Stream("dnsbl"))
+	w.TrapProb = cfg.SpamtrapHitProb
+	if w.TrapProb == 0 {
+		// Auto-scale so that expected trap reports keep roughly half the
+		// proxy fleet listed regardless of corpus size.
+		w.TrapProb = 90000 / float64(cfg.TotalEmails)
+		if w.TrapProb > 1 {
+			w.TrapProb = 1
+		}
+		if w.TrapProb < 0.02 {
+			w.TrapProb = 0.02
+		}
+	}
+	w.Resolver = dns.NewResolver(w.DNS, root.Stream("resolver"))
+	w.Resolver.TransientFailProb = cfg.TransientDNSFailProb
+	w.CoremailFilter = spamfilter.NewCanonical("coremail")
+	w.Geo.RegisterASOrg(ProxyASN, "Coremail International")
+	w.Geo.RegisterASOrg(10310, "Yahoo (Oath Holdings)")
+	w.workRNG = root.Stream("workload")
+
+	taken := map[string]bool{}
+	for _, wk := range wellKnown {
+		taken[wk.name] = true
+	}
+	w.buildProxies(root.Stream("proxies"))
+	w.buildReceiverDomains(root.Stream("receivers"), taken)
+	w.buildDomainSampler()
+	w.buildDeadDomains(root.Stream("dead"), taken)
+	w.buildSenderDomains(root.Stream("senderdoms"), taken)
+	w.buildSenders(root.Stream("senders"))
+	w.buildSenderSampler()
+	return w
+}
+
+func (w *World) buildProxies(r *simrng.RNG) {
+	// Five proxies carry trap-dense routes (the paper's five proxies
+	// blocklisted on >70% of days).
+	hot := map[int]bool{1: true, 5: true, 12: true, 20: true, 28: true}
+	id := 0
+	var spfTerms string
+	for _, region := range geo.ProxyRegions {
+		for i := 0; i < region.Proxies; i++ {
+			p := &ProxyMTA{
+				ID:       id,
+				Region:   region.Code,
+				Hostname: fmt.Sprintf("proxy%d.coremail-intl.example", id),
+				IP:       w.Geo.AllocIP(region.Code, ProxyASN),
+			}
+			p.TrapExposure = 1.0
+			if hot[id] {
+				p.TrapExposure = 6.0
+			}
+			w.Proxies = append(w.Proxies, p)
+			w.DNS.Add(dns.Record{Name: p.Hostname, Type: dns.TypeA, A: p.IP})
+			spfTerms += " ip4:" + p.IP
+			id++
+		}
+	}
+	w.DNS.Add(dns.Record{Name: SPFIncludeName, Type: dns.TypeTXT, TXT: "v=spf1" + spfTerms + " -all"})
+}
+
+func (w *World) buildReceiverDomains(r *simrng.RNG, taken map[string]bool) {
+	cfg := w.Cfg
+	n := cfg.ReceiverDomains
+	if n < len(wellKnown) {
+		n = len(wellKnown)
+	}
+	// Popularity: pinned top shares + Zipf tail over the remainder.
+	var topMass float64
+	for _, wk := range wellKnown {
+		topMass += wk.frac
+	}
+	tailN := n - len(wellKnown)
+	zipf := simrng.NewZipf(maxInt(tailN, 1), cfg.ZipfS)
+
+	hostedW := make([]float64, len(hostedAS))
+	for i, h := range hostedAS {
+		hostedW[i] = h.weight
+	}
+	hostedSampler := simrng.NewWeighted(hostedW)
+
+	for i := 0; i < n; i++ {
+		var d *ReceiverDomain
+		if i < len(wellKnown) {
+			wk := wellKnown[i]
+			d = &ReceiverDomain{
+				Name:    wk.name,
+				Country: wk.country,
+				ASN:     wk.asn,
+				Weight:  wk.frac,
+			}
+			d.Policy = ReceiverPolicy{
+				UsesDNSBL:           wk.dnsbl,
+				DNSBLFrom:           clock.StudyStart,
+				TLS:                 wk.tls,
+				EnforceAuth:         wk.enforce,
+				AmbiguousNDR:        wk.ambiguous,
+				MaxMsgSize:          25 << 20,
+				MaxRcpts:            100,
+				UserDailyLimit:      60,
+				PerProxyHourlyLimit: 0, // set below from volume
+				SpamtrapShare:       wk.trapShare,
+			}
+		} else {
+			country := w.Geo.SampleCountry(r)
+			asn := hostedAS[hostedSampler.Sample(r)].asn
+			if asn == 0 {
+				asn = geo.GenericASN(country.Code)
+				w.Geo.RegisterASOrg(asn, country.Name+" Regional ISP")
+			}
+			d = &ReceiverDomain{
+				Name:    randDomain(r, taken),
+				Country: country.Code,
+				ASN:     asn,
+				Weight:  (1 - topMass) * zipf.Prob(i-len(wellKnown)),
+			}
+			d.Policy = ReceiverPolicy{
+				MaxMsgSize:     25 << 20,
+				MaxRcpts:       100,
+				UserDailyLimit: 60,
+				SpamtrapShare:  0.015,
+			}
+			if r.Bool(cfg.DNSBLAdoptionRate) {
+				d.Policy.UsesDNSBL = true
+				if r.Bool(cfg.DNSBLFebAdoptersShare) {
+					d.Policy.DNSBLFrom = time.Date(2023, 2, 1, 0, 0, 0, 0, time.UTC)
+				} else {
+					d.Policy.DNSBLFrom = clock.StudyStart
+				}
+			}
+			if r.Bool(cfg.AuthEnforceRate) {
+				d.Policy.EnforceAuth = true
+			}
+			if r.Bool(cfg.AmbiguousNDRRate) {
+				d.Policy.AmbiguousNDR = true
+			}
+			switch {
+			case i < 100 && r.Bool(cfg.TLSMandateTop100):
+				d.Policy.TLS = TLSMandatory
+			case r.Bool(cfg.TLSMandateRest):
+				d.Policy.TLS = TLSMandatory
+			case r.Bool(0.75):
+				d.Policy.TLS = TLSSupported
+			default:
+				d.Policy.TLS = TLSNone
+			}
+			if i >= 40 && i < 300 && r.Bool(cfg.GreylistAdoptionRate) {
+				d.Policy.Greylisting = true
+				d.Greylist = greylist.NewPrefix(300*time.Second, 30*24*time.Hour, cfg.GreylistPrefixBits)
+			}
+			if r.Bool(0.02) {
+				d.Policy.MaxMsgSize = (2 + r.IntN(6)) << 20 // strict 2-7 MB
+			}
+			if r.Bool(0.3) {
+				d.Policy.MaxRcpts = 20 + r.IntN(60)
+			}
+			if r.Bool(cfg.QuirkDomainRate) {
+				d.Policy.QuirkProb = cfg.QuirkProb
+			}
+			if r.Bool(cfg.DomainLimitRate) {
+				d.Policy.DomainDailyLimit = -1 // resolved from volume below
+			}
+		}
+		d.Rank = i
+		d.dialectSeed = r.Uint64()
+		d.Filter = spamfilter.NewPerturbed(d.Name, r.Stream("filter:"+d.Name), 0.55, (r.Float64()-0.62)*0.3)
+		d.MXHost = "mx1." + d.Name
+		d.MXIP = w.Geo.AllocIP(d.Country, d.ASN)
+		w.DNS.Add(dns.Record{Name: d.Name, Type: dns.TypeNS, Target: "ns1." + d.Name})
+		w.DNS.Add(dns.Record{Name: d.Name, Type: dns.TypeMX, MX: dns.MX{Host: d.MXHost, Pref: 10}})
+		w.DNS.Add(dns.Record{Name: d.MXHost, Type: dns.TypeA, A: d.MXIP})
+		w.Registry.Register(d.Name, "org:"+d.Name, time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC), time.Time{}, true)
+
+		w.populateUsers(r, d, i)
+		w.scheduleMXOutages(r, d)
+		w.Domains = append(w.Domains, d)
+		w.DomainByName[d.Name] = d
+	}
+	// Per-proxy hourly limits scale with expected volume: receivers
+	// throttle sources that exceed ~4x their fair hourly share (T7).
+	dailyMean := float64(cfg.TotalEmails) / clock.StudyDays
+	for _, d := range w.Domains {
+		perProxyDay := d.Weight * dailyMean / float64(len(w.Proxies))
+		d.Policy.PerProxyHourlyLimit = maxInt(3, int(perProxyDay*5))
+		if d.Policy.DomainDailyLimit == -1 {
+			mean := d.Weight * dailyMean
+			d.Policy.DomainDailyLimit = maxInt(3, int(mean*(1.6+r.Float64())))
+		}
+	}
+	// Chronic MX breakage: a few mid-popularity domains stay broken for
+	// months, carrying the Figure-7 long tail and most of T2's volume.
+	chronic := 0
+	for _, d := range w.Domains {
+		if chronic >= cfg.ChronicMXDomains {
+			break
+		}
+		if d.Rank < 15 || d.Rank > 100 || len(d.MXOutages) > 0 {
+			continue
+		}
+		start := clock.StudyStart.AddDate(0, 0, 30+r.IntN(150))
+		win := Window{From: start, Until: start.AddDate(0, 0, 60+r.IntN(140))}
+		d.MXOutages = append(d.MXOutages, win)
+		w.DNS.AddOutage(dns.Outage{
+			Name: d.Name, Types: []dns.RType{dns.TypeMX},
+			Code: dns.NXDomain, From: win.From, Until: win.Until,
+		})
+		chronic++
+	}
+}
+
+// populateUsers creates the mailbox pool, quota/inactive schedules, the
+// breach-corpus entries, and the freemail username registries.
+func (w *World) populateUsers(r *simrng.RNG, d *ReceiverDomain, rank int) {
+	cfg := w.Cfg
+	base := float64(cfg.UsersPerDomainBase)
+	if base <= 0 {
+		base = 40
+	}
+	// Pool sizes grow sublinearly with volume: distinct correspondents
+	// scale with the square root of traffic. The default base of 40
+	// yields a 2x multiplier.
+	pool := int(math.Sqrt(d.Weight*float64(cfg.TotalEmails))*(base/20)) + 4
+	if pool > 4000 {
+		pool = 4000
+	}
+	fullMult := 1.0
+	if rank < len(wellKnown) {
+		fullMult = wellKnown[rank].fullMult
+	}
+	var ureg *registrar.UsernameRegistry
+	if isFreemail(d.Name) {
+		ureg = registrar.NewUsernameRegistry(d.Name, d.Name == "yahoo.com" || d.Name == "aol.com")
+		w.UserRegs[d.Name] = ureg
+	}
+	d.Users = make(map[string]*Mailbox, pool)
+	for i := 0; i < pool; i++ {
+		local := randLocal(r)
+		for d.Users[local] != nil {
+			local = randLocal(r) + fmt.Sprintf("%d", r.IntN(999))
+		}
+		m := &Mailbox{Local: local}
+		if r.Bool(cfg.MailboxFullRate * fullMult) {
+			m.FullWindows = w.quotaWindows(r)
+		}
+		if r.Bool(cfg.InactiveRate) {
+			m.InactiveFrom = clock.StudyStart.AddDate(0, 0, r.IntN(clock.StudyDays))
+		}
+		d.Users[local] = m
+		d.UserList = append(d.UserList, local)
+		if ureg != nil {
+			state := registrar.UserActive
+			// Deleted-then-recycled accounts: the residual-trust takeover
+			// vector (mostly at recycling providers).
+			if ureg.RecyclesAccounts && r.Bool(0.035) {
+				state = registrar.UserRecycled
+				m.InactiveFrom = clock.StudyStart.AddDate(0, 0, r.IntN(200))
+			}
+			ureg.SetState(local, state)
+		}
+		// Half of freemail users appear in the leak corpus.
+		if isFreemail(d.Name) && r.Bool(0.5) {
+			w.Breach.Add(local + "@" + d.Name)
+		}
+	}
+}
+
+// quotaWindows draws the Figure-7 mailbox-full episodes: most full
+// mailboxes never recover inside the window; the rest fix after a
+// log-normal delay (median ~31 days).
+func (w *World) quotaWindows(r *simrng.RNG) []Window {
+	start := clock.StudyStart.AddDate(0, 0, r.IntN(clock.StudyDays*3/4))
+	if r.Bool(w.Cfg.ConsistentlyFullShare) {
+		return []Window{{From: start}}
+	}
+	n := 1
+	if r.Bool(0.15) {
+		n = 2 // repeat offenders
+	}
+	var out []Window
+	for i := 0; i < n; i++ {
+		days := r.LogNormal(math.Log(w.Cfg.FullFixMedianDays), 1.0)
+		until := start.Add(time.Duration(days * 24 * float64(time.Hour)))
+		out = append(out, Window{From: start, Until: until})
+		start = until.AddDate(0, 0, 20+r.IntN(60))
+	}
+	return out
+}
+
+// scheduleMXOutages draws the Figure-7 MX misconfiguration episodes and
+// installs them as DNS outages.
+func (w *World) scheduleMXOutages(r *simrng.RNG, d *ReceiverDomain) {
+	if !r.Bool(w.Cfg.MXErrorRate) {
+		return
+	}
+	n := 1 + r.IntN(2)
+	for i := 0; i < n; i++ {
+		start := clock.StudyStart.AddDate(0, 0, r.IntN(clock.StudyDays-1))
+		hours := r.LogNormal(math.Log(w.Cfg.MXFixMedianHours), 1.3)
+		win := Window{From: start, Until: start.Add(time.Duration(hours * float64(time.Hour)))}
+		d.MXOutages = append(d.MXOutages, win)
+		w.DNS.AddOutage(dns.Outage{
+			Name: d.Name, Types: []dns.RType{dns.TypeMX},
+			Code: dns.NXDomain, From: win.From, Until: win.Until,
+		})
+	}
+}
+
+func (w *World) buildDeadDomains(r *simrng.RNG, taken map[string]bool) {
+	for i := 0; i < w.Cfg.DeadDomains; i++ {
+		name := randDomain(r, taken)
+		var expired time.Time
+		if r.Bool(0.3) {
+			// Died mid-study: resolvable (and delivering) until expiry.
+			expired = clock.StudyStart.AddDate(0, 0, 30+r.IntN(clock.StudyDays-60))
+			w.DNS.Add(dns.Record{Name: name, Type: dns.TypeMX, MX: dns.MX{Host: "mx1." + name, Pref: 10}, Until: expired})
+			w.DNS.Add(dns.Record{Name: "mx1." + name, Type: dns.TypeA, A: w.Geo.AllocIP("US", geo.GenericASN("US")), Until: expired})
+		} else {
+			expired = clock.StudyStart.AddDate(0, 0, -r.IntN(700)-30)
+		}
+		w.Registry.Register(name, "orig:"+name, expired.AddDate(-5, 0, 0), expired, true)
+		// A quarter get re-registered after the study (the paper's
+		// Feb-2024 audit: 751 of 3K re-registered; 105 with MX; 56%
+		// same registrant, 27% changed).
+		if r.Bool(0.25) {
+			reRegAt := time.Date(2023, 10, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, r.IntN(120))
+			registrant := "orig:" + name
+			if r.Bool(0.32) {
+				registrant = fmt.Sprintf("newreg:%d", r.IntN(1000))
+			}
+			w.Registry.Register(name, registrant, reRegAt, time.Time{}, r.Bool(0.14))
+		}
+		w.DeadDomains = append(w.DeadDomains, &DeadDomain{Name: name, ExpiredAt: expired})
+	}
+}
+
+func (w *World) buildSenderDomains(r *simrng.RNG, taken map[string]bool) {
+	cfg := w.Cfg
+	n := cfg.SenderDomains
+	attackers := make([]AttackerKind, n)
+	for i := 0; i < cfg.GuessingAttackers && i < n; i++ {
+		attackers[i] = UsernameGuesser
+	}
+	for i := cfg.GuessingAttackers; i < cfg.GuessingAttackers+cfg.BulkSpamAttackers && i < n; i++ {
+		attackers[i] = BulkSpammer
+	}
+	r.Shuffle(n, func(i, j int) { attackers[i], attackers[j] = attackers[j], attackers[i] })
+
+	for i := 0; i < n; i++ {
+		name := randDomain(r, taken)
+		var seed [32]byte
+		for j := range seed {
+			seed[j] = byte(r.IntN(256))
+		}
+		sd := &SenderDomain{
+			Name:     name,
+			Signer:   auth.NewSigner(name, "s1", seed),
+			Attacker: attackers[i],
+		}
+		// Base DNS: NS + good SPF + good DKIM key, possibly interrupted
+		// by misconfiguration episodes below.
+		w.DNS.Add(dns.Record{Name: name, Type: dns.TypeNS, Target: "ns1." + name})
+		if r.Bool(0.6) {
+			sd.HasDMARC = true
+			switch {
+			case r.Bool(0.15):
+				sd.DMARCPolicy = auth.DMARCReject
+			case r.Bool(0.3):
+				sd.DMARCPolicy = auth.DMARCQuarantine
+			default:
+				sd.DMARCPolicy = auth.DMARCNone
+			}
+			w.DNS.Add(dns.Record{Name: "_dmarc." + name, Type: dns.TypeTXT,
+				TXT: "v=DMARC1; p=" + sd.DMARCPolicy.String()})
+		}
+		if sd.Attacker == NotAttacker && r.Bool(cfg.SenderAuthBreakRate) {
+			w.scheduleAuthEpisodes(r, sd)
+		} else {
+			w.publishGoodAuth(sd, Window{From: clock.StudyStart.AddDate(-1, 0, 0)})
+		}
+		if sd.Attacker == NotAttacker && r.Bool(cfg.SenderDNSOutageRate) {
+			start := clock.StudyStart.AddDate(0, 0, r.IntN(clock.StudyDays-2))
+			until := start.Add(time.Duration(r.LogNormal(math.Log(36), 0.9) * float64(time.Hour)))
+			sd.DNSOutages = append(sd.DNSOutages, Window{From: start, Until: until})
+			w.DNS.AddOutage(dns.Outage{Name: name, Code: dns.ServFail, From: start, Until: until})
+			w.DNS.AddOutage(dns.Outage{Name: sd.Signer.RecordName(), Code: dns.ServFail, From: start, Until: until})
+		}
+		w.SenderDomains = append(w.SenderDomains, sd)
+	}
+}
+
+// publishGoodAuth installs working SPF + DKIM records for the window.
+func (w *World) publishGoodAuth(sd *SenderDomain, win Window) {
+	w.DNS.Add(dns.Record{Name: sd.Name, Type: dns.TypeTXT,
+		TXT: "v=spf1 include:" + SPFIncludeName + " -all", From: win.From, Until: win.Until})
+	w.DNS.Add(dns.Record{Name: sd.Signer.RecordName(), Type: dns.TypeTXT,
+		TXT: sd.Signer.TXTRecord(), From: win.From, Until: win.Until})
+}
+
+// publishBrokenAuth installs broken records for the window: SPF that
+// no longer authorizes the proxies, and a corrupted DKIM key.
+func (w *World) publishBrokenAuth(sd *SenderDomain, win Window) {
+	w.DNS.Add(dns.Record{Name: sd.Name, Type: dns.TypeTXT,
+		TXT: "v=spf1 ip4:198.51.100.17 -all", From: win.From, Until: win.Until})
+	w.DNS.Add(dns.Record{Name: sd.Signer.RecordName(), Type: dns.TypeTXT,
+		TXT: sd.Signer.BrokenTXTRecord(), From: win.From, Until: win.Until})
+}
+
+// scheduleAuthEpisodes draws the Figure-7 DKIM/SPF misconfiguration
+// schedule for a domain: always-broken, recurrent, or one-off.
+func (w *World) scheduleAuthEpisodes(r *simrng.RNG, sd *SenderDomain) {
+	cfg := w.Cfg
+	switch {
+	case r.Bool(cfg.AuthAlwaysBrokenShare):
+		sd.AlwaysBrokenAuth = true
+		w.publishBrokenAuth(sd, Window{From: clock.StudyStart.AddDate(-1, 0, 0)})
+		return
+	case r.Bool(cfg.AuthRecurrentShare / (1 - cfg.AuthAlwaysBrokenShare)):
+		n := 2 + r.IntN(3)
+		cursor := clock.StudyStart
+		preStudy := clock.StudyStart.AddDate(-1, 0, 0)
+		prevEnd := preStudy
+		for i := 0; i < n; i++ {
+			gap := time.Duration(r.Exp(float64(clock.StudyDays)/float64(n+1)) * 24 * float64(time.Hour))
+			start := cursor.Add(gap)
+			days := r.LogNormal(math.Log(cfg.AuthFixMedianDays), 1.0)
+			end := start.Add(time.Duration(days * 24 * float64(time.Hour)))
+			w.publishGoodAuth(sd, Window{From: prevEnd, Until: start})
+			w.publishBrokenAuth(sd, Window{From: start, Until: end})
+			sd.AuthBreakWindows = append(sd.AuthBreakWindows, Window{From: start, Until: end})
+			prevEnd = end
+			cursor = end.AddDate(0, 0, 10)
+		}
+		w.publishGoodAuth(sd, Window{From: prevEnd})
+	default:
+		start := clock.StudyStart.AddDate(0, 0, r.IntN(clock.StudyDays*3/4))
+		days := r.LogNormal(math.Log(cfg.AuthFixMedianDays), 1.0)
+		end := start.Add(time.Duration(days * 24 * float64(time.Hour)))
+		w.publishGoodAuth(sd, Window{From: clock.StudyStart.AddDate(-1, 0, 0), Until: start})
+		w.publishBrokenAuth(sd, Window{From: start, Until: end})
+		w.publishGoodAuth(sd, Window{From: end})
+		sd.AuthBreakWindows = append(sd.AuthBreakWindows, Window{From: start, Until: end})
+	}
+}
+
+func (w *World) buildSenders(r *simrng.RNG) {
+	cfg := w.Cfg
+	forwardingLeft := cfg.ForwardingTypoSenders
+	for _, sd := range w.SenderDomains {
+		n := maxInt(1, r.Poisson(float64(cfg.SendersPerDomain)))
+		switch sd.Attacker {
+		case UsernameGuesser:
+			w.Senders = append(w.Senders, w.buildGuessingSender(r, sd))
+			continue
+		case BulkSpammer:
+			w.Senders = append(w.Senders, w.buildBulkSpammer(r, sd))
+			continue
+		}
+		for i := 0; i < n; i++ {
+			s := &Sender{
+				Addr:   mail.Address{Local: randLocal(r), Domain: sd.Name},
+				Dom:    sd,
+				Volume: r.Pareto(1, 1.3),
+			}
+			if r.Bool(0.08) {
+				s.SpamminessMean = 0.32 // marketing / newsletters
+				s.Volume *= 0.6
+			} else {
+				s.SpamminessMean = 0.08
+			}
+			if sd.AlwaysBrokenAuth {
+				// Domains that never fixed their records are marginal
+				// senders; heavy senders notice and fix.
+				s.Volume *= 0.12
+			}
+			w.buildContacts(r, s)
+			if forwardingLeft > 0 && r.Bool(0.02) && len(s.Contacts) > 0 {
+				// Automated forwarding with a persistent username typo.
+				base := s.Contacts[0].Addr
+				if cands := typoCandidates(base.Local); len(cands) > 0 {
+					s.PersistentTypo = mail.Address{Local: simrng.Pick(r, cands), Domain: base.Domain}
+					s.Volume *= 3
+					forwardingLeft--
+				}
+			}
+			w.Senders = append(w.Senders, s)
+		}
+	}
+}
+
+// buildContacts fills a sender's address book: mostly existing users at
+// popularity-sampled domains, a few stale addresses, and (for ~6% of
+// senders) legacy contacts at dead domains.
+func (w *World) buildContacts(r *simrng.RNG, s *Sender) {
+	cfg := w.Cfg
+	n := maxInt(3, r.Poisson(float64(cfg.ContactsPerSender)))
+	legacy := r.Bool(0.06) && len(w.DeadDomains) > 0
+	weights := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		var addr mail.Address
+		if legacy && i < 2 {
+			dd := simrng.Pick(r, w.DeadDomains)
+			addr = mail.Address{Local: randLocal(r), Domain: dd.Name}
+		} else {
+			d := w.Domains[w.domainIdx(r)]
+			if r.Bool(cfg.StaleContactRate) || len(d.UserList) == 0 {
+				addr = mail.Address{Local: w.ghostLocal(r, d), Domain: d.Name}
+			} else {
+				addr = mail.Address{Local: simrng.Pick(r, d.UserList), Domain: d.Name}
+			}
+		}
+		s.Contacts = append(s.Contacts, Contact{Addr: addr, Weight: r.Pareto(1, 1.5)})
+		weights = append(weights, s.Contacts[len(s.Contacts)-1].Weight)
+	}
+	s.contactSampler = simrng.NewWeighted(weights)
+}
+
+// ghostLocal invents a non-existent local part at d and assigns its
+// registration-UI state.
+func (w *World) ghostLocal(r *simrng.RNG, d *ReceiverDomain) string {
+	local := randLocal(r)
+	for d.Users[local] != nil {
+		local = randLocal(r) + fmt.Sprintf("%d", r.IntN(99))
+	}
+	w.AssignGhostState(r, d.Name, local)
+	return local
+}
+
+// AssignGhostState gives a non-existent freemail local part its
+// registration-UI state (frozen/reserved/available) on first
+// observation — the paper's "non-existent ≠ registrable" distribution
+// (about two-thirds of no-such-user addresses are NOT registrable).
+func (w *World) AssignGhostState(r *simrng.RNG, domain, local string) {
+	ureg := w.UserRegs[domain]
+	if ureg == nil {
+		return
+	}
+	if ureg.State(local) == registrar.UserUnknown {
+		switch {
+		case r.Bool(0.52):
+			ureg.SetState(local, registrar.UserFrozen)
+		case r.Bool(0.18):
+			ureg.SetState(local, registrar.UserReserved)
+		}
+	}
+}
+
+// buildGuessingSender creates a username-guessing attacker: thousands
+// of mutated usernames aimed at one victim domain, a small fraction of
+// which exist (paper: 4,273 guesses, 0.91% hits).
+func (w *World) buildGuessingSender(r *simrng.RNG, sd *SenderDomain) *Sender {
+	s := &Sender{
+		Addr:           mail.Address{Local: "security-notice", Domain: sd.Name},
+		Dom:            sd,
+		Volume:         1,
+		SpamminessMean: 0.78,
+	}
+	// Victim: a corporate (non-freemail) domain with a decent user pool
+	// and informative NDRs (attackers probe domains where "no such
+	// user" replies leak existence).
+	var victim *ReceiverDomain
+	for _, d := range w.Domains[len(wellKnown):] {
+		if len(d.UserList) >= 20 && !d.Policy.AmbiguousNDR && !d.Policy.UsesDNSBL {
+			victim = d
+			break
+		}
+	}
+	if victim == nil {
+		victim = w.Domains[0]
+	}
+	n := w.Cfg.GuessUsernamesPerAttacker
+	hits := maxInt(1, int(float64(n)*w.Cfg.GuessHitRate+0.5))
+	seen := map[string]bool{}
+	for i := 0; i < hits && i < len(victim.UserList); i++ {
+		local := victim.UserList[r.IntN(len(victim.UserList))]
+		if seen[local] {
+			continue
+		}
+		seen[local] = true
+		c := Contact{Addr: mail.Address{Local: local, Domain: victim.Name}, Weight: 1}
+		s.Contacts = append(s.Contacts, c)
+		s.FloodTargets = append(s.FloodTargets, c)
+	}
+	for len(s.Contacts) < n {
+		base := victim.UserList[r.IntN(len(victim.UserList))]
+		guess := mutateLocal(r, base)
+		if seen[guess] || victim.Users[guess] != nil {
+			guess += fmt.Sprintf("%d", r.IntN(99))
+			if seen[guess] || victim.Users[guess] != nil {
+				continue
+			}
+		}
+		seen[guess] = true
+		s.Contacts = append(s.Contacts, Contact{Addr: mail.Address{Local: guess, Domain: victim.Name}, Weight: 1})
+	}
+	weights := make([]float64, len(s.Contacts))
+	for i := range weights {
+		weights[i] = 1
+	}
+	s.contactSampler = simrng.NewWeighted(weights)
+	return s
+}
+
+// buildBulkSpammer creates a leaked-list spammer: >80% of its contacts
+// appear in the breach corpus, many of them long dead (the paper's
+// 70.12% hard-bounce rate).
+func (w *World) buildBulkSpammer(r *simrng.RNG, sd *SenderDomain) *Sender {
+	s := &Sender{
+		Addr:           mail.Address{Local: "offers", Domain: sd.Name},
+		Dom:            sd,
+		Volume:         1,
+		SpamminessMean: 0.72,
+	}
+	n := 120 // leaked lists are recycled: each address gets hit repeatedly
+	for i := 0; i < n; i++ {
+		// Spam magnets: freemail domains dominate leaked lists.
+		d := w.spamTargetDomain(r)
+		var addr mail.Address
+		if r.Bool(0.22) || len(d.UserList) == 0 {
+			addr = mail.Address{Local: w.ghostLocal(r, d), Domain: d.Name} // dead leaked account
+		} else {
+			addr = mail.Address{Local: simrng.Pick(r, d.UserList), Domain: d.Name}
+		}
+		if r.Bool(0.92) {
+			w.Breach.Add(addr.String())
+		}
+		s.Contacts = append(s.Contacts, Contact{Addr: addr, Weight: 1})
+	}
+	weights := make([]float64, len(s.Contacts))
+	for i := range weights {
+		weights[i] = 1
+	}
+	s.contactSampler = simrng.NewWeighted(weights)
+	return s
+}
+
+// spamTargetDomain samples a domain weighted by volume times its
+// spam-magnet factor.
+func (w *World) spamTargetDomain(r *simrng.RNG) *ReceiverDomain {
+	// Freemail providers take most spam; otherwise popularity-weighted.
+	if r.Bool(0.6) {
+		wk := wellKnown[r.IntN(len(wellKnown))]
+		if wk.spamMagnet >= 1.5 {
+			return w.DomainByName[wk.name]
+		}
+	}
+	return w.Domains[w.domainIdx(r)]
+}
+
+func (w *World) buildDomainSampler() {
+	dw := make([]float64, len(w.Domains))
+	for i, d := range w.Domains {
+		dw[i] = d.Weight
+	}
+	w.domainSampler = simrng.NewWeighted(dw)
+}
+
+func (w *World) buildSenderSampler() {
+	sw := make([]float64, len(w.Senders))
+	for i, s := range w.Senders {
+		if s.Dom.Attacker != NotAttacker {
+			sw[i] = 0 // attacker traffic is injected by campaigns, not base load
+		} else {
+			sw[i] = s.Volume
+		}
+	}
+	w.senderSampler = simrng.NewWeighted(sw)
+}
+
+func (w *World) domainIdx(r *simrng.RNG) int { return w.domainSampler.Sample(r) }
+
+// PickProxy selects a proxy MTA uniformly at random — Coremail's
+// random-proxy strategy (Figure 2).
+func (w *World) PickProxy(r *simrng.RNG) *ProxyMTA {
+	return w.Proxies[r.IntN(len(w.Proxies))]
+}
+
+func isFreemail(name string) bool {
+	for _, p := range FreemailProviders {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,246 @@
+// Package world generates the synthetic email ecosystem the delivery
+// engine runs against: Coremail's 34 proxy MTAs, receiver domains with
+// their DNS zones, policies, users and misconfiguration schedules,
+// sender domains with authentication records and attacker roles, and
+// the per-day workload of email submissions. Nothing here stamps bounce
+// outcomes — bounces happen later, when the delivery engine executes
+// these mechanisms.
+package world
+
+// Config holds every generation knob. Counts are scaled down from the
+// paper's 298M-email / 3M-domain corpus; all reported statistics are
+// ratios and distributions, which survive scaling. The defaults are
+// calibrated so the analysis pipeline reproduces the paper's shape
+// (see EXPERIMENTS.md for paper-vs-measured).
+type Config struct {
+	Seed uint64
+
+	// TotalEmails is the target number of email submissions across the
+	// 15-month study window (paper: 298M).
+	TotalEmails int
+
+	// ReceiverDomains is the number of live receiver domains
+	// (paper: 3M; the top 10 are the well-known domains of Table 3).
+	ReceiverDomains int
+	// DeadDomains is the number of expired domains real users still
+	// write to (squatting exposure, Section 5).
+	DeadDomains int
+	// ZipfS is the popularity exponent of the InEmailRank tail.
+	ZipfS float64
+	// UsersPerDomainBase scales mailbox-pool sizes: the pool is
+	// sqrt(share × TotalEmails) × base/20 (so the default 40 doubles the
+	// square-root law; minimum 4, maximum 4000 per domain).
+	UsersPerDomainBase int
+
+	// SenderDomains is the number of Coremail customer domains
+	// (paper: 68K). A few of them are attackers.
+	SenderDomains int
+	// SendersPerDomain is the mean number of active senders per domain.
+	SendersPerDomain int
+	// ContactsPerSender is the mean contact-list size.
+	ContactsPerSender int
+
+	// GuessingAttackers / BulkSpamAttackers are attacker sender-domain
+	// counts (paper: 9 username-guessing domains, 31 bulk spammers).
+	GuessingAttackers int
+	BulkSpamAttackers int
+	// GuessUsernamesPerAttacker scales the 4,273 generated usernames.
+	GuessUsernamesPerAttacker int
+	// GuessHitRate is the fraction of guessed usernames that exist
+	// (paper: 0.91%).
+	GuessHitRate float64
+	// GuessFloodDays / GuessFloodPerHit: after a guessing campaign, the
+	// attacker bombards discovered addresses (paper: 39 victims received
+	// 536 malicious emails).
+	GuessFloodDays   int
+	GuessFloodPerHit int
+	// BulkSpamEmailsShare is the fraction of TotalEmails sent by bulk
+	// spammers (paper: 3M/298M ≈ 1%).
+	BulkSpamEmailsShare float64
+
+	// StaleContactRate is the probability a generated contact points at
+	// a non-existent mailbox (old address books, unsubscribed users).
+	StaleContactRate float64
+	// UserTypoRate / DomainTypoRate are per-send typo probabilities
+	// (paper: username typos cause 2M bounces ≈ 0.7% of emails; domain
+	// typos 89K ≈ 0.03%).
+	UserTypoRate   float64
+	DomainTypoRate float64
+	// ForwardingTypoSenders is the number of automated senders with a
+	// persistent username typo in their configuration (the paper's five
+	// typos that received >20K emails each).
+	ForwardingTypoSenders int
+
+	// DNSBL adoption (Figure 6): share of tail domains using the
+	// blocklist, and the share of adopters who switch it on in
+	// February 2023 (the paper's 63K-domain jump).
+	DNSBLAdoptionRate     float64
+	DNSBLFebAdoptersShare float64
+	// SpamtrapHitProb is the chance a spam submission trips a spamtrap
+	// report against its proxy MTA.
+	SpamtrapHitProb float64
+
+	// GreylistAdoptionRate applies to domains ranked 40-300
+	// (paper: 783 domains, T6 = 2.63% of bounces).
+	GreylistAdoptionRate float64
+	// GreylistPrefixBits keys greylist tuples by client-IP prefix
+	// (0 = exact address, the strictest and the paper's assumption;
+	// 24 = /24, the common lenient deployment).
+	GreylistPrefixBits int
+
+	// TLSMandateTop100 / TLSMandateRest are the shares of domains that
+	// mandate STARTTLS (paper: 38% of top-100, 8.53% of top-10K).
+	TLSMandateTop100 float64
+	TLSMandateRest   float64
+
+	// AuthEnforceRate is the share of tail domains that reject on
+	// SPF/DKIM/DMARC failure (big freemail providers always enforce).
+	AuthEnforceRate float64
+	// SenderAuthBreakRate is the share of sender domains that ever
+	// misconfigure DKIM/SPF (paper: 9K of 68K).
+	SenderAuthBreakRate float64
+	// AuthAlwaysBrokenShare / AuthRecurrentShare split the
+	// misconfiguring domains (paper: 25.81% always broken, 33.72%
+	// recurrent, rest one-off). Episode duration is log-normal with
+	// AuthFixMedianDays median (paper: 12-day average fix time).
+	AuthAlwaysBrokenShare float64
+	AuthRecurrentShare    float64
+	AuthFixMedianDays     float64
+
+	// SenderDNSOutageRate is the share of sender domains with DNS
+	// outages (T1 bounces at the receiver).
+	SenderDNSOutageRate float64
+
+	// MXErrorRate is the share of receiver domains with MX
+	// misconfiguration episodes (paper: 684 domains, 4M emails,
+	// mostly fixed within a day).
+	MXErrorRate      float64
+	MXFixMedianHours float64
+	// ChronicMXDomains is the number of mid-popularity domains whose MX
+	// stays broken for months — the Figure-7 long tail that carries the
+	// email-volume mass of T2 (the paper's 40+ domains broken >1 week).
+	ChronicMXDomains int
+
+	// MailboxFullRate is the share of mailboxes that ever fill up
+	// (T9); ConsistentlyFullShare never recover inside the window
+	// (paper: 58K of 75K), and the rest fix after a log-normal delay
+	// with FullFixMedianDays median (paper: >51% of episodes ≥30 days,
+	// 86-day average fix).
+	MailboxFullRate       float64
+	ConsistentlyFullShare float64
+	FullFixMedianDays     float64
+
+	// InactiveRate is the share of mailboxes that become inactive.
+	InactiveRate float64
+
+	// AmbiguousNDRRate is the share of tail domains that reply with the
+	// Table-6 ambiguous templates (Microsoft properties always do).
+	AmbiguousNDRRate float64
+
+	// DomainLimitRate is the share of tail domains enforcing a daily
+	// inbound quota (T11); QuirkDomainRate/QuirkProb give a small set of
+	// domains idiosyncratic rejections (the paper's non-ambiguous T16:
+	// RFC-compliance checks, intrusion prevention, etc.).
+	DomainLimitRate float64
+	QuirkDomainRate float64
+	QuirkProb       float64
+
+	// NewsletterShare of messages carry multiple recipients; spam share
+	// etc. are emergent from sender spamminess mixes.
+	NewsletterShare float64
+
+	// MsgSizeMedianKB / MsgSizeSigma parameterize message sizes.
+	MsgSizeMedianKB float64
+	MsgSizeSigma    float64
+
+	// TransientDNSFailProb is the resolver-level transient failure rate.
+	TransientDNSFailProb float64
+}
+
+// DefaultConfig returns the calibrated default scale (~1/750 of the
+// paper's corpus).
+func DefaultConfig() Config {
+	return Config{
+		Seed:               42,
+		TotalEmails:        400_000,
+		ReceiverDomains:    700,
+		DeadDomains:        36,
+		ZipfS:              0.82,
+		UsersPerDomainBase: 40,
+
+		SenderDomains:     150,
+		SendersPerDomain:  10,
+		ContactsPerSender: 30,
+
+		GuessingAttackers:         3,
+		BulkSpamAttackers:         8,
+		GuessUsernamesPerAttacker: 100,
+		GuessHitRate:              0.0091,
+		GuessFloodDays:            3,
+		GuessFloodPerHit:          8,
+		BulkSpamEmailsShare:       0.014,
+
+		StaleContactRate:      0.0015,
+		UserTypoRate:          0.0060,
+		DomainTypoRate:        0.0006,
+		ForwardingTypoSenders: 3,
+
+		DNSBLAdoptionRate:     0.13,
+		DNSBLFebAdoptersShare: 0.22,
+		SpamtrapHitProb:       0, // 0 = auto-scale to TotalEmails
+
+		GreylistAdoptionRate: 0.018,
+
+		TLSMandateTop100: 0.38,
+		TLSMandateRest:   0.085,
+
+		AuthEnforceRate:       0.28,
+		SenderAuthBreakRate:   0.12,
+		AuthAlwaysBrokenShare: 0.2581,
+		AuthRecurrentShare:    0.3372,
+		AuthFixMedianDays:     11,
+
+		SenderDNSOutageRate: 0.06,
+
+		MXErrorRate:      0.10,
+		MXFixMedianHours: 14,
+		ChronicMXDomains: 6,
+
+		MailboxFullRate:       0.0055,
+		ConsistentlyFullShare: 0.70,
+		FullFixMedianDays:     31,
+
+		InactiveRate: 0.0015,
+
+		AmbiguousNDRRate: 0.03,
+
+		DomainLimitRate: 0.06,
+		QuirkDomainRate: 0.15,
+		QuirkProb:       0.07,
+
+		NewsletterShare: 0.015,
+
+		MsgSizeMedianKB: 60,
+		MsgSizeSigma:    1.5,
+
+		TransientDNSFailProb: 0.004,
+	}
+}
+
+// TinyConfig returns a miniature world for unit tests and quick
+// examples (a few thousand emails).
+func TinyConfig() Config {
+	c := DefaultConfig()
+	c.TotalEmails = 6000
+	c.ReceiverDomains = 60
+	c.DeadDomains = 6
+	c.SenderDomains = 25
+	c.SendersPerDomain = 4
+	c.ContactsPerSender = 12
+	c.GuessingAttackers = 1
+	c.BulkSpamAttackers = 2
+	c.GuessUsernamesPerAttacker = 60
+	c.ForwardingTypoSenders = 1
+	c.UsersPerDomainBase = 12
+	return c
+}

@@ -1,0 +1,138 @@
+package world
+
+import (
+	"fmt"
+
+	"repro/internal/simrng"
+)
+
+// Deterministic name generation for domains and usernames. Names look
+// plausible (the typo generator needs realistic character material) but
+// never collide with real infrastructure: synthetic domains live under
+// invented second-level labels.
+
+var domainSyllables = []string{
+	"acme", "blue", "cloud", "data", "east", "fast", "glob", "hong",
+	"iron", "jade", "kite", "lake", "mint", "nova", "orbit", "pine",
+	"quanta", "river", "star", "tech", "ultra", "vertex", "wave", "xenon",
+	"yield", "zen", "north", "south", "micro", "mega", "trade", "ship",
+	"bank", "med", "edu", "agro", "petro", "tele", "auto", "aero",
+}
+
+var domainSuffixes = []string{"corp", "group", "labs", "net", "sys", "soft", "works", "hub", "link", "mail"}
+
+var tlds = []struct {
+	tld    string
+	weight float64
+}{
+	{".com", 52}, {".net", 9}, {".org", 8}, {".com.cn", 6}, {".edu.cn", 5},
+	{".de", 4}, {".co.uk", 3}, {".fr", 3}, {".io", 2}, {".co", 2},
+	{".com.br", 2}, {".co.jp", 2}, {".in", 2},
+}
+
+var tldSampler = func() *simrng.Weighted {
+	w := make([]float64, len(tlds))
+	for i, t := range tlds {
+		w[i] = t.weight
+	}
+	return simrng.NewWeighted(w)
+}()
+
+// randDomain generates a synthetic domain name, unique across calls via
+// the taken set.
+func randDomain(r *simrng.RNG, taken map[string]bool) string {
+	for {
+		name := simrng.Pick(r, domainSyllables)
+		if r.Bool(0.7) {
+			name += simrng.Pick(r, domainSuffixes)
+		}
+		if r.Bool(0.45) {
+			name += fmt.Sprintf("%d", r.IntN(900)+10)
+		}
+		name += tlds[tldSampler.Sample(r)].tld
+		if !taken[name] {
+			taken[name] = true
+			return name
+		}
+	}
+}
+
+var firstNames = []string{
+	"wei", "li", "ming", "hua", "jun", "yan", "lei", "fang", "tao", "jing",
+	"alice", "bob", "carol", "david", "erin", "frank", "grace", "henry",
+	"ivy", "jack", "karen", "leo", "mona", "nina", "oscar", "paul",
+	"qing", "rachel", "sam", "tina", "victor", "wendy", "xin", "yong", "zoe",
+}
+
+var lastNames = []string{
+	"zhang", "wang", "liu", "chen", "yang", "zhao", "huang", "zhou",
+	"smith", "jones", "brown", "miller", "davis", "garcia", "wilson",
+	"moore", "taylor", "thomas", "lee", "white", "harris", "clark",
+}
+
+// randLocal generates a username in one of several human-habit shapes
+// (the same shapes the paper's guessing attackers exploit).
+func randLocal(r *simrng.RNG) string {
+	f := simrng.Pick(r, firstNames)
+	l := simrng.Pick(r, lastNames)
+	switch r.IntN(6) {
+	case 0:
+		return f + "." + l
+	case 1:
+		return f + l
+	case 2:
+		return f + "_" + l
+	case 3:
+		return string(f[0]) + l
+	case 4:
+		return f + fmt.Sprintf("%d", r.IntN(99)+1)
+	default:
+		return f + "." + l + fmt.Sprintf("%d", r.IntN(9)+1)
+	}
+}
+
+// mutateLocal produces username guesses the way the paper's attackers
+// do ("combining social engineering to create numerous email addresses
+// with mutated usernames... abbreviate, add hyphens").
+func mutateLocal(r *simrng.RNG, base string) string {
+	switch r.IntN(7) {
+	case 0:
+		return base + fmt.Sprintf("%d", r.IntN(99)+1)
+	case 1:
+		if i := indexByte(base, '.'); i > 0 {
+			return base[:1] + base[i+1:] // abbreviate first name
+		}
+		return base[:1] + base
+	case 2:
+		if i := indexByte(base, '.'); i > 0 {
+			return base[:i] + "-" + base[i+1:] // dot -> hyphen
+		}
+		return base + "-" + string(base[0])
+	case 3:
+		if i := indexByte(base, '.'); i > 0 {
+			return base[i+1:] + "." + base[:i] // swap order
+		}
+		return "the." + base
+	case 4:
+		return base + ".work"
+	case 5:
+		if i := indexByte(base, '.'); i > 0 {
+			return base[:i] // first name only
+		}
+		return base + "1"
+	default:
+		if i := indexByte(base, '.'); i > 0 {
+			return base[:i] + base[i+1:i+2] // first + initial
+		}
+		return string(base[0]) + "." + base
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,315 @@
+package world
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mail"
+	"repro/internal/simrng"
+	"repro/internal/spamfilter"
+	"repro/internal/typo"
+)
+
+// Submission is one email handed to the delivery engine, with the
+// ground truth the generator knows (used by validation tests, never by
+// the analysis pipeline).
+type Submission struct {
+	Msg    *mail.Message
+	Sender *Sender
+
+	// Intended is the pre-typo recipient; equal to Msg.To when no typo
+	// was injected.
+	Intended mail.Address
+	// TypoKind is set when a typo was injected into the recipient.
+	TypoKind typo.Kind
+	// TypoInDomain reports whether the typo hit the domain (vs. the
+	// local part).
+	TypoInDomain bool
+}
+
+// workload holds the lazily initialized day schedule.
+type workload struct {
+	dayShare  []float64 // fraction of base volume per day
+	bulkDays  map[int][]*Sender
+	bulkPer   int // emails per spammer per burst day
+	guessDays map[int][]*Sender
+	guessPer  int
+	floodDays map[int][]*Sender
+	cursors   map[*Sender]int
+}
+
+func (w *World) initWorkload() {
+	if w.wl != nil {
+		return
+	}
+	r := w.workRNG
+	wl := &workload{
+		bulkDays:  map[int][]*Sender{},
+		guessDays: map[int][]*Sender{},
+		floodDays: map[int][]*Sender{},
+		cursors:   map[*Sender]int{},
+	}
+	sum := 0.0
+	wl.dayShare = make([]float64, clock.StudyDays)
+	for d := 0; d < clock.StudyDays; d++ {
+		wl.dayShare[d] = clock.ActivityFactor(d)
+		sum += wl.dayShare[d]
+	}
+	for d := range wl.dayShare {
+		wl.dayShare[d] /= sum
+	}
+
+	var bulk, guess []*Sender
+	for _, s := range w.Senders {
+		switch s.Dom.Attacker {
+		case BulkSpammer:
+			bulk = append(bulk, s)
+		case UsernameGuesser:
+			guess = append(guess, s)
+		}
+	}
+	// Bulk spammers run ~25 burst days each, spread over the window.
+	bulkTotal := int(float64(w.Cfg.TotalEmails) * w.Cfg.BulkSpamEmailsShare)
+	if len(bulk) > 0 {
+		burstDays := 25
+		wl.bulkPer = maxInt(1, bulkTotal/(len(bulk)*burstDays))
+		for _, s := range bulk {
+			for i := 0; i < burstDays; i++ {
+				d := r.IntN(clock.StudyDays)
+				wl.bulkDays[d] = append(wl.bulkDays[d], s)
+			}
+		}
+	}
+	// Guessing attackers run three waves over their contact list, then
+	// bombard the addresses they confirmed (Section 4.2.1: 39 victims
+	// received 536 malicious emails).
+	for _, s := range guess {
+		waves := 3
+		wl.guessPer = maxInt(1, len(s.Contacts)/waves)
+		last := 0
+		for i := 0; i < waves; i++ {
+			d := 30 + r.IntN(clock.StudyDays-90)
+			wl.guessDays[d] = append(wl.guessDays[d], s)
+			if d > last {
+				last = d
+			}
+		}
+		for i := 0; i < w.Cfg.GuessFloodDays; i++ {
+			d := last + 3 + r.IntN(30)
+			if d >= clock.StudyDays {
+				d = clock.StudyDays - 1
+			}
+			wl.floodDays[d] = append(wl.floodDays[d], s)
+		}
+	}
+	w.wl = wl
+}
+
+// EmailsForDay generates the submissions queued on study day d, in
+// chronological order. Call it for d = 0..clock.StudyDays-1 to produce
+// the full corpus.
+func (w *World) EmailsForDay(day int) []*Submission {
+	w.initWorkload()
+	r := w.workRNG
+	baseShare := 1.0 - w.Cfg.BulkSpamEmailsShare
+	n := int(float64(w.Cfg.TotalEmails)*baseShare*w.wl.dayShare[day] + 0.5)
+	subs := make([]*Submission, 0, n+64)
+	for i := 0; i < n; i++ {
+		s := w.Senders[w.senderSampler.Sample(r)]
+		if len(s.Contacts) == 0 {
+			continue
+		}
+		subs = append(subs, w.makeSubmission(r, s, day, s.Contacts[s.contactSampler.Sample(r)].Addr, true))
+	}
+	for _, s := range w.wl.bulkDays[day] {
+		for i := 0; i < w.wl.bulkPer; i++ {
+			c := s.Contacts[w.wl.cursors[s]%len(s.Contacts)]
+			w.wl.cursors[s]++
+			subs = append(subs, w.makeSubmission(r, s, day, c.Addr, false))
+		}
+	}
+	for _, s := range w.wl.guessDays[day] {
+		for i := 0; i < w.wl.guessPer; i++ {
+			cur := w.wl.cursors[s]
+			if cur >= len(s.Contacts) {
+				break
+			}
+			w.wl.cursors[s]++
+			subs = append(subs, w.makeSubmission(r, s, day, s.Contacts[cur].Addr, false))
+		}
+	}
+	for _, s := range w.wl.floodDays[day] {
+		for _, target := range s.FloodTargets {
+			for i := 0; i < w.Cfg.GuessFloodPerHit; i++ {
+				subs = append(subs, w.makeSubmission(r, s, day, target.Addr, false))
+			}
+		}
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Msg.QueuedAt.Before(subs[j].Msg.QueuedAt) })
+	return subs
+}
+
+var hourSampler = func() *simrng.Weighted {
+	weights := make([]float64, 24)
+	for h := range weights {
+		weights[h] = clock.HourOfDayWeight(h)
+	}
+	return simrng.NewWeighted(weights)
+}()
+
+func (w *World) makeSubmission(r *simrng.RNG, s *Sender, day int, to mail.Address, allowTypos bool) *Submission {
+	sub := &Submission{Sender: s, Intended: to}
+
+	if allowTypos {
+		if !s.PersistentTypo.IsZero() && r.Bool(0.5) {
+			sub.Intended = mail.Address{Local: s.Contacts[0].Addr.Local, Domain: s.PersistentTypo.Domain}
+			to = s.PersistentTypo
+			sub.TypoKind = typo.Omission // recorded; kind irrelevant for automation typos
+		} else if r.Bool(w.Cfg.DomainTypoRate) {
+			if cand, kind, ok := w.pickDomainTypo(r, to.Domain); ok {
+				to = mail.Address{Local: to.Local, Domain: cand}
+				sub.TypoKind, sub.TypoInDomain = kind, true
+			}
+		} else if r.Bool(w.Cfg.UserTypoRate) {
+			if c, ok := pickTypo(r, typo.Username(to.Local)); ok {
+				to = mail.Address{Local: c.Name, Domain: to.Domain}
+				sub.TypoKind = c.Kind
+			}
+		}
+		// A typo'd (or persistently misconfigured) recipient at a
+		// freemail provider is a fresh non-existent address whose
+		// registration-UI state gets decided on first contact.
+		if sub.TypoKind != typo.KindNone && !sub.TypoInDomain {
+			if d := w.DomainByName[to.Domain]; d != nil && !d.UserExists(to.Local) {
+				w.AssignGhostState(r, to.Domain, to.Local)
+			}
+		}
+	}
+
+	spamminess := clamp01(s.SpamminessMean + 0.08*r.NormFloat64())
+	tokens := spamfilter.GenerateTokens(r, spamminess, 12)
+	rcpts := 1
+	if allowTypos && r.Bool(w.Cfg.NewsletterShare) {
+		rcpts = 2 + r.Poisson(40)
+	}
+	size := int(r.LogNormal(math.Log(w.Cfg.MsgSizeMedianKB*1024), w.Cfg.MsgSizeSigma))
+	if r.Bool(0.0015) {
+		size = (8 + r.IntN(70)) << 20 // oversized attachment
+	}
+
+	hour := hourSampler.Sample(r)
+	qt := clock.DayStart(day).
+		Add(time.Duration(hour) * time.Hour).
+		Add(time.Duration(r.IntN(3600)) * time.Second)
+
+	w.nextMsg++
+	msg := &mail.Message{
+		ID:        msgID(w.nextMsg),
+		From:      s.Addr,
+		To:        to,
+		QueuedAt:  qt,
+		SizeBytes: size,
+		RcptCount: rcpts,
+		Tokens:    tokens,
+	}
+	msg.Flag = mail.FlagNormal
+	if w.CoremailFilter.Classify(tokens) {
+		msg.Flag = mail.FlagSpam
+	}
+	sub.Msg = msg
+	return sub
+}
+
+// pickDomainTypo draws a typo of domain that does not collide with a
+// live domain (colliding typos deliver elsewhere and are out of scope,
+// as in the paper, which only studies never-resolving typo domains).
+func (w *World) pickDomainTypo(r *simrng.RNG, domain string) (string, typo.Kind, bool) {
+	cands := typo.Domain(domain)
+	if len(cands) == 0 {
+		return "", typo.KindNone, false
+	}
+	for try := 0; try < 4; try++ {
+		c, ok := pickTypo(r, cands)
+		if !ok {
+			break
+		}
+		if w.DomainByName[c.Name] == nil {
+			return c.Name, c.Kind, true
+		}
+	}
+	return "", typo.KindNone, false
+}
+
+// typoKindWeight reflects how humans actually mistype (the paper:
+// omission dominates at ~40%, then replacement and bitsquatting);
+// uniform sampling over candidates would over-represent the prolific
+// generators (insertion, bitsquatting).
+var typoKindWeight = map[typo.Kind]float64{
+	typo.Omission:      0.42,
+	typo.Replacement:   0.14,
+	typo.Bitsquatting:  0.13,
+	typo.Transposition: 0.09,
+	typo.Insertion:     0.07,
+	typo.Repetition:    0.06,
+	typo.VowelSwap:     0.04,
+	typo.Hyphenation:   0.03,
+	typo.TLDRepetition: 0.02,
+}
+
+// pickTypo samples a candidate weighted by kind prevalence.
+func pickTypo(r *simrng.RNG, cands []typo.Candidate) (typo.Candidate, bool) {
+	if len(cands) == 0 {
+		return typo.Candidate{}, false
+	}
+	byKind := map[typo.Kind][]typo.Candidate{}
+	var kinds []typo.Kind
+	var weights []float64
+	for _, c := range cands {
+		if len(byKind[c.Kind]) == 0 {
+			kinds = append(kinds, c.Kind)
+			weights = append(weights, typoKindWeight[c.Kind])
+		}
+		byKind[c.Kind] = append(byKind[c.Kind], c)
+	}
+	for i, w := range weights {
+		if w == 0 {
+			weights[i] = 0.01
+		}
+	}
+	k := kinds[simrng.NewWeighted(weights).Sample(r)]
+	pool := byKind[k]
+	return pool[r.IntN(len(pool))], true
+}
+
+// typoCandidates returns typo'd local parts for a username.
+func typoCandidates(local string) []string {
+	cands := typo.Username(local)
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func msgID(n int) string {
+	const hex = "0123456789abcdef"
+	var b [12]byte
+	b[0], b[1] = 'm', '-'
+	for i := 11; i >= 2; i-- {
+		b[i] = hex[n&0xf]
+		n >>= 4
+	}
+	return string(b[:])
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,76 @@
+package bounce
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/advise"
+	"repro/internal/report"
+	"repro/internal/squat"
+)
+
+// writeSection dispatches one report section.
+func (s *Study) writeSection(w io.Writer, sec Section) error {
+	a := s.Analysis
+	switch sec {
+	case SecOverview:
+		o := a.Overview()
+		report.Overview(w, o)
+		report.EnhancedCodeStat(w, a.NoEnhancedCodeShare())
+	case SecPipeline:
+		labeled, coverage := a.Pipeline.ManualLabelStats()
+		report.PipelineStats(w, a.Pipeline.NumTemplates(), labeled, coverage)
+	case SecTable1:
+		o := a.Overview()
+		report.Table1(w, a.TypeDistribution(), o.Bounced()-o.AmbiguousBounced)
+	case SecTable2:
+		report.Table2(w, a.RootCauses(s.Detections))
+	case SecTable3:
+		report.Table3(w, a.TopDomains(10))
+	case SecTable4:
+		report.Table4(w, a.TopASes(10))
+	case SecTable5:
+		report.Table5(w, a.CountryBounces(s.countryThreshold()), 10)
+	case SecTable6:
+		o := a.Overview()
+		report.Table6(w, a.AmbiguousTemplates(), o.AmbiguousBounced)
+	case SecFig4:
+		report.Fig4(w, a.MTACountryDistribution(), 15)
+	case SecFig5:
+		report.Fig5(w, a.Timeline())
+	case SecFig6:
+		report.Fig6(w, a.BlocklistFigure())
+	case SecFig7:
+		report.Fig7(w, a.Durations(s.Detections))
+	case SecFig8:
+		report.Fig8(w, a.InfraMatrix(s.countryThreshold(), 20))
+	case SecFig10:
+		report.Fig10(w, a.LatencyByCountry(s.countryThreshold()), 10)
+	case SecSTARTTLS:
+		report.STARTTLS(w, a.STARTTLS())
+	case SecAttacker:
+		report.Attackers(w, s.Detections)
+	case SecTypos:
+		report.Typos(w, s.Detections)
+	case SecSquat:
+		report.Squat(w, s.Squat(squat.DefaultConfig()))
+	case SecFilters:
+		report.Filters(w, a.FilterDisagreement(), a.BlocklistRecovery())
+	case SecAdvice:
+		sq := s.Squat(squat.DefaultConfig())
+		report.Advisories(w, advise.Run(s.Analysis, s.Detections, sq, advise.DefaultConfig()))
+	default:
+		return fmt.Errorf("bounce: unknown section %q", sec)
+	}
+	return nil
+}
+
+// countryThreshold scales the paper's 1,000-incoming-email
+// representativeness cutoff to the corpus size (1,000 per 298M).
+func (s *Study) countryThreshold() int {
+	t := len(s.Records) / 4000
+	if t < 50 {
+		t = 50
+	}
+	return t
+}
