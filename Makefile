@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check vet build test race race-parallel bench bench-parallel
+
+# check is the tier-1 gate plus static analysis.
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the whole suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# race-parallel focuses the race detector on the parallel delivery and
+# streaming paths (fast enough for every commit).
+race-parallel:
+	$(GO) test -race -run 'Parallel|WorkerCount|DeliverBatch|Pipe|FromSource|CollectStream' ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-parallel measures DeliverBatch scaling across fan-out widths.
+bench-parallel:
+	$(GO) test -run xxx -bench 'DeliveryEngineParallel|PipelineBuildStream' .

@@ -63,11 +63,54 @@ func BenchmarkDeliveryEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkDeliveryEngineParallel measures DeliverBatch throughput at
+// several fan-out widths over a pregenerated multi-day workload. The
+// dataset is identical at every width; on a 4+ core machine workers=4
+// should run ≥2x faster than workers=1 (on a single core the widths
+// track each other — the bench then measures fan-out overhead).
+func BenchmarkDeliveryEngineParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers=", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			emails := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// Worlds are single-use (workload generation consumes
+				// their RNG streams), so each iteration rebuilds one.
+				cfg := world.TinyConfig()
+				cfg.Seed = 42
+				w := world.New(cfg)
+				e := delivery.New(w)
+				var subs []*world.Submission
+				for day := 0; day < 90; day++ {
+					subs = append(subs, w.EmailsForDay(day)...)
+				}
+				emails += len(subs)
+				b.StartTimer()
+				e.DeliverBatch(subs, workers, func(dataset.Record, *world.Submission, delivery.Truth) {})
+			}
+			b.ReportMetric(float64(emails)/b.Elapsed().Seconds(), "emails/s")
+		})
+	}
+}
+
 func BenchmarkPipelineBuild(b *testing.B) {
 	s := study(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = analysis.BuildPipeline(s.Records, analysis.DefaultPipelineConfig())
+	}
+}
+
+// BenchmarkPipelineBuildStream trains the pipeline through the
+// streaming builder — same work as BenchmarkPipelineBuild but via the
+// RecordSource path bounce.Run uses.
+func BenchmarkPipelineBuildStream(b *testing.B) {
+	s := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.BuildPipelineFrom(dataset.NewSliceSource(s.Records), analysis.DefaultPipelineConfig())
 	}
 }
 

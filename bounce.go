@@ -54,6 +54,10 @@ type Options struct {
 	PinProxy bool
 	// MaxAttempts overrides Coremail's retry budget (default 5).
 	MaxAttempts int
+	// Workers is the delivery fan-out width (default 1). The dataset is
+	// byte-identical for any value: delivery state is sharded by
+	// receiver domain and records merge back in submission order.
+	Workers int
 }
 
 // ConfigForScale returns the world config for a preset scale.
@@ -83,10 +87,16 @@ type Study struct {
 // Generate builds a world and delivers its full 15-month workload,
 // returning the Figure-3 records.
 func Generate(cfg world.Config) (*world.World, []dataset.Record) {
+	return GenerateParallel(cfg, 1)
+}
+
+// GenerateParallel is Generate with a delivery fan-out width; the
+// records are byte-identical for any worker count.
+func GenerateParallel(cfg world.Config, workers int) (*world.World, []dataset.Record) {
 	w := world.New(cfg)
 	e := delivery.New(w)
 	var records []dataset.Record
-	e.Run(func(rec dataset.Record, _ *world.Submission, _ delivery.Truth) {
+	e.ParallelRun(workers, func(rec dataset.Record, _ *world.Submission, _ delivery.Truth) {
 		records = append(records, rec)
 	})
 	return w, records
@@ -132,15 +142,24 @@ func Run(opts Options) *Study {
 		e.MaxAttempts = opts.MaxAttempts
 	}
 	s := &Study{World: w, Engine: e}
-	e.Run(func(rec dataset.Record, _ *world.Submission, truth delivery.Truth) {
-		s.Records = append(s.Records, rec)
-		s.Truths = append(s.Truths, truth)
-	})
 	pcfg := opts.Pipeline
 	if pcfg.TopTemplates == 0 {
 		pcfg = analysis.DefaultPipelineConfig()
 	}
-	s.Analysis = analysis.NewWithPipeline(s.Records, analysis.BuildPipeline(s.Records, pcfg), NewEnvironment(w))
+	// Delivery and pipeline training run concurrently: the engine
+	// streams records through a bounded pipe (backpressured to analysis
+	// speed) and the analysis trains Drain as they arrive, in the
+	// deterministic merged submission order.
+	pipe := dataset.NewPipe(256)
+	go func() {
+		e.ParallelRun(opts.Workers, func(rec dataset.Record, _ *world.Submission, truth delivery.Truth) {
+			s.Truths = append(s.Truths, truth)
+			pipe.Write(&rec)
+		})
+		pipe.Close()
+	}()
+	s.Analysis = analysis.NewFromSource(pipe, pcfg, NewEnvironment(w))
+	s.Records = s.Analysis.Records
 	s.Detections = s.Analysis.Detect()
 	return s
 }

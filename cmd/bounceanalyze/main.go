@@ -9,6 +9,7 @@
 //	bounceanalyze -emails 100000          # faster run
 //	bounceanalyze -section table1,fig8    # specific sections
 //	bounceanalyze -in dataset.jsonl -seed 42   # analyze a bouncegen file
+//	bounceanalyze -workers 4              # parallel delivery, identical results
 //
 // When -in is given, the world is regenerated from -seed (deterministic)
 // to supply the external services — geolocation, blocklist state, leak
@@ -38,6 +39,7 @@ func main() {
 		in      = flag.String("in", "", "analyze an existing JSONL dataset instead of generating")
 		section = flag.String("section", "all", "comma-separated sections or 'all'")
 		asJSON  = flag.Bool("json", false, "emit a machine-readable summary instead of the report")
+		workers = flag.Int("workers", 1, "delivery fan-out width (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -47,9 +49,9 @@ func main() {
 
 	var study *bounce.Study
 	if *in == "" {
-		study = bounce.Run(bounce.Options{Config: cfg})
+		study = bounce.Run(bounce.Options{Config: cfg, Workers: *workers})
 	} else {
-		records, err := dataset.ReadFile(*in)
+		f, err := os.Open(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,10 +59,16 @@ func main() {
 		// Re-run the delivery to restore stateful external services
 		// (blocklist listings accrue during delivery).
 		e := delivery.New(w)
-		e.Run(func(dataset.Record, *world.Submission, delivery.Truth) {})
-		study = &bounce.Study{World: w, Records: records}
-		study.Analysis = analysis.New(records, bounce.NewEnvironment(w))
-		study.Detections = study.Analysis.Detect()
+		e.ParallelRun(*workers, func(dataset.Record, *world.Submission, delivery.Truth) {})
+		// Stream the file through the pipeline in a single pass.
+		src := dataset.NewReaderSource(f)
+		a := analysis.NewFromSource(src, analysis.DefaultPipelineConfig(), bounce.NewEnvironment(w))
+		f.Close()
+		if err := src.Err(); err != nil {
+			log.Fatal(err)
+		}
+		study = &bounce.Study{World: w, Records: a.Records, Analysis: a}
+		study.Detections = a.Detect()
 	}
 
 	if *asJSON {

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	bouncegen -emails 400000 -seed 42 -out dataset.jsonl
+//	bouncegen -emails 400000 -seed 42 -out dataset.jsonl -workers 4
+//
+// The output is byte-identical for any -workers value: delivery state
+// is sharded by receiver domain and records merge back in submission
+// order.
 package main
 
 import (
@@ -22,9 +26,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bouncegen: ")
 	var (
-		emails = flag.Int("emails", 400_000, "total emails across the 15-month window")
-		seed   = flag.Uint64("seed", 42, "world seed (all randomness derives from it)")
-		out    = flag.String("out", "dataset.jsonl", "output JSONL path ('-' for stdout)")
+		emails  = flag.Int("emails", 400_000, "total emails across the 15-month window")
+		seed    = flag.Uint64("seed", 42, "world seed (all randomness derives from it)")
+		out     = flag.String("out", "dataset.jsonl", "output JSONL path ('-' for stdout)")
+		workers = flag.Int("workers", 1, "delivery fan-out width (output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -45,7 +50,7 @@ func main() {
 		defer f.Close()
 	}
 	wr := dataset.NewWriter(f)
-	e.Run(func(rec dataset.Record, _ *world.Submission, _ delivery.Truth) {
+	e.ParallelRun(*workers, func(rec dataset.Record, _ *world.Submission, _ delivery.Truth) {
 		if err := wr.Write(&rec); err != nil {
 			log.Fatal(err)
 		}

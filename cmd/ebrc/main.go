@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/ebrc"
 	"repro/internal/ndr"
@@ -24,10 +25,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		trainN = flag.Int("train", 1000, "training samples per type")
-		evalN  = flag.Int("eval", 100, "evaluation samples per type (the paper's manual check)")
-		seed   = flag.Uint64("seed", 7, "sampling seed")
-		noise  = flag.Float64("noise", 0.5, "per-message probability of wire-level corruption in the eval set")
+		trainN  = flag.Int("train", 1000, "training samples per type")
+		evalN   = flag.Int("eval", 100, "evaluation samples per type (the paper's manual check)")
+		seed    = flag.Uint64("seed", 7, "sampling seed")
+		noise   = flag.Float64("noise", 0.5, "per-message probability of wire-level corruption in the eval set")
+		workers = flag.Int("workers", 1, "prediction fan-out width (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -44,10 +46,27 @@ func main() {
 	}
 	cls := ebrc.Train(train)
 
+	// Prediction is read-only on the trained model, so the eval set
+	// splits across workers; the confusion matrix fills in eval order.
+	nw := *workers
+	if nw < 1 {
+		nw = 1
+	}
+	preds := make([]ndr.Type, len(test))
+	var wg sync.WaitGroup
+	for wk := 0; wk < nw; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := wk; i < len(test); i += nw {
+				preds[i], _ = cls.Predict(test[i].Text)
+			}
+		}(wk)
+	}
+	wg.Wait()
 	cm := ebrc.NewConfusion(cls.Classes())
-	for _, s := range test {
-		pred, _ := cls.Predict(s.Text)
-		cm.Add(s.Type, pred)
+	for i, s := range test {
+		cm.Add(s.Type, preds[i])
 	}
 
 	fmt.Printf("EBRC evaluation over %d samples/type (trained on %d/type)\n", *evalN, *trainN)

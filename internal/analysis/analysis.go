@@ -82,7 +82,7 @@ func NewWithPipeline(records []dataset.Record, p *Pipeline, env *Environment) *A
 	}
 	a.Classified = make([]ClassifiedRecord, len(records))
 	for i := range records {
-		a.Classified[i] = a.classify(&records[i])
+		a.Classified[i] = p.ClassifyRecord(&records[i])
 	}
 	a.rank = dataset.InEmailRank(records)
 	for i, e := range a.rank {
@@ -91,7 +91,45 @@ func NewWithPipeline(records []dataset.Record, p *Pipeline, env *Environment) *A
 	return a
 }
 
-func (a *Analysis) classify(rec *dataset.Record) ClassifiedRecord {
+// NewFromSource consumes a record stream in a single pass: while
+// records arrive it trains the classification pipeline and accumulates
+// the popularity counts, then labels templates, trains the EBRC, and
+// classifies the retained records. Because pipeline training order
+// equals stream order, an Analysis built from a source is identical to
+// one built from the collected slice.
+func NewFromSource(src dataset.RecordSource, cfg PipelineConfig, env *Environment) *Analysis {
+	b := NewPipelineBuilder(cfg)
+	var records []dataset.Record
+	counts := map[string]int{}
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		b.Add(rec)
+		counts[rec.ToDomain()]++
+		records = append(records, *rec)
+	}
+	a := &Analysis{
+		Records:  records,
+		Pipeline: b.Finish(),
+		Env:      env,
+		rankPos:  make(map[string]int),
+	}
+	a.Classified = make([]ClassifiedRecord, len(records))
+	for i := range records {
+		a.Classified[i] = a.Pipeline.ClassifyRecord(&records[i])
+	}
+	a.rank = dataset.RankFromCounts(counts)
+	for i, e := range a.rank {
+		a.rankPos[e.Domain] = i
+	}
+	return a
+}
+
+// ClassifyRecord runs one record's attempt replies through the trained
+// pipeline.
+func (p *Pipeline) ClassifyRecord(rec *dataset.Record) ClassifiedRecord {
 	c := ClassifiedRecord{Degree: rec.BounceDegree()}
 	c.AttemptTypes = make([]ndr.Type, len(rec.DeliveryResult))
 	seen := map[ndr.Type]bool{}
@@ -102,7 +140,7 @@ func (a *Analysis) classify(rec *dataset.Record) ClassifiedRecord {
 			continue
 		}
 		failed++
-		typ, amb := a.Pipeline.ClassifyLine(line)
+		typ, amb := p.ClassifyLine(line)
 		c.AttemptTypes[i] = typ
 		if amb {
 			continue
@@ -144,27 +182,9 @@ type Overview struct {
 
 // Overview computes the bounce-degree distribution.
 func (a *Analysis) Overview() Overview {
-	var o Overview
-	softAttempts := 0
-	for i := range a.Classified {
-		o.Total++
-		switch a.Classified[i].Degree {
-		case dataset.NonBounced:
-			o.NonBounced++
-		case dataset.SoftBounced:
-			o.SoftBounced++
-			softAttempts += a.Records[i].Attempts()
-		default:
-			o.HardBounced++
-		}
-		if a.Classified[i].Ambiguous {
-			o.AmbiguousBounced++
-		}
-	}
-	if o.SoftBounced > 0 {
-		o.SoftAvgAttempts = float64(softAttempts) / float64(o.SoftBounced)
-	}
-	return o
+	var oc overviewCollector
+	a.visit(&oc)
+	return oc.result()
 }
 
 // Bounced reports the number of emails that bounced at least once.
@@ -173,17 +193,9 @@ func (o Overview) Bounced() int { return o.SoftBounced + o.HardBounced }
 // TypeDistribution is Table 1: per-type email counts among bounced,
 // non-ambiguous emails (an email may carry several types).
 func (a *Analysis) TypeDistribution() map[ndr.Type]int {
-	out := map[ndr.Type]int{}
-	for i := range a.Classified {
-		c := &a.Classified[i]
-		if c.Degree == dataset.NonBounced || c.Ambiguous {
-			continue
-		}
-		for _, t := range c.Types {
-			out[t]++
-		}
-	}
-	return out
+	tc := newTypeDistCollector()
+	a.visit(tc)
+	return tc.counts
 }
 
 // NoEnhancedCodeShare returns the share of NDR lines lacking an RFC 3463

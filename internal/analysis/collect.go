@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/ndr"
+)
+
+// Collector consumes one classified record at a time. Table and
+// figure builders are implemented as collectors so they can run either
+// over the Analysis's stored corpus (visit) or over a record stream
+// that is never materialized (CollectStream).
+type Collector interface {
+	Add(rec *dataset.Record, c *ClassifiedRecord)
+}
+
+// visit feeds every stored record through the collectors in order.
+func (a *Analysis) visit(cs ...Collector) {
+	for i := range a.Records {
+		for _, col := range cs {
+			col.Add(&a.Records[i], &a.Classified[i])
+		}
+	}
+}
+
+// CollectStream classifies records from src on the fly and feeds them
+// to the collectors without retaining them — single-pass aggregation
+// for datasets larger than memory. The pipeline must already be
+// trained (e.g. by a PipelineBuilder over an earlier pass, or loaded
+// from a prior run). Returns the number of records consumed.
+func CollectStream(src dataset.RecordSource, p *Pipeline, cs ...Collector) int {
+	n := 0
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			return n
+		}
+		c := p.ClassifyRecord(rec)
+		for _, col := range cs {
+			col.Add(rec, &c)
+		}
+		n++
+	}
+}
+
+// overviewCollector accumulates the Section-4.1 headline statistic.
+type overviewCollector struct {
+	o            Overview
+	softAttempts int
+}
+
+func (oc *overviewCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	oc.o.Total++
+	switch c.Degree {
+	case dataset.NonBounced:
+		oc.o.NonBounced++
+	case dataset.SoftBounced:
+		oc.o.SoftBounced++
+		oc.softAttempts += rec.Attempts()
+	default:
+		oc.o.HardBounced++
+	}
+	if c.Ambiguous {
+		oc.o.AmbiguousBounced++
+	}
+}
+
+func (oc *overviewCollector) result() Overview {
+	o := oc.o
+	if o.SoftBounced > 0 {
+		o.SoftAvgAttempts = float64(oc.softAttempts) / float64(o.SoftBounced)
+	}
+	return o
+}
+
+// typeDistCollector accumulates Table 1.
+type typeDistCollector struct {
+	counts map[ndr.Type]int
+}
+
+func newTypeDistCollector() *typeDistCollector {
+	return &typeDistCollector{counts: map[ndr.Type]int{}}
+}
+
+func (tc *typeDistCollector) Add(_ *dataset.Record, c *ClassifiedRecord) {
+	if c.Degree == dataset.NonBounced || c.Ambiguous {
+		return
+	}
+	for _, t := range c.Types {
+		tc.counts[t]++
+	}
+}

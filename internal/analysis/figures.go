@@ -23,27 +23,43 @@ type MonthVolume struct {
 	Emails int
 }
 
-// Timeline computes Figure 5.
-func (a *Analysis) Timeline() Timeline {
-	var tl Timeline
-	monthly := map[string]int{}
-	for i := range a.Records {
-		day := clock.Day(a.Records[i].StartTime)
-		switch a.Classified[i].Degree {
-		case dataset.NonBounced:
-			tl.Days[day].Non++
-		case dataset.SoftBounced:
-			tl.Days[day].Soft++
-		default:
-			tl.Days[day].Hard++
-		}
-		monthly[clock.MonthKey(a.Records[i].StartTime)]++
+// timelineCollector accumulates Figure 5 in one pass.
+type timelineCollector struct {
+	tl      Timeline
+	monthly map[string]int
+}
+
+func newTimelineCollector() *timelineCollector {
+	return &timelineCollector{monthly: map[string]int{}}
+}
+
+func (tc *timelineCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	day := clock.Day(rec.StartTime)
+	switch c.Degree {
+	case dataset.NonBounced:
+		tc.tl.Days[day].Non++
+	case dataset.SoftBounced:
+		tc.tl.Days[day].Soft++
+	default:
+		tc.tl.Days[day].Hard++
 	}
-	for m, n := range monthly {
+	tc.monthly[clock.MonthKey(rec.StartTime)]++
+}
+
+func (tc *timelineCollector) result() Timeline {
+	tl := tc.tl
+	for m, n := range tc.monthly {
 		tl.Months = append(tl.Months, MonthVolume{Month: m, Emails: n})
 	}
 	sort.Slice(tl.Months, func(i, j int) bool { return tl.Months[i].Month < tl.Months[j].Month })
 	return tl
+}
+
+// Timeline computes Figure 5.
+func (a *Analysis) Timeline() Timeline {
+	tc := newTimelineCollector()
+	a.visit(tc)
+	return tc.result()
 }
 
 // BlocklistFigure is Figure 6's data.
@@ -91,24 +107,32 @@ func (a *Analysis) BlocklistFigure() BlocklistFigure {
 			f.ProxiesOver70Pct++
 		}
 	}
-	normal, spam := 0, 0
-	for i := range a.Records {
-		if !a.Classified[i].HasType(ndr.T5Blocklisted) {
-			continue
-		}
-		day := clock.Day(a.Records[i].StartTime)
-		if a.Records[i].EmailFlag == "Spam" {
-			f.BlockedSpam[day]++
-			spam++
-		} else {
-			f.BlockedNormal[day]++
-			normal++
-		}
-	}
-	if normal+spam > 0 {
-		f.NormalShare = float64(normal) / float64(normal+spam)
+	bc := blockedCollector{f: &f}
+	a.visit(&bc)
+	if bc.normal+bc.spam > 0 {
+		f.NormalShare = float64(bc.normal) / float64(bc.normal+bc.spam)
 	}
 	return f
+}
+
+// blockedCollector accumulates Figure 6's per-day T5 counts.
+type blockedCollector struct {
+	f            *BlocklistFigure
+	normal, spam int
+}
+
+func (bc *blockedCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	if !c.HasType(ndr.T5Blocklisted) {
+		return
+	}
+	day := clock.Day(rec.StartTime)
+	if rec.EmailFlag == "Spam" {
+		bc.f.BlockedSpam[day]++
+		bc.spam++
+	} else {
+		bc.f.BlockedNormal[day]++
+		bc.normal++
+	}
 }
 
 // InfraMatrix is Figure 8: timeout ratio per (sender proxy country,
@@ -306,16 +330,26 @@ type STARTTLSStats struct {
 	SoftBounced int
 }
 
+// starttlsCollector finds TLS-mandating domains from observed T4 NDRs.
+type starttlsCollector struct {
+	mandating   map[string]bool
+	softBounced int
+}
+
+func (sc *starttlsCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	if c.HasType(ndr.T4STARTTLS) {
+		sc.mandating[rec.ToDomain()] = true
+		sc.softBounced++
+	}
+}
+
 // STARTTLS computes the TLS-mandate stats.
 func (a *Analysis) STARTTLS() STARTTLSStats {
 	var out STARTTLSStats
-	mandating := map[string]bool{}
-	for i := range a.Records {
-		if a.Classified[i].HasType(ndr.T4STARTTLS) {
-			mandating[a.Records[i].ToDomain()] = true
-			out.SoftBounced++
-		}
-	}
+	sc := starttlsCollector{mandating: map[string]bool{}}
+	a.visit(&sc)
+	mandating := sc.mandating
+	out.SoftBounced = sc.softBounced
 	out.MandatingDomains = len(mandating)
 	top100, all := 0, 0
 	for rank, e := range a.rank {
@@ -378,29 +412,35 @@ func (f FilterDisagreement) ReceiverDisagreeShare() float64 {
 	return float64(f.ReceiverSpamFlaggedNormal) / float64(f.ReceiverSpamTotal)
 }
 
-// FilterDisagreement computes the cross-filter comparison.
-func (a *Analysis) FilterDisagreement() FilterDisagreement {
-	var f FilterDisagreement
-	for i := range a.Records {
-		rec := &a.Records[i]
-		isT13 := a.Classified[i].HasType(ndr.T13ContentSpam)
-		if rec.EmailFlag == "Spam" {
-			f.SenderSpamTotal++
-			if rec.Succeeded() || !isT13 {
-				f.SenderSpamNotSpamAtReceiver++
-			}
+// filterCollector accumulates the cross-filter comparison.
+type filterCollector struct {
+	f FilterDisagreement
+}
+
+func (fc *filterCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	isT13 := c.HasType(ndr.T13ContentSpam)
+	if rec.EmailFlag == "Spam" {
+		fc.f.SenderSpamTotal++
+		if rec.Succeeded() || !isT13 {
+			fc.f.SenderSpamNotSpamAtReceiver++
 		}
-		if isT13 {
-			f.ReceiverSpamTotal++
-			if rec.EmailFlag != "Spam" {
-				f.ReceiverSpamFlaggedNormal++
-				if n := rec.Attempts(); n > 1 {
-					f.NormalSpamRetryAttempts += n - 1
-				}
+	}
+	if isT13 {
+		fc.f.ReceiverSpamTotal++
+		if rec.EmailFlag != "Spam" {
+			fc.f.ReceiverSpamFlaggedNormal++
+			if n := rec.Attempts(); n > 1 {
+				fc.f.NormalSpamRetryAttempts += n - 1
 			}
 		}
 	}
-	return f
+}
+
+// FilterDisagreement computes the cross-filter comparison.
+func (a *Analysis) FilterDisagreement() FilterDisagreement {
+	var fc filterCollector
+	a.visit(&fc)
+	return fc.f
 }
 
 // BlocklistRecovery quantifies the Section-4.2.2 finding that most
@@ -420,22 +460,30 @@ func (b BlocklistRecovery) RecoveryShare() float64 {
 	return float64(b.Recovered) / float64(b.Affected)
 }
 
+// recoveryCollector accumulates the T5 recovery statistic.
+type recoveryCollector struct {
+	out      BlocklistRecovery
+	attempts int
+}
+
+func (rc *recoveryCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	if !c.HasType(ndr.T5Blocklisted) {
+		return
+	}
+	rc.out.Affected++
+	if rec.Succeeded() {
+		rc.out.Recovered++
+		rc.attempts += rec.Attempts()
+	}
+}
+
 // BlocklistRecovery computes the T5 recovery statistic.
 func (a *Analysis) BlocklistRecovery() BlocklistRecovery {
-	var out BlocklistRecovery
-	attempts := 0
-	for i := range a.Records {
-		if !a.Classified[i].HasType(ndr.T5Blocklisted) {
-			continue
-		}
-		out.Affected++
-		if a.Records[i].Succeeded() {
-			out.Recovered++
-			attempts += a.Records[i].Attempts()
-		}
-	}
+	var rc recoveryCollector
+	a.visit(&rc)
+	out := rc.out
 	if out.Recovered > 0 {
-		out.AvgAttempts = float64(attempts) / float64(out.Recovered)
+		out.AvgAttempts = float64(rc.attempts) / float64(out.Recovered)
 	}
 	return out
 }

@@ -18,7 +18,6 @@ import (
 	"repro/internal/drain"
 	"repro/internal/ebrc"
 	"repro/internal/ndr"
-	"repro/internal/simrng"
 )
 
 // PipelineConfig scales the Section-3.2 classification pipeline.
@@ -54,33 +53,73 @@ type Pipeline struct {
 	manualCoverage float64 // share of NDRs covered by the labeled top templates
 }
 
+// PipelineBuilder accumulates NDR lines one record at a time, so the
+// pipeline can train while records stream past instead of requiring a
+// materialized slice. Feed every record to Add (order matters: Drain
+// template mining is deterministic in line order), then call Finish
+// exactly once.
+type PipelineBuilder struct {
+	p     *Pipeline
+	total int
+}
+
+// NewPipelineBuilder starts an empty pipeline with cfg (zero
+// TopTemplates selects the defaults).
+func NewPipelineBuilder(cfg PipelineConfig) *PipelineBuilder {
+	if cfg.TopTemplates <= 0 {
+		cfg = DefaultPipelineConfig()
+	}
+	return &PipelineBuilder{p: &Pipeline{
+		Parser:         drain.New(drain.DefaultConfig()),
+		cfg:            cfg,
+		groupType:      make(map[int]ndr.Type),
+		groupAmbiguous: make(map[int]bool),
+		groupSamples:   make(map[int][]string),
+	}}
+}
+
+// Add mines templates from the record's NDR lines.
+func (b *PipelineBuilder) Add(rec *dataset.Record) {
+	for _, line := range rec.NDRs() {
+		b.AddLine(line)
+	}
+}
+
+// AddLine mines templates from one raw NDR line.
+func (b *PipelineBuilder) AddLine(line string) {
+	b.total++
+	g := b.p.Parser.Train(line)
+	b.p.sampleLine(g.ID, line)
+}
+
+// BuildPipelineFrom drains src through a PipelineBuilder — the
+// streaming equivalent of BuildPipeline.
+func BuildPipelineFrom(src dataset.RecordSource, cfg PipelineConfig) *Pipeline {
+	b := NewPipelineBuilder(cfg)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		b.Add(rec)
+	}
+	return b.Finish()
+}
+
 // BuildPipeline mines Drain templates from every NDR line in records,
 // labels the top templates against the community template catalog (the
 // reproduction's stand-in for the paper's manual labeling session with
 // Coremail's professionals), trains the EBRC on template-matched raw
 // messages, and labels the remaining templates by majority vote.
 func BuildPipeline(records []dataset.Record, cfg PipelineConfig) *Pipeline {
-	if cfg.TopTemplates <= 0 {
-		cfg = DefaultPipelineConfig()
-	}
-	p := &Pipeline{
-		Parser:         drain.New(drain.DefaultConfig()),
-		cfg:            cfg,
-		groupType:      make(map[int]ndr.Type),
-		groupAmbiguous: make(map[int]bool),
-		groupSamples:   make(map[int][]string),
-	}
-	rng := simrng.New(cfg.Seed)
+	return BuildPipelineFrom(dataset.NewSliceSource(records), cfg)
+}
 
-	// 1. Mine templates, reservoir-sampling raw lines per group.
-	total := 0
-	for i := range records {
-		for _, line := range records[i].NDRs() {
-			total++
-			g := p.Parser.Train(line)
-			p.sampleLine(rng, g.ID, line)
-		}
-	}
+// Finish labels the mined templates, trains the EBRC, and returns the
+// ready pipeline. The builder must not be reused afterwards.
+func (b *PipelineBuilder) Finish() *Pipeline {
+	p, total := b.p, b.total
+	cfg := p.cfg
 	if total == 0 {
 		return p
 	}
@@ -130,7 +169,7 @@ func BuildPipeline(records []dataset.Record, cfg PipelineConfig) *Pipeline {
 // sampleLine keeps up to PredictSample raw lines per group (reservoir
 // not needed: templates are homogeneous, the first N suffice and keep
 // the pipeline deterministic).
-func (p *Pipeline) sampleLine(_ *simrng.RNG, groupID int, line string) {
+func (p *Pipeline) sampleLine(groupID int, line string) {
 	if len(p.groupSamples[groupID]) < p.cfg.PredictSample {
 		p.groupSamples[groupID] = append(p.groupSamples[groupID], line)
 	}
@@ -214,11 +253,11 @@ func catalogSignature(text string) string {
 		if open < 0 {
 			break
 		}
-		close := strings.IndexByte(marked[open:], '}')
-		if close < 0 {
+		end := strings.IndexByte(marked[open:], '}')
+		if end < 0 {
 			break
 		}
-		marked = marked[:open] + "\x00" + marked[open+close+1:]
+		marked = marked[:open] + "\x00" + marked[open+end+1:]
 	}
 	fields := strings.Fields(marked)
 	best, cur := "", ""

@@ -303,73 +303,83 @@ func localOf(addr string) string {
 	return addr
 }
 
+// causeCollector counts Table-2 attributions in one pass over the
+// corpus, using the (already multi-pass) detections for the
+// attacker/typo/inactive splits.
+type causeCollector struct {
+	d      *Detections
+	counts map[string]int
+	total  int
+}
+
+func (cc *causeCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	if c.Degree == dataset.NonBounced || c.Ambiguous {
+		return
+	}
+	d, counts := cc.d, cc.counts
+	cc.total++
+	fromDom := rec.FromDomain()
+	toDom := rec.ToDomain()
+	isGuess := false
+	if victim, ok := d.GuessingSenders[fromDom]; ok && toDom == victim {
+		isGuess = true
+	}
+	isBulk := d.BulkSpamSenders[fromDom]
+	for _, t := range c.Types {
+		switch t {
+		case ndr.T8NoSuchUser:
+			switch {
+			case isGuess:
+				counts["guess"]++
+			case isBulk:
+				counts["bulkspam"]++
+			case d.UsernameTypos[rec.To] != typo.KindNone:
+				counts["usertypo"]++
+			case d.InactiveAddrs[rec.To]:
+				counts["inactive"]++
+			default:
+				counts["usertypo-unverified"]++
+			}
+		case ndr.T13ContentSpam:
+			if isBulk {
+				counts["bulkspam"]++
+			} else {
+				counts["spamfilter"]++
+			}
+		case ndr.T5Blocklisted:
+			counts["blocklist"]++
+		case ndr.T6Greylisted:
+			counts["greylist"]++
+		case ndr.T7TooFast:
+			counts["toofast"]++
+		case ndr.T11RateLimited:
+			counts["ratelimit"]++
+		case ndr.T3AuthFail:
+			counts["authfail"]++
+		case ndr.T4STARTTLS:
+			counts["starttls"]++
+		case ndr.T2ReceiverDNS:
+			if _, isTypo := d.DomainTypos[toDom]; isTypo {
+				counts["domtypo"]++
+			} else {
+				counts["mxerror"]++
+			}
+		case ndr.T9MailboxFull:
+			counts["mailboxfull"]++
+		case ndr.T14Timeout:
+			counts["timeout"]++
+		}
+	}
+}
+
 // RootCauses builds Table 2 using the detections.
 func (a *Analysis) RootCauses(d *Detections) RootCauseTable {
 	if d == nil {
 		d = a.Detect()
 	}
-	counts := map[string]int{}
-	total := 0
-	for i := range a.Records {
-		rec := &a.Records[i]
-		c := &a.Classified[i]
-		if c.Degree == dataset.NonBounced || c.Ambiguous {
-			continue
-		}
-		total++
-		fromDom := rec.FromDomain()
-		toDom := rec.ToDomain()
-		isGuess := false
-		if victim, ok := d.GuessingSenders[fromDom]; ok && toDom == victim {
-			isGuess = true
-		}
-		isBulk := d.BulkSpamSenders[fromDom]
-		for _, t := range c.Types {
-			switch t {
-			case ndr.T8NoSuchUser:
-				switch {
-				case isGuess:
-					counts["guess"]++
-				case isBulk:
-					counts["bulkspam"]++
-				case d.UsernameTypos[rec.To] != typo.KindNone:
-					counts["usertypo"]++
-				case d.InactiveAddrs[rec.To]:
-					counts["inactive"]++
-				default:
-					counts["usertypo-unverified"]++
-				}
-			case ndr.T13ContentSpam:
-				if isBulk {
-					counts["bulkspam"]++
-				} else {
-					counts["spamfilter"]++
-				}
-			case ndr.T5Blocklisted:
-				counts["blocklist"]++
-			case ndr.T6Greylisted:
-				counts["greylist"]++
-			case ndr.T7TooFast:
-				counts["toofast"]++
-			case ndr.T11RateLimited:
-				counts["ratelimit"]++
-			case ndr.T3AuthFail:
-				counts["authfail"]++
-			case ndr.T4STARTTLS:
-				counts["starttls"]++
-			case ndr.T2ReceiverDNS:
-				if _, isTypo := d.DomainTypos[toDom]; isTypo {
-					counts["domtypo"]++
-				} else {
-					counts["mxerror"]++
-				}
-			case ndr.T9MailboxFull:
-				counts["mailboxfull"]++
-			case ndr.T14Timeout:
-				counts["timeout"]++
-			}
-		}
-	}
+	cc := causeCollector{d: d, counts: map[string]int{}}
+	a.visit(&cc)
+	counts, total := cc.counts, cc.total
 
 	rows := []RootCauseRow{
 		{CauseMalicious, "T8", "Guess victim email addresses", "hard", "Attacker", counts["guess"], nil},

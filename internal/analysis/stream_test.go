@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestNewFromSourceMatchesNew: the single-pass streaming constructor
+// must produce the same analysis as the slice constructor — same
+// classifications, same rank, same Table 1.
+func TestNewFromSourceMatchesNew(t *testing.T) {
+	records := testCorpus()
+	slice := New(records, nil)
+
+	pipe := dataset.NewPipe(8)
+	go func() {
+		for i := range records {
+			pipe.Write(&records[i])
+		}
+		pipe.Close()
+	}()
+	streamed := NewFromSource(pipe, DefaultPipelineConfig(), nil)
+
+	if len(streamed.Records) != len(slice.Records) {
+		t.Fatalf("streamed %d records, slice %d", len(streamed.Records), len(slice.Records))
+	}
+	if !reflect.DeepEqual(streamed.Classified, slice.Classified) {
+		t.Fatal("classifications differ between streaming and slice constructors")
+	}
+	if !reflect.DeepEqual(streamed.InEmailRank(), slice.InEmailRank()) {
+		t.Fatal("popularity rank differs between streaming and slice constructors")
+	}
+	if !reflect.DeepEqual(streamed.TypeDistribution(), slice.TypeDistribution()) {
+		t.Fatal("Table 1 differs between streaming and slice constructors")
+	}
+	if !reflect.DeepEqual(streamed.Overview(), slice.Overview()) {
+		t.Fatal("overview differs between streaming and slice constructors")
+	}
+}
+
+// TestCollectStreamMatchesVisit: feeding a record stream through
+// collectors with a pre-trained pipeline must reproduce the stored-
+// corpus aggregations without retaining records.
+func TestCollectStreamMatchesVisit(t *testing.T) {
+	records := testCorpus()
+	a := New(records, nil)
+
+	oc := &overviewCollector{}
+	tc := newTypeDistCollector()
+	dc := newDomainCollector()
+	n := CollectStream(dataset.NewSliceSource(records), a.Pipeline, oc, tc, dc)
+	if n != len(records) {
+		t.Fatalf("CollectStream consumed %d records, want %d", n, len(records))
+	}
+	if got, want := oc.result(), a.Overview(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed overview %+v, want %+v", got, want)
+	}
+	if !reflect.DeepEqual(tc.counts, a.TypeDistribution()) {
+		t.Fatal("streamed Table 1 differs from stored-corpus Table 1")
+	}
+	if !reflect.DeepEqual(dc.result(10), a.TopDomains(10)) {
+		t.Fatal("streamed Table 3 differs from stored-corpus Table 3")
+	}
+}

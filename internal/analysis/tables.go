@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/geo"
 	"repro/internal/ndr"
 )
 
@@ -21,27 +22,33 @@ func (d DomainStats) HardPct() float64 { return pct(d.Hard, d.Emails) }
 // SoftPct returns the soft-bounce percentage.
 func (d DomainStats) SoftPct() float64 { return pct(d.Soft, d.Emails) }
 
-// TopDomains returns Table 3: the n most popular receiver domains with
-// their bounce ratios.
-func (a *Analysis) TopDomains(n int) []DomainStats {
-	agg := map[string]*DomainStats{}
-	for i := range a.Records {
-		rec := &a.Records[i]
-		d := agg[rec.ToDomain()]
-		if d == nil {
-			d = &DomainStats{Domain: rec.ToDomain()}
-			agg[rec.ToDomain()] = d
-		}
-		d.Emails++
-		switch a.Classified[i].Degree {
-		case dataset.HardBounced:
-			d.Hard++
-		case dataset.SoftBounced:
-			d.Soft++
-		}
+// domainCollector aggregates Table 3 in one pass.
+type domainCollector struct {
+	agg map[string]*DomainStats
+}
+
+func newDomainCollector() *domainCollector {
+	return &domainCollector{agg: map[string]*DomainStats{}}
+}
+
+func (dc *domainCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	d := dc.agg[rec.ToDomain()]
+	if d == nil {
+		d = &DomainStats{Domain: rec.ToDomain()}
+		dc.agg[rec.ToDomain()] = d
 	}
-	out := make([]DomainStats, 0, len(agg))
-	for _, d := range agg {
+	d.Emails++
+	switch c.Degree {
+	case dataset.HardBounced:
+		d.Hard++
+	case dataset.SoftBounced:
+		d.Soft++
+	}
+}
+
+func (dc *domainCollector) result(n int) []DomainStats {
+	out := make([]DomainStats, 0, len(dc.agg))
+	for _, d := range dc.agg {
 		out = append(out, *d)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -54,6 +61,14 @@ func (a *Analysis) TopDomains(n int) []DomainStats {
 		out = out[:n]
 	}
 	return out
+}
+
+// TopDomains returns Table 3: the n most popular receiver domains with
+// their bounce ratios.
+func (a *Analysis) TopDomains(n int) []DomainStats {
+	dc := newDomainCollector()
+	a.visit(dc)
+	return dc.result(n)
 }
 
 // ASStats is one Table-4 row.
@@ -71,38 +86,42 @@ func (s ASStats) HardPct() float64 { return pct(s.Hard, s.Emails) }
 // SoftPct returns the soft-bounce percentage.
 func (s ASStats) SoftPct() float64 { return pct(s.Soft, s.Emails) }
 
-// TopASes returns Table 4: ASes of receiver MTAs by email volume.
-// Requires Env.Geo; attempts with no receiver IP are skipped.
-func (a *Analysis) TopASes(n int) []ASStats {
-	if a.Env == nil || a.Env.Geo == nil {
-		return nil
+// asCollector aggregates Table 4 in one pass.
+type asCollector struct {
+	geo *geo.DB
+	agg map[int]*ASStats
+}
+
+func newASCollector(db *geo.DB) *asCollector {
+	return &asCollector{geo: db, agg: map[int]*ASStats{}}
+}
+
+func (ac *asCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	ip := lastNonEmpty(rec.ToIP)
+	if ip == "" {
+		return
 	}
-	agg := map[int]*ASStats{}
-	for i := range a.Records {
-		rec := &a.Records[i]
-		ip := lastNonEmpty(rec.ToIP)
-		if ip == "" {
-			continue
-		}
-		_, asn, ok := a.Env.Geo.Lookup(ip)
-		if !ok {
-			continue
-		}
-		s := agg[asn]
-		if s == nil {
-			s = &ASStats{ASN: asn, Org: a.Env.Geo.ASOrg(asn)}
-			agg[asn] = s
-		}
-		s.Emails++
-		switch a.Classified[i].Degree {
-		case dataset.HardBounced:
-			s.Hard++
-		case dataset.SoftBounced:
-			s.Soft++
-		}
+	_, asn, ok := ac.geo.Lookup(ip)
+	if !ok {
+		return
 	}
-	out := make([]ASStats, 0, len(agg))
-	for _, s := range agg {
+	s := ac.agg[asn]
+	if s == nil {
+		s = &ASStats{ASN: asn, Org: ac.geo.ASOrg(asn)}
+		ac.agg[asn] = s
+	}
+	s.Emails++
+	switch c.Degree {
+	case dataset.HardBounced:
+		s.Hard++
+	case dataset.SoftBounced:
+		s.Soft++
+	}
+}
+
+func (ac *asCollector) result(n int) []ASStats {
+	out := make([]ASStats, 0, len(ac.agg))
+	for _, s := range ac.agg {
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -115,6 +134,17 @@ func (a *Analysis) TopASes(n int) []ASStats {
 		out = out[:n]
 	}
 	return out
+}
+
+// TopASes returns Table 4: ASes of receiver MTAs by email volume.
+// Requires Env.Geo; attempts with no receiver IP are skipped.
+func (a *Analysis) TopASes(n int) []ASStats {
+	if a.Env == nil || a.Env.Geo == nil {
+		return nil
+	}
+	ac := newASCollector(a.Env.Geo)
+	a.visit(ac)
+	return ac.result(n)
 }
 
 // CountryStats is one Table-5 row.
@@ -136,46 +166,50 @@ func (s CountryStats) HardPct() float64 { return pct(s.Hard, s.Emails) }
 // SoftPct returns the soft-bounce percentage.
 func (s CountryStats) SoftPct() float64 { return pct(s.Soft, s.Emails) }
 
-// CountryBounces aggregates per receiver-MTA country, excluding
-// countries below minEmails (the paper's 1,000-email representativeness
-// threshold, scaled by the caller). Requires Env.Geo.
-func (a *Analysis) CountryBounces(minEmails int) []CountryStats {
-	if a.Env == nil || a.Env.Geo == nil {
-		return nil
+// countryCollector aggregates Table 5 in one pass.
+type countryCollector struct {
+	geo  *geo.DB
+	byCC map[string]*countryAgg
+}
+
+type countryAgg struct {
+	CountryStats
+	types map[ndr.Type]int
+}
+
+func newCountryCollector(db *geo.DB) *countryCollector {
+	return &countryCollector{geo: db, byCC: map[string]*countryAgg{}}
+}
+
+func (cc *countryCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	ip := lastNonEmpty(rec.ToIP)
+	country := ""
+	if ip != "" {
+		country, _, _ = cc.geo.Lookup(ip)
 	}
-	type agg struct {
-		CountryStats
-		types map[ndr.Type]int
+	if country == "" {
+		return
 	}
-	byCC := map[string]*agg{}
-	for i := range a.Records {
-		rec := &a.Records[i]
-		ip := lastNonEmpty(rec.ToIP)
-		cc := ""
-		if ip != "" {
-			cc, _, _ = a.Env.Geo.Lookup(ip)
-		}
-		if cc == "" {
-			continue
-		}
-		s := byCC[cc]
-		if s == nil {
-			s = &agg{CountryStats: CountryStats{Country: cc}, types: map[ndr.Type]int{}}
-			byCC[cc] = s
-		}
-		s.Emails++
-		switch a.Classified[i].Degree {
-		case dataset.HardBounced:
-			s.Hard++
-		case dataset.SoftBounced:
-			s.Soft++
-		}
-		for _, t := range a.Classified[i].Types {
-			s.types[t]++
-		}
+	s := cc.byCC[country]
+	if s == nil {
+		s = &countryAgg{CountryStats: CountryStats{Country: country}, types: map[ndr.Type]int{}}
+		cc.byCC[country] = s
 	}
+	s.Emails++
+	switch c.Degree {
+	case dataset.HardBounced:
+		s.Hard++
+	case dataset.SoftBounced:
+		s.Soft++
+	}
+	for _, t := range c.Types {
+		s.types[t]++
+	}
+}
+
+func (cc *countryCollector) result(minEmails int) []CountryStats {
 	var out []CountryStats
-	for _, s := range byCC {
+	for _, s := range cc.byCC {
 		if s.Emails < minEmails {
 			continue
 		}
@@ -194,6 +228,18 @@ func (a *Analysis) CountryBounces(minEmails int) []CountryStats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
 	return out
+}
+
+// CountryBounces aggregates per receiver-MTA country, excluding
+// countries below minEmails (the paper's 1,000-email representativeness
+// threshold, scaled by the caller). Requires Env.Geo.
+func (a *Analysis) CountryBounces(minEmails int) []CountryStats {
+	if a.Env == nil || a.Env.Geo == nil {
+		return nil
+	}
+	cc := newCountryCollector(a.Env.Geo)
+	a.visit(cc)
+	return cc.result(minEmails)
 }
 
 // TopByHard / TopBySoft sort country stats for the two halves of

@@ -120,6 +120,12 @@ func InEmailRank(records []Record) []RankEntry {
 	for i := range records {
 		counts[records[i].ToDomain()]++
 	}
+	return RankFromCounts(counts)
+}
+
+// RankFromCounts builds the popularity list from per-domain email
+// counts accumulated incrementally (e.g. while streaming records).
+func RankFromCounts(counts map[string]int) []RankEntry {
 	out := make([]RankEntry, 0, len(counts))
 	for d, n := range counts {
 		out = append(out, RankEntry{Domain: d, Emails: n})

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RecordSink receives records one at a time. Writer satisfies it, so
+// anything that produces records can stream straight to JSONL.
+type RecordSink interface {
+	Write(r *Record) error
+}
+
+// RecordSource yields records one at a time. Next returns false once
+// the source is exhausted. The returned pointer is only valid until
+// the next call to Next; callers that retain records must copy them.
+type RecordSource interface {
+	Next() (*Record, bool)
+}
+
+var _ RecordSink = (*Writer)(nil)
+var _ RecordSource = (*SliceSource)(nil)
+var _ RecordSource = (*ReaderSource)(nil)
+var _ RecordSink = (*Pipe)(nil)
+var _ RecordSource = (*Pipe)(nil)
+
+// SliceSource adapts an in-memory slice to RecordSource.
+type SliceSource struct {
+	records []Record
+	i       int
+}
+
+// NewSliceSource returns a source that yields records in order without
+// copying them.
+func NewSliceSource(records []Record) *SliceSource {
+	return &SliceSource{records: records}
+}
+
+func (s *SliceSource) Next() (*Record, bool) {
+	if s.i >= len(s.records) {
+		return nil, false
+	}
+	r := &s.records[s.i]
+	s.i++
+	return r, true
+}
+
+// Collect drains src into a slice.
+func Collect(src RecordSource) []Record {
+	var out []Record
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, *r)
+	}
+}
+
+// Pipe is a bounded channel connecting a record producer to a
+// consumer: the producer calls Write (blocking once the buffer fills,
+// which backpressures generation to analysis speed) and Close; the
+// consumer calls Next until it returns false.
+type Pipe struct {
+	ch  chan Record
+	cur Record
+}
+
+// NewPipe creates a pipe buffering up to buf records.
+func NewPipe(buf int) *Pipe {
+	if buf < 1 {
+		buf = 1
+	}
+	return &Pipe{ch: make(chan Record, buf)}
+}
+
+// Write copies r into the pipe, blocking while the buffer is full.
+// Writing after Close panics.
+func (p *Pipe) Write(r *Record) error {
+	p.ch <- *r
+	return nil
+}
+
+// Close signals the consumer that no more records follow.
+func (p *Pipe) Close() {
+	close(p.ch)
+}
+
+func (p *Pipe) Next() (*Record, bool) {
+	rec, ok := <-p.ch
+	if !ok {
+		return nil, false
+	}
+	p.cur = rec
+	return &p.cur, true
+}
+
+// ReaderSource streams JSONL records from r without materializing the
+// dataset. Check Err after Next returns false.
+type ReaderSource struct {
+	sc   *bufio.Scanner
+	cur  Record
+	line int
+	err  error
+}
+
+// NewReaderSource wraps a JSONL stream.
+func NewReaderSource(r io.Reader) *ReaderSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return &ReaderSource{sc: sc}
+}
+
+func (s *ReaderSource) Next() (*Record, bool) {
+	if s.err != nil {
+		return nil, false
+	}
+	for s.sc.Scan() {
+		s.line++
+		if len(s.sc.Bytes()) == 0 {
+			continue
+		}
+		s.cur = Record{}
+		if err := json.Unmarshal(s.sc.Bytes(), &s.cur); err != nil {
+			s.err = fmt.Errorf("dataset: line %d: %w", s.line, err)
+			return nil, false
+		}
+		return &s.cur, true
+	}
+	s.err = s.sc.Err()
+	return nil, false
+}
+
+// Err reports the first decode or read error encountered.
+func (s *ReaderSource) Err() error { return s.err }

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecords(n int) []Record {
+	start := time.Date(2023, 5, 1, 10, 0, 0, 0, time.UTC)
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			From:            "a@s.example",
+			To:              "b@r.example",
+			StartTime:       start.Add(time.Duration(i) * time.Minute),
+			EndTime:         start.Add(time.Duration(i)*time.Minute + 2*time.Second),
+			FromIP:          []string{"192.0.2.1"},
+			ToIP:            []string{"198.51.100.9"},
+			DeliveryResult:  []string{"250 2.0.0 OK"},
+			DeliveryLatency: []int64{1500},
+			EmailFlag:       "Normal",
+		}
+	}
+	return out
+}
+
+func TestSliceSourceCollectRoundTrip(t *testing.T) {
+	recs := sampleRecords(5)
+	got := Collect(NewSliceSource(recs))
+	if len(got) != len(recs) {
+		t.Fatalf("collected %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if !got[i].StartTime.Equal(recs[i].StartTime) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+}
+
+func TestPipePreservesOrderAcrossGoroutines(t *testing.T) {
+	recs := sampleRecords(100)
+	p := NewPipe(4) // smaller than the record count to exercise blocking
+	go func() {
+		for i := range recs {
+			p.Write(&recs[i])
+		}
+		p.Close()
+	}()
+	got := Collect(p)
+	if len(got) != len(recs) {
+		t.Fatalf("pipe delivered %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if !got[i].StartTime.Equal(recs[i].StartTime) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+}
+
+func TestReaderSourceMatchesReadAll(t *testing.T) {
+	recs := sampleRecords(7)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var sink RecordSink = w // Writer must satisfy the streaming sink
+	for i := range recs {
+		if err := sink.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewReaderSource(bytes.NewReader(buf.Bytes()))
+	streamed := Collect(src)
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(all) {
+		t.Fatalf("streamed %d records, ReadAll %d", len(streamed), len(all))
+	}
+	for i := range streamed {
+		if streamed[i].To != all[i].To || !streamed[i].StartTime.Equal(all[i].StartTime) {
+			t.Fatalf("record %d differs between streaming and slurping", i)
+		}
+	}
+}
+
+func TestReaderSourceReportsDecodeError(t *testing.T) {
+	src := NewReaderSource(strings.NewReader("{not json}\n"))
+	if _, ok := src.Next(); ok {
+		t.Fatal("Next succeeded on malformed input")
+	}
+	if src.Err() == nil {
+		t.Fatal("Err() is nil after malformed input")
+	}
+}
+
+func TestRankFromCountsMatchesInEmailRank(t *testing.T) {
+	recs := sampleRecords(6)
+	recs[0].To = "x@dom-a.example"
+	recs[1].To = "x@dom-a.example"
+	recs[2].To = "x@dom-b.example"
+	want := InEmailRank(recs)
+	counts := map[string]int{}
+	for i := range recs {
+		counts[recs[i].ToDomain()]++
+	}
+	got := RankFromCounts(counts)
+	if len(got) != len(want) {
+		t.Fatalf("rank length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank row %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

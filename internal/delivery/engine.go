@@ -12,6 +12,7 @@ import (
 	"hash/fnv"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/auth"
@@ -25,8 +26,20 @@ import (
 	"repro/internal/world"
 )
 
-// Engine drives deliveries. Create with New; not safe for concurrent
-// use (the simulation is single-threaded by design for determinism).
+// NumShards is the fixed number of receiver-domain partitions the
+// engine's mutable state is split into. It is independent of the
+// worker count: a worker owns every shard s with s % workers == its
+// index, so the shard→state mapping (and therefore the dataset) never
+// changes when the worker count does.
+const NumShards = 16
+
+// Engine drives deliveries. Create with New. The engine is safe for
+// concurrent use through DeliverBatch/ParallelRun: mutable delivery
+// state is partitioned into NumShards receiver-domain shards, each
+// owned by exactly one worker goroutine per batch, and every
+// submission draws from a private RNG stream derived from its message
+// ID rather than from engine-call order. Any worker count therefore
+// produces a byte-identical dataset for the same seed.
 type Engine struct {
 	W *world.World
 
@@ -39,32 +52,76 @@ type Engine struct {
 	// the paper says Coremail promised (ablation knob).
 	PinProxy bool
 
-	rng   *simrng.RNG
-	spf   *auth.SPFEvaluator
-	dkim  *auth.DKIMVerifier
-	dmarc *auth.DMARCEvaluator
+	seedBase    uint64
+	shards      [NumShards]*shard
+	domainShard map[string]int // receiver domain -> shard (built from world ranks)
 
-	tlsLearned    map[uint64]bool     // (proxy, domain) -> mandate learned
-	perProxyHour  map[uint64]int      // (domain, proxy, hour) inbound counter
-	perUserDay    map[uint64]int      // (recipient, day) inbound counter
+	histMu        sync.Mutex
 	senderHistory map[string][]string // sender domain -> recipient addrs (for analysis substrates)
+}
+
+// shard holds the delivery state for one receiver-domain partition:
+// the DNS resolver (its cache and transient-failure draws are
+// order-sensitive, so each shard gets its own), the auth evaluators
+// bound to that resolver, and the per-domain policy counters.
+type shard struct {
+	resolver *dns.Resolver
+	spf      *auth.SPFEvaluator
+	dkim     *auth.DKIMVerifier
+	dmarc    *auth.DMARCEvaluator
+
+	tlsLearned   map[uint64]bool // (proxy, domain) -> mandate learned
+	perProxyHour map[uint64]int  // (domain, proxy, hour) inbound counter
+	perUserDay   map[uint64]int  // (recipient, day) inbound counter
 }
 
 // New creates an engine over w with the default 5-attempt budget.
 func New(w *world.World) *Engine {
-	root := simrng.New(w.Cfg.Seed ^ 0xde11ef27)
-	return &Engine{
+	e := &Engine{
 		W:             w,
 		MaxAttempts:   5,
-		rng:           root.Stream("engine"),
-		spf:           &auth.SPFEvaluator{Resolver: w.Resolver},
-		dkim:          &auth.DKIMVerifier{Resolver: w.Resolver},
-		dmarc:         &auth.DMARCEvaluator{Resolver: w.Resolver},
-		tlsLearned:    make(map[uint64]bool),
-		perProxyHour:  make(map[uint64]int),
-		perUserDay:    make(map[uint64]int),
+		seedBase:      w.Cfg.Seed ^ 0xde11ef27,
+		domainShard:   make(map[string]int, len(w.Domains)),
 		senderHistory: make(map[string][]string),
 	}
+	root := simrng.New(e.seedBase)
+	for i := range e.shards {
+		res := dns.NewResolver(w.DNS, root.Stream(fmt.Sprintf("shard:%d:resolver", i)))
+		res.TransientFailProb = w.Cfg.TransientDNSFailProb
+		e.shards[i] = &shard{
+			resolver:     res,
+			spf:          &auth.SPFEvaluator{Resolver: res},
+			dkim:         &auth.DKIMVerifier{Resolver: res},
+			dmarc:        &auth.DMARCEvaluator{Resolver: res},
+			tlsLearned:   make(map[uint64]bool),
+			perProxyHour: make(map[uint64]int),
+			perUserDay:   make(map[uint64]int),
+		}
+	}
+	// Spread known domains round-robin by popularity rank so the Zipf
+	// head doesn't pile onto one shard; unknown (dead/typo) domains
+	// fall back to hashing in shardOf.
+	for _, d := range w.Domains {
+		e.domainShard[d.Name] = d.Rank % NumShards
+	}
+	return e
+}
+
+// shardOf maps a receiver domain to its shard.
+func (e *Engine) shardOf(domain string) int {
+	if s, ok := e.domainShard[domain]; ok {
+		return s
+	}
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	return int(h.Sum64() % NumShards)
+}
+
+// submissionRNG derives the private RNG stream for one submission from
+// its stable message ID, so a delivery's randomness is independent of
+// how deliveries interleave across workers.
+func (e *Engine) submissionRNG(id string) *simrng.RNG {
+	return simrng.New(e.seedBase).Stream("msg:" + id)
 }
 
 // Truth is the engine's ground-truth annotation for one delivered
@@ -84,10 +141,51 @@ type attemptOutcome struct {
 	typ       ndr.Type
 }
 
+// spamReport is a buffered spamtrap hit awaiting ordered application
+// to the shared blocklist.
+type spamReport struct {
+	ip string
+	at time.Time
+}
+
+// result is one delivered submission awaiting the ordered merge.
+type result struct {
+	rec     dataset.Record
+	truth   Truth
+	reports []spamReport
+}
+
+// dctx bundles everything one delivery touches: the engine, the
+// receiver domain's shard, and the submission's private RNG stream.
+// Spamtrap reports are buffered here so the caller can apply them to
+// the shared blocklist in deterministic sequence order.
+type dctx struct {
+	e       *Engine
+	sh      *shard
+	rng     *simrng.RNG
+	reports []spamReport
+}
+
 // Deliver executes the full delivery of one submission and returns its
-// dataset record plus ground truth.
+// dataset record plus ground truth. Spamtrap reports and sender
+// history are applied immediately; batch runs instead defer both to
+// the ordered merge (see DeliverBatch).
 func (e *Engine) Deliver(sub *world.Submission) (dataset.Record, Truth) {
+	res := e.deliver(sub)
+	e.recordHistory(&res.rec)
+	e.applyReports(res.reports)
+	return res.rec, res.truth
+}
+
+// deliver runs one submission with no cross-shard writes: blocklist
+// reports and sender history are returned for the caller to apply.
+func (e *Engine) deliver(sub *world.Submission) result {
 	msg := sub.Msg
+	dc := &dctx{
+		e:   e,
+		sh:  e.shards[e.shardOf(msg.To.Domain)],
+		rng: e.submissionRNG(msg.ID),
+	}
 	maxAttempts := e.MaxAttempts
 	if msg.IsSpam() {
 		maxAttempts = 1 // "Coremail sends emails that are determined to be spam once"
@@ -103,7 +201,7 @@ func (e *Engine) Deliver(sub *world.Submission) (dataset.Record, Truth) {
 	var pinned *world.ProxyMTA
 	st := deliveryState{}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		proxy := e.W.PickProxy(e.rng)
+		proxy := e.W.PickProxy(dc.rng)
 		if e.PinProxy {
 			if pinned == nil {
 				pinned = proxy
@@ -111,7 +209,7 @@ func (e *Engine) Deliver(sub *world.Submission) (dataset.Record, Truth) {
 			proxy = pinned
 		}
 		st.first = attempt == 0
-		out := e.attempt(msg, proxy, t, &st)
+		out := dc.attempt(msg, proxy, t, &st)
 		if out.typ == ndr.T4STARTTLS {
 			// Coremail "immediately switches to using STARTTLS to
 			// redeliver the email": later attempts of this message
@@ -128,31 +226,19 @@ func (e *Engine) Deliver(sub *world.Submission) (dataset.Record, Truth) {
 		if out.success || attempt == maxAttempts-1 {
 			break
 		}
-		t = t.Add(e.retryDelay(attempt))
+		t = t.Add(dc.retryDelay(attempt))
 	}
-	e.recordHistory(&rec)
-	return rec, truth
-}
-
-// Run delivers the whole 15-month workload in chronological order,
-// passing each record to consume.
-func (e *Engine) Run(consume func(rec dataset.Record, sub *world.Submission, truth Truth)) {
-	for day := 0; day < clock.StudyDays; day++ {
-		for _, sub := range e.W.EmailsForDay(day) {
-			rec, truth := e.Deliver(sub)
-			consume(rec, sub, truth)
-		}
-	}
+	return result{rec: rec, truth: truth, reports: dc.reports}
 }
 
 // retryDelay is Coremail's backoff schedule: minutes at first, hours
 // later (soft-bounced emails average ~3 attempts over tens of minutes).
-func (e *Engine) retryDelay(attempt int) time.Duration {
+func (dc *dctx) retryDelay(attempt int) time.Duration {
 	base := []time.Duration{
 		7 * time.Minute, 22 * time.Minute, time.Hour, 3 * time.Hour,
 	}
 	d := base[minInt(attempt, len(base)-1)]
-	jitter := 0.7 + 0.6*e.rng.Float64()
+	jitter := 0.7 + 0.6*dc.rng.Float64()
 	return time.Duration(float64(d) * jitter)
 }
 
@@ -164,23 +250,24 @@ type deliveryState struct {
 	forceTLS bool
 }
 
-func (e *Engine) attempt(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, st *deliveryState) attemptOutcome {
-	w := e.W
+func (dc *dctx) attempt(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, st *deliveryState) attemptOutcome {
+	w := dc.e.W
+
 	rcvrDomain := msg.To.Domain
 
 	// 1. Resolve the receiver's MX (T2 on failure).
-	hosts, code := w.Resolver.ResolveMX(rcvrDomain, t)
+	hosts, code := dc.sh.resolver.ResolveMX(rcvrDomain, t)
 	if code != dns.NoError {
-		return e.senderSideBounce(msg, proxy, t, ndr.T2ReceiverDNS, code, "")
+		return dc.senderSideBounce(msg, proxy, t, ndr.T2ReceiverDNS, code, "")
 	}
-	ips, code := w.Resolver.ResolveA(hosts[0], t)
+	ips, code := dc.sh.resolver.ResolveA(hosts[0], t)
 	if code != dns.NoError || len(ips) == 0 {
-		return e.senderSideBounce(msg, proxy, t, ndr.T2ReceiverDNS, code, hosts[0])
+		return dc.senderSideBounce(msg, proxy, t, ndr.T2ReceiverDNS, code, hosts[0])
 	}
 	mxIP := ips[0]
 
 	d := w.DomainByName[rcvrDomain]
-	lat := e.sessionLatencyMS(proxy, d, rcvrDomain)
+	lat := dc.sessionLatencyMS(proxy, d, rcvrDomain)
 
 	// 2. Network quality (T14 timeout / T15 interruption).
 	country := ""
@@ -190,14 +277,14 @@ func (e *Engine) attempt(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, 
 		country = cc
 	}
 	pTimeout := w.Geo.TimeoutProb(proxy.Region, country)
-	if e.rng.Bool(pTimeout) {
-		out := e.senderSideBounce(msg, proxy, t, ndr.T14Timeout, dns.NoError, hosts[0])
+	if dc.rng.Bool(pTimeout) {
+		out := dc.senderSideBounce(msg, proxy, t, ndr.T14Timeout, dns.NoError, hosts[0])
 		out.toIP = mxIP
-		out.latencyMS = 30000 + int64(e.rng.IntN(270000))
+		out.latencyMS = 30000 + int64(dc.rng.IntN(270000))
 		return out
 	}
-	if e.rng.Bool(pTimeout * 0.45) {
-		out := e.senderSideBounce(msg, proxy, t, ndr.T15Interrupted, dns.NoError, hosts[0])
+	if dc.rng.Bool(pTimeout * 0.45) {
+		out := dc.senderSideBounce(msg, proxy, t, ndr.T15Interrupted, dns.NoError, hosts[0])
 		out.toIP = mxIP
 		out.latencyMS = lat / 2
 		return out
@@ -207,28 +294,28 @@ func (e *Engine) attempt(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, 
 	// live policy object) accept mail.
 	if d == nil {
 		return attemptOutcome{
-			reply:     ndr.RenderSuccess(e.rng.IntN(4), ndr.Params{Vendor: e.vendor(), Domain: rcvrDomain}),
+			reply:     ndr.RenderSuccess(dc.rng.IntN(4), ndr.Params{Vendor: dc.vendor(), Domain: rcvrDomain}),
 			latencyMS: lat, toIP: mxIP, success: true, typ: ndr.TNone,
 		}
 	}
 
 	// 3. Receiver policy gauntlet. Each closure returns a non-zero type
 	// on rejection; the first hit decides the reply.
-	if typ, tmpl := e.policyVerdict(msg, proxy, d, t, st); typ != ndr.TNone {
-		out := e.renderReceiverBounce(msg, proxy, d, typ, tmpl, lat, mxIP)
+	if typ, tmpl := dc.policyVerdict(msg, proxy, d, t, st); typ != ndr.TNone {
+		out := dc.renderReceiverBounce(msg, proxy, d, typ, tmpl, lat, mxIP)
 		return out
 	}
 
 	return attemptOutcome{
-		reply:     ndr.RenderSuccess(int(e.rng.Uint64()), ndr.Params{Vendor: e.vendor(), Domain: rcvrDomain}),
+		reply:     ndr.RenderSuccess(int(dc.rng.Uint64()), ndr.Params{Vendor: dc.vendor(), Domain: rcvrDomain}),
 		latencyMS: lat, toIP: mxIP, success: true, typ: ndr.TNone,
 	}
 }
 
 // policyVerdict runs the receiver's checks in MTA order and returns the
 // bounce type plus an optional template override (-1 = dialect pick).
-func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, t time.Time, st *deliveryState) (ndr.Type, int) {
-	w := e.W
+func (dc *dctx) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, t time.Time, st *deliveryState) (ndr.Type, int) {
+	w := dc.e.W
 	pol := &d.Policy
 
 	// STARTTLS mandate (T4): Coremail starts in plaintext and learns
@@ -244,8 +331,8 @@ func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *worl
 		} else {
 			key = pairKey("tls", proxy.ID+1000, d.Name, 0)
 		}
-		if !e.tlsLearned[key] {
-			e.tlsLearned[key] = true
+		if !dc.sh.tlsLearned[key] {
+			dc.sh.tlsLearned[key] = true
 			return ndr.T4STARTTLS, -1
 		}
 	}
@@ -265,10 +352,11 @@ func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *worl
 
 	// Spamtraps fire once the sender is past connection-level blocks:
 	// spam content reaching trap addresses damages the proxy's
-	// reputation (drives Figure 6).
+	// reputation (drives Figure 6). The report is buffered and applied
+	// to the shared blocklist at merge time, in sequence order.
 	if msg.IsSpam() || d.Filter.Classify(msg.Tokens) {
-		if e.rng.Bool(w.TrapProb * proxy.TrapExposure * (pol.SpamtrapShare / 0.03)) {
-			w.Blocklist.ReportSpam(proxy.IP, t)
+		if dc.rng.Bool(w.TrapProb * proxy.TrapExposure * (pol.SpamtrapShare / 0.03)) {
+			dc.reports = append(dc.reports, spamReport{ip: proxy.IP, at: t})
 		}
 	}
 
@@ -278,9 +366,9 @@ func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *worl
 	if pol.PerProxyHourlyLimit > 0 {
 		key := pairKey("hr", proxy.ID, d.Name, clock.Day(t))
 		if st.first {
-			e.perProxyHour[key]++
+			dc.sh.perProxyHour[key]++
 		}
-		if e.perProxyHour[key] > pol.PerProxyHourlyLimit {
+		if dc.sh.perProxyHour[key] > pol.PerProxyHourlyLimit {
 			return ndr.T7TooFast, -1
 		}
 	}
@@ -288,13 +376,13 @@ func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *worl
 	// Sender-domain DNS health (T1): the receiver resolves the MAIL
 	// FROM domain for basic validation and SPF.
 	senderDomain := msg.From.Domain
-	if ans := w.Resolver.Lookup(senderDomain, dns.TypeNS, t); ans.Code == dns.ServFail || ans.Code == dns.Timeout {
+	if ans := dc.sh.resolver.Lookup(senderDomain, dns.TypeNS, t); ans.Code == dns.ServFail || ans.Code == dns.Timeout {
 		return ndr.T1SenderDNS, -1
 	}
 
 	// Authentication (T3).
 	if pol.EnforceAuth {
-		if typ, tmpl := e.authVerdict(msg, proxy, t); typ != ndr.TNone {
+		if typ, tmpl := dc.authVerdict(msg, proxy, t); typ != ndr.TNone {
 			return typ, tmpl
 		}
 	}
@@ -310,7 +398,7 @@ func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *worl
 		return ndr.T8NoSuchUser, -1
 	}
 	if mbox.InactiveAt(t) {
-		return ndr.T8NoSuchUser, e.inactiveTemplate()
+		return ndr.T8NoSuchUser, inactiveTemplate()
 	}
 
 	// Quota (T9).
@@ -322,18 +410,18 @@ func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *worl
 	if pol.UserDailyLimit > 0 {
 		key := pairKey("ud", 0, msg.To.String(), clock.Day(t))
 		if st.first {
-			e.perUserDay[key]++
+			dc.sh.perUserDay[key]++
 		}
-		if e.perUserDay[key] > pol.UserDailyLimit {
+		if dc.sh.perUserDay[key] > pol.UserDailyLimit {
 			return ndr.T11RateLimited, -1
 		}
 	}
 	if pol.DomainDailyLimit > 0 {
 		key := pairKey("dd", 0, d.Name, clock.Day(t))
 		if st.first {
-			e.perUserDay[key]++
+			dc.sh.perUserDay[key]++
 		}
-		if e.perUserDay[key] > pol.DomainDailyLimit {
+		if dc.sh.perUserDay[key] > pol.DomainDailyLimit {
 			return ndr.T11RateLimited, -1
 		}
 	}
@@ -350,19 +438,19 @@ func (e *Engine) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *worl
 
 	// Idiosyncratic rejections (T16: RFC-compliance pedantry, intrusion
 	// prevention, and similar receiver quirks the paper catalogs).
-	if pol.QuirkProb > 0 && e.rng.Bool(pol.QuirkProb) {
+	if pol.QuirkProb > 0 && dc.rng.Bool(pol.QuirkProb) {
 		return ndr.T16Unknown, -1
 	}
 	return ndr.TNone, -1
 }
 
 // authVerdict evaluates SPF, DKIM and DMARC for the message.
-func (e *Engine) authVerdict(msg *mail.Message, proxy *world.ProxyMTA, t time.Time) (ndr.Type, int) {
+func (dc *dctx) authVerdict(msg *mail.Message, proxy *world.ProxyMTA, t time.Time) (ndr.Type, int) {
 	senderDomain := msg.From.Domain
-	spfRes := e.spf.Evaluate(proxy.IP, senderDomain, t)
+	spfRes := dc.sh.spf.Evaluate(proxy.IP, senderDomain, t)
 
 	var sd *world.SenderDomain
-	for _, cand := range e.W.SenderDomains {
+	for _, cand := range dc.e.W.SenderDomains {
 		if cand.Name == senderDomain {
 			sd = cand
 			break
@@ -370,7 +458,7 @@ func (e *Engine) authVerdict(msg *mail.Message, proxy *world.ProxyMTA, t time.Ti
 	}
 	dkimRes := auth.DKIMNone
 	if sd != nil {
-		dkimRes = e.dkim.Verify(sd.Signer.Sign(msg.ID), msg.ID, t)
+		dkimRes = dc.sh.dkim.Verify(sd.Signer.Sign(msg.ID), msg.ID, t)
 	}
 	if spfRes.Pass() || dkimRes.Pass() {
 		return ndr.TNone, -1
@@ -378,7 +466,7 @@ func (e *Engine) authVerdict(msg *mail.Message, proxy *world.ProxyMTA, t time.Ti
 	if spfRes == auth.SPFTempError || dkimRes == auth.DKIMTempError {
 		return ndr.T3AuthFail, tmplAuthBoth // temp 421 variant
 	}
-	dm := e.dmarc.Evaluate(senderDomain, spfRes, senderDomain, dkimRes, senderDomain, t)
+	dm := dc.sh.dmarc.Evaluate(senderDomain, spfRes, senderDomain, dkimRes, senderDomain, t)
 	if dm.Found && dm.Policy == auth.DMARCReject && !dm.Aligned {
 		return ndr.T3AuthFail, tmplAuthDMARC
 	}
@@ -399,7 +487,7 @@ const (
 
 // inactiveTemplate returns the catalog index of the "account inactive"
 // T8 variant.
-func (e *Engine) inactiveTemplate() int {
+func inactiveTemplate() int {
 	for _, i := range ndr.TemplatesFor(ndr.T8NoSuchUser) {
 		if ndr.Catalog[i].Enh == (mail.EnhancedCode{Class: 5, Subject: 2, Detail: 1}) {
 			return i
@@ -409,7 +497,7 @@ func (e *Engine) inactiveTemplate() int {
 }
 
 // renderReceiverBounce renders the receiver's NDR for the decided type.
-func (e *Engine) renderReceiverBounce(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, typ ndr.Type, tmplOverride int, lat int64, mxIP string) attemptOutcome {
+func (dc *dctx) renderReceiverBounce(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, typ ndr.Type, tmplOverride int, lat int64, mxIP string) attemptOutcome {
 	idx := -1
 	switch tmplOverride {
 	case tmplAuthBoth:
@@ -425,20 +513,20 @@ func (e *Engine) renderReceiverBounce(msg *mail.Message, proxy *world.ProxyMTA, 
 	}
 	// Ambiguous-NDR domains obscure reception refusals (Table 6).
 	if d.Policy.AmbiguousNDR && ambiguousEligible(typ) {
-		idx = d.AmbiguousTemplate(e.rng)
+		idx = d.AmbiguousTemplate(dc.rng)
 	}
 	if idx < 0 {
-		idx = d.TemplateFor(typ, e.rng)
+		idx = d.TemplateFor(typ, dc.rng)
 	}
 	tp := &ndr.Catalog[idx]
 	params := ndr.Params{
 		Addr:   msg.To.String(),
 		Local:  msg.To.Local,
-		Domain: e.templateDomain(typ, msg, d),
+		Domain: templateDomain(typ, msg, d),
 		IP:     proxy.IP,
 		MX:     d.MXHost,
-		BL:     e.blName(d),
-		Vendor: e.vendor(),
+		BL:     blName(d),
+		Vendor: dc.vendor(),
 		Sec:    "300",
 		Size:   fmt.Sprintf("%d", d.Policy.MaxMsgSize),
 	}
@@ -453,7 +541,7 @@ func (e *Engine) renderReceiverBounce(msg *mail.Message, proxy *world.ProxyMTA, 
 
 // templateDomain picks which domain name appears in the NDR text:
 // sender-side identity types reference the sender domain.
-func (e *Engine) templateDomain(typ ndr.Type, msg *mail.Message, d *world.ReceiverDomain) string {
+func templateDomain(typ ndr.Type, msg *mail.Message, d *world.ReceiverDomain) string {
 	switch typ {
 	case ndr.T1SenderDNS, ndr.T3AuthFail:
 		return msg.From.Domain
@@ -484,19 +572,19 @@ func findAuthTemplate(marker string) int {
 
 // senderSideBounce renders an NDR written by Coremail's own proxy (DNS
 // failures and connection errors never reach the receiver MTA).
-func (e *Engine) senderSideBounce(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, typ ndr.Type, code dns.RCode, mxHost string) attemptOutcome {
+func (dc *dctx) senderSideBounce(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, typ ndr.Type, code dns.RCode, mxHost string) attemptOutcome {
 	idxs := ndr.NonAmbiguousTemplatesFor(typ)
 	// Temporary DNS trouble uses the 4xx variant; NXDOMAIN the 5xx one.
 	var idx int
 	switch typ {
 	case ndr.T2ReceiverDNS:
 		if code == dns.ServFail || code == dns.Timeout {
-			idx = pickByCodeClass(idxs, true, e.rng)
+			idx = pickByCodeClass(idxs, true, dc.rng)
 		} else {
-			idx = pickByCodeClass(idxs, false, e.rng)
+			idx = pickByCodeClass(idxs, false, dc.rng)
 		}
 	default:
-		idx = idxs[e.rng.IntN(len(idxs))]
+		idx = idxs[dc.rng.IntN(len(idxs))]
 	}
 	tp := &ndr.Catalog[idx]
 	if mxHost == "" {
@@ -504,12 +592,12 @@ func (e *Engine) senderSideBounce(msg *mail.Message, proxy *world.ProxyMTA, t ti
 	}
 	params := ndr.Params{
 		Addr: msg.To.String(), Local: msg.To.Local, Domain: msg.To.Domain,
-		IP: proxy.IP, MX: mxHost, Vendor: e.vendor(),
-		Sec: fmt.Sprintf("%d", 30+e.rng.IntN(270)),
+		IP: proxy.IP, MX: mxHost, Vendor: dc.vendor(),
+		Sec: fmt.Sprintf("%d", 30+dc.rng.IntN(270)),
 	}
 	return attemptOutcome{
 		reply:     tp.Render(params),
-		latencyMS: 200 + int64(e.rng.IntN(2500)),
+		latencyMS: 200 + int64(dc.rng.IntN(2500)),
 		temporary: tp.Soft(),
 		typ:       typ,
 	}
@@ -530,13 +618,13 @@ func pickByCodeClass(idxs []int, temporary bool, r *simrng.RNG) int {
 
 // sessionLatencyMS draws the SMTP session latency for a successful or
 // policy-terminated session.
-func (e *Engine) sessionLatencyMS(proxy *world.ProxyMTA, d *world.ReceiverDomain, domain string) int64 {
+func (dc *dctx) sessionLatencyMS(proxy *world.ProxyMTA, d *world.ReceiverDomain, domain string) int64 {
 	country := ""
 	if d != nil {
 		country = d.Country
 	}
-	median := e.W.Geo.MedianLatencyMS(proxy.Region, country)
-	v := e.rng.LogNormal(math.Log(median), 0.55)
+	median := dc.e.W.Geo.MedianLatencyMS(proxy.Region, country)
+	v := dc.rng.LogNormal(math.Log(median), 0.55)
 	if v < 400 {
 		v = 400
 	}
@@ -547,7 +635,7 @@ func (e *Engine) sessionLatencyMS(proxy *world.ProxyMTA, d *world.ReceiverDomain
 }
 
 // blName picks the blocklist the domain names in its T5 NDRs.
-func (e *Engine) blName(d *world.ReceiverDomain) string {
+func blName(d *world.ReceiverDomain) string {
 	h := fnv.New32a()
 	h.Write([]byte(d.Name))
 	switch h.Sum32() % 10 {
@@ -560,22 +648,35 @@ func (e *Engine) blName(d *world.ReceiverDomain) string {
 	}
 }
 
-func (e *Engine) vendor() string {
-	return fmt.Sprintf("x%08x", uint32(e.rng.Uint64()))
+func (dc *dctx) vendor() string {
+	return fmt.Sprintf("x%08x", uint32(dc.rng.Uint64()))
 }
 
 // recordHistory keeps the per-sender-domain recipient history the
 // bulk-spammer detection rule needs (Section 4.2.1).
 func (e *Engine) recordHistory(rec *dataset.Record) {
 	dom := rec.FromDomain()
+	e.histMu.Lock()
 	if len(e.senderHistory[dom]) < 5000 {
 		e.senderHistory[dom] = append(e.senderHistory[dom], rec.To)
+	}
+	e.histMu.Unlock()
+}
+
+// applyReports feeds buffered spamtrap hits to the shared blocklist.
+// The blocklist draws its delist delay in call order, so callers must
+// apply reports in deterministic sequence order.
+func (e *Engine) applyReports(reports []spamReport) {
+	for _, r := range reports {
+		e.W.Blocklist.ReportSpam(r.ip, r.at)
 	}
 }
 
 // SenderRecipients returns the recorded recipient history of a sender
 // domain.
 func (e *Engine) SenderRecipients(domain string) []string {
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
 	return e.senderHistory[domain]
 }
 
