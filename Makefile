@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race race-parallel bench bench-parallel
+.PHONY: check fmt vet build test race race-parallel bench bench-parallel
 
-# check is the tier-1 gate plus static analysis.
-check: vet build test
+# check is the tier-1 gate plus static analysis and formatting.
+check: fmt vet build test
+
+# fmt fails if any file is not gofmt-clean.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...

@@ -5,10 +5,16 @@
 // Usage:
 //
 //	bouncegen -emails 400000 -seed 42 -out dataset.jsonl -workers 4
+//	bouncegen -list-stages                 # show the policy-stage catalog
+//	bouncegen -disable-stage dnsbl,greylist -out ablated.jsonl
+//	bouncegen -force-stage content -out all-spam.jsonl
 //
 // The output is byte-identical for any -workers value: delivery state
 // is sharded by receiver domain and records merge back in submission
-// order.
+// order. -disable-stage and -force-stage ablate named policy-chain
+// stages across every receiver domain, turning each of the paper's
+// bounce mechanisms into an experiment knob; per-stage rejection
+// counts are reported on stderr after the run.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/delivery"
+	"repro/internal/policy"
 	"repro/internal/world"
 )
 
@@ -26,12 +33,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bouncegen: ")
 	var (
-		emails  = flag.Int("emails", 400_000, "total emails across the 15-month window")
-		seed    = flag.Uint64("seed", 42, "world seed (all randomness derives from it)")
-		out     = flag.String("out", "dataset.jsonl", "output JSONL path ('-' for stdout)")
-		workers = flag.Int("workers", 1, "delivery fan-out width (output is identical for any value)")
+		emails     = flag.Int("emails", 400_000, "total emails across the 15-month window")
+		seed       = flag.Uint64("seed", 42, "world seed (all randomness derives from it)")
+		out        = flag.String("out", "dataset.jsonl", "output JSONL path ('-' for stdout)")
+		workers    = flag.Int("workers", 1, "delivery fan-out width (output is identical for any value)")
+		disable    = flag.String("disable-stage", "", "comma-separated policy stages to ablate (see -list-stages)")
+		force      = flag.String("force-stage", "", "comma-separated policy stages forced to reject")
+		listStages = flag.Bool("list-stages", false, "print the policy-stage catalog and exit")
 	)
 	flag.Parse()
+
+	if *listStages {
+		printStages(os.Stdout)
+		return
+	}
+	disabled, err := policy.ParseStageList(*disable)
+	if err != nil {
+		log.Fatalf("-disable-stage: %v", err)
+	}
+	forced, err := policy.ParseStageList(*force)
+	if err != nil {
+		log.Fatalf("-force-stage: %v", err)
+	}
 
 	cfg := world.DefaultConfig()
 	cfg.TotalEmails = *emails
@@ -39,6 +62,12 @@ func main() {
 
 	w := world.New(cfg)
 	e := delivery.New(w)
+	if err := e.DisableStages(disabled...); err != nil {
+		log.Fatal(err)
+	}
+	if err := e.ForceStages(forced...); err != nil {
+		log.Fatal(err)
+	}
 
 	f := os.Stdout
 	if *out != "-" {
@@ -59,4 +88,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "bouncegen: wrote %d records (seed %d) to %s\n", wr.Count(), *seed, *out)
+	if hits := e.Metrics.Format(); hits != "" {
+		fmt.Fprintf(os.Stderr, "bouncegen: stage rejections: %s\n", hits)
+	}
+}
+
+func printStages(f *os.File) {
+	fmt.Fprintf(f, "%-14s %-8s %-6s %s\n", "STAGE", "PHASE", "TYPE", "CHECK")
+	for _, s := range policy.Stages() {
+		typ := s.Type.String()
+		if typ == "T0" {
+			typ = "-" // side-effect stage, never the rejection itself
+		}
+		fmt.Fprintf(f, "%-14s %-8s %-6s %s\n", s.Name, s.Phase, typ, s.Doc)
+	}
 }

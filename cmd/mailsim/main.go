@@ -1,13 +1,16 @@
-// Command mailsim demonstrates the live SMTP substrate: it starts a
-// real RFC 5321 receiver MTA on loopback whose policy callbacks run the
-// same checks as the bulk simulator (user existence, quota, greylist,
-// blocklist, content filter, STARTTLS mandate), then delivers a set of
-// emails through the real client and prints each wire-level verdict.
+// Command mailsim demonstrates the live SMTP substrate: it builds a
+// small generated world, serves one of its receiver domains through a
+// real RFC 5321 MTA on loopback — the policy callbacks are the SAME
+// stage chain the bulk simulator executes — then delivers a scripted
+// set of emails through the real client and prints each wire-level
+// verdict.
 //
 // Usage:
 //
-//	mailsim            # run the scripted scenario
-//	mailsim -listen 127.0.0.1:2525 -serve   # leave the server running
+//	mailsim                                  # run the scripted scenario
+//	mailsim -list-stages                     # show the policy-stage catalog
+//	mailsim -domain gmail.com -serve         # serve a specific world domain
+//	mailsim -disable-stage source-rate       # ablate chain stages on the wire
 package main
 
 import (
@@ -19,81 +22,84 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/greylist"
-	"repro/internal/mail"
-	"repro/internal/ndr"
+	"repro/internal/clock"
+	"repro/internal/policy"
+	"repro/internal/simrng"
 	"repro/internal/smtp"
+	"repro/internal/smtpbridge"
 	"repro/internal/spamfilter"
+	"repro/internal/world"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mailsim: ")
 	var (
-		listen = flag.String("listen", "127.0.0.1:0", "listen address")
-		serve  = flag.Bool("serve", false, "keep serving after the scenario")
+		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+		serve      = flag.Bool("serve", false, "keep serving after the scenario")
+		domain     = flag.String("domain", "", "world domain to serve (default: first plain-policy domain)")
+		seed       = flag.Uint64("seed", 42, "world seed")
+		disable    = flag.String("disable-stage", "", "comma-separated policy stages to ablate (see -list-stages)")
+		force      = flag.String("force-stage", "", "comma-separated policy stages forced to reject")
+		listStages = flag.Bool("list-stages", false, "print the policy-stage catalog and exit")
 	)
 	flag.Parse()
 
-	users := map[string]bool{"bob": true, "carol": true, "dave": true}
-	full := map[string]bool{"carol": true}
-	gl := greylist.New(2*time.Second, time.Hour)
-	filter := spamfilter.NewCanonical("demo-receiver")
-	blocked := map[string]bool{} // client IPs "on the blocklist"
-
-	backend := smtp.Backend{
-		Hostname: "mx1.demo.example",
-		MaxSize:  1 << 20,
-		OnConnect: func(s *smtp.Session) *smtp.Reply {
-			if blocked[s.RemoteAddr] {
-				return smtp.FromNDRLine("554 Service unavailable; Client host [" + s.RemoteAddr + "] blocked using Spamhaus")
+	if *listStages {
+		fmt.Printf("%-14s %-8s %-6s %s\n", "STAGE", "PHASE", "TYPE", "CHECK")
+		for _, s := range policy.Stages() {
+			typ := s.Type.String()
+			if typ == "T0" {
+				typ = "-"
 			}
-			return nil
-		},
-		OnRcpt: func(s *smtp.Session, from, to string) *smtp.Reply {
-			addr, err := mail.ParseAddress(to)
-			if err != nil {
-				return smtp.NewReply(553, mail.EnhBadMailbox, "malformed recipient")
-			}
-			// Greylisting guards dave's mailbox in this scenario (a real
-			// deployment would greylist every unseen tuple).
-			if addr.Local == "dave" {
-				if v := gl.Check(s.RemoteAddr, from, to, time.Now()); v == greylist.Defer {
-					return smtp.NewReply(450, mail.EnhGreylisted, "Greylisted, please try again in 2 seconds")
-				}
-			}
-			if !users[addr.Local] {
-				line := ndr.Catalog[ndr.TemplatesFor(ndr.T8NoSuchUser)[0]].Render(ndr.Params{Addr: to, Local: addr.Local, Vendor: "demo"})
-				return smtp.FromNDRLine(line)
-			}
-			if full[addr.Local] {
-				return smtp.NewReply(452, mail.EnhMailboxFull, "The email account that you tried to reach is over quota")
-			}
-			return nil
-		},
-		OnData: func(s *smtp.Session, data []byte) *smtp.Reply {
-			if filter.Classify(strings.Fields(string(data))) {
-				return smtp.NewReply(550, mail.EnhSecurityPolicy, "Message contains spam or virus.")
-			}
-			return nil
-		},
+			fmt.Printf("%-14s %-8s %-6s %s\n", s.Name, s.Phase, typ, s.Doc)
+		}
+		return
 	}
-	srv := smtp.NewServer(backend)
+	disabled, err := policy.ParseStageList(*disable)
+	if err != nil {
+		log.Fatalf("-disable-stage: %v", err)
+	}
+	forced, err := policy.ParseStageList(*force)
+	if err != nil {
+		log.Fatalf("-force-stage: %v", err)
+	}
+
+	cfg := world.TinyConfig()
+	cfg.Seed = *seed
+	w := world.New(cfg)
+
+	d := pickDomain(w, *domain)
+	at := clock.StudyStart.AddDate(0, 0, 30).Add(10 * time.Hour)
+	srv := smtp.NewServer(smtpbridge.Backend(w, d, smtpbridge.Options{
+		At:            at,
+		Seed:          *seed,
+		DisableStages: disabled,
+		ForceStages:   forced,
+	}))
 	if err := srv.ListenAndServe(*listen); err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	addr := srv.Addr().String()
-	fmt.Printf("receiver MTA listening on %s\n\n", addr)
+	fmt.Printf("receiver MTA for %s (rank %d) listening on %s\n", d.Name, d.Rank, addr)
+	fmt.Printf("policy: dnsbl=%v greylist=%v auth=%v tls=%d ambiguous=%v\n\n",
+		d.Policy.UsesDNSBL, d.Policy.Greylisting, d.Policy.EnforceAuth, d.Policy.TLS, d.Policy.AmbiguousNDR)
 
+	if len(d.UserList) == 0 {
+		log.Fatalf("domain %s has no mailboxes", d.Name)
+	}
+	known := d.UserList[0] + "@" + d.Name
+	spam := strings.Join(spamfilter.GenerateTokens(simrng.New(*seed).Stream("mailsim"), 0.97, 14), " ")
 	scenario := []struct {
 		desc, from, to, body string
 	}{
-		{"existing user", "alice@corp.example", "bob@demo.example", "meeting agenda attached"},
-		{"greylisted first attempt", "alice@corp.example", "dave@demo.example", "quarterly-report draft"},
-		{"non-existent user (typo)", "alice@corp.example", "bbo@demo.example", "meeting agenda"},
-		{"mailbox over quota", "alice@corp.example", "carol@demo.example", "invoice attached"},
-		{"spam content", "offers@bulk.example", "bob@demo.example", "free-money crypto-double prize winner lottery act-now"},
+		{"existing user", "alice@corp.example", known, "meeting agenda attached"},
+		{"non-existent user (typo)", "alice@corp.example", "no-such-user-zz@" + d.Name, "meeting agenda"},
+		{"spam content", "offers@bulk.example", known, spam},
+		{"existing user again", "alice@corp.example", known, "quarterly-report draft"},
+		{"and again (rate window)", "alice@corp.example", known, "timesheet reminder"},
+		{"and again (rate window)", "alice@corp.example", known, "invoice attached"},
 	}
 	opts := smtp.SendOptions{Timeout: 5 * time.Second}
 	for _, sc := range scenario {
@@ -103,15 +109,8 @@ func main() {
 		}
 		fmt.Printf("%-28s -> %s\n", sc.desc, rep)
 	}
-
-	// Greylist retry: same tuple after the delay is accepted.
-	fmt.Println("\nretrying greylisted tuple after the minimum delay...")
-	time.Sleep(2100 * time.Millisecond)
-	rep, err := smtp.SendMail(addr, "alice@corp.example", "dave@demo.example", []byte("quarterly-report draft"), opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%-28s -> %s\n", "greylisted retry", rep)
+	fmt.Println("\nthe repeated sends walk into the per-source rate window (T7);")
+	fmt.Println("rerun with -disable-stage source-rate to ablate that stage.")
 
 	if *serve {
 		fmt.Println("\nserving until interrupted (ctrl-c)...")
@@ -119,4 +118,24 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// pickDomain returns the named domain, or the highest-ranked domain
+// whose policy lets the scripted scenario show plain verdicts.
+func pickDomain(w *world.World, name string) *world.ReceiverDomain {
+	if name != "" {
+		d, ok := w.DomainByName[name]
+		if !ok {
+			log.Fatalf("unknown domain %q (world has %d domains)", name, len(w.Domains))
+		}
+		return d
+	}
+	for _, d := range w.Domains {
+		p := d.Policy
+		if !p.AmbiguousNDR && !p.UsesDNSBL && !p.Greylisting &&
+			p.TLS != world.TLSMandatory && p.QuirkProb == 0 && len(d.UserList) > 0 {
+			return d
+		}
+	}
+	return w.Domains[0]
 }

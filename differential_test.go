@@ -1,0 +1,198 @@
+package bounce_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/dns"
+	"repro/internal/mail"
+	"repro/internal/ndr"
+	"repro/internal/policy"
+	"repro/internal/simrng"
+	"repro/internal/smtp"
+	"repro/internal/smtpbridge"
+	"repro/internal/spamfilter"
+	"repro/internal/world"
+)
+
+// chainState is a reference StageState mirroring the bridge's wire
+// state: fresh counters, the same clean resolver, no-op spam reports.
+type chainState struct {
+	rng      *simrng.RNG
+	resolver *dns.Resolver
+	spf      *auth.SPFEvaluator
+	dkim     *auth.DKIMVerifier
+	dmarc    *auth.DMARCEvaluator
+	counters map[uint64]int
+	learned  map[uint64]bool
+}
+
+func (st *chainState) RNG() *simrng.RNG            { return st.rng }
+func (st *chainState) Resolver() *dns.Resolver     { return st.resolver }
+func (st *chainState) SPF() *auth.SPFEvaluator     { return st.spf }
+func (st *chainState) DKIM() *auth.DKIMVerifier    { return st.dkim }
+func (st *chainState) DMARC() *auth.DMARCEvaluator { return st.dmarc }
+
+func (st *chainState) Bump(key uint64) int {
+	st.counters[key]++
+	return st.counters[key]
+}
+func (st *chainState) Peek(key uint64) int { return st.counters[key] }
+func (st *chainState) LearnOnce(key uint64) bool {
+	if st.learned[key] {
+		return true
+	}
+	st.learned[key] = true
+	return false
+}
+func (st *chainState) ReportSpam(string, time.Time) {}
+
+// TestDifferentialChainVsWire is the differential check the policy
+// refactor exists to make possible: the SAME chain, evaluated linearly
+// (as the delivery engine does) and phase-by-phase over a real SMTP
+// conversation (as the bridge does), must produce the identical NDR —
+// same bounce type, same template, hence same reply code and enhanced
+// code.
+//
+// Three stages are ablated on BOTH sides, for reasons inherent to the
+// wire transport rather than the chain: tls (the loopback server has no
+// certificate, so the bridge auto-disables it), spamtrap (it mutates
+// the shared blocklist immediately on the wire but via the ordered
+// merge in the engine, which would skew later dnsbl verdicts), and
+// quirk (pure RNG draws, and the two paths legitimately consume
+// different streams). Every deterministic stage — including both rate
+// limiters, whose counters must advance in lockstep — runs live.
+func TestDifferentialChainVsWire(t *testing.T) {
+	w := world.New(world.TinyConfig())
+	at := clock.StudyStart.AddDate(0, 0, 25).Add(11 * time.Hour)
+	ablate := []string{"tls", "spamtrap", "quirk"}
+
+	// One clean resolver serves both paths; with no fault injection its
+	// answers depend only on the DNS zone state at `at`.
+	resolver := dns.NewResolver(w.DNS, nil)
+	env := policy.NewEnv(w)
+	ref := &chainState{
+		rng:      simrng.New(41),
+		resolver: resolver,
+		spf:      &auth.SPFEvaluator{Resolver: resolver},
+		dkim:     &auth.DKIMVerifier{Resolver: resolver},
+		dmarc:    &auth.DMARCEvaluator{Resolver: resolver},
+		counters: make(map[uint64]int),
+		learned:  make(map[uint64]bool),
+	}
+
+	type servedDomain struct {
+		d     *world.ReceiverDomain
+		chain *policy.Chain
+		addr  string
+	}
+	var served []servedDomain
+	for _, d := range w.Domains {
+		if len(d.UserList) == 0 {
+			continue
+		}
+		srv := smtp.NewServer(smtpbridge.Backend(w, d, smtpbridge.Options{
+			At: at, Seed: 11, Resolver: resolver, DisableStages: ablate,
+		}))
+		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		chain := policy.NewChain(env, d, policy.ChainOptions{Disable: ablate})
+		served = append(served, servedDomain{d, chain, srv.Addr().String()})
+		if len(served) == 6 {
+			break
+		}
+	}
+	if len(served) == 0 {
+		t.Fatal("no domains to serve")
+	}
+
+	spamBody := strings.Join(spamfilter.GenerateTokens(simrng.New(5), 0.97, 16), " ")
+	bodies := []string{
+		"meeting agenda quarterly-report timesheet",
+		spamBody,
+		"invoice attached please review",
+	}
+	senders := []string{"ops@corp.example", "news@letters.example"}
+	for i, sd := range w.SenderDomains {
+		if i == 3 {
+			break
+		}
+		senders = append(senders, fmt.Sprintf("acct%d@%s", i, sd.Name))
+	}
+
+	checked, rejected := 0, 0
+	for si, sv := range served {
+		locals := append([]string{}, sv.d.UserList...)
+		if len(locals) > 4 {
+			locals = locals[:4]
+		}
+		locals = append(locals, "ghost-differential")
+		for li, local := range locals {
+			from := senders[(si+li)%len(senders)]
+			to := local + "@" + sv.d.Name
+			body := bodies[(si+li)%len(bodies)]
+			proxy := w.Proxies[(si*7+li)%len(w.Proxies)]
+
+			// Reference side first: the greylist and the blocklist are
+			// shared world state, so evaluation order is part of the
+			// protocol (ref inserts the greylist tuple, the wire re-checks
+			// it at the same instant and still defers).
+			fromAddr, _ := mail.ParseAddress(from)
+			toAddr, _ := mail.ParseAddress(to)
+			req := &policy.Request{
+				From:      fromAddr,
+				To:        toAddr,
+				MsgID:     from + "|" + to,
+				ClientIP:  proxy.IP,
+				Proxy:     proxy,
+				At:        at,
+				First:     true,
+				RcptCount: 1,
+				Tokens:    strings.Fields(body),
+			}
+			v := sv.chain.Evaluate(ref, req)
+
+			// Wire side: EHLO as the proxy's hostname so the bridge
+			// resolves the same client identity.
+			rep, err := smtp.SendMail(sv.addr, from, to, []byte(body),
+				smtp.SendOptions{Helo: proxy.Hostname, Timeout: 5 * time.Second})
+			if err != nil {
+				t.Fatalf("wire %s -> %s: %v", from, to, err)
+			}
+
+			if !v.Rejected() {
+				if !rep.Success() {
+					t.Errorf("%s -> %s via proxy %d: chain accepts, wire rejects with %s",
+						from, to, proxy.ID, rep)
+				}
+				checked++
+				continue
+			}
+			res := sv.chain.Resolve(v, req)
+			if rep.Success() {
+				t.Errorf("%s -> %s via proxy %d: chain rejects %v (%s), wire accepts",
+					from, to, proxy.ID, v.Type, ndr.Catalog[res.Index].Text)
+				continue
+			}
+			if rep.Code != res.Code || rep.Enh != res.Enh {
+				t.Errorf("%s -> %s via proxy %d: chain %v resolves %d/%v, wire replied %s",
+					from, to, proxy.ID, v.Type, res.Code, res.Enh, rep)
+			}
+			checked++
+			rejected++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d envelopes compared", checked)
+	}
+	if rejected == 0 {
+		t.Error("no rejections exercised (ghost recipients should bounce)")
+	}
+	t.Logf("differential: %d envelopes, %d rejections, verdicts identical", checked, rejected)
+}

@@ -36,6 +36,22 @@ func Day(t time.Time) int {
 // DayStart returns the midnight UTC time of study day d.
 func DayStart(d int) time.Time { return StudyStart.AddDate(0, 0, d) }
 
+// StudyHours is the number of hours in the study window.
+const StudyHours = StudyDays * 24
+
+// Hour returns the zero-based hour index of t within the study window,
+// clamped like Day.
+func Hour(t time.Time) int {
+	h := int(t.Sub(StudyStart).Hours())
+	if h < 0 {
+		return 0
+	}
+	if h >= StudyHours {
+		return StudyHours - 1
+	}
+	return h
+}
+
 // Week returns the zero-based ISO-agnostic week index (blocks of 7 study
 // days), used by the squatting timeline (Figure 9, 64 weeks).
 func Week(t time.Time) int { return Day(t) / 7 }

@@ -1,27 +1,26 @@
 // Package delivery executes email deliveries against a generated
 // world: Coremail's random-proxy retry strategy on the sender side, and
-// the full receiver-side policy gauntlet (DNS, TLS mandate, DNSBL,
-// greylisting, rate limits, SPF/DKIM/DMARC, recipient existence, quota,
-// size, content filtering) on the other. Every delivery produces a
-// Figure-3 dataset record; the bounce-reason ground truth is returned
-// separately for validation only and never enters the dataset.
+// the receiver-side policy gauntlet (the internal/policy stage chain:
+// DNS, TLS mandate, DNSBL, greylisting, rate limits, SPF/DKIM/DMARC,
+// recipient existence, quota, size, content filtering) on the other.
+// Every delivery produces a Figure-3 dataset record; the bounce-reason
+// ground truth is returned separately for validation only and never
+// enters the dataset.
 package delivery
 
 import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/auth"
-	"repro/internal/clock"
 	"repro/internal/dataset"
 	"repro/internal/dns"
-	"repro/internal/greylist"
 	"repro/internal/mail"
 	"repro/internal/ndr"
+	"repro/internal/policy"
 	"repro/internal/simrng"
 	"repro/internal/world"
 )
@@ -52,6 +51,11 @@ type Engine struct {
 	// the paper says Coremail promised (ablation knob).
 	PinProxy bool
 
+	// Metrics counts per-stage rejections across every receiver chain.
+	Metrics *policy.Metrics
+
+	env         *policy.Env
+	chains      map[string]*policy.Chain // receiver domain -> assembled gauntlet
 	seedBase    uint64
 	shards      [NumShards]*shard
 	domainShard map[string]int // receiver domain -> shard (built from world ranks)
@@ -63,16 +67,17 @@ type Engine struct {
 // shard holds the delivery state for one receiver-domain partition:
 // the DNS resolver (its cache and transient-failure draws are
 // order-sensitive, so each shard gets its own), the auth evaluators
-// bound to that resolver, and the per-domain policy counters.
+// bound to that resolver, and the policy-stage counter and
+// learned-mandate maps (keyed by policy.Key, shared across the shard's
+// domains).
 type shard struct {
 	resolver *dns.Resolver
 	spf      *auth.SPFEvaluator
 	dkim     *auth.DKIMVerifier
 	dmarc    *auth.DMARCEvaluator
 
-	tlsLearned   map[uint64]bool // (proxy, domain) -> mandate learned
-	perProxyHour map[uint64]int  // (domain, proxy, hour) inbound counter
-	perUserDay   map[uint64]int  // (recipient, day) inbound counter
+	counters map[uint64]int  // rate-limit windows (T7/T11)
+	learned  map[uint64]bool // TLS mandates discovered (T4)
 }
 
 // New creates an engine over w with the default 5-attempt budget.
@@ -80,7 +85,10 @@ func New(w *world.World) *Engine {
 	e := &Engine{
 		W:             w,
 		MaxAttempts:   5,
+		Metrics:       policy.NewMetrics(),
+		env:           policy.NewEnv(w),
 		seedBase:      w.Cfg.Seed ^ 0xde11ef27,
+		chains:        make(map[string]*policy.Chain, len(w.Domains)),
 		domainShard:   make(map[string]int, len(w.Domains)),
 		senderHistory: make(map[string][]string),
 	}
@@ -89,23 +97,50 @@ func New(w *world.World) *Engine {
 		res := dns.NewResolver(w.DNS, root.Stream(fmt.Sprintf("shard:%d:resolver", i)))
 		res.TransientFailProb = w.Cfg.TransientDNSFailProb
 		e.shards[i] = &shard{
-			resolver:     res,
-			spf:          &auth.SPFEvaluator{Resolver: res},
-			dkim:         &auth.DKIMVerifier{Resolver: res},
-			dmarc:        &auth.DMARCEvaluator{Resolver: res},
-			tlsLearned:   make(map[uint64]bool),
-			perProxyHour: make(map[uint64]int),
-			perUserDay:   make(map[uint64]int),
+			resolver: res,
+			spf:      &auth.SPFEvaluator{Resolver: res},
+			dkim:     &auth.DKIMVerifier{Resolver: res},
+			dmarc:    &auth.DMARCEvaluator{Resolver: res},
+			counters: make(map[uint64]int),
+			learned:  make(map[uint64]bool),
 		}
 	}
 	// Spread known domains round-robin by popularity rank so the Zipf
 	// head doesn't pile onto one shard; unknown (dead/typo) domains
-	// fall back to hashing in shardOf.
+	// fall back to hashing in shardOf. Each domain gets its policy
+	// chain assembled once, up front.
 	for _, d := range w.Domains {
 		e.domainShard[d.Name] = d.Rank % NumShards
+		e.chains[d.Name] = policy.NewChain(e.env, d, policy.ChainOptions{Metrics: e.Metrics})
 	}
 	return e
 }
+
+// DisableStages turns the named policy stages off in every receiver
+// chain (the -disable-stage ablation knob). Call before delivering.
+func (e *Engine) DisableStages(names ...string) error {
+	for _, c := range e.chains {
+		if err := c.Disable(names...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForceStages makes the named policy stages reject unconditionally in
+// every receiver chain. Call before delivering.
+func (e *Engine) ForceStages(names ...string) error {
+	for _, c := range e.chains {
+		if err := c.Force(names...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StageHits snapshots the per-stage rejection counts accumulated so
+// far.
+func (e *Engine) StageHits() map[string]uint64 { return e.Metrics.Hits() }
 
 // shardOf maps a receiver domain to its shard.
 func (e *Engine) shardOf(domain string) int {
@@ -159,11 +194,56 @@ type result struct {
 // receiver domain's shard, and the submission's private RNG stream.
 // Spamtrap reports are buffered here so the caller can apply them to
 // the shared blocklist in deterministic sequence order.
+//
+// dctx is the engine's policy.StageState: stages read and write the
+// owning shard's counter and learned maps, which only the shard's
+// worker goroutine touches during a batch — ParallelRun determinism is
+// unchanged by routing the mutations through the interface.
 type dctx struct {
 	e       *Engine
 	sh      *shard
 	rng     *simrng.RNG
 	reports []spamReport
+}
+
+// RNG returns the submission's private random stream.
+func (dc *dctx) RNG() *simrng.RNG { return dc.rng }
+
+// Resolver returns the shard's DNS resolver.
+func (dc *dctx) Resolver() *dns.Resolver { return dc.sh.resolver }
+
+// SPF returns the shard's SPF evaluator.
+func (dc *dctx) SPF() *auth.SPFEvaluator { return dc.sh.spf }
+
+// DKIM returns the shard's DKIM verifier.
+func (dc *dctx) DKIM() *auth.DKIMVerifier { return dc.sh.dkim }
+
+// DMARC returns the shard's DMARC evaluator.
+func (dc *dctx) DMARC() *auth.DMARCEvaluator { return dc.sh.dmarc }
+
+// Bump increments and returns the shard counter at key.
+func (dc *dctx) Bump(key uint64) int {
+	dc.sh.counters[key]++
+	return dc.sh.counters[key]
+}
+
+// Peek returns the shard counter at key.
+func (dc *dctx) Peek(key uint64) int { return dc.sh.counters[key] }
+
+// LearnOnce records key in the shard's learned set and reports whether
+// it was already known.
+func (dc *dctx) LearnOnce(key uint64) bool {
+	if dc.sh.learned[key] {
+		return true
+	}
+	dc.sh.learned[key] = true
+	return false
+}
+
+// ReportSpam buffers a spamtrap hit for ordered application to the
+// shared blocklist at merge time.
+func (dc *dctx) ReportSpam(ip string, at time.Time) {
+	dc.reports = append(dc.reports, spamReport{ip: ip, at: at})
 }
 
 // Deliver executes the full delivery of one submission and returns its
@@ -299,11 +379,25 @@ func (dc *dctx) attempt(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, s
 		}
 	}
 
-	// 3. Receiver policy gauntlet. Each closure returns a non-zero type
-	// on rejection; the first hit decides the reply.
-	if typ, tmpl := dc.policyVerdict(msg, proxy, d, t, st); typ != ndr.TNone {
-		out := dc.renderReceiverBounce(msg, proxy, d, typ, tmpl, lat, mxIP)
-		return out
+	// 3. Receiver policy gauntlet: the domain's stage chain evaluated
+	// linearly, with this dctx as the shard-owned StageState.
+	req := &policy.Request{
+		From:        msg.From,
+		To:          msg.To,
+		MsgID:       msg.ID,
+		ClientIP:    proxy.IP,
+		Proxy:       proxy,
+		At:          t,
+		First:       st.first,
+		TLS:         st.forceTLS,
+		SpamFlagged: msg.IsSpam(),
+		RcptCount:   msg.RcptCount,
+		SizeBytes:   msg.SizeBytes,
+		Tokens:      msg.Tokens,
+	}
+	chain := dc.e.chains[d.Name]
+	if v := chain.Evaluate(dc, req); v.Rejected() {
+		return dc.renderReceiverBounce(msg, proxy, d, chain.Resolve(v, req), lat, mxIP)
 	}
 
 	return attemptOutcome{
@@ -312,220 +406,17 @@ func (dc *dctx) attempt(msg *mail.Message, proxy *world.ProxyMTA, t time.Time, s
 	}
 }
 
-// policyVerdict runs the receiver's checks in MTA order and returns the
-// bounce type plus an optional template override (-1 = dialect pick).
-func (dc *dctx) policyVerdict(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, t time.Time, st *deliveryState) (ndr.Type, int) {
-	w := dc.e.W
-	pol := &d.Policy
-
-	// STARTTLS mandate (T4): Coremail starts in plaintext and learns
-	// per proxy+domain (Section 4.3.1).
-	// STARTTLS mandate (T4): Coremail starts in plaintext and learns the
-	// mandate on first contact. High-volume domains get their mandate
-	// propagated across a region's proxies (shared configuration); for
-	// tail domains every proxy discovers it individually.
-	if pol.TLS == world.TLSMandatory && !st.forceTLS {
-		var key uint64
-		if d.Rank < 100 {
-			key = pairKey("tls", int(proxy.Region[0])<<8|int(proxy.Region[1]), d.Name, 0)
-		} else {
-			key = pairKey("tls", proxy.ID+1000, d.Name, 0)
-		}
-		if !dc.sh.tlsLearned[key] {
-			dc.sh.tlsLearned[key] = true
-			return ndr.T4STARTTLS, -1
-		}
-	}
-
-	// DNSBL (T5).
-	if pol.UsesDNSBL && !t.Before(pol.DNSBLFrom) && w.Blocklist.Listed(proxy.IP, t) {
-		return ndr.T5Blocklisted, -1
-	}
-
-	// Greylisting (T6).
-	if pol.Greylisting && d.Greylist != nil {
-		v := d.Greylist.Check(proxy.IP, msg.From.String(), msg.To.String(), t)
-		if v == greylist.Defer {
-			return ndr.T6Greylisted, -1
-		}
-	}
-
-	// Spamtraps fire once the sender is past connection-level blocks:
-	// spam content reaching trap addresses damages the proxy's
-	// reputation (drives Figure 6). The report is buffered and applied
-	// to the shared blocklist at merge time, in sequence order.
-	if msg.IsSpam() || d.Filter.Classify(msg.Tokens) {
-		if dc.rng.Bool(w.TrapProb * proxy.TrapExposure * (pol.SpamtrapShare / 0.03)) {
-			dc.reports = append(dc.reports, spamReport{ip: proxy.IP, at: t})
-		}
-	}
-
-	// Source rate limiting (T7). Quota is consumed by fresh emails only
-	// (retries re-test the limit without draining it, like a real MTA
-	// rejecting at connection time).
-	if pol.PerProxyHourlyLimit > 0 {
-		key := pairKey("hr", proxy.ID, d.Name, clock.Day(t))
-		if st.first {
-			dc.sh.perProxyHour[key]++
-		}
-		if dc.sh.perProxyHour[key] > pol.PerProxyHourlyLimit {
-			return ndr.T7TooFast, -1
-		}
-	}
-
-	// Sender-domain DNS health (T1): the receiver resolves the MAIL
-	// FROM domain for basic validation and SPF.
-	senderDomain := msg.From.Domain
-	if ans := dc.sh.resolver.Lookup(senderDomain, dns.TypeNS, t); ans.Code == dns.ServFail || ans.Code == dns.Timeout {
-		return ndr.T1SenderDNS, -1
-	}
-
-	// Authentication (T3).
-	if pol.EnforceAuth {
-		if typ, tmpl := dc.authVerdict(msg, proxy, t); typ != ndr.TNone {
-			return typ, tmpl
-		}
-	}
-
-	// Recipient count (T10).
-	if pol.MaxRcpts > 0 && msg.RcptCount > pol.MaxRcpts {
-		return ndr.T10TooManyRcpts, -1
-	}
-
-	// Recipient existence (T8) / inactive accounts.
-	mbox, ok := d.Users[msg.To.Local]
-	if !ok {
-		return ndr.T8NoSuchUser, -1
-	}
-	if mbox.InactiveAt(t) {
-		return ndr.T8NoSuchUser, inactiveTemplate()
-	}
-
-	// Quota (T9).
-	if mbox.FullAt(t) {
-		return ndr.T9MailboxFull, -1
-	}
-
-	// Per-user and per-domain inbound rate (T11).
-	if pol.UserDailyLimit > 0 {
-		key := pairKey("ud", 0, msg.To.String(), clock.Day(t))
-		if st.first {
-			dc.sh.perUserDay[key]++
-		}
-		if dc.sh.perUserDay[key] > pol.UserDailyLimit {
-			return ndr.T11RateLimited, -1
-		}
-	}
-	if pol.DomainDailyLimit > 0 {
-		key := pairKey("dd", 0, d.Name, clock.Day(t))
-		if st.first {
-			dc.sh.perUserDay[key]++
-		}
-		if dc.sh.perUserDay[key] > pol.DomainDailyLimit {
-			return ndr.T11RateLimited, -1
-		}
-	}
-
-	// Size (T12).
-	if pol.MaxMsgSize > 0 && msg.SizeBytes > pol.MaxMsgSize {
-		return ndr.T12TooLarge, -1
-	}
-
-	// Content (T13).
-	if d.Filter.Classify(msg.Tokens) {
-		return ndr.T13ContentSpam, -1
-	}
-
-	// Idiosyncratic rejections (T16: RFC-compliance pedantry, intrusion
-	// prevention, and similar receiver quirks the paper catalogs).
-	if pol.QuirkProb > 0 && dc.rng.Bool(pol.QuirkProb) {
-		return ndr.T16Unknown, -1
-	}
-	return ndr.TNone, -1
-}
-
-// authVerdict evaluates SPF, DKIM and DMARC for the message.
-func (dc *dctx) authVerdict(msg *mail.Message, proxy *world.ProxyMTA, t time.Time) (ndr.Type, int) {
-	senderDomain := msg.From.Domain
-	spfRes := dc.sh.spf.Evaluate(proxy.IP, senderDomain, t)
-
-	var sd *world.SenderDomain
-	for _, cand := range dc.e.W.SenderDomains {
-		if cand.Name == senderDomain {
-			sd = cand
-			break
-		}
-	}
-	dkimRes := auth.DKIMNone
-	if sd != nil {
-		dkimRes = dc.sh.dkim.Verify(sd.Signer.Sign(msg.ID), msg.ID, t)
-	}
-	if spfRes.Pass() || dkimRes.Pass() {
-		return ndr.TNone, -1
-	}
-	if spfRes == auth.SPFTempError || dkimRes == auth.DKIMTempError {
-		return ndr.T3AuthFail, tmplAuthBoth // temp 421 variant
-	}
-	dm := dc.sh.dmarc.Evaluate(senderDomain, spfRes, senderDomain, dkimRes, senderDomain, t)
-	if dm.Found && dm.Policy == auth.DMARCReject && !dm.Aligned {
-		return ndr.T3AuthFail, tmplAuthDMARC
-	}
-	// Neither mechanism passed; strict receivers bounce (the paper's
-	// 42%/55% both-vs-either split emerges from how records break).
-	if spfRes == auth.SPFFail && dkimRes == auth.DKIMFail {
-		return ndr.T3AuthFail, tmplAuthBoth
-	}
-	return ndr.T3AuthFail, tmplAuthEither
-}
-
-// Template override markers resolved in renderReceiverBounce.
-const (
-	tmplAuthBoth   = -2
-	tmplAuthEither = -3
-	tmplAuthDMARC  = -4
-)
-
-// inactiveTemplate returns the catalog index of the "account inactive"
-// T8 variant.
-func inactiveTemplate() int {
-	for _, i := range ndr.TemplatesFor(ndr.T8NoSuchUser) {
-		if ndr.Catalog[i].Enh == (mail.EnhancedCode{Class: 5, Subject: 2, Detail: 1}) {
-			return i
-		}
-	}
-	return -1
-}
-
-// renderReceiverBounce renders the receiver's NDR for the decided type.
-func (dc *dctx) renderReceiverBounce(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, typ ndr.Type, tmplOverride int, lat int64, mxIP string) attemptOutcome {
-	idx := -1
-	switch tmplOverride {
-	case tmplAuthBoth:
-		idx = findAuthTemplate("SPF and DKIM both")
-	case tmplAuthEither:
-		idx = findAuthTemplate("SPF or DKIM")
-	case tmplAuthDMARC:
-		idx = findAuthTemplate("DMARC policy")
-	default:
-		if tmplOverride >= 0 {
-			idx = tmplOverride
-		}
-	}
-	// Ambiguous-NDR domains obscure reception refusals (Table 6).
-	if d.Policy.AmbiguousNDR && ambiguousEligible(typ) {
-		idx = d.AmbiguousTemplate(dc.rng)
-	}
-	if idx < 0 {
-		idx = d.TemplateFor(typ, dc.rng)
-	}
-	tp := &ndr.Catalog[idx]
+// renderReceiverBounce renders the receiver's NDR for the chain's
+// resolved rejection.
+func (dc *dctx) renderReceiverBounce(msg *mail.Message, proxy *world.ProxyMTA, d *world.ReceiverDomain, res policy.Resolved, lat int64, mxIP string) attemptOutcome {
+	tp := &ndr.Catalog[res.Index]
 	params := ndr.Params{
 		Addr:   msg.To.String(),
 		Local:  msg.To.Local,
-		Domain: templateDomain(typ, msg, d),
+		Domain: policy.TemplateDomain(res.Type, msg.From.Domain, d.Name),
 		IP:     proxy.IP,
 		MX:     d.MXHost,
-		BL:     blName(d),
+		BL:     policy.BlocklistName(d.Name),
 		Vendor: dc.vendor(),
 		Sec:    "300",
 		Size:   fmt.Sprintf("%d", d.Policy.MaxMsgSize),
@@ -534,40 +425,9 @@ func (dc *dctx) renderReceiverBounce(msg *mail.Message, proxy *world.ProxyMTA, d
 		reply:     tp.Render(params),
 		latencyMS: lat,
 		toIP:      mxIP,
-		temporary: tp.Soft(),
-		typ:       typ,
+		temporary: res.Temporary,
+		typ:       res.Type,
 	}
-}
-
-// templateDomain picks which domain name appears in the NDR text:
-// sender-side identity types reference the sender domain.
-func templateDomain(typ ndr.Type, msg *mail.Message, d *world.ReceiverDomain) string {
-	switch typ {
-	case ndr.T1SenderDNS, ndr.T3AuthFail:
-		return msg.From.Domain
-	case ndr.T4STARTTLS, ndr.T11RateLimited:
-		return d.Name
-	default:
-		return msg.To.Domain
-	}
-}
-
-func ambiguousEligible(typ ndr.Type) bool {
-	switch typ {
-	case ndr.T8NoSuchUser, ndr.T13ContentSpam, ndr.T11RateLimited,
-		ndr.T5Blocklisted, ndr.T3AuthFail, ndr.T1SenderDNS:
-		return true
-	}
-	return false
-}
-
-func findAuthTemplate(marker string) int {
-	for _, i := range ndr.TemplatesFor(ndr.T3AuthFail) {
-		if strings.Contains(ndr.Catalog[i].Text, marker) {
-			return i
-		}
-	}
-	return -1
 }
 
 // senderSideBounce renders an NDR written by Coremail's own proxy (DNS
@@ -634,20 +494,6 @@ func (dc *dctx) sessionLatencyMS(proxy *world.ProxyMTA, d *world.ReceiverDomain,
 	return int64(v)
 }
 
-// blName picks the blocklist the domain names in its T5 NDRs.
-func blName(d *world.ReceiverDomain) string {
-	h := fnv.New32a()
-	h.Write([]byte(d.Name))
-	switch h.Sum32() % 10 {
-	case 0:
-		return "SpamCop"
-	case 1:
-		return "Barracuda"
-	default:
-		return "Spamhaus"
-	}
-}
-
 func (dc *dctx) vendor() string {
 	return fmt.Sprintf("x%08x", uint32(dc.rng.Uint64()))
 }
@@ -678,17 +524,6 @@ func (e *Engine) SenderRecipients(domain string) []string {
 	e.histMu.Lock()
 	defer e.histMu.Unlock()
 	return e.senderHistory[domain]
-}
-
-func pairKey(kind string, a int, s string, b int) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(kind))
-	h.Write([]byte{byte(a), byte(a >> 8)})
-	h.Write([]byte(s))
-	var buf [4]byte
-	buf[0], buf[1], buf[2], buf[3] = byte(b), byte(b>>8), byte(b>>16), byte(b>>24)
-	h.Write(buf[:])
-	return h.Sum64()
 }
 
 func minInt(a, b int) int {

@@ -1,23 +1,27 @@
 // Package smtpbridge serves a simulated receiver domain's policy over
-// the real SMTP substrate: it builds an smtp.Backend whose callbacks
-// make the same decisions (recipient existence, inactive accounts,
-// quota at a virtual instant, recipient count, TLS mandate, DNSBL,
-// greylisting, content filtering) as the bulk delivery engine, and
-// renders the same NDR catalog templates on the wire. Integration tests
-// use it to prove the wire path is a true subset of the in-process
-// simulation; cmd/mailsim-style tools can expose any generated domain
-// as a live MTA.
+// the real SMTP substrate: it maps the domain's internal/policy stage
+// chain — the same chain the bulk delivery engine executes linearly —
+// onto smtp.Backend phase callbacks (CONNECT/MAIL/RCPT/DATA) and
+// renders the shared NDR catalog templates on the wire. Because the
+// chain's stage order is phase-monotonic, the wire path and the
+// in-process simulator reach the same first rejection for the same
+// facts; the differential test in the repo root enforces that
+// mechanically. cmd/mailsim exposes any generated domain as a live MTA
+// through this bridge.
 package smtpbridge
 
 import (
 	"crypto/tls"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
-	"repro/internal/greylist"
+	"repro/internal/auth"
+	"repro/internal/dns"
 	"repro/internal/mail"
 	"repro/internal/ndr"
+	"repro/internal/policy"
 	"repro/internal/simrng"
 	"repro/internal/smtp"
 	"repro/internal/world"
@@ -26,108 +30,203 @@ import (
 // Options configures the bridge.
 type Options struct {
 	// At is the virtual instant policy is evaluated at (quota windows,
-	// blocklist state, DNSBL adoption date).
+	// blocklist state, DNSBL adoption date, rate-limit windows).
 	At time.Time
-	// TLS enables STARTTLS; required when the domain mandates TLS.
+	// TLS enables STARTTLS. When nil and the domain mandates TLS, the
+	// "tls" stage is disabled — the server cannot offer the upgrade it
+	// would demand.
 	TLS *tls.Config
 	// ClientIP maps a session to the simulated client address used for
-	// DNSBL and greylist decisions. Defaults to resolving the EHLO
-	// hostname in the world's DNS (falling back to the socket address),
-	// so tests can impersonate proxy MTAs by HELO name.
+	// DNSBL, greylist, rate-limit and SPF decisions. Defaults to
+	// resolving the EHLO hostname in the world's DNS (falling back to
+	// the socket address), so tests can impersonate proxy MTAs by HELO
+	// name.
 	ClientIP func(s *smtp.Session) string
-	// Seed drives template dialect jitter.
+	// Seed drives template dialect jitter and quirk draws.
 	Seed uint64
+	// Resolver overrides the DNS resolver policy stages query. Defaults
+	// to a fresh deterministic resolver over the world's authority
+	// (no transient-failure injection).
+	Resolver *dns.Resolver
+	// DisableStages and ForceStages are the ablation hook, applied to
+	// the chain at build time. Stage names must come from
+	// policy.StageNames(); unknown names panic (CLIs validate with
+	// policy.ParseStageList first).
+	DisableStages []string
+	ForceStages   []string
+	// Metrics receives per-stage rejection counts when non-nil.
+	Metrics *policy.Metrics
 }
 
-// Backend builds the policy-enforcing backend for domain d of world w.
+// wireState is the bridge's policy.StageState: one mutex-guarded
+// counter/learned store shared by every session of the backend, plus
+// the resolver-bound evaluators. Chain evaluation runs under the mutex,
+// so concurrent sessions see consistent rate-limit windows.
+type wireState struct {
+	mu       sync.Mutex
+	w        *world.World
+	resolver *dns.Resolver
+	spf      *auth.SPFEvaluator
+	dkim     *auth.DKIMVerifier
+	dmarc    *auth.DMARCEvaluator
+	counters map[uint64]int
+	learned  map[uint64]bool
+
+	// rng is the current evaluation's envelope-derived stream, set by
+	// the callback holding mu.
+	rng *simrng.RNG
+}
+
+func (ws *wireState) RNG() *simrng.RNG            { return ws.rng }
+func (ws *wireState) Resolver() *dns.Resolver     { return ws.resolver }
+func (ws *wireState) SPF() *auth.SPFEvaluator     { return ws.spf }
+func (ws *wireState) DKIM() *auth.DKIMVerifier    { return ws.dkim }
+func (ws *wireState) DMARC() *auth.DMARCEvaluator { return ws.dmarc }
+
+func (ws *wireState) Bump(key uint64) int {
+	ws.counters[key]++
+	return ws.counters[key]
+}
+
+func (ws *wireState) Peek(key uint64) int { return ws.counters[key] }
+
+func (ws *wireState) LearnOnce(key uint64) bool {
+	if ws.learned[key] {
+		return true
+	}
+	ws.learned[key] = true
+	return false
+}
+
+// ReportSpam feeds spamtrap hits straight to the shared blocklist (the
+// wire path has no ordered-merge step to defer to).
+func (ws *wireState) ReportSpam(ip string, at time.Time) { ws.w.Blocklist.ReportSpam(ip, at) }
+
+// Backend builds the policy-enforcing backend for domain d of world w
+// by mapping d's stage chain onto the SMTP phase callbacks.
 func Backend(w *world.World, d *world.ReceiverDomain, opts Options) smtp.Backend {
 	if opts.At.IsZero() {
 		opts.At = time.Date(2022, 7, 1, 12, 0, 0, 0, time.UTC)
 	}
-	rng := simrng.New(opts.Seed ^ 0xb21d6e)
+	resolver := opts.Resolver
+	if resolver == nil {
+		resolver = dns.NewResolver(w.DNS, nil)
+	}
+	env := policy.NewEnv(w)
+	disable := opts.DisableStages
+	if opts.TLS == nil {
+		// No certificate means no STARTTLS to upgrade to; demanding it
+		// anyway would wedge every plaintext client.
+		disable = append(append([]string(nil), disable...), "tls")
+	}
+	chain := policy.NewChain(env, d, policy.ChainOptions{
+		Metrics: opts.Metrics,
+		Disable: disable,
+		Force:   opts.ForceStages,
+	})
+	ws := &wireState{
+		w:        w,
+		resolver: resolver,
+		spf:      &auth.SPFEvaluator{Resolver: resolver},
+		dkim:     &auth.DKIMVerifier{Resolver: resolver},
+		dmarc:    &auth.DMARCEvaluator{Resolver: resolver},
+		counters: make(map[uint64]int),
+		learned:  make(map[uint64]bool),
+	}
 	clientIP := opts.ClientIP
 	if clientIP == nil {
 		clientIP = func(s *smtp.Session) string {
 			if s.Hostname != "" {
-				if ips, code := w.Resolver.ResolveA(s.Hostname, opts.At); code == 0 && len(ips) > 0 {
+				if ips, code := resolver.ResolveA(s.Hostname, opts.At); code == 0 && len(ips) > 0 {
 					return ips[0]
 				}
 			}
 			return s.RemoteAddr
 		}
 	}
-	render := func(typ ndr.Type, to string) *smtp.Reply {
-		local, _, _ := strings.Cut(to, "@")
-		idx := -1
-		if d.Policy.AmbiguousNDR && ambiguousEligible(typ) {
-			idx = d.AmbiguousTemplate(rng)
+
+	// request assembles the policy.Request for one callback. Each wire
+	// message counts as a first attempt: retries are new connections the
+	// bridge cannot correlate, exactly like a real receiver MTA.
+	request := func(s *smtp.Session, from, to string) *policy.Request {
+		req := &policy.Request{
+			ClientIP: clientIP(s),
+			At:       opts.At,
+			First:    true,
+			TLS:      s.TLS,
 		}
-		if idx < 0 {
-			idx = d.TemplateFor(typ, rng)
+		req.Proxy = env.ProxyByIP(req.ClientIP)
+		if addr, err := mail.ParseAddress(from); err == nil {
+			req.From = addr
 		}
-		line := ndr.Catalog[idx].Render(ndr.Params{
-			Addr: to, Local: local, Domain: d.Name, IP: "client",
-			MX: d.MXHost, BL: "Spamhaus", Vendor: fmt.Sprintf("w%06x", rng.Uint64()&0xffffff),
-			Sec: "300", Size: fmt.Sprintf("%d", d.Policy.MaxMsgSize),
+		if to != "" {
+			if addr, err := mail.ParseAddress(to); err == nil {
+				req.To = addr
+			}
+		}
+		req.MsgID = from + "|" + to
+		return req
+	}
+
+	// evaluate runs one phase of the chain under the shared state lock
+	// and renders the rejection, if any, from the shared catalog.
+	evaluate := func(p policy.Phase, req *policy.Request) *smtp.Reply {
+		ws.mu.Lock()
+		defer ws.mu.Unlock()
+		ws.rng = simrng.New(opts.Seed ^ 0xb21d6e).Stream("wire:" + req.From.String() + "|" + req.To.String())
+		v := chain.EvaluatePhase(p, ws, req)
+		if !v.Rejected() {
+			return nil
+		}
+		res := chain.Resolve(v, req)
+		line := ndr.Catalog[res.Index].Render(ndr.Params{
+			Addr:   req.To.String(),
+			Local:  req.To.Local,
+			Domain: policy.TemplateDomain(res.Type, req.From.Domain, d.Name),
+			IP:     req.ClientIP,
+			MX:     d.MXHost,
+			BL:     policy.BlocklistName(d.Name),
+			Vendor: fmt.Sprintf("w%06x", ws.rng.Uint64()&0xffffff),
+			Sec:    "300",
+			Size:   fmt.Sprintf("%d", d.Policy.MaxMsgSize),
 		})
 		return smtp.FromNDRLine(line)
 	}
 
 	return smtp.Backend{
-		Hostname:   d.MXHost,
-		TLSConfig:  opts.TLS,
-		RequireTLS: d.Policy.TLS == world.TLSMandatory && opts.TLS != nil,
+		Hostname:  d.MXHost,
+		TLSConfig: opts.TLS,
+		// The chain's "tls" stage speaks the T4 catalog templates; the
+		// server-level RequireTLS shortcut would answer with a hardcoded
+		// reply before the chain runs.
+		RequireTLS: false,
 		MaxSize:    d.Policy.MaxMsgSize,
+		OnConnect: func(s *smtp.Session) *smtp.Reply {
+			return evaluate(policy.PhaseConnect, request(s, "", ""))
+		},
 		OnMail: func(s *smtp.Session, from string) *smtp.Reply {
-			ip := clientIP(s)
-			if d.Policy.UsesDNSBL && !opts.At.Before(d.Policy.DNSBLFrom) &&
-				w.Blocklist.Listed(ip, opts.At) {
-				return render(ndr.T5Blocklisted, from)
-			}
-			return nil
+			return evaluate(policy.PhaseMail, request(s, from, ""))
 		},
 		OnRcpt: func(s *smtp.Session, from, to string) *smtp.Reply {
-			addr, err := mail.ParseAddress(to)
-			if err != nil {
+			if _, err := mail.ParseAddress(to); err != nil {
 				return smtp.NewReply(mail.CodeNameNotAllowed, mail.EnhBadMailbox, "malformed recipient")
 			}
-			if d.Policy.Greylisting && d.Greylist != nil {
-				if v := d.Greylist.Check(clientIP(s), from, to, opts.At); v == greylist.Defer {
-					return render(ndr.T6Greylisted, to)
-				}
-			}
-			if d.Policy.MaxRcpts > 0 && len(s.Rcpts) >= d.Policy.MaxRcpts {
-				return render(ndr.T10TooManyRcpts, to)
-			}
-			mbox, ok := d.Users[addr.Local]
-			if !ok {
-				return render(ndr.T8NoSuchUser, to)
-			}
-			if mbox.InactiveAt(opts.At) {
-				return render(ndr.T8NoSuchUser, to)
-			}
-			if mbox.FullAt(opts.At) {
-				return render(ndr.T9MailboxFull, to)
-			}
-			return nil
+			req := request(s, from, to)
+			req.RcptCount = len(s.Rcpts) + 1
+			return evaluate(policy.PhaseRcpt, req)
 		},
 		OnData: func(s *smtp.Session, data []byte) *smtp.Reply {
-			if d.Filter.Classify(strings.Fields(string(data))) {
-				return render(ndr.T13ContentSpam, s.From)
+			to := ""
+			if len(s.Rcpts) > 0 {
+				to = s.Rcpts[0]
 			}
-			return nil
+			req := request(s, s.From, to)
+			req.RcptCount = len(s.Rcpts)
+			req.SizeBytes = len(data)
+			req.Tokens = strings.Fields(string(data))
+			return evaluate(policy.PhaseData, req)
 		},
 	}
-}
-
-// ambiguousEligible mirrors the delivery engine's ambiguity rule for
-// receiver-side rejection types.
-func ambiguousEligible(typ ndr.Type) bool {
-	switch typ {
-	case ndr.T8NoSuchUser, ndr.T13ContentSpam, ndr.T11RateLimited, ndr.T5Blocklisted:
-		return true
-	}
-	return false
 }
 
 // Verdict summarizes a wire reply for equivalence checks.

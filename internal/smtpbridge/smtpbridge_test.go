@@ -20,10 +20,14 @@ func tinyWorld(t *testing.T) *world.World {
 	return world.New(world.TinyConfig())
 }
 
-// serve starts the bridge for domain d and returns its address.
+// serve starts the bridge for domain d and returns its address. The
+// source-rate stage is ablated: these tests replay many messages from
+// one loopback identity at a single virtual instant, which a per-source
+// throttle would (correctly) defer.
 func serve(t *testing.T, w *world.World, d *world.ReceiverDomain) string {
 	t.Helper()
-	srv := smtp.NewServer(Backend(w, d, Options{At: at, Seed: 1}))
+	srv := smtp.NewServer(Backend(w, d, Options{At: at, Seed: 1,
+		DisableStages: []string{"source-rate"}}))
 	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}

@@ -303,11 +303,16 @@ func (w *World) buildReceiverDomains(r *simrng.RNG, taken map[string]bool) {
 		w.DomainByName[d.Name] = d
 	}
 	// Per-proxy hourly limits scale with expected volume: receivers
-	// throttle sources that exceed ~4x their fair hourly share (T7).
+	// throttle sources that exceed ~5x their fair peak-hour share (T7).
+	// The peak hour carries ~9.5% of a day's volume (HourOfDayWeight),
+	// so the threshold is half the source's fair daily share. The floor
+	// is 1/hour: at simulation scale a single proxy rarely lands two
+	// fresh emails on one domain in the same hour unless a campaign is
+	// behind them, which is exactly the burst the throttle exists for.
 	dailyMean := float64(cfg.TotalEmails) / clock.StudyDays
 	for _, d := range w.Domains {
 		perProxyDay := d.Weight * dailyMean / float64(len(w.Proxies))
-		d.Policy.PerProxyHourlyLimit = maxInt(3, int(perProxyDay*5))
+		d.Policy.PerProxyHourlyLimit = maxInt(1, int(perProxyDay*0.5))
 		if d.Policy.DomainDailyLimit == -1 {
 			mean := d.Weight * dailyMean
 			d.Policy.DomainDailyLimit = maxInt(3, int(mean*(1.6+r.Float64())))

@@ -85,9 +85,8 @@ type ReceiverPolicy struct {
 	// DomainDailyLimit bounds the domain's total inbound volume per day
 	// (T11); 0 = unlimited.
 	DomainDailyLimit int
-	// PerProxyHourlyLimit bounds per-source-IP inbound volume (T7).
-	// At simulation scale the window is a day (real MTAs use minutes;
-	// the window scales with corpus density).
+	// PerProxyHourlyLimit bounds per-source-IP inbound volume per
+	// clock.Hour window (T7).
 	PerProxyHourlyLimit int
 	// QuirkProb is the probability of an idiosyncratic rejection (T16:
 	// RFC-compliance or intrusion-prevention style).

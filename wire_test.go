@@ -26,10 +26,15 @@ func TestWireEndToEnd(t *testing.T) {
 	w := world.New(world.TinyConfig())
 	at := clock.StudyStart.AddDate(0, 0, 30).Add(10 * time.Hour)
 
-	// Serve the five busiest domains over real sockets.
+	// Serve the five busiest domains over real sockets. The rate-limit
+	// stages are ablated through the policy chain's hook: this test
+	// funnels weeks of traffic through one loopback client at a single
+	// virtual instant, which per-source and per-domain throttles would
+	// (correctly) defer wholesale.
 	servers := map[string]string{} // domain -> addr
 	for _, d := range w.Domains[:5] {
-		srv := smtp.NewServer(smtpbridge.Backend(w, d, smtpbridge.Options{At: at, Seed: 7}))
+		srv := smtp.NewServer(smtpbridge.Backend(w, d, smtpbridge.Options{At: at, Seed: 7,
+			DisableStages: []string{"source-rate", "inbound-rate"}}))
 		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +129,10 @@ func TestWireVerdictsMatchSimulatorVerdicts(t *testing.T) {
 	if clean == nil {
 		t.Skip("no clean domain")
 	}
-	srv := smtp.NewServer(smtpbridge.Backend(w, clean, smtpbridge.Options{At: at, Seed: 3}))
+	// source-rate is ablated: five sends from one loopback identity at
+	// one virtual instant would trip the per-source throttle.
+	srv := smtp.NewServer(smtpbridge.Backend(w, clean, smtpbridge.Options{At: at, Seed: 3,
+		DisableStages: []string{"source-rate"}}))
 	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
