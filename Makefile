@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-parallel bench bench-parallel
+.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve
 
 # check is the tier-1 gate plus static analysis and formatting.
-check: fmt vet build test
+check: fmt vet build build-cmds test
 
 # fmt fails if any file is not gofmt-clean.
 fmt:
@@ -17,6 +17,11 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# build-cmds links every binary into bin/ (build ./... alone does not
+# link main packages).
+build-cmds:
+	$(GO) build -o bin/ ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -36,3 +41,16 @@ bench:
 # bench-parallel measures DeliverBatch scaling across fan-out widths.
 bench-parallel:
 	$(GO) test -run xxx -bench 'DeliveryEngineParallel|PipelineBuildStream' .
+
+# serve boots the bounce-analytics service fed by an in-process
+# delivery engine run; Ctrl-C drains the queue and flushes a report.
+serve:
+	$(GO) run ./cmd/bounced -generate
+
+# bench-serve measures HTTP ingest throughput and classify latency:
+# generate a corpus, replay it with loadgen against an in-process
+# server, and write BENCH_bounced.json.
+bench-serve:
+	$(GO) run ./cmd/bouncegen -emails 100000 -out /tmp/bench_corpus.jsonl
+	$(GO) run ./cmd/bounced loadgen -in /tmp/bench_corpus.jsonl -spawn -out BENCH_bounced.json
+	@cat BENCH_bounced.json

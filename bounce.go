@@ -17,6 +17,7 @@
 package bounce
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -129,6 +130,16 @@ func Analyze(records []dataset.Record, env *analysis.Environment) *analysis.Anal
 
 // Run executes a full study: generate, deliver, classify, detect.
 func Run(opts Options) *Study {
+	s, _ := RunCtx(context.Background(), opts)
+	return s
+}
+
+// RunCtx is Run with cancellation: Ctrl-C (or any ctx cancellation)
+// stops delivery at the next day-batch boundary instead of finishing
+// the 15-month workload. The returned study covers the records
+// delivered before the stop (identical to the same-length prefix of an
+// uncancelled run); the error is ctx's when cancelled, nil otherwise.
+func RunCtx(ctx context.Context, opts Options) (*Study, error) {
 	cfg := opts.Config
 	if cfg.TotalEmails == 0 {
 		cfg = ConfigForScale(opts.Scale)
@@ -149,10 +160,13 @@ func Run(opts Options) *Study {
 	// Delivery and pipeline training run concurrently: the engine
 	// streams records through a bounded pipe (backpressured to analysis
 	// speed) and the analysis trains Drain as they arrive, in the
-	// deterministic merged submission order.
+	// deterministic merged submission order. On cancellation the engine
+	// stops between days and closes the pipe; the analysis then drains
+	// what was delivered and returns a partial study.
 	pipe := dataset.NewPipe(256)
+	errc := make(chan error, 1)
 	go func() {
-		e.ParallelRun(opts.Workers, func(rec dataset.Record, _ *world.Submission, truth delivery.Truth) {
+		errc <- e.ParallelRunCtx(ctx, opts.Workers, func(rec dataset.Record, _ *world.Submission, truth delivery.Truth) {
 			s.Truths = append(s.Truths, truth)
 			pipe.Write(&rec)
 		})
@@ -161,7 +175,7 @@ func Run(opts Options) *Study {
 	s.Analysis = analysis.NewFromSource(pipe, pcfg, NewEnvironment(w))
 	s.Records = s.Analysis.Records
 	s.Detections = s.Analysis.Detect()
-	return s
+	return s, <-errc
 }
 
 // Squat runs the Section-5 squatting scan over the study.

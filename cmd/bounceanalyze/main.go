@@ -9,6 +9,7 @@
 //	bounceanalyze -emails 100000          # faster run
 //	bounceanalyze -section table1,fig8    # specific sections
 //	bounceanalyze -in dataset.jsonl -seed 42   # analyze a bouncegen file
+//	bounceanalyze -in dataset.jsonl.gz    # gzip input, sniffed by magic bytes
 //	bounceanalyze -workers 4              # parallel delivery, identical results
 //
 // When -in is given, the world is regenerated from -seed (deterministic)
@@ -17,11 +18,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/analysis"
@@ -43,15 +48,24 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C stops delivery at the next day boundary (or file streaming
+	// at the next record) instead of hanging to the end of the workload.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := world.DefaultConfig()
 	cfg.TotalEmails = *emails
 	cfg.Seed = *seed
 
 	var study *bounce.Study
 	if *in == "" {
-		study = bounce.Run(bounce.Options{Config: cfg, Workers: *workers})
+		var err error
+		study, err = bounce.RunCtx(ctx, bounce.Options{Config: cfg, Workers: *workers})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
 	} else {
-		f, err := os.Open(*in)
+		f, err := dataset.Open(*in) // transparently decodes .jsonl.gz
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,9 +73,11 @@ func main() {
 		// Re-run the delivery to restore stateful external services
 		// (blocklist listings accrue during delivery).
 		e := delivery.New(w)
-		e.ParallelRun(*workers, func(dataset.Record, *world.Submission, delivery.Truth) {})
+		if err := e.ParallelRunCtx(ctx, *workers, func(dataset.Record, *world.Submission, delivery.Truth) {}); err != nil {
+			log.Fatal(err)
+		}
 		// Stream the file through the pipeline in a single pass.
-		src := dataset.NewReaderSource(f)
+		src := dataset.NewContextSource(ctx, f)
 		a := analysis.NewFromSource(src, analysis.DefaultPipelineConfig(), bounce.NewEnvironment(w))
 		f.Close()
 		if err := src.Err(); err != nil {

@@ -1,0 +1,254 @@
+// Command bounced runs the bounce-analytics service: a long-running
+// HTTP server that ingests Figure-3 delivery records online and serves
+// the paper's tables and figures live, over exactly the records
+// ingested so far. GET /v1/report is byte-identical to a bounceanalyze
+// batch run over the same records.
+//
+// Usage:
+//
+//	bounced                                # serve, ingest via POST /v1/records
+//	bounced -generate -emails 400000       # feed an in-process delivery run
+//	bounced -replay dataset.jsonl.gz       # preload a bouncegen file, then serve
+//	bounced loadgen -in dataset.jsonl -url http://localhost:8425
+//	bounced loadgen -in dataset.jsonl -spawn -out BENCH_bounced.json
+//
+// Endpoints: POST /v1/records (NDJSON, gzip-aware), GET /v1/report
+// ?section=table1,fig8, GET /v1/stats, POST /v1/snapshot, GET /metrics
+// (Prometheus text), GET /healthz.
+//
+// SIGINT/SIGTERM shuts down gracefully: HTTP ingestion stops, the
+// queue drains completely into the store (no accepted record is
+// dropped), and a final report is flushed to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/bounced"
+	"repro/internal/dataset"
+	"repro/internal/delivery"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bounced: ")
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		loadgenMain(os.Args[2:])
+		return
+	}
+	serveMain(os.Args[1:])
+}
+
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("bounced", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8425", "listen address")
+		generate = fs.Bool("generate", false, "feed the service from an in-process delivery engine run")
+		replay   = fs.String("replay", "", "preload a JSONL(.gz) dataset before serving")
+		emails   = fs.Int("emails", 400_000, "corpus size (generate mode and env replay)")
+		seed     = fs.Uint64("seed", 42, "world seed")
+		workers  = fs.Int("workers", 1, "delivery fan-out width (generate mode)")
+		queue    = fs.Int("queue", 1024, "ingest queue depth (backpressure bound)")
+		noEnv    = fs.Bool("no-env", false, "skip world regeneration; env-dependent sections degrade")
+		flushSec = fs.String("flush-sections", "overview", "report sections flushed to stdout on shutdown ('' to disable, 'all' for everything)")
+	)
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := world.DefaultConfig()
+	cfg.TotalEmails = *emails
+	cfg.Seed = *seed
+
+	sCfg := bounced.Config{QueueDepth: *queue, Seed: *seed}
+	var engine *delivery.Engine
+	var w *world.World
+	switch {
+	case *generate:
+		w = world.New(cfg)
+		engine = delivery.New(w)
+		sCfg.Env = bounce.NewEnvironment(w)
+		sCfg.PolicyMetrics = engine.Metrics
+	case !*noEnv:
+		// Ingest mode: regenerate the world from the seed and replay the
+		// delivery (discarding records) to restore the stateful external
+		// services — blocklist listings accrue during delivery — exactly
+		// like bounceanalyze -in does.
+		log.Printf("restoring environment (seed %d, %d emails); -no-env skips this", *seed, *emails)
+		w = world.New(cfg)
+		e := delivery.New(w)
+		if err := e.ParallelRunCtx(ctx, *workers, func(dataset.Record, *world.Submission, delivery.Truth) {}); err != nil {
+			log.Fatal(err)
+		}
+		sCfg.Env = bounce.NewEnvironment(w)
+		sCfg.PolicyMetrics = e.Metrics
+	}
+
+	srv := bounced.New(sCfg)
+
+	if *replay != "" {
+		n, err := preload(srv, *replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("replayed %d records from %s", n, *replay)
+	}
+
+	engineDone := make(chan error, 1)
+	if engine != nil {
+		go func() {
+			engineDone <- engine.ParallelRunCtx(ctx, *workers, func(rec dataset.Record, _ *world.Submission, _ delivery.Truth) {
+				if err := srv.Ingest(&rec); err != nil {
+					log.Printf("engine ingest: %v", err)
+				}
+			})
+			log.Printf("delivery engine finished (%d records)", srv.Accepted())
+		}()
+	} else {
+		engineDone <- nil
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("listening on %s (seed %d)", ln.Addr(), *seed)
+
+	<-ctx.Done()
+	log.Print("shutting down: stopping producers, draining queue")
+	stop() // restore default signal behavior: a second Ctrl-C kills
+
+	// Shutdown order matters for the zero-loss guarantee: stop every
+	// producer first (engine at its next day boundary, HTTP after
+	// in-flight requests), then close and drain the queue.
+	if err := <-engineDone; err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("engine: %v", err)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	n := srv.Drain()
+	log.Printf("drained: %d records in store", n)
+
+	if *flushSec != "" && n > 0 {
+		sections := []bounce.Section{}
+		if *flushSec == "all" {
+			sections = bounce.AllSections
+		} else {
+			for _, s := range strings.Split(*flushSec, ",") {
+				sections = append(sections, bounce.Section(strings.TrimSpace(s)))
+			}
+		}
+		if err := srv.WriteFinalReport(os.Stdout, sections); err != nil {
+			log.Printf("final report: %v", err)
+		}
+	}
+}
+
+// preload streams a JSONL(.gz) dataset file into the service.
+func preload(srv *bounced.Server, path string) (int, error) {
+	f, err := dataset.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	for {
+		rec, ok := f.Next()
+		if !ok {
+			break
+		}
+		if err := srv.Ingest(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, f.Err()
+}
+
+func loadgenMain(args []string) {
+	fs := flag.NewFlagSet("bounced loadgen", flag.ExitOnError)
+	var (
+		url     = fs.String("url", "http://localhost:8425", "bounced base URL")
+		in      = fs.String("in", "", "JSONL(.gz) record file to replay (required)")
+		rate    = fs.Float64("rate", 0, "records per second (0 = unthrottled)")
+		batch   = fs.Int("batch", 500, "records per POST")
+		workers = fs.Int("workers", 4, "concurrent senders")
+		gz      = fs.Bool("gzip", false, "gzip request bodies")
+		out     = fs.String("out", "-", "write the result JSON here ('-' for stdout)")
+		spawn   = fs.Bool("spawn", false, "boot an in-process server on a loopback port and replay against it (for benchmarks)")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("loadgen: -in is required")
+	}
+
+	target := *url
+	var shutdown func()
+	if *spawn {
+		// A self-contained benchmark server: no env (classify latency
+		// and ingest throughput do not depend on it), loopback only.
+		srv := bounced.New(bounced.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		target = "http://" + ln.Addr().String()
+		log.Printf("spawned in-process server on %s", target)
+		shutdown = func() {
+			httpSrv.Close()
+			srv.Abort()
+		}
+	}
+
+	res, err := bounced.Loadgen(bounced.LoadgenConfig{
+		URL: target, Path: *in, Rate: *rate, BatchSize: *batch,
+		Workers: *workers, Gzip: *gz, Progress: os.Stderr,
+	})
+	if shutdown != nil {
+		shutdown()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replayed %d records in %.2fs (%.0f records/s; server classify p50 %.0fns p99 %.0fns)",
+		res.Records, res.Seconds, res.RecordsPerSec, res.ClassifyP50NS, res.ClassifyP99NS)
+
+	f := os.Stdout
+	if *out != "-" {
+		f, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/dataset"
 	"repro/internal/delivery"
@@ -78,14 +81,21 @@ func main() {
 		}
 		defer f.Close()
 	}
+	// Ctrl-C stops at the next day boundary; the records written so far
+	// are a clean prefix of the full run (still valid JSONL).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	wr := dataset.NewWriter(f)
-	e.ParallelRun(*workers, func(rec dataset.Record, _ *world.Submission, _ delivery.Truth) {
+	runErr := e.ParallelRunCtx(ctx, *workers, func(rec dataset.Record, _ *world.Submission, _ delivery.Truth) {
 		if err := wr.Write(&rec); err != nil {
 			log.Fatal(err)
 		}
 	})
 	if err := wr.Flush(); err != nil {
 		log.Fatal(err)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "bouncegen: interrupted; output is a clean prefix of the full run\n")
 	}
 	fmt.Fprintf(os.Stderr, "bouncegen: wrote %d records (seed %d) to %s\n", wr.Count(), *seed, *out)
 	if hits := e.Metrics.Format(); hits != "" {

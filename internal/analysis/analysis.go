@@ -98,33 +98,15 @@ func NewWithPipeline(records []dataset.Record, p *Pipeline, env *Environment) *A
 // equals stream order, an Analysis built from a source is identical to
 // one built from the collected slice.
 func NewFromSource(src dataset.RecordSource, cfg PipelineConfig, env *Environment) *Analysis {
-	b := NewPipelineBuilder(cfg)
-	var records []dataset.Record
-	counts := map[string]int{}
+	inc := NewIncremental(cfg)
 	for {
 		rec, ok := src.Next()
 		if !ok {
 			break
 		}
-		b.Add(rec)
-		counts[rec.ToDomain()]++
-		records = append(records, *rec)
+		inc.Add(rec)
 	}
-	a := &Analysis{
-		Records:  records,
-		Pipeline: b.Finish(),
-		Env:      env,
-		rankPos:  make(map[string]int),
-	}
-	a.Classified = make([]ClassifiedRecord, len(records))
-	for i := range records {
-		a.Classified[i] = a.Pipeline.ClassifyRecord(&records[i])
-	}
-	a.rank = dataset.RankFromCounts(counts)
-	for i, e := range a.rank {
-		a.rankPos[e.Domain] = i
-	}
-	return a
+	return inc.Finish(env)
 }
 
 // ClassifyRecord runs one record's attempt replies through the trained

@@ -216,7 +216,13 @@ func (a *Analysis) InfraMatrix(minEmails, n int) InfraMatrix {
 		out.ReceiverTimeoutPct[cc] = p
 		ranked = append(ranked, rk{cc, p})
 	}
-	sort.Slice(ranked, func(i, j int) bool { return ranked[i].pct > ranked[j].pct })
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].pct != ranked[j].pct {
+			return ranked[i].pct > ranked[j].pct
+		}
+		// Map-fed rows: tie-break for a deterministic column order.
+		return ranked[i].cc < ranked[j].cc
+	})
 	if n < len(ranked) {
 		ranked = ranked[:n]
 	}
@@ -306,7 +312,12 @@ func (a *Analysis) LatencyByCountry(minEmails int) LatencyStats {
 		})
 	}
 	sort.Slice(out.Countries, func(i, j int) bool {
-		return out.Countries[i].MedianMS > out.Countries[j].MedianMS
+		if out.Countries[i].MedianMS != out.Countries[j].MedianMS {
+			return out.Countries[i].MedianMS > out.Countries[j].MedianMS
+		}
+		// Tie-break by country code: rows come from map iteration, so
+		// without it equal medians would order nondeterministically.
+		return out.Countries[i].Country < out.Countries[j].Country
 	})
 	out.GlobalMeanMS = stats.Mean(global)
 	out.GlobalMedianMS = stats.Median(global)

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Incremental accumulates delivery records online — the always-on
+// counterpart of the batch constructors. Records feed the Drain
+// template miner and the popularity counts as they arrive; Snapshot
+// produces, at any instant, an Analysis identical to a batch run over
+// exactly the records added so far (the batch/online equivalence
+// invariant the bounced service's differential test enforces).
+//
+// Add and Snapshot are safe for concurrent use. Snapshot holds the
+// ingest lock only while cloning the pipeline state; record
+// classification runs outside it, so ingestion stalls for the clone,
+// not for the full analysis.
+type Incremental struct {
+	mu      sync.Mutex
+	b       *PipelineBuilder
+	records []dataset.Record
+	counts  map[string]int
+}
+
+// NewIncremental starts an empty accumulator (zero cfg.TopTemplates
+// selects the defaults, as in the batch constructors).
+func NewIncremental(cfg PipelineConfig) *Incremental {
+	return &Incremental{
+		b:      NewPipelineBuilder(cfg),
+		counts: make(map[string]int),
+	}
+}
+
+// Add absorbs one record: Drain trains on its NDR lines and the
+// popularity counts update. Order matters (template mining is
+// deterministic in line order), so feed records in stream order.
+func (inc *Incremental) Add(rec *dataset.Record) {
+	inc.mu.Lock()
+	inc.b.Add(rec)
+	inc.counts[rec.ToDomain()]++
+	inc.records = append(inc.records, *rec)
+	inc.mu.Unlock()
+}
+
+// Len reports how many records have been added.
+func (inc *Incremental) Len() int {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return len(inc.records)
+}
+
+// Snapshot builds an Analysis over the records added so far without
+// stopping ingestion: the pipeline state is deep-copied, labeled, and
+// trained, then the retained records are classified against the copy.
+func (inc *Incremental) Snapshot(env *Environment) *Analysis {
+	inc.mu.Lock()
+	n := len(inc.records)
+	records := inc.records[:n:n]
+	counts := make(map[string]int, len(inc.counts))
+	for d, c := range inc.counts {
+		counts[d] = c
+	}
+	p := inc.b.Snapshot()
+	inc.mu.Unlock()
+	return assemble(records, p, counts, env)
+}
+
+// Finish consumes the accumulator into its final Analysis without the
+// snapshot copy — the batch path. The Incremental must not be used
+// afterwards.
+func (inc *Incremental) Finish(env *Environment) *Analysis {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return assemble(inc.records, inc.b.Finish(), inc.counts, env)
+}
+
+// assemble classifies records with p and wires the derived indexes —
+// the shared tail of every Analysis constructor.
+func assemble(records []dataset.Record, p *Pipeline, counts map[string]int, env *Environment) *Analysis {
+	a := &Analysis{
+		Records:  records,
+		Pipeline: p,
+		Env:      env,
+		rankPos:  make(map[string]int),
+	}
+	a.Classified = make([]ClassifiedRecord, len(records))
+	for i := range records {
+		a.Classified[i] = p.ClassifyRecord(&records[i])
+	}
+	a.rank = dataset.RankFromCounts(counts)
+	for i, e := range a.rank {
+		a.rankPos[e.Domain] = i
+	}
+	return a
+}

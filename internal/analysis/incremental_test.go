@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestIncrementalSnapshotMatchesBatchPrefix: a snapshot taken after N
+// records must equal a batch analysis over exactly those N records —
+// same classifications, rank, Table 1, overview. This is the
+// batch/online equivalence invariant the bounced service serves
+// reports under.
+func TestIncrementalSnapshotMatchesBatchPrefix(t *testing.T) {
+	records := testCorpus()
+	inc := NewIncremental(DefaultPipelineConfig())
+	checkpoints := map[int]bool{len(records) / 3: true, len(records): true}
+	for i := range records {
+		inc.Add(&records[i])
+		n := i + 1
+		if !checkpoints[n] {
+			continue
+		}
+		snap := inc.Snapshot(nil)
+		batch := NewFromSource(dataset.NewSliceSource(records[:n]), DefaultPipelineConfig(), nil)
+		if len(snap.Records) != n {
+			t.Fatalf("snapshot after %d records holds %d", n, len(snap.Records))
+		}
+		if !reflect.DeepEqual(snap.Classified, batch.Classified) {
+			t.Fatalf("classifications diverge from batch at prefix %d", n)
+		}
+		if !reflect.DeepEqual(snap.InEmailRank(), batch.InEmailRank()) {
+			t.Fatalf("popularity rank diverges from batch at prefix %d", n)
+		}
+		if !reflect.DeepEqual(snap.TypeDistribution(), batch.TypeDistribution()) {
+			t.Fatalf("Table 1 diverges from batch at prefix %d", n)
+		}
+		if !reflect.DeepEqual(snap.Overview(), batch.Overview()) {
+			t.Fatalf("overview diverges from batch at prefix %d", n)
+		}
+		if got, want := snap.Pipeline.NumTemplates(), batch.Pipeline.NumTemplates(); got != want {
+			t.Fatalf("snapshot mined %d templates at prefix %d, batch %d", got, n, want)
+		}
+	}
+}
+
+// TestIncrementalSnapshotDoesNotFreezeBuilder: taking a snapshot must
+// leave the accumulator live — later Adds change later snapshots but
+// never the one already taken.
+func TestIncrementalSnapshotDoesNotFreezeBuilder(t *testing.T) {
+	records := testCorpus()
+	half := len(records) / 2
+	inc := NewIncremental(DefaultPipelineConfig())
+	for i := 0; i < half; i++ {
+		inc.Add(&records[i])
+	}
+	early := inc.Snapshot(nil)
+	earlyOverview := early.Overview()
+	for i := half; i < len(records); i++ {
+		inc.Add(&records[i])
+	}
+	if got := inc.Len(); got != len(records) {
+		t.Fatalf("accumulator holds %d records after snapshot + adds, want %d", got, len(records))
+	}
+	late := inc.Snapshot(nil)
+	if len(late.Records) != len(records) {
+		t.Fatalf("late snapshot holds %d records, want %d", len(late.Records), len(records))
+	}
+	if !reflect.DeepEqual(early.Overview(), earlyOverview) {
+		t.Fatal("early snapshot mutated by later ingestion")
+	}
+	if len(early.Records) != half {
+		t.Fatalf("early snapshot grew to %d records", len(early.Records))
+	}
+}
+
+// TestIncrementalConcurrentAddSnapshot exercises the lock under the
+// race detector: adders and snapshotters run concurrently.
+func TestIncrementalConcurrentAddSnapshot(t *testing.T) {
+	records := testCorpus()
+	inc := NewIncremental(DefaultPipelineConfig())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := range records {
+			inc.Add(&records[i])
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			a := inc.Snapshot(nil)
+			if len(a.Records) > len(records) {
+				t.Errorf("snapshot holds %d records, more than ever added", len(a.Records))
+			}
+		}
+	}()
+	wg.Wait()
+	if inc.Len() != len(records) {
+		t.Fatalf("accumulator holds %d records, want %d", inc.Len(), len(records))
+	}
+}

@@ -118,7 +118,42 @@ func BuildPipeline(records []dataset.Record, cfg PipelineConfig) *Pipeline {
 // Finish labels the mined templates, trains the EBRC, and returns the
 // ready pipeline. The builder must not be reused afterwards.
 func (b *PipelineBuilder) Finish() *Pipeline {
-	p, total := b.p, b.total
+	return finishPipeline(b.p, b.total)
+}
+
+// Snapshot labels and trains a pipeline over everything mined so far
+// WITHOUT consuming the builder: the Drain tree and line samples are
+// deep-copied, so the builder keeps absorbing new records while the
+// snapshot serves classifications. A snapshot over N records is
+// identical to the pipeline Finish would produce after those same N
+// records — the invariant behind the online report path.
+func (b *PipelineBuilder) Snapshot() *Pipeline {
+	src := b.p
+	p := &Pipeline{
+		Parser:         src.Parser.Clone(),
+		cfg:            src.cfg,
+		groupType:      make(map[int]ndr.Type, len(src.groupType)),
+		groupAmbiguous: make(map[int]bool, len(src.groupAmbiguous)),
+		groupSamples:   make(map[int][]string, len(src.groupSamples)),
+	}
+	for id, typ := range src.groupType {
+		p.groupType[id] = typ
+	}
+	for id, amb := range src.groupAmbiguous {
+		p.groupAmbiguous[id] = amb
+	}
+	for id, lines := range src.groupSamples {
+		p.groupSamples[id] = append([]string(nil), lines...)
+	}
+	return finishPipeline(p, b.total)
+}
+
+// Total reports how many NDR lines the builder has absorbed.
+func (b *PipelineBuilder) Total() int { return b.total }
+
+// finishPipeline runs the post-mining steps (template labeling, EBRC
+// training, majority-vote prediction) over an already-mined pipeline.
+func finishPipeline(p *Pipeline, total int) *Pipeline {
 	cfg := p.cfg
 	if total == 0 {
 		return p

@@ -1,0 +1,242 @@
+// Package bounced implements the always-on bounce-analytics service:
+// an HTTP server that ingests Figure-3 delivery records online and
+// serves the paper's analyses live. Where bouncegen/bounceanalyze are
+// one-shot batch tools, bounced mirrors the production shape of the
+// paper's pipeline at Coremail — telemetry arrives continuously, and
+// every table and figure is queryable at any instant over exactly the
+// records ingested so far.
+//
+// The data path is a single bounded pipeline:
+//
+//	POST /v1/records ──┐                      ┌─ GET /v1/report  (batch-identical bytes)
+//	                   ├─▶ queue ─▶ store ────┼─ GET /v1/stats   (JSON counters)
+//	engine -generate ──┘  (Pipe)  (Incremental)└─ GET /metrics    (Prometheus text)
+//
+// Ingestion accepts NDJSON batches (gzip-aware, line-numbered 400s on
+// malformed lines) and backpressures producers through the bounded
+// queue. Reports are served from analysis.Incremental snapshots, so
+// GET /v1/report returns byte-identical output to a bounceanalyze
+// batch run over the same records — the equivalence the differential
+// test enforces. Graceful shutdown drains the queue completely and
+// flushes a final snapshot; no accepted record is ever dropped.
+package bounced
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/ndr"
+	"repro/internal/policy"
+)
+
+// ErrIngestClosed is returned by Ingest once shutdown has begun.
+var ErrIngestClosed = errors.New("bounced: ingestion closed")
+
+// Config assembles a Server.
+type Config struct {
+	// Env supplies the external services (geo, blocklist, leak corpus,
+	// registries) report sections consult. May be nil for ingest-only
+	// deployments; env-dependent sections then return zero results.
+	Env *analysis.Environment
+	// Pipeline overrides the classification pipeline parameters (zero
+	// selects the paper defaults).
+	Pipeline analysis.PipelineConfig
+	// QueueDepth bounds the ingest queue (default 1024). Producers
+	// block once it fills — backpressure, not loss.
+	QueueDepth int
+	// PolicyMetrics, when set, surfaces per-stage policy-chain
+	// rejection counters on /v1/stats and /metrics (from the delivery
+	// engine backing -generate mode or the startup replay).
+	PolicyMetrics *policy.Metrics
+	// Seed is reported on /v1/stats so clients can reproduce the
+	// environment.
+	Seed uint64
+}
+
+// Server is the bounce-analytics service. Create with New, mount
+// Handler on an http.Server, and stop with Drain (graceful) or Abort.
+type Server struct {
+	cfg   Config
+	inc   *analysis.Incremental
+	queue *dataset.Pipe
+
+	accepted atomic.Uint64 // records admitted to the queue
+	consumed atomic.Uint64 // records folded into the store
+	badLines atomic.Uint64 // rejected NDJSON lines
+	batches  atomic.Uint64 // POST /v1/records calls admitted
+
+	// consumedCond broadcasts store progress for drain barriers: a
+	// report taken after an ingest request returns covers everything
+	// that request admitted.
+	consumedMu   sync.Mutex
+	consumedCond *sync.Cond
+	consumerDone bool
+
+	// live classification state: the most recent snapshot pipeline
+	// labels records as they arrive for the /metrics counters and the
+	// classify-latency histogram.
+	liveMu   sync.RWMutex
+	livePipe *analysis.Pipeline
+
+	hist      *latencyHist
+	degrees   [3]atomic.Uint64            // by dataset.Degree
+	typeHits  map[ndr.Type]*atomic.Uint64 // live bounce-type counters
+	ambiguous atomic.Uint64
+
+	// snapshot cache: rebuilding is skipped while no new records have
+	// been consumed since the last snapshot.
+	snapMu     sync.Mutex
+	snapStudy  *bounce.Study
+	snapAt     uint64 // consumed count the cached snapshot covers
+	snapTaken  atomic.Uint64
+	startedAt  time.Time
+	closed     atomic.Bool
+	consumerWG sync.WaitGroup
+}
+
+// New creates a Server and starts its store consumer.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	s := &Server{
+		cfg:       cfg,
+		inc:       analysis.NewIncremental(cfg.Pipeline),
+		queue:     dataset.NewPipe(cfg.QueueDepth),
+		hist:      newLatencyHist(),
+		typeHits:  make(map[ndr.Type]*atomic.Uint64, len(ndr.AllTypes)),
+		startedAt: time.Now(),
+	}
+	s.consumedCond = sync.NewCond(&s.consumedMu)
+	for _, t := range ndr.AllTypes {
+		s.typeHits[t] = new(atomic.Uint64)
+	}
+	s.consumerWG.Add(1)
+	go s.consume()
+	return s
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/records", s.handleRecords)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Ingest queues one record from an in-process producer (the -generate
+// delivery engine), under the same backpressure as HTTP ingestion.
+func (s *Server) Ingest(rec *dataset.Record) error {
+	if s.closed.Load() {
+		return ErrIngestClosed
+	}
+	if err := s.queue.Write(rec); err != nil {
+		return ErrIngestClosed
+	}
+	s.accepted.Add(1)
+	return nil
+}
+
+// consume is the single store writer: it drains the queue into the
+// incremental analysis and maintains the live classification counters.
+func (s *Server) consume() {
+	defer s.consumerWG.Done()
+	defer func() {
+		s.consumedMu.Lock()
+		s.consumerDone = true
+		s.consumedCond.Broadcast()
+		s.consumedMu.Unlock()
+	}()
+	for {
+		rec, ok := s.queue.Next()
+		if !ok {
+			return
+		}
+		s.inc.Add(rec)
+		s.observe(rec)
+		s.consumed.Add(1)
+		s.consumedMu.Lock()
+		s.consumedCond.Broadcast()
+		s.consumedMu.Unlock()
+	}
+}
+
+// observe updates the live metrics for one record: bounce degree
+// always, bounce types and classify latency once a snapshot pipeline
+// exists. Live counters are an operational view labeled by the latest
+// snapshot — reports always re-classify against a fresh snapshot.
+func (s *Server) observe(rec *dataset.Record) {
+	deg := rec.BounceDegree()
+	s.degrees[int(deg)].Add(1)
+	s.liveMu.RLock()
+	p := s.livePipe
+	s.liveMu.RUnlock()
+	if p == nil {
+		return
+	}
+	start := time.Now()
+	c := p.ClassifyRecord(rec)
+	s.hist.observe(time.Since(start).Nanoseconds())
+	if c.Ambiguous {
+		s.ambiguous.Add(1)
+		return
+	}
+	for _, t := range c.Types {
+		if ctr, ok := s.typeHits[t]; ok {
+			ctr.Add(1)
+		}
+	}
+}
+
+// waitConsumed blocks until the store has folded in at least target
+// records (or the consumer exited) and reports whether the target was
+// reached — the barrier that makes a report cover every record whose
+// ingest request already returned.
+func (s *Server) waitConsumed(target uint64) bool {
+	s.consumedMu.Lock()
+	defer s.consumedMu.Unlock()
+	for s.consumed.Load() < target && !s.consumerDone {
+		s.consumedCond.Wait()
+	}
+	return s.consumed.Load() >= target
+}
+
+// Drain closes ingestion, waits for the queue to empty into the
+// store, and returns the final record count. Every record admitted
+// before Drain is in the store when it returns — the zero-loss
+// shutdown guarantee. Callers must stop HTTP traffic first
+// (http.Server.Shutdown), so no writer is mid-flight.
+func (s *Server) Drain() uint64 {
+	if s.closed.CompareAndSwap(false, true) {
+		s.queue.Close()
+	}
+	s.consumerWG.Wait()
+	return s.consumed.Load()
+}
+
+// Abort hard-stops the service: buffered records are discarded and
+// blocked producers unblock with errors. For tests and emergency
+// teardown only; Drain is the production path.
+func (s *Server) Abort() {
+	s.closed.Store(true)
+	s.queue.CloseRead()
+	s.consumerWG.Wait()
+}
+
+// Accepted reports how many records ingestion has admitted.
+func (s *Server) Accepted() uint64 { return s.accepted.Load() }
+
+// Consumed reports how many records the store has folded in.
+func (s *Server) Consumed() uint64 { return s.consumed.Load() }

@@ -1,0 +1,103 @@
+package bounced
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// ingestResponse is the JSON body of every /v1/records reply.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Line     int    `json:"line,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleRecords ingests one NDJSON batch. Lines are validated and
+// queued one at a time: a malformed line yields a 400 naming its
+// 1-based line number, with every preceding valid line already
+// accepted (the response's accepted count says how many). Bodies may
+// be gzip-compressed, signalled by Content-Encoding: gzip or sniffed
+// from the magic bytes. Queue-full backpressure blocks the request,
+// never drops records.
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, 0, 0, "POST only")
+		return
+	}
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, 0, 0, "shutting down")
+		return
+	}
+	body := bufio.NewReaderSize(r.Body, 1<<16)
+	var reader io.Reader = body
+	switch enc := strings.ToLower(r.Header.Get("Content-Encoding")); enc {
+	case "", "identity":
+		// Sniff anyway: loadgen may stream a .jsonl.gz byte-for-byte.
+		dr, err := dataset.NewDecodingReader(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, 0, 0, err.Error())
+			return
+		}
+		reader = dr
+	case "gzip":
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, 0, 0, "bad gzip body: "+err.Error())
+			return
+		}
+		defer zr.Close()
+		reader = zr
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, 0, 0, "unsupported Content-Encoding "+enc)
+		return
+	}
+
+	sc := bufio.NewScanner(reader)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	accepted, line := 0, 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec dataset.Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			s.badLines.Add(1)
+			httpError(w, http.StatusBadRequest, line, accepted, err.Error())
+			return
+		}
+		if err := s.Ingest(&rec); err != nil {
+			httpError(w, http.StatusServiceUnavailable, line, accepted, err.Error())
+			return
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		// Mid-body read failures (truncated gzip, dropped connection)
+		// still report how far ingestion got.
+		s.badLines.Add(1)
+		httpError(w, http.StatusBadRequest, line+1, accepted, err.Error())
+		return
+	}
+	s.batches.Add(1)
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
+}
+
+func httpError(w http.ResponseWriter, status, line, accepted int, msg string) {
+	writeJSON(w, status, ingestResponse{Accepted: accepted, Line: line, Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,234 @@
+package bounced
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// LoadgenConfig drives one replay run against a bounced endpoint.
+type LoadgenConfig struct {
+	// URL is the service base, e.g. http://localhost:8425.
+	URL string
+	// Path is the JSONL (optionally gzipped) record file to replay.
+	Path string
+	// Rate caps replay at records per second; 0 means as fast as
+	// possible (the bench mode).
+	Rate float64
+	// BatchSize is records per POST (default 500).
+	BatchSize int
+	// Workers is the number of concurrent senders (default 4).
+	Workers int
+	// Gzip compresses request bodies (Content-Encoding: gzip).
+	Gzip bool
+	// Progress, when set, receives one line per ~100 batches.
+	Progress io.Writer
+}
+
+// LoadgenResult is the replay summary; it is the BENCH_bounced.json
+// schema for make bench-serve.
+type LoadgenResult struct {
+	Records       int     `json:"records"`
+	Batches       int     `json:"batches"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// Server-side classify latency over the run, from /v1/stats.
+	ClassifyP50NS  float64 `json:"classify_p50_ns"`
+	ClassifyP99NS  float64 `json:"classify_p99_ns"`
+	ClassifyCount  uint64  `json:"classify_count"`
+	ServerConsumed uint64  `json:"server_consumed"`
+}
+
+// Loadgen replays cfg.Path against cfg.URL as NDJSON batches. Memory
+// stays bounded: the file is streamed, and at most Workers+1 batches
+// are in flight at once. Every non-2xx response aborts the run.
+func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 500
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	f, err := os.Open(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Replay raw lines (decoded if gzipped) rather than parsed records:
+	// the server is the component under test, including its decoding.
+	rd, err := dataset.NewDecodingReader(f)
+	if err != nil {
+		return nil, err
+	}
+
+	// Arm the live classifier so classify latency is measured over the
+	// whole run, not just post-first-report records. Ignore failure:
+	// an empty store cannot snapshot a pipeline yet.
+	http.Post(cfg.URL+"/v1/snapshot", "", nil)
+
+	type batch struct {
+		body  []byte
+		count int
+	}
+	batches := make(chan batch, cfg.Workers)
+	var sent atomic.Int64
+	var nBatches atomic.Int64
+	errc := make(chan error, cfg.Workers+1)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 2 * time.Minute}
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range batches {
+				if err := postBatch(client, cfg, b.body, b.count); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					// Drain remaining batches so the producer never blocks.
+					for range batches {
+					}
+					return
+				}
+				sent.Add(int64(b.count))
+				nBatches.Add(1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	scanRecordLines(rd, cfg, start, func(body []byte, count int) {
+		batches <- batch{body, count}
+	})
+	close(batches)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+
+	res := &LoadgenResult{
+		Records: int(sent.Load()),
+		Batches: int(nBatches.Load()),
+		Seconds: elapsed,
+	}
+	if elapsed > 0 {
+		res.RecordsPerSec = float64(res.Records) / elapsed
+	}
+	// Barrier: a snapshot waits for the store to fold in everything
+	// accepted, so the stats below cover the whole replay.
+	if resp, err := http.Post(cfg.URL+"/v1/snapshot", "", nil); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if err := fetchServerStats(client, cfg.URL, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// scanRecordLines streams the (decoded) file, groups non-empty lines
+// into NDJSON batch bodies, and paces emission to cfg.Rate.
+func scanRecordLines(r io.Reader, cfg LoadgenConfig, start time.Time, emit func(body []byte, count int)) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf bytes.Buffer
+	count, total, emitted := 0, 0, 0
+	flush := func() {
+		if count == 0 {
+			return
+		}
+		if cfg.Rate > 0 {
+			due := start.Add(time.Duration(float64(total) / cfg.Rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		body := make([]byte, buf.Len())
+		copy(body, buf.Bytes())
+		emit(body, count)
+		emitted++
+		if cfg.Progress != nil && emitted%100 == 0 {
+			fmt.Fprintf(cfg.Progress, "loadgen: %d records in %d batches\n", total, emitted)
+		}
+		buf.Reset()
+		count = 0
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		count++
+		total++
+		if count >= cfg.BatchSize {
+			flush()
+		}
+	}
+	flush()
+}
+
+func postBatch(client *http.Client, cfg LoadgenConfig, body []byte, count int) error {
+	var rd io.Reader = bytes.NewReader(body)
+	enc := ""
+	if cfg.Gzip {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		zw.Write(body)
+		zw.Close()
+		rd, enc = &zbuf, "gzip"
+	}
+	req, err := http.NewRequest(http.MethodPost, cfg.URL+"/v1/records", rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if enc != "" {
+		req.Header.Set("Content-Encoding", enc)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ir ingestResponse
+		json.NewDecoder(resp.Body).Decode(&ir)
+		return fmt.Errorf("loadgen: POST /v1/records: %s (line %d, %d/%d accepted): %s",
+			resp.Status, ir.Line, ir.Accepted, count, ir.Error)
+	}
+	return nil
+}
+
+// fetchServerStats fills the server-side latency fields from /v1/stats.
+func fetchServerStats(client *http.Client, base string, res *LoadgenResult) error {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("loadgen: decode /v1/stats: %w", err)
+	}
+	res.ClassifyP50NS = st.Classify.P50NS
+	res.ClassifyP99NS = st.Classify.P99NS
+	res.ClassifyCount = st.Classify.Count
+	res.ServerConsumed = st.Consumed
+	return nil
+}

@@ -1,0 +1,146 @@
+package bounced
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/ndr"
+)
+
+// latencyBounds are the classify-latency histogram bucket upper bounds
+// in nanoseconds (500ns .. ~8ms, doubling), plus an implicit +Inf.
+var latencyBounds = []int64{
+	500, 1000, 2000, 4000, 8000, 16000, 32000, 64000,
+	128000, 256000, 512000, 1024000, 2048000, 4096000, 8192000,
+}
+
+// latencyHist is a fixed-bucket latency histogram. Buckets are coarse
+// enough for a mutex: observe is a handful of nanoseconds next to the
+// classification it measures.
+type latencyHist struct {
+	mu      sync.Mutex
+	buckets []uint64 // len(latencyBounds)+1, last is +Inf
+	count   uint64
+	sum     int64
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{buckets: make([]uint64, len(latencyBounds)+1)}
+}
+
+func (h *latencyHist) observe(ns int64) {
+	i := sort.Search(len(latencyBounds), func(i int) bool { return ns <= latencyBounds[i] })
+	h.mu.Lock()
+	h.buckets[i]++
+	h.count++
+	h.sum += ns
+	h.mu.Unlock()
+}
+
+// quantile estimates the q-quantile (0..1) in nanoseconds by linear
+// interpolation within the containing bucket, the same estimate a
+// Prometheus histogram_quantile would produce from /metrics.
+func quantile(buckets []uint64, count uint64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	var seen float64
+	for i, b := range buckets {
+		if b == 0 {
+			continue
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(latencyBounds[i-1])
+		}
+		hi := lo * 2
+		if i < len(latencyBounds) {
+			hi = float64(latencyBounds[i])
+		}
+		if seen+float64(b) >= rank {
+			frac := (rank - seen) / float64(b)
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(b)
+	}
+	return float64(latencyBounds[len(latencyBounds)-1])
+}
+
+// stats summarizes the histogram for /v1/stats and BENCH_bounced.json.
+func (h *latencyHist) stats() latencyStats {
+	h.mu.Lock()
+	buckets := append([]uint64(nil), h.buckets...)
+	count, sum := h.count, h.sum
+	h.mu.Unlock()
+	st := latencyStats{Count: count}
+	if count == 0 {
+		return st
+	}
+	st.P50NS = quantile(buckets, count, 0.50)
+	st.P90NS = quantile(buckets, count, 0.90)
+	st.P99NS = quantile(buckets, count, 0.99)
+	st.MeanNS = float64(sum) / float64(count)
+	return st
+}
+
+// handleMetrics serves the service counters in the Prometheus text
+// exposition format (hand-rolled; the repo is stdlib-only).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("bounced_records_accepted_total", "Records admitted to the ingest queue.", s.accepted.Load())
+	counter("bounced_records_consumed_total", "Records folded into the analysis store.", s.consumed.Load())
+	counter("bounced_ingest_batches_total", "Accepted POST /v1/records batches.", s.batches.Load())
+	counter("bounced_ingest_bad_lines_total", "Rejected NDJSON lines.", s.badLines.Load())
+	counter("bounced_snapshots_total", "Analysis snapshots built.", s.snapTaken.Load())
+	gauge("bounced_queue_depth", "Records buffered in the ingest queue.", s.queue.Len())
+	gauge("bounced_queue_capacity", "Ingest queue capacity.", s.queue.Cap())
+
+	fmt.Fprintf(&b, "# HELP bounced_bounce_degree_total Records by bounce degree.\n# TYPE bounced_bounce_degree_total counter\n")
+	for d := dataset.NonBounced; d <= dataset.HardBounced; d++ {
+		fmt.Fprintf(&b, "bounced_bounce_degree_total{degree=%q} %d\n", d.String(), s.degrees[int(d)].Load())
+	}
+
+	fmt.Fprintf(&b, "# HELP bounced_bounce_type_total Live-classified failed attempts by bounce type.\n# TYPE bounced_bounce_type_total counter\n")
+	for _, t := range ndr.AllTypes {
+		fmt.Fprintf(&b, "bounced_bounce_type_total{type=%q} %d\n", t.String(), s.typeHits[t].Load())
+	}
+	counter("bounced_ambiguous_records_total", "Live-classified records with only ambiguous failures.", s.ambiguous.Load())
+
+	if s.cfg.PolicyMetrics != nil {
+		fmt.Fprintf(&b, "# HELP bounced_policy_stage_hits_total Delivery-engine policy-chain rejections by stage.\n# TYPE bounced_policy_stage_hits_total counter\n")
+		for _, h := range s.cfg.PolicyMetrics.Snapshot() {
+			fmt.Fprintf(&b, "bounced_policy_stage_hits_total{stage=%q,phase=%q,type=%q} %d\n",
+				h.Stage, h.Phase, h.Type, h.Hits)
+		}
+	}
+
+	h := s.hist
+	h.mu.Lock()
+	buckets := append([]uint64(nil), h.buckets...)
+	count, sum := h.count, h.sum
+	h.mu.Unlock()
+	fmt.Fprintf(&b, "# HELP bounced_classify_latency_seconds Live per-record classification latency.\n# TYPE bounced_classify_latency_seconds histogram\n")
+	var cum uint64
+	for i, bound := range latencyBounds {
+		cum += buckets[i]
+		fmt.Fprintf(&b, "bounced_classify_latency_seconds_bucket{le=\"%g\"} %d\n", float64(bound)/1e9, cum)
+	}
+	fmt.Fprintf(&b, "bounced_classify_latency_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(&b, "bounced_classify_latency_seconds_sum %g\n", float64(sum)/1e9)
+	fmt.Fprintf(&b, "bounced_classify_latency_seconds_count %d\n", count)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

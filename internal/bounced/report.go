@@ -1,0 +1,159 @@
+package bounced
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/ndr"
+	"repro/internal/policy"
+)
+
+// study returns a Study over every record consumed so far, first
+// waiting for the store to catch up with everything ingestion has
+// already admitted. Snapshots are cached: while no new record has
+// been consumed, the previous study is reused. The snapshot pipeline
+// also becomes the live classifier for subsequent ingest metrics.
+func (s *Server) study() *bounce.Study {
+	s.waitConsumed(s.accepted.Load())
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	n := s.consumed.Load()
+	if s.snapStudy != nil && s.snapAt == n {
+		return s.snapStudy
+	}
+	a := s.inc.Snapshot(s.cfg.Env)
+	st := &bounce.Study{Records: a.Records, Analysis: a}
+	st.Detections = a.Detect()
+	s.snapStudy, s.snapAt = st, n
+	s.snapTaken.Add(1)
+	s.liveMu.Lock()
+	s.livePipe = a.Pipeline
+	s.liveMu.Unlock()
+	return st
+}
+
+// parseSections mirrors bounceanalyze's -section flag: a
+// comma-separated list, or "all" for every section in presentation
+// order. Validation happens in WriteReport (unknown sections 400).
+func parseSections(arg string) []bounce.Section {
+	if arg == "" || arg == "all" {
+		return bounce.AllSections
+	}
+	var out []bounce.Section
+	for _, s := range strings.Split(arg, ",") {
+		out = append(out, bounce.Section(strings.TrimSpace(s)))
+	}
+	return out
+}
+
+// handleReport serves the batch report over the records ingested so
+// far: the bytes are identical to `bounceanalyze -in <file>` over a
+// file holding the same records (the differential test's invariant).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, 0, 0, "GET only")
+		return
+	}
+	st := s.study()
+	var buf bytes.Buffer
+	if err := st.WriteReport(&buf, parseSections(r.URL.Query().Get("section"))); err != nil {
+		httpError(w, http.StatusBadRequest, 0, 0, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// WriteFinalReport drains nothing (call Drain first) and writes the
+// final snapshot report — the shutdown flush.
+func (s *Server) WriteFinalReport(w interface{ Write([]byte) (int, error) }, sections []bounce.Section) error {
+	if len(sections) == 0 {
+		sections = bounce.AllSections
+	}
+	return s.study().WriteReport(w, sections)
+}
+
+// handleSnapshot forces a fresh analysis snapshot and reports its
+// shape — the explicit warm-up hook loadgen uses to arm the live
+// classifier before measuring classify latency.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, 0, 0, "POST only")
+		return
+	}
+	st := s.study()
+	labeled, coverage := st.Analysis.Pipeline.ManualLabelStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records":        len(st.Records),
+		"templates":      st.Analysis.Pipeline.NumTemplates(),
+		"labeled":        labeled,
+		"label_coverage": coverage,
+	})
+}
+
+// latencyStats is the classify-latency summary on /v1/stats.
+type latencyStats struct {
+	Count  uint64  `json:"count"`
+	P50NS  float64 `json:"p50_ns"`
+	P90NS  float64 `json:"p90_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	MeanNS float64 `json:"mean_ns"`
+}
+
+// statsResponse is the /v1/stats JSON schema.
+type statsResponse struct {
+	Seed            uint64            `json:"seed"`
+	UptimeSeconds   float64           `json:"uptime_seconds"`
+	Accepted        uint64            `json:"accepted"`
+	Consumed        uint64            `json:"consumed"`
+	QueueDepth      int               `json:"queue_depth"`
+	QueueCapacity   int               `json:"queue_capacity"`
+	Batches         uint64            `json:"batches"`
+	BadLines        uint64            `json:"bad_lines"`
+	Snapshots       uint64            `json:"snapshots"`
+	SnapshotRecords uint64            `json:"snapshot_records"`
+	Degrees         map[string]uint64 `json:"degrees"`
+	Types           map[string]uint64 `json:"types,omitempty"`
+	AmbiguousLive   uint64            `json:"ambiguous_live"`
+	Classify        latencyStats      `json:"classify_latency"`
+	PolicyStages    []policy.StageHit `json:"policy_stages,omitempty"`
+}
+
+// handleStats serves the service counters as JSON — the programmatic
+// twin of /metrics, including the policy-chain per-stage hit counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Seed:          s.cfg.Seed,
+		UptimeSeconds: time.Since(s.startedAt).Seconds(),
+		Accepted:      s.accepted.Load(),
+		Consumed:      s.consumed.Load(),
+		QueueDepth:    s.queue.Len(),
+		QueueCapacity: s.queue.Cap(),
+		Batches:       s.batches.Load(),
+		BadLines:      s.badLines.Load(),
+		Snapshots:     s.snapTaken.Load(),
+		AmbiguousLive: s.ambiguous.Load(),
+		Degrees:       make(map[string]uint64, 3),
+		Types:         make(map[string]uint64),
+		Classify:      s.hist.stats(),
+	}
+	for d := dataset.NonBounced; d <= dataset.HardBounced; d++ {
+		resp.Degrees[d.String()] = s.degrees[int(d)].Load()
+	}
+	for _, t := range ndr.AllTypes {
+		if n := s.typeHits[t].Load(); n > 0 {
+			resp.Types[t.String()] = n
+		}
+	}
+	s.snapMu.Lock()
+	resp.SnapshotRecords = s.snapAt
+	s.snapMu.Unlock()
+	if s.cfg.PolicyMetrics != nil {
+		resp.PolicyStages = s.cfg.PolicyMetrics.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

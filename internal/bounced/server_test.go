@@ -1,0 +1,355 @@
+package bounced_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/bounced"
+	"repro/internal/dataset"
+)
+
+// The tiny corpus is generated once: every test replays slices of it.
+var (
+	fixtureOnce sync.Once
+	fixtureRecs []dataset.Record
+	fixtureEnv  *analysis.Environment
+)
+
+func fixture(t *testing.T) ([]dataset.Record, *analysis.Environment) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		st := bounce.Run(bounce.Options{Scale: bounce.ScaleTiny})
+		fixtureRecs = st.Records
+		fixtureEnv = bounce.NewEnvironment(st.World)
+	})
+	if len(fixtureRecs) == 0 {
+		t.Fatal("empty fixture corpus")
+	}
+	return fixtureRecs, fixtureEnv
+}
+
+// batchReport renders the sections the way bounceanalyze does over a
+// record file: single-pass streaming analysis, then report.
+func batchReport(t *testing.T, records []dataset.Record, env *analysis.Environment, sections []bounce.Section) []byte {
+	t.Helper()
+	a := analysis.NewFromSource(dataset.NewSliceSource(records), analysis.DefaultPipelineConfig(), env)
+	st := &bounce.Study{Records: a.Records, Analysis: a}
+	st.Detections = a.Detect()
+	var buf bytes.Buffer
+	if err := st.WriteReport(&buf, sections); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeNDJSON(t *testing.T, records []dataset.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func postRecords(t *testing.T, url string, body []byte) ingestReply {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/records", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ir ingestReply
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	ir.status = resp.StatusCode
+	return ir
+}
+
+type ingestReply struct {
+	Accepted int    `json:"accepted"`
+	Line     int    `json:"line"`
+	Error    string `json:"error"`
+	status   int
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestReportMatchesBatchBytes is the differential test behind the
+// service's core invariant: at any checkpoint, GET /v1/report returns
+// byte-identical output to a batch bounceanalyze run over exactly the
+// records ingested so far.
+func TestReportMatchesBatchBytes(t *testing.T) {
+	records, env := fixture(t)
+	srv := bounced.New(bounced.Config{Env: env})
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cut := len(records) / 2
+	checkpoints := []struct {
+		name string
+		upto int
+	}{{"half", cut}, {"full", len(records)}}
+	sent := 0
+	for _, cp := range checkpoints {
+		// Ingest the next slice in several batches to exercise batching.
+		for sent < cp.upto {
+			end := sent + 200
+			if end > cp.upto {
+				end = cp.upto
+			}
+			ir := postRecords(t, ts.URL, encodeNDJSON(t, records[sent:end]))
+			if ir.status != http.StatusOK || ir.Accepted != end-sent {
+				t.Fatalf("%s: batch [%d:%d): status %d accepted %d: %s",
+					cp.name, sent, end, ir.status, ir.Accepted, ir.Error)
+			}
+			sent = end
+		}
+		want := batchReport(t, records[:cp.upto], env, bounce.AllSections)
+		status, got := getBody(t, ts.URL+"/v1/report?section=all")
+		if status != http.StatusOK {
+			t.Fatalf("%s: /v1/report status %d", cp.name, status)
+		}
+		if !bytes.Equal(got, want) {
+			// Dump both reports so the divergence is diffable.
+			dir := os.TempDir()
+			os.WriteFile(filepath.Join(dir, "bounced_online.txt"), got, 0o644)
+			os.WriteFile(filepath.Join(dir, "bounced_batch.txt"), want, 0o644)
+			t.Fatalf("%s: online report diverges from batch over %d records\nonline %d bytes, batch %d bytes; dumps in %s",
+				cp.name, cp.upto, len(got), len(want), dir)
+		}
+	}
+
+	// Section subsets go through the same path as bounceanalyze -section.
+	want := batchReport(t, records, env, []bounce.Section{bounce.SecTable1, bounce.SecFig8})
+	status, got := getBody(t, ts.URL+"/v1/report?section=table1,fig8")
+	if status != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("section subset diverges (status %d, %d vs %d bytes)", status, len(got), len(want))
+	}
+
+	if status, _ := getBody(t, ts.URL+"/v1/report?section=nope"); status != http.StatusBadRequest {
+		t.Fatalf("unknown section: got status %d, want 400", status)
+	}
+}
+
+// TestDrainZeroLoss verifies the graceful-shutdown guarantee: every
+// record admitted before Drain is in the store when Drain returns,
+// even under concurrent producers and a tiny queue.
+func TestDrainZeroLoss(t *testing.T) {
+	records, env := fixture(t)
+	srv := bounced.New(bounced.Config{Env: env, QueueDepth: 2})
+	const producers = 4
+	per := len(records) / producers
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(part []dataset.Record) {
+			defer wg.Done()
+			for i := range part {
+				if err := srv.Ingest(&part[i]); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(records[w*per : (w+1)*per])
+	}
+	wg.Wait()
+	want := uint64(producers * per)
+	if got := srv.Drain(); got != want {
+		t.Fatalf("drain consumed %d, want %d", got, want)
+	}
+	if srv.Consumed() != want {
+		t.Fatalf("consumed %d after drain, want %d", srv.Consumed(), want)
+	}
+	if err := srv.Ingest(&records[0]); err == nil {
+		t.Fatal("ingest after drain succeeded")
+	}
+	// The final flush covers every drained record.
+	var buf bytes.Buffer
+	if err := srv.WriteFinalReport(&buf, []bounce.Section{bounce.SecOverview}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), fmt.Sprintf("%d", want)) {
+		t.Errorf("final report does not mention %d records:\n%s", want, buf.String())
+	}
+}
+
+// TestIngestMalformedLine checks the line-numbered 400 contract: the
+// bad line's 1-based number is reported and every preceding valid
+// line stays accepted.
+func TestIngestMalformedLine(t *testing.T) {
+	records, env := fixture(t)
+	srv := bounced.New(bounced.Config{Env: env})
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := append(encodeNDJSON(t, records[:2]), []byte("{this is not json}\n")...)
+	ir := postRecords(t, ts.URL, body)
+	if ir.status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", ir.status)
+	}
+	if ir.Line != 3 || ir.Accepted != 2 {
+		t.Fatalf("line %d accepted %d, want line 3 accepted 2", ir.Line, ir.Accepted)
+	}
+	srv.Drain()
+	if srv.Consumed() != 2 {
+		t.Fatalf("consumed %d, want the 2 valid lines", srv.Consumed())
+	}
+}
+
+// TestIngestGzip covers both gzip paths: declared via Content-Encoding
+// and sniffed from the magic bytes.
+func TestIngestGzip(t *testing.T) {
+	records, env := fixture(t)
+	srv := bounced.New(bounced.Config{Env: env})
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	plain := encodeNDJSON(t, records[:50])
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(plain)
+	zw.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/records", bytes.NewReader(zbuf.Bytes()))
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir ingestReply
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir.Accepted != 50 {
+		t.Fatalf("declared gzip: status %d accepted %d", resp.StatusCode, ir.Accepted)
+	}
+
+	// Same bytes, no header: the magic-byte sniff must catch it.
+	ir = postRecords(t, ts.URL, zbuf.Bytes())
+	if ir.status != http.StatusOK || ir.Accepted != 50 {
+		t.Fatalf("sniffed gzip: status %d accepted %d", ir.status, ir.Accepted)
+	}
+}
+
+// TestStatsAndMetrics smoke-tests the two observability endpoints.
+func TestStatsAndMetrics(t *testing.T) {
+	records, env := fixture(t)
+	srv := bounced.New(bounced.Config{Env: env, Seed: 42})
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	n := 300
+	postRecords(t, ts.URL, encodeNDJSON(t, records[:n]))
+	// A report arms the live classifier; the next batch is then timed.
+	getBody(t, ts.URL+"/v1/report?section=overview")
+	postRecords(t, ts.URL, encodeNDJSON(t, records[n:2*n]))
+	getBody(t, ts.URL+"/v1/report?section=overview")
+
+	status, body := getBody(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/stats status %d", status)
+	}
+	var st struct {
+		Seed     uint64 `json:"seed"`
+		Accepted uint64 `json:"accepted"`
+		Consumed uint64 `json:"consumed"`
+		Batches  uint64 `json:"batches"`
+		Classify struct {
+			Count uint64  `json:"count"`
+			P50NS float64 `json:"p50_ns"`
+		} `json:"classify_latency"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decode stats: %v\n%s", err, body)
+	}
+	if st.Seed != 42 || st.Accepted != uint64(2*n) || st.Consumed != uint64(2*n) || st.Batches != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Classify.Count == 0 || st.Classify.P50NS <= 0 {
+		t.Fatalf("classify latency never observed: %+v", st.Classify)
+	}
+
+	status, body = getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for _, want := range []string{
+		"bounced_records_accepted_total 600",
+		"bounced_records_consumed_total 600",
+		"bounced_queue_capacity 1024",
+		"bounced_bounce_degree_total{degree=\"hard-bounced\"}",
+		"bounced_classify_latency_seconds_bucket{le=\"+Inf\"}",
+		"bounced_classify_latency_seconds_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestLoadgenRoundTrip replays a gzipped JSONL file through the real
+// HTTP stack and checks the bench result accounting.
+func TestLoadgenRoundTrip(t *testing.T) {
+	records, env := fixture(t)
+	srv := bounced.New(bounced.Config{Env: env})
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "replay.jsonl.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	zw.Write(encodeNDJSON(t, records))
+	zw.Close()
+	f.Close()
+
+	res, err := bounced.Loadgen(bounced.LoadgenConfig{
+		URL: ts.URL, Path: path, BatchSize: 128, Workers: 3, Gzip: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != len(records) {
+		t.Fatalf("replayed %d records, want %d", res.Records, len(records))
+	}
+	if res.ServerConsumed != uint64(len(records)) {
+		t.Fatalf("server consumed %d, want %d", res.ServerConsumed, len(records))
+	}
+	if res.RecordsPerSec <= 0 {
+		t.Fatalf("bad rate: %+v", res)
+	}
+}

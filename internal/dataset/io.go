@@ -74,14 +74,19 @@ func ReadAll(r io.Reader) ([]Record, error) {
 	return out, sc.Err()
 }
 
-// ReadFile parses a JSONL dataset file.
+// ReadFile parses a JSONL dataset file, transparently decoding gzip
+// input (sniffed by magic bytes, not extension).
 func ReadFile(path string) ([]Record, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadAll(f)
+	r, err := NewDecodingReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return ReadAll(r)
 }
 
 // Stream calls fn for each record in r without retaining them,

@@ -2,9 +2,14 @@ package dataset
 
 import (
 	"bufio"
+	"compress/gzip"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"sync"
 )
 
 // RecordSink receives records one at a time. Writer satisfies it, so
@@ -23,6 +28,8 @@ type RecordSource interface {
 var _ RecordSink = (*Writer)(nil)
 var _ RecordSource = (*SliceSource)(nil)
 var _ RecordSource = (*ReaderSource)(nil)
+var _ RecordSource = (*FileSource)(nil)
+var _ RecordSource = (*ContextSource)(nil)
 var _ RecordSink = (*Pipe)(nil)
 var _ RecordSource = (*Pipe)(nil)
 
@@ -59,13 +66,22 @@ func Collect(src RecordSource) []Record {
 	}
 }
 
+// ErrClosedPipe is returned by Pipe.Write after the consumer has
+// aborted the stream with CloseRead.
+var ErrClosedPipe = errors.New("dataset: write on closed pipe")
+
 // Pipe is a bounded channel connecting a record producer to a
 // consumer: the producer calls Write (blocking once the buffer fills,
 // which backpressures generation to analysis speed) and Close; the
-// consumer calls Next until it returns false.
+// consumer calls Next until it returns false. A consumer that stops
+// early calls CloseRead, which unblocks pending and future writers
+// with ErrClosedPipe instead of leaving them hung — the abort path
+// HTTP ingestion and Ctrl-C cancellation rely on.
 type Pipe struct {
-	ch  chan Record
-	cur Record
+	ch       chan Record
+	done     chan struct{}
+	doneOnce sync.Once
+	cur      Record
 }
 
 // NewPipe creates a pipe buffering up to buf records.
@@ -73,28 +89,62 @@ func NewPipe(buf int) *Pipe {
 	if buf < 1 {
 		buf = 1
 	}
-	return &Pipe{ch: make(chan Record, buf)}
+	return &Pipe{ch: make(chan Record, buf), done: make(chan struct{})}
 }
 
-// Write copies r into the pipe, blocking while the buffer is full.
-// Writing after Close panics.
+// Write copies r into the pipe, blocking while the buffer is full. It
+// returns ErrClosedPipe once the consumer has called CloseRead.
+// Writing after Close panics (Close asserts no writer is left).
 func (p *Pipe) Write(r *Record) error {
-	p.ch <- *r
-	return nil
+	select {
+	case <-p.done:
+		return ErrClosedPipe
+	default:
+	}
+	select {
+	case p.ch <- *r:
+		return nil
+	case <-p.done:
+		return ErrClosedPipe
+	}
 }
 
-// Close signals the consumer that no more records follow.
+// Close signals the consumer that no more records follow. Only the
+// producer may call it, and only once, after all writes finished.
 func (p *Pipe) Close() {
 	close(p.ch)
 }
 
+// CloseRead aborts the stream from the consumer side: buffered records
+// are discarded, Next returns false, and blocked or future Write calls
+// fail with ErrClosedPipe. Safe to call any number of times and
+// concurrently with writers.
+func (p *Pipe) CloseRead() {
+	p.doneOnce.Do(func() { close(p.done) })
+}
+
+// Len reports the number of records currently buffered.
+func (p *Pipe) Len() int { return len(p.ch) }
+
+// Cap reports the pipe's buffer capacity.
+func (p *Pipe) Cap() int { return cap(p.ch) }
+
 func (p *Pipe) Next() (*Record, bool) {
-	rec, ok := <-p.ch
-	if !ok {
+	select {
+	case <-p.done:
+		return nil, false
+	default:
+	}
+	select {
+	case rec, ok := <-p.ch:
+		if !ok {
+			return nil, false
+		}
+		p.cur = rec
+		return &p.cur, true
+	case <-p.done:
 		return nil, false
 	}
-	p.cur = rec
-	return &p.cur, true
 }
 
 // ReaderSource streams JSONL records from r without materializing the
@@ -129,9 +179,96 @@ func (s *ReaderSource) Next() (*Record, bool) {
 		}
 		return &s.cur, true
 	}
-	s.err = s.sc.Err()
+	if err := s.sc.Err(); err != nil {
+		// Read-layer failures (e.g. a truncated gzip stream) carry the
+		// position too, so operators know how far the stream got.
+		s.err = fmt.Errorf("dataset: after line %d: %w", s.line, err)
+	}
 	return nil, false
 }
 
 // Err reports the first decode or read error encountered.
 func (s *ReaderSource) Err() error { return s.err }
+
+// Line reports the number of the last JSONL line consumed (1-based;
+// 0 before the first line).
+func (s *ReaderSource) Line() int { return s.line }
+
+// gzipMagic is the two-byte gzip member header (RFC 1952).
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// NewDecodingReader sniffs r's first bytes and transparently unwraps a
+// gzip stream, so callers accept .jsonl and .jsonl.gz alike without
+// trusting file extensions.
+func NewDecodingReader(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<15)
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("dataset: sniff input: %w", err)
+	}
+	if len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: gzip input: %w", err)
+		}
+		return zr, nil
+	}
+	return br, nil
+}
+
+// FileSource is a ReaderSource over a (possibly gzip-compressed)
+// dataset file. Close it when done.
+type FileSource struct {
+	*ReaderSource
+	f *os.File
+}
+
+// Open opens a JSONL dataset file for streaming, transparently
+// decoding gzip input (sniffed by magic bytes, not extension).
+func Open(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewDecodingReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{ReaderSource: NewReaderSource(r), f: f}, nil
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// ContextSource stops yielding records once ctx is cancelled, which
+// propagates Ctrl-C through streaming consumers (NewFromSource,
+// CollectStream) that otherwise only stop at end of input.
+type ContextSource struct {
+	ctx context.Context
+	src RecordSource
+}
+
+// NewContextSource wraps src with ctx cancellation.
+func NewContextSource(ctx context.Context, src RecordSource) *ContextSource {
+	return &ContextSource{ctx: ctx, src: src}
+}
+
+func (s *ContextSource) Next() (*Record, bool) {
+	if s.ctx.Err() != nil {
+		return nil, false
+	}
+	return s.src.Next()
+}
+
+// Err returns the cancellation cause, or the wrapped source's own
+// error when it exposes one.
+func (s *ContextSource) Err() error {
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	if es, ok := s.src.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}

@@ -2,6 +2,11 @@ package dataset
 
 import (
 	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -99,6 +104,164 @@ func TestReaderSourceReportsDecodeError(t *testing.T) {
 	}
 	if src.Err() == nil {
 		t.Fatal("Err() is nil after malformed input")
+	}
+}
+
+// encodeJSONL renders records as a JSONL byte slice.
+func encodeJSONL(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderSourceMalformedLineMidStreamIsLineNumbered(t *testing.T) {
+	lines := encodeJSONL(t, sampleRecords(3))
+	corrupt := bytes.Join([][]byte{
+		bytes.TrimSuffix(lines, []byte("\n")),
+		[]byte("{definitely not json}"),
+		[]byte(""),
+	}, []byte("\n"))
+	src := NewReaderSource(bytes.NewReader(corrupt))
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("decoded %d records before the corrupt line, want 3", n)
+	}
+	err := src.Err()
+	if err == nil {
+		t.Fatal("Err() is nil after malformed mid-stream line")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %q does not name line 4", err)
+	}
+}
+
+func TestOpenDecodesGzipByMagicBytes(t *testing.T) {
+	recs := sampleRecords(9)
+	raw := encodeJSONL(t, recs)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Deliberately misleading extension: sniffing must win over names.
+	path := filepath.Join(dir, "dataset.jsonl")
+	if err := os.WriteFile(path, gz.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	got := Collect(src)
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records from gzip file, want %d", len(got), len(recs))
+	}
+
+	plain, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(recs) {
+		t.Fatalf("ReadFile decoded %d records from gzip file, want %d", len(plain), len(recs))
+	}
+}
+
+func TestReaderSourceTruncatedGzipSurfacesError(t *testing.T) {
+	raw := encodeJSONL(t, sampleRecords(50))
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := gz.Bytes()[:gz.Len()/2]
+	r, err := NewDecodingReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewReaderSource(r)
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	if src.Err() == nil {
+		t.Fatal("Err() is nil after truncated gzip stream")
+	}
+	if !strings.Contains(src.Err().Error(), "line") {
+		t.Fatalf("truncated-gzip error %q carries no line position", src.Err())
+	}
+}
+
+func TestPipeCloseReadUnblocksWriter(t *testing.T) {
+	recs := sampleRecords(4)
+	p := NewPipe(1)
+	if err := p.Write(&recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		// Buffer is full: this write blocks until CloseRead aborts it.
+		errc <- p.Write(&recs[1])
+	}()
+	p.CloseRead()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosedPipe) {
+			t.Fatalf("blocked write returned %v, want ErrClosedPipe", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write stayed blocked after CloseRead")
+	}
+	if err := p.Write(&recs[2]); !errors.Is(err, ErrClosedPipe) {
+		t.Fatalf("write after CloseRead returned %v, want ErrClosedPipe", err)
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("Next returned a record after CloseRead")
+	}
+	p.CloseRead() // idempotent
+}
+
+func TestContextSourceStopsOnCancel(t *testing.T) {
+	recs := sampleRecords(10)
+	ctx, cancel := context.WithCancel(context.Background())
+	src := NewContextSource(ctx, NewSliceSource(recs))
+	for i := 0; i < 3; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatalf("source dried up at record %d before cancel", i)
+		}
+	}
+	cancel()
+	if _, ok := src.Next(); ok {
+		t.Fatal("source kept yielding after cancel")
+	}
+	if !errors.Is(src.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", src.Err())
 	}
 }
 

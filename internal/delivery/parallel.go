@@ -1,6 +1,7 @@
 package delivery
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/clock"
@@ -73,9 +74,23 @@ func (e *Engine) DeliverBatch(subs []*world.Submission, workers int, consume fun
 // merge back deterministically, so any worker count produces a
 // byte-identical dataset for the same seed.
 func (e *Engine) ParallelRun(workers int, consume func(rec dataset.Record, sub *world.Submission, truth Truth)) {
+	e.ParallelRunCtx(context.Background(), workers, consume)
+}
+
+// ParallelRunCtx is ParallelRun with cancellation: the run stops at
+// the next day-batch boundary once ctx is done (a day is well under a
+// second of wall time at any configured scale, so Ctrl-C feels
+// immediate) and returns ctx's error. Every record consumed before
+// cancellation is exactly the record an uncancelled run would have
+// produced — stopping early never reorders or alters the prefix.
+func (e *Engine) ParallelRunCtx(ctx context.Context, workers int, consume func(rec dataset.Record, sub *world.Submission, truth Truth)) error {
 	for day := 0; day < clock.StudyDays; day++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e.DeliverBatch(e.W.EmailsForDay(day), workers, consume)
 	}
+	return nil
 }
 
 // Run delivers the whole 15-month workload single-threaded; it is

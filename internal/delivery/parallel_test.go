@@ -1,6 +1,7 @@
 package delivery
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -114,5 +115,45 @@ func TestShardAssignmentStable(t *testing.T) {
 	}
 	if a, b := e.shardOf("unknown-domain.example"), e.shardOf("unknown-domain.example"); a != b {
 		t.Fatalf("unstable hash shard: %d vs %d", a, b)
+	}
+}
+
+// TestParallelRunCtxCancelStopsEarlyWithCleanPrefix: cancelling
+// mid-run must stop at a day boundary, return the context error, and
+// leave a record prefix identical to the uncancelled run's.
+func TestParallelRunCtxCancelStopsEarlyWithCleanPrefix(t *testing.T) {
+	w := world.New(world.TinyConfig())
+	e := New(w)
+	var full []dataset.Record
+	e.ParallelRun(2, func(rec dataset.Record, _ *world.Submission, _ Truth) {
+		full = append(full, rec)
+	})
+
+	w2 := world.New(world.TinyConfig())
+	e2 := New(w2)
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := len(full) / 3
+	var partial []dataset.Record
+	err := e2.ParallelRunCtx(ctx, 2, func(rec dataset.Record, _ *world.Submission, _ Truth) {
+		partial = append(partial, rec)
+		if len(partial) == stopAt {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("ParallelRunCtx returned %v, want context.Canceled", err)
+	}
+	if len(partial) >= len(full) {
+		t.Fatalf("cancelled run delivered the full workload (%d records)", len(partial))
+	}
+	if len(partial) < stopAt {
+		t.Fatalf("cancelled run delivered %d records, fewer than the %d before cancel", len(partial), stopAt)
+	}
+	for i := range partial {
+		a, _ := json.Marshal(partial[i])
+		b, _ := json.Marshal(full[i])
+		if string(a) != string(b) {
+			t.Fatalf("record %d differs between cancelled and full run", i)
+		}
 	}
 }

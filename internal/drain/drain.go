@@ -220,6 +220,40 @@ func (p *Parser) Match(line string) *Group {
 	return best
 }
 
+// Clone returns a deep copy of the parser: the clone and the original
+// share no mutable state, so one can keep training while the other is
+// frozen for a point-in-time snapshot (the online report path). Group
+// IDs, counts, and template tokens are preserved exactly, which keeps
+// a clone's classifications identical to the original's at clone time.
+func (p *Parser) Clone() *Parser {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q := &Parser{cfg: p.cfg, nextID: p.nextID}
+	copies := make(map[*Group]*Group, len(p.groups))
+	q.groups = make([]*Group, len(p.groups))
+	for i, g := range p.groups {
+		ng := &Group{ID: g.ID, Count: g.Count, tokens: append([]string(nil), g.tokens...)}
+		copies[g] = ng
+		q.groups[i] = ng
+	}
+	q.root = cloneNode(p.root, copies)
+	return q
+}
+
+func cloneNode(n *node, copies map[*Group]*Group) *node {
+	out := &node{children: make(map[string]*node, len(n.children))}
+	for key, child := range n.children {
+		out.children[key] = cloneNode(child, copies)
+	}
+	if len(n.groups) > 0 {
+		out.groups = make([]*Group, len(n.groups))
+		for i, g := range n.groups {
+			out.groups[i] = copies[g]
+		}
+	}
+	return out
+}
+
 // Groups returns all groups ordered by descending count (the paper's
 // template ranking for manual labeling), ties broken by ID.
 func (p *Parser) Groups() []*Group {

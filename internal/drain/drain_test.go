@@ -205,3 +205,42 @@ func TestTrainCountInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCloneIsIndependentAndIdentical(t *testing.T) {
+	p := New(DefaultConfig())
+	lines := []string{
+		"550 5.1.1 user alice not found",
+		"550 5.1.1 user bob not found",
+		"421 4.7.0 try again later",
+		"554 5.7.1 message rejected as spam",
+	}
+	for _, l := range lines {
+		p.Train(l)
+	}
+	q := p.Clone()
+
+	// The clone matches exactly what the original matched at clone time.
+	for _, l := range lines {
+		pg, qg := p.Match(l), q.Match(l)
+		if pg == nil || qg == nil {
+			t.Fatalf("Match(%q) lost after clone: orig=%v clone=%v", l, pg, qg)
+		}
+		if pg.ID != qg.ID || pg.Count != qg.Count || pg.Template() != qg.Template() {
+			t.Fatalf("clone group differs for %q: orig{%d %d %q} clone{%d %d %q}",
+				l, pg.ID, pg.Count, pg.Template(), qg.ID, qg.Count, qg.Template())
+		}
+	}
+
+	// Training the original must not leak into the clone, and vice versa.
+	p.Train("550 5.2.2 mailbox dave full")
+	if p.NumGroups() != q.NumGroups()+1 {
+		t.Fatalf("clone group count %d after original trained a new line, want %d", q.NumGroups(), p.NumGroups()-1)
+	}
+	q.Train("451 4.3.2 system not accepting network messages")
+	if g := q.Match("550 5.2.2 mailbox dave full"); g != nil {
+		t.Fatalf("clone learned the original's post-clone line: %q", g.Template())
+	}
+	if g := p.Match("451 4.3.2 system not accepting network messages"); g != nil {
+		t.Fatalf("original learned the clone's post-clone line: %q", g.Template())
+	}
+}

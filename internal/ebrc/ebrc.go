@@ -86,7 +86,9 @@ func normalizeToken(tok string) string {
 	}
 }
 
-// Classifier is a trained multinomial naive Bayes model.
+// Classifier is a trained multinomial naive Bayes model. It is
+// immutable after Train, so Predict and PredictTemplate are safe for
+// concurrent use — the property the online classify path relies on.
 type Classifier struct {
 	classes  []ndr.Type
 	classIdx map[ndr.Type]int

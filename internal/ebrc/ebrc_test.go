@@ -3,6 +3,7 @@ package ebrc
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/ndr"
@@ -171,4 +172,32 @@ func TestClassesCopy(t *testing.T) {
 	if cls.Classes()[0] == ndr.TNone {
 		t.Error("Classes() leaked internal slice")
 	}
+}
+
+// TestPredictConcurrent: a trained classifier is read-only, so the
+// online ingest path may classify from many goroutines at once. Run
+// under -race this pins that property down.
+func TestPredictConcurrent(t *testing.T) {
+	c := Train(corpus(5, 11))
+	lines := []string{
+		"550 5.1.1 user unknown",
+		"421 4.7.0 greylisted, try again later",
+		"554 5.7.1 message rejected as spam",
+		"452 4.2.2 mailbox full",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				line := lines[(g+i)%len(lines)]
+				if typ, _ := c.Predict(line); typ == ndr.TNone {
+					t.Errorf("Predict(%q) returned TNone", line)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -282,6 +282,34 @@ func (m *Metrics) Hits() map[string]uint64 {
 	return out
 }
 
+// StageHit is one per-stage rejection counter in exportable form —
+// the /v1/stats and /metrics surface of the policy chain.
+type StageHit struct {
+	Stage string `json:"stage"`
+	Phase string `json:"phase"`
+	Type  string `json:"type"` // principal bounce type; "-" for side-effect stages
+	Hits  uint64 `json:"hits"`
+}
+
+// Snapshot exports every stage counter (including zeros) in chain
+// order, so consumers render a stable catalog without knowing it.
+func (m *Metrics) Snapshot() []StageHit {
+	out := make([]StageHit, 0, len(catalog))
+	for _, def := range catalog {
+		typ := def.typ.String()
+		if def.typ == ndr.TNone {
+			typ = "-"
+		}
+		out = append(out, StageHit{
+			Stage: def.name,
+			Phase: def.phase.String(),
+			Type:  typ,
+			Hits:  m.hits[def.name].Load(),
+		})
+	}
+	return out
+}
+
 // Format renders non-zero hit counts as "name=count" pairs in chain
 // order (stable for logs and tests).
 func (m *Metrics) Format() string {

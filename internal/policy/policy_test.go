@@ -265,3 +265,33 @@ func TestStageHitRateLimit(t *testing.T) {
 		t.Error("retry consumed rate-limit quota")
 	}
 }
+
+func TestMetricsSnapshotCoversCatalogInOrder(t *testing.T) {
+	m := NewMetrics()
+	m.bump("dnsbl")
+	m.bump("dnsbl")
+	m.bump("greylist")
+	snap := m.Snapshot()
+	names := StageNames()
+	if len(snap) != len(names) {
+		t.Fatalf("snapshot has %d entries, catalog %d", len(snap), len(names))
+	}
+	for i, h := range snap {
+		if h.Stage != names[i] {
+			t.Fatalf("snapshot[%d] = %q, want chain order %q", i, h.Stage, names[i])
+		}
+		want := uint64(0)
+		switch h.Stage {
+		case "dnsbl":
+			want = 2
+		case "greylist":
+			want = 1
+		}
+		if h.Hits != want {
+			t.Fatalf("stage %s hits = %d, want %d", h.Stage, h.Hits, want)
+		}
+		if h.Phase == "" || h.Type == "" {
+			t.Fatalf("stage %s snapshot misses phase/type: %+v", h.Stage, h)
+		}
+	}
+}
