@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve
+.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest
 
 # check is the tier-1 gate plus static analysis and formatting.
 check: fmt vet build build-cmds test
@@ -30,10 +30,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# race-parallel focuses the race detector on the parallel delivery and
-# streaming paths (fast enough for every commit).
+# race-parallel focuses the race detector on the parallel delivery,
+# streaming, decode, and incremental-snapshot paths (fast enough for
+# every commit).
 race-parallel:
-	$(GO) test -race -run 'Parallel|WorkerCount|DeliverBatch|Pipe|FromSource|CollectStream' ./...
+	$(GO) test -race -run 'Parallel|WorkerCount|DeliverBatch|Pipe|FromSource|CollectStream|Incremental|WarmSnapshot|Frozen|Decoder' ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -47,10 +48,21 @@ bench-parallel:
 serve:
 	$(GO) run ./cmd/bounced -generate
 
-# bench-serve measures HTTP ingest throughput and classify latency:
-# generate a corpus, replay it with loadgen against an in-process
-# server, and write BENCH_bounced.json.
+# bench-serve measures HTTP ingest throughput, classify latency, and
+# snapshot cold/warm build times: generate a corpus, replay it with
+# loadgen against an in-process server, then re-post 1000 head records
+# to time the warm (suffix-only) snapshot. Appends one JSON line to
+# BENCH_bounced.json.
 bench-serve:
 	$(GO) run ./cmd/bouncegen -emails 100000 -out /tmp/bench_corpus.jsonl
-	$(GO) run ./cmd/bounced loadgen -in /tmp/bench_corpus.jsonl -spawn -out BENCH_bounced.json
-	@cat BENCH_bounced.json
+	$(GO) run ./cmd/bounced loadgen -in /tmp/bench_corpus.jsonl -spawn -warm 1000 -out BENCH_bounced.json
+	@tail -1 BENCH_bounced.json
+
+# bench-ingest measures the ingest hot path without HTTP: the decode
+# micro-benchmarks (with allocation counts) and the ingestbench tool,
+# which appends decode throughput + snapshot cold/warm timings to
+# BENCH_bounced.json.
+bench-ingest:
+	$(GO) test -run xxx -bench 'Unmarshal|DecoderDecode|ParallelDecode' -benchmem ./internal/dataset/
+	$(GO) run ./cmd/ingestbench -out BENCH_bounced.json
+	@tail -1 BENCH_bounced.json

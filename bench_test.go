@@ -98,7 +98,7 @@ func BenchmarkPipelineBuild(b *testing.B) {
 	s := study(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.BuildPipeline(s.Records, analysis.DefaultPipelineConfig())
+		_ = analysis.BuildPipeline(s.Records.Flatten(), analysis.DefaultPipelineConfig())
 	}
 }
 
@@ -110,7 +110,7 @@ func BenchmarkPipelineBuildStream(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.BuildPipelineFrom(dataset.NewSliceSource(s.Records), analysis.DefaultPipelineConfig())
+		_ = analysis.BuildPipelineFrom(dataset.NewSliceSource(s.Records.Flatten()), analysis.DefaultPipelineConfig())
 	}
 }
 
@@ -490,8 +490,8 @@ func BenchmarkAblationSpamOnce(b *testing.B) {
 func BenchmarkAblationDrainDepth(b *testing.B) {
 	s := study(b)
 	var lines []string
-	for i := range s.Records {
-		lines = append(lines, s.Records[i].NDRs()...)
+	for i := 0; i < s.Records.Len(); i++ {
+		lines = append(lines, s.Records.At(i).NDRs()...)
 		if len(lines) > 20000 {
 			break
 		}

@@ -79,7 +79,7 @@ func ConfigForScale(s Scale) world.Config {
 type Study struct {
 	World      *world.World
 	Engine     *delivery.Engine
-	Records    []dataset.Record
+	Records    dataset.Records
 	Truths     []delivery.Truth
 	Analysis   *analysis.Analysis
 	Detections *analysis.Detections

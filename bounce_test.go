@@ -20,15 +20,15 @@ func tinyStudy(t *testing.T) *bounce.Study {
 
 func TestRunProducesConsistentStudy(t *testing.T) {
 	s := tinyStudy(t)
-	if len(s.Records) == 0 || len(s.Records) != len(s.Truths) {
-		t.Fatalf("records=%d truths=%d", len(s.Records), len(s.Truths))
+	if s.Records.Len() == 0 || s.Records.Len() != len(s.Truths) {
+		t.Fatalf("records=%d truths=%d", s.Records.Len(), len(s.Truths))
 	}
 	if s.Analysis == nil || s.Detections == nil {
 		t.Fatal("analysis not built")
 	}
 	o := s.Analysis.Overview()
-	if o.Total != len(s.Records) {
-		t.Errorf("overview total %d vs %d records", o.Total, len(s.Records))
+	if o.Total != s.Records.Len() {
+		t.Errorf("overview total %d vs %d records", o.Total, s.Records.Len())
 	}
 	// The corpus must contain real bounces of both degrees.
 	if o.SoftBounced == 0 || o.HardBounced == 0 {
@@ -42,7 +42,7 @@ func TestClassifierAgreesWithEngineTruth(t *testing.T) {
 	// (the paper's EBRC operating point is >90%).
 	s := tinyStudy(t)
 	agree, total := 0, 0
-	for i := range s.Records {
+	for i := 0; i < s.Records.Len(); i++ {
 		c := s.Analysis.Classified[i]
 		if c.Ambiguous {
 			continue
@@ -102,11 +102,11 @@ func TestGenerateMatchesRun(t *testing.T) {
 	cfg := world.TinyConfig()
 	_, records := bounce.Generate(cfg)
 	s := bounce.Run(bounce.Options{Config: cfg})
-	if len(records) != len(s.Records) {
-		t.Fatalf("Generate %d records vs Run %d", len(records), len(s.Records))
+	if len(records) != s.Records.Len() {
+		t.Fatalf("Generate %d records vs Run %d", len(records), s.Records.Len())
 	}
 	for i := range records {
-		if records[i].To != s.Records[i].To || records[i].FinalResult() != s.Records[i].FinalResult() {
+		if records[i].To != s.Records.At(i).To || records[i].FinalResult() != s.Records.At(i).FinalResult() {
 			t.Fatalf("record %d differs between Generate and Run", i)
 		}
 	}
@@ -116,8 +116,8 @@ func TestDatasetRoundTripThroughJSONL(t *testing.T) {
 	s := tinyStudy(t)
 	var buf bytes.Buffer
 	w := dataset.NewWriter(&buf)
-	for i := range s.Records {
-		if err := w.Write(&s.Records[i]); err != nil {
+	for i := 0; i < s.Records.Len(); i++ {
+		if err := w.Write(s.Records.At(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,8 +126,8 @@ func TestDatasetRoundTripThroughJSONL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != len(s.Records) {
-		t.Fatalf("round trip lost records: %d vs %d", len(back), len(s.Records))
+	if len(back) != s.Records.Len() {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), s.Records.Len())
 	}
 	// Re-analysis of the round-tripped dataset gives identical degrees.
 	a2 := bounce.Analyze(back, bounce.NewEnvironment(s.World))
@@ -172,7 +172,7 @@ func TestConfigForScale(t *testing.T) {
 func TestSummaryJSON(t *testing.T) {
 	s := tinyStudy(t)
 	sm := s.Summary()
-	if sm.Emails != len(s.Records) {
+	if sm.Emails != s.Records.Len() {
 		t.Errorf("summary emails %d", sm.Emails)
 	}
 	if sm.NonBouncedPct+sm.SoftPct+sm.HardPct < 99.9 || sm.NonBouncedPct+sm.SoftPct+sm.HardPct > 100.1 {

@@ -25,6 +25,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -45,8 +47,35 @@ func main() {
 		section = flag.String("section", "all", "comma-separated sections or 'all'")
 		asJSON  = flag.Bool("json", false, "emit a machine-readable summary instead of the report")
 		workers = flag.Int("workers", 1, "delivery fan-out width (results are identical for any value)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
+		memProf = flag.String("memprofile", "", "write a heap profile on exit here")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	// Ctrl-C stops delivery at the next day boundary (or file streaming
 	// at the next record) instead of hanging to the end of the workload.
@@ -65,7 +94,9 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		f, err := dataset.Open(*in) // transparently decodes .jsonl.gz
+		// Transparently decodes .jsonl.gz; NDJSON decode fans out across
+		// GOMAXPROCS workers with an input-order merge.
+		f, err := dataset.OpenParallel(*in, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -31,6 +31,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -64,6 +66,8 @@ func serveMain(args []string) {
 		queue    = fs.Int("queue", 1024, "ingest queue depth (backpressure bound)")
 		noEnv    = fs.Bool("no-env", false, "skip world regeneration; env-dependent sections degrade")
 		flushSec = fs.String("flush-sections", "overview", "report sections flushed to stdout on shutdown ('' to disable, 'all' for everything)")
+		decodeW  = fs.Int("decode-workers", 0, "NDJSON decode fan-out per ingest request (0 = GOMAXPROCS)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	fs.Parse(args)
 
@@ -74,7 +78,7 @@ func serveMain(args []string) {
 	cfg.TotalEmails = *emails
 	cfg.Seed = *seed
 
-	sCfg := bounced.Config{QueueDepth: *queue, Seed: *seed}
+	sCfg := bounced.Config{QueueDepth: *queue, Seed: *seed, DecodeWorkers: *decodeW, EnablePprof: *pprofOn}
 	var engine *delivery.Engine
 	var w *world.World
 	switch {
@@ -167,9 +171,10 @@ func serveMain(args []string) {
 	}
 }
 
-// preload streams a JSONL(.gz) dataset file into the service.
+// preload streams a JSONL(.gz) dataset file into the service through
+// the parallel decoder.
 func preload(srv *bounced.Server, path string) (int, error) {
-	f, err := dataset.Open(path)
+	f, err := dataset.OpenParallel(path, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -180,7 +185,10 @@ func preload(srv *bounced.Server, path string) (int, error) {
 		if !ok {
 			break
 		}
-		if err := srv.Ingest(rec); err != nil {
+		// The reader reuses its record buffers; hand the queue its own
+		// copy (strings/slices are fresh per record and safe to share).
+		c := *rec
+		if err := srv.Ingest(&c); err != nil {
 			return n, err
 		}
 		n++
@@ -199,10 +207,24 @@ func loadgenMain(args []string) {
 		gz      = fs.Bool("gzip", false, "gzip request bodies")
 		out     = fs.String("out", "-", "write the result JSON here ('-' for stdout)")
 		spawn   = fs.Bool("spawn", false, "boot an in-process server on a loopback port and replay against it (for benchmarks)")
+		warm    = fs.Int("warm", 0, "re-post this many head records after the replay and measure the warm snapshot")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the replay here")
+		memProf = fs.String("memprofile", "", "write a heap profile after the replay here")
 	)
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("loadgen: -in is required")
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	target := *url
@@ -227,7 +249,7 @@ func loadgenMain(args []string) {
 
 	res, err := bounced.Loadgen(bounced.LoadgenConfig{
 		URL: target, Path: *in, Rate: *rate, BatchSize: *batch,
-		Workers: *workers, Gzip: *gz, Progress: os.Stderr,
+		Workers: *workers, Gzip: *gz, WarmRecords: *warm, Progress: os.Stderr,
 	})
 	if shutdown != nil {
 		shutdown()
@@ -235,20 +257,36 @@ func loadgenMain(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("replayed %d records in %.2fs (%.0f records/s; server classify p50 %.0fns p99 %.0fns)",
-		res.Records, res.Seconds, res.RecordsPerSec, res.ClassifyP50NS, res.ClassifyP99NS)
-
-	f := os.Stdout
-	if *out != "-" {
-		f, err = os.Create(*out)
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(res); err != nil {
+	log.Printf("replayed %d records in %.2fs (%.0f records/s; server classify p50 %.0fns p99 %.0fns)",
+		res.Records, res.Seconds, res.RecordsPerSec, res.ClassifyP50NS, res.ClassifyP99NS)
+
+	if *out == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	// File output appends one compact line per run, so the bench file
+	// accumulates a history (ingestbench entries land in the same file).
+	f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(res); err != nil {
 		log.Fatal(err)
 	}
 }

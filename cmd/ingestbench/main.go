@@ -1,0 +1,170 @@
+// Command ingestbench micro-benchmarks the analysis hot path without
+// the HTTP stack: NDJSON decode throughput (serial fast path and the
+// worker-pool ParallelReader), heap allocations per decoded record,
+// and the incremental engine's snapshot build times cold (full
+// re-classify) versus warm (suffix-only, after re-posting known
+// lines). The result is appended as one timestamped JSON line to the
+// bench history file, next to the loadgen entries make bench-serve
+// writes.
+//
+// Usage:
+//
+//	ingestbench                          # 100k records, append to BENCH_bounced.json
+//	ingestbench -emails 200000 -out -    # bigger corpus, print to stdout
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/world"
+)
+
+type result struct {
+	Bench                string  `json:"bench"`
+	Timestamp            string  `json:"timestamp"`
+	Records              int     `json:"records"`
+	Bytes                int     `json:"bytes"`
+	DecodeNsPerRecord    float64 `json:"decode_ns_per_record"`
+	DecodeMBPerSec       float64 `json:"decode_mb_per_s"`
+	ParallelNsPerRecord  float64 `json:"parallel_decode_ns_per_record"`
+	AllocsPerRecord      float64 `json:"allocs_per_record"`
+	SnapshotMsCold       float64 `json:"snapshot_ms_cold"`
+	SnapshotMsWarm       float64 `json:"snapshot_ms_warm"`
+	SnapshotWarm         bool    `json:"snapshot_warm"`
+	SnapshotColdWarmRate float64 `json:"snapshot_cold_warm_ratio"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ingestbench: ")
+	var (
+		emails  = flag.Int("emails", 100_000, "corpus size to generate in memory")
+		seed    = flag.Uint64("seed", 42, "world seed")
+		workers = flag.Int("workers", 0, "parallel decode fan-out (0 = GOMAXPROCS)")
+		warmK   = flag.Int("warm", 1000, "suffix size for the warm snapshot measurement")
+		out     = flag.String("out", "BENCH_bounced.json", "append the result line here ('-' for stdout)")
+	)
+	flag.Parse()
+
+	cfg := world.DefaultConfig()
+	cfg.TotalEmails = *emails
+	cfg.Seed = *seed
+	_, records := bounce.Generate(cfg)
+	var buf bytes.Buffer
+	w := dataset.NewWriter(&buf)
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	corpus := buf.Bytes()
+	res := result{
+		Bench:     "ingest",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Records:   len(records),
+		Bytes:     len(corpus),
+	}
+
+	// Serial decode: the per-record fast path, with allocation count.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n := decodeAll(dataset.NewReaderSource(bytes.NewReader(corpus)))
+	serial := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if n != len(records) {
+		log.Fatalf("serial decode yielded %d of %d records", n, len(records))
+	}
+	res.DecodeNsPerRecord = float64(serial.Nanoseconds()) / float64(n)
+	res.DecodeMBPerSec = float64(len(corpus)) / serial.Seconds() / 1e6
+	res.AllocsPerRecord = float64(after.Mallocs-before.Mallocs) / float64(n)
+
+	// Parallel decode: chunked worker-pool path with input-order merge.
+	start = time.Now()
+	n = decodeAll(dataset.NewParallelReader(bytes.NewReader(corpus), *workers))
+	parallel := time.Since(start)
+	if n != len(records) {
+		log.Fatalf("parallel decode yielded %d of %d records", n, len(records))
+	}
+	res.ParallelNsPerRecord = float64(parallel.Nanoseconds()) / float64(n)
+
+	// Snapshot cold vs warm: ingest everything, snapshot (full
+	// classify), re-add a head suffix of already-mined lines, snapshot
+	// again (cached verdicts + suffix-only classify).
+	inc := analysis.NewIncremental(analysis.DefaultPipelineConfig())
+	for i := range records {
+		inc.Add(&records[i])
+	}
+	start = time.Now()
+	inc.Snapshot(nil)
+	res.SnapshotMsCold = float64(time.Since(start).Nanoseconds()) / 1e6
+	k := *warmK
+	if k > len(records) {
+		k = len(records)
+	}
+	for i := 0; i < k; i++ {
+		inc.Add(&records[i])
+	}
+	start = time.Now()
+	inc.Snapshot(nil)
+	res.SnapshotMsWarm = float64(time.Since(start).Nanoseconds()) / 1e6
+	warm, _ := inc.Snapshots()
+	res.SnapshotWarm = warm > 0
+	if res.SnapshotMsWarm > 0 {
+		res.SnapshotColdWarmRate = res.SnapshotMsCold / res.SnapshotMsWarm
+	}
+
+	line, err := json.Marshal(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line = append(line, '\n')
+	if *out == "-" {
+		os.Stdout.Write(line)
+		return
+	}
+	f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(line); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("decode %.0fns/record (%.0f MB/s, %.1f allocs), parallel %.0fns/record, snapshot cold %.1fms warm %.1fms (%.1fx, warm=%v) -> %s",
+		res.DecodeNsPerRecord, res.DecodeMBPerSec, res.AllocsPerRecord,
+		res.ParallelNsPerRecord, res.SnapshotMsCold, res.SnapshotMsWarm,
+		res.SnapshotColdWarmRate, res.SnapshotWarm, *out)
+}
+
+// decodeAll drains a record source, counting records.
+func decodeAll(src interface {
+	Next() (*dataset.Record, bool)
+	Err() error
+}) int {
+	n := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := src.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return n
+}

@@ -18,8 +18,8 @@ func main() {
 	fmt.Println("building an NDR corpus from a tiny simulated world...")
 	study := bounce.Run(bounce.Options{Scale: bounce.ScaleTiny})
 	lines := 0
-	for i := range study.Records {
-		lines += len(study.Records[i].NDRs())
+	for i := 0; i < study.Records.Len(); i++ {
+		lines += len(study.Records.At(i).NDRs())
 	}
 
 	p := study.Analysis.Pipeline

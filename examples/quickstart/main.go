@@ -15,7 +15,7 @@ func main() {
 	study := bounce.Run(bounce.Options{Scale: bounce.ScaleTiny})
 
 	fmt.Printf("delivered %d emails through %d proxy MTAs to %d receiver domains\n\n",
-		len(study.Records), len(study.World.Proxies), len(study.World.Domains))
+		study.Records.Len(), len(study.World.Proxies), len(study.World.Domains))
 
 	if err := study.WriteReport(os.Stdout, []bounce.Section{
 		bounce.SecOverview, bounce.SecPipeline, bounce.SecTable1,
@@ -25,8 +25,8 @@ func main() {
 	}
 
 	// Individual records are plain data: inspect one bounced email.
-	for i := range study.Records {
-		rec := &study.Records[i]
+	for i := 0; i < study.Records.Len(); i++ {
+		rec := study.Records.At(i)
 		if rec.Attempts() > 1 && !rec.Succeeded() {
 			fmt.Printf("example hard-bounced email %s -> %s:\n", rec.From, rec.To)
 			for j, line := range rec.DeliveryResult {

@@ -356,8 +356,8 @@ func NotificationPlan(a *analysis.Analysis, sq *squat.Result, start time.Time) [
 	seen := map[string]bool{}
 	var order []string
 	reason := map[string]string{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		var subj string
 		switch {
 		case vulnDomains[rec.ToDomain()]:

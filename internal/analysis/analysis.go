@@ -56,8 +56,10 @@ func (c *ClassifiedRecord) HasType(t ndr.Type) bool {
 }
 
 // Analysis holds a classified corpus ready for table/figure extraction.
+// Records is an index-addressable view (plain slice or slab store
+// prefix); use Records.Len/At to walk it.
 type Analysis struct {
-	Records    []dataset.Record
+	Records    dataset.Records
 	Classified []ClassifiedRecord
 	Pipeline   *Pipeline
 	Env        *Environment
@@ -74,21 +76,14 @@ func New(records []dataset.Record, env *Environment) *Analysis {
 
 // NewWithPipeline classifies records with a pre-built pipeline.
 func NewWithPipeline(records []dataset.Record, p *Pipeline, env *Environment) *Analysis {
-	a := &Analysis{
-		Records:  records,
-		Pipeline: p,
-		Env:      env,
-		rankPos:  make(map[string]int),
-	}
-	a.Classified = make([]ClassifiedRecord, len(records))
+	view := dataset.SliceRecords(records)
+	verdicts := make([]ClassifiedRecord, len(records))
+	classifyRange(p, view, verdicts, 0)
+	counts := make(map[string]int, 64)
 	for i := range records {
-		a.Classified[i] = p.ClassifyRecord(&records[i])
+		counts[records[i].ToDomain()]++
 	}
-	a.rank = dataset.InEmailRank(records)
-	for i, e := range a.rank {
-		a.rankPos[e.Domain] = i
-	}
-	return a
+	return assemble(view, verdicts, p, counts, env)
 }
 
 // NewFromSource consumes a record stream in a single pass: while
@@ -99,6 +94,9 @@ func NewWithPipeline(records []dataset.Record, p *Pipeline, env *Environment) *A
 // one built from the collected slice.
 func NewFromSource(src dataset.RecordSource, cfg PipelineConfig, env *Environment) *Analysis {
 	inc := NewIncremental(cfg)
+	// Train on the dedicated goroutine so template mining overlaps the
+	// source's own decode work (Finish stops it and catches up).
+	inc.StartTrainer()
 	for {
 		rec, ok := src.Next()
 		if !ok {
@@ -184,8 +182,11 @@ func (a *Analysis) TypeDistribution() map[ndr.Type]int {
 // enhanced status code (paper: 28.79%).
 func (a *Analysis) NoEnhancedCodeShare() float64 {
 	with, total := 0, 0
-	for i := range a.Records {
-		for _, line := range a.Records[i].NDRs() {
+	for i := 0; i < a.Records.Len(); i++ {
+		for _, line := range a.Records.At(i).DeliveryResult {
+			if strings.HasPrefix(line, "2") {
+				continue
+			}
 			total++
 			if ndr.HasEnhancedCode(line) {
 				with++

@@ -119,7 +119,7 @@ func buildAnalysis(t *testing.T) *Analysis {
 func TestOverview(t *testing.T) {
 	a := buildAnalysis(t)
 	o := a.Overview()
-	if o.Total != len(a.Records) {
+	if o.Total != a.Records.Len() {
 		t.Errorf("total %d", o.Total)
 	}
 	// Soft = greylist(60) + blocklist(50) + timeout(40) = 150.
@@ -162,7 +162,7 @@ func TestClassificationTypes(t *testing.T) {
 
 func TestAmbiguousExcludedFromTypes(t *testing.T) {
 	a := buildAnalysis(t)
-	for i := range a.Records {
+	for i := 0; i < a.Records.Len(); i++ {
 		c := &a.Classified[i]
 		if c.Ambiguous && len(c.Types) != 0 {
 			t.Fatalf("ambiguous record carries types %v", c.Types)
@@ -265,8 +265,8 @@ func TestTimeline(t *testing.T) {
 	for d := 0; d < clock.StudyDays; d++ {
 		totalDays += tl.Days[d].Non + tl.Days[d].Soft + tl.Days[d].Hard
 	}
-	if totalDays != len(a.Records) {
-		t.Errorf("timeline loses records: %d vs %d", totalDays, len(a.Records))
+	if totalDays != a.Records.Len() {
+		t.Errorf("timeline loses records: %d vs %d", totalDays, a.Records.Len())
 	}
 	if len(tl.Months) == 0 {
 		t.Error("no monthly volumes")
@@ -275,7 +275,7 @@ func TestTimeline(t *testing.T) {
 	for _, m := range tl.Months {
 		sum += m.Emails
 	}
-	if sum != len(a.Records) {
+	if sum != a.Records.Len() {
 		t.Errorf("monthly sums %d", sum)
 	}
 }

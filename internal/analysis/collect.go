@@ -15,9 +15,10 @@ type Collector interface {
 
 // visit feeds every stored record through the collectors in order.
 func (a *Analysis) visit(cs ...Collector) {
-	for i := range a.Records {
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		for _, col := range cs {
-			col.Add(&a.Records[i], &a.Classified[i])
+			col.Add(rec, &a.Classified[i])
 		}
 	}
 }

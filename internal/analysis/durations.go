@@ -85,8 +85,8 @@ func (a *Analysis) Durations(det *Detections) DurationsFigure {
 	// from the sender at a receiver that previously T3-bounced it.
 	authEvents := map[string][]event{}
 	t3Receivers := map[string]map[string]bool{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		from := rec.FromDomain()
 		if a.Classified[i].HasType(ndr.T3AuthFail) {
 			authEvents[from] = append(authEvents[from], event{rec.StartTime, true})
@@ -96,8 +96,8 @@ func (a *Analysis) Durations(det *Detections) DurationsFigure {
 			t3Receivers[from][rec.ToDomain()] = true
 		}
 	}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		from := rec.FromDomain()
 		if rec.Succeeded() && t3Receivers[from][rec.ToDomain()] {
 			authEvents[from] = append(authEvents[from], event{rec.EndTime, false})
@@ -110,16 +110,16 @@ func (a *Analysis) Durations(det *Detections) DurationsFigure {
 	// events (successes before the first bounce delimit episodes too).
 	mxEvents := map[string][]event{}
 	t2Domains := map[string]bool{}
-	for i := range a.Records {
+	for i := 0; i < a.Records.Len(); i++ {
 		if a.Classified[i].HasType(ndr.T2ReceiverDNS) {
-			to := a.Records[i].ToDomain()
+			to := a.Records.At(i).ToDomain()
 			if _, isTypo := det.DomainTypos[to]; !isTypo {
 				t2Domains[to] = true
 			}
 		}
 	}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		to := rec.ToDomain()
 		if !t2Domains[to] {
 			continue
@@ -135,8 +135,8 @@ func (a *Analysis) Durations(det *Detections) DurationsFigure {
 	// --- Mailbox full (T9) per recipient address.
 	fullEvents := map[string][]event{}
 	t9Addrs := det.FullMailboxes
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		if !t9Addrs[rec.To] {
 			continue
 		}

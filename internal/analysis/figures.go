@@ -157,8 +157,8 @@ func (a *Analysis) InfraMatrix(minEmails, n int) InfraMatrix {
 	type cell struct{ emails, timeouts int }
 	cells := map[[2]string]*cell{}
 	rcvrTotals := map[string]*cell{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		// Attribute per attempt: each attempt has a proxy and may be a
 		// timeout; email-level N2 counts an email once per sender CC it
 		// timed out from.
@@ -282,8 +282,8 @@ func (a *Analysis) LatencyByCountry(minEmails int) LatencyStats {
 	}
 	perCC := map[string][]float64{}
 	var global, fast, slow []float64
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		if !rec.Succeeded() {
 			continue
 		}

@@ -18,8 +18,8 @@ func (a *Analysis) MTACountryDistribution() []MTACountry {
 		return nil
 	}
 	seen := map[string]string{} // ip -> country
-	for i := range a.Records {
-		for _, ip := range a.Records[i].ToIP {
+	for i := 0; i < a.Records.Len(); i++ {
+		for _, ip := range a.Records.At(i).ToIP {
 			if ip == "" {
 				continue
 			}

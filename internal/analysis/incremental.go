@@ -1,93 +1,276 @@
 package analysis
 
 import (
+	"maps"
+	"runtime"
 	"sync"
 
 	"repro/internal/dataset"
 )
 
 // Incremental accumulates delivery records online — the always-on
-// counterpart of the batch constructors. Records feed the Drain
-// template miner and the popularity counts as they arrive; Snapshot
-// produces, at any instant, an Analysis identical to a batch run over
-// exactly the records added so far (the batch/online equivalence
-// invariant the bounced service's differential test enforces).
+// counterpart of the batch constructors. Records land in a slab store
+// as they arrive; Drain training rides a dedicated trainer goroutine
+// (StartTrainer) or is caught up lazily by Snapshot/Finish, and
+// Snapshot produces, at any instant, an Analysis identical to a batch
+// run over exactly the records added so far (the batch/online
+// equivalence invariant the bounced service's differential test
+// enforces).
 //
-// Add and Snapshot are safe for concurrent use. Snapshot holds the
-// ingest lock only while cloning the pipeline state; record
-// classification runs outside it, so ingestion stalls for the clone,
-// not for the full analysis.
+// Locking is split three ways so the hot paths never contend:
+//
+//   - storeMu guards the slab store and popularity counts — the only
+//     state Add touches, keeping the ingest critical section to an
+//     append and a map bump.
+//   - trainMu guards the pipeline builder and the training watermark
+//     (how many stored records Drain has absorbed). Lock order is
+//     trainMu before storeMu, never the reverse.
+//   - snapMu serializes snapshots and guards the warm-verdict cache.
+//
+// Snapshot reuse ("warm" snapshots): classification verdicts depend
+// only on the finished pipeline's match structure and labels, so when
+// those are unchanged since the previous snapshot (checked via the
+// Drain structural fingerprint plus label-map equality), the cached
+// verdicts for the previous prefix stay valid and only the new suffix
+// is classified — work proportional to the records added since, not to
+// the total. Any structural change invalidates the cache and forces a
+// full re-pass, so results are byte-identical either way.
+//
+// Add, Snapshot, and Len are safe for concurrent use.
 type Incremental struct {
-	mu      sync.Mutex
+	storeMu   sync.Mutex
+	store     dataset.RecordStore
+	counts    map[string]int
+	trainCond *sync.Cond
+	stopTrain bool
+	trainerDn chan struct{} // non-nil while a trainer goroutine runs
+
+	trainMu sync.Mutex
 	b       *PipelineBuilder
-	records []dataset.Record
-	counts  map[string]int
+	trained int // records [0,trained) are mined into b
+
+	snapMu   sync.Mutex
+	lastPipe *Pipeline
+	verdicts []ClassifiedRecord // cache: verdicts[i] classifies record i under lastPipe
+	warm     uint64
+	cold     uint64
 }
 
 // NewIncremental starts an empty accumulator (zero cfg.TopTemplates
 // selects the defaults, as in the batch constructors).
 func NewIncremental(cfg PipelineConfig) *Incremental {
-	return &Incremental{
+	inc := &Incremental{
 		b:      NewPipelineBuilder(cfg),
 		counts: make(map[string]int),
 	}
+	inc.trainCond = sync.NewCond(&inc.storeMu)
+	return inc
 }
 
-// Add absorbs one record: Drain trains on its NDR lines and the
-// popularity counts update. Order matters (template mining is
-// deterministic in line order), so feed records in stream order.
+// Add absorbs one record under a short critical section: a deep copy
+// is appended to the slab store (the caller keeps ownership of rec and
+// may mutate it afterwards) and the popularity counts update. Order
+// matters (template mining is deterministic in record order), so feed
+// records in stream order. Drain training happens asynchronously.
 func (inc *Incremental) Add(rec *dataset.Record) {
-	inc.mu.Lock()
-	inc.b.Add(rec)
+	c := rec.Clone()
+	inc.storeMu.Lock()
+	inc.store.Append(c)
 	inc.counts[rec.ToDomain()]++
-	inc.records = append(inc.records, *rec)
-	inc.mu.Unlock()
+	inc.storeMu.Unlock()
+	inc.trainCond.Signal()
 }
 
 // Len reports how many records have been added.
 func (inc *Incremental) Len() int {
-	inc.mu.Lock()
-	defer inc.mu.Unlock()
-	return len(inc.records)
+	inc.storeMu.Lock()
+	defer inc.storeMu.Unlock()
+	return inc.store.Len()
+}
+
+// Snapshots reports how many snapshots ran warm (cached verdicts kept,
+// only the new suffix classified) versus cold (full re-pass).
+func (inc *Incremental) Snapshots() (warm, cold uint64) {
+	inc.snapMu.Lock()
+	defer inc.snapMu.Unlock()
+	return inc.warm, inc.cold
+}
+
+// StartTrainer launches the dedicated training goroutine, which keeps
+// the Drain builder caught up with the store so snapshots find little
+// or no training backlog. Idempotent; pair with StopTrainer.
+func (inc *Incremental) StartTrainer() {
+	inc.storeMu.Lock()
+	if inc.trainerDn != nil {
+		inc.storeMu.Unlock()
+		return
+	}
+	inc.stopTrain = false
+	done := make(chan struct{})
+	inc.trainerDn = done
+	inc.storeMu.Unlock()
+	go inc.trainLoop(done)
+}
+
+// StopTrainer stops the trainer goroutine and waits for it to finish
+// its current stint. Safe to call when no trainer is running.
+func (inc *Incremental) StopTrainer() {
+	inc.storeMu.Lock()
+	inc.stopTrain = true
+	done := inc.trainerDn
+	inc.trainerDn = nil
+	inc.storeMu.Unlock()
+	inc.trainCond.Broadcast()
+	if done != nil {
+		<-done
+	}
+}
+
+func (inc *Incremental) trainLoop(done chan struct{}) {
+	defer close(done)
+	seen := 0
+	for {
+		inc.storeMu.Lock()
+		for !inc.stopTrain && inc.store.Len() == seen {
+			inc.trainCond.Wait()
+		}
+		stop := inc.stopTrain
+		n := inc.store.Len()
+		view := inc.store.View()
+		inc.storeMu.Unlock()
+		if n > seen {
+			inc.trainMu.Lock()
+			inc.trainTo(view, n)
+			inc.trainMu.Unlock()
+			seen = n
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+// trainTo advances the training watermark to n over an already-taken
+// store view. Caller holds trainMu.
+func (inc *Incremental) trainTo(view dataset.Records, n int) {
+	for i := inc.trained; i < n; i++ {
+		inc.b.Add(view.At(i))
+	}
+	if n > inc.trained {
+		inc.trained = n
+	}
 }
 
 // Snapshot builds an Analysis over the records added so far without
-// stopping ingestion: the pipeline state is deep-copied, labeled, and
-// trained, then the retained records are classified against the copy.
+// stopping ingestion. The builder is caught up to the store, cloned,
+// and finished outside the ingest lock; then either the cached
+// verdicts carry over and only the new suffix is classified (warm), or
+// the whole prefix is re-classified (cold, after a pipeline-structure
+// change). Suffix classification fans out across GOMAXPROCS workers
+// with a deterministic indexed merge.
 func (inc *Incremental) Snapshot(env *Environment) *Analysis {
-	inc.mu.Lock()
-	n := len(inc.records)
-	records := inc.records[:n:n]
-	counts := make(map[string]int, len(inc.counts))
-	for d, c := range inc.counts {
-		counts[d] = c
+	inc.snapMu.Lock()
+	defer inc.snapMu.Unlock()
+
+	// trainMu before storeMu: with trainMu held, the watermark cannot
+	// move, and the store length read below can only exceed it — so the
+	// clone below covers exactly the n records of this snapshot.
+	inc.trainMu.Lock()
+	inc.storeMu.Lock()
+	n := inc.store.Len()
+	view := inc.store.View()
+	counts := maps.Clone(inc.counts)
+	inc.storeMu.Unlock()
+	inc.trainTo(view, n)
+	bc := inc.b.Clone()
+	inc.trainMu.Unlock()
+
+	p := bc.FinishWarm(inc.lastPipe)
+
+	if matchLabelingEqual(p, inc.lastPipe) && len(inc.verdicts) <= n {
+		inc.warm++
+	} else {
+		inc.cold++
+		inc.verdicts = nil
 	}
-	p := inc.b.Snapshot()
-	inc.mu.Unlock()
-	return assemble(records, p, counts, env)
+	start := len(inc.verdicts)
+	if cap(inc.verdicts) < n {
+		grown := make([]ClassifiedRecord, start, n+n/4+1)
+		copy(grown, inc.verdicts)
+		inc.verdicts = grown
+	}
+	inc.verdicts = inc.verdicts[:n]
+	classifyRange(p, view, inc.verdicts, start)
+	inc.lastPipe = p
+
+	// The three-index cap isolates the returned Analysis from later
+	// cache growth into the same backing array.
+	return assemble(view, inc.verdicts[:n:n], p, counts, env)
 }
 
-// Finish consumes the accumulator into its final Analysis without the
-// snapshot copy — the batch path. The Incremental must not be used
-// afterwards.
+// Finish consumes the accumulator into its final Analysis — the batch
+// path. The Incremental must not be used afterwards.
 func (inc *Incremental) Finish(env *Environment) *Analysis {
-	inc.mu.Lock()
-	defer inc.mu.Unlock()
-	return assemble(inc.records, inc.b.Finish(), inc.counts, env)
+	inc.StopTrainer()
+	inc.trainMu.Lock()
+	inc.storeMu.Lock()
+	n := inc.store.Len()
+	view := inc.store.View()
+	counts := maps.Clone(inc.counts)
+	inc.storeMu.Unlock()
+	inc.trainTo(view, n)
+	p := inc.b.Finish()
+	inc.trainMu.Unlock()
+
+	verdicts := make([]ClassifiedRecord, n)
+	classifyRange(p, view, verdicts, 0)
+	return assemble(view, verdicts, p, counts, env)
 }
 
-// assemble classifies records with p and wires the derived indexes —
-// the shared tail of every Analysis constructor.
-func assemble(records []dataset.Record, p *Pipeline, counts map[string]int, env *Environment) *Analysis {
-	a := &Analysis{
-		Records:  records,
-		Pipeline: p,
-		Env:      env,
-		rankPos:  make(map[string]int),
+// classifyRange fills out[i] = p.ClassifyRecord(view.At(i)) for
+// i in [start, len(out)), fanning out across GOMAXPROCS workers when
+// the span is large enough to amortize them. Each slot depends only on
+// its own record, so the output is identical for any worker count.
+func classifyRange(p *Pipeline, view dataset.Records, out []ClassifiedRecord, start int) {
+	n := len(out)
+	span := n - start
+	workers := runtime.GOMAXPROCS(0)
+	if w := span / 2048; workers > w {
+		workers = w
 	}
-	a.Classified = make([]ClassifiedRecord, len(records))
-	for i := range records {
-		a.Classified[i] = p.ClassifyRecord(&records[i])
+	if workers <= 1 {
+		for i := start; i < n; i++ {
+			out[i] = p.ClassifyRecord(view.At(i))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	step := (span + workers - 1) / workers
+	for lo := start; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = p.ClassifyRecord(view.At(i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// assemble wires a classified view into an Analysis — the shared tail
+// of every constructor.
+func assemble(view dataset.Records, verdicts []ClassifiedRecord, p *Pipeline, counts map[string]int, env *Environment) *Analysis {
+	a := &Analysis{
+		Records:    view,
+		Classified: verdicts,
+		Pipeline:   p,
+		Env:        env,
+		rankPos:    make(map[string]int),
 	}
 	a.rank = dataset.RankFromCounts(counts)
 	for i, e := range a.rank {

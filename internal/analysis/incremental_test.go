@@ -4,7 +4,9 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/dataset"
 )
 
@@ -25,8 +27,8 @@ func TestIncrementalSnapshotMatchesBatchPrefix(t *testing.T) {
 		}
 		snap := inc.Snapshot(nil)
 		batch := NewFromSource(dataset.NewSliceSource(records[:n]), DefaultPipelineConfig(), nil)
-		if len(snap.Records) != n {
-			t.Fatalf("snapshot after %d records holds %d", n, len(snap.Records))
+		if snap.Records.Len() != n {
+			t.Fatalf("snapshot after %d records holds %d", n, snap.Records.Len())
 		}
 		if !reflect.DeepEqual(snap.Classified, batch.Classified) {
 			t.Fatalf("classifications diverge from batch at prefix %d", n)
@@ -65,14 +67,14 @@ func TestIncrementalSnapshotDoesNotFreezeBuilder(t *testing.T) {
 		t.Fatalf("accumulator holds %d records after snapshot + adds, want %d", got, len(records))
 	}
 	late := inc.Snapshot(nil)
-	if len(late.Records) != len(records) {
-		t.Fatalf("late snapshot holds %d records, want %d", len(late.Records), len(records))
+	if late.Records.Len() != len(records) {
+		t.Fatalf("late snapshot holds %d records, want %d", late.Records.Len(), len(records))
 	}
 	if !reflect.DeepEqual(early.Overview(), earlyOverview) {
 		t.Fatal("early snapshot mutated by later ingestion")
 	}
-	if len(early.Records) != half {
-		t.Fatalf("early snapshot grew to %d records", len(early.Records))
+	if early.Records.Len() != half {
+		t.Fatalf("early snapshot grew to %d records", early.Records.Len())
 	}
 }
 
@@ -93,8 +95,8 @@ func TestIncrementalConcurrentAddSnapshot(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < 4; i++ {
 			a := inc.Snapshot(nil)
-			if len(a.Records) > len(records) {
-				t.Errorf("snapshot holds %d records, more than ever added", len(a.Records))
+			if a.Records.Len() > len(records) {
+				t.Errorf("snapshot holds %d records, more than ever added", a.Records.Len())
 			}
 		}
 	}()
@@ -102,4 +104,180 @@ func TestIncrementalConcurrentAddSnapshot(t *testing.T) {
 	if inc.Len() != len(records) {
 		t.Fatalf("accumulator holds %d records, want %d", inc.Len(), len(records))
 	}
+}
+
+// TestIncrementalAddCopiesRecord is the aliasing regression test: Add
+// must deep-copy the record so callers can reuse or mutate theirs (the
+// parallel decoder recycles record buffers chunk by chunk).
+func TestIncrementalAddCopiesRecord(t *testing.T) {
+	records := testCorpus()
+	ref := testCorpus() // deterministic second copy, untouched by the clobbering below
+	inc := NewIncremental(DefaultPipelineConfig())
+	for i := range records {
+		inc.Add(&records[i])
+		// Clobber everything the caller still owns — struct fields and
+		// the slice backing arrays (a pooled decoder reuses both).
+		records[i].To = "clobbered@evil.com"
+		for j := range records[i].DeliveryResult {
+			records[i].DeliveryResult[j] = "599 clobbered"
+		}
+		for j := range records[i].DeliveryLatency {
+			records[i].DeliveryLatency[j] = -1
+		}
+	}
+	snap := inc.Snapshot(nil)
+	for i := 0; i < snap.Records.Len(); i++ {
+		got, want := snap.Records.At(i), &ref[i]
+		if got.To != want.To || !reflect.DeepEqual(got.DeliveryResult, want.DeliveryResult) {
+			t.Fatalf("record %d aliased the caller's buffer: got %+v want %+v", i, got, want)
+		}
+	}
+	batch := NewFromSource(dataset.NewSliceSource(ref), DefaultPipelineConfig(), nil)
+	if !reflect.DeepEqual(snap.Classified, batch.Classified) {
+		t.Fatal("classifications diverge after caller-side mutation")
+	}
+}
+
+// TestIncrementalWarmSnapshotMatchesBatch: re-adding records whose NDR
+// lines the template miner has already absorbed leaves the pipeline
+// structure unchanged, so the second snapshot must take the warm path
+// (cached verdicts + suffix-only classification) and still be
+// byte-identical to a batch run over all records.
+func TestIncrementalWarmSnapshotMatchesBatch(t *testing.T) {
+	records := testCorpus()
+	inc := NewIncremental(DefaultPipelineConfig())
+	for i := range records {
+		inc.Add(&records[i])
+	}
+	inc.Snapshot(nil)
+	if w, c := inc.Snapshots(); w != 0 || c != 1 {
+		t.Fatalf("first snapshot: warm=%d cold=%d, want 0/1", w, c)
+	}
+	// The suffix repeats the corpus: identical line shapes and label
+	// proportions, so neither the Drain fingerprint nor any majority
+	// vote can move.
+	all := append(append([]dataset.Record(nil), records...), records...)
+	for i := range records {
+		inc.Add(&records[i])
+	}
+	snap := inc.Snapshot(nil)
+	if w, c := inc.Snapshots(); w != 1 || c != 1 {
+		t.Fatalf("second snapshot: warm=%d cold=%d, want 1/1", w, c)
+	}
+	batch := NewFromSource(dataset.NewSliceSource(all), DefaultPipelineConfig(), nil)
+	if !reflect.DeepEqual(snap.Classified, batch.Classified) {
+		t.Fatal("warm snapshot classifications diverge from batch")
+	}
+	if !reflect.DeepEqual(snap.Overview(), batch.Overview()) {
+		t.Fatal("warm snapshot overview diverges from batch")
+	}
+	if !reflect.DeepEqual(snap.TypeDistribution(), batch.TypeDistribution()) {
+		t.Fatal("warm snapshot Table 1 diverges from batch")
+	}
+	if !reflect.DeepEqual(snap.InEmailRank(), batch.InEmailRank()) {
+		t.Fatal("warm snapshot rank diverges from batch")
+	}
+}
+
+// TestIncrementalColdOnNewTemplate: a structurally novel NDR line
+// founds a new Drain group, which must invalidate the verdict cache
+// (cold snapshot) — and the re-pass must still equal the batch run.
+func TestIncrementalColdOnNewTemplate(t *testing.T) {
+	records := testCorpus()
+	inc := NewIncremental(DefaultPipelineConfig())
+	for i := range records {
+		inc.Add(&records[i])
+	}
+	inc.Snapshot(nil)
+	novel := rec("a@s.com", "u1@novel.com", clock.StudyStart.Add(10*time.Hour),
+		"584 frobnication reactor deadline wobbled at node seven")
+	inc.Add(&novel)
+	all := append(append([]dataset.Record(nil), records...), novel)
+	snap := inc.Snapshot(nil)
+	if w, c := inc.Snapshots(); w != 0 || c != 2 {
+		t.Fatalf("after novel template: warm=%d cold=%d, want 0/2", w, c)
+	}
+	batch := NewFromSource(dataset.NewSliceSource(all), DefaultPipelineConfig(), nil)
+	if !reflect.DeepEqual(snap.Classified, batch.Classified) {
+		t.Fatal("cold re-pass diverges from batch")
+	}
+	if !reflect.DeepEqual(snap.TypeDistribution(), batch.TypeDistribution()) {
+		t.Fatal("cold re-pass Table 1 diverges from batch")
+	}
+}
+
+// TestIncrementalTrainerConcurrent runs the dedicated trainer
+// goroutine against concurrent adders and snapshotters (the bounced
+// topology) under the race detector, then checks the final snapshot
+// still equals the batch run.
+func TestIncrementalTrainerConcurrent(t *testing.T) {
+	records := testCorpus()
+	inc := NewIncremental(DefaultPipelineConfig())
+	inc.StartTrainer()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := range records {
+			inc.Add(&records[i])
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			inc.Snapshot(nil)
+		}
+	}()
+	wg.Wait()
+	final := inc.Finish(nil) // Finish stops the trainer
+	batch := NewFromSource(dataset.NewSliceSource(records), DefaultPipelineConfig(), nil)
+	if !reflect.DeepEqual(final.Classified, batch.Classified) {
+		t.Fatal("trainer-fed analysis diverges from batch")
+	}
+}
+
+// TestWarmSnapshotFasterThanCold is the benchmark-backed acceptance
+// check: with a large stored prefix and a small dirty suffix, a warm
+// snapshot must run at least 5x faster than a cold one, because it
+// classifies only the suffix instead of the whole corpus.
+func TestWarmSnapshotFasterThanCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive benchmark test")
+	}
+	base := testCorpus()
+	const copies = 40 // ~23k records; templates saturate within the first copy
+	inc := NewIncremental(DefaultPipelineConfig())
+	for c := 0; c < copies; c++ {
+		for i := range base {
+			inc.Add(&base[i])
+		}
+	}
+	coldStart := time.Now()
+	inc.Snapshot(nil)
+	cold := time.Since(coldStart)
+	if _, c := inc.Snapshots(); c != 1 {
+		t.Fatal("first snapshot was not cold")
+	}
+
+	warm := time.Duration(1 << 62)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 64; i++ {
+			inc.Add(&base[i%len(base)])
+		}
+		start := time.Now()
+		inc.Snapshot(nil)
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+	}
+	if w, _ := inc.Snapshots(); w != 3 {
+		t.Fatalf("warm snapshots: %d, want 3", w)
+	}
+	if cold < 5*warm {
+		t.Fatalf("warm snapshot not ≥5x faster: cold=%v warm=%v (%.1fx)",
+			cold, warm, float64(cold)/float64(warm))
+	}
+	t.Logf("snapshot_ms_cold=%.2f snapshot_ms_warm=%.2f (%.1fx)",
+		float64(cold.Nanoseconds())/1e6, float64(warm.Nanoseconds())/1e6,
+		float64(cold)/float64(warm))
 }

@@ -11,6 +11,7 @@
 package analysis
 
 import (
+	"maps"
 	"sort"
 	"strings"
 
@@ -49,8 +50,10 @@ type Pipeline struct {
 	groupType      map[int]ndr.Type
 	groupAmbiguous map[int]bool
 	groupSamples   map[int][]string
+	sigLabeled     map[int]bool // groups labeled by signature (not vote)
 	manualLabels   int
 	manualCoverage float64 // share of NDRs covered by the labeled top templates
+	trainHash      uint64  // hash of the EBRC training set, for warm reuse
 }
 
 // PipelineBuilder accumulates NDR lines one record at a time, so the
@@ -78,10 +81,14 @@ func NewPipelineBuilder(cfg PipelineConfig) *PipelineBuilder {
 	}}
 }
 
-// Add mines templates from the record's NDR lines.
+// Add mines templates from the record's NDR lines (the non-2xx
+// delivery_result entries, walked in place — rec.NDRs would allocate
+// on every record of the ingest hot path).
 func (b *PipelineBuilder) Add(rec *dataset.Record) {
-	for _, line := range rec.NDRs() {
-		b.AddLine(line)
+	for _, line := range rec.DeliveryResult {
+		if !strings.HasPrefix(line, "2") {
+			b.AddLine(line)
+		}
 	}
 }
 
@@ -116,18 +123,26 @@ func BuildPipeline(records []dataset.Record, cfg PipelineConfig) *Pipeline {
 }
 
 // Finish labels the mined templates, trains the EBRC, and returns the
-// ready pipeline. The builder must not be reused afterwards.
+// ready pipeline. The builder must not be reused afterwards (the
+// parser is frozen; further Train calls panic).
 func (b *PipelineBuilder) Finish() *Pipeline {
-	return finishPipeline(b.p, b.total)
+	return finishPipeline(b.p, b.total, nil)
 }
 
-// Snapshot labels and trains a pipeline over everything mined so far
-// WITHOUT consuming the builder: the Drain tree and line samples are
-// deep-copied, so the builder keeps absorbing new records while the
-// snapshot serves classifications. A snapshot over N records is
-// identical to the pipeline Finish would produce after those same N
-// records — the invariant behind the online report path.
-func (b *PipelineBuilder) Snapshot() *Pipeline {
+// FinishWarm is Finish, reusing work from prev — a finished pipeline
+// from an EARLIER point of the same builder lineage — where provably
+// equivalent: the EBRC is retrained only when the training set hash
+// moved, and majority-vote template predictions carry over when the
+// classifier and the group's sample set are unchanged. The result is
+// identical to Finish's; only the cost differs.
+func (b *PipelineBuilder) FinishWarm(prev *Pipeline) *Pipeline {
+	return finishPipeline(b.p, b.total, prev)
+}
+
+// Clone deep-copies the builder (Drain tree, samples, labels), so the
+// original keeps absorbing new records while the clone is finished for
+// a point-in-time snapshot.
+func (b *PipelineBuilder) Clone() *PipelineBuilder {
 	src := b.p
 	p := &Pipeline{
 		Parser:         src.Parser.Clone(),
@@ -145,7 +160,15 @@ func (b *PipelineBuilder) Snapshot() *Pipeline {
 	for id, lines := range src.groupSamples {
 		p.groupSamples[id] = append([]string(nil), lines...)
 	}
-	return finishPipeline(p, b.total)
+	return &PipelineBuilder{p: p, total: b.total}
+}
+
+// Snapshot labels and trains a pipeline over everything mined so far
+// WITHOUT consuming the builder. A snapshot over N records is
+// identical to the pipeline Finish would produce after those same N
+// records — the invariant behind the online report path.
+func (b *PipelineBuilder) Snapshot() *Pipeline {
+	return b.Clone().Finish()
 }
 
 // Total reports how many NDR lines the builder has absorbed.
@@ -153,14 +176,20 @@ func (b *PipelineBuilder) Total() int { return b.total }
 
 // finishPipeline runs the post-mining steps (template labeling, EBRC
 // training, majority-vote prediction) over an already-mined pipeline.
-func finishPipeline(p *Pipeline, total int) *Pipeline {
+// prev, when non-nil, donates provably-identical work (see FinishWarm).
+func finishPipeline(p *Pipeline, total int, prev *Pipeline) *Pipeline {
 	cfg := p.cfg
+	// The pipeline is immutable from here on; freezing the parser makes
+	// Match lock-free, which the parallel classification pass needs to
+	// scale.
+	p.Parser.Freeze()
 	if total == 0 {
 		return p
 	}
 
 	// 2. "Manually" label the top templates via the catalog signatures.
 	groups := p.Parser.Groups()
+	p.sigLabeled = make(map[int]bool)
 	covered := 0
 	for i, g := range groups {
 		if i >= cfg.TopTemplates {
@@ -172,6 +201,7 @@ func finishPipeline(p *Pipeline, total int) *Pipeline {
 		}
 		p.groupType[g.ID] = typ
 		p.groupAmbiguous[g.ID] = amb
+		p.sigLabeled[g.ID] = true
 		p.manualLabels++
 		covered += g.Count
 	}
@@ -180,13 +210,21 @@ func finishPipeline(p *Pipeline, total int) *Pipeline {
 	// 3. Build the training set: per type, raw lines matched by its
 	// labeled non-ambiguous templates, balanced across templates.
 	samples := p.trainingSamples()
+	p.trainHash = hashSamples(samples)
 	if len(samples) == 0 {
 		return p
 	}
-	p.Classifier = ebrc.Train(samples)
+	if prev != nil && prev.Classifier != nil && prev.trainHash == p.trainHash {
+		// ebrc.Train is deterministic and the classifier immutable, so
+		// an identical training set means an identical model.
+		p.Classifier = prev.Classifier
+	} else {
+		p.Classifier = ebrc.Train(samples)
+	}
 
 	// 4. Predict the remaining templates by majority vote over their
 	// sampled raw messages.
+	reuse := prev != nil && p.Classifier == prev.Classifier
 	for _, g := range groups {
 		if _, done := p.groupType[g.ID]; done {
 			continue
@@ -196,9 +234,51 @@ func finishPipeline(p *Pipeline, total int) *Pipeline {
 			p.groupType[g.ID] = ndr.T16Unknown
 			continue
 		}
+		if reuse && !prev.sigLabeled[g.ID] && !prev.groupAmbiguous[g.ID] {
+			// Samples are append-only within one builder lineage, so an
+			// unchanged count means unchanged content — the vote over
+			// them under the same model cannot move.
+			if pt, ok := prev.groupType[g.ID]; ok && len(prev.groupSamples[g.ID]) == len(lines) {
+				p.groupType[g.ID] = pt
+				continue
+			}
+		}
 		p.groupType[g.ID] = p.Classifier.PredictTemplate(lines)
 	}
 	return p
+}
+
+// hashSamples fingerprints an EBRC training set (FNV-1a over type and
+// text of every sample, in order).
+func hashSamples(samples []ebrc.Sample) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) { h = (h ^ uint64(b)) * 1099511628211 }
+	for _, s := range samples {
+		mix(byte(s.Type))
+		for i := 0; i < len(s.Text); i++ {
+			mix(s.Text[i])
+		}
+		mix(0xff)
+	}
+	return h
+}
+
+// matchLabelingEqual reports whether two finished pipelines classify
+// every line THEY BOTH SAW DURING TRAINING identically: same Drain
+// structure (fingerprint) and same per-group labels. Lines trained
+// into the parser always Match their group (absorption requires
+// similarity ≥ threshold, and wildcarding only raises similarity), so
+// the EBRC — consulted only for unmatched lines — does not bear on
+// verdicts for retained records and is excluded from this check.
+func matchLabelingEqual(a, b *Pipeline) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Parser.Fingerprint() != b.Parser.Fingerprint() {
+		return false
+	}
+	return maps.Equal(a.groupType, b.groupType) &&
+		maps.Equal(a.groupAmbiguous, b.groupAmbiguous)
 }
 
 // sampleLine keeps up to PredictSample raw lines per group (reservoir

@@ -123,8 +123,8 @@ func (a *Analysis) detectAttackers(d *Detections) {
 		total      int
 	}
 	agg := map[string]*senderAgg{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		s := agg[rec.FromDomain()]
 		if s == nil {
 			s = &senderAgg{recipients: map[string]bool{}, t8PerRcvr: map[string]int{}}
@@ -158,8 +158,8 @@ func (a *Analysis) detectAttackers(d *Detections) {
 	// Quantify.
 	guessTargets := map[string]bool{}
 	guessHits := map[string]bool{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		if victim, ok := d.GuessingSenders[rec.FromDomain()]; ok && rec.ToDomain() == victim {
 			guessTargets[rec.To] = true
 			if rec.Succeeded() {
@@ -192,8 +192,8 @@ func (a *Analysis) detectTypos(d *Detections) {
 		okBy   map[string][]string // domain -> successful locals
 	}
 	per := map[string]*senderIO{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		s := per[rec.From]
 		if s == nil {
 			s = &senderIO{failed: map[string]bool{}, okBy: map[string][]string{}}
@@ -249,8 +249,8 @@ func (a *Analysis) detectTypos(d *Detections) {
 // classified T2 (DNS failure) and that never accepted an email.
 func (a *Analysis) neverResolvedDomains() []string {
 	status := map[string]int{} // 0 unseen, 1 only-T2, 2 had other outcome
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		domain := rec.ToDomain()
 		onlyT2 := !rec.Succeeded()
 		for _, t := range a.Classified[i].AttemptTypes {
@@ -280,8 +280,8 @@ func (a *Analysis) neverResolvedDomains() []string {
 // detectMailboxStates collects inactive and full recipients from NDR
 // text.
 func (a *Analysis) detectMailboxStates(d *Detections) {
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		c := &a.Classified[i]
 		for j, t := range c.AttemptTypes {
 			switch t {

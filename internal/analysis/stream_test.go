@@ -23,8 +23,8 @@ func TestNewFromSourceMatchesNew(t *testing.T) {
 	}()
 	streamed := NewFromSource(pipe, DefaultPipelineConfig(), nil)
 
-	if len(streamed.Records) != len(slice.Records) {
-		t.Fatalf("streamed %d records, slice %d", len(streamed.Records), len(slice.Records))
+	if streamed.Records.Len() != slice.Records.Len() {
+		t.Fatalf("streamed %d records, slice %d", streamed.Records.Len(), slice.Records.Len())
 	}
 	if !reflect.DeepEqual(streamed.Classified, slice.Classified) {
 		t.Fatal("classifications differ between streaming and slice constructors")

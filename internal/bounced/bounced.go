@@ -24,6 +24,7 @@ package bounced
 import (
 	"errors"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,12 @@ type Config struct {
 	// Seed is reported on /v1/stats so clients can reproduce the
 	// environment.
 	Seed uint64
+	// DecodeWorkers sets the NDJSON decode fan-out per ingest request
+	// (<=0 selects GOMAXPROCS).
+	DecodeWorkers int
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/ on the service mux.
+	EnablePprof bool
 }
 
 // Server is the bounce-analytics service. Create with New, mount
@@ -90,10 +97,14 @@ type Server struct {
 	ambiguous atomic.Uint64
 
 	// snapshot cache: rebuilding is skipped while no new records have
-	// been consumed since the last snapshot.
+	// been consumed since the last snapshot. snapColdMs/snapWarmMs
+	// hold the wall time of the most recent cold (full re-classify)
+	// and warm (suffix-only) snapshot builds.
 	snapMu     sync.Mutex
 	snapStudy  *bounce.Study
 	snapAt     uint64 // consumed count the cached snapshot covers
+	snapColdMs float64
+	snapWarmMs float64
 	snapTaken  atomic.Uint64
 	startedAt  time.Time
 	closed     atomic.Bool
@@ -117,6 +128,7 @@ func New(cfg Config) *Server {
 	for _, t := range ndr.AllTypes {
 		s.typeHits[t] = new(atomic.Uint64)
 	}
+	s.inc.StartTrainer()
 	s.consumerWG.Add(1)
 	go s.consume()
 	return s
@@ -133,11 +145,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
 // Ingest queues one record from an in-process producer (the -generate
 // delivery engine), under the same backpressure as HTTP ingestion.
+// The live metrics update here, on the producer's goroutine, so many
+// concurrent producers observe in parallel instead of serializing on
+// the single store consumer.
 func (s *Server) Ingest(rec *dataset.Record) error {
 	if s.closed.Load() {
 		return ErrIngestClosed
@@ -146,11 +168,14 @@ func (s *Server) Ingest(rec *dataset.Record) error {
 		return ErrIngestClosed
 	}
 	s.accepted.Add(1)
+	s.observe(rec)
 	return nil
 }
 
 // consume is the single store writer: it drains the queue into the
-// incremental analysis and maintains the live classification counters.
+// incremental analysis store. The store append is a short critical
+// section (Drain training rides the Incremental's own trainer
+// goroutine), so the consumer keeps pace with many producers.
 func (s *Server) consume() {
 	defer s.consumerWG.Done()
 	defer func() {
@@ -165,7 +190,6 @@ func (s *Server) consume() {
 			return
 		}
 		s.inc.Add(rec)
-		s.observe(rec)
 		s.consumed.Add(1)
 		s.consumedMu.Lock()
 		s.consumedCond.Broadcast()
@@ -223,6 +247,7 @@ func (s *Server) Drain() uint64 {
 		s.queue.Close()
 	}
 	s.consumerWG.Wait()
+	s.inc.StopTrainer()
 	return s.consumed.Load()
 }
 
@@ -233,6 +258,7 @@ func (s *Server) Abort() {
 	s.closed.Store(true)
 	s.queue.CloseRead()
 	s.consumerWG.Wait()
+	s.inc.StopTrainer()
 }
 
 // Accepted reports how many records ingestion has admitted.

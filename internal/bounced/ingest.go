@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strings"
@@ -58,32 +59,43 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sc := bufio.NewScanner(reader)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	accepted, line := 0, 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	// Decode fans out across workers while this goroutine queues the
+	// in-order results; records surface strictly in body order, so the
+	// accepted prefix before a malformed line is exactly what a serial
+	// scan would have admitted.
+	pr := dataset.NewParallelReader(reader, s.cfg.DecodeWorkers)
+	defer pr.Close()
+	accepted := 0
+	for {
+		rec, ok := pr.Next()
+		if !ok {
+			break
 		}
-		var rec dataset.Record
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			s.badLines.Add(1)
-			httpError(w, http.StatusBadRequest, line, accepted, err.Error())
-			return
-		}
-		if err := s.Ingest(&rec); err != nil {
-			httpError(w, http.StatusServiceUnavailable, line, accepted, err.Error())
+		// The reader reuses its record buffers once a chunk is consumed,
+		// but the queue holds the pointer until the store folds it in —
+		// copy the (small) struct out; its strings and slices are fresh
+		// per-record allocations and safe to share.
+		c := *rec
+		if err := s.Ingest(&c); err != nil {
+			httpError(w, http.StatusServiceUnavailable, pr.Line(), accepted, err.Error())
 			return
 		}
 		accepted++
 	}
-	if err := sc.Err(); err != nil {
-		// Mid-body read failures (truncated gzip, dropped connection)
-		// still report how far ingestion got.
+	if err := pr.Err(); err != nil {
 		s.badLines.Add(1)
-		httpError(w, http.StatusBadRequest, line+1, accepted, err.Error())
+		var le *dataset.LineError
+		if errors.As(err, &le) {
+			line := le.Line
+			if le.After {
+				// Mid-body read failures (truncated gzip, dropped
+				// connection) still report how far ingestion got.
+				line++
+			}
+			httpError(w, http.StatusBadRequest, line, accepted, le.Err.Error())
+			return
+		}
+		httpError(w, http.StatusBadRequest, 0, accepted, err.Error())
 		return
 	}
 	s.batches.Add(1)

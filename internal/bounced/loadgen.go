@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,12 @@ type LoadgenConfig struct {
 	Workers int
 	// Gzip compresses request bodies (Content-Encoding: gzip).
 	Gzip bool
+	// WarmRecords, when positive, re-posts that many head records
+	// after the main replay and snapshots again: the re-posted lines
+	// are structurally known to the template miner, so the second
+	// snapshot exercises the warm (suffix-only) path and its duration
+	// lands in SnapshotMsWarm. Zero skips the warm phase.
+	WarmRecords int
 	// Progress, when set, receives one line per ~100 batches.
 	Progress io.Writer
 }
@@ -47,6 +54,17 @@ type LoadgenResult struct {
 	ClassifyP99NS  float64 `json:"classify_p99_ns"`
 	ClassifyCount  uint64  `json:"classify_count"`
 	ServerConsumed uint64  `json:"server_consumed"`
+	// SnapshotMsCold is the server's full-corpus snapshot build time;
+	// SnapshotMsWarm (WarmRecords>0 only) the suffix-only rebuild after
+	// re-posting head records, with SnapshotWarm confirming the server
+	// actually took the warm path.
+	SnapshotMsCold float64 `json:"snapshot_ms_cold"`
+	SnapshotMsWarm float64 `json:"snapshot_ms_warm,omitempty"`
+	SnapshotWarm   bool    `json:"snapshot_warm"`
+	// AllocsPerRecord is the client-measured heap allocation count of
+	// the fast NDJSON decode path over the corpus head.
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	Timestamp       string  `json:"timestamp"`
 }
 
 // Loadgen replays cfg.Path against cfg.URL as NDJSON batches. Memory
@@ -137,7 +155,103 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 	if err := fetchServerStats(client, cfg.URL, res); err != nil {
 		return nil, err
 	}
+	if err := warmPhase(client, cfg, res); err != nil {
+		return nil, err
+	}
+	if allocs, err := measureDecodeAllocs(cfg.Path); err == nil {
+		res.AllocsPerRecord = allocs
+	}
+	res.Timestamp = time.Now().UTC().Format(time.RFC3339)
 	return res, nil
+}
+
+// warmPhase re-posts the corpus head and snapshots again so the run
+// also measures the incremental engine's warm path. The extra records
+// land after ServerConsumed was captured, keeping the main accounting
+// untouched.
+func warmPhase(client *http.Client, cfg LoadgenConfig, res *LoadgenResult) error {
+	if cfg.WarmRecords <= 0 {
+		return nil
+	}
+	lines, err := headLines(cfg.Path, cfg.WarmRecords)
+	if err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	for _, l := range lines {
+		body.Write(l)
+		body.WriteByte('\n')
+	}
+	if err := postBatch(client, cfg, body.Bytes(), len(lines)); err != nil {
+		return err
+	}
+	if resp, err := http.Post(cfg.URL+"/v1/snapshot", "", nil); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := client.Get(cfg.URL + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	res.SnapshotMsWarm = st.SnapshotMsWarm
+	res.SnapshotWarm = st.SnapshotsWarm > 0
+	return nil
+}
+
+// headLines reads up to n non-empty raw NDJSON lines from the
+// (optionally gzipped) record file.
+func headLines(path string, n int) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd, err := dataset.NewDecodingReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out [][]byte
+	for len(out) < n && sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		out = append(out, append([]byte(nil), sc.Bytes()...))
+	}
+	return out, sc.Err()
+}
+
+// measureDecodeAllocs reports heap allocations per record of the fast
+// NDJSON decode path over the corpus head — the client-side twin of
+// the BenchmarkDecoderDecode -benchmem figure, recorded in
+// BENCH_bounced.json so regressions show up in the bench history.
+func measureDecodeAllocs(path string) (float64, error) {
+	lines, err := headLines(path, 2000)
+	if err != nil || len(lines) == 0 {
+		return 0, err
+	}
+	var dec dataset.Decoder
+	var rec dataset.Record
+	// One untimed pass warms the decoder's scratch buffers.
+	for _, l := range lines {
+		if err := dec.Decode(l, &rec); err != nil {
+			return 0, err
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for _, l := range lines {
+		dec.Decode(l, &rec)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(len(lines)), nil
 }
 
 // scanRecordLines streams the (decoded) file, groups non-empty lines
@@ -230,5 +344,6 @@ func fetchServerStats(client *http.Client, base string, res *LoadgenResult) erro
 	res.ClassifyP99NS = st.Classify.P99NS
 	res.ClassifyCount = st.Classify.Count
 	res.ServerConsumed = st.Consumed
+	res.SnapshotMsCold = st.SnapshotMsCold
 	return nil
 }

@@ -25,7 +25,15 @@ func (s *Server) study() *bounce.Study {
 	if s.snapStudy != nil && s.snapAt == n {
 		return s.snapStudy
 	}
+	warmBefore, _ := s.inc.Snapshots()
+	t0 := time.Now()
 	a := s.inc.Snapshot(s.cfg.Env)
+	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+	if warmAfter, _ := s.inc.Snapshots(); warmAfter > warmBefore {
+		s.snapWarmMs = ms
+	} else {
+		s.snapColdMs = ms
+	}
 	st := &bounce.Study{Records: a.Records, Analysis: a}
 	st.Detections = a.Detect()
 	s.snapStudy, s.snapAt = st, n
@@ -85,13 +93,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, 0, 0, "POST only")
 		return
 	}
+	warm0, cold0 := s.inc.Snapshots()
+	t0 := time.Now()
 	st := s.study()
+	elapsedMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+	warm1, cold1 := s.inc.Snapshots()
 	labeled, coverage := st.Analysis.Pipeline.ManualLabelStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"records":        len(st.Records),
+		"records":        st.Records.Len(),
 		"templates":      st.Analysis.Pipeline.NumTemplates(),
 		"labeled":        labeled,
 		"label_coverage": coverage,
+		"elapsed_ms":     elapsedMs,
+		"warm":           warm1 > warm0,
+		"cached":         warm1 == warm0 && cold1 == cold0,
 	})
 }
 
@@ -116,6 +131,10 @@ type statsResponse struct {
 	BadLines        uint64            `json:"bad_lines"`
 	Snapshots       uint64            `json:"snapshots"`
 	SnapshotRecords uint64            `json:"snapshot_records"`
+	SnapshotsWarm   uint64            `json:"snapshots_warm"`
+	SnapshotsCold   uint64            `json:"snapshots_cold"`
+	SnapshotMsCold  float64           `json:"snapshot_ms_cold"`
+	SnapshotMsWarm  float64           `json:"snapshot_ms_warm"`
 	Degrees         map[string]uint64 `json:"degrees"`
 	Types           map[string]uint64 `json:"types,omitempty"`
 	AmbiguousLive   uint64            `json:"ambiguous_live"`
@@ -149,8 +168,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Types[t.String()] = n
 		}
 	}
+	resp.SnapshotsWarm, resp.SnapshotsCold = s.inc.Snapshots()
 	s.snapMu.Lock()
 	resp.SnapshotRecords = s.snapAt
+	resp.SnapshotMsCold = s.snapColdMs
+	resp.SnapshotMsWarm = s.snapWarmMs
 	s.snapMu.Unlock()
 	if s.cfg.PolicyMetrics != nil {
 		resp.PolicyStages = s.cfg.PolicyMetrics.Snapshot()

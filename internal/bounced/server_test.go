@@ -31,7 +31,7 @@ func fixture(t *testing.T) ([]dataset.Record, *analysis.Environment) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		st := bounce.Run(bounce.Options{Scale: bounce.ScaleTiny})
-		fixtureRecs = st.Records
+		fixtureRecs = st.Records.Flatten()
 		fixtureEnv = bounce.NewEnvironment(st.World)
 	})
 	if len(fixtureRecs) == 0 {

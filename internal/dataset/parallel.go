@@ -1,0 +1,277 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// LineError reports a failure at a specific 1-based line of a JSONL
+// stream. Decode failures carry the offending line; read failures
+// (After=true) carry the last line that was read successfully.
+type LineError struct {
+	Line  int
+	After bool
+	Err   error
+}
+
+func (e *LineError) Error() string {
+	if e.After {
+		return fmt.Sprintf("dataset: after line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("dataset: line %d: %v", e.Line, e.Err)
+}
+
+func (e *LineError) Unwrap() error { return e.Err }
+
+// ScanLines streams r line by line with the package's buffer limits,
+// calling fn with each non-empty line and its 1-based number (blank
+// lines are skipped but still numbered). fn's byte slice is only valid
+// during the call. A non-nil error from fn stops the scan and is
+// returned as-is; read errors are wrapped in a *LineError.
+func ScanLines(r io.Reader, fn func(line []byte, num int) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line, n); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return &LineError{Line: n, After: true, Err: err}
+	}
+	return nil
+}
+
+// Chunking bounds for ParallelReader: a chunk closes at either limit,
+// so chunk boundaries depend only on the input bytes — never on worker
+// count or timing — which is what makes the record sequence invariant
+// across worker counts.
+const (
+	chunkLines = 256
+	chunkBytes = 1 << 18
+)
+
+// lineSpan locates one line inside a chunk buffer.
+type lineSpan struct {
+	off, end int
+	num      int // 1-based global line number
+}
+
+// chunk is a batch of raw lines plus the records decoded from them.
+// Chunks are pooled; done is closed by the worker that decoded it.
+type chunk struct {
+	buf   []byte
+	spans []lineSpan
+	recs  []Record
+	err   error // *LineError on the first bad line, nil otherwise
+	done  chan struct{}
+}
+
+var chunkPool = sync.Pool{New: func() any { return new(chunk) }}
+
+// ParallelReader is a RecordSource that decodes a JSONL stream on a
+// worker pool while preserving input order: a scanner goroutine slices
+// the stream into line chunks, workers decode chunks concurrently, and
+// Next yields records chunk by chunk in stream order — the same
+// order-merge discipline as delivery.ParallelRun, so the sequence is
+// byte-identical for any worker count.
+//
+// Next/Err/Line must be called from one goroutine. Close releases the
+// pipeline (safe if the stream was only partially consumed) and must
+// not race with Next.
+type ParallelReader struct {
+	jobs   chan *chunk
+	order  chan *chunk
+	cancel chan struct{}
+	once   sync.Once
+
+	cur     *chunk
+	curIdx  int
+	line    int // number of the last line yielded or faulted
+	err     error
+	readErr error // set by the scanner goroutine before closing order
+}
+
+// NewParallelReader starts decoding r with the given worker count
+// (<=0 means GOMAXPROCS).
+func NewParallelReader(r io.Reader, workers int) *ParallelReader {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelReader{
+		jobs:   make(chan *chunk, workers),
+		order:  make(chan *chunk, 2*workers+2),
+		cancel: make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	go p.scan(r)
+	return p
+}
+
+func (p *ParallelReader) worker() {
+	var d Decoder
+	for c := range p.jobs {
+		if cap(c.recs) < len(c.spans) {
+			c.recs = make([]Record, len(c.spans))
+		}
+		c.recs = c.recs[:len(c.spans)]
+		for i, sp := range c.spans {
+			if err := d.Decode(c.buf[sp.off:sp.end], &c.recs[i]); err != nil {
+				c.err = &LineError{Line: sp.num, Err: err}
+				c.recs = c.recs[:i]
+				break
+			}
+		}
+		close(c.done)
+	}
+}
+
+func (p *ParallelReader) scan(r io.Reader) {
+	defer close(p.jobs)
+	defer close(p.order)
+	c := newChunk()
+	err := ScanLines(r, func(line []byte, num int) error {
+		off := len(c.buf)
+		c.buf = append(c.buf, line...)
+		c.spans = append(c.spans, lineSpan{off, len(c.buf), num})
+		if len(c.spans) >= chunkLines || len(c.buf) >= chunkBytes {
+			if !p.emit(c) {
+				return io.EOF // cancelled; sentinel never surfaces
+			}
+			c = newChunk()
+		}
+		return nil
+	})
+	if le, ok := err.(*LineError); ok {
+		p.readErr = le
+	}
+	if len(c.spans) > 0 && err == nil {
+		p.emit(c)
+	}
+}
+
+// emit hands a chunk to the workers and to the in-order consumer; both
+// sends watch cancel so Close never strands the scanner.
+func (p *ParallelReader) emit(c *chunk) bool {
+	c.done = make(chan struct{})
+	select {
+	case p.jobs <- c:
+	case <-p.cancel:
+		return false
+	}
+	select {
+	case p.order <- c:
+	case <-p.cancel:
+		return false
+	}
+	return true
+}
+
+func newChunk() *chunk {
+	c := chunkPool.Get().(*chunk)
+	c.buf, c.spans, c.err, c.done = c.buf[:0], c.spans[:0], nil, nil
+	return c
+}
+
+// Next returns the next record in input order. The pointer is valid
+// until the following Next call.
+func (p *ParallelReader) Next() (*Record, bool) {
+	if p.err != nil {
+		return nil, false
+	}
+	for {
+		if p.cur != nil && p.curIdx < len(p.cur.recs) {
+			rec := &p.cur.recs[p.curIdx]
+			p.line = p.cur.spans[p.curIdx].num
+			p.curIdx++
+			return rec, true
+		}
+		if p.cur != nil {
+			if p.cur.err != nil {
+				p.err = p.cur.err
+				p.line = p.cur.err.(*LineError).Line
+				p.release()
+				return nil, false
+			}
+			p.release()
+		}
+		c, ok := <-p.order
+		if !ok {
+			if p.err == nil && p.readErr != nil {
+				p.err = p.readErr
+			}
+			return nil, false
+		}
+		<-c.done
+		p.cur, p.curIdx = c, 0
+	}
+}
+
+// release returns the current chunk to the pool. Safe only after the
+// chunk's done channel closed (its worker is finished with it).
+func (p *ParallelReader) release() {
+	// Drop oversize buffers instead of pooling them forever.
+	if p.cur != nil && cap(p.cur.buf) <= 4*chunkBytes {
+		chunkPool.Put(p.cur)
+	}
+	p.cur = nil
+}
+
+// Err returns the first error (always a *LineError) after Next returned
+// false, or nil at clean EOF or after a Close-triggered stop.
+func (p *ParallelReader) Err() error { return p.err }
+
+// Line returns the 1-based number of the last line consumed.
+func (p *ParallelReader) Line() int { return p.line }
+
+// Close stops the pipeline and waits for its goroutines to wind down.
+// Do not call Next concurrently with or after Close.
+func (p *ParallelReader) Close() {
+	p.once.Do(func() { close(p.cancel) })
+	if p.cur != nil {
+		p.release()
+	}
+	for c := range p.order {
+		<-c.done
+	}
+}
+
+// ParallelFileSource is an OpenParallel handle: a ParallelReader over an
+// (optionally gzipped) dataset file.
+type ParallelFileSource struct {
+	*ParallelReader
+	f io.Closer
+}
+
+// OpenParallel opens path like Open but decodes it with a
+// ParallelReader. workers<=0 means GOMAXPROCS.
+func OpenParallel(path string, workers int) (*ParallelFileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := NewDecodingReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &ParallelFileSource{ParallelReader: NewParallelReader(rd, workers), f: f}, nil
+}
+
+// Close tears down the decode pipeline and closes the file.
+func (s *ParallelFileSource) Close() error {
+	s.ParallelReader.Close()
+	return s.f.Close()
+}

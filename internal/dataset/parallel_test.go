@@ -1,0 +1,338 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// varied returns records exercising the full schema surface: empty and
+// missing arrays, spam flags, multi-attempt histories, odd characters.
+func varied(n int) []Record {
+	start := time.Date(2022, 6, 14, 8, 0, 0, 0, time.UTC)
+	out := make([]Record, n)
+	for i := range out {
+		r := Record{
+			From:            fmt.Sprintf("u%d@sender%d.example", i, i%7),
+			To:              fmt.Sprintf("v%d@rcpt%d.example", i, i%13),
+			StartTime:       start.Add(time.Duration(i) * time.Second),
+			EndTime:         start.Add(time.Duration(i)*time.Second + time.Minute),
+			FromIP:          []string{"5.0.0.1"},
+			ToIP:            []string{"20.0.0.9"},
+			DeliveryResult:  []string{"550 5.1.1 User unknown: mailbox häßlich <x@y> not found"},
+			DeliveryLatency: []int64{int64(i * 11)},
+			EmailFlag:       "Normal",
+		}
+		switch i % 5 {
+		case 1:
+			r.DeliveryResult = []string{"421 4.7.0 Try again later", "250 2.0.0 OK"}
+			r.FromIP = []string{"5.0.0.1", "5.0.0.2"}
+			r.ToIP = []string{"20.0.0.9", "20.0.0.9"}
+			r.DeliveryLatency = []int64{840, 120}
+			r.EmailFlag = "Spam"
+		case 2:
+			r.FromIP, r.ToIP, r.DeliveryResult, r.DeliveryLatency = nil, nil, nil, nil
+		case 3:
+			r.ToIP = []string{""}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TestDecoderMatchesUnmarshal differentially checks the fast path (and
+// its fallback) against encoding/json on a table of edge cases.
+func TestDecoderMatchesUnmarshal(t *testing.T) {
+	lines := []string{
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","from_ip":["5.0.0.1"],"to_ip":["20.0.0.1"],"delivery_result":["550 no"],"delivery_latency":[54854],"email_flag":"Spam"}`,
+		// whitespace everywhere
+		` { "from" : "a@x.com" , "to" : "b@y.com" , "start_time" : "2022-06-14 16:30:35" , "end_time" : "2022-06-14 16:45:19" , "from_ip" : [ "5.0.0.1" , "5.0.0.2" ] , "to_ip" : [ ] , "delivery_result" : null , "delivery_latency" : [ 1 , -2 ] , "email_flag" : "" } `,
+		// escape sequences, decoded on the fast path
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_result":["550 \"quoted\" text\\path\nline\t<x@y> é"],"email_flag":"Normal"}`,
+		// surrogate pair, lone surrogate, and an invalid escape
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_result":["ok 😀 <x@y> A end"],"email_flag":"Normal"}`,
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_result":["lone \ud83d tail","pairless \ud83dx"],"email_flag":"Normal"}`,
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_result":["bad \x escape"]}`,
+		// raw UTF-8 stays on the fast path
+		`{"from":"å@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_result":["452 böx füll"],"email_flag":"Normal"}`,
+		// empty arrays vs null vs absent
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","from_ip":[],"to_ip":null,"delivery_latency":[]}`,
+		// unknown key falls back (and is ignored there)
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","bogus":7}`,
+		// duplicate key: last wins in both paths
+		`{"from":"first@x.com","from":"second@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19"}`,
+		// errors: bad JSON, bad timestamp, impossible date, bad latency
+		`{"from":}`,
+		`not json at all`,
+		`{"from":"a@x.com","to":"b@y.com","start_time":"yesterday","end_time":"2022-06-14 16:45:19"}`,
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-02-30 16:30:35","end_time":"2022-06-14 16:45:19"}`,
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_latency":[1.5]}`,
+		`{"from":"a@x.com","to":"b@y.com","end_time":"2022-06-14 16:45:19"}`,
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19"} trailing`,
+	}
+	var d Decoder
+	for i, line := range lines {
+		var want Record
+		wantErr := json.Unmarshal([]byte(line), &want)
+		var got Record
+		gotErr := d.Decode([]byte(line), &got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("line %d: error mismatch: stdlib %v, decoder %v", i, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Errorf("line %d: error text mismatch:\nstdlib:  %v\ndecoder: %v", i, wantErr, gotErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("line %d: record mismatch:\nstdlib:  %+v\ndecoder: %+v", i, want, got)
+		}
+		// Nil-ness must match too: MarshalJSON emits null vs [].
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("line %d: re-marshal mismatch:\nstdlib:  %s\ndecoder: %s", i, wb, gb)
+		}
+	}
+}
+
+func TestDecoderRoundTripsVaried(t *testing.T) {
+	var d Decoder
+	for i, want := range varied(200) {
+		b, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Record
+		if err := d.Decode(b, &got); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// TestDecoderNoScratchAliasing: records must stay valid after the
+// decoder processes further lines (the scratch is per-call).
+func TestDecoderNoScratchAliasing(t *testing.T) {
+	recs := varied(20)
+	raws := make([][]byte, len(recs))
+	for i := range recs {
+		raws[i], _ = json.Marshal(recs[i])
+	}
+	var d Decoder
+	got := make([]Record, len(recs))
+	for i, raw := range raws {
+		if err := d.Decode(raw, &got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Fatalf("record %d mutated by later decodes", i)
+		}
+	}
+}
+
+func parallelDecodeAll(t *testing.T, data []byte, workers int) ([]Record, error) {
+	t.Helper()
+	p := NewParallelReader(bytes.NewReader(data), workers)
+	defer p.Close()
+	var out []Record
+	for {
+		rec, ok := p.Next()
+		if !ok {
+			break
+		}
+		out = append(out, rec.Clone())
+	}
+	return out, p.Err()
+}
+
+// TestParallelReaderWorkerInvariance: 1, 4, and 16 workers must yield a
+// record sequence identical to the serial ReaderSource.
+func TestParallelReaderWorkerInvariance(t *testing.T) {
+	recs := varied(3 * chunkLines) // several chunks
+	data := encodeJSONL(t, recs)
+	want := Collect(NewReaderSource(bytes.NewReader(data)))
+	for _, workers := range []int{1, 4, 16} {
+		got, err := parallelDecodeAll(t, data, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: sequence differs from serial decode", workers)
+		}
+	}
+}
+
+// TestParallelReaderMalformedMidChunk: a bad line deep in the second
+// chunk must surface the correct global line number, after yielding
+// every record before it.
+func TestParallelReaderMalformedMidChunk(t *testing.T) {
+	recs := varied(2*chunkLines + 50)
+	data := encodeJSONL(t, recs)
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	badAt := chunkLines + 100 // 1-based line number inside chunk 2
+	lines[badAt-1] = []byte(`{"from": broken`)
+	data = append(bytes.Join(lines, []byte("\n")), '\n')
+
+	for _, workers := range []int{1, 4, 16} {
+		got, err := parallelDecodeAll(t, data, workers)
+		if len(got) != badAt-1 {
+			t.Fatalf("workers=%d: got %d records before error, want %d", workers, len(got), badAt-1)
+		}
+		var le *LineError
+		if !errors.As(err, &le) {
+			t.Fatalf("workers=%d: error %v is not a LineError", workers, err)
+		}
+		if le.Line != badAt {
+			t.Fatalf("workers=%d: error line %d, want %d", workers, le.Line, badAt)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("line %d", badAt)) {
+			t.Fatalf("workers=%d: error %q does not name line %d", workers, err, badAt)
+		}
+	}
+}
+
+// TestParallelReaderTruncatedFinalLine: a record cut off mid-object is
+// a decode error on the last line.
+func TestParallelReaderTruncatedFinalLine(t *testing.T) {
+	recs := varied(10)
+	data := encodeJSONL(t, recs)
+	data = data[:len(data)-20] // chop into the final JSON object
+	got, err := parallelDecodeAll(t, data, 4)
+	if len(got) != 9 {
+		t.Fatalf("got %d records, want 9", len(got))
+	}
+	var le *LineError
+	if !errors.As(err, &le) || le.Line != 10 {
+		t.Fatalf("want LineError on line 10, got %v", err)
+	}
+}
+
+// TestParallelReaderReadError: a truncated gzip stream surfaces as a
+// positioned read error, like ReaderSource's.
+func TestParallelReaderReadError(t *testing.T) {
+	recs := varied(40)
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(encodeJSONL(t, recs))
+	zw.Close()
+	trunc := zbuf.Bytes()[:zbuf.Len()-30]
+
+	rd, err := NewDecodingReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParallelReader(rd, 4)
+	defer p.Close()
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+	}
+	err = p.Err()
+	var le *LineError
+	if !errors.As(err, &le) || !le.After {
+		t.Fatalf("want after-line LineError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "line") {
+		t.Fatalf("error %q does not mention the line position", err)
+	}
+}
+
+// TestParallelReaderEarlyClose: closing mid-stream must release the
+// pipeline without deadlocking, and blank lines keep global numbering.
+func TestParallelReaderEarlyClose(t *testing.T) {
+	recs := varied(4 * chunkLines)
+	data := encodeJSONL(t, recs)
+	data = append([]byte("\n\n"), data...) // leading blanks shift line numbers
+	p := NewParallelReader(bytes.NewReader(data), 4)
+	rec, ok := p.Next()
+	if !ok || rec == nil {
+		t.Fatal("no first record")
+	}
+	if p.Line() != 3 {
+		t.Fatalf("first record on line %d, want 3 (after two blanks)", p.Line())
+	}
+	p.Close()
+	if p.Err() != nil {
+		t.Fatalf("unexpected error after close: %v", p.Err())
+	}
+}
+
+func TestOpenParallel(t *testing.T) {
+	recs := varied(120)
+	dir := t.TempDir()
+	path := dir + "/data.jsonl"
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenParallel(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(src)
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("OpenParallel sequence differs from input")
+	}
+}
+
+func BenchmarkDecoderDecode(b *testing.B) {
+	raw, _ := json.Marshal(sampleRecord())
+	var d Decoder
+	var r Record
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Decode(raw, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkParallelDecode(b *testing.B, workers int) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := varied(5000)
+	for i := range recs {
+		w.Write(&recs[i])
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewParallelReader(bytes.NewReader(data), workers)
+		n := 0
+		for {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+			n++
+		}
+		p.Close()
+		if p.Err() != nil || n != len(recs) {
+			b.Fatalf("n=%d err=%v", n, p.Err())
+		}
+	}
+}
+
+func BenchmarkParallelDecode1(b *testing.B) { benchmarkParallelDecode(b, 1) }
+func BenchmarkParallelDecode4(b *testing.B) { benchmarkParallelDecode(b, 4) }

@@ -1,0 +1,102 @@
+package dataset
+
+// Slab sizing for RecordStore: fixed 4096-record slabs keep append cost
+// O(1) without the realloc-copy spikes of a single growing slice, and
+// make lock-free prefix reads safe — a slot, once written, is never
+// moved or rewritten.
+const (
+	slabShift = 12
+	slabSize  = 1 << slabShift
+	slabMask  = slabSize - 1
+)
+
+// Clone returns a deep copy of the record: the parallel attempt slices
+// get fresh backing arrays, so mutating the original afterwards cannot
+// alias into the copy. Nil slices stay nil (MarshalJSON distinguishes
+// null from []).
+func (r Record) Clone() Record {
+	c := r
+	c.FromIP = cloneStrings(r.FromIP)
+	c.ToIP = cloneStrings(r.ToIP)
+	c.DeliveryResult = cloneStrings(r.DeliveryResult)
+	if r.DeliveryLatency != nil {
+		c.DeliveryLatency = make([]int64, len(r.DeliveryLatency))
+		copy(c.DeliveryLatency, r.DeliveryLatency)
+	}
+	return c
+}
+
+func cloneStrings(s []string) []string {
+	if s == nil {
+		return nil
+	}
+	c := make([]string, len(s))
+	copy(c, s)
+	return c
+}
+
+// RecordStore holds records in fixed-size slabs. It is not
+// concurrency-safe by itself; callers serialize Append and take View
+// under the same lock. Slots already appended are immutable, so a View
+// taken under the lock may be read lock-free afterwards while further
+// Appends proceed.
+type RecordStore struct {
+	slabs [][]Record
+	n     int
+}
+
+// Append adds rec to the store. The store keeps rec as given — callers
+// that need isolation from later caller-side mutation pass rec.Clone().
+func (s *RecordStore) Append(rec Record) {
+	if s.n>>slabShift == len(s.slabs) {
+		s.slabs = append(s.slabs, make([]Record, 0, slabSize))
+	}
+	i := s.n >> slabShift
+	s.slabs[i] = append(s.slabs[i], rec)
+	s.n++
+}
+
+// Len returns the number of records appended so far.
+func (s *RecordStore) Len() int { return s.n }
+
+// View returns an immutable prefix view over the records appended so
+// far. The slab headers are copied, so later Appends (even ones that
+// extend the final slab in place) are invisible to the view.
+func (s *RecordStore) View() Records {
+	slabs := make([][]Record, len(s.slabs))
+	copy(slabs, s.slabs)
+	return Records{slabs: slabs, n: s.n}
+}
+
+// Records is a read-only, index-addressable view over a sequence of
+// records — either a plain slice or a RecordStore prefix. It is a small
+// value (copy freely); the underlying records must not be mutated.
+type Records struct {
+	flat  []Record
+	slabs [][]Record
+	n     int
+}
+
+// SliceRecords wraps a plain slice as a Records view.
+func SliceRecords(rs []Record) Records { return Records{flat: rs, n: len(rs)} }
+
+// Len returns the number of records in the view.
+func (v Records) Len() int { return v.n }
+
+// At returns the i-th record. The pointer stays valid for the lifetime
+// of the view; callers must not mutate through it.
+func (v Records) At(i int) *Record {
+	if v.flat != nil {
+		return &v.flat[i]
+	}
+	return &v.slabs[i>>slabShift][i&slabMask]
+}
+
+// Flatten copies the view into a new contiguous slice.
+func (v Records) Flatten() []Record {
+	out := make([]Record, v.n)
+	for i := 0; i < v.n; i++ {
+		out[i] = *v.At(i)
+	}
+	return out
+}

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"compress/gzip"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -151,6 +150,7 @@ func (p *Pipe) Next() (*Record, bool) {
 // dataset. Check Err after Next returns false.
 type ReaderSource struct {
 	sc   *bufio.Scanner
+	dec  Decoder
 	cur  Record
 	line int
 	err  error
@@ -172,9 +172,8 @@ func (s *ReaderSource) Next() (*Record, bool) {
 		if len(s.sc.Bytes()) == 0 {
 			continue
 		}
-		s.cur = Record{}
-		if err := json.Unmarshal(s.sc.Bytes(), &s.cur); err != nil {
-			s.err = fmt.Errorf("dataset: line %d: %w", s.line, err)
+		if err := s.dec.Decode(s.sc.Bytes(), &s.cur); err != nil {
+			s.err = &LineError{Line: s.line, Err: err}
 			return nil, false
 		}
 		return &s.cur, true
@@ -182,7 +181,7 @@ func (s *ReaderSource) Next() (*Record, bool) {
 	if err := s.sc.Err(); err != nil {
 		// Read-layer failures (e.g. a truncated gzip stream) carry the
 		// position too, so operators know how far the stream got.
-		s.err = fmt.Errorf("dataset: after line %d: %w", s.line, err)
+		s.err = &LineError{Line: s.line, After: true, Err: err}
 	}
 	return nil, false
 }

@@ -60,7 +60,9 @@ type node struct {
 	groups   []*Group // only at leaves
 }
 
-// Parser is the Drain miner. It is safe for concurrent use.
+// Parser is the Drain miner. It is safe for concurrent use. A parser
+// that has stopped training can be Frozen, which lets Match and Groups
+// skip the mutex entirely.
 type Parser struct {
 	cfg Config
 
@@ -68,6 +70,8 @@ type Parser struct {
 	root   *node // first layer: token-count key
 	groups []*Group
 	nextID int
+	frozen bool
+	fp     uint64 // structural fingerprint, see Fingerprint
 }
 
 // New creates a parser; zero-value config fields fall back to defaults.
@@ -82,7 +86,55 @@ func New(cfg Config) *Parser {
 	if cfg.MaxChildren <= 0 {
 		cfg.MaxChildren = def.MaxChildren
 	}
-	return &Parser{cfg: cfg, root: &node{children: map[string]*node{}}}
+	return &Parser{cfg: cfg, root: &node{children: map[string]*node{}}, fp: fnvOffset64}
+}
+
+// FNV-1a constants for the structural fingerprint.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (p *Parser) mixByte(b byte) { p.fp = (p.fp ^ uint64(b)) * fnvPrime64 }
+
+func (p *Parser) mixInt(v int) {
+	for i := 0; i < 8; i++ {
+		p.mixByte(byte(v >> (8 * i)))
+	}
+}
+
+func (p *Parser) mixString(s string) {
+	for i := 0; i < len(s); i++ {
+		p.mixByte(s[i])
+	}
+	p.mixByte(0xff) // terminator so "ab","c" ≠ "a","bc"
+}
+
+// Fingerprint identifies the parser's match-relevant structure: it is
+// a chain over every structural mutation — group foundings (with their
+// token sequence) and template positions wildcarded — in order. Count
+// increments do not change it, because Match routes on the tree and
+// templates only: two parsers with equal fingerprints (same lineage)
+// return the same group for every line. Snapshot invalidation in
+// analysis.Incremental keys on this.
+func (p *Parser) Fingerprint() uint64 {
+	if p.frozen {
+		return p.fp
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fp
+}
+
+// Freeze marks the parser immutable: Train panics afterwards, and
+// Match, Groups, and Fingerprint stop taking the mutex — the lock-free
+// read path parallel classification depends on. Freeze must
+// happen-before any lock-free reader (publish the parser through a
+// channel, mutex, or goroutine start).
+func (p *Parser) Freeze() {
+	p.mu.Lock()
+	p.frozen = true
+	p.mu.Unlock()
 }
 
 // hasDigit reports whether a token contains a digit; such tokens are
@@ -171,6 +223,9 @@ func (p *Parser) Train(line string) *Group {
 	tokens := tokenize(line)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.frozen {
+		panic("drain: Train on frozen parser")
+	}
 	leaf := p.leafFor(tokens, true)
 
 	var best *Group
@@ -185,6 +240,8 @@ func (p *Parser) Train(line string) *Group {
 		for i := range best.tokens {
 			if best.tokens[i] != tokens[i] && best.tokens[i] != Wildcard {
 				best.tokens[i] = Wildcard
+				p.mixInt(best.ID)
+				p.mixInt(i)
 			}
 		}
 		best.Count++
@@ -194,6 +251,10 @@ func (p *Parser) Train(line string) *Group {
 	p.nextID++
 	leaf.groups = append(leaf.groups, g)
 	p.groups = append(p.groups, g)
+	p.mixInt(g.ID)
+	for _, tok := range tokens {
+		p.mixString(tok)
+	}
 	return g
 }
 
@@ -201,8 +262,10 @@ func (p *Parser) Train(line string) *Group {
 // returns nil when no group is similar enough.
 func (p *Parser) Match(line string) *Group {
 	tokens := tokenize(line)
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if !p.frozen {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
 	leaf := p.leafFor(tokens, false)
 	if leaf == nil {
 		return nil
@@ -225,10 +288,12 @@ func (p *Parser) Match(line string) *Group {
 // frozen for a point-in-time snapshot (the online report path). Group
 // IDs, counts, and template tokens are preserved exactly, which keeps
 // a clone's classifications identical to the original's at clone time.
+// The clone is unfrozen (trainable) regardless of the original's state,
+// and inherits the structural fingerprint.
 func (p *Parser) Clone() *Parser {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	q := &Parser{cfg: p.cfg, nextID: p.nextID}
+	q := &Parser{cfg: p.cfg, nextID: p.nextID, fp: p.fp}
 	copies := make(map[*Group]*Group, len(p.groups))
 	q.groups = make([]*Group, len(p.groups))
 	for i, g := range p.groups {
@@ -257,8 +322,10 @@ func cloneNode(n *node, copies map[*Group]*Group) *node {
 // Groups returns all groups ordered by descending count (the paper's
 // template ranking for manual labeling), ties broken by ID.
 func (p *Parser) Groups() []*Group {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if !p.frozen {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
 	out := make([]*Group, len(p.groups))
 	copy(out, p.groups)
 	sort.Slice(out, func(i, j int) bool {
@@ -272,7 +339,9 @@ func (p *Parser) Groups() []*Group {
 
 // NumGroups returns the number of mined templates.
 func (p *Parser) NumGroups() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if !p.frozen {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
 	return len(p.groups)
 }

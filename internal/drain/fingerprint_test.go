@@ -1,0 +1,120 @@
+package drain
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFingerprintStableUnderRepeats: retraining lines the parser has
+// already absorbed only bumps counts, so the fingerprint must not move
+// — that is what lets snapshot caching survive duplicate traffic.
+func TestFingerprintStableUnderRepeats(t *testing.T) {
+	p := New(Config{})
+	lines := []string{
+		"550 user unknown in virtual mailbox table",
+		"421 service not available try later",
+		"550 user vanished in virtual mailbox table",
+	}
+	for _, l := range lines {
+		p.Train(l)
+	}
+	fp := p.Fingerprint()
+	if fp == fnvOffset64 {
+		t.Fatal("fingerprint did not move after founding groups")
+	}
+	for i := 0; i < 50; i++ {
+		p.Train(lines[i%len(lines)])
+	}
+	if got := p.Fingerprint(); got != fp {
+		t.Fatalf("fingerprint changed on count-only training: %x -> %x", fp, got)
+	}
+	// A structurally new line must change it.
+	p.Train("999 something entirely different shape here")
+	if got := p.Fingerprint(); got == fp {
+		t.Fatal("fingerprint unchanged after founding a new group")
+	}
+}
+
+// TestFingerprintChangesOnWildcard: absorbing a similar-but-different
+// line mutates the template (wildcard merge) and must move the
+// fingerprint even though no group was founded.
+func TestFingerprintChangesOnWildcard(t *testing.T) {
+	p := New(Config{})
+	p.Train("550 mailbox alice is full today")
+	before := p.NumGroups()
+	fp := p.Fingerprint()
+	p.Train("550 mailbox bobby is full today")
+	if p.NumGroups() != before {
+		t.Fatal("expected a merge, not a new group")
+	}
+	if p.Fingerprint() == fp {
+		t.Fatal("fingerprint unchanged after template wildcarding")
+	}
+}
+
+func TestClonePreservesFingerprint(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 20; i++ {
+		p.Train(fmt.Sprintf("550 user u%d unknown on host h%d", i, i%3))
+	}
+	c := p.Clone()
+	if c.Fingerprint() != p.Fingerprint() {
+		t.Fatal("clone fingerprint differs")
+	}
+	// Diverge the clone; the original must not move.
+	fp := p.Fingerprint()
+	c.Train("brand new structural shape with many novel tokens")
+	if c.Fingerprint() == fp {
+		t.Fatal("clone fingerprint did not diverge")
+	}
+	if p.Fingerprint() != fp {
+		t.Fatal("training the clone moved the original's fingerprint")
+	}
+}
+
+// TestFrozenMatchConcurrent: after Freeze, Match and Groups run
+// lock-free; hammer them from several goroutines under -race.
+func TestFrozenMatchConcurrent(t *testing.T) {
+	p := New(Config{})
+	lines := make([]string, 40)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("550 user u%d unknown on host h%d", i, i%5)
+		p.Train(lines[i])
+	}
+	want := make([]*Group, len(lines))
+	for i, l := range lines {
+		want[i] = p.Match(l)
+	}
+	p.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				for i, l := range lines {
+					if g := p.Match(l); g != want[i] {
+						t.Errorf("frozen Match diverged for %q", l)
+						return
+					}
+				}
+				p.Groups()
+				p.Fingerprint()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTrainOnFrozenPanics(t *testing.T) {
+	p := New(Config{})
+	p.Train("550 user unknown")
+	p.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Train on frozen parser did not panic")
+		}
+	}()
+	p.Train("550 another line")
+}

@@ -138,8 +138,8 @@ func scanDomains(a *analysis.Analysis, det *analysis.Detections, cfg Config, res
 	senders := map[string]map[string]bool{}
 	emails := map[string]int{}
 	received := map[string]bool{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		to := rec.ToDomain()
 		if !vulnerable[to] {
 			continue
@@ -176,8 +176,8 @@ func scanDomains(a *analysis.Analysis, det *analysis.Detections, cfg Config, res
 	// Second exposure pass now that died-mid-study domains are included.
 	senders = map[string]map[string]bool{}
 	emails = map[string]int{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		to := rec.ToDomain()
 		if !vulnerable[to] {
 			continue
@@ -250,8 +250,8 @@ func domainLifecycle(a *analysis.Analysis) map[string]lifecycle {
 		failSeen bool
 	}
 	st := map[string]*state{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		s := st[rec.ToDomain()]
 		if s == nil {
 			s = &state{}
@@ -295,8 +295,8 @@ func scanUsernames(a *analysis.Analysis, cfg Config, res *Result) map[string]boo
 	// UI, ranked by incoming-email count.
 	counts := map[string]int{}
 	everOK := map[string]bool{}
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		provider := rec.ToDomain()
 		if env.UserRegs[provider] == nil {
 			continue
@@ -354,9 +354,9 @@ func scanUsernames(a *analysis.Analysis, cfg Config, res *Result) map[string]boo
 		}
 	}
 	// Distinct senders that mailed vulnerable usernames.
-	for i := range a.Records {
-		if vuln[a.Records[i].To] {
-			senders[a.Records[i].From] = true
+	for i := 0; i < a.Records.Len(); i++ {
+		if vuln[a.Records.At(i).To] {
+			senders[a.Records.At(i).From] = true
 		}
 	}
 	res.UsernameSenders = len(senders)
@@ -366,8 +366,8 @@ func scanUsernames(a *analysis.Analysis, cfg Config, res *Result) map[string]boo
 // timeline fills the Figure-9 weekly exposure series.
 func timeline(a *analysis.Analysis, vulnDomains, vulnUsers map[string]bool, res *Result) {
 	weekSenders := make([]map[string]bool, clock.StudyWeeks)
-	for i := range a.Records {
-		rec := &a.Records[i]
+	for i := 0; i < a.Records.Len(); i++ {
+		rec := a.Records.At(i)
 		if !vulnDomains[rec.ToDomain()] && !vulnUsers[rec.To] {
 			continue
 		}

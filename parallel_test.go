@@ -25,8 +25,8 @@ func TestWorkerCountInvariance(t *testing.T) {
 	run := func(workers int) outcome {
 		s := bounce.Run(bounce.Options{Scale: bounce.ScaleTiny, Workers: workers})
 		h := fnv.New64a()
-		for i := range s.Records {
-			b, err := json.Marshal(&s.Records[i])
+		for i := 0; i < s.Records.Len(); i++ {
+			b, err := json.Marshal(s.Records.At(i))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -40,7 +40,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		for _, row := range s.Analysis.RootCauses(s.Detections).Rows {
 			table2 = append(table2, fmt.Sprintf("%s|%s|%d", row.Type, row.Reason, row.Emails))
 		}
-		return outcome{hash: h.Sum64(), n: len(s.Records), table1: table1, table2: table2}
+		return outcome{hash: h.Sum64(), n: s.Records.Len(), table1: table1, table2: table2}
 	}
 
 	base := run(1)

@@ -68,7 +68,7 @@ func (s *Study) writeSection(w io.Writer, sec Section) error {
 // countryThreshold scales the paper's 1,000-incoming-email
 // representativeness cutoff to the corpus size (1,000 per 298M).
 func (s *Study) countryThreshold() int {
-	t := len(s.Records) / 4000
+	t := s.Records.Len() / 4000
 	if t < 50 {
 		t = 50
 	}
