@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest
+.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest chaos chaos-cli
 
 # check is the tier-1 gate plus static analysis and formatting.
 check: fmt vet build build-cmds test
@@ -29,6 +29,22 @@ test:
 # race runs the whole suite under the race detector.
 race:
 	$(GO) test -race ./...
+
+# chaos is the deterministic fault-injection soak: replay the corpus
+# through a fault-injecting server with a fault-injecting client (torn
+# bodies, truncated gzip, slow-loris, duplicate replays, 429 sheds)
+# across a fixed seed sweep, asserting the final report stays
+# byte-identical to a clean batch run and no record is lost or
+# double-counted. See DESIGN.md §9.
+chaos:
+	$(GO) test -run 'TestChaos|TestBatch|TestServerFault|TestReadDeadline|TestDrainZeroLoss' -count=1 -v ./internal/bounced/
+
+# chaos-cli drives the same drill end-to-end through the binaries:
+# generate a corpus, then chaos-replay it against a spawned server.
+chaos-cli:
+	$(GO) run ./cmd/bouncegen -emails 20000 -seed 5 -out /tmp/chaos_corpus.jsonl
+	$(GO) run ./cmd/bounced loadgen -in /tmp/chaos_corpus.jsonl -spawn -batch 256 \
+		-chaos 'torn=0.3,truncgz=0.2,dup=0.4,loris=0.1,lorispause=1ms' -seed 11 -out -
 
 # race-parallel focuses the race detector on the parallel delivery,
 # streaming, decode, and incremental-snapshot paths (fast enough for

@@ -34,6 +34,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/dataset"
 	"repro/internal/delivery"
+	"repro/internal/faultinject"
 	"repro/internal/world"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		workers = flag.Int("workers", 1, "delivery fan-out width (results are identical for any value)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
 		memProf = flag.String("memprofile", "", "write a heap profile on exit here")
+		faults  = flag.String("fault-spec", "", "with -in: replay the file through a deterministic fault-injection wrapper (DESIGN.md §9)")
 	)
 	flag.Parse()
 
@@ -96,7 +98,7 @@ func main() {
 	} else {
 		// Transparently decodes .jsonl.gz; NDJSON decode fans out across
 		// GOMAXPROCS workers with an input-order merge.
-		f, err := dataset.OpenParallel(*in, 0)
+		f, err := openDataset(*in, *faults)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,4 +138,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// recordSource is what the -in path needs: streamed records plus a
+// terminal error and a Close.
+type recordSource interface {
+	dataset.RecordSource
+	Close() error
+}
+
+// openDataset opens the record file, optionally routed through the
+// deterministic fault-injection wrapper — the offline twin of the
+// bounced ingest path, for reproducing a hostile-stream failure as a
+// batch run (same seed, same fault schedule, same line-numbered error).
+func openDataset(path, faultSpec string) (recordSource, error) {
+	if faultSpec == "" {
+		return dataset.OpenParallel(path, 0)
+	}
+	sp, err := faultinject.ParseSpec(faultSpec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	plan := faultinject.New(sp).NextPlan()
+	rd, err := dataset.NewDecodingReader(plan.WrapRaw(f))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	log.Printf("fault injection armed: %s", sp)
+	return &faultSource{ParallelReader: dataset.NewParallelReader(plan.WrapDecoded(rd), 0), f: f}, nil
+}
+
+type faultSource struct {
+	*dataset.ParallelReader
+	f *os.File
+}
+
+func (s *faultSource) Close() error {
+	s.ParallelReader.Close()
+	return s.f.Close()
 }

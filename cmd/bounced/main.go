@@ -11,6 +11,8 @@
 //	bounced -replay dataset.jsonl.gz       # preload a bouncegen file, then serve
 //	bounced loadgen -in dataset.jsonl -url http://localhost:8425
 //	bounced loadgen -in dataset.jsonl -spawn -out BENCH_bounced.json
+//	bounced -fault-spec 'seed=7,torn=0.05' -read-timeout 5s   # hostile-stream drills
+//	bounced loadgen -in dataset.jsonl -spawn -chaos 'seed=3,torn=0.3,dup=0.5'
 //
 // Endpoints: POST /v1/records (NDJSON, gzip-aware), GET /v1/report
 // ?section=table1,fig8, GET /v1/stats, POST /v1/snapshot, GET /metrics
@@ -41,6 +43,7 @@ import (
 	"repro/internal/bounced"
 	"repro/internal/dataset"
 	"repro/internal/delivery"
+	"repro/internal/faultinject"
 	"repro/internal/world"
 )
 
@@ -68,6 +71,9 @@ func serveMain(args []string) {
 		flushSec = fs.String("flush-sections", "overview", "report sections flushed to stdout on shutdown ('' to disable, 'all' for everything)")
 		decodeW  = fs.Int("decode-workers", 0, "NDJSON decode fan-out per ingest request (0 = GOMAXPROCS)")
 		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		faultArg = fs.String("fault-spec", "", "arm deterministic fault injection, e.g. 'seed=7,torn=0.05,stall=2ms' (DESIGN.md §9)")
+		readTO   = fs.Duration("read-timeout", 0, "per-request body read deadline; slow-loris cutoff (0 disables)")
+		dedupWin = fs.Int("dedup-window", 256, "idempotent X-Batch-Id dedup window, in batches")
 	)
 	fs.Parse(args)
 
@@ -78,7 +84,18 @@ func serveMain(args []string) {
 	cfg.TotalEmails = *emails
 	cfg.Seed = *seed
 
-	sCfg := bounced.Config{QueueDepth: *queue, Seed: *seed, DecodeWorkers: *decodeW, EnablePprof: *pprofOn}
+	sCfg := bounced.Config{
+		QueueDepth: *queue, Seed: *seed, DecodeWorkers: *decodeW, EnablePprof: *pprofOn,
+		ReadTimeout: *readTO, DedupWindow: *dedupWin,
+	}
+	if *faultArg != "" {
+		sp, err := faultinject.ParseSpec(*faultArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sCfg.Faults = sp
+		log.Printf("fault injection armed: %s", sp)
+	}
 	var engine *delivery.Engine
 	var w *world.World
 	switch {
@@ -210,6 +227,9 @@ func loadgenMain(args []string) {
 		warm    = fs.Int("warm", 0, "re-post this many head records after the replay and measure the warm snapshot")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the replay here")
 		memProf = fs.String("memprofile", "", "write a heap profile after the replay here")
+		chaos   = fs.String("chaos", "", "chaos mode: client-side fault spec, e.g. 'seed=3,torn=0.3,truncgz=0.2,dup=0.5' (DESIGN.md §9)")
+		seed    = fs.Uint64("seed", 1, "chaos mode: batch-ID namespace and default fault seed")
+		retries = fs.Int("retries", 0, "chaos mode: max attempts per batch (0 = default 50)")
 	)
 	fs.Parse(args)
 	if *in == "" {
@@ -231,8 +251,15 @@ func loadgenMain(args []string) {
 	var shutdown func()
 	if *spawn {
 		// A self-contained benchmark server: no env (classify latency
-		// and ingest throughput do not depend on it), loopback only.
-		srv := bounced.New(bounced.Config{})
+		// and ingest throughput do not depend on it), loopback only. In
+		// chaos mode it also gets a read deadline so client slow-loris
+		// sends are actually cut off.
+		sCfg := bounced.Config{}
+		if *chaos != "" {
+			sCfg.ReadTimeout = 5 * time.Second
+			sCfg.Seed = *seed
+		}
+		srv := bounced.New(sCfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -245,6 +272,35 @@ func loadgenMain(args []string) {
 			httpSrv.Close()
 			srv.Abort()
 		}
+	}
+
+	if *chaos != "" {
+		csp, err := faultinject.ParseSpec(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csp.Seed == 0 {
+			csp.Seed = *seed
+		}
+		cres, err := bounced.Chaos(bounced.ChaosConfig{
+			URL: target, Path: *in, BatchSize: *batch, Seed: *seed,
+			Faults: csp, MaxRetries: *retries, Gzip: *gz, Progress: os.Stderr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The zero-loss balance is the run's pass/fail line: every
+		// presented record classified exactly once, server-side.
+		if err := bounced.ChaosVerify(target, cres); err != nil {
+			log.Fatal(err)
+		}
+		if shutdown != nil {
+			shutdown()
+		}
+		log.Printf("chaos: %d records in %d batches (%d presented, %d retries, %d shed, %d faulted, %d dups) in %.2fs — balance OK",
+			cres.Records, cres.Batches, cres.Presented, cres.Retries, cres.Shed, cres.Faulted, cres.Duplicates, cres.Seconds)
+		writeResult(*out, cres)
+		return
 	}
 
 	res, err := bounced.Loadgen(bounced.LoadgenConfig{
@@ -271,22 +327,27 @@ func loadgenMain(args []string) {
 	log.Printf("replayed %d records in %.2fs (%.0f records/s; server classify p50 %.0fns p99 %.0fns)",
 		res.Records, res.Seconds, res.RecordsPerSec, res.ClassifyP50NS, res.ClassifyP99NS)
 
-	if *out == "-" {
+	writeResult(*out, res)
+}
+
+// writeResult emits a run summary: pretty JSON on stdout for "-", or
+// one compact appended line per run so a bench/chaos file accumulates
+// a history (ingestbench entries land in the same file).
+func writeResult(out string, v any) {
+	if out == "-" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
+		if err := enc.Encode(v); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	// File output appends one compact line per run, so the bench file
-	// accumulates a history (ingestbench entries land in the same file).
-	f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := json.NewEncoder(f).Encode(res); err != nil {
+	if err := json.NewEncoder(f).Encode(v); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/clock"
 	"repro/internal/dns"
+	"repro/internal/greylist"
 	"repro/internal/mail"
 	"repro/internal/ndr"
 	"repro/internal/policy"
@@ -50,6 +51,131 @@ func (st *chainState) LearnOnce(key uint64) bool {
 	return false
 }
 func (st *chainState) ReportSpam(string, time.Time) {}
+
+// TestDifferentialGreylistWindowEdge pins the greylist retry-window
+// boundary across the two evaluation paths: a retry arriving exactly
+// minDelay after the first attempt — timed so the window also crosses
+// a clock.Hour rollover, where the old float64 hour bucketing could
+// drift — must be classified identically by the engine chain and the
+// smtpbridge wire path: defer, defer 1s early, accept exactly at the
+// edge. Options.At is fixed per Backend, so each instant gets its own
+// bridge over the same shared world state.
+func TestDifferentialGreylistWindowEdge(t *testing.T) {
+	w := world.New(world.TinyConfig())
+	resolver := dns.NewResolver(w.DNS, nil)
+	env := policy.NewEnv(w)
+	ablate := []string{"tls", "spamtrap", "quirk"}
+
+	var dom *world.ReceiverDomain
+	for _, d := range w.Domains {
+		if len(d.UserList) >= 2 {
+			dom = d
+			break
+		}
+	}
+	if dom == nil {
+		t.Fatal("no receiver domain with users")
+	}
+	// Force greylisting on: tiny worlds adopt it with p=0.018, and the
+	// edge semantics are what is under test, not adoption. The hourly
+	// rate limit (as low as 1/proxy in tiny worlds) is raised so the
+	// repeated attempts cannot trip T7 ahead of the greylist stage.
+	dom.Policy.Greylisting = true
+	dom.Greylist = greylist.New(300*time.Second, 30*24*time.Hour)
+	dom.Policy.PerProxyHourlyLimit = 1000
+	minDelay := dom.Greylist.MinDelay()
+
+	// First attempt minDelay before an hour edge deep in the study
+	// window (day 200 is past the ~104-day float precision horizon), so
+	// the exact-boundary retry lands precisely on the hour rollover.
+	hourEdge := clock.StudyStart.AddDate(0, 0, 200).Add(15 * time.Hour)
+	first := hourEdge.Add(-minDelay)
+	early := hourEdge.Add(-time.Second)
+	if clock.Hour(first) == clock.Hour(hourEdge) {
+		t.Fatal("test setup: window does not cross an hour rollover")
+	}
+
+	ref := &chainState{
+		rng:      simrng.New(41),
+		resolver: resolver,
+		spf:      &auth.SPFEvaluator{Resolver: resolver},
+		dkim:     &auth.DKIMVerifier{Resolver: resolver},
+		dmarc:    &auth.DMARCEvaluator{Resolver: resolver},
+		counters: make(map[uint64]int),
+		learned:  make(map[uint64]bool),
+	}
+	chain := policy.NewChain(env, dom, policy.ChainOptions{Disable: ablate})
+
+	bridge := func(at time.Time) string {
+		srv := smtp.NewServer(smtpbridge.Backend(w, dom, smtpbridge.Options{
+			At: at, Seed: 11, Resolver: resolver, DisableStages: ablate,
+		}))
+		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return srv.Addr().String()
+	}
+	addrFirst, addrEarly, addrEdge := bridge(first), bridge(early), bridge(hourEdge)
+
+	proxy := w.Proxies[0]
+	body := "weekly status notes attached"
+	// Both sides of one instant evaluate ref-chain first, then the wire
+	// re-checks the same shared greylist at the same instant — the same
+	// ordering protocol as TestDifferentialChainVsWire.
+	check := func(sender, local string, at time.Time, addr, wantStep string, wantAccept bool) {
+		t.Helper()
+		fromAddr, _ := mail.ParseAddress(sender)
+		toAddr, _ := mail.ParseAddress(local + "@" + dom.Name)
+		req := &policy.Request{
+			From: fromAddr, To: toAddr, MsgID: sender + "|" + wantStep,
+			ClientIP: proxy.IP, Proxy: proxy, At: at, First: true,
+			RcptCount: 1, Tokens: strings.Fields(body),
+		}
+		v := chain.Evaluate(ref, req)
+		rep, err := smtp.SendMail(addr, sender, toAddr.String(), []byte(body),
+			smtp.SendOptions{Helo: proxy.Hostname, Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("%s wire: %v", wantStep, err)
+		}
+		if wantAccept {
+			if v.Rejected() {
+				t.Fatalf("%s: chain rejects %v, want accept", wantStep, v.Type)
+			}
+			if !rep.Success() {
+				t.Fatalf("%s: chain accepts, wire rejects with %s", wantStep, rep)
+			}
+			return
+		}
+		if !v.Rejected() || v.Type != ndr.T6Greylisted {
+			t.Fatalf("%s: chain verdict %v, want T6Greylisted rejection", wantStep, v.Type)
+		}
+		res := chain.Resolve(v, req)
+		if rep.Success() {
+			t.Fatalf("%s: chain defers, wire accepts", wantStep)
+		}
+		if rep.Code != res.Code || rep.Enh != res.Enh {
+			t.Fatalf("%s: chain resolves %d/%v, wire replied %s", wantStep, res.Code, res.Enh, rep)
+		}
+	}
+
+	// Senders live in real world sender domains so every stage ahead of
+	// greylist (sender DNS, auth, reputation) passes cleanly.
+	senderA := "edge-a@" + w.SenderDomains[0].Name
+	senderB := "edge-b@" + w.SenderDomains[1%len(w.SenderDomains)].Name
+
+	// Tuple A: first attempt defers, retry exactly at first+minDelay —
+	// on the hour rollover — accepts on both paths.
+	userA, userB := dom.UserList[0], dom.UserList[1]
+	check(senderA, userA, first, addrFirst, "first attempt", false)
+	check(senderA, userA, hourEdge, addrEdge, "retry exactly at window edge", true)
+
+	// Tuple B: a retry one second inside the window still defers on
+	// both paths (the first-seen clock does not reset).
+	check(senderB, userB, first, addrFirst, "tuple B first attempt", false)
+	check(senderB, userB, early, addrEarly, "retry 1s before window edge", false)
+	check(senderB, userB, hourEdge, addrEdge, "tuple B retry at edge", true)
+}
 
 // TestDifferentialChainVsWire is the differential check the policy
 // refactor exists to make possible: the SAME chain, evaluated linearly

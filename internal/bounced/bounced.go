@@ -32,8 +32,10 @@ import (
 	"repro"
 	"repro/internal/analysis"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/ndr"
 	"repro/internal/policy"
+	"repro/internal/simrng"
 )
 
 // ErrIngestClosed is returned by Ingest once shutdown has begun.
@@ -64,6 +66,18 @@ type Config struct {
 	// EnablePprof mounts the net/http/pprof handlers under
 	// /debug/pprof/ on the service mux.
 	EnablePprof bool
+	// ReadTimeout bounds how long one /v1/records request may spend
+	// reading its body — the slow-loris countermeasure. Zero disables
+	// the per-request deadline.
+	ReadTimeout time.Duration
+	// Faults, when active, injects deterministic stream faults into
+	// every ingest request and stalls the store consumer (-fault-spec).
+	Faults *faultinject.Spec
+	// DedupWindow is how many recent batch IDs the idempotency window
+	// remembers (default 256). A replayed X-Batch-Id inside the window
+	// is acknowledged without re-ingesting its records, which is what
+	// makes client retries after a 429 or a dropped response safe.
+	DedupWindow int
 }
 
 // Server is the bounce-analytics service. Create with New, mount
@@ -77,6 +91,22 @@ type Server struct {
 	consumed atomic.Uint64 // records folded into the store
 	badLines atomic.Uint64 // rejected NDJSON lines
 	batches  atomic.Uint64 // POST /v1/records calls admitted
+
+	// Overload-shedding and idempotency accounting. The zero-loss
+	// balance every chaos run must satisfy, per request classified
+	// exactly once: accepted + shed + rejected + deduped == presented.
+	reserved     atomic.Int64  // queue slots reserved by admitted, unconsumed records
+	shedRecords  atomic.Uint64 // records refused with 429 (declared batch size)
+	shedBatches  atomic.Uint64 // batches refused with 429
+	rejected     atomic.Uint64 // records refused with 4xx (malformed/oversized)
+	deduped      atomic.Uint64 // records skipped as batch-ID replays
+	dedupBatches atomic.Uint64 // batches acknowledged from the dedup window
+	shedStreak   atomic.Uint64 // consecutive sheds, drives the Retry-After backoff
+	retryRNG     *simrng.RNG   // jitter source for Retry-After hints
+	retryRNGMu   sync.Mutex
+
+	faults *faultinject.Injector
+	dedup  dedupWindow
 
 	// consumedCond broadcasts store progress for drain barriers: a
 	// report taken after an ingest request returns covers everything
@@ -116,6 +146,9 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 256
+	}
 	s := &Server{
 		cfg:       cfg,
 		inc:       analysis.NewIncremental(cfg.Pipeline),
@@ -123,7 +156,10 @@ func New(cfg Config) *Server {
 		hist:      newLatencyHist(),
 		typeHits:  make(map[ndr.Type]*atomic.Uint64, len(ndr.AllTypes)),
 		startedAt: time.Now(),
+		faults:    faultinject.New(cfg.Faults),
+		retryRNG:  simrng.New(cfg.Seed).Stream("retry-after"),
 	}
+	s.dedup.init(cfg.DedupWindow)
 	s.consumedCond = sync.NewCond(&s.consumedMu)
 	for _, t := range ndr.AllTypes {
 		s.typeHits[t] = new(atomic.Uint64)
@@ -155,6 +191,58 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// tryAdmit reserves n queue slots without blocking: the admission
+// check HTTP batch ingestion sheds on. The reservation counts records
+// admitted but not yet consumed, so a grant means the queue will have
+// room as the consumer drains — writers never block indefinitely
+// behind a full buffer.
+func (s *Server) tryAdmit(n int) bool {
+	depth := int64(s.cfg.QueueDepth)
+	for {
+		r := s.reserved.Load()
+		if r+int64(n) > depth {
+			return false
+		}
+		if s.reserved.CompareAndSwap(r, r+int64(n)) {
+			return true
+		}
+	}
+}
+
+// admitWait reserves n slots, blocking until the consumer frees
+// enough — the backpressure path in-process producers and streamed
+// (non-batch-ID) HTTP ingestion use. Returns false once shutdown
+// begins.
+func (s *Server) admitWait(n int) bool {
+	s.consumedMu.Lock()
+	defer s.consumedMu.Unlock()
+	for {
+		if s.closed.Load() {
+			return false
+		}
+		if s.tryAdmit(n) {
+			return true
+		}
+		if s.consumerDone {
+			return false
+		}
+		s.consumedCond.Wait()
+	}
+}
+
+// enqueue writes an already-admitted record to the queue. The caller
+// must hold a reservation for it; on failure the reservation is
+// released.
+func (s *Server) enqueue(rec *dataset.Record) error {
+	if err := s.queue.Write(rec); err != nil {
+		s.reserved.Add(-1)
+		return ErrIngestClosed
+	}
+	s.accepted.Add(1)
+	s.observe(rec)
+	return nil
+}
+
 // Ingest queues one record from an in-process producer (the -generate
 // delivery engine), under the same backpressure as HTTP ingestion.
 // The live metrics update here, on the producer's goroutine, so many
@@ -164,12 +252,10 @@ func (s *Server) Ingest(rec *dataset.Record) error {
 	if s.closed.Load() {
 		return ErrIngestClosed
 	}
-	if err := s.queue.Write(rec); err != nil {
+	if !s.admitWait(1) {
 		return ErrIngestClosed
 	}
-	s.accepted.Add(1)
-	s.observe(rec)
-	return nil
+	return s.enqueue(rec)
 }
 
 // consume is the single store writer: it drains the queue into the
@@ -184,17 +270,80 @@ func (s *Server) consume() {
 		s.consumedCond.Broadcast()
 		s.consumedMu.Unlock()
 	}()
+	stall := s.faults.ConsumerStall()
 	for {
 		rec, ok := s.queue.Next()
 		if !ok {
 			return
 		}
+		if stall > 0 {
+			// Injected downstream stall: the consumer wedges per record,
+			// which is what backs the queue up and exercises shedding.
+			time.Sleep(stall)
+		}
 		s.inc.Add(rec)
 		s.consumed.Add(1)
+		s.reserved.Add(-1)
 		s.consumedMu.Lock()
 		s.consumedCond.Broadcast()
 		s.consumedMu.Unlock()
 	}
+}
+
+// dedupWindow is a FIFO idempotency window over recent batch IDs. A
+// batch ID is registered only after its records are fully admitted, so
+// a shed or rejected batch can be retried under the same ID.
+type dedupWindow struct {
+	mu    sync.Mutex
+	seen  map[string]int // batch ID -> records accepted
+	order []string
+	cap   int
+}
+
+func (d *dedupWindow) init(capacity int) {
+	d.seen = make(map[string]int, capacity)
+	d.cap = capacity
+}
+
+// lookup reports the accepted-record count of a previously admitted
+// batch ID.
+func (d *dedupWindow) lookup(id string) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.seen[id]
+	return n, ok
+}
+
+// register remembers an admitted batch, evicting the oldest entry once
+// the window is full.
+func (d *dedupWindow) register(id string, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.seen[id]; ok {
+		return
+	}
+	if len(d.order) >= d.cap {
+		delete(d.seen, d.order[0])
+		d.order = d.order[1:]
+	}
+	d.seen[id] = n
+	d.order = append(d.order, id)
+}
+
+// retryAfter computes the shed-response backoff hint: exponential in
+// the current shed streak with deterministic jitter, so a retrying
+// client herd spreads out instead of stampeding the next admission
+// window.
+func (s *Server) retryAfter() time.Duration {
+	streak := s.shedStreak.Add(1)
+	if streak > 7 {
+		streak = 7
+	}
+	base := 50 * time.Millisecond << (streak - 1)
+	s.retryRNGMu.Lock()
+	jitter := 0.7 + 0.6*s.retryRNG.Float64() // ±30%
+	s.retryRNGMu.Unlock()
+	return time.Duration(float64(base) * jitter)
 }
 
 // observe updates the live metrics for one record: bounce degree

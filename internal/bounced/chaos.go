@@ -1,0 +1,318 @@
+package bounced
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+)
+
+// ChaosConfig drives a hostile replay: the corpus is sent as
+// idempotent batches (X-Batch-Id) while a client-side fault schedule
+// deliberately damages sends — torn bodies, truncated gzip, slow-loris
+// trickles, duplicate replays — and every refusal is retried until the
+// batch lands. A chaos run against a healthy (or fault-injecting)
+// server must converge on exactly the clean run's final state.
+type ChaosConfig struct {
+	// URL is the service base, e.g. http://localhost:8425.
+	URL string
+	// Path is the JSONL (optionally gzipped) record file to replay.
+	Path string
+	// BatchSize is records per POST (default 200).
+	BatchSize int
+	// Seed namespaces the batch IDs so reruns against a shared server
+	// do not collide with a previous run's dedup window.
+	Seed uint64
+	// Faults is the client-side fault schedule. Nil or inactive runs a
+	// plain sequential idempotent replay.
+	Faults *faultinject.Spec
+	// MaxRetries bounds attempts per batch (default 50). 429 sheds
+	// honor the server's Retry-After hint between attempts.
+	MaxRetries int
+	// Gzip compresses clean request bodies.
+	Gzip bool
+	// Progress, when set, receives one line per ~50 batches.
+	Progress io.Writer
+}
+
+// ChaosResult summarizes a chaos replay. Presented is the total record
+// count across every HTTP send (damaged, shed, duplicated, and clean):
+// the server's accepted+shed+rejected+deduped counters must sum to
+// exactly this, or records were lost or double-counted.
+type ChaosResult struct {
+	Records     int               `json:"records"`
+	Batches     int               `json:"batches"`
+	Presented   int               `json:"presented"`
+	Retries     int               `json:"retries"`
+	Shed        int               `json:"shed_429"`
+	Faulted     int               `json:"faulted_sends"`
+	Duplicates  int               `json:"duplicate_sends"`
+	Deduped     int               `json:"deduped_acks"`
+	Seconds     float64           `json:"seconds"`
+	FaultCounts map[string]uint64 `json:"fault_counts,omitempty"`
+}
+
+// Chaos replays cfg.Path against cfg.URL under the fault schedule.
+// Batches are sent sequentially — batch k+1 only after k is accepted —
+// because the server's report depends on ingestion order; the price is
+// throughput, the prize is a byte-identical final report.
+func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 200
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 50
+	}
+	f, err := os.Open(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd, err := dataset.NewDecodingReader(f)
+	if err != nil {
+		return nil, err
+	}
+
+	inj := faultinject.New(cfg.Faults)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	res := &ChaosResult{}
+	start := time.Now()
+	var sendErr error
+	idx := 0
+	scanRecordLines(rd, LoadgenConfig{BatchSize: cfg.BatchSize}, start, func(body []byte, count int) {
+		if sendErr != nil {
+			return
+		}
+		idx++
+		id := fmt.Sprintf("chaos-%d-%d", cfg.Seed, idx)
+		sendErr = sendChaosBatch(client, cfg, inj.NextPlan(), res, id, body, count)
+		if cfg.Progress != nil && idx%50 == 0 {
+			fmt.Fprintf(cfg.Progress, "chaos: %d records in %d batches (%d retries, %d shed)\n",
+				res.Records, res.Batches, res.Retries, res.Shed)
+		}
+	})
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	res.Seconds = time.Since(start).Seconds()
+	res.FaultCounts = inj.Counts()
+	return res, nil
+}
+
+// sendChaosBatch delivers one batch to acceptance: an optional doomed
+// damaged send first, then clean sends retried through 429 sheds and
+// fault-injected refusals, then an optional duplicate replay that must
+// be acknowledged from the dedup window.
+func sendChaosBatch(client *http.Client, cfg ChaosConfig, plan faultinject.Plan, res *ChaosResult, id string, body []byte, count int) error {
+	// The damaged send is expected to be refused whole: the batch ID
+	// stays unregistered and the ID-carrying retry below lands the real
+	// records. A 2xx here would mean the server admitted a mangled body.
+	if status, reply, err := sendDamaged(client, cfg, plan, res, id, body, count); err != nil {
+		return err
+	} else if status == http.StatusOK {
+		return fmt.Errorf("chaos: damaged send of %s was accepted: %+v", id, reply)
+	}
+
+	attempt := 0
+	for {
+		attempt++
+		slow := time.Duration(0)
+		if plan.Loris && attempt == 1 && cfg.Faults != nil {
+			// First real send trickles; retries are full speed so a
+			// server read deadline cannot starve the batch forever.
+			slow = cfg.Faults.LorisPause
+			plan.Fired(faultinject.KindLoris)
+			res.Faulted++
+		}
+		status, reply, retryMs, err := postChaos(client, cfg, id, count, cleanBody(cfg, body), cfg.Gzip, slow)
+		if err != nil {
+			if attempt > cfg.MaxRetries {
+				return fmt.Errorf("chaos: batch %s: %w", id, err)
+			}
+			res.Retries++
+			continue
+		}
+		res.Presented += count
+		switch status {
+		case http.StatusOK:
+			if reply.Deduped {
+				// A previous attempt was admitted but its response lost;
+				// the ack still covers exactly these records.
+				res.Deduped++
+			}
+			res.Records += count
+			res.Batches++
+		case http.StatusTooManyRequests:
+			res.Shed++
+			if attempt > cfg.MaxRetries {
+				return fmt.Errorf("chaos: batch %s still shed after %d attempts", id, attempt)
+			}
+			res.Retries++
+			wait := time.Duration(retryMs * float64(time.Millisecond))
+			if wait <= 0 {
+				wait = 25 * time.Millisecond
+			}
+			time.Sleep(wait)
+			continue
+		default:
+			// A server-injected fault (torn stream, read deadline) refused
+			// the whole batch; the ID is still unregistered, so retry.
+			if attempt > cfg.MaxRetries {
+				return fmt.Errorf("chaos: batch %s refused after %d attempts: %d %s", id, attempt, status, reply.Error)
+			}
+			res.Retries++
+			continue
+		}
+		break
+	}
+
+	if plan.Dup {
+		// Replay the accepted batch verbatim — the crash-retry a real
+		// client issues after losing an ack. Anything but a dedup
+		// acknowledgement means the server double-ingested.
+		plan.Fired(faultinject.KindDup)
+		res.Duplicates++
+		status, reply, _, err := postChaos(client, cfg, id, count, cleanBody(cfg, body), cfg.Gzip, 0)
+		if err != nil {
+			return fmt.Errorf("chaos: dup replay of %s: %w", id, err)
+		}
+		res.Presented += count
+		if status != http.StatusOK || !reply.Deduped || reply.Accepted != count {
+			return fmt.Errorf("chaos: dup replay of %s not deduped: %d %+v", id, status, reply)
+		}
+		res.Deduped++
+	}
+	return nil
+}
+
+// sendDamaged issues the plan's deliberately broken send, if any:
+// a torn body cut mid-record or a truncated gzip stream. Returns the
+// refusal status (0 when the plan injects no damage here).
+func sendDamaged(client *http.Client, cfg ChaosConfig, plan faultinject.Plan, res *ChaosResult, id string, body []byte, count int) (int, ingestResponse, error) {
+	switch {
+	case plan.TruncGzip:
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		zw.Write(body)
+		zw.Close()
+		cut := plan.TornAfter % zbuf.Len()
+		if cut < 1 {
+			cut = 1
+		}
+		plan.Fired(faultinject.KindTruncGz)
+		res.Faulted++
+		status, reply, _, err := postChaos(client, cfg, id, count, zbuf.Bytes()[:cut], true, 0)
+		if err == nil {
+			res.Presented += count
+		}
+		return status, reply, err
+	case plan.Torn && len(body) > 1:
+		cut := plan.TornAfter % (len(body) - 1)
+		if cut < 1 {
+			cut = 1
+		}
+		plan.Fired(faultinject.KindTorn)
+		res.Faulted++
+		status, reply, _, err := postChaos(client, cfg, id, count, body[:cut], false, 0)
+		if err == nil {
+			res.Presented += count
+		}
+		return status, reply, err
+	}
+	return 0, ingestResponse{}, nil
+}
+
+// cleanBody returns the send-ready clean payload (gzipped if enabled).
+func cleanBody(cfg ChaosConfig, body []byte) []byte {
+	if !cfg.Gzip {
+		return body
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(body)
+	zw.Close()
+	return zbuf.Bytes()
+}
+
+// postChaos posts one payload under the batch ID, always declaring the
+// true record count so the server's shed/reject accounting is exact
+// even for bodies it never decodes. slow > 0 trickles the body in
+// small pauses — the slow-loris shape.
+func postChaos(client *http.Client, cfg ChaosConfig, id string, count int, payload []byte, gzipped bool, slow time.Duration) (int, ingestResponse, float64, error) {
+	var rd io.Reader = bytes.NewReader(payload)
+	if slow > 0 {
+		pr, pw := io.Pipe()
+		go func() {
+			defer pw.Close()
+			for off := 0; off < len(payload); off += 256 {
+				end := off + 256
+				if end > len(payload) {
+					end = len(payload)
+				}
+				if _, err := pw.Write(payload[off:end]); err != nil {
+					return
+				}
+				time.Sleep(slow)
+			}
+		}()
+		rd = pr
+	}
+	req, err := http.NewRequest(http.MethodPost, cfg.URL+"/v1/records", rd)
+	if err != nil {
+		return 0, ingestResponse{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(headerBatchID, id)
+	req.Header.Set(headerBatchRecords, strconv.Itoa(count))
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, ingestResponse{}, 0, err
+	}
+	defer resp.Body.Close()
+	var reply ingestResponse
+	json.NewDecoder(resp.Body).Decode(&reply)
+	retryMs := reply.RetryAfterMs
+	if v := resp.Header.Get(headerRetryAfterMs); retryMs == 0 && v != "" {
+		retryMs, _ = strconv.ParseFloat(v, 64)
+	}
+	// Every send presents its declared records once, whatever the
+	// verdict — the client half of the zero-loss balance.
+	return resp.StatusCode, reply, retryMs, nil
+}
+
+// ChaosVerify checks the zero-loss balance on the target server after
+// a chaos run that started from an empty store: every record the
+// client presented must be classified exactly once as accepted, shed,
+// rejected, or deduped, and the store must have consumed every
+// accepted record.
+func ChaosVerify(url string, res *ChaosResult) error {
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	if int(st.Accepted) != res.Records {
+		return fmt.Errorf("chaos verify: server accepted %d records, client was acked %d", st.Accepted, res.Records)
+	}
+	balance := st.Accepted + st.RecordsShed + st.RecordsRejected + st.RecordsDeduped
+	if int(balance) != res.Presented {
+		return fmt.Errorf("chaos verify: accepted %d + shed %d + rejected %d + deduped %d = %d, client presented %d",
+			st.Accepted, st.RecordsShed, st.RecordsRejected, st.RecordsDeduped, balance, res.Presented)
+	}
+	return nil
+}

@@ -5,27 +5,57 @@ import (
 	"compress/gzip"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
+)
+
+// Batch headers for the idempotent ingest mode. X-Batch-Id switches a
+// request to all-or-nothing semantics; X-Batch-Records declares the
+// batch's record count so shed and reject accounting stays exact even
+// when the body is never decoded.
+const (
+	headerBatchID      = "X-Batch-Id"
+	headerBatchRecords = "X-Batch-Records"
+	headerRetryAfterMs = "X-Retry-After-Ms"
 )
 
 // ingestResponse is the JSON body of every /v1/records reply.
 type ingestResponse struct {
-	Accepted int    `json:"accepted"`
-	Line     int    `json:"line,omitempty"`
-	Error    string `json:"error,omitempty"`
+	Accepted     int     `json:"accepted"`
+	Line         int     `json:"line,omitempty"`
+	Error        string  `json:"error,omitempty"`
+	Deduped      bool    `json:"deduped,omitempty"`
+	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
 }
 
-// handleRecords ingests one NDJSON batch. Lines are validated and
-// queued one at a time: a malformed line yields a 400 naming its
-// 1-based line number, with every preceding valid line already
-// accepted (the response's accepted count says how many). Bodies may
-// be gzip-compressed, signalled by Content-Encoding: gzip or sniffed
-// from the magic bytes. Queue-full backpressure blocks the request,
-// never drops records.
+// handleRecords ingests one NDJSON batch. Bodies may be
+// gzip-compressed, signalled by Content-Encoding: gzip or sniffed from
+// the magic bytes.
+//
+// Two admission modes share the endpoint:
+//
+//   - Streamed (no X-Batch-Id): lines are validated and queued one at
+//     a time under blocking backpressure. A malformed line yields a 400
+//     naming its 1-based line number, with every preceding valid line
+//     already accepted.
+//
+//   - Idempotent batch (X-Batch-Id set): the whole body is decoded
+//     first, then admitted atomically — all records or none. A full
+//     queue sheds the batch with 429 + Retry-After instead of
+//     blocking; a replayed ID inside the dedup window is acknowledged
+//     without re-ingesting, so client retries are safe.
+//
+// With a configured ReadTimeout, a request that cannot deliver its
+// body in time (slow-loris) is cut off at the read deadline.
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, 0, 0, "POST only")
@@ -35,13 +65,47 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, 0, 0, "shutting down")
 		return
 	}
-	body := bufio.NewReaderSize(r.Body, 1<<16)
-	var reader io.Reader = body
+	if s.cfg.ReadTimeout > 0 {
+		// Best-effort: ResponseController reaches the connection under
+		// the standard http.Server; httptest/recorder stacks without
+		// deadline support just proceed unbounded.
+		http.NewResponseController(w).SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+
+	batchID := r.Header.Get(headerBatchID)
+	declared := -1
+	if v := r.Header.Get(headerBatchRecords); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, 0, 0, "bad "+headerBatchRecords+" header")
+			return
+		}
+		declared = n
+	}
+	if batchID != "" {
+		if n, ok := s.dedup.lookup(batchID); ok {
+			// A replay of a batch already admitted: acknowledge with the
+			// original accepted count, ingest nothing.
+			s.deduped.Add(uint64(n))
+			s.dedupBatches.Add(1)
+			writeJSON(w, http.StatusOK, ingestResponse{Accepted: n, Deduped: true})
+			return
+		}
+	}
+
+	var plan faultinject.Plan
+	if s.faults.Spec().Active() {
+		plan = s.faults.NextPlan()
+	}
+
+	body := bufio.NewReaderSize(plan.WrapRaw(r.Body), 1<<16)
+	var reader io.Reader
 	switch enc := strings.ToLower(r.Header.Get("Content-Encoding")); enc {
 	case "", "identity":
 		// Sniff anyway: loadgen may stream a .jsonl.gz byte-for-byte.
 		dr, err := dataset.NewDecodingReader(body)
 		if err != nil {
+			s.countRejected(declared, 0)
 			httpError(w, http.StatusBadRequest, 0, 0, err.Error())
 			return
 		}
@@ -49,16 +113,30 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	case "gzip":
 		zr, err := gzip.NewReader(body)
 		if err != nil {
+			s.countRejected(declared, 0)
 			httpError(w, http.StatusBadRequest, 0, 0, "bad gzip body: "+err.Error())
 			return
 		}
 		defer zr.Close()
 		reader = zr
 	default:
+		s.countRejected(declared, 0)
 		httpError(w, http.StatusUnsupportedMediaType, 0, 0, "unsupported Content-Encoding "+enc)
 		return
 	}
+	reader = plan.WrapDecoded(reader)
 
+	if batchID != "" {
+		s.ingestBatch(w, reader, batchID, declared)
+		return
+	}
+	s.ingestStream(w, reader)
+}
+
+// ingestStream is the legacy streamed path: records enter the queue as
+// they decode, blocking on backpressure, and a mid-body fault keeps
+// the already-accepted prefix.
+func (s *Server) ingestStream(w http.ResponseWriter, reader io.Reader) {
 	// Decode fans out across workers while this goroutine queues the
 	// in-order results; records surface strictly in body order, so the
 	// accepted prefix before a malformed line is exactly what a serial
@@ -84,22 +162,120 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := pr.Err(); err != nil {
 		s.badLines.Add(1)
-		var le *dataset.LineError
-		if errors.As(err, &le) {
-			line := le.Line
-			if le.After {
-				// Mid-body read failures (truncated gzip, dropped
-				// connection) still report how far ingestion got.
-				line++
-			}
-			httpError(w, http.StatusBadRequest, line, accepted, le.Err.Error())
-			return
-		}
-		httpError(w, http.StatusBadRequest, 0, accepted, err.Error())
+		s.rejected.Add(1)
+		status, line, msg := classifyIngestErr(err)
+		httpError(w, status, line, accepted, msg)
 		return
 	}
 	s.batches.Add(1)
+	s.shedStreak.Store(0)
 	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
+}
+
+// ingestBatch is the idempotent all-or-nothing path: decode the whole
+// body, then admit every record or none. Admission failure sheds with
+// 429 + Retry-After rather than blocking the request on a full queue.
+func (s *Server) ingestBatch(w http.ResponseWriter, reader io.Reader, batchID string, declared int) {
+	pr := dataset.NewParallelReader(reader, s.cfg.DecodeWorkers)
+	defer pr.Close()
+	var recs []dataset.Record
+	if declared > 0 {
+		recs = make([]dataset.Record, 0, declared)
+	}
+	for {
+		rec, ok := pr.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, *rec)
+	}
+	if err := pr.Err(); err != nil {
+		// Nothing was admitted: the whole batch is rejected and the
+		// client may fix and resend it under the same ID.
+		s.badLines.Add(1)
+		s.countRejected(declared, len(recs))
+		status, line, msg := classifyIngestErr(err)
+		httpError(w, status, line, 0, msg)
+		return
+	}
+	if declared >= 0 && declared != len(recs) {
+		s.countRejected(declared, len(recs))
+		httpError(w, http.StatusBadRequest, 0, 0,
+			fmt.Sprintf("%s declares %d records, body has %d", headerBatchRecords, declared, len(recs)))
+		return
+	}
+	if len(recs) > s.cfg.QueueDepth {
+		// Larger than the queue can ever hold: admission would shed it
+		// forever, so refuse it outright instead of sending the client
+		// into a retry loop.
+		s.countRejected(declared, len(recs))
+		httpError(w, http.StatusRequestEntityTooLarge, 0, 0,
+			fmt.Sprintf("batch of %d records exceeds queue capacity %d; split it", len(recs), s.cfg.QueueDepth))
+		return
+	}
+	if !s.tryAdmit(len(recs)) {
+		s.shedRecords.Add(uint64(len(recs)))
+		s.shedBatches.Add(1)
+		hint := s.retryAfter()
+		// One rounding for both header and body so clients comparing the
+		// two never see them disagree.
+		ms := math.Round(float64(hint.Nanoseconds())/1e5) / 10
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(hint.Seconds()))))
+		w.Header().Set(headerRetryAfterMs, strconv.FormatFloat(ms, 'f', 1, 64))
+		writeJSON(w, http.StatusTooManyRequests, ingestResponse{
+			Error: "queue full, batch shed; retry with the same " + headerBatchID, RetryAfterMs: ms,
+		})
+		return
+	}
+	for i := range recs {
+		if err := s.enqueue(&recs[i]); err != nil {
+			// Shutdown raced the admitted batch: release the unused
+			// reservations and report how far it got. The batch ID stays
+			// unregistered, but the server is terminal at this point.
+			s.reserved.Add(-int64(len(recs) - i - 1))
+			httpError(w, http.StatusServiceUnavailable, 0, i, err.Error())
+			return
+		}
+	}
+	s.dedup.register(batchID, len(recs))
+	s.batches.Add(1)
+	s.shedStreak.Store(0)
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: len(recs)})
+}
+
+// countRejected adds a refused batch to the rejected-records counter:
+// the declared size when the client sent one, otherwise however many
+// records were decoded before the refusal.
+func (s *Server) countRejected(declared, decoded int) {
+	n := decoded
+	if declared > n {
+		n = declared
+	}
+	if n > 0 {
+		s.rejected.Add(uint64(n))
+	}
+}
+
+// classifyIngestErr maps a decode-pipeline error to an HTTP status,
+// the 1-based line to report, and a message. A read deadline expiring
+// mid-body (slow-loris cut off) is a 408; everything else is a
+// line-numbered 400.
+func classifyIngestErr(err error) (status, line int, msg string) {
+	status = http.StatusBadRequest
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		status = http.StatusRequestTimeout
+	}
+	var le *dataset.LineError
+	if errors.As(err, &le) {
+		line = le.Line
+		if le.After {
+			// Mid-body read failures (truncated gzip, dropped
+			// connection) still report how far ingestion got.
+			line++
+		}
+		return status, line, le.Err.Error()
+	}
+	return status, 0, err.Error()
 }
 
 func httpError(w http.ResponseWriter, status, line, accepted int, msg string) {

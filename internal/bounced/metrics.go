@@ -103,6 +103,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("bounced_records_consumed_total", "Records folded into the analysis store.", s.consumed.Load())
 	counter("bounced_ingest_batches_total", "Accepted POST /v1/records batches.", s.batches.Load())
 	counter("bounced_ingest_bad_lines_total", "Rejected NDJSON lines.", s.badLines.Load())
+	counter("bounced_records_shed_total", "Records refused with 429 under queue overload.", s.shedRecords.Load())
+	counter("bounced_shed_batches_total", "Batches refused with 429 under queue overload.", s.shedBatches.Load())
+	counter("bounced_records_rejected_total", "Records refused with 4xx (malformed or oversized batches).", s.rejected.Load())
+	counter("bounced_records_deduped_total", "Records skipped as batch-ID replays.", s.deduped.Load())
+	counter("bounced_dedup_batches_total", "Batches acknowledged from the idempotency window.", s.dedupBatches.Load())
+	if faults := s.faults.Counts(); len(faults) > 0 {
+		kinds := make([]string, 0, len(faults))
+		for k := range faults {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(&b, "# HELP bounced_faults_injected_total Faults fired by the fault-injection layer.\n# TYPE bounced_faults_injected_total counter\n")
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "bounced_faults_injected_total{kind=%q} %d\n", k, faults[k])
+		}
+	}
 	counter("bounced_snapshots_total", "Analysis snapshots built.", s.snapTaken.Load())
 	warmSnaps, coldSnaps := s.inc.Snapshots()
 	counter("bounced_snapshots_warm_total", "Snapshots that reused cached verdicts (suffix-only classify).", warmSnaps)

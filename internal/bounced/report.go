@@ -129,6 +129,13 @@ type statsResponse struct {
 	QueueCapacity   int               `json:"queue_capacity"`
 	Batches         uint64            `json:"batches"`
 	BadLines        uint64            `json:"bad_lines"`
+	RecordsShed     uint64            `json:"records_shed"`
+	ShedBatches     uint64            `json:"shed_batches"`
+	RecordsRejected uint64            `json:"records_rejected"`
+	RecordsDeduped  uint64            `json:"records_deduped"`
+	DedupBatches    uint64            `json:"dedup_batches"`
+	FaultsInjected  uint64            `json:"faults_injected"`
+	FaultsByKind    map[string]uint64 `json:"faults_by_kind,omitempty"`
 	Snapshots       uint64            `json:"snapshots"`
 	SnapshotRecords uint64            `json:"snapshot_records"`
 	SnapshotsWarm   uint64            `json:"snapshots_warm"`
@@ -146,19 +153,25 @@ type statsResponse struct {
 // twin of /metrics, including the policy-chain per-stage hit counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		Seed:          s.cfg.Seed,
-		UptimeSeconds: time.Since(s.startedAt).Seconds(),
-		Accepted:      s.accepted.Load(),
-		Consumed:      s.consumed.Load(),
-		QueueDepth:    s.queue.Len(),
-		QueueCapacity: s.queue.Cap(),
-		Batches:       s.batches.Load(),
-		BadLines:      s.badLines.Load(),
-		Snapshots:     s.snapTaken.Load(),
-		AmbiguousLive: s.ambiguous.Load(),
-		Degrees:       make(map[string]uint64, 3),
-		Types:         make(map[string]uint64),
-		Classify:      s.hist.stats(),
+		Seed:            s.cfg.Seed,
+		UptimeSeconds:   time.Since(s.startedAt).Seconds(),
+		Accepted:        s.accepted.Load(),
+		Consumed:        s.consumed.Load(),
+		QueueDepth:      s.queue.Len(),
+		QueueCapacity:   s.queue.Cap(),
+		Batches:         s.batches.Load(),
+		BadLines:        s.badLines.Load(),
+		RecordsShed:     s.shedRecords.Load(),
+		ShedBatches:     s.shedBatches.Load(),
+		RecordsRejected: s.rejected.Load(),
+		RecordsDeduped:  s.deduped.Load(),
+		DedupBatches:    s.dedupBatches.Load(),
+		FaultsInjected:  s.faults.Total(),
+		Snapshots:       s.snapTaken.Load(),
+		AmbiguousLive:   s.ambiguous.Load(),
+		Degrees:         make(map[string]uint64, 3),
+		Types:           make(map[string]uint64),
+		Classify:        s.hist.stats(),
 	}
 	for d := dataset.NonBounced; d <= dataset.HardBounced; d++ {
 		resp.Degrees[d.String()] = s.degrees[int(d)].Load()
@@ -167,6 +180,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if n := s.typeHits[t].Load(); n > 0 {
 			resp.Types[t.String()] = n
 		}
+	}
+	if faults := s.faults.Counts(); len(faults) > 0 {
+		resp.FaultsByKind = faults
 	}
 	resp.SnapshotsWarm, resp.SnapshotsCold = s.inc.Snapshots()
 	s.snapMu.Lock()

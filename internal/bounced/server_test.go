@@ -82,10 +82,12 @@ func postRecords(t *testing.T, url string, body []byte) ingestReply {
 }
 
 type ingestReply struct {
-	Accepted int    `json:"accepted"`
-	Line     int    `json:"line"`
-	Error    string `json:"error"`
-	status   int
+	Accepted     int     `json:"accepted"`
+	Line         int     `json:"line"`
+	Error        string  `json:"error"`
+	Deduped      bool    `json:"deduped"`
+	RetryAfterMs float64 `json:"retry_after_ms"`
+	status       int
 }
 
 func getBody(t *testing.T, url string) (int, []byte) {

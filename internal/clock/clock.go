@@ -21,9 +21,13 @@ var (
 const StudyDays = 450
 
 // Day returns the zero-based day index of t within the study window.
-// Times before the window map to 0 and after to StudyDays-1.
+// Times before the window map to 0 and after to StudyDays-1. The
+// bucketing is exact integer Duration division: float64 hours lose
+// nanosecond precision past 2^53 ns (~104 days into the window), which
+// would misbucket times within a few hundred nanoseconds of a day
+// boundary — exactly where greylist retry-window edges land.
 func Day(t time.Time) int {
-	d := int(t.Sub(StudyStart).Hours() / 24)
+	d := int(t.Sub(StudyStart) / (24 * time.Hour))
 	if d < 0 {
 		return 0
 	}
@@ -40,9 +44,9 @@ func DayStart(d int) time.Time { return StudyStart.AddDate(0, 0, d) }
 const StudyHours = StudyDays * 24
 
 // Hour returns the zero-based hour index of t within the study window,
-// clamped like Day.
+// clamped and integer-exact like Day.
 func Hour(t time.Time) int {
-	h := int(t.Sub(StudyStart).Hours())
+	h := int(t.Sub(StudyStart) / time.Hour)
 	if h < 0 {
 		return 0
 	}

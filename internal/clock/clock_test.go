@@ -27,6 +27,32 @@ func TestDayClamping(t *testing.T) {
 	}
 }
 
+// TestDayHourBoundaryExact pins the bucketing to integer Duration
+// arithmetic: one nanosecond either side of a boundary deep in the
+// window must land in different buckets. The old float64 .Hours()
+// math lost ns precision past 2^53 ns (~day 104) and could put a
+// time at boundary-1ns into the *next* bucket.
+func TestDayHourBoundaryExact(t *testing.T) {
+	for _, d := range []int{1, 103, 104, 200, 449} {
+		edge := StudyStart.AddDate(0, 0, d)
+		if got := Day(edge); got != d {
+			t.Errorf("Day(day-%d midnight) = %d", d, got)
+		}
+		if got := Day(edge.Add(-time.Nanosecond)); got != d-1 {
+			t.Errorf("Day(day-%d midnight - 1ns) = %d, want %d", d, got, d-1)
+		}
+	}
+	for _, h := range []int{1, 2500, 2501, 5000, StudyHours - 1} {
+		edge := StudyStart.Add(time.Duration(h) * time.Hour)
+		if got := Hour(edge); got != h {
+			t.Errorf("Hour(hour-%d edge) = %d", h, got)
+		}
+		if got := Hour(edge.Add(-time.Nanosecond)); got != h-1 {
+			t.Errorf("Hour(hour-%d edge - 1ns) = %d, want %d", h, got, h-1)
+		}
+	}
+}
+
 func TestDayStartRoundTrip(t *testing.T) {
 	for _, d := range []int{0, 1, 100, 250, StudyDays - 1} {
 		if got := Day(DayStart(d)); got != d {

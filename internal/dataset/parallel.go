@@ -99,7 +99,7 @@ type ParallelReader struct {
 	curIdx  int
 	line    int // number of the last line yielded or faulted
 	err     error
-	readErr error // set by the scanner goroutine before closing order
+	readErr *LineError // set by the scanner goroutine before closing order
 }
 
 // NewParallelReader starts decoding r with the given worker count
@@ -154,10 +154,18 @@ func (p *ParallelReader) scan(r io.Reader) {
 		}
 		return nil
 	})
-	if le, ok := err.(*LineError); ok {
+	le, readFailed := err.(*LineError)
+	if readFailed {
 		p.readErr = le
 	}
-	if len(c.spans) > 0 && err == nil {
+	// Emit the final partial chunk on clean EOF — and on a read error
+	// too: the lines scanned before the stream died are complete, and
+	// the serial ReaderSource yields them, so dropping them here would
+	// silently lose up to a chunk of records and skew the reported line
+	// by the same amount. A torn final line rides along and surfaces as
+	// a decode error at its true global number, exactly like the serial
+	// path; only cancellation (the io.EOF sentinel) skips the emit.
+	if len(c.spans) > 0 && (err == nil || readFailed) {
 		p.emit(c)
 	}
 }
@@ -211,6 +219,9 @@ func (p *ParallelReader) Next() (*Record, bool) {
 		if !ok {
 			if p.err == nil && p.readErr != nil {
 				p.err = p.readErr
+				// Read failures carry the last line scanned; report it so
+				// Line() does not sit a chunk behind the true position.
+				p.line = p.readErr.Line
 			}
 			return nil, false
 		}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"reflect"
 	"strings"
 	"testing"
@@ -219,8 +220,13 @@ func TestParallelReaderTruncatedFinalLine(t *testing.T) {
 	}
 }
 
-// TestParallelReaderReadError: a truncated gzip stream surfaces as a
-// positioned read error, like ReaderSource's.
+// TestParallelReaderReadError: a truncated gzip stream must behave
+// exactly like the serial ReaderSource over the same bytes — same
+// record count, same error line, same torn-line/truncated-tail
+// classification. (The cut usually lands mid-line, which both readers
+// report as a decode error on that line; the parallel reader used to
+// drop the whole partial chunk and report an after-line error a chunk
+// early instead.)
 func TestParallelReaderReadError(t *testing.T) {
 	recs := varied(40)
 	var zbuf bytes.Buffer
@@ -229,24 +235,143 @@ func TestParallelReaderReadError(t *testing.T) {
 	zw.Close()
 	trunc := zbuf.Bytes()[:zbuf.Len()-30]
 
-	rd, err := NewDecodingReader(bytes.NewReader(trunc))
+	serialRd, err := NewDecodingReader(bytes.NewReader(trunc))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := NewParallelReader(rd, 4)
-	defer p.Close()
-	for {
-		if _, ok := p.Next(); !ok {
-			break
+	serial := NewReaderSource(serialRd)
+	want := Collect(serial)
+	var wantLE *LineError
+	if !errors.As(serial.Err(), &wantLE) {
+		t.Fatalf("serial error %v is not a LineError", serial.Err())
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		rd, err := NewDecodingReader(bytes.NewReader(trunc))
+		if err != nil {
+			t.Fatal(err)
 		}
+		p := NewParallelReader(rd, workers)
+		got := Collect(p)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d records, serial got %d", workers, len(got), len(want))
+		}
+		var le *LineError
+		if !errors.As(p.Err(), &le) {
+			t.Fatalf("workers=%d: error %v is not a LineError", workers, p.Err())
+		}
+		if le.Line != wantLE.Line || le.After != wantLE.After {
+			t.Fatalf("workers=%d: error at line %d (after=%v), serial at line %d (after=%v)",
+				workers, le.Line, le.After, wantLE.Line, wantLE.After)
+		}
+		if p.Line() != serial.Line() {
+			t.Fatalf("workers=%d: Line()=%d, serial Line()=%d", workers, p.Line(), serial.Line())
+		}
+		p.Close()
 	}
-	err = p.Err()
-	var le *LineError
-	if !errors.As(err, &le) || !le.After {
-		t.Fatalf("want after-line LineError, got %v", err)
+}
+
+// cutReader yields exactly n bytes of r, then fails with errTorn —
+// precise control over where a stream tears relative to line framing.
+type cutReader struct {
+	r    io.Reader
+	left int
+}
+
+var errTorn = errors.New("connection reset mid-stream")
+
+func (c *cutReader) Read(b []byte) (int, error) {
+	if c.left == 0 {
+		return 0, errTorn
 	}
-	if !strings.Contains(err.Error(), "line") {
-		t.Fatalf("error %q does not mention the line position", err)
+	if len(b) > c.left {
+		b = b[:c.left]
+	}
+	n, err := c.r.Read(b)
+	c.left -= n
+	return n, err
+}
+
+// TestParallelReaderTornMidChunk: a stream cut mid-line inside the
+// second chunk of a gzip stream must yield every complete record
+// before the cut (including the first partial chunk's worth) and
+// report a decode error at the torn line's true global number.
+func TestParallelReaderTornMidChunk(t *testing.T) {
+	recs := varied(chunkLines + 120)
+	data := encodeJSONL(t, recs)
+
+	// Find the byte offset 20 bytes into line (chunkLines+50): mid-line,
+	// mid-second-chunk.
+	tornLine := chunkLines + 50
+	off := 0
+	for i := 0; i < tornLine-1; i++ {
+		off += bytes.IndexByte(data[off:], '\n') + 1
+	}
+	cut := off + 20
+
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(data)
+	zw.Close()
+
+	for _, workers := range []int{1, 4} {
+		zr, err := NewDecodingReader(bytes.NewReader(zbuf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewParallelReader(&cutReader{r: zr, left: cut}, workers)
+		got := Collect(p)
+		if len(got) != tornLine-1 {
+			t.Fatalf("workers=%d: %d records before torn line, want %d", workers, len(got), tornLine-1)
+		}
+		var le *LineError
+		if !errors.As(p.Err(), &le) {
+			t.Fatalf("workers=%d: %v is not a LineError", workers, p.Err())
+		}
+		if le.Line != tornLine || le.After {
+			t.Fatalf("workers=%d: error line %d after=%v, want torn-line error at %d", workers, le.Line, le.After, tornLine)
+		}
+		if p.Line() != tornLine {
+			t.Fatalf("workers=%d: Line()=%d, want %d", workers, p.Line(), tornLine)
+		}
+		p.Close()
+	}
+}
+
+// TestParallelReaderTruncatedTailAtBoundary: a stream cut exactly on a
+// line boundary mid-chunk has no torn line — every record before the
+// cut must be yielded and the read error reported after the last
+// complete line, not a chunk earlier.
+func TestParallelReaderTruncatedTailAtBoundary(t *testing.T) {
+	recs := varied(chunkLines + 80)
+	data := encodeJSONL(t, recs)
+
+	lastLine := chunkLines + 40
+	off := 0
+	for i := 0; i < lastLine; i++ {
+		off += bytes.IndexByte(data[off:], '\n') + 1
+	}
+
+	for _, workers := range []int{1, 4} {
+		p := NewParallelReader(&cutReader{r: bytes.NewReader(data), left: off}, workers)
+		got := Collect(p)
+		if len(got) != lastLine {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(got), lastLine)
+		}
+		var le *LineError
+		if !errors.As(p.Err(), &le) {
+			t.Fatalf("workers=%d: %v is not a LineError", workers, p.Err())
+		}
+		if !le.After || le.Line != lastLine {
+			t.Fatalf("workers=%d: error line %d after=%v, want after-line error at %d", workers, le.Line, le.After, lastLine)
+		}
+		if !errors.Is(le, errTorn) {
+			t.Fatalf("workers=%d: cause %v, want errTorn", workers, le.Err)
+		}
+		if p.Line() != lastLine {
+			t.Fatalf("workers=%d: Line()=%d, want %d", workers, p.Line(), lastLine)
+		}
+		p.Close()
 	}
 }
 

@@ -65,22 +65,37 @@ func Collect(src RecordSource) []Record {
 	}
 }
 
-// ErrClosedPipe is returned by Pipe.Write after the consumer has
-// aborted the stream with CloseRead.
+// ErrClosedPipe is returned by Pipe.Write after the pipe has been
+// closed from either side: by the consumer via CloseRead, or by the
+// producer via Close (a late concurrent Write races the close and gets
+// a clean error instead of a panic or a silently lost record).
 var ErrClosedPipe = errors.New("dataset: write on closed pipe")
 
-// Pipe is a bounded channel connecting a record producer to a
-// consumer: the producer calls Write (blocking once the buffer fills,
+// Pipe is a bounded ring buffer connecting record producers to a
+// consumer: producers call Write (blocking once the buffer fills,
 // which backpressures generation to analysis speed) and Close; the
 // consumer calls Next until it returns false. A consumer that stops
 // early calls CloseRead, which unblocks pending and future writers
 // with ErrClosedPipe instead of leaving them hung — the abort path
 // HTTP ingestion and Ctrl-C cancellation rely on.
+//
+// Shutdown ordering is race-safe in both directions: a Write blocked
+// on a full buffer when CloseRead lands wakes with ErrClosedPipe (the
+// record is not enqueued), and a Write racing Close fails the same
+// way rather than panicking on a closed channel. After Close the
+// consumer still drains every record accepted before the close.
 type Pipe struct {
-	ch       chan Record
-	done     chan struct{}
-	doneOnce sync.Once
-	cur      Record
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+
+	buf     []Record
+	head    int // next record to read
+	n       int // records buffered
+	closed  bool
+	aborted bool
+
+	cur Record
 }
 
 // NewPipe creates a pipe buffering up to buf records.
@@ -88,30 +103,39 @@ func NewPipe(buf int) *Pipe {
 	if buf < 1 {
 		buf = 1
 	}
-	return &Pipe{ch: make(chan Record, buf), done: make(chan struct{})}
+	p := &Pipe{buf: make([]Record, buf)}
+	p.notFull.L = &p.mu
+	p.notEmpty.L = &p.mu
+	return p
 }
 
 // Write copies r into the pipe, blocking while the buffer is full. It
-// returns ErrClosedPipe once the consumer has called CloseRead.
-// Writing after Close panics (Close asserts no writer is left).
+// returns ErrClosedPipe once the pipe is closed from either side; the
+// record is then not enqueued.
 func (p *Pipe) Write(r *Record) error {
-	select {
-	case <-p.done:
-		return ErrClosedPipe
-	default:
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.n == len(p.buf) && !p.closed && !p.aborted {
+		p.notFull.Wait()
 	}
-	select {
-	case p.ch <- *r:
-		return nil
-	case <-p.done:
+	if p.closed || p.aborted {
 		return ErrClosedPipe
 	}
+	p.buf[(p.head+p.n)%len(p.buf)] = *r
+	p.n++
+	p.notEmpty.Signal()
+	return nil
 }
 
-// Close signals the consumer that no more records follow. Only the
-// producer may call it, and only once, after all writes finished.
+// Close signals the consumer that no more records follow; buffered
+// records remain readable. Subsequent or concurrently blocked writes
+// fail with ErrClosedPipe. Safe to call more than once.
 func (p *Pipe) Close() {
-	close(p.ch)
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.notFull.Broadcast()
+	p.notEmpty.Broadcast()
 }
 
 // CloseRead aborts the stream from the consumer side: buffered records
@@ -119,31 +143,44 @@ func (p *Pipe) Close() {
 // fail with ErrClosedPipe. Safe to call any number of times and
 // concurrently with writers.
 func (p *Pipe) CloseRead() {
-	p.doneOnce.Do(func() { close(p.done) })
+	p.mu.Lock()
+	p.aborted = true
+	p.n = 0
+	p.mu.Unlock()
+	p.notFull.Broadcast()
+	p.notEmpty.Broadcast()
 }
 
 // Len reports the number of records currently buffered.
-func (p *Pipe) Len() int { return len(p.ch) }
+func (p *Pipe) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
 
 // Cap reports the pipe's buffer capacity.
-func (p *Pipe) Cap() int { return cap(p.ch) }
+func (p *Pipe) Cap() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
 
 func (p *Pipe) Next() (*Record, bool) {
-	select {
-	case <-p.done:
-		return nil, false
-	default:
+	p.mu.Lock()
+	for p.n == 0 && !p.closed && !p.aborted {
+		p.notEmpty.Wait()
 	}
-	select {
-	case rec, ok := <-p.ch:
-		if !ok {
-			return nil, false
-		}
-		p.cur = rec
-		return &p.cur, true
-	case <-p.done:
+	if p.aborted || p.n == 0 { // aborted, or closed and fully drained
+		p.mu.Unlock()
 		return nil, false
 	}
+	p.cur = p.buf[p.head]
+	p.buf[p.head] = Record{} // do not pin the record's strings
+	p.head = (p.head + 1) % len(p.buf)
+	p.n--
+	p.mu.Unlock()
+	p.notFull.Signal()
+	return &p.cur, true
 }
 
 // ReaderSource streams JSONL records from r without materializing the

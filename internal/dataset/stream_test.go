@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -245,6 +247,115 @@ func TestPipeCloseReadUnblocksWriter(t *testing.T) {
 		t.Fatal("Next returned a record after CloseRead")
 	}
 	p.CloseRead() // idempotent
+}
+
+// TestPipeWriteAfterCloseErrors pins the write-side close semantics: a
+// Write landing after Close must fail with ErrClosedPipe — not panic,
+// not enqueue — while records accepted before the close stay readable.
+func TestPipeWriteAfterCloseErrors(t *testing.T) {
+	recs := sampleRecords(3)
+	p := NewPipe(4)
+	if err := p.Write(&recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Write(&recs[1]); !errors.Is(err, ErrClosedPipe) {
+		t.Fatalf("write after Close returned %v, want ErrClosedPipe", err)
+	}
+	got := Collect(p)
+	if len(got) != 1 || !got[0].StartTime.Equal(recs[0].StartTime) {
+		t.Fatalf("drained %d records after Close, want the 1 accepted", len(got))
+	}
+	p.Close() // idempotent
+}
+
+// TestPipeCloseVsWriteRace hammers the shutdown ordering the drain
+// path depends on: writers blocked on a full buffer when the pipe
+// closes (from either side) must wake with ErrClosedPipe, and every
+// write must either error or have its record observed by the consumer
+// — no deadlock, no silent loss. Run under -race.
+func TestPipeCloseVsWriteRace(t *testing.T) {
+	recs := sampleRecords(8)
+	for round := 0; round < 200; round++ {
+		p := NewPipe(2)
+		const writers = 4
+		var wrote atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < len(recs); i++ {
+					if err := p.Write(&recs[i]); err != nil {
+						if !errors.Is(err, ErrClosedPipe) {
+							t.Errorf("write: %v", err)
+						}
+						return
+					}
+					wrote.Add(1)
+				}
+			}(w)
+		}
+		var read int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				if _, ok := p.Next(); !ok {
+					return
+				}
+				read++
+				if i == round%5 {
+					// Abort mid-stream: blocked writers must not hang.
+					p.CloseRead()
+				}
+			}
+		}()
+		wg.Wait()
+		p.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("consumer deadlocked after close")
+		}
+		// CloseRead discards buffered records, so read <= wrote always;
+		// every successful Write before the abort was either consumed or
+		// discarded deliberately — never stranded with a blocked writer.
+		if read > wrote.Load() {
+			t.Fatalf("read %d > wrote %d", read, wrote.Load())
+		}
+	}
+}
+
+// TestPipeZeroLossWhenProducerCloses checks the cooperative shutdown
+// direction: if only the producer closes (no CloseRead), every
+// accepted record reaches the consumer.
+func TestPipeZeroLossWhenProducerCloses(t *testing.T) {
+	recs := sampleRecords(16)
+	p := NewPipe(3)
+	var wrote atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range recs {
+				if err := p.Write(&recs[i]); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				wrote.Add(1)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		p.Close()
+	}()
+	got := Collect(p)
+	if int64(len(got)) != wrote.Load() {
+		t.Fatalf("consumed %d records, wrote %d", len(got), wrote.Load())
+	}
 }
 
 func TestContextSourceStopsOnCancel(t *testing.T) {

@@ -104,6 +104,14 @@ func tupleKey(ip, from, to string) uint64 {
 
 // Check evaluates a delivery attempt from client ip with the given
 // envelope at time t and returns the verdict, updating state.
+//
+// Window boundaries are pinned half-open so every caller — the engine
+// chain and the smtpbridge wire path share one Greylist per world —
+// classifies an edge retry identically: a retry arriving exactly
+// minDelay after first sight is accepted (the wait interval is
+// [first, first+minDelay), retried-too-fast is strict <), and a
+// whitelist entry is valid for [accepted, accepted+lifetime) — a hit
+// exactly at lifetime has expired and re-enters greylisting.
 func (g *Greylist) Check(ip, from, to string, t time.Time) Verdict {
 	key := tupleKey(g.clientKey(ip), from, to)
 	g.mu.Lock()

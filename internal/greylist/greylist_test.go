@@ -39,6 +39,35 @@ func TestTooFastRetryDeferred(t *testing.T) {
 	}
 }
 
+// TestRetryWindowBoundaryExact pins the half-open window edges: a
+// retry exactly minDelay after first sight is accepted, one
+// nanosecond earlier is deferred, and a whitelist hit exactly at
+// lifetime has expired. Both the engine chain and the smtpbridge wire
+// path consult this same state, so these edges are what keeps their
+// classifications consistent (see differential_test.go).
+func TestRetryWindowBoundaryExact(t *testing.T) {
+	const delay = 300 * time.Second
+	g := New(delay, 24*time.Hour)
+	g.Check("1.1.1.1", "a@a.com", "b@b.com", t0)
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(delay-time.Nanosecond)); v != Defer {
+		t.Errorf("retry at minDelay-1ns: %v want Defer", v)
+	}
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", t0.Add(delay)); v != Accept {
+		t.Errorf("retry exactly at minDelay: %v want Accept", v)
+	}
+
+	// Whitelist lifetime is [accepted, accepted+lifetime): a hit 1ns
+	// before expiry is known, a hit exactly at expiry re-enters
+	// greylisting as a fresh defer.
+	wl := t0.Add(delay)
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", wl.Add(24*time.Hour-time.Nanosecond)); v != AcceptKnown {
+		t.Errorf("whitelist hit at lifetime-1ns: %v want AcceptKnown", v)
+	}
+	if v := g.Check("1.1.1.1", "a@a.com", "b@b.com", wl.Add(24*time.Hour)); v != Defer {
+		t.Errorf("whitelist hit exactly at lifetime: %v want Defer", v)
+	}
+}
+
 func TestDifferentProxyIPIsNewTuple(t *testing.T) {
 	// This is the Coremail failure mode from the paper: each retry comes
 	// from a different proxy MTA, so the tuple never repeats and the
