@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest chaos chaos-cli
+.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge chaos chaos-cli cluster-diff
 
 # check is the tier-1 gate plus static analysis and formatting.
 check: fmt vet build build-cmds test
@@ -72,6 +72,24 @@ serve:
 bench-serve:
 	$(GO) run ./cmd/bouncegen -emails 100000 -out /tmp/bench_corpus.jsonl
 	$(GO) run ./cmd/bounced loadgen -in /tmp/bench_corpus.jsonl -spawn -warm 1000 -out BENCH_bounced.json
+	@tail -1 BENCH_bounced.json
+
+# cluster-diff is the sharded-vs-single differential: partial-set
+# merge properties (associativity, commutativity, random merge
+# orders), sharded bounceanalyze report identity, and the 3-shard +
+# coordinator topology over real HTTP — every merge order must be
+# byte-identical to one node ingesting the full stream, including the
+# seed-swept torn-mid-batch chaos variant. See DESIGN.md §10.
+cluster-diff:
+	$(GO) test -run 'TestPartial|TestUnmarshalPartial|TestShardedPartial|TestCluster' -count=1 -v \
+		./internal/analysis/ ./internal/bounced/ .
+
+# bench-merge measures the coordinator's fan-in: decode + merge of K
+# shard partial snapshots (K = 1/2/4/16) versus one cold snapshot over
+# the same 100k records, with merged bytes asserted identical to the
+# unsharded partial set. Appends one JSON line to BENCH_bounced.json.
+bench-merge:
+	$(GO) run ./cmd/mergebench -out BENCH_bounced.json
 	@tail -1 BENCH_bounced.json
 
 # bench-ingest measures the ingest hot path without HTTP: the decode

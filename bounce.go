@@ -83,6 +83,8 @@ type Study struct {
 	Truths     []delivery.Truth
 	Analysis   *analysis.Analysis
 	Detections *analysis.Detections
+
+	partials *analysis.PartialSet // lazily built by Partials
 }
 
 // Generate builds a world and delivers its full 15-month workload,

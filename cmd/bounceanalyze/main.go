@@ -48,6 +48,7 @@ func main() {
 		section = flag.String("section", "all", "comma-separated sections or 'all'")
 		asJSON  = flag.Bool("json", false, "emit a machine-readable summary instead of the report")
 		workers = flag.Int("workers", 1, "delivery fan-out width (results are identical for any value)")
+		shards  = flag.Int("shards", 0, "with -in: partition the file into N shard analyses and merge their partial aggregates (report bytes identical to -shards 0)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
 		memProf = flag.String("memprofile", "", "write a heap profile on exit here")
 		faults  = flag.String("fault-spec", "", "with -in: replay the file through a deterministic fault-injection wrapper (DESIGN.md §9)")
@@ -88,6 +89,13 @@ func main() {
 	cfg.TotalEmails = *emails
 	cfg.Seed = *seed
 
+	if *shards > 1 && *in == "" {
+		log.Fatal("-shards requires -in (sharding partitions an existing dataset file)")
+	}
+	if *shards > 1 && *asJSON {
+		log.Fatal("-json is unavailable with -shards (the summary needs the full corpus)")
+	}
+
 	var study *bounce.Study
 	if *in == "" {
 		var err error
@@ -109,9 +117,18 @@ func main() {
 		if err := e.ParallelRunCtx(ctx, *workers, func(dataset.Record, *world.Submission, delivery.Truth) {}); err != nil {
 			log.Fatal(err)
 		}
-		// Stream the file through the pipeline in a single pass.
 		src := dataset.NewContextSource(ctx, f)
-		a := analysis.NewFromSource(src, analysis.DefaultPipelineConfig(), bounce.NewEnvironment(w))
+		env := bounce.NewEnvironment(w)
+		if *shards > 1 {
+			// Sharded batch mode: partition by substream ownership, analyze
+			// each shard independently, round-trip every partial through the
+			// wire codec, merge, and render — the offline twin of the
+			// shard/coordinator topology. Bytes match the unsharded run.
+			runSharded(src, f, env, *shards, *section)
+			return
+		}
+		// Stream the file through the pipeline in a single pass.
+		a := analysis.NewFromSource(src, analysis.DefaultPipelineConfig(), env)
 		f.Close()
 		if err := src.Err(); err != nil {
 			log.Fatal(err)
@@ -135,6 +152,61 @@ func main() {
 		}
 	}
 	if err := study.WriteReport(os.Stdout, sections); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runSharded is the offline twin of the shard/coordinator topology
+// (satellite of DESIGN.md §10): records are partitioned by substream
+// ownership exactly as a cluster router would, each shard is analyzed
+// independently, and the shard partials — round-tripped through the
+// wire codec a shard node serves on /v1/partial — are merged in shard
+// order. The merged report bytes equal the unsharded run's for every
+// partial-renderable section.
+func runSharded(src *dataset.ContextSource, f recordSource, env *analysis.Environment, shards int, section string) {
+	parts := make([][]dataset.Record, shards)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		// The reader reuses its record buffers — copy the struct out.
+		c := *rec
+		own := analysis.OwnerOf(&c, shards)
+		parts[own] = append(parts[own], c)
+	}
+	f.Close()
+	if err := src.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	var merged *analysis.PartialSet
+	for i, recs := range parts {
+		ps := analysis.New(recs, env).Partials()
+		rt, err := analysis.UnmarshalPartialSet(ps.Marshal(), env)
+		if err != nil {
+			log.Fatalf("shard %d: %v", i, err)
+		}
+		if merged == nil {
+			merged = rt
+			continue
+		}
+		if err := merged.Merge(rt); err != nil {
+			log.Fatalf("shard %d: %v", i, err)
+		}
+	}
+
+	sections := bounce.PartialSections
+	if section != "all" {
+		sections = nil
+		for _, s := range strings.Split(section, ",") {
+			sections = append(sections, bounce.Section(strings.TrimSpace(s)))
+		}
+	} else {
+		log.Print("note: squat and advice need the full corpus; run without -shards to include them")
+	}
+	if err := bounce.NewPartialStudy(merged).WriteReport(os.Stdout, sections); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -14,8 +14,18 @@
 //	bounced -fault-spec 'seed=7,torn=0.05' -read-timeout 5s   # hostile-stream drills
 //	bounced loadgen -in dataset.jsonl -spawn -chaos 'seed=3,torn=0.3,dup=0.5'
 //
+// Cluster mode (DESIGN.md §10) splits one logical service across shard
+// nodes plus a stateless coordinator; the coordinator's merged report
+// is byte-identical to a single node ingesting the full stream:
+//
+//	bounced -role=shard -shard-index=0 -shard-count=3 -addr :8425
+//	bounced -role=shard -shard-index=1 -shard-count=3 -addr :8426
+//	bounced -role=shard -shard-index=2 -shard-count=3 -addr :8427
+//	bounced -role=coordinator -shards http://h0:8425,http://h1:8426,http://h2:8427
+//
 // Endpoints: POST /v1/records (NDJSON, gzip-aware), GET /v1/report
-// ?section=table1,fig8, GET /v1/stats, POST /v1/snapshot, GET /metrics
+// ?section=table1,fig8, GET /v1/stats, POST /v1/snapshot, GET
+// /v1/partial (shard snapshot for coordinators), GET /metrics
 // (Prometheus text), GET /healthz.
 //
 // SIGINT/SIGTERM shuts down gracefully: HTTP ingestion stops, the
@@ -74,8 +84,32 @@ func serveMain(args []string) {
 		faultArg = fs.String("fault-spec", "", "arm deterministic fault injection, e.g. 'seed=7,torn=0.05,stall=2ms' (DESIGN.md §9)")
 		readTO   = fs.Duration("read-timeout", 0, "per-request body read deadline; slow-loris cutoff (0 disables)")
 		dedupWin = fs.Int("dedup-window", 256, "idempotent X-Batch-Id dedup window, in batches")
+		role     = fs.String("role", "single", "node role: single, shard (owns a slice of the 16 substreams), or coordinator (merges shard partials)")
+		shardIdx = fs.Int("shard-index", 0, "shard role: this node's index in [0, shard-count)")
+		shardCnt = fs.Int("shard-count", 0, "shard role: total shard nodes; a record belongs here iff OwnerOf(record, shard-count) == shard-index")
+		shardArg = fs.String("shards", "", "coordinator role: comma-separated shard base URLs (their order is the merge order)")
 	)
 	fs.Parse(args)
+
+	switch *role {
+	case "single":
+	case "shard":
+		if *shardCnt <= 0 || *shardIdx < 0 || *shardIdx >= *shardCnt {
+			log.Fatalf("-role=shard needs 0 <= -shard-index < -shard-count (got index %d, count %d)", *shardIdx, *shardCnt)
+		}
+		if *generate {
+			log.Fatal("-generate is incompatible with -role=shard: feed shards over HTTP so records route by ownership")
+		}
+	case "coordinator":
+		if *shardArg == "" {
+			log.Fatal("-role=coordinator requires -shards (comma-separated shard base URLs)")
+		}
+		if *generate || *replay != "" {
+			log.Fatal("-role=coordinator holds no records; -generate and -replay are shard-side flags")
+		}
+	default:
+		log.Fatalf("unknown -role %q (want single, shard, or coordinator)", *role)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -119,6 +153,44 @@ func serveMain(args []string) {
 		sCfg.PolicyMetrics = e.Metrics
 	}
 
+	if *role == "coordinator" {
+		var urls []string
+		for _, u := range strings.Split(*shardArg, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord, err := bounced.NewCoordinator(bounced.CoordinatorConfig{ShardURLs: urls, Env: sCfg.Env})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpSrv := &http.Server{Handler: coord.Handler()}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+		log.Printf("coordinator listening on %s over %d shards", ln.Addr(), len(urls))
+		<-ctx.Done()
+		stop()
+		// Coordinators hold no records: shutdown is just closing the
+		// listener, no drain and no final report.
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		return
+	}
+	if *role == "shard" {
+		sCfg.ShardCount = *shardCnt
+		sCfg.ShardIndex = *shardIdx
+	}
+
 	srv := bounced.New(sCfg)
 
 	if *replay != "" {
@@ -153,7 +225,11 @@ func serveMain(args []string) {
 			log.Fatal(err)
 		}
 	}()
-	log.Printf("listening on %s (seed %d)", ln.Addr(), *seed)
+	if *role == "shard" {
+		log.Printf("shard %d/%d listening on %s (seed %d)", *shardIdx, *shardCnt, ln.Addr(), *seed)
+	} else {
+		log.Printf("listening on %s (seed %d)", ln.Addr(), *seed)
+	}
 
 	<-ctx.Done()
 	log.Print("shutting down: stopping producers, draining queue")

@@ -1,0 +1,140 @@
+// Command mergebench measures the coordinator's fan-in cost: how long
+// decoding and merging K shard partial snapshots takes (exactly the
+// coordinator's gather step, after the HTTP fetches land) versus one
+// cold snapshot over the same records. Each shard's snapshot is built
+// the way a live shard node would — records partitioned by substream
+// ownership, analyzed independently, marshaled through the versioned
+// wire codec — and the merged bytes are asserted identical to the
+// unsharded partial set before any timing is reported.
+//
+// Usage:
+//
+//	mergebench                        # 100k records, shard counts 1/2/4/16
+//	mergebench -emails 200000 -out -  # bigger corpus, print to stdout
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/world"
+)
+
+type shardCost struct {
+	Shards       int     `json:"shards"`
+	PartialBytes int     `json:"partial_bytes_total"`
+	MergeMs      float64 `json:"merge_ms"`
+}
+
+type result struct {
+	Bench          string      `json:"bench"`
+	Timestamp      string      `json:"timestamp"`
+	Records        int         `json:"records"`
+	SnapshotMsCold float64     `json:"snapshot_ms_cold"`
+	Merges         []shardCost `json:"merges"`
+	Merge16VsCold  float64     `json:"merge16_vs_cold_ratio"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mergebench: ")
+	var (
+		emails = flag.Int("emails", 100_000, "corpus size to generate in memory")
+		seed   = flag.Uint64("seed", 42, "world seed")
+		out    = flag.String("out", "BENCH_bounced.json", "append the result line here ('-' for stdout)")
+	)
+	flag.Parse()
+
+	cfg := world.DefaultConfig()
+	cfg.TotalEmails = *emails
+	cfg.Seed = *seed
+	_, records := bounce.Generate(cfg)
+	res := result{
+		Bench:     "merge",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Records:   len(records),
+	}
+
+	// Cold-snapshot baseline: the incremental engine's full classify,
+	// the same measurement ingestbench records as snapshot_ms_cold.
+	inc := analysis.NewIncremental(analysis.DefaultPipelineConfig())
+	for i := range records {
+		inc.Add(&records[i])
+	}
+	start := time.Now()
+	inc.Snapshot(nil)
+	res.SnapshotMsCold = float64(time.Since(start).Nanoseconds()) / 1e6
+
+	// The unsharded partial set is the byte-identity reference every
+	// merged result must reproduce exactly.
+	want := analysis.New(records, nil).Partials().Marshal()
+
+	for _, n := range []int{1, 2, 4, 16} {
+		parts := make([][]dataset.Record, n)
+		for i := range records {
+			own := analysis.OwnerOf(&records[i], n)
+			parts[own] = append(parts[own], records[i])
+		}
+		blobs := make([][]byte, n)
+		total := 0
+		for i, part := range parts {
+			blobs[i] = analysis.New(part, nil).Partials().Marshal()
+			total += len(blobs[i])
+		}
+
+		// The timed region mirrors Coordinator.gather after the HTTP
+		// fetches land: decode every blob, merge in shard order.
+		start = time.Now()
+		var merged *analysis.PartialSet
+		for i, b := range blobs {
+			ps, err := analysis.UnmarshalPartialSet(b, nil)
+			if err != nil {
+				log.Fatalf("shards=%d: decode shard %d: %v", n, i, err)
+			}
+			if merged == nil {
+				merged = ps
+				continue
+			}
+			if err := merged.Merge(ps); err != nil {
+				log.Fatalf("shards=%d: merge shard %d: %v", n, i, err)
+			}
+		}
+		ms := float64(time.Since(start).Nanoseconds()) / 1e6
+
+		if !bytes.Equal(merged.Marshal(), want) {
+			log.Fatalf("shards=%d: merged partial set is not byte-identical to the unsharded one", n)
+		}
+		res.Merges = append(res.Merges, shardCost{Shards: n, PartialBytes: total, MergeMs: ms})
+		if n == 16 && res.SnapshotMsCold > 0 {
+			res.Merge16VsCold = ms / res.SnapshotMsCold
+		}
+		log.Printf("shards=%2d merge %.2fms (%d snapshot bytes)", n, ms, total)
+	}
+
+	line, err := json.Marshal(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line = append(line, '\n')
+	if *out == "-" {
+		os.Stdout.Write(line)
+		return
+	}
+	f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(line); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cold snapshot %.1fms, 16-shard merge %.1fms (%.3fx cold) -> %s",
+		res.SnapshotMsCold, res.Merges[len(res.Merges)-1].MergeMs, res.Merge16VsCold, *out)
+}

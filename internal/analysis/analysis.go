@@ -61,29 +61,40 @@ func (c *ClassifiedRecord) HasType(t ndr.Type) bool {
 type Analysis struct {
 	Records    dataset.Records
 	Classified []ClassifiedRecord
-	Pipeline   *Pipeline
+	Pipeline   *ShardedPipeline
 	Env        *Environment
 
 	rank    []dataset.RankEntry
 	rankPos map[string]int
 }
 
-// New classifies records with a freshly built pipeline and prepares the
-// derived indexes. env may be nil for dataset-only analyses.
+// New classifies records with freshly built per-substream pipelines and
+// prepares the derived indexes. env may be nil for dataset-only
+// analyses.
 func New(records []dataset.Record, env *Environment) *Analysis {
-	return NewWithPipeline(records, BuildPipeline(records, DefaultPipelineConfig()), env)
-}
-
-// NewWithPipeline classifies records with a pre-built pipeline.
-func NewWithPipeline(records []dataset.Record, p *Pipeline, env *Environment) *Analysis {
 	view := dataset.SliceRecords(records)
+	sp := buildShardedPipeline(view, DefaultPipelineConfig())
 	verdicts := make([]ClassifiedRecord, len(records))
-	classifyRange(p, view, verdicts, 0)
+	classifyRange(sp, view, verdicts, 0)
 	counts := make(map[string]int, 64)
 	for i := range records {
 		counts[records[i].ToDomain()]++
 	}
-	return assemble(view, verdicts, p, counts, env)
+	return assemble(view, verdicts, sp, counts, env)
+}
+
+// NewWithPipeline classifies records with one pre-built pipeline (no
+// substream split — every record routes to it).
+func NewWithPipeline(records []dataset.Record, p *Pipeline, env *Environment) *Analysis {
+	view := dataset.SliceRecords(records)
+	sp := SinglePipeline(p)
+	verdicts := make([]ClassifiedRecord, len(records))
+	classifyRange(sp, view, verdicts, 0)
+	counts := make(map[string]int, 64)
+	for i := range records {
+		counts[records[i].ToDomain()]++
+	}
+	return assemble(view, verdicts, sp, counts, env)
 }
 
 // NewFromSource consumes a record stream in a single pass: while
@@ -138,6 +149,10 @@ func (p *Pipeline) ClassifyRecord(rec *dataset.Record) ClassifiedRecord {
 // InEmailRank returns the receiver-domain popularity list.
 func (a *Analysis) InEmailRank() []dataset.RankEntry { return a.rank }
 
+// PipelineSummary condenses the classifier stack into its mergeable
+// aggregate (same shape a PartialSet carries).
+func (a *Analysis) PipelineSummary() PipelineSummary { return a.Pipeline.Summary() }
+
 // RankOf returns the InEmailRank position of domain (-1 if absent).
 func (a *Analysis) RankOf(domain string) int {
 	if p, ok := a.rankPos[domain]; ok {
@@ -181,22 +196,9 @@ func (a *Analysis) TypeDistribution() map[ndr.Type]int {
 // NoEnhancedCodeShare returns the share of NDR lines lacking an RFC 3463
 // enhanced status code (paper: 28.79%).
 func (a *Analysis) NoEnhancedCodeShare() float64 {
-	with, total := 0, 0
-	for i := 0; i < a.Records.Len(); i++ {
-		for _, line := range a.Records.At(i).DeliveryResult {
-			if strings.HasPrefix(line, "2") {
-				continue
-			}
-			total++
-			if ndr.HasEnhancedCode(line) {
-				with++
-			}
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return 1 - float64(with)/float64(total)
+	var ec enhancedCollector
+	a.visit(&ec)
+	return ec.result()
 }
 
 // AmbiguousTemplate is one Table-6 row.
@@ -206,13 +208,7 @@ type AmbiguousTemplate struct {
 }
 
 // AmbiguousTemplates returns the mined templates flagged ambiguous with
-// their message counts, descending (Table 6).
+// their message counts, normalized count-descending (Table 6).
 func (a *Analysis) AmbiguousTemplates() []AmbiguousTemplate {
-	var out []AmbiguousTemplate
-	for _, g := range a.Pipeline.Parser.Groups() {
-		if a.Pipeline.groupAmbiguous[g.ID] {
-			out = append(out, AmbiguousTemplate{Template: g.Template(), Count: g.Count})
-		}
-	}
-	return out
+	return a.Pipeline.AmbiguousTemplates()
 }

@@ -333,7 +333,7 @@ func TestNoEnhancedCodeShare(t *testing.T) {
 
 func TestEpisodize(t *testing.T) {
 	mk := func(day int, bad bool) event {
-		return event{at: clock.StudyStart.AddDate(0, 0, day), bad: bad}
+		return event{at: clock.StudyStart.AddDate(0, 0, day).UnixNano(), bad: bad}
 	}
 	// bad(1) bad(2) good(5) bad(10) good(12): two episodes 4d and 2d.
 	durations, episodes, completed := episodize([]event{

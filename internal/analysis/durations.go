@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/ndr"
 	"repro/internal/stats"
 )
@@ -36,9 +37,10 @@ type DurationsFigure struct {
 	MailboxFull EpisodeStats // per recipient (86-day mean, >51% ≥30d)
 }
 
-// event is a timestamped good/bad observation for one entity.
+// event is a timestamped good/bad observation for one entity; the
+// timestamp is UnixNano so partials carry it verbatim on the wire.
 type event struct {
-	at  time.Time
+	at  int64
 	bad bool
 }
 
@@ -46,10 +48,16 @@ type event struct {
 // an episode starts at the first bad event and completes at the first
 // subsequent good event. Entities whose final episode never completes
 // count as always-broken when they had exactly one (unfinished)
-// episode.
+// episode. The sort is a total order — time ascending, bad before good
+// at equal times — so shard splits cannot reorder tied events.
 func episodize(events []event) (durations []float64, episodes int, completedAll bool) {
-	sort.Slice(events, func(i, j int) bool { return events[i].at.Before(events[j].at) })
-	var start time.Time
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].bad && !events[j].bad
+	})
+	var start int64
 	inEpisode := false
 	completedAll = true
 	for _, ev := range events {
@@ -62,7 +70,7 @@ func episodize(events []event) (durations []float64, episodes int, completedAll 
 			continue
 		}
 		if inEpisode {
-			durations = append(durations, ev.at.Sub(start).Hours()/24)
+			durations = append(durations, time.Duration(ev.at-start).Hours()/24)
 			inEpisode = false
 		}
 	}
@@ -72,82 +80,208 @@ func episodize(events []event) (durations []float64, episodes int, completedAll 
 	return durations, episodes, completedAll
 }
 
-// Durations infers Figure 7 from the dataset alone: misconfiguration
-// periods are bounded by observed bounces of the relevant type and the
-// next observed success for the same entity.
-func (a *Analysis) Durations(det *Detections) DurationsFigure {
-	if det == nil {
-		det = a.Detect()
+// durationsCollector accumulates the raw timestamps Figure 7 needs.
+// Which entities count (and which T2 domains are typo-excluded) depends
+// on the merged detections, so Add records timestamps per entity and
+// resolve assembles the event sequences afterwards.
+type durationsCollector struct {
+	authBad  map[string][]int64         // sender domain -> T3 bounce starts
+	authRcvr map[string]map[string]bool // sender domain -> receivers that T3-bounced it
+	authOk   map[string][]int64         // "fromDom\x00toDom" -> success ends
+	mxBad    map[string][]int64         // receiver domain -> T2 bounce starts
+	okByDom  map[string][]int64         // receiver domain -> non-T2 success ends
+	fullBad  map[string][]int64         // recipient -> T9 bounce starts
+	okByAddr map[string][]int64         // recipient -> non-T9 success ends
+}
+
+func newDurationsCollector() *durationsCollector {
+	return &durationsCollector{
+		authBad:  map[string][]int64{},
+		authRcvr: map[string]map[string]bool{},
+		authOk:   map[string][]int64{},
+		mxBad:    map[string][]int64{},
+		okByDom:  map[string][]int64{},
+		fullBad:  map[string][]int64{},
+		okByAddr: map[string][]int64{},
 	}
+}
+
+func (uc *durationsCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	from := rec.FromDomain()
+	to := rec.ToDomain()
+	if c.HasType(ndr.T3AuthFail) {
+		uc.authBad[from] = append(uc.authBad[from], rec.StartTime.UnixNano())
+		set := uc.authRcvr[from]
+		if set == nil {
+			set = map[string]bool{}
+			uc.authRcvr[from] = set
+		}
+		set[to] = true
+	}
+	if rec.Succeeded() {
+		k := from + "\x00" + to
+		uc.authOk[k] = append(uc.authOk[k], rec.EndTime.UnixNano())
+	}
+	if c.HasType(ndr.T2ReceiverDNS) {
+		uc.mxBad[to] = append(uc.mxBad[to], rec.StartTime.UnixNano())
+	} else if rec.Succeeded() {
+		uc.okByDom[to] = append(uc.okByDom[to], rec.EndTime.UnixNano())
+	}
+	if c.HasType(ndr.T9MailboxFull) {
+		uc.fullBad[rec.To] = append(uc.fullBad[rec.To], rec.StartTime.UnixNano())
+	} else if rec.Succeeded() {
+		uc.okByAddr[rec.To] = append(uc.okByAddr[rec.To], rec.EndTime.UnixNano())
+	}
+}
+
+func mergeTimes(dst, src map[string][]int64) {
+	for k, v := range src {
+		dst[k] = append(dst[k], v...)
+	}
+}
+
+func (uc *durationsCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*durationsCollector)
+	if !ok {
+		return mergeTypeError("durations", other)
+	}
+	mergeTimes(uc.authBad, o.authBad)
+	for from, set := range o.authRcvr {
+		t := uc.authRcvr[from]
+		if t == nil {
+			t = map[string]bool{}
+			uc.authRcvr[from] = t
+		}
+		for to := range set {
+			t[to] = true
+		}
+	}
+	mergeTimes(uc.authOk, o.authOk)
+	mergeTimes(uc.mxBad, o.mxBad)
+	mergeTimes(uc.okByDom, o.okByDom)
+	mergeTimes(uc.fullBad, o.fullBad)
+	mergeTimes(uc.okByAddr, o.okByAddr)
+	return nil
+}
+
+// encodeTimes writes a timestamp multiset map with sorted keys and
+// sorted values, so equal states encode to equal bytes.
+func (e *enc) encodeTimes(m map[string][]int64) {
+	e.u64(uint64(len(m)))
+	for _, k := range sortedKeys(m) {
+		e.str(k)
+		ts := append([]int64(nil), m[k]...)
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		e.i64List(ts)
+	}
+}
+
+func (d *dec) decodeTimes() map[string][]int64 {
+	n := d.count()
+	m := make(map[string][]int64, n)
+	for i := 0; i < n; i++ {
+		k := d.str()
+		m[k] = d.i64List()
+	}
+	return m
+}
+
+func (uc *durationsCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.encodeTimes(uc.authBad)
+	e.u64(uint64(len(uc.authRcvr)))
+	for _, from := range sortedKeys(uc.authRcvr) {
+		e.str(from)
+		e.strSet(uc.authRcvr[from])
+	}
+	e.encodeTimes(uc.authOk)
+	e.encodeTimes(uc.mxBad)
+	e.encodeTimes(uc.okByDom)
+	e.encodeTimes(uc.fullBad)
+	e.encodeTimes(uc.okByAddr)
+	return e.buf
+}
+
+func (uc *durationsCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("durations", 1)
+	uc.authBad = d.decodeTimes()
+	n := d.count()
+	uc.authRcvr = make(map[string]map[string]bool, n)
+	for i := 0; i < n; i++ {
+		from := d.str()
+		uc.authRcvr[from] = d.strSet()
+	}
+	uc.authOk = d.decodeTimes()
+	uc.mxBad = d.decodeTimes()
+	uc.okByDom = d.decodeTimes()
+	uc.fullBad = d.decodeTimes()
+	uc.okByAddr = d.decodeTimes()
+	return d.err
+}
+
+func badGoodEvents(bads, goods []int64) []event {
+	evs := make([]event, 0, len(bads)+len(goods))
+	for _, at := range bads {
+		evs = append(evs, event{at, true})
+	}
+	for _, at := range goods {
+		evs = append(evs, event{at, false})
+	}
+	return evs
+}
+
+// resolve assembles the per-entity event sequences and summarizes them.
+// Misconfiguration periods are bounded by observed bounces of the
+// relevant type and the next observed success for the same entity.
+func (uc *durationsCollector) resolve(det *Detections) DurationsFigure {
 	var fig DurationsFigure
 
 	// --- DKIM/SPF (T3) per sender domain. A "good" event is a success
-	// from the sender at a receiver that previously T3-bounced it.
+	// from the sender at a receiver that T3-bounced it.
 	authEvents := map[string][]event{}
-	t3Receivers := map[string]map[string]bool{}
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		from := rec.FromDomain()
-		if a.Classified[i].HasType(ndr.T3AuthFail) {
-			authEvents[from] = append(authEvents[from], event{rec.StartTime, true})
-			if t3Receivers[from] == nil {
-				t3Receivers[from] = map[string]bool{}
+	for from, bads := range uc.authBad {
+		evs := badGoodEvents(bads, nil)
+		for to := range uc.authRcvr[from] {
+			for _, at := range uc.authOk[from+"\x00"+to] {
+				evs = append(evs, event{at, false})
 			}
-			t3Receivers[from][rec.ToDomain()] = true
 		}
-	}
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		from := rec.FromDomain()
-		if rec.Succeeded() && t3Receivers[from][rec.ToDomain()] {
-			authEvents[from] = append(authEvents[from], event{rec.EndTime, false})
-		}
+		authEvents[from] = evs
 	}
 	fig.AuthDKIMSPF = summarize(authEvents)
 
 	// --- MX errors (T2, excluding typo domains) per receiver domain.
-	// First pass finds affected domains, second collects their good/bad
-	// events (successes before the first bounce delimit episodes too).
 	mxEvents := map[string][]event{}
-	t2Domains := map[string]bool{}
-	for i := 0; i < a.Records.Len(); i++ {
-		if a.Classified[i].HasType(ndr.T2ReceiverDNS) {
-			to := a.Records.At(i).ToDomain()
-			if _, isTypo := det.DomainTypos[to]; !isTypo {
-				t2Domains[to] = true
-			}
-		}
-	}
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		to := rec.ToDomain()
-		if !t2Domains[to] {
+	for to, bads := range uc.mxBad {
+		if _, isTypo := det.DomainTypos[to]; isTypo {
 			continue
 		}
-		if a.Classified[i].HasType(ndr.T2ReceiverDNS) {
-			mxEvents[to] = append(mxEvents[to], event{rec.StartTime, true})
-		} else if rec.Succeeded() {
-			mxEvents[to] = append(mxEvents[to], event{rec.EndTime, false})
-		}
+		mxEvents[to] = badGoodEvents(bads, uc.okByDom[to])
 	}
 	fig.MXRecords = summarize(mxEvents)
 
 	// --- Mailbox full (T9) per recipient address.
 	fullEvents := map[string][]event{}
-	t9Addrs := det.FullMailboxes
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		if !t9Addrs[rec.To] {
+	for addr, bads := range uc.fullBad {
+		if !det.FullMailboxes[addr] {
 			continue
 		}
-		if a.Classified[i].HasType(ndr.T9MailboxFull) {
-			fullEvents[rec.To] = append(fullEvents[rec.To], event{rec.StartTime, true})
-		} else if rec.Succeeded() {
-			fullEvents[rec.To] = append(fullEvents[rec.To], event{rec.EndTime, false})
-		}
+		fullEvents[addr] = badGoodEvents(bads, uc.okByAddr[addr])
 	}
 	fig.MailboxFull = summarize(fullEvents)
 	return fig
+}
+
+// Durations infers Figure 7 from the dataset alone.
+func (a *Analysis) Durations(det *Detections) DurationsFigure {
+	if det == nil {
+		det = a.Detect()
+	}
+	uc := newDurationsCollector()
+	a.visit(uc)
+	return uc.resolve(det)
 }
 
 func summarize(events map[string][]event) EpisodeStats {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dataset"
+	"repro/internal/geo"
 	"repro/internal/ndr"
 	"repro/internal/stats"
 )
@@ -46,6 +47,50 @@ func (tc *timelineCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	tc.monthly[clock.MonthKey(rec.StartTime)]++
 }
 
+func (tc *timelineCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*timelineCollector)
+	if !ok {
+		return mergeTypeError("timeline", other)
+	}
+	for d := range tc.tl.Days {
+		tc.tl.Days[d].Non += o.tl.Days[d].Non
+		tc.tl.Days[d].Soft += o.tl.Days[d].Soft
+		tc.tl.Days[d].Hard += o.tl.Days[d].Hard
+	}
+	for m, n := range o.monthly {
+		tc.monthly[m] += n
+	}
+	return nil
+}
+
+func (tc *timelineCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.intv(clock.StudyDays)
+	for d := range tc.tl.Days {
+		e.intv(tc.tl.Days[d].Non)
+		e.intv(tc.tl.Days[d].Soft)
+		e.intv(tc.tl.Days[d].Hard)
+	}
+	e.strIntMap(tc.monthly)
+	return e.buf
+}
+
+func (tc *timelineCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("timeline", 1)
+	if days := d.intv(); d.err == nil && days != clock.StudyDays {
+		return mergeTypeError("timeline-days", tc)
+	}
+	for i := range tc.tl.Days {
+		tc.tl.Days[i].Non = d.intv()
+		tc.tl.Days[i].Soft = d.intv()
+		tc.tl.Days[i].Hard = d.intv()
+	}
+	tc.monthly = d.strIntMap()
+	return d.err
+}
+
 func (tc *timelineCollector) result() Timeline {
 	tl := tc.tl
 	for m, n := range tc.monthly {
@@ -80,20 +125,84 @@ type BlocklistFigure struct {
 	NormalShare float64
 }
 
-// BlocklistFigure computes Figure 6. Requires Env.Blocklist and
-// Env.ProxyIPs.
-func (a *Analysis) BlocklistFigure() BlocklistFigure {
+// blockedCollector accumulates Figure 6's per-day T5 counts. The
+// blocklist-probe half of the figure depends only on the Environment,
+// so result recomputes it from env rather than carrying it in the
+// partial.
+type blockedCollector struct {
+	normalDays   [clock.StudyDays]int
+	spamDays     [clock.StudyDays]int
+	normal, spam int
+}
+
+func (bc *blockedCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	if !c.HasType(ndr.T5Blocklisted) {
+		return
+	}
+	day := clock.Day(rec.StartTime)
+	if rec.EmailFlag == "Spam" {
+		bc.spamDays[day]++
+		bc.spam++
+	} else {
+		bc.normalDays[day]++
+		bc.normal++
+	}
+}
+
+func (bc *blockedCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*blockedCollector)
+	if !ok {
+		return mergeTypeError("blocked", other)
+	}
+	for d := range bc.normalDays {
+		bc.normalDays[d] += o.normalDays[d]
+		bc.spamDays[d] += o.spamDays[d]
+	}
+	bc.normal += o.normal
+	bc.spam += o.spam
+	return nil
+}
+
+func (bc *blockedCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.intv(clock.StudyDays)
+	for d := range bc.normalDays {
+		e.intv(bc.normalDays[d])
+		e.intv(bc.spamDays[d])
+	}
+	e.intv(bc.normal)
+	e.intv(bc.spam)
+	return e.buf
+}
+
+func (bc *blockedCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("blocked", 1)
+	if days := d.intv(); d.err == nil && days != clock.StudyDays {
+		return mergeTypeError("blocked-days", bc)
+	}
+	for i := range bc.normalDays {
+		bc.normalDays[i] = d.intv()
+		bc.spamDays[i] = d.intv()
+	}
+	bc.normal = d.intv()
+	bc.spam = d.intv()
+	return d.err
+}
+
+func (bc *blockedCollector) result(env *Environment) BlocklistFigure {
 	var f BlocklistFigure
-	if a.Env == nil || a.Env.Blocklist == nil {
+	if env == nil || env.Blocklist == nil {
 		return f
 	}
-	perProxy := make([]int, len(a.Env.ProxyIPs))
+	perProxy := make([]int, len(env.ProxyIPs))
 	sum := 0
 	for day := 0; day < clock.StudyDays; day++ {
 		at := clock.DayStart(day).Add(12 * time.Hour)
 		n := 0
-		for i, ip := range a.Env.ProxyIPs {
-			if a.Env.Blocklist.Listed(ip, at) {
+		for i, ip := range env.ProxyIPs {
+			if env.Blocklist.Listed(ip, at) {
 				n++
 				perProxy[i]++
 			}
@@ -107,32 +216,22 @@ func (a *Analysis) BlocklistFigure() BlocklistFigure {
 			f.ProxiesOver70Pct++
 		}
 	}
-	bc := blockedCollector{f: &f}
-	a.visit(&bc)
+	copy(f.BlockedNormal[:], bc.normalDays[:])
+	copy(f.BlockedSpam[:], bc.spamDays[:])
 	if bc.normal+bc.spam > 0 {
 		f.NormalShare = float64(bc.normal) / float64(bc.normal+bc.spam)
 	}
 	return f
 }
 
-// blockedCollector accumulates Figure 6's per-day T5 counts.
-type blockedCollector struct {
-	f            *BlocklistFigure
-	normal, spam int
-}
-
-func (bc *blockedCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
-	if !c.HasType(ndr.T5Blocklisted) {
-		return
+// BlocklistFigure computes Figure 6. Requires Env.Blocklist and
+// Env.ProxyIPs.
+func (a *Analysis) BlocklistFigure() BlocklistFigure {
+	var bc blockedCollector
+	if a.Env != nil && a.Env.Blocklist != nil {
+		a.visit(&bc)
 	}
-	day := clock.Day(rec.StartTime)
-	if rec.EmailFlag == "Spam" {
-		bc.f.BlockedSpam[day]++
-		bc.spam++
-	} else {
-		bc.f.BlockedNormal[day]++
-		bc.normal++
-	}
+	return bc.result(a.Env)
 }
 
 // InfraMatrix is Figure 8: timeout ratio per (sender proxy country,
@@ -146,69 +245,147 @@ type InfraMatrix struct {
 	ReceiverTimeoutPct map[string]float64
 }
 
-// InfraMatrix computes Figure 8 over receiver countries with at least
-// minEmails deliveries, reporting the worst n receiver countries.
-// Requires Env.Geo and Env.ProxyRegion.
-func (a *Analysis) InfraMatrix(minEmails, n int) InfraMatrix {
-	out := InfraMatrix{ReceiverTimeoutPct: map[string]float64{}}
-	if a.Env == nil || a.Env.Geo == nil {
-		return out
+// infraCell is one (sender CC, receiver CC) accumulator.
+type infraCell struct {
+	emails, timeouts int
+}
+
+// infraCollector accumulates Figure 8 in one pass. The per-record
+// email dedup (one email per pair/receiver) is record-local, so it
+// lives in Add; all ranking lives in result.
+type infraCollector struct {
+	geo         *geo.DB
+	proxyRegion map[string]string
+	cells       map[string]*infraCell // "proxyCC\x00cc"
+	rcvr        map[string]*infraCell
+}
+
+func newInfraCollector(db *geo.DB, proxyRegion map[string]string) *infraCollector {
+	return &infraCollector{
+		geo: db, proxyRegion: proxyRegion,
+		cells: map[string]*infraCell{}, rcvr: map[string]*infraCell{},
 	}
-	type cell struct{ emails, timeouts int }
-	cells := map[[2]string]*cell{}
-	rcvrTotals := map[string]*cell{}
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		// Attribute per attempt: each attempt has a proxy and may be a
-		// timeout; email-level N2 counts an email once per sender CC it
-		// timed out from.
-		seenPair := map[[2]string]bool{}
-		seenRcvr := map[string]bool{}
-		for j := range rec.DeliveryResult {
-			proxyCC := a.Env.ProxyRegion[rec.FromIP[j]]
-			ip := rec.ToIP[j]
-			cc := ""
-			if ip != "" {
-				cc, _, _ = a.Env.Geo.Lookup(ip)
-			}
-			if cc == "" {
-				cc = a.receiverCC(rec)
-			}
-			if proxyCC == "" || cc == "" {
-				continue
-			}
-			key := [2]string{proxyCC, cc}
-			c := cells[key]
-			if c == nil {
-				c = &cell{}
-				cells[key] = c
-			}
-			rt := rcvrTotals[cc]
-			if rt == nil {
-				rt = &cell{}
-				rcvrTotals[cc] = rt
-			}
-			if !seenPair[key] {
-				seenPair[key] = true
-				c.emails++
-			}
-			if !seenRcvr[cc] {
-				seenRcvr[cc] = true
-				rt.emails++
-			}
-			if a.Classified[i].AttemptTypes[j] == ndr.T14Timeout {
-				c.timeouts++
-				rt.timeouts++
-			}
+}
+
+func (ic *infraCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	if ic.geo == nil {
+		return
+	}
+	// Attribute per attempt: each attempt has a proxy and may be a
+	// timeout; email-level N2 counts an email once per sender CC it
+	// timed out from.
+	seenPair := map[string]bool{}
+	seenRcvr := map[string]bool{}
+	for j := range rec.DeliveryResult {
+		proxyCC := ic.proxyRegion[rec.FromIP[j]]
+		ip := rec.ToIP[j]
+		cc := ""
+		if ip != "" {
+			cc, _, _ = ic.geo.Lookup(ip)
+		}
+		if cc == "" {
+			cc = receiverCCIn(ic.geo, rec)
+		}
+		if proxyCC == "" || cc == "" {
+			continue
+		}
+		key := proxyCC + "\x00" + cc
+		cell := ic.cells[key]
+		if cell == nil {
+			cell = &infraCell{}
+			ic.cells[key] = cell
+		}
+		rt := ic.rcvr[cc]
+		if rt == nil {
+			rt = &infraCell{}
+			ic.rcvr[cc] = rt
+		}
+		if !seenPair[key] {
+			seenPair[key] = true
+			cell.emails++
+		}
+		if !seenRcvr[cc] {
+			seenRcvr[cc] = true
+			rt.emails++
+		}
+		if c.AttemptTypes[j] == ndr.T14Timeout {
+			cell.timeouts++
+			rt.timeouts++
 		}
 	}
-	// Rank receiver countries by timeout ratio.
+}
+
+func (ic *infraCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*infraCollector)
+	if !ok {
+		return mergeTypeError("infra", other)
+	}
+	for k, cell := range o.cells {
+		t := ic.cells[k]
+		if t == nil {
+			cp := *cell
+			ic.cells[k] = &cp
+			continue
+		}
+		t.emails += cell.emails
+		t.timeouts += cell.timeouts
+	}
+	for k, cell := range o.rcvr {
+		t := ic.rcvr[k]
+		if t == nil {
+			cp := *cell
+			ic.rcvr[k] = &cp
+			continue
+		}
+		t.emails += cell.emails
+		t.timeouts += cell.timeouts
+	}
+	return nil
+}
+
+func encodeCellMap(e *enc, m map[string]*infraCell) {
+	e.u64(uint64(len(m)))
+	for _, k := range sortedKeys(m) {
+		e.str(k)
+		e.intv(m[k].emails)
+		e.intv(m[k].timeouts)
+	}
+}
+
+func decodeCellMap(d *dec) map[string]*infraCell {
+	n := d.count()
+	m := make(map[string]*infraCell, n)
+	for i := 0; i < n; i++ {
+		k := d.str()
+		m[k] = &infraCell{emails: d.intv(), timeouts: d.intv()}
+	}
+	return m
+}
+
+func (ic *infraCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	encodeCellMap(&e, ic.cells)
+	encodeCellMap(&e, ic.rcvr)
+	return e.buf
+}
+
+func (ic *infraCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("infra", 1)
+	ic.cells = decodeCellMap(&d)
+	ic.rcvr = decodeCellMap(&d)
+	return d.err
+}
+
+func (ic *infraCollector) result(minEmails, n int) InfraMatrix {
+	out := InfraMatrix{ReceiverTimeoutPct: map[string]float64{}}
 	type rk struct {
 		cc  string
 		pct float64
 	}
 	var ranked []rk
-	for cc, c := range rcvrTotals {
+	for cc, c := range ic.rcvr {
 		if c.emails < minEmails {
 			continue
 		}
@@ -216,13 +393,11 @@ func (a *Analysis) InfraMatrix(minEmails, n int) InfraMatrix {
 		out.ReceiverTimeoutPct[cc] = p
 		ranked = append(ranked, rk{cc, p})
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].pct != ranked[j].pct {
-			return ranked[i].pct > ranked[j].pct
-		}
-		// Map-fed rows: tie-break for a deterministic column order.
-		return ranked[i].cc < ranked[j].cc
-	})
+	// Map-fed rows: the shared measure-desc/name-asc normalization keeps
+	// the column order deterministic on every topology.
+	SortRanked(ranked,
+		func(r rk) float64 { return r.pct },
+		func(r rk) string { return r.cc })
 	if n < len(ranked) {
 		ranked = ranked[:n]
 	}
@@ -234,7 +409,7 @@ func (a *Analysis) InfraMatrix(minEmails, n int) InfraMatrix {
 	for si, s := range out.SenderCCs {
 		out.Ratio[si] = make([]float64, len(out.ReceiverCCs))
 		for ri, r := range out.ReceiverCCs {
-			c := cells[[2]string{s, r}]
+			c := ic.cells[s+"\x00"+r]
 			if c != nil && c.emails > 0 {
 				out.Ratio[si][ri] = 100 * float64(c.timeouts) / float64(c.emails)
 			}
@@ -243,14 +418,32 @@ func (a *Analysis) InfraMatrix(minEmails, n int) InfraMatrix {
 	return out
 }
 
-// receiverCC geolocates a record's receiver by any attempt with an IP.
-func (a *Analysis) receiverCC(rec *dataset.Record) string {
+// InfraMatrix computes Figure 8 over receiver countries with at least
+// minEmails deliveries, reporting the worst n receiver countries.
+// Requires Env.Geo and Env.ProxyRegion.
+func (a *Analysis) InfraMatrix(minEmails, n int) InfraMatrix {
+	if a.Env == nil || a.Env.Geo == nil {
+		return InfraMatrix{ReceiverTimeoutPct: map[string]float64{}}
+	}
+	ic := newInfraCollector(a.Env.Geo, a.Env.ProxyRegion)
+	a.visit(ic)
+	return ic.result(minEmails, n)
+}
+
+// receiverCCIn geolocates a record's receiver by any attempt with an
+// IP.
+func receiverCCIn(db *geo.DB, rec *dataset.Record) string {
 	ip := lastNonEmpty(rec.ToIP)
 	if ip == "" {
 		return ""
 	}
-	cc, _, _ := a.Env.Geo.Lookup(ip)
+	cc, _, _ := db.Lookup(ip)
 	return cc
+}
+
+// receiverCC geolocates a record's receiver by any attempt with an IP.
+func (a *Analysis) receiverCC(rec *dataset.Record) string {
+	return receiverCCIn(a.Env.Geo, rec)
 }
 
 // CountryLatency is one Figure-10 point.
@@ -273,37 +466,90 @@ type LatencyStats struct {
 	SlowMedianMS float64
 }
 
-// LatencyByCountry computes Figure 10 over successful deliveries,
-// excluding countries below minEmails. Requires Env.Geo.
-func (a *Analysis) LatencyByCountry(minEmails int) LatencyStats {
+// latencyCollector accumulates per-country latency samples of
+// successful deliveries. Only the raw per-country sample lists are
+// partial state; the global/fast/slow aggregates derive from them at
+// result time, over value-sorted lists, so that sample arrival order —
+// which sharding permutes — cannot perturb the floating-point sums.
+type latencyCollector struct {
+	geo   *geo.DB
+	perCC map[string][]float64
+}
+
+func newLatencyCollector(db *geo.DB) *latencyCollector {
+	return &latencyCollector{geo: db, perCC: map[string][]float64{}}
+}
+
+func (lc *latencyCollector) Add(rec *dataset.Record, _ *ClassifiedRecord) {
+	if lc.geo == nil {
+		return
+	}
+	if !rec.Succeeded() {
+		return
+	}
+	// Latency of the successful (final) attempt.
+	lat := float64(rec.DeliveryLatency[len(rec.DeliveryLatency)-1])
+	cc := receiverCCIn(lc.geo, rec)
+	if cc == "" {
+		return
+	}
+	lc.perCC[cc] = append(lc.perCC[cc], lat)
+}
+
+func (lc *latencyCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*latencyCollector)
+	if !ok {
+		return mergeTypeError("latency", other)
+	}
+	for cc, lats := range o.perCC {
+		lc.perCC[cc] = append(lc.perCC[cc], lats...)
+	}
+	return nil
+}
+
+func (lc *latencyCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.u64(uint64(len(lc.perCC)))
+	for _, cc := range sortedKeys(lc.perCC) {
+		e.str(cc)
+		// Values sort before encoding: the list is a multiset, and the
+		// stable-bytes guarantee requires a canonical element order.
+		lats := append([]float64(nil), lc.perCC[cc]...)
+		sort.Float64s(lats)
+		e.f64List(lats)
+	}
+	return e.buf
+}
+
+func (lc *latencyCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("latency", 1)
+	n := d.count()
+	lc.perCC = make(map[string][]float64, n)
+	for i := 0; i < n; i++ {
+		cc := d.str()
+		lc.perCC[cc] = d.f64List()
+	}
+	return d.err
+}
+
+func (lc *latencyCollector) result(env *Environment, minEmails int) LatencyStats {
 	var out LatencyStats
-	if a.Env == nil || a.Env.Geo == nil {
+	if env == nil || env.Geo == nil {
 		return out
 	}
-	perCC := map[string][]float64{}
 	var global, fast, slow []float64
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		if !rec.Succeeded() {
-			continue
-		}
-		// Latency of the successful (final) attempt.
-		lat := float64(rec.DeliveryLatency[len(rec.DeliveryLatency)-1])
-		cc := a.receiverCC(rec)
-		if cc == "" {
-			continue
-		}
-		perCC[cc] = append(perCC[cc], lat)
-		global = append(global, lat)
-		if c, ok := a.Env.Geo.Country(cc); ok {
+	for _, cc := range sortedKeys(lc.perCC) {
+		lats := lc.perCC[cc]
+		global = append(global, lats...)
+		if c, ok := env.Geo.Country(cc); ok {
 			if c.FastInternet {
-				fast = append(fast, lat)
+				fast = append(fast, lats...)
 			} else {
-				slow = append(slow, lat)
+				slow = append(slow, lats...)
 			}
 		}
-	}
-	for cc, lats := range perCC {
 		if len(lats) < minEmails {
 			continue
 		}
@@ -311,14 +557,14 @@ func (a *Analysis) LatencyByCountry(minEmails int) LatencyStats {
 			Country: cc, Emails: len(lats), MedianMS: stats.Median(lats),
 		})
 	}
-	sort.Slice(out.Countries, func(i, j int) bool {
-		if out.Countries[i].MedianMS != out.Countries[j].MedianMS {
-			return out.Countries[i].MedianMS > out.Countries[j].MedianMS
-		}
-		// Tie-break by country code: rows come from map iteration, so
-		// without it equal medians would order nondeterministically.
-		return out.Countries[i].Country < out.Countries[j].Country
-	})
+	SortRanked(out.Countries,
+		func(c CountryLatency) float64 { return c.MedianMS },
+		func(c CountryLatency) string { return c.Country })
+	// Sum in value order: Mean is sensitive to float addition order, and
+	// only a canonical order makes K-shard merges bit-equal to one pass.
+	sort.Float64s(global)
+	sort.Float64s(fast)
+	sort.Float64s(slow)
 	out.GlobalMeanMS = stats.Mean(global)
 	out.GlobalMedianMS = stats.Median(global)
 	out.FastMeanMS = stats.Mean(fast)
@@ -326,6 +572,17 @@ func (a *Analysis) LatencyByCountry(minEmails int) LatencyStats {
 	out.SlowMeanMS = stats.Mean(slow)
 	out.SlowMedianMS = stats.Median(slow)
 	return out
+}
+
+// LatencyByCountry computes Figure 10 over successful deliveries,
+// excluding countries below minEmails. Requires Env.Geo.
+func (a *Analysis) LatencyByCountry(minEmails int) LatencyStats {
+	if a.Env == nil || a.Env.Geo == nil {
+		return LatencyStats{}
+	}
+	lc := newLatencyCollector(a.Env.Geo)
+	a.visit(lc)
+	return lc.result(a.Env, minEmails)
 }
 
 // STARTTLSStats is the Section-4.3.1 TLS-mandate measurement, derived
@@ -347,6 +604,10 @@ type starttlsCollector struct {
 	softBounced int
 }
 
+func newSTARTTLSCollector() *starttlsCollector {
+	return &starttlsCollector{mandating: map[string]bool{}}
+}
+
 func (sc *starttlsCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	if c.HasType(ndr.T4STARTTLS) {
 		sc.mandating[rec.ToDomain()] = true
@@ -354,32 +615,63 @@ func (sc *starttlsCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	}
 }
 
-// STARTTLS computes the TLS-mandate stats.
-func (a *Analysis) STARTTLS() STARTTLSStats {
+func (sc *starttlsCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*starttlsCollector)
+	if !ok {
+		return mergeTypeError("starttls", other)
+	}
+	for dom := range o.mandating {
+		sc.mandating[dom] = true
+	}
+	sc.softBounced += o.softBounced
+	return nil
+}
+
+func (sc *starttlsCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.strSet(sc.mandating)
+	e.intv(sc.softBounced)
+	return e.buf
+}
+
+func (sc *starttlsCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("starttls", 1)
+	sc.mandating = d.strSet()
+	sc.softBounced = d.intv()
+	return d.err
+}
+
+func (sc *starttlsCollector) result(rank []dataset.RankEntry) STARTTLSStats {
 	var out STARTTLSStats
-	sc := starttlsCollector{mandating: map[string]bool{}}
-	a.visit(&sc)
-	mandating := sc.mandating
 	out.SoftBounced = sc.softBounced
-	out.MandatingDomains = len(mandating)
+	out.MandatingDomains = len(sc.mandating)
 	top100, all := 0, 0
-	for rank, e := range a.rank {
-		if mandating[e.Domain] {
+	for pos, e := range rank {
+		if sc.mandating[e.Domain] {
 			all++
-			if rank < 100 {
+			if pos < 100 {
 				top100++
 			}
 		}
 	}
-	if len(a.rank) > 0 {
+	if len(rank) > 0 {
 		n100 := 100
-		if len(a.rank) < 100 {
-			n100 = len(a.rank)
+		if len(rank) < 100 {
+			n100 = len(rank)
 		}
 		out.Top100Share = float64(top100) / float64(n100)
-		out.AllShare = float64(all) / float64(len(a.rank))
+		out.AllShare = float64(all) / float64(len(rank))
 	}
 	return out
+}
+
+// STARTTLS computes the TLS-mandate stats.
+func (a *Analysis) STARTTLS() STARTTLSStats {
+	sc := newSTARTTLSCollector()
+	a.visit(sc)
+	return sc.result(a.rank)
 }
 
 // FilterDisagreement is the Section-4.2.2 cross-ESP spam-filter
@@ -447,6 +739,41 @@ func (fc *filterCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	}
 }
 
+func (fc *filterCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*filterCollector)
+	if !ok {
+		return mergeTypeError("filter", other)
+	}
+	fc.f.SenderSpamTotal += o.f.SenderSpamTotal
+	fc.f.SenderSpamNotSpamAtReceiver += o.f.SenderSpamNotSpamAtReceiver
+	fc.f.ReceiverSpamTotal += o.f.ReceiverSpamTotal
+	fc.f.ReceiverSpamFlaggedNormal += o.f.ReceiverSpamFlaggedNormal
+	fc.f.NormalSpamRetryAttempts += o.f.NormalSpamRetryAttempts
+	return nil
+}
+
+func (fc *filterCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.intv(fc.f.SenderSpamTotal)
+	e.intv(fc.f.SenderSpamNotSpamAtReceiver)
+	e.intv(fc.f.ReceiverSpamTotal)
+	e.intv(fc.f.ReceiverSpamFlaggedNormal)
+	e.intv(fc.f.NormalSpamRetryAttempts)
+	return e.buf
+}
+
+func (fc *filterCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("filter", 1)
+	fc.f.SenderSpamTotal = d.intv()
+	fc.f.SenderSpamNotSpamAtReceiver = d.intv()
+	fc.f.ReceiverSpamTotal = d.intv()
+	fc.f.ReceiverSpamFlaggedNormal = d.intv()
+	fc.f.NormalSpamRetryAttempts = d.intv()
+	return d.err
+}
+
 // FilterDisagreement computes the cross-filter comparison.
 func (a *Analysis) FilterDisagreement() FilterDisagreement {
 	var fc filterCollector
@@ -488,13 +815,46 @@ func (rc *recoveryCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	}
 }
 
-// BlocklistRecovery computes the T5 recovery statistic.
-func (a *Analysis) BlocklistRecovery() BlocklistRecovery {
-	var rc recoveryCollector
-	a.visit(&rc)
+func (rc *recoveryCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*recoveryCollector)
+	if !ok {
+		return mergeTypeError("recovery", other)
+	}
+	rc.out.Affected += o.out.Affected
+	rc.out.Recovered += o.out.Recovered
+	rc.attempts += o.attempts
+	return nil
+}
+
+func (rc *recoveryCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.intv(rc.out.Affected)
+	e.intv(rc.out.Recovered)
+	e.intv(rc.attempts)
+	return e.buf
+}
+
+func (rc *recoveryCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("recovery", 1)
+	rc.out.Affected = d.intv()
+	rc.out.Recovered = d.intv()
+	rc.attempts = d.intv()
+	return d.err
+}
+
+func (rc *recoveryCollector) result() BlocklistRecovery {
 	out := rc.out
 	if out.Recovered > 0 {
 		out.AvgAttempts = float64(rc.attempts) / float64(out.Recovered)
 	}
 	return out
+}
+
+// BlocklistRecovery computes the T5 recovery statistic.
+func (a *Analysis) BlocklistRecovery() BlocklistRecovery {
+	var rc recoveryCollector
+	a.visit(&rc)
+	return rc.result()
 }

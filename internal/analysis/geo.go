@@ -1,6 +1,9 @@
 package analysis
 
-import "sort"
+import (
+	"repro/internal/dataset"
+	"repro/internal/geo"
+)
 
 // MTACountry is one Figure-4 data point: distinct receiver-MTA IPs
 // observed per country.
@@ -10,34 +13,79 @@ type MTACountry struct {
 	Share   float64
 }
 
-// MTACountryDistribution computes Figure 4: the geographic distribution
-// of receiver MTAs (distinct to_ip values), via the Env.Geo lookup the
-// paper performed with ip-api.
-func (a *Analysis) MTACountryDistribution() []MTACountry {
-	if a.Env == nil || a.Env.Geo == nil {
-		return nil
+// mtaCollector accumulates Figure 4's distinct receiver-MTA IPs with
+// their geolocated country. The same IP always geolocates to the same
+// country, so first-wins insertion and set-union merge agree.
+type mtaCollector struct {
+	geo  *geo.DB
+	seen map[string]string // ip -> country
+}
+
+func newMTACollector(db *geo.DB) *mtaCollector {
+	return &mtaCollector{geo: db, seen: map[string]string{}}
+}
+
+func (mc *mtaCollector) Add(rec *dataset.Record, _ *ClassifiedRecord) {
+	if mc.geo == nil {
+		return
 	}
-	seen := map[string]string{} // ip -> country
-	for i := 0; i < a.Records.Len(); i++ {
-		for _, ip := range a.Records.At(i).ToIP {
-			if ip == "" {
-				continue
-			}
-			if _, ok := seen[ip]; ok {
-				continue
-			}
-			cc, _, ok := a.Env.Geo.Lookup(ip)
-			if !ok {
-				cc = "??"
-			}
-			seen[ip] = cc
+	for _, ip := range rec.ToIP {
+		if ip == "" {
+			continue
+		}
+		if _, ok := mc.seen[ip]; ok {
+			continue
+		}
+		cc, _, ok := mc.geo.Lookup(ip)
+		if !ok {
+			cc = "??"
+		}
+		mc.seen[ip] = cc
+	}
+}
+
+func (mc *mtaCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*mtaCollector)
+	if !ok {
+		return mergeTypeError("mta", other)
+	}
+	for ip, cc := range o.seen {
+		if _, dup := mc.seen[ip]; !dup {
+			mc.seen[ip] = cc
 		}
 	}
+	return nil
+}
+
+func (mc *mtaCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.u64(uint64(len(mc.seen)))
+	for _, ip := range sortedKeys(mc.seen) {
+		e.str(ip)
+		e.str(mc.seen[ip])
+	}
+	return e.buf
+}
+
+func (mc *mtaCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("mta", 1)
+	n := d.count()
+	mc.seen = make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		ip := d.str()
+		mc.seen[ip] = d.str()
+	}
+	return d.err
+}
+
+func (mc *mtaCollector) result() []MTACountry {
 	counts := map[string]int{}
-	for _, cc := range seen {
+	for _, cc := range mc.seen {
 		counts[cc]++
 	}
-	total := len(seen)
+	total := len(mc.seen)
 	out := make([]MTACountry, 0, len(counts))
 	for cc, n := range counts {
 		share := 0.0
@@ -46,11 +94,20 @@ func (a *Analysis) MTACountryDistribution() []MTACountry {
 		}
 		out = append(out, MTACountry{Country: cc, MTAs: n, Share: share})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].MTAs != out[j].MTAs {
-			return out[i].MTAs > out[j].MTAs
-		}
-		return out[i].Country < out[j].Country
-	})
+	SortRanked(out,
+		func(m MTACountry) float64 { return float64(m.MTAs) },
+		func(m MTACountry) string { return m.Country })
 	return out
+}
+
+// MTACountryDistribution computes Figure 4: the geographic distribution
+// of receiver MTAs (distinct to_ip values), via the Env.Geo lookup the
+// paper performed with ip-api.
+func (a *Analysis) MTACountryDistribution() []MTACountry {
+	if a.Env == nil || a.Env.Geo == nil {
+		return nil
+	}
+	mc := newMTACollector(a.Env.Geo)
+	a.visit(mc)
+	return mc.result()
 }

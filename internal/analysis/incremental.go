@@ -46,22 +46,24 @@ type Incremental struct {
 	trainerDn chan struct{} // non-nil while a trainer goroutine runs
 
 	trainMu sync.Mutex
-	b       *PipelineBuilder
-	trained int // records [0,trained) are mined into b
+	b       [NumStreams]*PipelineBuilder // per-substream builders
+	trained int                          // records [0,trained) are mined into b
 
-	snapMu   sync.Mutex
-	lastPipe *Pipeline
-	verdicts []ClassifiedRecord // cache: verdicts[i] classifies record i under lastPipe
-	warm     uint64
-	cold     uint64
+	snapMu    sync.Mutex
+	lastPipes [NumStreams]*Pipeline
+	verdicts  []ClassifiedRecord // cache: verdicts[i] classifies record i under lastPipes
+	warm      uint64
+	cold      uint64
 }
 
 // NewIncremental starts an empty accumulator (zero cfg.TopTemplates
 // selects the defaults, as in the batch constructors).
 func NewIncremental(cfg PipelineConfig) *Incremental {
 	inc := &Incremental{
-		b:      NewPipelineBuilder(cfg),
 		counts: make(map[string]int),
+	}
+	for s := range inc.b {
+		inc.b[s] = NewPipelineBuilder(cfg)
 	}
 	inc.trainCond = sync.NewCond(&inc.storeMu)
 	return inc
@@ -151,10 +153,12 @@ func (inc *Incremental) trainLoop(done chan struct{}) {
 }
 
 // trainTo advances the training watermark to n over an already-taken
-// store view. Caller holds trainMu.
+// store view, routing each record to its substream's builder. Caller
+// holds trainMu.
 func (inc *Incremental) trainTo(view dataset.Records, n int) {
 	for i := inc.trained; i < n; i++ {
-		inc.b.Add(view.At(i))
+		rec := view.At(i)
+		inc.b[StreamOf(rec)].Add(rec)
 	}
 	if n > inc.trained {
 		inc.trained = n
@@ -182,12 +186,28 @@ func (inc *Incremental) Snapshot(env *Environment) *Analysis {
 	counts := maps.Clone(inc.counts)
 	inc.storeMu.Unlock()
 	inc.trainTo(view, n)
-	bc := inc.b.Clone()
+	var bcs [NumStreams]*PipelineBuilder
+	for s := range inc.b {
+		bcs[s] = inc.b[s].Clone()
+	}
 	inc.trainMu.Unlock()
 
-	p := bc.FinishWarm(inc.lastPipe)
+	// Finish each substream warm against its own predecessor — per-shard
+	// EBRC and vote reuse even when a sibling shard changed.
+	sp := &ShardedPipeline{Shards: make([]*Pipeline, NumStreams)}
+	allEqual := true
+	for s := range bcs {
+		p := bcs[s].FinishWarm(inc.lastPipes[s])
+		sp.Shards[s] = p
+		if !matchLabelingEqual(p, inc.lastPipes[s]) {
+			allEqual = false
+		}
+	}
 
-	if matchLabelingEqual(p, inc.lastPipe) && len(inc.verdicts) <= n {
+	// The verdict cache is all-or-nothing: a structural change in any
+	// substream forces a full re-pass, exactly as a single pipeline's
+	// change did before sharding.
+	if allEqual && len(inc.verdicts) <= n {
 		inc.warm++
 	} else {
 		inc.cold++
@@ -200,12 +220,12 @@ func (inc *Incremental) Snapshot(env *Environment) *Analysis {
 		inc.verdicts = grown
 	}
 	inc.verdicts = inc.verdicts[:n]
-	classifyRange(p, view, inc.verdicts, start)
-	inc.lastPipe = p
+	classifyRange(sp, view, inc.verdicts, start)
+	copy(inc.lastPipes[:], sp.Shards)
 
 	// The three-index cap isolates the returned Analysis from later
 	// cache growth into the same backing array.
-	return assemble(view, inc.verdicts[:n:n], p, counts, env)
+	return assemble(view, inc.verdicts[:n:n], sp, counts, env)
 }
 
 // Finish consumes the accumulator into its final Analysis — the batch
@@ -219,19 +239,22 @@ func (inc *Incremental) Finish(env *Environment) *Analysis {
 	counts := maps.Clone(inc.counts)
 	inc.storeMu.Unlock()
 	inc.trainTo(view, n)
-	p := inc.b.Finish()
+	sp := &ShardedPipeline{Shards: make([]*Pipeline, NumStreams)}
+	for s := range inc.b {
+		sp.Shards[s] = inc.b[s].Finish()
+	}
 	inc.trainMu.Unlock()
 
 	verdicts := make([]ClassifiedRecord, n)
-	classifyRange(p, view, verdicts, 0)
-	return assemble(view, verdicts, p, counts, env)
+	classifyRange(sp, view, verdicts, 0)
+	return assemble(view, verdicts, sp, counts, env)
 }
 
 // classifyRange fills out[i] = p.ClassifyRecord(view.At(i)) for
 // i in [start, len(out)), fanning out across GOMAXPROCS workers when
 // the span is large enough to amortize them. Each slot depends only on
 // its own record, so the output is identical for any worker count.
-func classifyRange(p *Pipeline, view dataset.Records, out []ClassifiedRecord, start int) {
+func classifyRange(sp *ShardedPipeline, view dataset.Records, out []ClassifiedRecord, start int) {
 	n := len(out)
 	span := n - start
 	workers := runtime.GOMAXPROCS(0)
@@ -240,7 +263,7 @@ func classifyRange(p *Pipeline, view dataset.Records, out []ClassifiedRecord, st
 	}
 	if workers <= 1 {
 		for i := start; i < n; i++ {
-			out[i] = p.ClassifyRecord(view.At(i))
+			out[i] = sp.ClassifyRecord(view.At(i))
 		}
 		return
 	}
@@ -255,7 +278,7 @@ func classifyRange(p *Pipeline, view dataset.Records, out []ClassifiedRecord, st
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				out[i] = p.ClassifyRecord(view.At(i))
+				out[i] = sp.ClassifyRecord(view.At(i))
 			}
 		}(lo, hi)
 	}
@@ -264,7 +287,7 @@ func classifyRange(p *Pipeline, view dataset.Records, out []ClassifiedRecord, st
 
 // assemble wires a classified view into an Analysis — the shared tail
 // of every constructor.
-func assemble(view dataset.Records, verdicts []ClassifiedRecord, p *Pipeline, counts map[string]int, env *Environment) *Analysis {
+func assemble(view dataset.Records, verdicts []ClassifiedRecord, p *ShardedPipeline, counts map[string]int, env *Environment) *Analysis {
 	a := &Analysis{
 		Records:    view,
 		Classified: verdicts,

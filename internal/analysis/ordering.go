@@ -1,0 +1,20 @@
+package analysis
+
+import "sort"
+
+// SortRanked orders rows by a descending measure with an ascending
+// name tie-break — the shared normalization every result() uses for
+// map-fed rows, where equal measures would otherwise order
+// nondeterministically. One helper instead of a hand-rolled
+// sort.Slice per table keeps the tie-break rule identical across the
+// latency, infrastructure, typo-kind, domain, and MTA listings, which
+// the partial-merge byte-identity invariant depends on.
+func SortRanked[T any](rows []T, measure func(T) float64, name func(T) string) {
+	sort.Slice(rows, func(i, j int) bool {
+		mi, mj := measure(rows[i]), measure(rows[j])
+		if mi != mj {
+			return mi > mj
+		}
+		return name(rows[i]) < name(rows[j])
+	})
+}

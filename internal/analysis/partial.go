@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/ndr"
+)
+
+// PipelineSummary is the mergeable aggregate of a classifier stack:
+// enough to reproduce the pipeline rows of the report (template and
+// label counts, NDR-line coverage, Table 6) without shipping the
+// pipelines themselves. Empty substream pipelines contribute zeroes,
+// so summing node summaries equals the single-node summary.
+type PipelineSummary struct {
+	Templates    int
+	Labeled      int
+	CoveredLines int
+	TotalLines   int
+	// Ambiguous is Table 6, already normalized (count desc, template asc).
+	Ambiguous []AmbiguousTemplate
+}
+
+// Coverage is the share of NDR lines covered by labeled templates.
+func (ps PipelineSummary) Coverage() float64 {
+	if ps.TotalLines == 0 {
+		return 0
+	}
+	return float64(ps.CoveredLines) / float64(ps.TotalLines)
+}
+
+// Merge folds another summary in, re-normalizing Table 6.
+func (ps *PipelineSummary) Merge(o PipelineSummary) {
+	ps.Templates += o.Templates
+	ps.Labeled += o.Labeled
+	ps.CoveredLines += o.CoveredLines
+	ps.TotalLines += o.TotalLines
+	byTmpl := map[string]int{}
+	for _, t := range ps.Ambiguous {
+		byTmpl[t.Template] += t.Count
+	}
+	for _, t := range o.Ambiguous {
+		byTmpl[t.Template] += t.Count
+	}
+	merged := make([]AmbiguousTemplate, 0, len(byTmpl))
+	for tmpl, n := range byTmpl {
+		merged = append(merged, AmbiguousTemplate{Template: tmpl, Count: n})
+	}
+	SortRanked(merged,
+		func(t AmbiguousTemplate) float64 { return float64(t.Count) },
+		func(t AmbiguousTemplate) string { return t.Template })
+	ps.Ambiguous = merged
+}
+
+func (e *enc) pipeSummary(ps PipelineSummary) {
+	e.intv(ps.Templates)
+	e.intv(ps.Labeled)
+	e.intv(ps.CoveredLines)
+	e.intv(ps.TotalLines)
+	e.u64(uint64(len(ps.Ambiguous)))
+	for _, t := range ps.Ambiguous {
+		e.str(t.Template)
+		e.intv(t.Count)
+	}
+}
+
+func (d *dec) pipeSummary() PipelineSummary {
+	var ps PipelineSummary
+	ps.Templates = d.intv()
+	ps.Labeled = d.intv()
+	ps.CoveredLines = d.intv()
+	ps.TotalLines = d.intv()
+	n := d.count()
+	for i := 0; i < n; i++ {
+		t := AmbiguousTemplate{Template: d.str()}
+		t.Count = d.intv()
+		ps.Ambiguous = append(ps.Ambiguous, t)
+	}
+	return ps
+}
+
+// namedPartial pairs a collector with its stable wire name.
+type namedPartial struct {
+	name string
+	c    PartialCollector
+}
+
+// PartialSet is one shard's complete partial aggregate: every
+// collector's mergeable state plus the popularity counts and pipeline
+// summary the result methods need. Merging K sets (any order, any
+// grouping) and calling the result methods reproduces the single-pass
+// Analysis results byte-for-byte.
+type PartialSet struct {
+	// Total is the number of records folded in.
+	Total int
+	// Counts is the receiver-domain popularity histogram (InEmailRank
+	// input).
+	Counts map[string]int
+	// Pipe summarizes the classifier stack that produced the verdicts.
+	Pipe PipelineSummary
+	// Env is the local environment used by result methods; it is not
+	// part of the wire state.
+	Env *Environment
+
+	overview  overviewCollector
+	typedist  *typeDistCollector
+	domain    *domainCollector
+	as        *asCollector
+	country   *countryCollector
+	timeline  *timelineCollector
+	blocked   blockedCollector
+	starttls  *starttlsCollector
+	filter    filterCollector
+	recovery  recoveryCollector
+	enhanced  enhancedCollector
+	mta       *mtaCollector
+	infra     *infraCollector
+	latency   *latencyCollector
+	durations *durationsCollector
+	detect    *detectCollector
+	cause     *causeCollector
+
+	cols    []namedPartial
+	rank    []dataset.RankEntry
+	rankPos map[string]int
+}
+
+// NewPartialSet returns an empty partial aggregate bound to env (which
+// may be nil for dataset-only analyses).
+func NewPartialSet(env *Environment) *PartialSet {
+	var db *geo.DB
+	var proxyRegion map[string]string
+	if env != nil {
+		db = env.Geo
+		proxyRegion = env.ProxyRegion
+	}
+	ps := &PartialSet{
+		Counts:    map[string]int{},
+		Env:       env,
+		typedist:  newTypeDistCollector(),
+		domain:    newDomainCollector(),
+		as:        newASCollector(db),
+		country:   newCountryCollector(db),
+		timeline:  newTimelineCollector(),
+		starttls:  newSTARTTLSCollector(),
+		mta:       newMTACollector(db),
+		infra:     newInfraCollector(db, proxyRegion),
+		latency:   newLatencyCollector(db),
+		durations: newDurationsCollector(),
+		detect:    newDetectCollector(),
+		cause:     newCauseCollector(),
+	}
+	// The wire order. Append-only: adding a collector appends a name
+	// here and bumps partialFormatVersion.
+	ps.cols = []namedPartial{
+		{"overview", &ps.overview},
+		{"typedist", ps.typedist},
+		{"domain", ps.domain},
+		{"as", ps.as},
+		{"country", ps.country},
+		{"timeline", ps.timeline},
+		{"blocked", &ps.blocked},
+		{"starttls", ps.starttls},
+		{"filter", &ps.filter},
+		{"recovery", &ps.recovery},
+		{"enhanced", &ps.enhanced},
+		{"mta", ps.mta},
+		{"infra", ps.infra},
+		{"latency", ps.latency},
+		{"durations", ps.durations},
+		{"detect", ps.detect},
+		{"cause", ps.cause},
+	}
+	return ps
+}
+
+// Add folds one classified record in. PartialSet implements Collector,
+// so it plugs into visit and CollectStream directly.
+func (ps *PartialSet) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	ps.Total++
+	ps.Counts[rec.ToDomain()]++
+	ps.rank, ps.rankPos = nil, nil
+	for _, np := range ps.cols {
+		np.c.Add(rec, c)
+	}
+}
+
+// Merge folds another shard's aggregate into the receiver. Commutative
+// and associative over set states.
+func (ps *PartialSet) Merge(o *PartialSet) error {
+	ps.Total += o.Total
+	for dom, n := range o.Counts {
+		ps.Counts[dom] += n
+	}
+	ps.Pipe.Merge(o.Pipe)
+	for i := range ps.cols {
+		if err := ps.cols[i].c.Merge(o.cols[i].c); err != nil {
+			return err
+		}
+	}
+	ps.rank, ps.rankPos = nil, nil
+	return nil
+}
+
+// Wire envelope: magic, one-byte format version, then the named,
+// individually versioned and length-prefixed collector blobs. The
+// format version covers the envelope and the collector roster; each
+// collector additionally versions its own blob.
+const (
+	partialMagic         = "BNCP"
+	partialFormatVersion = 1
+)
+
+// Marshal encodes the set with the stable codec: equal states encode
+// to equal bytes.
+func (ps *PartialSet) Marshal() []byte {
+	var e enc
+	e.buf = append(e.buf, partialMagic...)
+	e.version(partialFormatVersion)
+	e.intv(ps.Total)
+	e.strIntMap(ps.Counts)
+	e.pipeSummary(ps.Pipe)
+	e.u64(uint64(len(ps.cols)))
+	for _, np := range ps.cols {
+		e.str(np.name)
+		e.bytes(np.c.MarshalPartial())
+	}
+	return e.buf
+}
+
+// UnmarshalPartialSet decodes a snapshot produced by Marshal, binding
+// the result to env. Decoding is strict: a version, roster, or name
+// mismatch is an error rather than a silent partial merge.
+func UnmarshalPartialSet(b []byte, env *Environment) (*PartialSet, error) {
+	if len(b) < len(partialMagic) || string(b[:len(partialMagic)]) != partialMagic {
+		return nil, fmt.Errorf("analysis: not a partial snapshot")
+	}
+	d := dec{b: b[len(partialMagic):]}
+	d.checkVersion("partialset", partialFormatVersion)
+	ps := NewPartialSet(env)
+	ps.Total = d.intv()
+	ps.Counts = d.strIntMap()
+	ps.Pipe = d.pipeSummary()
+	n := d.count()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n != len(ps.cols) {
+		return nil, fmt.Errorf("analysis: partial snapshot has %d collectors, want %d", n, len(ps.cols))
+	}
+	for i := 0; i < n; i++ {
+		name := d.str()
+		blob := d.bytes()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if name != ps.cols[i].name {
+			return nil, fmt.Errorf("analysis: partial snapshot collector %q, want %q", name, ps.cols[i].name)
+		}
+		if err := ps.cols[i].c.UnmarshalPartial(blob); err != nil {
+			return nil, err
+		}
+	}
+	return ps, d.err
+}
+
+// Partials condenses the classified corpus into its partial aggregate.
+func (a *Analysis) Partials() *PartialSet {
+	ps := NewPartialSet(a.Env)
+	a.visit(ps)
+	ps.Pipe = a.Pipeline.Summary()
+	return ps
+}
+
+// --- Result methods mirroring the Analysis API. Each runs the same
+// result() normalization the Analysis methods run, so a merged set
+// reproduces the single-pass values exactly.
+
+// InEmailRank returns the receiver-domain popularity list.
+func (ps *PartialSet) InEmailRank() []dataset.RankEntry {
+	if ps.rank == nil && len(ps.Counts) > 0 {
+		ps.rank = dataset.RankFromCounts(ps.Counts)
+		ps.rankPos = make(map[string]int, len(ps.rank))
+		for i, e := range ps.rank {
+			ps.rankPos[e.Domain] = i
+		}
+	}
+	return ps.rank
+}
+
+// RankOf returns the InEmailRank position of domain (-1 if absent).
+func (ps *PartialSet) RankOf(domain string) int {
+	ps.InEmailRank()
+	if p, ok := ps.rankPos[domain]; ok {
+		return p
+	}
+	return -1
+}
+
+// Overview computes the bounce-degree distribution.
+func (ps *PartialSet) Overview() Overview { return ps.overview.result() }
+
+// TypeDistribution is Table 1.
+func (ps *PartialSet) TypeDistribution() map[ndr.Type]int { return ps.typedist.counts }
+
+// NoEnhancedCodeShare returns the share of NDR lines lacking an
+// RFC 3463 enhanced status code.
+func (ps *PartialSet) NoEnhancedCodeShare() float64 { return ps.enhanced.result() }
+
+// AmbiguousTemplates returns Table 6 from the pipeline summary.
+func (ps *PartialSet) AmbiguousTemplates() []AmbiguousTemplate { return ps.Pipe.Ambiguous }
+
+// PipelineSummary returns the carried classifier summary.
+func (ps *PartialSet) PipelineSummary() PipelineSummary { return ps.Pipe }
+
+// TopDomains is Table 4.
+func (ps *PartialSet) TopDomains(n int) []DomainStats { return ps.domain.result(n) }
+
+// TopASes is Table 5.
+func (ps *PartialSet) TopASes(n int) []ASStats { return ps.as.result(n) }
+
+// CountryBounces is Figure 9's per-country bounce rates.
+func (ps *PartialSet) CountryBounces(minEmails int) []CountryStats {
+	return ps.country.result(minEmails)
+}
+
+// Timeline computes Figure 5.
+func (ps *PartialSet) Timeline() Timeline { return ps.timeline.result() }
+
+// BlocklistFigure computes Figure 6 (requires Env.Blocklist).
+func (ps *PartialSet) BlocklistFigure() BlocklistFigure { return ps.blocked.result(ps.Env) }
+
+// InfraMatrix computes Figure 8.
+func (ps *PartialSet) InfraMatrix(minEmails, n int) InfraMatrix {
+	return ps.infra.result(minEmails, n)
+}
+
+// LatencyByCountry computes the delivery-latency distribution.
+func (ps *PartialSet) LatencyByCountry(minEmails int) LatencyStats {
+	return ps.latency.result(ps.Env, minEmails)
+}
+
+// STARTTLS computes the TLS-mandate stats.
+func (ps *PartialSet) STARTTLS() STARTTLSStats { return ps.starttls.result(ps.InEmailRank()) }
+
+// FilterDisagreement computes the cross-filter comparison.
+func (ps *PartialSet) FilterDisagreement() FilterDisagreement { return ps.filter.f }
+
+// BlocklistRecovery computes the T5 recovery statistic.
+func (ps *PartialSet) BlocklistRecovery() BlocklistRecovery { return ps.recovery.result() }
+
+// MTACountryDistribution computes Figure 4 (requires Env.Geo).
+func (ps *PartialSet) MTACountryDistribution() []MTACountry {
+	if ps.Env == nil || ps.Env.Geo == nil {
+		return nil
+	}
+	return ps.mta.result()
+}
+
+// Detect runs the entity detections over the merged state.
+func (ps *PartialSet) Detect() *Detections {
+	return ps.detect.result(ps.Env, ps.InEmailRank())
+}
+
+// RootCauses builds Table 2 using the detections.
+func (ps *PartialSet) RootCauses(d *Detections) RootCauseTable {
+	if d == nil {
+		d = ps.Detect()
+	}
+	return buildRootCauseTable(ps.cause.resolve(d), ps.cause.total)
+}
+
+// Durations infers Figure 7.
+func (ps *PartialSet) Durations(det *Detections) DurationsFigure {
+	if det == nil {
+		det = ps.Detect()
+	}
+	return ps.durations.resolve(det)
+}

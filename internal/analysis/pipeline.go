@@ -53,6 +53,8 @@ type Pipeline struct {
 	sigLabeled     map[int]bool // groups labeled by signature (not vote)
 	manualLabels   int
 	manualCoverage float64 // share of NDRs covered by the labeled top templates
+	coveredLines   int     // NDR lines covered by the labeled top templates
+	totalLines     int     // NDR lines the builder absorbed
 	trainHash      uint64  // hash of the EBRC training set, for warm reuse
 }
 
@@ -183,6 +185,7 @@ func finishPipeline(p *Pipeline, total int, prev *Pipeline) *Pipeline {
 	// Match lock-free, which the parallel classification pass needs to
 	// scale.
 	p.Parser.Freeze()
+	p.totalLines = total
 	if total == 0 {
 		return p
 	}
@@ -205,6 +208,7 @@ func finishPipeline(p *Pipeline, total int, prev *Pipeline) *Pipeline {
 		p.manualLabels++
 		covered += g.Count
 	}
+	p.coveredLines = covered
 	p.manualCoverage = float64(covered) / float64(total)
 
 	// 3. Build the training set: per type, raw lines matched by its

@@ -101,121 +101,361 @@ type Detections struct {
 
 // Detect runs the entity detections over the classified corpus.
 func (a *Analysis) Detect() *Detections {
+	dc := newDetectCollector()
+	a.visit(dc)
+	return dc.result(a.Env, a.rank)
+}
+
+// detectSender aggregates one sender domain's Section-4.2.1 state.
+type detectSender struct {
+	total      int
+	recipients map[string]bool
+	t8PerRcvr  map[string]int // receiver domain -> T8-bounced records
+}
+
+// detectIO aggregates one full sender address's typo-detection state.
+type detectIO struct {
+	failed map[string]bool     // T8-bounced recipient addrs
+	okBy   map[string][]string // domain -> successful locals
+}
+
+// bulkAgg counts one sender domain's emails by degree, resolved
+// against the bulk-spam sender set after merge.
+type bulkAgg struct {
+	emails, hard, soft int
+}
+
+// detectCollector accumulates, in one pass, the raw order-free state
+// the Section-4.2.1/4.3.2 detections need. Everything threshold-
+// dependent (the ≥30 cutoffs, the pwned-share test, typo matching,
+// quantification) happens in result over the merged state, because a
+// sender can cross a threshold only once shards combine.
+type detectCollector struct {
+	senders map[string]*detectSender // sender domain
+	perFrom map[string]*detectIO     // full sender address
+	// pairs counts succeeded deliveries per (sender domain, receiver
+	// domain, recipient) — quantifies guessing campaigns after merge.
+	pairs map[string]int // "fromDom\x00toDom\x00To" -> delivered
+	bulk  map[string]*bulkAgg
+	// resolved tracks receiver-domain DNS state: 1 = only-T2 so far,
+	// 2 = had another outcome (merge takes the max).
+	resolved map[string]uint8
+	inactive map[string]bool
+	full     map[string]bool
+}
+
+func newDetectCollector() *detectCollector {
+	return &detectCollector{
+		senders:  map[string]*detectSender{},
+		perFrom:  map[string]*detectIO{},
+		pairs:    map[string]int{},
+		bulk:     map[string]*bulkAgg{},
+		resolved: map[string]uint8{},
+		inactive: map[string]bool{},
+		full:     map[string]bool{},
+	}
+}
+
+func (dc *detectCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	fromDom := rec.FromDomain()
+	toDom := rec.ToDomain()
+	isT8 := c.HasType(ndr.T8NoSuchUser)
+
+	s := dc.senders[fromDom]
+	if s == nil {
+		s = &detectSender{recipients: map[string]bool{}, t8PerRcvr: map[string]int{}}
+		dc.senders[fromDom] = s
+	}
+	s.total++
+	s.recipients[rec.To] = true
+	if isT8 {
+		s.t8PerRcvr[toDom]++
+	}
+
+	pk := fromDom + "\x00" + toDom + "\x00" + rec.To
+	if rec.Succeeded() {
+		dc.pairs[pk]++
+	} else if _, ok := dc.pairs[pk]; !ok {
+		dc.pairs[pk] = 0
+	}
+
+	b := dc.bulk[fromDom]
+	if b == nil {
+		b = &bulkAgg{}
+		dc.bulk[fromDom] = b
+	}
+	b.emails++
+	switch c.Degree {
+	case dataset.HardBounced:
+		b.hard++
+	case dataset.SoftBounced:
+		b.soft++
+	}
+
+	io := dc.perFrom[rec.From]
+	if io == nil {
+		io = &detectIO{failed: map[string]bool{}, okBy: map[string][]string{}}
+		dc.perFrom[rec.From] = io
+	}
+	if rec.Succeeded() {
+		io.okBy[toDom] = append(io.okBy[toDom], localOf(rec.To))
+	}
+	if isT8 {
+		io.failed[rec.To] = true
+	}
+
+	onlyT2 := !rec.Succeeded()
+	for _, t := range c.AttemptTypes {
+		if t != ndr.T2ReceiverDNS {
+			onlyT2 = false
+			break
+		}
+	}
+	if onlyT2 {
+		if dc.resolved[toDom] == 0 {
+			dc.resolved[toDom] = 1
+		}
+	} else {
+		dc.resolved[toDom] = 2
+	}
+
+	for j, t := range c.AttemptTypes {
+		switch t {
+		case ndr.T9MailboxFull:
+			dc.full[rec.To] = true
+		case ndr.T8NoSuchUser:
+			if strings.Contains(strings.ToLower(rec.DeliveryResult[j]), "inactive") {
+				dc.inactive[rec.To] = true
+			}
+		}
+	}
+}
+
+func (dc *detectCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*detectCollector)
+	if !ok {
+		return mergeTypeError("detect", other)
+	}
+	for dom, s := range o.senders {
+		t := dc.senders[dom]
+		if t == nil {
+			t = &detectSender{recipients: map[string]bool{}, t8PerRcvr: map[string]int{}}
+			dc.senders[dom] = t
+		}
+		t.total += s.total
+		for r := range s.recipients {
+			t.recipients[r] = true
+		}
+		for r, n := range s.t8PerRcvr {
+			t.t8PerRcvr[r] += n
+		}
+	}
+	for from, io := range o.perFrom {
+		t := dc.perFrom[from]
+		if t == nil {
+			t = &detectIO{failed: map[string]bool{}, okBy: map[string][]string{}}
+			dc.perFrom[from] = t
+		}
+		for f := range io.failed {
+			t.failed[f] = true
+		}
+		for dom, locals := range io.okBy {
+			t.okBy[dom] = append(t.okBy[dom], locals...)
+		}
+	}
+	for pk, n := range o.pairs {
+		dc.pairs[pk] += n
+	}
+	for dom, b := range o.bulk {
+		t := dc.bulk[dom]
+		if t == nil {
+			t = &bulkAgg{}
+			dc.bulk[dom] = t
+		}
+		t.emails += b.emails
+		t.hard += b.hard
+		t.soft += b.soft
+	}
+	for dom, st := range o.resolved {
+		if st > dc.resolved[dom] {
+			dc.resolved[dom] = st
+		}
+	}
+	for addr := range o.inactive {
+		dc.inactive[addr] = true
+	}
+	for addr := range o.full {
+		dc.full[addr] = true
+	}
+	return nil
+}
+
+func (dc *detectCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.u64(uint64(len(dc.senders)))
+	for _, dom := range sortedKeys(dc.senders) {
+		s := dc.senders[dom]
+		e.str(dom)
+		e.intv(s.total)
+		e.strSet(s.recipients)
+		e.strIntMap(s.t8PerRcvr)
+	}
+	e.u64(uint64(len(dc.perFrom)))
+	for _, from := range sortedKeys(dc.perFrom) {
+		io := dc.perFrom[from]
+		e.str(from)
+		e.strSet(io.failed)
+		e.u64(uint64(len(io.okBy)))
+		for _, dom := range sortedKeys(io.okBy) {
+			e.str(dom)
+			// Locals are a multiset; sorting canonicalizes the bytes.
+			locals := append([]string(nil), io.okBy[dom]...)
+			sort.Strings(locals)
+			e.strList(locals)
+		}
+	}
+	e.strIntMap(dc.pairs)
+	e.u64(uint64(len(dc.bulk)))
+	for _, dom := range sortedKeys(dc.bulk) {
+		b := dc.bulk[dom]
+		e.str(dom)
+		e.intv(b.emails)
+		e.intv(b.hard)
+		e.intv(b.soft)
+	}
+	e.u64(uint64(len(dc.resolved)))
+	for _, dom := range sortedKeys(dc.resolved) {
+		e.str(dom)
+		e.intv(int(dc.resolved[dom]))
+	}
+	e.strSet(dc.inactive)
+	e.strSet(dc.full)
+	return e.buf
+}
+
+func (dc *detectCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("detect", 1)
+	n := d.count()
+	dc.senders = make(map[string]*detectSender, n)
+	for i := 0; i < n; i++ {
+		dom := d.str()
+		s := &detectSender{}
+		s.total = d.intv()
+		s.recipients = d.strSet()
+		s.t8PerRcvr = d.strIntMap()
+		dc.senders[dom] = s
+	}
+	n = d.count()
+	dc.perFrom = make(map[string]*detectIO, n)
+	for i := 0; i < n; i++ {
+		from := d.str()
+		io := &detectIO{}
+		io.failed = d.strSet()
+		dn := d.count()
+		io.okBy = make(map[string][]string, dn)
+		for j := 0; j < dn; j++ {
+			dom := d.str()
+			io.okBy[dom] = d.strList()
+		}
+		dc.perFrom[from] = io
+	}
+	dc.pairs = d.strIntMap()
+	n = d.count()
+	dc.bulk = make(map[string]*bulkAgg, n)
+	for i := 0; i < n; i++ {
+		dom := d.str()
+		dc.bulk[dom] = &bulkAgg{emails: d.intv(), hard: d.intv(), soft: d.intv()}
+	}
+	n = d.count()
+	dc.resolved = make(map[string]uint8, n)
+	for i := 0; i < n; i++ {
+		dom := d.str()
+		dc.resolved[dom] = uint8(d.intv())
+	}
+	dc.inactive = d.strSet()
+	dc.full = d.strSet()
+	return d.err
+}
+
+// result resolves the accumulated state into Detections. Everything
+// here is a pure function of the merged state (sender/receiver
+// iteration runs in sorted order wherever a write could collide), so
+// any shard split and merge order yields the same detections.
+func (dc *detectCollector) result(env *Environment, rank []dataset.RankEntry) *Detections {
 	d := &Detections{
 		GuessingSenders: map[string]string{},
 		BulkSpamSenders: map[string]bool{},
 		UsernameTypos:   map[string]typo.Kind{},
 		DomainTypos:     map[string]typo.Kind{},
-		InactiveAddrs:   map[string]bool{},
-		FullMailboxes:   map[string]bool{},
+		InactiveAddrs:   dc.inactive,
+		FullMailboxes:   dc.full,
 	}
-	a.detectAttackers(d)
-	a.detectTypos(d)
-	a.detectMailboxStates(d)
-	return d
-}
 
-// detectAttackers implements Section 4.2.1's two detections.
-func (a *Analysis) detectAttackers(d *Detections) {
-	type senderAgg struct {
-		recipients map[string]bool
-		t8PerRcvr  map[string]int // receiver domain -> distinct T8 rcpts
-		total      int
-	}
-	agg := map[string]*senderAgg{}
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		s := agg[rec.FromDomain()]
-		if s == nil {
-			s = &senderAgg{recipients: map[string]bool{}, t8PerRcvr: map[string]int{}}
-			agg[rec.FromDomain()] = s
-		}
-		s.total++
-		s.recipients[rec.To] = true
-		if a.Classified[i].HasType(ndr.T8NoSuchUser) {
-			s.t8PerRcvr[rec.ToDomain()]++
-		}
-	}
-	for domain, s := range agg {
-		// Username guessing: many non-existent recipients concentrated
-		// at one receiver domain.
-		for rcvr, n := range s.t8PerRcvr {
+	// Username guessing + bulk spam (Section 4.2.1).
+	for _, domain := range sortedKeys(dc.senders) {
+		s := dc.senders[domain]
+		for _, rcvr := range sortedKeys(s.t8PerRcvr) {
+			n := s.t8PerRcvr[rcvr]
 			if n >= 30 && float64(n) > 0.5*float64(s.total) {
 				d.GuessingSenders[domain] = rcvr
 			}
 		}
-		// Bulk spam: >80% of recipients in the leak corpus.
-		if a.Env != nil && a.Env.Breach != nil && len(s.recipients) >= 30 {
-			addrs := make([]string, 0, len(s.recipients))
-			for r := range s.recipients {
-				addrs = append(addrs, r)
-			}
-			if a.Env.Breach.PwnedShare(addrs) > 0.80 {
+		if env != nil && env.Breach != nil && len(s.recipients) >= 30 {
+			addrs := sortedKeys(s.recipients)
+			if env.Breach.PwnedShare(addrs) > 0.80 {
 				d.BulkSpamSenders[domain] = true
 			}
 		}
 	}
+
 	// Quantify.
 	guessTargets := map[string]bool{}
 	guessHits := map[string]bool{}
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		if victim, ok := d.GuessingSenders[rec.FromDomain()]; ok && rec.ToDomain() == victim {
-			guessTargets[rec.To] = true
-			if rec.Succeeded() {
-				guessHits[rec.To] = true
-				d.GuessDelivered++
-			}
+	for pk, delivered := range dc.pairs {
+		parts := strings.SplitN(pk, "\x00", 3)
+		if len(parts) != 3 {
+			continue
 		}
-		if d.BulkSpamSenders[rec.FromDomain()] {
-			d.BulkEmails++
-			switch a.Classified[i].Degree {
-			case dataset.HardBounced:
-				d.BulkHard++
-			case dataset.SoftBounced:
-				d.BulkSoft++
+		fromDom, toDom, to := parts[0], parts[1], parts[2]
+		if victim, ok := d.GuessingSenders[fromDom]; ok && toDom == victim {
+			guessTargets[to] = true
+			if delivered > 0 {
+				guessHits[to] = true
+				d.GuessDelivered += delivered
 			}
 		}
 	}
 	d.GuessTargets = len(guessTargets)
 	d.GuessHits = len(guessHits)
-}
+	for domain := range d.BulkSpamSenders {
+		if b := dc.bulk[domain]; b != nil {
+			d.BulkEmails += b.emails
+			d.BulkHard += b.hard
+			d.BulkSoft += b.soft
+		}
+	}
 
-// detectTypos implements the Section-4.3.2 pipelines for username and
-// domain typos.
-func (a *Analysis) detectTypos(d *Detections) {
 	// Username typos: T8-bounced addresses paired with successful
 	// recipients of the SAME sender at >90% similarity, verified against
-	// the dnstwist-style candidate set.
-	type senderIO struct {
-		failed map[string]bool     // T8-bounced recipient addrs
-		okBy   map[string][]string // domain -> successful locals
-	}
-	per := map[string]*senderIO{}
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		s := per[rec.From]
-		if s == nil {
-			s = &senderIO{failed: map[string]bool{}, okBy: map[string][]string{}}
-			per[rec.From] = s
-		}
-		domain := rec.ToDomain()
-		local := localOf(rec.To)
-		if rec.Succeeded() {
-			s.okBy[domain] = append(s.okBy[domain], local)
-		}
-		if a.Classified[i].HasType(ndr.T8NoSuchUser) {
-			s.failed[rec.To] = true
-		}
-	}
-	for _, s := range per {
+	// the dnstwist-style candidate set. Senders iterate in sorted order
+	// and the first classification of an address wins, so colliding
+	// writes across senders stay deterministic.
+	for _, from := range sortedKeys(dc.perFrom) {
+		s := dc.perFrom[from]
 		for failedAddr := range s.failed {
+			if _, done := d.UsernameTypos[failedAddr]; done {
+				continue
+			}
 			dpos := strings.LastIndexByte(failedAddr, '@')
 			if dpos < 0 {
 				continue
 			}
 			flocal, fdomain := failedAddr[:dpos], failedAddr[dpos+1:]
-			for _, okLocal := range s.okBy[fdomain] {
+			okLocals := append([]string(nil), s.okBy[fdomain]...)
+			sort.Strings(okLocals)
+			for _, okLocal := range okLocals {
 				if okLocal == flocal || typo.Similarity(flocal, okLocal) <= 0.9 {
 					continue
 				}
@@ -229,13 +469,19 @@ func (a *Analysis) detectTypos(d *Detections) {
 
 	// Domain typos: domains whose deliveries never resolved, matched
 	// against typo candidates of the top of InEmailRank.
-	neverResolved := a.neverResolvedDomains()
-	d.NeverResolved = neverResolved
-	top := a.rank
+	var never []string
+	for dom, st := range dc.resolved {
+		if st == 1 {
+			never = append(never, dom)
+		}
+	}
+	sort.Strings(never)
+	d.NeverResolved = never
+	top := rank
 	if len(top) > 1000 {
 		top = top[:1000]
 	}
-	for _, cand := range neverResolved {
+	for _, cand := range never {
 		for _, popular := range top {
 			if kind, ok := typo.Classify(cand, popular.Domain); ok {
 				d.DomainTypos[cand] = kind
@@ -243,57 +489,7 @@ func (a *Analysis) detectTypos(d *Detections) {
 			}
 		}
 	}
-}
-
-// neverResolvedDomains returns receiver domains whose every attempt was
-// classified T2 (DNS failure) and that never accepted an email.
-func (a *Analysis) neverResolvedDomains() []string {
-	status := map[string]int{} // 0 unseen, 1 only-T2, 2 had other outcome
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		domain := rec.ToDomain()
-		onlyT2 := !rec.Succeeded()
-		for _, t := range a.Classified[i].AttemptTypes {
-			if t != ndr.T2ReceiverDNS {
-				onlyT2 = false
-				break
-			}
-		}
-		if onlyT2 {
-			if status[domain] == 0 {
-				status[domain] = 1
-			}
-		} else {
-			status[domain] = 2
-		}
-	}
-	var out []string
-	for domain, st := range status {
-		if st == 1 {
-			out = append(out, domain)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// detectMailboxStates collects inactive and full recipients from NDR
-// text.
-func (a *Analysis) detectMailboxStates(d *Detections) {
-	for i := 0; i < a.Records.Len(); i++ {
-		rec := a.Records.At(i)
-		c := &a.Classified[i]
-		for j, t := range c.AttemptTypes {
-			switch t {
-			case ndr.T9MailboxFull:
-				d.FullMailboxes[rec.To] = true
-			case ndr.T8NoSuchUser:
-				if strings.Contains(strings.ToLower(rec.DeliveryResult[j]), "inactive") {
-					d.InactiveAddrs[rec.To] = true
-				}
-			}
-		}
-	}
+	return d
 }
 
 func localOf(addr string) string {
@@ -303,84 +499,151 @@ func localOf(addr string) string {
 	return addr
 }
 
-// causeCollector counts Table-2 attributions in one pass over the
-// corpus, using the (already multi-pass) detections for the
-// attacker/typo/inactive splits.
+// causeCollector accumulates Table-2 attributions in one pass. The
+// conditional attributions (guessing, bulk spam, typos, inactive)
+// depend on the merged detections, so Add keys them by the entities the
+// rules consult and resolve applies the rules afterwards.
 type causeCollector struct {
-	d      *Detections
-	counts map[string]int
-	total  int
+	total int
+	t8    map[string]int // "fromDom\x00toDom\x00To" -> T8 emails
+	t13   map[string]int // sender domain -> T13 emails
+	t2    map[string]int // receiver domain -> T2 emails
+	flat  map[string]int // unconditional attributions
+}
+
+func newCauseCollector() *causeCollector {
+	return &causeCollector{
+		t8: map[string]int{}, t13: map[string]int{},
+		t2: map[string]int{}, flat: map[string]int{},
+	}
 }
 
 func (cc *causeCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	if c.Degree == dataset.NonBounced || c.Ambiguous {
 		return
 	}
-	d, counts := cc.d, cc.counts
 	cc.total++
-	fromDom := rec.FromDomain()
-	toDom := rec.ToDomain()
-	isGuess := false
-	if victim, ok := d.GuessingSenders[fromDom]; ok && toDom == victim {
-		isGuess = true
-	}
-	isBulk := d.BulkSpamSenders[fromDom]
 	for _, t := range c.Types {
 		switch t {
 		case ndr.T8NoSuchUser:
-			switch {
-			case isGuess:
-				counts["guess"]++
-			case isBulk:
-				counts["bulkspam"]++
-			case d.UsernameTypos[rec.To] != typo.KindNone:
-				counts["usertypo"]++
-			case d.InactiveAddrs[rec.To]:
-				counts["inactive"]++
-			default:
-				counts["usertypo-unverified"]++
-			}
+			cc.t8[rec.FromDomain()+"\x00"+rec.ToDomain()+"\x00"+rec.To]++
 		case ndr.T13ContentSpam:
-			if isBulk {
-				counts["bulkspam"]++
-			} else {
-				counts["spamfilter"]++
-			}
-		case ndr.T5Blocklisted:
-			counts["blocklist"]++
-		case ndr.T6Greylisted:
-			counts["greylist"]++
-		case ndr.T7TooFast:
-			counts["toofast"]++
-		case ndr.T11RateLimited:
-			counts["ratelimit"]++
-		case ndr.T3AuthFail:
-			counts["authfail"]++
-		case ndr.T4STARTTLS:
-			counts["starttls"]++
+			cc.t13[rec.FromDomain()]++
 		case ndr.T2ReceiverDNS:
-			if _, isTypo := d.DomainTypos[toDom]; isTypo {
-				counts["domtypo"]++
-			} else {
-				counts["mxerror"]++
-			}
+			cc.t2[rec.ToDomain()]++
+		case ndr.T5Blocklisted:
+			cc.flat["blocklist"]++
+		case ndr.T6Greylisted:
+			cc.flat["greylist"]++
+		case ndr.T7TooFast:
+			cc.flat["toofast"]++
+		case ndr.T11RateLimited:
+			cc.flat["ratelimit"]++
+		case ndr.T3AuthFail:
+			cc.flat["authfail"]++
+		case ndr.T4STARTTLS:
+			cc.flat["starttls"]++
 		case ndr.T9MailboxFull:
-			counts["mailboxfull"]++
+			cc.flat["mailboxfull"]++
 		case ndr.T14Timeout:
-			counts["timeout"]++
+			cc.flat["timeout"]++
 		}
 	}
 }
 
-// RootCauses builds Table 2 using the detections.
-func (a *Analysis) RootCauses(d *Detections) RootCauseTable {
-	if d == nil {
-		d = a.Detect()
+func (cc *causeCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*causeCollector)
+	if !ok {
+		return mergeTypeError("cause", other)
 	}
-	cc := causeCollector{d: d, counts: map[string]int{}}
-	a.visit(&cc)
-	counts, total := cc.counts, cc.total
+	cc.total += o.total
+	for k, n := range o.t8 {
+		cc.t8[k] += n
+	}
+	for k, n := range o.t13 {
+		cc.t13[k] += n
+	}
+	for k, n := range o.t2 {
+		cc.t2[k] += n
+	}
+	for k, n := range o.flat {
+		cc.flat[k] += n
+	}
+	return nil
+}
 
+func (cc *causeCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.intv(cc.total)
+	e.strIntMap(cc.t8)
+	e.strIntMap(cc.t13)
+	e.strIntMap(cc.t2)
+	e.strIntMap(cc.flat)
+	return e.buf
+}
+
+func (cc *causeCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("cause", 1)
+	cc.total = d.intv()
+	cc.t8 = d.strIntMap()
+	cc.t13 = d.strIntMap()
+	cc.t2 = d.strIntMap()
+	cc.flat = d.strIntMap()
+	return d.err
+}
+
+// resolve applies the detection-dependent attribution rules to the
+// accumulated keys.
+func (cc *causeCollector) resolve(d *Detections) map[string]int {
+	counts := map[string]int{}
+	for k, n := range cc.flat {
+		counts[k] += n
+	}
+	for pk, n := range cc.t8 {
+		parts := strings.SplitN(pk, "\x00", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		fromDom, toDom, to := parts[0], parts[1], parts[2]
+		isGuess := false
+		if victim, ok := d.GuessingSenders[fromDom]; ok && toDom == victim {
+			isGuess = true
+		}
+		switch {
+		case isGuess:
+			counts["guess"] += n
+		case d.BulkSpamSenders[fromDom]:
+			counts["bulkspam"] += n
+		case d.UsernameTypos[to] != typo.KindNone:
+			counts["usertypo"] += n
+		case d.InactiveAddrs[to]:
+			counts["inactive"] += n
+		default:
+			counts["usertypo-unverified"] += n
+		}
+	}
+	for fromDom, n := range cc.t13 {
+		if d.BulkSpamSenders[fromDom] {
+			counts["bulkspam"] += n
+		} else {
+			counts["spamfilter"] += n
+		}
+	}
+	for toDom, n := range cc.t2 {
+		if _, isTypo := d.DomainTypos[toDom]; isTypo {
+			counts["domtypo"] += n
+		} else {
+			counts["mxerror"] += n
+		}
+	}
+	return counts
+}
+
+// buildRootCauseTable lays the resolved counts out as the paper's
+// fifteen Table-2 rows.
+func buildRootCauseTable(counts map[string]int, total int) RootCauseTable {
 	rows := []RootCauseRow{
 		{CauseMalicious, "T8", "Guess victim email addresses", "hard", "Attacker", counts["guess"], nil},
 		{CauseMalicious, "T8/T13", "Delivering large amounts of spam", "hard", "Attacker", counts["bulkspam"], nil},
@@ -399,4 +662,14 @@ func (a *Analysis) RootCauses(d *Detections) RootCauseTable {
 		{CauseInfrastructure, "T14", "SMTP session timeout", "soft", "/", counts["timeout"], nil},
 	}
 	return RootCauseTable{Rows: rows, TotalBounced: total}
+}
+
+// RootCauses builds Table 2 using the detections.
+func (a *Analysis) RootCauses(d *Detections) RootCauseTable {
+	if d == nil {
+		d = a.Detect()
+	}
+	cc := newCauseCollector()
+	a.visit(cc)
+	return buildRootCauseTable(cc.resolve(d), cc.total)
 }

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"hash/fnv"
+
+	"repro/internal/dataset"
+)
+
+// NumStreams is the fixed number of content-hash substreams every
+// corpus is partitioned into — mirroring the delivery engine's 16-way
+// sharding discipline. Each substream trains its own classification
+// pipeline in substream arrival order, which is what makes a sharded
+// deployment byte-identical to a single node: any splitter that
+// preserves per-record order also preserves every substream's internal
+// order, so substream pipelines (and therefore verdicts) are the same
+// no matter how many nodes the stream is spread across.
+const NumStreams = 16
+
+// StreamOf routes a record to its substream by FNV-1a over the fields
+// that survive a JSON round trip byte-identically: sender, receiver,
+// and the second-granularity start time. Records carry no message ID,
+// so content addressing is the routing key.
+func StreamOf(rec *dataset.Record) int {
+	h := fnv.New64a()
+	h.Write([]byte(rec.From))
+	h.Write([]byte{0})
+	h.Write([]byte(rec.To))
+	h.Write([]byte{0})
+	var ts [8]byte
+	u := uint64(rec.StartTime.Unix())
+	for i := 0; i < 8; i++ {
+		ts[i] = byte(u >> (8 * i))
+	}
+	h.Write(ts[:])
+	return int(h.Sum64() % NumStreams)
+}
+
+// OwnerOf maps a record to the cluster node that owns it in an
+// n-node topology: node k owns the substreams s with s mod n == k.
+// Ownership is substream-aligned (never splitting one substream across
+// nodes), which keeps per-substream training order intact on every
+// topology. n must be ≥ 1; values above NumStreams leave the extra
+// nodes empty.
+func OwnerOf(rec *dataset.Record, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return StreamOf(rec) % n
+}

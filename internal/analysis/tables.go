@@ -46,17 +46,61 @@ func (dc *domainCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	}
 }
 
+func (dc *domainCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*domainCollector)
+	if !ok {
+		return mergeTypeError("domain", other)
+	}
+	for dom, s := range o.agg {
+		d := dc.agg[dom]
+		if d == nil {
+			cp := *s
+			dc.agg[dom] = &cp
+			continue
+		}
+		d.Emails += s.Emails
+		d.Hard += s.Hard
+		d.Soft += s.Soft
+	}
+	return nil
+}
+
+func (dc *domainCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.u64(uint64(len(dc.agg)))
+	for _, dom := range sortedKeys(dc.agg) {
+		d := dc.agg[dom]
+		e.str(dom)
+		e.intv(d.Emails)
+		e.intv(d.Hard)
+		e.intv(d.Soft)
+	}
+	return e.buf
+}
+
+func (dc *domainCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("domain", 1)
+	n := d.count()
+	dc.agg = make(map[string]*DomainStats, n)
+	for i := 0; i < n; i++ {
+		dom := d.str()
+		dc.agg[dom] = &DomainStats{
+			Domain: dom, Emails: d.intv(), Hard: d.intv(), Soft: d.intv(),
+		}
+	}
+	return d.err
+}
+
 func (dc *domainCollector) result(n int) []DomainStats {
 	out := make([]DomainStats, 0, len(dc.agg))
 	for _, d := range dc.agg {
 		out = append(out, *d)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Emails != out[j].Emails {
-			return out[i].Emails > out[j].Emails
-		}
-		return out[i].Domain < out[j].Domain
-	})
+	SortRanked(out,
+		func(d DomainStats) float64 { return float64(d.Emails) },
+		func(d DomainStats) string { return d.Domain })
 	if n < len(out) {
 		out = out[:n]
 	}
@@ -86,7 +130,8 @@ func (s ASStats) HardPct() float64 { return pct(s.Hard, s.Emails) }
 // SoftPct returns the soft-bounce percentage.
 func (s ASStats) SoftPct() float64 { return pct(s.Soft, s.Emails) }
 
-// asCollector aggregates Table 4 in one pass.
+// asCollector aggregates Table 4 in one pass. geo may be nil, in which
+// case Add is a no-op (the decode/merge side never calls Add).
 type asCollector struct {
 	geo *geo.DB
 	agg map[int]*ASStats
@@ -97,6 +142,9 @@ func newASCollector(db *geo.DB) *asCollector {
 }
 
 func (ac *asCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	if ac.geo == nil {
+		return
+	}
 	ip := lastNonEmpty(rec.ToIP)
 	if ip == "" {
 		return
@@ -117,6 +165,54 @@ func (ac *asCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	case dataset.SoftBounced:
 		s.Soft++
 	}
+}
+
+func (ac *asCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*asCollector)
+	if !ok {
+		return mergeTypeError("as", other)
+	}
+	for asn, s := range o.agg {
+		t := ac.agg[asn]
+		if t == nil {
+			cp := *s
+			ac.agg[asn] = &cp
+			continue
+		}
+		t.Emails += s.Emails
+		t.Hard += s.Hard
+		t.Soft += s.Soft
+	}
+	return nil
+}
+
+func (ac *asCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.u64(uint64(len(ac.agg)))
+	for _, asn := range sortedIntKeys(ac.agg) {
+		s := ac.agg[asn]
+		e.intv(asn)
+		e.str(s.Org)
+		e.intv(s.Emails)
+		e.intv(s.Hard)
+		e.intv(s.Soft)
+	}
+	return e.buf
+}
+
+func (ac *asCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("as", 1)
+	n := d.count()
+	ac.agg = make(map[int]*ASStats, n)
+	for i := 0; i < n; i++ {
+		asn := d.intv()
+		ac.agg[asn] = &ASStats{
+			ASN: asn, Org: d.str(), Emails: d.intv(), Hard: d.intv(), Soft: d.intv(),
+		}
+	}
+	return d.err
 }
 
 func (ac *asCollector) result(n int) []ASStats {
@@ -182,6 +278,9 @@ func newCountryCollector(db *geo.DB) *countryCollector {
 }
 
 func (cc *countryCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
+	if cc.geo == nil {
+		return
+	}
 	ip := lastNonEmpty(rec.ToIP)
 	country := ""
 	if ip != "" {
@@ -205,6 +304,72 @@ func (cc *countryCollector) Add(rec *dataset.Record, c *ClassifiedRecord) {
 	for _, t := range c.Types {
 		s.types[t]++
 	}
+}
+
+func (cc *countryCollector) Merge(other PartialCollector) error {
+	o, ok := other.(*countryCollector)
+	if !ok {
+		return mergeTypeError("country", other)
+	}
+	for country, s := range o.byCC {
+		t := cc.byCC[country]
+		if t == nil {
+			t = &countryAgg{CountryStats: CountryStats{Country: country}, types: map[ndr.Type]int{}}
+			cc.byCC[country] = t
+		}
+		t.Emails += s.Emails
+		t.Hard += s.Hard
+		t.Soft += s.Soft
+		for typ, n := range s.types {
+			t.types[typ] += n
+		}
+	}
+	return nil
+}
+
+func (cc *countryCollector) MarshalPartial() []byte {
+	var e enc
+	e.version(1)
+	e.u64(uint64(len(cc.byCC)))
+	for _, country := range sortedKeys(cc.byCC) {
+		s := cc.byCC[country]
+		e.str(country)
+		e.intv(s.Emails)
+		e.intv(s.Hard)
+		e.intv(s.Soft)
+		types := make(map[int]int, len(s.types))
+		for t, n := range s.types {
+			types[int(t)] = n
+		}
+		e.u64(uint64(len(types)))
+		for _, t := range sortedIntKeys(types) {
+			e.intv(t)
+			e.intv(types[t])
+		}
+	}
+	return e.buf
+}
+
+func (cc *countryCollector) UnmarshalPartial(b []byte) error {
+	d := dec{b: b}
+	d.checkVersion("country", 1)
+	n := d.count()
+	cc.byCC = make(map[string]*countryAgg, n)
+	for i := 0; i < n; i++ {
+		country := d.str()
+		s := &countryAgg{CountryStats: CountryStats{Country: country}}
+		s.Emails = d.intv()
+		s.Hard = d.intv()
+		s.Soft = d.intv()
+		tn := d.count()
+		s.types = make(map[ndr.Type]int, tn)
+		for j := 0; j < tn; j++ {
+			t := ndr.Type(d.intv())
+			s.types[t] = d.intv()
+		}
+		cc.byCC[country] = s
+	}
+	return d.err
 }
 
 func (cc *countryCollector) result(minEmails int) []CountryStats {

@@ -78,6 +78,13 @@ type Config struct {
 	// is acknowledged without re-ingesting its records, which is what
 	// makes client retries after a 429 or a dropped response safe.
 	DedupWindow int
+	// ShardCount > 0 puts the node in shard role: HTTP ingestion admits
+	// only records owned by this shard (analysis.OwnerOf(rec, ShardCount)
+	// == ShardIndex) and rejects others as line errors, so a misrouted
+	// feed fails loudly instead of double-counting. ShardIndex must be
+	// in [0, ShardCount). Zero means single role: own everything.
+	ShardCount int
+	ShardIndex int
 }
 
 // Server is the bounce-analytics service. Create with New, mount
@@ -119,7 +126,7 @@ type Server struct {
 	// labels records as they arrive for the /metrics counters and the
 	// classify-latency histogram.
 	liveMu   sync.RWMutex
-	livePipe *analysis.Pipeline
+	livePipe *analysis.ShardedPipeline
 
 	hist      *latencyHist
 	degrees   [3]atomic.Uint64            // by dataset.Degree
@@ -135,10 +142,16 @@ type Server struct {
 	snapAt     uint64 // consumed count the cached snapshot covers
 	snapColdMs float64
 	snapWarmMs float64
-	snapTaken  atomic.Uint64
-	startedAt  time.Time
-	closed     atomic.Bool
-	consumerWG sync.WaitGroup
+
+	// partial snapshot cache: the marshaled partial aggregate for the
+	// cached study (rebuilt only when the study advances).
+	partialMu    sync.Mutex
+	partialFor   *bounce.Study
+	partialBytes []byte
+	snapTaken    atomic.Uint64
+	startedAt    time.Time
+	closed       atomic.Bool
+	consumerWG   sync.WaitGroup
 }
 
 // New creates a Server and starts its store consumer.
@@ -175,6 +188,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/records", s.handleRecords)
 	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/partial", s.handlePartial)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -241,6 +255,13 @@ func (s *Server) enqueue(rec *dataset.Record) error {
 	s.accepted.Add(1)
 	s.observe(rec)
 	return nil
+}
+
+// owns reports whether this node's shard role covers rec. Single-role
+// nodes own everything; shard nodes own the substreams OwnerOf assigns
+// them.
+func (s *Server) owns(rec *dataset.Record) bool {
+	return s.cfg.ShardCount <= 0 || analysis.OwnerOf(rec, s.cfg.ShardCount) == s.cfg.ShardIndex
 }
 
 // Ingest queues one record from an in-process producer (the -generate

@@ -1,0 +1,256 @@
+package bounced_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/bounced"
+	"repro/internal/dataset"
+)
+
+// clusterNodes boots n shard servers over the real HTTP stack and
+// routes the corpus to them by substream ownership. The caller owns
+// shutdown via the returned cleanup.
+func clusterNodes(t *testing.T, records []dataset.Record, env *analysis.Environment, n int) ([]*httptest.Server, func()) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	srvs := make([]*bounced.Server, n)
+	for i := 0; i < n; i++ {
+		srvs[i] = bounced.New(bounced.Config{Env: env, ShardCount: n, ShardIndex: i})
+		servers[i] = httptest.NewServer(srvs[i].Handler())
+	}
+	parts := make([][]dataset.Record, n)
+	for i := range records {
+		own := analysis.OwnerOf(&records[i], n)
+		parts[own] = append(parts[own], records[i])
+	}
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		ir := postRecords(t, servers[i].URL, encodeNDJSON(t, part))
+		if ir.status != http.StatusOK || ir.Accepted != len(part) {
+			t.Fatalf("shard %d: status %d accepted %d of %d: %s", i, ir.status, ir.Accepted, len(part), ir.Error)
+		}
+	}
+	return servers, func() {
+		for i := range servers {
+			servers[i].Close()
+			srvs[i].Abort()
+		}
+	}
+}
+
+// partialSectionQuery asks a single node for exactly the sections a
+// coordinator serves by default.
+func partialSectionQuery() string {
+	names := make([]string, len(bounce.PartialSections))
+	for i, s := range bounce.PartialSections {
+		names[i] = string(s)
+	}
+	return "/v1/report?section=" + strings.Join(names, ",")
+}
+
+// singleNodeReport ingests the whole corpus into one unsharded node
+// and returns its partial-section report bytes.
+func singleNodeReport(t *testing.T, records []dataset.Record, env *analysis.Environment) []byte {
+	t.Helper()
+	srv := bounced.New(bounced.Config{Env: env})
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ir := postRecords(t, ts.URL, encodeNDJSON(t, records))
+	if ir.status != http.StatusOK || ir.Accepted != len(records) {
+		t.Fatalf("single node: status %d accepted %d of %d: %s", ir.status, ir.Accepted, len(records), ir.Error)
+	}
+	status, b := getBody(t, ts.URL+partialSectionQuery())
+	if status != http.StatusOK {
+		t.Fatalf("single node report: status %d", status)
+	}
+	return b
+}
+
+// TestClusterReportMatchesSingleNode is the topology's acceptance
+// test: 3 shard nodes plus a coordinator, all over real HTTP, must
+// serve a report byte-identical to one node that ingested the full
+// stream — for every permutation of the coordinator's merge order.
+func TestClusterReportMatchesSingleNode(t *testing.T) {
+	records, env := fixture(t)
+	want := singleNodeReport(t, records, env)
+
+	servers, cleanup := clusterNodes(t, records, env, 3)
+	defer cleanup()
+	urls := []string{servers[0].URL, servers[1].URL, servers[2].URL}
+
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		ordered := []string{urls[perm[0]], urls[perm[1]], urls[perm[2]]}
+		coord, err := bounced.NewCoordinator(bounced.CoordinatorConfig{ShardURLs: ordered, Env: env})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts := httptest.NewServer(coord.Handler())
+		status, got := getBody(t, cts.URL+"/v1/report")
+		cts.Close()
+		if status != http.StatusOK {
+			t.Fatalf("order %v: coordinator report status %d", perm, status)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("order %v: coordinator report diverges from single node (%d vs %d bytes)",
+				perm, len(got), len(want))
+		}
+	}
+}
+
+// TestClusterEndpointsAndFailure covers the coordinator's sidecar
+// surfaces: stats and metrics respond, and a dead shard turns every
+// fan-in into a clean 503 instead of a silently partial report.
+func TestClusterEndpointsAndFailure(t *testing.T) {
+	records, env := fixture(t)
+	servers, cleanup := clusterNodes(t, records, env, 3)
+	defer cleanup()
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	urls := []string{servers[0].URL, servers[1].URL, servers[2].URL}
+	coord, err := bounced.NewCoordinator(bounced.CoordinatorConfig{ShardURLs: urls, Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	if status, b := getBody(t, cts.URL+"/v1/stats"); status != http.StatusOK ||
+		!bytes.Contains(b, []byte(`"shards"`)) {
+		t.Fatalf("stats: status %d body %s", status, b)
+	}
+	if status, b := getBody(t, cts.URL+"/metrics"); status != http.StatusOK ||
+		!bytes.Contains(b, []byte("coordinator_records")) {
+		t.Fatalf("metrics: status %d body %s", status, b)
+	}
+
+	// A shard without /v1/partial (404) must fail the whole fan-in.
+	broken, err := bounced.NewCoordinator(bounced.CoordinatorConfig{
+		ShardURLs: []string{urls[0], dead.URL, urls[2]}, Env: env,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bts := httptest.NewServer(broken.Handler())
+	defer bts.Close()
+	if status, _ := getBody(t, bts.URL+"/v1/report"); status != http.StatusServiceUnavailable {
+		t.Fatalf("dead shard: report status %d, want 503", status)
+	}
+	dead.Close()
+	if status, _ := getBody(t, bts.URL+"/v1/report"); status != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable shard: report status %d, want 503", status)
+	}
+}
+
+// TestClusterShardRejectsMisrouted: a record whose substream another
+// node owns is refused with a line-numbered 400 naming the owner, in
+// both streamed and batch admission.
+func TestClusterShardRejectsMisrouted(t *testing.T) {
+	records, env := fixture(t)
+	// Find a record shard 1 owns and post it to shard 0.
+	var stray *dataset.Record
+	for i := range records {
+		if analysis.OwnerOf(&records[i], 3) == 1 {
+			stray = &records[i]
+			break
+		}
+	}
+	if stray == nil {
+		t.Skip("corpus has no shard-1 record")
+	}
+	srv := bounced.New(bounced.Config{Env: env, ShardCount: 3, ShardIndex: 0})
+	defer srv.Abort()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := encodeNDJSON(t, []dataset.Record{*stray})
+	ir := postRecords(t, ts.URL, body)
+	if ir.status != http.StatusBadRequest || !strings.Contains(ir.Error, "owned by shard 1") {
+		t.Fatalf("streamed misroute: status %d error %q", ir.status, ir.Error)
+	}
+
+	_, bir := postBatchID(t, ts.URL, "misroute-1", 1, body)
+	if bir.status != http.StatusBadRequest || !strings.Contains(bir.Error, "owned by shard 1") {
+		t.Fatalf("batch misroute: status %d error %q", bir.status, bir.Error)
+	}
+}
+
+// TestClusterChaosTornShardStream sweeps seeds over the failure the
+// batch protocol exists for: one shard's upload dies mid-body, the
+// client re-feeds the same batch ID, and the final coordinator report
+// is still byte-identical to the single node's.
+func TestClusterChaosTornShardStream(t *testing.T) {
+	records, env := fixture(t)
+	want := singleNodeReport(t, records, env)
+
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		servers := make([]*httptest.Server, 3)
+		srvs := make([]*bounced.Server, 3)
+		for i := 0; i < 3; i++ {
+			// Queue depth must admit a whole shard's corpus as one
+			// all-or-nothing batch.
+			srvs[i] = bounced.New(bounced.Config{Env: env, ShardCount: 3, ShardIndex: i, QueueDepth: len(records)})
+			servers[i] = httptest.NewServer(srvs[i].Handler())
+		}
+		parts := make([][]dataset.Record, 3)
+		for i := range records {
+			own := analysis.OwnerOf(&records[i], 3)
+			parts[own] = append(parts[own], records[i])
+		}
+		victim := rng.Intn(3)
+		for i, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			body := encodeNDJSON(t, part)
+			batchID := fmt.Sprintf("chaos-%d-%d", seed, i)
+			if i == victim {
+				// Tear the body at a random interior byte. The declared
+				// record count makes any truncation reject atomically.
+				cut := 1 + rng.Intn(len(body)-1)
+				_, ir := postBatchID(t, servers[i].URL, batchID, len(part), body[:cut])
+				if ir.status == http.StatusOK {
+					t.Fatalf("seed %d: torn batch (cut %d of %d) was accepted", seed, cut, len(body))
+				}
+			}
+			_, ir := postBatchID(t, servers[i].URL, batchID, len(part), body)
+			if ir.status != http.StatusOK || ir.Accepted != len(part) {
+				t.Fatalf("seed %d shard %d: status %d accepted %d of %d: %s",
+					seed, i, ir.status, ir.Accepted, len(part), ir.Error)
+			}
+		}
+
+		coord, err := bounced.NewCoordinator(bounced.CoordinatorConfig{
+			ShardURLs: []string{servers[0].URL, servers[1].URL, servers[2].URL}, Env: env,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts := httptest.NewServer(coord.Handler())
+		status, got := getBody(t, cts.URL+"/v1/report")
+		cts.Close()
+		if status != http.StatusOK {
+			t.Fatalf("seed %d: coordinator report status %d", seed, status)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: post-chaos report diverges from single node (%d vs %d bytes)",
+				seed, len(got), len(want))
+		}
+		for i := range servers {
+			servers[i].Close()
+			srvs[i].Abort()
+		}
+	}
+}

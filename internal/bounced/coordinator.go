@@ -1,0 +1,229 @@
+package bounced
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/analysis"
+)
+
+// CoordinatorConfig assembles a Coordinator.
+type CoordinatorConfig struct {
+	// ShardURLs are the shard nodes' base URLs (e.g.
+	// "http://10.0.0.1:8080"). Their order is the merge order — any
+	// order yields the same report bytes, but keeping it fixed makes the
+	// fan-in fully deterministic.
+	ShardURLs []string
+	// Env supplies the external services report sections consult (same
+	// contract as Config.Env).
+	Env *analysis.Environment
+	// Client overrides the HTTP client used for shard fan-in.
+	Client *http.Client
+}
+
+// Coordinator is the thin fan-in tier of a sharded bounced deployment:
+// it holds no records and no classifier state. Every report request
+// fetches each shard's /v1/partial snapshot, merges the partial
+// aggregates, and renders through the same section dispatcher a single
+// node uses — so the report bytes are identical to one node having
+// ingested the full stream (for the partial-renderable sections).
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	client *http.Client
+
+	fanins    atomic.Uint64 // successful full fan-ins
+	faninErrs atomic.Uint64 // fan-ins failed by an unreachable/invalid shard
+	reports   atomic.Uint64 // reports rendered
+
+	mu          sync.Mutex
+	lastMergeMs float64
+	lastRecords int
+	startedAt   time.Time
+}
+
+// NewCoordinator wires a coordinator over the given shards.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.ShardURLs) == 0 {
+		return nil, fmt.Errorf("bounced: coordinator needs at least one shard URL")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Coordinator{cfg: cfg, client: client, startedAt: time.Now()}, nil
+}
+
+// Handler returns the coordinator's HTTP routes.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/report", c.handleReport)
+	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// shardInfo is one shard's contribution to a fan-in.
+type shardInfo struct {
+	URL     string `json:"url"`
+	Records int    `json:"records"`
+	Bytes   int    `json:"snapshot_bytes"`
+}
+
+// gather fans in every shard's partial snapshot (concurrently) and
+// merges them in ShardURLs order. Any unreachable or undecodable shard
+// fails the whole fan-in: a silently partial report would be worse
+// than no report.
+func (c *Coordinator) gather() (*analysis.PartialSet, []shardInfo, error) {
+	blobs := make([][]byte, len(c.cfg.ShardURLs))
+	errs := make([]error, len(c.cfg.ShardURLs))
+	var wg sync.WaitGroup
+	for i, base := range c.cfg.ShardURLs {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			resp, err := c.client.Get(strings.TrimRight(base, "/") + "/v1/partial")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %s", resp.Status)
+				return
+			}
+			blobs[i], errs[i] = io.ReadAll(resp.Body)
+		}(i, base)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c.faninErrs.Add(1)
+			return nil, nil, fmt.Errorf("shard %d (%s): %v", i, c.cfg.ShardURLs[i], err)
+		}
+	}
+
+	infos := make([]shardInfo, len(blobs))
+	t0 := time.Now()
+	var merged *analysis.PartialSet
+	for i, b := range blobs {
+		ps, err := analysis.UnmarshalPartialSet(b, c.cfg.Env)
+		if err != nil {
+			c.faninErrs.Add(1)
+			return nil, nil, fmt.Errorf("shard %d (%s): %v", i, c.cfg.ShardURLs[i], err)
+		}
+		infos[i] = shardInfo{URL: c.cfg.ShardURLs[i], Records: ps.Total, Bytes: len(b)}
+		if merged == nil {
+			merged = ps
+			continue
+		}
+		if err := merged.Merge(ps); err != nil {
+			c.faninErrs.Add(1)
+			return nil, nil, fmt.Errorf("shard %d (%s): %v", i, c.cfg.ShardURLs[i], err)
+		}
+	}
+	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+	c.mu.Lock()
+	c.lastMergeMs = ms
+	c.lastRecords = merged.Total
+	c.mu.Unlock()
+	c.fanins.Add(1)
+	return merged, infos, nil
+}
+
+// parseCoordinatorSections mirrors the node's -section grammar, with
+// "all" meaning every partial-renderable section (squat and advice
+// need the raw corpus, which no coordinator holds).
+func parseCoordinatorSections(arg string) []bounce.Section {
+	if arg == "" || arg == "all" {
+		return bounce.PartialSections
+	}
+	var out []bounce.Section
+	for _, s := range strings.Split(arg, ",") {
+		out = append(out, bounce.Section(strings.TrimSpace(s)))
+	}
+	return out
+}
+
+// handleReport renders the merged report. Bytes are identical to a
+// single node serving the same sections over the union of the shards'
+// records.
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, 0, 0, "GET only")
+		return
+	}
+	merged, _, err := c.gather()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, 0, 0, err.Error())
+		return
+	}
+	var buf strings.Builder
+	st := bounce.NewPartialStudy(merged)
+	if err := st.WriteReport(&buf, parseCoordinatorSections(r.URL.Query().Get("section"))); err != nil {
+		httpError(w, http.StatusBadRequest, 0, 0, err.Error())
+		return
+	}
+	c.reports.Add(1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(buf.String()))
+}
+
+// coordinatorStats is the coordinator's /v1/stats schema.
+type coordinatorStats struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Shards        []shardInfo `json:"shards"`
+	Records       int         `json:"records"`
+	MergeMs       float64     `json:"merge_ms"`
+	Fanins        uint64      `json:"fanins"`
+	FaninErrors   uint64      `json:"fanin_errors"`
+	Reports       uint64      `json:"reports"`
+}
+
+// handleStats fans in fresh shard snapshots and reports the topology.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	merged, infos, err := c.gather()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, 0, 0, err.Error())
+		return
+	}
+	c.mu.Lock()
+	ms := c.lastMergeMs
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, coordinatorStats{
+		UptimeSeconds: time.Since(c.startedAt).Seconds(),
+		Shards:        infos,
+		Records:       merged.Total,
+		MergeMs:       ms,
+		Fanins:        c.fanins.Load(),
+		FaninErrors:   c.faninErrs.Load(),
+		Reports:       c.reports.Load(),
+	})
+}
+
+// handleMetrics serves the coordinator counters in Prometheus text
+// format. It does not fan in: metrics reflect the last gather, so a
+// scrape never hammers the shard tier.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	ms := c.lastMergeMs
+	records := c.lastRecords
+	c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP coordinator_shards Configured shard nodes.\n# TYPE coordinator_shards gauge\ncoordinator_shards %d\n", len(c.cfg.ShardURLs))
+	fmt.Fprintf(&b, "# HELP coordinator_records Records covered by the last merged snapshot.\n# TYPE coordinator_records gauge\ncoordinator_records %d\n", records)
+	fmt.Fprintf(&b, "# HELP coordinator_merge_ms Milliseconds the last partial merge took.\n# TYPE coordinator_merge_ms gauge\ncoordinator_merge_ms %g\n", ms)
+	fmt.Fprintf(&b, "# HELP coordinator_fanins_total Successful shard fan-ins.\n# TYPE coordinator_fanins_total counter\ncoordinator_fanins_total %d\n", c.fanins.Load())
+	fmt.Fprintf(&b, "# HELP coordinator_fanin_errors_total Fan-ins failed by an unreachable or invalid shard.\n# TYPE coordinator_fanin_errors_total counter\ncoordinator_fanin_errors_total %d\n", c.faninErrs.Load())
+	fmt.Fprintf(&b, "# HELP coordinator_reports_total Merged reports rendered.\n# TYPE coordinator_reports_total counter\ncoordinator_reports_total %d\n", c.reports.Load())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

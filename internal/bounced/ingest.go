@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/dataset"
 	"repro/internal/faultinject"
 )
@@ -149,6 +150,13 @@ func (s *Server) ingestStream(w http.ResponseWriter, reader io.Reader) {
 		if !ok {
 			break
 		}
+		if !s.owns(rec) {
+			s.badLines.Add(1)
+			s.rejected.Add(1)
+			httpError(w, http.StatusBadRequest, pr.Line(), accepted,
+				s.notOwnedMsg(rec))
+			return
+		}
 		// The reader reuses its record buffers once a chunk is consumed,
 		// but the queue holds the pointer until the store folds it in —
 		// copy the (small) struct out; its strings and slices are fresh
@@ -186,6 +194,15 @@ func (s *Server) ingestBatch(w http.ResponseWriter, reader io.Reader, batchID st
 		rec, ok := pr.Next()
 		if !ok {
 			break
+		}
+		if !s.owns(rec) {
+			// All-or-nothing: a misrouted record rejects the whole batch
+			// before anything is admitted, so the client can re-partition
+			// and resend under the same ID.
+			s.badLines.Add(1)
+			s.countRejected(declared, len(recs)+1)
+			httpError(w, http.StatusBadRequest, pr.Line(), 0, s.notOwnedMsg(rec))
+			return
 		}
 		recs = append(recs, *rec)
 	}
@@ -241,6 +258,12 @@ func (s *Server) ingestBatch(w http.ResponseWriter, reader io.Reader, batchID st
 	s.batches.Add(1)
 	s.shedStreak.Store(0)
 	writeJSON(w, http.StatusOK, ingestResponse{Accepted: len(recs)})
+}
+
+// notOwnedMsg names the shard a misrouted record belongs to.
+func (s *Server) notOwnedMsg(rec *dataset.Record) string {
+	return fmt.Sprintf("record owned by shard %d, this node is shard %d/%d",
+		analysis.OwnerOf(rec, s.cfg.ShardCount), s.cfg.ShardIndex, s.cfg.ShardCount)
 }
 
 // countRejected adds a refused batch to the rejected-records counter:

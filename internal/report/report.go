@@ -378,14 +378,9 @@ func printKindDist[K interface {
 	for k, n := range counts {
 		rows = append(rows, kv{k, n})
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].n != rows[j].n {
-			return rows[i].n > rows[j].n
-		}
-		// Rows come from map iteration: tie-break by name for a
-		// deterministic listing.
-		return rows[i].k.String() < rows[j].k.String()
-	})
+	// Rows come from map iteration: the shared ranked ordering
+	// (count desc, name asc) keeps the listing deterministic.
+	analysis.SortRanked(rows, func(r kv) float64 { return float64(r.n) }, func(r kv) string { return r.k.String() })
 	for _, r := range rows {
 		fmt.Fprintf(w, "  %-15s %6d (%5.2f%%)\n", r.k.String(), r.n, stats.Pct(r.n, total))
 	}

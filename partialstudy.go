@@ -1,0 +1,67 @@
+package bounce
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+)
+
+// PartialSections lists the sections renderable from merged partial
+// aggregates: AllSections minus squat and advice, which walk the raw
+// corpus and therefore need a full Study.
+var PartialSections = func() []Section {
+	out := make([]Section, 0, len(AllSections))
+	for _, sec := range AllSections {
+		if sec == SecSquat || sec == SecAdvice {
+			continue
+		}
+		out = append(out, sec)
+	}
+	return out
+}()
+
+// PartialStudy renders reports from a merged partial aggregate — the
+// coordinator's view of a sharded deployment. Sections render through
+// the same dispatcher a Study uses, so the bytes are identical to a
+// single node that ingested the full stream.
+type PartialStudy struct {
+	P   *analysis.PartialSet
+	det *analysis.Detections
+}
+
+// NewPartialStudy wraps a merged partial set.
+func NewPartialStudy(p *analysis.PartialSet) *PartialStudy {
+	return &PartialStudy{P: p}
+}
+
+// Detections resolves (and caches) the entity detections.
+func (s *PartialStudy) Detections() *analysis.Detections {
+	if s.det == nil {
+		s.det = s.P.Detect()
+	}
+	return s.det
+}
+
+// WriteReport renders the requested sections (default PartialSections).
+func (s *PartialStudy) WriteReport(w io.Writer, sections []Section) error {
+	if len(sections) == 0 {
+		sections = PartialSections
+	}
+	for _, sec := range sections {
+		if err := renderSection(w, s.P, s.Detections(), s.P.Total, sec); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Partials condenses the study's classified corpus into its partial
+// aggregate (cached — a Study is immutable once built).
+func (s *Study) Partials() *analysis.PartialSet {
+	if s.partials == nil {
+		s.partials = s.Analysis.Partials()
+	}
+	return s.partials
+}

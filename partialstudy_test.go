@@ -1,0 +1,109 @@
+package bounce_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+)
+
+// TestPartialStudyMatchesStudyBytes: rendering through the partial
+// aggregates must reproduce the full study's report byte-for-byte on
+// every partial-renderable section — the invariant the coordinator
+// tier stands on.
+func TestPartialStudyMatchesStudyBytes(t *testing.T) {
+	st := tinyStudy(t)
+	var want bytes.Buffer
+	if err := st.WriteReport(&want, bounce.PartialSections); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := bounce.NewPartialStudy(st.Partials()).WriteReport(&got, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("partial-study report diverges from study report (%d vs %d bytes)",
+			got.Len(), want.Len())
+	}
+	if want.Len() == 0 {
+		t.Fatal("empty reference report")
+	}
+}
+
+// TestShardedPartialReportMatchesBatch: partition the corpus by
+// substream ownership, analyze shards independently, merge their
+// wire-encoded partials in random orders — the merged report must be
+// byte-identical to the unsharded batch report every time.
+func TestShardedPartialReportMatchesBatch(t *testing.T) {
+	st := tinyStudy(t)
+	records := st.Records.Flatten()
+	env := bounce.NewEnvironment(st.World)
+
+	a := analysis.NewFromSource(dataset.NewSliceSource(records), analysis.DefaultPipelineConfig(), env)
+	ref := &bounce.Study{Records: a.Records, Analysis: a}
+	ref.Detections = a.Detect()
+	var want bytes.Buffer
+	if err := ref.WriteReport(&want, bounce.PartialSections); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 16} {
+		parts := make([][]dataset.Record, n)
+		for i := range records {
+			own := analysis.OwnerOf(&records[i], n)
+			parts[own] = append(parts[own], records[i])
+		}
+		blobs := make([][]byte, n)
+		for i, part := range parts {
+			blobs[i] = analysis.New(part, env).Partials().Marshal()
+		}
+		for trial := 0; trial < 3; trial++ {
+			order := rng.Perm(n)
+			var merged *analysis.PartialSet
+			for _, i := range order {
+				ps, err := analysis.UnmarshalPartialSet(blobs[i], env)
+				if err != nil {
+					t.Fatalf("shards=%d: decode shard %d: %v", n, i, err)
+				}
+				if merged == nil {
+					merged = ps
+					continue
+				}
+				if err := merged.Merge(ps); err != nil {
+					t.Fatalf("shards=%d: merge shard %d: %v", n, i, err)
+				}
+			}
+			var got bytes.Buffer
+			if err := bounce.NewPartialStudy(merged).WriteReport(&got, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("shards=%d order=%v: merged report diverges from batch (%d vs %d bytes)",
+					n, order, got.Len(), want.Len())
+			}
+		}
+	}
+}
+
+// TestPartialStudyRejectsCorpusSections: squat and advice need the
+// raw corpus no partial set carries; asking for them is an error, not
+// silently absent output.
+func TestPartialStudyRejectsCorpusSections(t *testing.T) {
+	st := tinyStudy(t)
+	ps := bounce.NewPartialStudy(st.Partials())
+	for _, sec := range []bounce.Section{bounce.SecSquat, bounce.SecAdvice} {
+		if err := ps.WriteReport(io.Discard, []bounce.Section{sec}); err == nil {
+			t.Errorf("section %q rendered from partials; want error", sec)
+		}
+	}
+	for _, sec := range bounce.PartialSections {
+		if sec == bounce.SecSquat || sec == bounce.SecAdvice {
+			t.Fatalf("PartialSections contains %q", sec)
+		}
+	}
+}

@@ -5,70 +5,112 @@ import (
 	"io"
 
 	"repro/internal/advise"
+	"repro/internal/analysis"
+	"repro/internal/ndr"
 	"repro/internal/report"
 	"repro/internal/squat"
 )
 
-// writeSection dispatches one report section.
-func (s *Study) writeSection(w io.Writer, sec Section) error {
-	a := s.Analysis
+// sectionSource is the data a report section draws on — satisfied by
+// both *analysis.Analysis (single-pass corpus) and *analysis.PartialSet
+// (merged shard aggregates). Every section except squat and advice
+// renders identically from either.
+type sectionSource interface {
+	Overview() analysis.Overview
+	NoEnhancedCodeShare() float64
+	PipelineSummary() analysis.PipelineSummary
+	TypeDistribution() map[ndr.Type]int
+	RootCauses(*analysis.Detections) analysis.RootCauseTable
+	TopDomains(int) []analysis.DomainStats
+	TopASes(int) []analysis.ASStats
+	CountryBounces(int) []analysis.CountryStats
+	AmbiguousTemplates() []analysis.AmbiguousTemplate
+	MTACountryDistribution() []analysis.MTACountry
+	Timeline() analysis.Timeline
+	BlocklistFigure() analysis.BlocklistFigure
+	Durations(*analysis.Detections) analysis.DurationsFigure
+	InfraMatrix(int, int) analysis.InfraMatrix
+	LatencyByCountry(int) analysis.LatencyStats
+	STARTTLS() analysis.STARTTLSStats
+	FilterDisagreement() analysis.FilterDisagreement
+	BlocklistRecovery() analysis.BlocklistRecovery
+}
+
+// renderSection writes one section from any source. total is the
+// record count (scales the representativeness threshold); det carries
+// the entity detections the attribution sections need.
+func renderSection(w io.Writer, src sectionSource, det *analysis.Detections, total int, sec Section) error {
+	threshold := countryThreshold(total)
 	switch sec {
 	case SecOverview:
-		o := a.Overview()
+		o := src.Overview()
 		report.Overview(w, o)
-		report.EnhancedCodeStat(w, a.NoEnhancedCodeShare())
+		report.EnhancedCodeStat(w, src.NoEnhancedCodeShare())
 	case SecPipeline:
-		labeled, coverage := a.Pipeline.ManualLabelStats()
-		report.PipelineStats(w, a.Pipeline.NumTemplates(), labeled, coverage)
+		pipe := src.PipelineSummary()
+		report.PipelineStats(w, pipe.Templates, pipe.Labeled, pipe.Coverage())
 	case SecTable1:
-		o := a.Overview()
-		report.Table1(w, a.TypeDistribution(), o.Bounced()-o.AmbiguousBounced)
+		o := src.Overview()
+		report.Table1(w, src.TypeDistribution(), o.Bounced()-o.AmbiguousBounced)
 	case SecTable2:
-		report.Table2(w, a.RootCauses(s.Detections))
+		report.Table2(w, src.RootCauses(det))
 	case SecTable3:
-		report.Table3(w, a.TopDomains(10))
+		report.Table3(w, src.TopDomains(10))
 	case SecTable4:
-		report.Table4(w, a.TopASes(10))
+		report.Table4(w, src.TopASes(10))
 	case SecTable5:
-		report.Table5(w, a.CountryBounces(s.countryThreshold()), 10)
+		report.Table5(w, src.CountryBounces(threshold), 10)
 	case SecTable6:
-		o := a.Overview()
-		report.Table6(w, a.AmbiguousTemplates(), o.AmbiguousBounced)
+		o := src.Overview()
+		report.Table6(w, src.AmbiguousTemplates(), o.AmbiguousBounced)
 	case SecFig4:
-		report.Fig4(w, a.MTACountryDistribution(), 15)
+		report.Fig4(w, src.MTACountryDistribution(), 15)
 	case SecFig5:
-		report.Fig5(w, a.Timeline())
+		report.Fig5(w, src.Timeline())
 	case SecFig6:
-		report.Fig6(w, a.BlocklistFigure())
+		report.Fig6(w, src.BlocklistFigure())
 	case SecFig7:
-		report.Fig7(w, a.Durations(s.Detections))
+		report.Fig7(w, src.Durations(det))
 	case SecFig8:
-		report.Fig8(w, a.InfraMatrix(s.countryThreshold(), 20))
+		report.Fig8(w, src.InfraMatrix(threshold, 20))
 	case SecFig10:
-		report.Fig10(w, a.LatencyByCountry(s.countryThreshold()), 10)
+		report.Fig10(w, src.LatencyByCountry(threshold), 10)
 	case SecSTARTTLS:
-		report.STARTTLS(w, a.STARTTLS())
+		report.STARTTLS(w, src.STARTTLS())
 	case SecAttacker:
-		report.Attackers(w, s.Detections)
+		report.Attackers(w, det)
 	case SecTypos:
-		report.Typos(w, s.Detections)
-	case SecSquat:
-		report.Squat(w, s.Squat(squat.DefaultConfig()))
+		report.Typos(w, det)
 	case SecFilters:
-		report.Filters(w, a.FilterDisagreement(), a.BlocklistRecovery())
-	case SecAdvice:
-		sq := s.Squat(squat.DefaultConfig())
-		report.Advisories(w, advise.Run(s.Analysis, s.Detections, sq, advise.DefaultConfig()))
+		report.Filters(w, src.FilterDisagreement(), src.BlocklistRecovery())
+	case SecSquat, SecAdvice:
+		return fmt.Errorf("bounce: section %q needs the full corpus (not available from partial aggregates)", sec)
 	default:
 		return fmt.Errorf("bounce: unknown section %q", sec)
 	}
 	return nil
 }
 
+// writeSection dispatches one report section. The squat scan and the
+// advisory engine walk the raw corpus, so they stay Study-only; every
+// other section renders through the shared partial-aggregate path.
+func (s *Study) writeSection(w io.Writer, sec Section) error {
+	switch sec {
+	case SecSquat:
+		report.Squat(w, s.Squat(squat.DefaultConfig()))
+	case SecAdvice:
+		sq := s.Squat(squat.DefaultConfig())
+		report.Advisories(w, advise.Run(s.Analysis, s.Detections, sq, advise.DefaultConfig()))
+	default:
+		return renderSection(w, s.Analysis, s.Detections, s.Records.Len(), sec)
+	}
+	return nil
+}
+
 // countryThreshold scales the paper's 1,000-incoming-email
 // representativeness cutoff to the corpus size (1,000 per 298M).
-func (s *Study) countryThreshold() int {
-	t := s.Records.Len() / 4000
+func countryThreshold(total int) int {
+	t := total / 4000
 	if t < 50 {
 		t = 50
 	}
