@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge chaos chaos-cli cluster-diff
+.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge bench-replay chaos chaos-cli chaos-kill cluster-diff
 
 # check is the tier-1 gate plus static analysis and formatting.
 check: fmt vet build build-cmds test
@@ -37,7 +37,7 @@ race:
 # byte-identical to a clean batch run and no record is lost or
 # double-counted. See DESIGN.md §9.
 chaos:
-	$(GO) test -run 'TestChaos|TestBatch|TestServerFault|TestReadDeadline|TestDrainZeroLoss' -count=1 -v ./internal/bounced/
+	$(GO) test -run 'TestChaos|TestBatch|TestServerFault|TestReadDeadline|TestDrainZeroLoss|TestCrashRecovery|TestDurable' -count=1 -v ./internal/bounced/
 
 # chaos-cli drives the same drill end-to-end through the binaries:
 # generate a corpus, then chaos-replay it against a spawned server.
@@ -45,6 +45,14 @@ chaos-cli:
 	$(GO) run ./cmd/bouncegen -emails 20000 -seed 5 -out /tmp/chaos_corpus.jsonl
 	$(GO) run ./cmd/bounced loadgen -in /tmp/chaos_corpus.jsonl -spawn -batch 256 \
 		-chaos 'torn=0.3,truncgz=0.2,dup=0.4,loris=0.1,lorispause=1ms' -seed 11 -out -
+
+# chaos-kill is the kill -9 crash-recovery differential over real
+# processes: a durable bounced is SIGKILLed at a seeded random point
+# mid-stream, restarted on the same -data-dir, the client finishes the
+# stream (retrying the in-flight batch), and the final report must be
+# byte-identical to an uninterrupted run. See DESIGN.md §11.
+chaos-kill:
+	./scripts/chaos_kill.sh
 
 # race-parallel focuses the race detector on the parallel delivery,
 # streaming, decode, and incremental-snapshot paths (fast enough for
@@ -99,4 +107,12 @@ bench-merge:
 bench-ingest:
 	$(GO) test -run xxx -bench 'Unmarshal|DecoderDecode|ParallelDecode' -benchmem ./internal/dataset/
 	$(GO) run ./cmd/ingestbench -out BENCH_bounced.json
+	@tail -1 BENCH_bounced.json
+
+# bench-replay measures crash recovery: rebuild-from-checkpoint+tail
+# versus a cold replay of the whole WAL, over the same 100k-record log,
+# with both end states asserted byte-identical before timing is
+# reported. Appends one JSON line to BENCH_bounced.json.
+bench-replay:
+	$(GO) run ./cmd/replaybench -out BENCH_bounced.json
 	@tail -1 BENCH_bounced.json

@@ -11,6 +11,7 @@
 //	bounceanalyze -in dataset.jsonl -seed 42   # analyze a bouncegen file
 //	bounceanalyze -in dataset.jsonl.gz    # gzip input, sniffed by magic bytes
 //	bounceanalyze -workers 4              # parallel delivery, identical results
+//	bounceanalyze -data-dir /var/lib/bounced   # analyze a bounced durability dir offline
 //
 // When -in is given, the world is regenerated from -seed (deterministic)
 // to supply the external services — geolocation, blocklist state, leak
@@ -32,6 +33,7 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/bounced"
 	"repro/internal/dataset"
 	"repro/internal/delivery"
 	"repro/internal/faultinject"
@@ -52,6 +54,7 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
 		memProf = flag.String("memprofile", "", "write a heap profile on exit here")
 		faults  = flag.String("fault-spec", "", "with -in: replay the file through a deterministic fault-injection wrapper (DESIGN.md §9)")
+		dataDir = flag.String("data-dir", "", "analyze a bounced durability directory (newest checkpoint + WAL tail, opened read-only)")
 	)
 	flag.Parse()
 
@@ -95,14 +98,36 @@ func main() {
 	if *shards > 1 && *asJSON {
 		log.Fatal("-json is unavailable with -shards (the summary needs the full corpus)")
 	}
+	if *dataDir != "" && (*in != "" || *shards > 1 || *faults != "") {
+		log.Fatal("-data-dir replaces -in (and is incompatible with -shards and -fault-spec)")
+	}
 
 	var study *bounce.Study
-	if *in == "" {
+	if *in == "" && *dataDir == "" {
 		var err error
 		study, err = bounce.RunCtx(ctx, bounce.Options{Config: cfg, Workers: *workers})
 		if err != nil && !errors.Is(err, context.Canceled) {
 			log.Fatal(err)
 		}
+	} else if *dataDir != "" {
+		// Offline analysis of a bounced data directory: the exact state a
+		// restarted bounced would recover, without starting a server. The
+		// store is opened read-only, so a live bounced on the same
+		// directory is unaffected.
+		inc, info, err := bounced.RecoverIncremental(*dataDir, analysis.DefaultPipelineConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recovered %d records from %s (checkpoint at %d, %d replayed from the WAL tail)",
+			inc.Len(), *dataDir, uint64(inc.Len())-uint64(info.Replayed), info.Replayed)
+		w := world.New(cfg)
+		e := delivery.New(w)
+		if err := e.ParallelRunCtx(ctx, *workers, func(dataset.Record, *world.Submission, delivery.Truth) {}); err != nil {
+			log.Fatal(err)
+		}
+		a := inc.Finish(bounce.NewEnvironment(w))
+		study = &bounce.Study{World: w, Records: a.Records, Analysis: a}
+		study.Detections = a.Detect()
 	} else {
 		// Transparently decodes .jsonl.gz; NDJSON decode fans out across
 		// GOMAXPROCS workers with an input-order merge.

@@ -13,6 +13,7 @@
 //	bounced loadgen -in dataset.jsonl -spawn -out BENCH_bounced.json
 //	bounced -fault-spec 'seed=7,torn=0.05' -read-timeout 5s   # hostile-stream drills
 //	bounced loadgen -in dataset.jsonl -spawn -chaos 'seed=3,torn=0.3,dup=0.5'
+//	bounced -data-dir /var/lib/bounced -fsync batch           # durable: WAL + checkpoints, kill -9 safe
 //
 // Cluster mode (DESIGN.md §10) splits one logical service across shard
 // nodes plus a stateless coordinator; the coordinator's merged report
@@ -54,6 +55,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/delivery"
 	"repro/internal/faultinject"
+	"repro/internal/store"
 	"repro/internal/world"
 )
 
@@ -88,6 +90,9 @@ func serveMain(args []string) {
 		shardIdx = fs.Int("shard-index", 0, "shard role: this node's index in [0, shard-count)")
 		shardCnt = fs.Int("shard-count", 0, "shard role: total shard nodes; a record belongs here iff OwnerOf(record, shard-count) == shard-index")
 		shardArg = fs.String("shards", "", "coordinator role: comma-separated shard base URLs (their order is the merge order)")
+		dataDir  = fs.String("data-dir", "", "durability directory (WAL + checkpoints); boot recovers from it, empty = memory-only")
+		cpEvery  = fs.Duration("checkpoint-interval", 30*time.Second, "background checkpoint cadence with -data-dir (0 disables; shutdown still checkpoints)")
+		fsyncArg = fs.String("fsync", "batch", "WAL fsync mode with -data-dir: batch (per acked batch), always, or off (flush-to-OS only)")
 	)
 	fs.Parse(args)
 
@@ -106,6 +111,9 @@ func serveMain(args []string) {
 		}
 		if *generate || *replay != "" {
 			log.Fatal("-role=coordinator holds no records; -generate and -replay are shard-side flags")
+		}
+		if *dataDir != "" {
+			log.Fatal("-role=coordinator holds no records; -data-dir is a single/shard flag")
 		}
 	default:
 		log.Fatalf("unknown -role %q (want single, shard, or coordinator)", *role)
@@ -191,7 +199,32 @@ func serveMain(args []string) {
 		sCfg.ShardIndex = *shardIdx
 	}
 
-	srv := bounced.New(sCfg)
+	if *dataDir != "" {
+		mode, err := store.ParseFsyncMode(*fsyncArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := store.Open(store.FSOptions{Dir: *dataDir, Mode: mode, Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sCfg.Store = eng
+		sCfg.CheckpointInterval = *cpEvery
+	}
+
+	srv, err := bounced.New(sCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		ri := srv.Recovery()
+		log.Printf("recovered from %s: checkpoint at %d records, %d replayed from WAL (%d batches re-registered, fsync=%s)",
+			*dataDir, ri.CheckpointRecords, ri.Replayed, ri.Batches, *fsyncArg)
+		if ri.TornTruncated || ri.DroppedUncommitted > 0 {
+			log.Printf("recovery repaired a torn WAL tail (%d uncommitted records dropped; their batch was never acked)",
+				ri.DroppedUncommitted)
+		}
+	}
 
 	if *replay != "" {
 		n, err := preload(srv, *replay)
@@ -304,6 +337,7 @@ func loadgenMain(args []string) {
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the replay here")
 		memProf = fs.String("memprofile", "", "write a heap profile after the replay here")
 		chaos   = fs.String("chaos", "", "chaos mode: client-side fault spec, e.g. 'seed=3,torn=0.3,truncgz=0.2,dup=0.5' (DESIGN.md §9)")
+		noVerif = fs.Bool("no-verify", false, "chaos mode: skip the server-counter balance check (needed when the server restarts mid-run, which resets its counters)")
 		seed    = fs.Uint64("seed", 1, "chaos mode: batch-ID namespace and default fault seed")
 		retries = fs.Int("retries", 0, "chaos mode: max attempts per batch (0 = default 50)")
 	)
@@ -335,7 +369,10 @@ func loadgenMain(args []string) {
 			sCfg.ReadTimeout = 5 * time.Second
 			sCfg.Seed = *seed
 		}
-		srv := bounced.New(sCfg)
+		srv, err := bounced.New(sCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -360,21 +397,30 @@ func loadgenMain(args []string) {
 		}
 		cres, err := bounced.Chaos(bounced.ChaosConfig{
 			URL: target, Path: *in, BatchSize: *batch, Seed: *seed,
-			Faults: csp, MaxRetries: *retries, Gzip: *gz, Progress: os.Stderr,
+			Faults: csp, MaxRetries: *retries, Gzip: *gz, Rate: *rate,
+			Progress: os.Stderr,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		// The zero-loss balance is the run's pass/fail line: every
-		// presented record classified exactly once, server-side.
-		if err := bounced.ChaosVerify(target, cres); err != nil {
-			log.Fatal(err)
+		// presented record classified exactly once, server-side. A
+		// restarted server starts its counters over, so cross-restart
+		// drills verify by report differential instead (-no-verify).
+		if !*noVerif {
+			if err := bounced.ChaosVerify(target, cres); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if shutdown != nil {
 			shutdown()
 		}
-		log.Printf("chaos: %d records in %d batches (%d presented, %d retries, %d shed, %d faulted, %d dups) in %.2fs — balance OK",
-			cres.Records, cres.Batches, cres.Presented, cres.Retries, cres.Shed, cres.Faulted, cres.Duplicates, cres.Seconds)
+		verdict := "balance OK"
+		if *noVerif {
+			verdict = "balance unchecked"
+		}
+		log.Printf("chaos: %d records in %d batches (%d presented, %d retries, %d shed, %d faulted, %d dups) in %.2fs — %s",
+			cres.Records, cres.Batches, cres.Presented, cres.Retries, cres.Shed, cres.Faulted, cres.Duplicates, cres.Seconds, verdict)
 		writeResult(*out, cres)
 		return
 	}

@@ -23,6 +23,8 @@ package bounced
 
 import (
 	"errors"
+	"fmt"
+	"log"
 	"net/http"
 	httppprof "net/http/pprof"
 	"sync"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/ndr"
 	"repro/internal/policy"
 	"repro/internal/simrng"
+	"repro/internal/store"
 )
 
 // ErrIngestClosed is returned by Ingest once shutdown has begun.
@@ -85,6 +88,16 @@ type Config struct {
 	// in [0, ShardCount). Zero means single role: own everything.
 	ShardCount int
 	ShardIndex int
+	// Store, when set, makes the node durable: every admitted record is
+	// WAL-appended before its ack, checkpoints capture the analysis
+	// state off the hot path, and New recovers from the newest
+	// checkpoint plus the WAL tail. The Server owns the engine from New
+	// on (Drain/Abort close it). Nil keeps the server memory-only.
+	Store store.Engine
+	// CheckpointInterval is the background checkpoint cadence when a
+	// Store is configured. Zero disables periodic checkpoints; Drain
+	// still takes a final one, and POST /v1/checkpoint forces one.
+	CheckpointInterval time.Duration
 }
 
 // Server is the bounce-analytics service. Create with New, mount
@@ -114,6 +127,19 @@ type Server struct {
 
 	faults *faultinject.Injector
 	dedup  dedupWindow
+
+	// Durability (nil eng = memory-only). walMu orders WAL appends with
+	// queue writes so replay order equals store-fold order — the
+	// property that makes recovery byte-identical. cpMu serializes
+	// checkpoint writers; lastCP is the record count the newest
+	// checkpoint covers (the skip test for idle checkpoints).
+	eng      store.Engine
+	walMu    sync.Mutex
+	cpMu     sync.Mutex
+	lastCP   atomic.Uint64
+	recovery RecoveryInfo
+	cpStop   chan struct{}
+	cpWG     sync.WaitGroup
 
 	// consumedCond broadcasts store progress for drain barriers: a
 	// report taken after an ingest request returns covers everything
@@ -154,8 +180,11 @@ type Server struct {
 	consumerWG   sync.WaitGroup
 }
 
-// New creates a Server and starts its store consumer.
-func New(cfg Config) *Server {
+// New creates a Server and starts its store consumer. With a
+// configured Store it first recovers: newest decodable checkpoint,
+// then a WAL-tail replay, so the server resumes exactly where the
+// previous process — cleanly drained or killed — left off.
+func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
@@ -171,16 +200,27 @@ func New(cfg Config) *Server {
 		startedAt: time.Now(),
 		faults:    faultinject.New(cfg.Faults),
 		retryRNG:  simrng.New(cfg.Seed).Stream("retry-after"),
+		eng:       cfg.Store,
 	}
 	s.dedup.init(cfg.DedupWindow)
 	s.consumedCond = sync.NewCond(&s.consumedMu)
 	for _, t := range ndr.AllTypes {
 		s.typeHits[t] = new(atomic.Uint64)
 	}
+	if s.eng != nil {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 	s.inc.StartTrainer()
 	s.consumerWG.Add(1)
 	go s.consume()
-	return s
+	if s.eng != nil && cfg.CheckpointInterval > 0 {
+		s.cpStop = make(chan struct{})
+		s.cpWG.Add(1)
+		go s.checkpointLoop(cfg.CheckpointInterval)
+	}
+	return s, nil
 }
 
 // Handler returns the service's HTTP routes.
@@ -191,6 +231,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/partial", s.handlePartial)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -244,10 +285,25 @@ func (s *Server) admitWait(n int) bool {
 	}
 }
 
-// enqueue writes an already-admitted record to the queue. The caller
-// must hold a reservation for it; on failure the reservation is
-// released.
+// enqueue writes an already-admitted record to the queue, WAL-first on
+// durable nodes. The caller must hold a reservation for it; on failure
+// the reservation is released.
 func (s *Server) enqueue(rec *dataset.Record) error {
+	if s.eng == nil {
+		return s.queueAdmitted(rec)
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.eng.Append(store.Batch{Records: []dataset.Record{*rec}}); err != nil {
+		s.reserved.Add(-1)
+		return fmt.Errorf("bounced: wal append: %w", err)
+	}
+	return s.queueAdmitted(rec)
+}
+
+// queueAdmitted is the queue half of enqueue: the record is already
+// reserved (and, on durable nodes, already in the WAL).
+func (s *Server) queueAdmitted(rec *dataset.Record) error {
 	if err := s.queue.Write(rec); err != nil {
 		s.reserved.Add(-1)
 		return ErrIngestClosed
@@ -418,17 +474,43 @@ func (s *Server) Drain() uint64 {
 	}
 	s.consumerWG.Wait()
 	s.inc.StopTrainer()
+	if s.eng != nil {
+		s.stopCheckpointLoop()
+		// The final checkpoint makes the next boot replay-free; failing
+		// to take it only costs the restart a WAL-tail replay.
+		if err := s.CheckpointNow(); err != nil {
+			log.Printf("bounced: final checkpoint: %v", err)
+		}
+		if err := s.eng.Close(); err != nil {
+			log.Printf("bounced: store close: %v", err)
+		}
+	}
 	return s.consumed.Load()
 }
 
 // Abort hard-stops the service: buffered records are discarded and
 // blocked producers unblock with errors. For tests and emergency
-// teardown only; Drain is the production path.
+// teardown only; Drain is the production path. On durable nodes Abort
+// deliberately skips the final checkpoint — it is the crash-shaped
+// teardown, and recovery must rebuild the dropped queue tail from the
+// WAL alone.
 func (s *Server) Abort() {
 	s.closed.Store(true)
 	s.queue.CloseRead()
 	s.consumerWG.Wait()
 	s.inc.StopTrainer()
+	if s.eng != nil {
+		s.stopCheckpointLoop()
+		s.eng.Close()
+	}
+}
+
+func (s *Server) stopCheckpointLoop() {
+	if s.cpStop != nil {
+		close(s.cpStop)
+		s.cpWG.Wait()
+		s.cpStop = nil
+	}
 }
 
 // Accepted reports how many records ingestion has admitted.

@@ -39,6 +39,10 @@ type ChaosConfig struct {
 	MaxRetries int
 	// Gzip compresses clean request bodies.
 	Gzip bool
+	// Rate caps the replay at records per second; 0 means as fast as
+	// acceptance allows. The kill -9 drill uses it to hold the stream
+	// open long enough to crash the server mid-flight.
+	Rate float64
 	// Progress, when set, receives one line per ~50 batches.
 	Progress io.Writer
 }
@@ -87,7 +91,7 @@ func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
 	start := time.Now()
 	var sendErr error
 	idx := 0
-	scanRecordLines(rd, LoadgenConfig{BatchSize: cfg.BatchSize}, start, func(body []byte, count int) {
+	scanRecordLines(rd, LoadgenConfig{BatchSize: cfg.BatchSize, Rate: cfg.Rate}, start, func(body []byte, count int) {
 		if sendErr != nil {
 			return
 		}
@@ -138,6 +142,10 @@ func sendChaosBatch(client *http.Client, cfg ChaosConfig, plan faultinject.Plan,
 				return fmt.Errorf("chaos: batch %s: %w", id, err)
 			}
 			res.Retries++
+			// A transport error usually means the server is gone (the
+			// kill -9 drill restarts it); pace the reconnect attempts so
+			// the retry budget survives the restart window.
+			time.Sleep(20 * time.Millisecond)
 			continue
 		}
 		res.Presented += count

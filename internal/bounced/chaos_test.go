@@ -38,7 +38,7 @@ func TestChaosDifferentialSeedSweep(t *testing.T) {
 	for _, seed := range seeds {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			srv := bounced.New(bounced.Config{
+			srv := newServer(t, bounced.Config{
 				Env: env, QueueDepth: 96, Seed: seed, ReadTimeout: 5 * time.Second,
 				// Server-side hostility: torn request streams and a slowed
 				// consumer so admission control actually sheds. Corruption
@@ -97,7 +97,7 @@ func TestChaosCleanScheduleIsPlainReplay(t *testing.T) {
 	if err := os.WriteFile(path, encodeNDJSON(t, records[:500]), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv := bounced.New(bounced.Config{Env: env})
+	srv := newServer(t, bounced.Config{Env: env})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -23,7 +23,7 @@ func clusterNodes(t *testing.T, records []dataset.Record, env *analysis.Environm
 	servers := make([]*httptest.Server, n)
 	srvs := make([]*bounced.Server, n)
 	for i := 0; i < n; i++ {
-		srvs[i] = bounced.New(bounced.Config{Env: env, ShardCount: n, ShardIndex: i})
+		srvs[i] = newServer(t, bounced.Config{Env: env, ShardCount: n, ShardIndex: i})
 		servers[i] = httptest.NewServer(srvs[i].Handler())
 	}
 	parts := make([][]dataset.Record, n)
@@ -62,7 +62,7 @@ func partialSectionQuery() string {
 // and returns its partial-section report bytes.
 func singleNodeReport(t *testing.T, records []dataset.Record, env *analysis.Environment) []byte {
 	t.Helper()
-	srv := bounced.New(bounced.Config{Env: env})
+	srv := newServer(t, bounced.Config{Env: env})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -169,7 +169,7 @@ func TestClusterShardRejectsMisrouted(t *testing.T) {
 	if stray == nil {
 		t.Skip("corpus has no shard-1 record")
 	}
-	srv := bounced.New(bounced.Config{Env: env, ShardCount: 3, ShardIndex: 0})
+	srv := newServer(t, bounced.Config{Env: env, ShardCount: 3, ShardIndex: 0})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -201,7 +201,7 @@ func TestClusterChaosTornShardStream(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			// Queue depth must admit a whole shard's corpus as one
 			// all-or-nothing batch.
-			srvs[i] = bounced.New(bounced.Config{Env: env, ShardCount: 3, ShardIndex: i, QueueDepth: len(records)})
+			srvs[i] = newServer(t, bounced.Config{Env: env, ShardCount: 3, ShardIndex: i, QueueDepth: len(records)})
 			servers[i] = httptest.NewServer(srvs[i].Handler())
 		}
 		parts := make([][]dataset.Record, 3)

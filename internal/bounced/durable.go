@@ -1,0 +1,304 @@
+package bounced
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/store"
+)
+
+// Checkpoint section names. The storage engine treats sections as
+// opaque; these are the server's composition of them.
+const (
+	// sectionIncremental is the analysis accumulator: slab store, drain
+	// trees, training watermark (analysis.IncrementalState).
+	sectionIncremental = "incremental"
+	// sectionDedup is the X-Batch-Id idempotency window, so a client
+	// replaying an already-acked batch after a crash still dedups.
+	sectionDedup = "dedup"
+	// sectionPartial is the PartialSet wire envelope of the newest
+	// study at checkpoint time — a coordinator-mergeable summary whose
+	// coverage may lag the checkpoint's record count (it is advisory;
+	// recovery only validates that it decodes).
+	sectionPartial = "partial"
+)
+
+// RecoveryInfo describes what New restored from the storage engine.
+type RecoveryInfo struct {
+	// CheckpointRecords is the record count the restored checkpoint
+	// covered (0 when the directory held none).
+	CheckpointRecords uint64 `json:"checkpoint_records"`
+	// Replayed is how many WAL-tail records were folded back in.
+	Replayed int `json:"replayed"`
+	// Batches is how many committed batch IDs the tail re-registered
+	// into the dedup window.
+	Batches int `json:"batches"`
+	// DroppedUncommitted counts records discarded from a trailing WAL
+	// batch whose commit marker never hit the disk (never acked; the
+	// client retries it).
+	DroppedUncommitted int `json:"dropped_uncommitted"`
+	// TornTruncated reports that a torn trailing write was cut from
+	// the WAL — the kill -9 signature.
+	TornTruncated bool `json:"torn_truncated"`
+}
+
+// Recovery reports what New restored from the storage engine; zero for
+// memory-only servers.
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
+
+// recoverState rebuilds an analysis accumulator from eng: the newest
+// decodable checkpoint (whose embedded pipeline config wins over cfg),
+// then a WAL-tail replay in append order. Shared by the server boot
+// path and the offline RecoverIncremental helper.
+func recoverState(eng store.Engine, cfg analysis.PipelineConfig) (*analysis.Incremental, *store.Checkpoint, store.TailInfo, error) {
+	cp, err := eng.Recover()
+	if err != nil {
+		return nil, nil, store.TailInfo{}, err
+	}
+	inc := analysis.NewIncremental(cfg)
+	var from uint64
+	if cp != nil {
+		blob, ok := cp.Sections[sectionIncremental]
+		if !ok {
+			return nil, nil, store.TailInfo{}, fmt.Errorf("bounced: checkpoint at %d records has no %q section", cp.Records, sectionIncremental)
+		}
+		if inc, err = analysis.RestoreIncremental(blob); err != nil {
+			return nil, nil, store.TailInfo{}, fmt.Errorf("bounced: checkpoint %s section: %w", sectionIncremental, err)
+		}
+		if got := uint64(inc.Len()); got != cp.Records {
+			return nil, nil, store.TailInfo{}, fmt.Errorf("bounced: checkpoint covers %d records but its state holds %d", cp.Records, got)
+		}
+		from = cp.Records
+	}
+	info, err := eng.Tail(from, func(_ uint64, rec *dataset.Record) error {
+		inc.Add(rec) // Add clones; the pointer is only valid in-callback
+		return nil
+	})
+	if err != nil {
+		return nil, nil, info, err
+	}
+	if got := uint64(inc.Len()); got != info.NextIndex {
+		return nil, nil, info, fmt.Errorf("bounced: recovery holds %d records, WAL index says %d", got, info.NextIndex)
+	}
+	return inc, cp, info, nil
+}
+
+// recover is New's boot path on durable nodes: restore the analysis
+// state and dedup window from the newest checkpoint, replay the WAL
+// tail, and re-register tail batches so a client retrying an acked
+// batch from before the crash still dedups.
+func (s *Server) recover() error {
+	inc, cp, info, err := recoverState(s.eng, s.cfg.Pipeline)
+	if err != nil {
+		return err
+	}
+	s.inc = inc
+	var from uint64
+	if cp != nil {
+		from = cp.Records
+		if blob, ok := cp.Sections[sectionDedup]; ok {
+			if err := s.dedup.restore(blob); err != nil {
+				return fmt.Errorf("bounced: checkpoint %s section: %w", sectionDedup, err)
+			}
+		}
+		if blob, ok := cp.Sections[sectionPartial]; ok && len(blob) > 0 {
+			if _, err := analysis.UnmarshalPartialSet(blob, s.cfg.Env); err != nil {
+				return fmt.Errorf("bounced: checkpoint %s section: %w", sectionPartial, err)
+			}
+		}
+	}
+	// Sorted for a deterministic FIFO eviction order; the window is
+	// far larger than any plausible tail batch count.
+	ids := make([]string, 0, len(info.Batches))
+	for id := range info.Batches {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.dedup.register(id, info.Batches[id])
+	}
+	s.lastCP.Store(from)
+	s.recovery = RecoveryInfo{
+		CheckpointRecords:  from,
+		Replayed:           info.Replayed,
+		Batches:            len(info.Batches),
+		DroppedUncommitted: info.DroppedUncommitted,
+		TornTruncated:      info.TornTruncated,
+	}
+	return nil
+}
+
+// RecoverIncremental rebuilds the analysis accumulator from a bounced
+// data directory without starting a server — the offline-analysis path
+// (bounceanalyze -data-dir). The directory is opened read-only, so a
+// live bounced on the same directory is unaffected; a torn WAL tail is
+// skipped during replay but left on disk.
+func RecoverIncremental(dir string, cfg analysis.PipelineConfig) (*analysis.Incremental, store.TailInfo, error) {
+	eng, err := store.Open(store.FSOptions{Dir: dir, ReadOnly: true, Logf: log.Printf})
+	if err != nil {
+		return nil, store.TailInfo{}, err
+	}
+	defer eng.Close()
+	inc, _, info, err := recoverState(eng, cfg)
+	return inc, info, err
+}
+
+// CheckpointNow captures the analysis state at a record boundary and
+// persists it — with the dedup window and the newest partial envelope —
+// as one atomic checkpoint, then prunes WAL segments the retained
+// checkpoints fully cover. Returns nil without writing when no record
+// has been consumed since the last checkpoint. Safe to call
+// concurrently with ingestion; the capture runs under the analysis
+// locks, the (expensive) serialization and file writes do not.
+func (s *Server) CheckpointNow() error {
+	if s.eng == nil {
+		return errors.New("bounced: no storage engine configured")
+	}
+	s.cpMu.Lock()
+	defer s.cpMu.Unlock()
+	st := s.inc.CaptureState()
+	n := uint64(st.Records())
+	if n == s.lastCP.Load() {
+		return nil
+	}
+	blob, err := st.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	// The dedup window is captured after the analysis state: it may
+	// include batches newer than n, which is safe — their records sit in
+	// the WAL tail past n and replay re-registers them idempotently.
+	// The reverse order would lose a batch registered between the two
+	// captures whose records were already consumed.
+	cp := &store.Checkpoint{Records: n, Sections: map[string][]byte{
+		sectionIncremental: blob,
+		sectionDedup:       s.dedup.marshal(),
+		sectionPartial:     s.partialSection(),
+	}}
+	if err := s.eng.Checkpoint(cp); err != nil {
+		return err
+	}
+	s.lastCP.Store(n)
+	return nil
+}
+
+// partialSection returns the marshaled partial aggregate of the newest
+// study, refreshing the /v1/partial cache as a side effect. Coverage
+// may differ from the checkpoint's record boundary; the section is a
+// warm-start convenience for coordinators, not recovery state.
+func (s *Server) partialSection() []byte {
+	st := s.study()
+	s.partialMu.Lock()
+	defer s.partialMu.Unlock()
+	if s.partialFor != st {
+		s.partialBytes = st.Partials().Marshal()
+		s.partialFor = st
+	}
+	return s.partialBytes
+}
+
+// checkpointLoop checkpoints on a fixed cadence until Drain/Abort.
+func (s *Server) checkpointLoop(every time.Duration) {
+	defer s.cpWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.cpStop:
+			return
+		case <-t.C:
+			if err := s.CheckpointNow(); err != nil && !s.closed.Load() {
+				log.Printf("bounced: checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// syncWAL makes every prior append durable per the engine's fsync mode
+// — the group-commit point an ingest ack waits on.
+func (s *Server) syncWAL() error {
+	if s.eng == nil {
+		return nil
+	}
+	if err := s.eng.Sync(); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
+	}
+	return nil
+}
+
+// handleCheckpoint forces a checkpoint — the operational hook (and the
+// crash drill's way to pin a mid-stream checkpoint deterministically).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, 0, 0, "POST only")
+		return
+	}
+	if s.eng == nil {
+		httpError(w, http.StatusNotFound, 0, 0, "no storage engine configured (-data-dir)")
+		return
+	}
+	if err := s.CheckpointNow(); err != nil {
+		httpError(w, http.StatusInternalServerError, 0, 0, err.Error())
+		return
+	}
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpoint_records": st.LastCheckpointRecords,
+		"wal_segments":       st.Segments,
+		"wal_bytes":          st.WALBytes,
+	})
+}
+
+// dedupSnapshot is the JSON layout of the dedup checkpoint section:
+// parallel arrays in FIFO order, so eviction order survives restarts.
+type dedupSnapshot struct {
+	IDs    []string `json:"ids"`
+	Counts []int    `json:"counts"`
+}
+
+func (d *dedupWindow) marshal() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := dedupSnapshot{IDs: append([]string(nil), d.order...), Counts: make([]int, len(d.order))}
+	for i, id := range d.order {
+		snap.Counts[i] = d.seen[id]
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		// Strings and ints cannot fail to marshal; keep the section
+		// well-formed regardless.
+		return []byte(`{"ids":[],"counts":[]}`)
+	}
+	return b
+}
+
+func (d *dedupWindow) restore(b []byte) error {
+	var snap dedupSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return err
+	}
+	if len(snap.IDs) != len(snap.Counts) {
+		return fmt.Errorf("dedup snapshot has %d ids but %d counts", len(snap.IDs), len(snap.Counts))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, id := range snap.IDs {
+		if _, ok := d.seen[id]; ok {
+			continue
+		}
+		if len(d.order) >= d.cap {
+			delete(d.seen, d.order[0])
+			d.order = d.order[1:]
+		}
+		d.seen[id] = snap.Counts[i]
+		d.order = append(d.order, id)
+	}
+	return nil
+}

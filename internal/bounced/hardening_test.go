@@ -62,7 +62,7 @@ func serverStats(t *testing.T, url string) map[string]any {
 // single record.
 func TestBatchIdempotentDedup(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env})
+	srv := newServer(t, bounced.Config{Env: env})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -100,7 +100,7 @@ func TestBatchIdempotentDedup(t *testing.T) {
 func TestBatchShedWith429(t *testing.T) {
 	records, env := fixture(t)
 	// A stalled consumer (2ms per record) keeps the tiny queue full.
-	srv := bounced.New(bounced.Config{
+	srv := newServer(t, bounced.Config{
 		Env: env, QueueDepth: 8,
 		Faults: &faultinject.Spec{Stall: 2 * time.Millisecond},
 	})
@@ -165,7 +165,7 @@ func TestBatchShedWith429(t *testing.T) {
 // admit must 413 instead of shedding forever.
 func TestBatchOversizedRejected(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env, QueueDepth: 4})
+	srv := newServer(t, bounced.Config{Env: env, QueueDepth: 4})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -188,7 +188,7 @@ func TestBatchOversizedRejected(t *testing.T) {
 // unregistered so a corrected resend under the same ID succeeds.
 func TestBatchAtomicOnDecodeError(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env})
+	srv := newServer(t, bounced.Config{Env: env})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -227,7 +227,7 @@ func TestBatchAtomicOnDecodeError(t *testing.T) {
 // deterministically.
 func TestServerFaultInjectionSurfacesDecodeError(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{
+	srv := newServer(t, bounced.Config{
 		Env:    env,
 		Faults: &faultinject.Spec{Seed: 3, Torn: 1},
 	})
@@ -258,7 +258,7 @@ func TestServerFaultInjectionSurfacesDecodeError(t *testing.T) {
 // holding the ingest goroutine hostage, keeping the complete prefix.
 func TestReadDeadlineCutsSlowLoris(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env, ReadTimeout: 250 * time.Millisecond})
+	srv := newServer(t, bounced.Config{Env: env, ReadTimeout: 250 * time.Millisecond})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -305,7 +305,7 @@ func TestReadDeadlineCutsSlowLoris(t *testing.T) {
 // request included.
 func TestDrainZeroLossUnderSlowLoris(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env, QueueDepth: 64, ReadTimeout: 300 * time.Millisecond})
+	srv := newServer(t, bounced.Config{Env: env, QueueDepth: 64, ReadTimeout: 300 * time.Millisecond})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

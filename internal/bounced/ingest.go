@@ -17,6 +17,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/dataset"
 	"repro/internal/faultinject"
+	"repro/internal/store"
 )
 
 // Batch headers for the idempotent ingest mode. X-Batch-Id switches a
@@ -175,6 +176,10 @@ func (s *Server) ingestStream(w http.ResponseWriter, reader io.Reader) {
 		httpError(w, status, line, accepted, msg)
 		return
 	}
+	if err := s.syncWAL(); err != nil {
+		httpError(w, http.StatusInternalServerError, 0, accepted, err.Error())
+		return
+	}
 	s.batches.Add(1)
 	s.shedStreak.Store(0)
 	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
@@ -244,20 +249,70 @@ func (s *Server) ingestBatch(w http.ResponseWriter, reader io.Reader, batchID st
 		})
 		return
 	}
-	for i := range recs {
-		if err := s.enqueue(&recs[i]); err != nil {
-			// Shutdown raced the admitted batch: release the unused
-			// reservations and report how far it got. The batch ID stays
-			// unregistered, but the server is terminal at this point.
-			s.reserved.Add(-int64(len(recs) - i - 1))
-			httpError(w, http.StatusServiceUnavailable, 0, i, err.Error())
+	if s.eng != nil {
+		if !s.ingestBatchDurable(w, batchID, recs) {
 			return
 		}
+	} else {
+		for i := range recs {
+			if err := s.enqueue(&recs[i]); err != nil {
+				// Shutdown raced the admitted batch: release the unused
+				// reservations and report how far it got. The batch ID stays
+				// unregistered, but the server is terminal at this point.
+				s.reserved.Add(-int64(len(recs) - i - 1))
+				httpError(w, http.StatusServiceUnavailable, 0, i, err.Error())
+				return
+			}
+		}
+		s.dedup.register(batchID, len(recs))
 	}
-	s.dedup.register(batchID, len(recs))
 	s.batches.Add(1)
 	s.shedStreak.Store(0)
 	writeJSON(w, http.StatusOK, ingestResponse{Accepted: len(recs)})
+}
+
+// ingestBatchDurable commits an admitted batch on a durable node and
+// reports whether the caller should send the 200. The WAL group and the
+// queue writes share one walMu section so replay order equals store
+// order; the batch ID registers as soon as the group is in the log —
+// before any ack and before any of its records can be consumed — so no
+// checkpoint can capture the records while missing the ID (the race
+// that would double-count a post-crash client retry). The group-commit
+// fsync lands before the ack.
+func (s *Server) ingestBatchDurable(w http.ResponseWriter, batchID string, recs []dataset.Record) bool {
+	s.walMu.Lock()
+	if err := s.eng.Append(store.Batch{ID: batchID, Records: recs}); err != nil {
+		s.walMu.Unlock()
+		s.reserved.Add(-int64(len(recs)))
+		httpError(w, http.StatusInternalServerError, 0, 0, "wal append: "+err.Error())
+		return false
+	}
+	s.dedup.register(batchID, len(recs))
+	enqueued := 0
+	var enqErr error
+	for i := range recs {
+		if err := s.queue.Write(&recs[i]); err != nil {
+			// Shutdown raced the batch after its WAL commit: the dropped
+			// tail is not lost — recovery folds it back in from the log.
+			// Release the reservations the queue never took.
+			s.reserved.Add(-int64(len(recs) - i))
+			enqErr = err
+			break
+		}
+		s.accepted.Add(1)
+		s.observe(&recs[i])
+		enqueued++
+	}
+	s.walMu.Unlock()
+	if err := s.syncWAL(); err != nil {
+		httpError(w, http.StatusInternalServerError, 0, enqueued, err.Error())
+		return false
+	}
+	if enqErr != nil {
+		httpError(w, http.StatusServiceUnavailable, 0, enqueued, ErrIngestClosed.Error())
+		return false
+	}
+	return true
 }
 
 // notOwnedMsg names the shard a misrouted record belongs to.

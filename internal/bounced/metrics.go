@@ -6,9 +6,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/ndr"
+	"repro/internal/store"
 )
 
 // latencyBounds are the classify-latency histogram bucket upper bounds
@@ -43,8 +45,9 @@ func (h *latencyHist) observe(ns int64) {
 
 // quantile estimates the q-quantile (0..1) in nanoseconds by linear
 // interpolation within the containing bucket, the same estimate a
-// Prometheus histogram_quantile would produce from /metrics.
-func quantile(buckets []uint64, count uint64, q float64) float64 {
+// Prometheus histogram_quantile would produce from /metrics. bounds
+// are the bucket upper bounds; buckets has one extra +Inf bucket.
+func quantile(bounds []int64, buckets []uint64, count uint64, q float64) float64 {
 	if count == 0 {
 		return 0
 	}
@@ -56,11 +59,11 @@ func quantile(buckets []uint64, count uint64, q float64) float64 {
 		}
 		lo := float64(0)
 		if i > 0 {
-			lo = float64(latencyBounds[i-1])
+			lo = float64(bounds[i-1])
 		}
 		hi := lo * 2
-		if i < len(latencyBounds) {
-			hi = float64(latencyBounds[i])
+		if i < len(bounds) {
+			hi = float64(bounds[i])
 		}
 		if seen+float64(b) >= rank {
 			frac := (rank - seen) / float64(b)
@@ -68,7 +71,7 @@ func quantile(buckets []uint64, count uint64, q float64) float64 {
 		}
 		seen += float64(b)
 	}
-	return float64(latencyBounds[len(latencyBounds)-1])
+	return float64(bounds[len(bounds)-1])
 }
 
 // stats summarizes the histogram for /v1/stats and BENCH_bounced.json.
@@ -81,9 +84,9 @@ func (h *latencyHist) stats() latencyStats {
 	if count == 0 {
 		return st
 	}
-	st.P50NS = quantile(buckets, count, 0.50)
-	st.P90NS = quantile(buckets, count, 0.90)
-	st.P99NS = quantile(buckets, count, 0.99)
+	st.P50NS = quantile(latencyBounds, buckets, count, 0.50)
+	st.P90NS = quantile(latencyBounds, buckets, count, 0.90)
+	st.P99NS = quantile(latencyBounds, buckets, count, 0.99)
 	st.MeanNS = float64(sum) / float64(count)
 	return st
 }
@@ -143,6 +146,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "bounced_policy_stage_hits_total{stage=%q,phase=%q,type=%q} %d\n",
 				h.Stage, h.Phase, h.Type, h.Hits)
 		}
+	}
+
+	if s.eng != nil {
+		est := s.eng.Stats()
+		gauge("bounced_wal_segments", "WAL segments on disk (gauge; pruning shrinks it).", est.Segments)
+		gauge("bounced_wal_bytes", "Total WAL bytes on disk.", est.WALBytes)
+		gauge("bounced_wal_next_index", "Record index the next WAL append assigns (log length over all time).", est.NextIndex)
+		counter("bounced_wal_appended_records_total", "Records appended to the WAL by this process.", est.AppendedRecords)
+		counter("bounced_wal_appended_batches_total", "Batches appended to the WAL by this process.", est.AppendedBatches)
+		counter("bounced_wal_pruned_segments_total", "WAL segments removed by checkpoint pruning.", est.PrunedSegments)
+		counter("bounced_checkpoints_total", "Checkpoints written by this process.", est.Checkpoints)
+		gauge("bounced_last_checkpoint_records", "Record count the newest checkpoint covers.", est.LastCheckpointRecords)
+		if est.LastCheckpointUnix > 0 {
+			gauge("bounced_last_checkpoint_age_seconds", "Seconds since the newest checkpoint was written.",
+				fmt.Sprintf("%g", time.Since(time.Unix(est.LastCheckpointUnix, 0)).Seconds()))
+		}
+		gauge("bounced_records_replayed_at_start", "WAL-tail records replayed during boot recovery.", s.recovery.Replayed)
+		fmt.Fprintf(&b, "# HELP bounced_fsync_latency_seconds WAL fsync latency.\n# TYPE bounced_fsync_latency_seconds histogram\n")
+		var cum uint64
+		for i, bound := range store.FsyncBounds {
+			cum += est.FsyncHist[i]
+			fmt.Fprintf(&b, "bounced_fsync_latency_seconds_bucket{le=\"%g\"} %d\n", float64(bound)/1e9, cum)
+		}
+		fmt.Fprintf(&b, "bounced_fsync_latency_seconds_bucket{le=\"+Inf\"} %d\n", est.Fsyncs)
+		fmt.Fprintf(&b, "bounced_fsync_latency_seconds_sum %g\n", float64(est.FsyncNanos)/1e9)
+		fmt.Fprintf(&b, "bounced_fsync_latency_seconds_count %d\n", est.Fsyncs)
 	}
 
 	h := s.hist

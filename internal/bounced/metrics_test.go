@@ -44,7 +44,10 @@ func TestLatencyHistBucketInclusivity(t *testing.T) {
 // observation at a bound counted at that bound, +Inf equal to _count,
 // and _sum in seconds.
 func TestMetricsHistogramGoldenFormat(t *testing.T) {
-	s := New(Config{QueueDepth: 4})
+	s, err := New(Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Abort()
 
 	// Known observations: one at the first bound exactly, one mid-range,
@@ -91,7 +94,10 @@ bounced_classify_latency_seconds_count 3
 // buckets are cumulative and non-decreasing in bound order, and the
 // +Inf bucket equals _count.
 func TestMetricsHistogramInvariants(t *testing.T) {
-	s := New(Config{QueueDepth: 4})
+	s, err := New(Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Abort()
 	for ns := int64(100); ns < 20_000_000; ns = ns*3 + 17 {
 		s.hist.observe(ns)

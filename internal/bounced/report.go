@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ndr"
 	"repro/internal/policy"
+	"repro/internal/store"
 )
 
 // study returns a Study over every record consumed so far, first
@@ -147,6 +148,60 @@ type statsResponse struct {
 	AmbiguousLive   uint64            `json:"ambiguous_live"`
 	Classify        latencyStats      `json:"classify_latency"`
 	PolicyStages    []policy.StageHit `json:"policy_stages,omitempty"`
+	Durability      *durabilityStats  `json:"durability,omitempty"`
+}
+
+// durabilityStats is the /v1/stats durability sub-object, present only
+// on durable nodes (-data-dir).
+type durabilityStats struct {
+	FsyncMode             string       `json:"fsync_mode"`
+	WALSegments           int          `json:"wal_segments"`
+	WALBytes              int64        `json:"wal_bytes"`
+	NextIndex             uint64       `json:"next_index"`
+	AppendedRecords       uint64       `json:"appended_records"`
+	AppendedBatches       uint64       `json:"appended_batches"`
+	Fsync                 latencyStats `json:"fsync_latency"`
+	Checkpoints           uint64       `json:"checkpoints"`
+	LastCheckpointRecords uint64       `json:"last_checkpoint_records"`
+	// LastCheckpointAgeSeconds is -1 until the first checkpoint exists.
+	LastCheckpointAgeSeconds float64      `json:"last_checkpoint_age_seconds"`
+	PrunedSegments           uint64       `json:"pruned_segments"`
+	Recovery                 RecoveryInfo `json:"recovery"`
+}
+
+// durability assembles the sub-object from engine counters; nil on
+// memory-only nodes.
+func (s *Server) durability() *durabilityStats {
+	if s.eng == nil {
+		return nil
+	}
+	st := s.eng.Stats()
+	d := &durabilityStats{
+		WALSegments:              st.Segments,
+		WALBytes:                 st.WALBytes,
+		NextIndex:                st.NextIndex,
+		AppendedRecords:          st.AppendedRecords,
+		AppendedBatches:          st.AppendedBatches,
+		Checkpoints:              st.Checkpoints,
+		LastCheckpointRecords:    st.LastCheckpointRecords,
+		LastCheckpointAgeSeconds: -1,
+		PrunedSegments:           st.PrunedSegments,
+		Recovery:                 s.recovery,
+	}
+	if fs, ok := s.eng.(*store.FS); ok {
+		d.FsyncMode = fs.Mode().String()
+	}
+	if st.LastCheckpointUnix > 0 {
+		d.LastCheckpointAgeSeconds = time.Since(time.Unix(st.LastCheckpointUnix, 0)).Seconds()
+	}
+	d.Fsync = latencyStats{Count: st.Fsyncs}
+	if st.Fsyncs > 0 {
+		d.Fsync.P50NS = quantile(store.FsyncBounds, st.FsyncHist, st.Fsyncs, 0.50)
+		d.Fsync.P90NS = quantile(store.FsyncBounds, st.FsyncHist, st.Fsyncs, 0.90)
+		d.Fsync.P99NS = quantile(store.FsyncBounds, st.FsyncHist, st.Fsyncs, 0.99)
+		d.Fsync.MeanNS = float64(st.FsyncNanos) / float64(st.Fsyncs)
+	}
+	return d
 }
 
 // handleStats serves the service counters as JSON — the programmatic
@@ -193,5 +248,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.PolicyMetrics != nil {
 		resp.PolicyStages = s.cfg.PolicyMetrics.Snapshot()
 	}
+	resp.Durability = s.durability()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -40,6 +40,17 @@ func fixture(t *testing.T) ([]dataset.Record, *analysis.Environment) {
 	return fixtureRecs, fixtureEnv
 }
 
+// newServer builds a Server, failing the test on a construction error
+// (only durable configs can produce one).
+func newServer(t *testing.T, cfg bounced.Config) *bounced.Server {
+	t.Helper()
+	srv, err := bounced.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // batchReport renders the sections the way bounceanalyze does over a
 // record file: single-pass streaming analysis, then report.
 func batchReport(t *testing.T, records []dataset.Record, env *analysis.Environment, sections []bounce.Section) []byte {
@@ -110,7 +121,7 @@ func getBody(t *testing.T, url string) (int, []byte) {
 // records ingested so far.
 func TestReportMatchesBatchBytes(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env})
+	srv := newServer(t, bounced.Config{Env: env})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -167,7 +178,7 @@ func TestReportMatchesBatchBytes(t *testing.T) {
 // even under concurrent producers and a tiny queue.
 func TestDrainZeroLoss(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env, QueueDepth: 2})
+	srv := newServer(t, bounced.Config{Env: env, QueueDepth: 2})
 	const producers = 4
 	per := len(records) / producers
 	var wg sync.WaitGroup
@@ -209,7 +220,7 @@ func TestDrainZeroLoss(t *testing.T) {
 // line stays accepted.
 func TestIngestMalformedLine(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env})
+	srv := newServer(t, bounced.Config{Env: env})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -232,7 +243,7 @@ func TestIngestMalformedLine(t *testing.T) {
 // and sniffed from the magic bytes.
 func TestIngestGzip(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env})
+	srv := newServer(t, bounced.Config{Env: env})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -266,7 +277,7 @@ func TestIngestGzip(t *testing.T) {
 // TestStatsAndMetrics smoke-tests the two observability endpoints.
 func TestStatsAndMetrics(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env, Seed: 42})
+	srv := newServer(t, bounced.Config{Env: env, Seed: 42})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -324,7 +335,7 @@ func TestStatsAndMetrics(t *testing.T) {
 // HTTP stack and checks the bench result accounting.
 func TestLoadgenRoundTrip(t *testing.T) {
 	records, env := fixture(t)
-	srv := bounced.New(bounced.Config{Env: env})
+	srv := newServer(t, bounced.Config{Env: env})
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

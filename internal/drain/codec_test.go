@@ -1,0 +1,145 @@
+package drain
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func trainedParser(t *testing.T, n int) *Parser {
+	t.Helper()
+	p := New(DefaultConfig())
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			p.Train(fmt.Sprintf("550 5.1.1 user u%d not found", i))
+		case 1:
+			p.Train(fmt.Sprintf("421 4.7.0 host %d.%d.%d.%d greylisted try later", i%250, i%200, i%100, i%50))
+		case 2:
+			p.Train("552 5.2.2 mailbox full quota exceeded")
+		case 3:
+			p.Train(fmt.Sprintf("451 temporary failure id=%d requeued", i))
+		case 4:
+			p.Train(fmt.Sprintf("550 listed at zen.spamhaus.org ip %d.0.0.%d", i%9, i%7))
+		}
+	}
+	return p
+}
+
+// Round-tripping through the codec must preserve everything Match and
+// future Train calls observe: fingerprint, group order and templates,
+// and the leaf routing structure.
+func TestCodecRoundTrip(t *testing.T) {
+	p := trainedParser(t, 500)
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := UnmarshalParser(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.Fingerprint(), p.Fingerprint(); got != want {
+		t.Fatalf("fingerprint %x != %x", got, want)
+	}
+	if q.NumGroups() != p.NumGroups() {
+		t.Fatalf("groups %d != %d", q.NumGroups(), p.NumGroups())
+	}
+	pg, qg := p.Groups(), q.Groups()
+	for i := range pg {
+		if pg[i].ID != qg[i].ID || pg[i].Count != qg[i].Count || pg[i].Template() != qg[i].Template() {
+			t.Fatalf("group %d differs: %+v vs %+v", i, pg[i], qg[i])
+		}
+	}
+	// Matching behaviour is identical for lines the parser has seen and
+	// lines it has not.
+	probes := []string{
+		"550 5.1.1 user zz9 not found",
+		"552 5.2.2 mailbox full quota exceeded",
+		"421 4.7.0 host 9.9.9.9 greylisted try later",
+		"never seen anything like this message before at all",
+	}
+	for _, line := range probes {
+		a, b := p.Match(line), q.Match(line)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("match presence differs for %q", line)
+		}
+		if a != nil && a.ID != b.ID {
+			t.Fatalf("match group differs for %q: %d vs %d", line, a.ID, b.ID)
+		}
+	}
+}
+
+// A restored parser must keep training exactly like the original: same
+// group assignment, same fingerprint evolution, and identical re-marshal
+// bytes — the property byte-identical crash recovery rests on.
+func TestCodecTrainAfterRestore(t *testing.T) {
+	p := trainedParser(t, 300)
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := UnmarshalParser(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		line := fmt.Sprintf("554 5.7.1 relay access denied from host%d", i)
+		gp, gq := p.Train(line), q.Train(line)
+		if gp.ID != gq.ID {
+			t.Fatalf("divergence at line %d: group %d vs %d", i, gp.ID, gq.ID)
+		}
+	}
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Fatalf("fingerprints diverged after post-restore training")
+	}
+	bp, _ := p.MarshalBinary()
+	bq, _ := q.MarshalBinary()
+	if !bytes.Equal(bp, bq) {
+		t.Fatal("re-marshal bytes differ after identical training")
+	}
+}
+
+// Marshal must be deterministic (map iteration order must not leak into
+// the bytes) and agree between a parser and its Clone.
+func TestCodecDeterministic(t *testing.T) {
+	p := trainedParser(t, 400)
+	a, _ := p.MarshalBinary()
+	for i := 0; i < 5; i++ {
+		b, _ := p.MarshalBinary()
+		if !bytes.Equal(a, b) {
+			t.Fatal("marshal not deterministic")
+		}
+	}
+	c, _ := p.Clone().MarshalBinary()
+	if !bytes.Equal(a, c) {
+		t.Fatal("clone marshals differently")
+	}
+	// A frozen parser serializes identically too (and without locking).
+	f := p.Clone()
+	f.Freeze()
+	fb, _ := f.MarshalBinary()
+	if !bytes.Equal(a, fb) {
+		t.Fatal("frozen parser marshals differently")
+	}
+}
+
+// Truncated or corrupted snapshots must error, never panic or return a
+// half-built parser.
+func TestCodecHostileInput(t *testing.T) {
+	p := trainedParser(t, 100)
+	blob, _ := p.MarshalBinary()
+	for cut := 0; cut < len(blob); cut += 7 {
+		if _, err := UnmarshalParser(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := UnmarshalParser(append(append([]byte(nil), blob...), 0x01)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] = 99
+	if _, err := UnmarshalParser(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}

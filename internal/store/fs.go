@@ -1,0 +1,907 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Filesystem engine. On-disk layout under Dir:
+//
+//	wal/seg-<first-index hex>.wal    segment-rotated record log
+//	checkpoint/cp-<records hex>.ckpt atomic state snapshots
+//
+// A segment is a 13-byte header (magic "BWAL", version, first record
+// index) followed by frames: [kind u8][payload len uvarint][crc32c u32
+// LE over kind+payload][payload]. Kind 1 is one record (its NDJSON wire
+// form — the same bytes HTTP ingest carries, decoded on replay by the
+// fast-path decoder); kinds 2/3 bracket a client batch with its
+// idempotency key, making the batch atomic under crash replay. A batch
+// group never spans segments. Frames are flushed to the OS before
+// Append returns (kill -9 loses nothing acked); fsync placement is the
+// FsyncMode's call.
+//
+// Checkpoints are written tmp → fsync → rename → dir fsync, so a crash
+// leaves either the old set or the new set, never a half file; a
+// whole-file CRC catches torn tmp leftovers and bit rot. The newest
+// KeepCheckpoints stay; WAL segments wholly below the oldest retained
+// checkpoint are pruned.
+const (
+	walMagic    = "BWAL"
+	ckptMagic   = "BCKP"
+	walVersion  = 1
+	ckptVersion = 1
+
+	frameRecord byte = 1
+	frameBegin  byte = 2
+	frameCommit byte = 3
+
+	segHeaderSize = 4 + 1 + 8
+	maxFrameBytes = 1 << 30
+
+	defaultSegmentBytes    = 64 << 20
+	defaultKeepCheckpoints = 2
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// FSOptions configures Open.
+type FSOptions struct {
+	Dir string
+	// SegmentBytes rotates the WAL once the active segment reaches this
+	// size (default 64 MiB). A batch group is never split: the segment
+	// that starts it finishes it.
+	SegmentBytes int64
+	Mode         FsyncMode
+	// ReadOnly opens the store for offline analysis: no truncation of
+	// torn tails, no appends, no checkpoints.
+	ReadOnly bool
+	// KeepCheckpoints retains the newest N checkpoints (default 2), so
+	// a checkpoint corrupted in flight still leaves a fallback.
+	KeepCheckpoints int
+	// Logf receives recovery warnings (torn tails, dropped batches,
+	// skipped checkpoints); default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// FS is the filesystem Engine.
+type FS struct {
+	opts    FSOptions
+	walDir  string
+	ckptDir string
+	logf    func(format string, args ...any)
+
+	mu        sync.Mutex
+	recovered bool // Tail ran; nextIndex is authoritative
+	closed    bool
+	nextIndex uint64
+	seg       *os.File
+	segW      *bufio.Writer
+	segBytes  int64
+	segments  int
+	walBytes  int64
+	scratch   []byte
+
+	appendedRecords uint64
+	appendedBatches uint64
+	fsyncs          uint64
+	fsyncNanos      int64
+	fsyncHist       []uint64
+	checkpoints     uint64
+	lastCPRecords   uint64
+	lastCPUnix      int64
+	pruned          uint64
+
+	cpMu sync.Mutex // serializes checkpoint file IO, off the append path
+}
+
+// Open opens (creating, unless ReadOnly) the store directory. Call
+// Recover and Tail before the first Append.
+func Open(opts FSOptions) (*FS, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: empty data dir")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.KeepCheckpoints <= 0 {
+		opts.KeepCheckpoints = defaultKeepCheckpoints
+	}
+	f := &FS{
+		opts:      opts,
+		walDir:    filepath.Join(opts.Dir, "wal"),
+		ckptDir:   filepath.Join(opts.Dir, "checkpoint"),
+		logf:      opts.Logf,
+		fsyncHist: make([]uint64, len(FsyncBounds)+1),
+	}
+	if f.logf == nil {
+		f.logf = log.Printf
+	}
+	if opts.ReadOnly {
+		if _, err := os.Stat(opts.Dir); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		return f, nil
+	}
+	for _, d := range []string{opts.Dir, f.walDir, f.ckptDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// Mode reports the engine's fsync mode.
+func (f *FS) Mode() FsyncMode { return f.opts.Mode }
+
+type segInfo struct {
+	path  string
+	first uint64
+	size  int64
+}
+
+func (f *FS) listSegments() ([]segInfo, error) {
+	ents, err := os.ReadDir(f.walDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []segInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 16, 64)
+		if err != nil {
+			f.logf("store: ignoring unparseable segment name %q", name)
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, segInfo{path: filepath.Join(f.walDir, name), first: first, size: fi.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+type cpInfo struct {
+	path    string
+	records uint64
+	mtime   time.Time
+}
+
+func (f *FS) listCheckpoints() ([]cpInfo, error) {
+	ents, err := os.ReadDir(f.ckptDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var cps []cpInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cp-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		records, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "cp-"), ".ckpt"), 16, 64)
+		if err != nil {
+			f.logf("store: ignoring unparseable checkpoint name %q", name)
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		cps = append(cps, cpInfo{path: filepath.Join(f.ckptDir, name), records: records, mtime: fi.ModTime()})
+	}
+	// Newest first.
+	sort.Slice(cps, func(i, j int) bool { return cps[i].records > cps[j].records })
+	return cps, nil
+}
+
+// Recover returns the newest checkpoint that decodes cleanly.
+func (f *FS) Recover() (*Checkpoint, error) {
+	cps, err := f.listCheckpoints()
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, ci := range cps {
+		b, err := os.ReadFile(ci.path)
+		if err != nil {
+			f.logf("store: skipping checkpoint %s: %v", filepath.Base(ci.path), err)
+			continue
+		}
+		cp, err := decodeCheckpoint(b)
+		if err != nil {
+			f.logf("store: skipping corrupt checkpoint %s: %v", filepath.Base(ci.path), err)
+			continue
+		}
+		f.mu.Lock()
+		f.lastCPRecords = cp.Records
+		f.lastCPUnix = ci.mtime.Unix()
+		f.mu.Unlock()
+		return cp, nil
+	}
+	return nil, nil
+}
+
+// Tail replays records [from, end) in append order, repairing a torn
+// tail on the way (truncated in place unless ReadOnly). It must run
+// before the first Append even when from already covers the whole log.
+func (f *FS) Tail(from uint64, apply func(index uint64, rec *dataset.Record) error) (TailInfo, error) {
+	info := TailInfo{Batches: map[string]int{}}
+	segs, err := f.listSegments()
+	if err != nil {
+		return info, fmt.Errorf("store: %w", err)
+	}
+	var walBytes int64
+	for _, s := range segs {
+		walBytes += s.size
+	}
+	idx := from
+	if len(segs) > 0 {
+		if from < segs[0].first {
+			return info, fmt.Errorf("store: replay needs records from %d but oldest segment starts at %d (over-pruned wal)", from, segs[0].first)
+		}
+		dec := &dataset.Decoder{}
+		scanned := false
+		for k, s := range segs {
+			// A segment is skippable when every record it holds is below
+			// the replay point, i.e. the next segment starts at or below it.
+			if !scanned && k+1 < len(segs) && segs[k+1].first <= from {
+				continue
+			}
+			if !scanned {
+				idx = s.first
+				scanned = true
+			} else if s.first != idx {
+				return info, fmt.Errorf("store: segment %s starts at %d, want %d (gap)", filepath.Base(s.path), s.first, idx)
+			}
+			cut, err := f.scanSegment(s, k == len(segs)-1, from, &idx, &info, dec, apply)
+			if err != nil {
+				return info, err
+			}
+			if cut >= 0 {
+				if !f.opts.ReadOnly {
+					if err := os.Truncate(s.path, cut); err != nil {
+						return info, fmt.Errorf("store: truncating torn tail: %w", err)
+					}
+					walBytes -= s.size - cut
+				}
+			}
+		}
+	}
+	info.NextIndex = idx
+	f.mu.Lock()
+	f.recovered = true
+	f.nextIndex = idx
+	f.segments = len(segs)
+	f.walBytes = walBytes
+	f.mu.Unlock()
+	return info, nil
+}
+
+// countReader tracks consumed bytes so torn-tail truncation knows the
+// offset of the frame it is cutting.
+type countReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// scanSegment walks one segment's frames, applying records at or past
+// the replay point. It returns the offset to truncate the file at (-1
+// for none): the start of a torn/corrupt trailing frame, or of an
+// uncommitted trailing batch group.
+func (f *FS) scanSegment(s segInfo, last bool, from uint64, idx *uint64, info *TailInfo, dec *dataset.Decoder, apply func(uint64, *dataset.Record) error) (int64, error) {
+	file, err := os.Open(s.path)
+	if err != nil {
+		return -1, fmt.Errorf("store: %w", err)
+	}
+	defer file.Close()
+	name := filepath.Base(s.path)
+
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(file, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) && s.size == 0 {
+			// Empty file: a prior recovery truncated it away entirely.
+			return -1, nil
+		}
+		if last && (errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)) {
+			// A crash between file creation and the header flush; nothing
+			// in it was ever acked.
+			f.logf("store: WARNING: %s has a torn header; truncating to empty", name)
+			info.TornTruncated = true
+			return 0, nil
+		}
+		return -1, fmt.Errorf("store: reading %s header: %w", name, err)
+	}
+	if string(hdr[:4]) != walMagic {
+		return -1, fmt.Errorf("store: %s is not a WAL segment", name)
+	}
+	if hdr[4] != walVersion {
+		return -1, fmt.Errorf("store: %s has segment version %d, want %d", name, hdr[4], walVersion)
+	}
+	if first := binary.LittleEndian.Uint64(hdr[5:]); first != s.first {
+		return -1, fmt.Errorf("store: %s header claims first index %d", name, first)
+	}
+
+	cr := &countReader{br: bufio.NewReaderSize(file, 1<<20), n: segHeaderSize}
+	// Open batch group state: records buffered until their commit frame.
+	var (
+		gOpen  bool
+		gID    string
+		gCount int
+		gStart int64
+		gRecs  [][]byte
+	)
+	applyOne := func(payload []byte) error {
+		if *idx >= from {
+			var rec dataset.Record
+			if err := dec.Decode(payload, &rec); err != nil {
+				return fmt.Errorf("store: record %d in %s fails to decode: %w", *idx, name, err)
+			}
+			if err := apply(*idx, &rec); err != nil {
+				return err
+			}
+			info.Replayed++
+		}
+		*idx++
+		return nil
+	}
+	// torn reports a torn/corrupt trailing frame: in a writable store
+	// the file is truncated at the frame start (or at the start of the
+	// batch group it belongs to, since a headless group could never
+	// commit) so the next process appends to a clean log.
+	torn := func(frameStart int64, why string) (int64, error) {
+		cut := frameStart
+		dropped := ""
+		if gOpen {
+			cut = gStart
+			info.DroppedUncommitted += len(gRecs)
+			dropped = fmt.Sprintf(" (dropping uncommitted batch %q, %d records)", gID, len(gRecs))
+		}
+		action := "truncating"
+		if f.opts.ReadOnly {
+			action = "ignoring (read-only)"
+		}
+		f.logf("store: WARNING: torn WAL tail in %s at offset %d: %s; %s%s", name, frameStart, why, action, dropped)
+		info.TornTruncated = true
+		return cut, nil
+	}
+
+	for {
+		frameStart := cr.n
+		kind, err := cr.ReadByte()
+		if err == io.EOF {
+			if gOpen {
+				// Clean EOF mid-group: the commit frame never made it, so
+				// the batch was never acked. Drop it (and cut it from a
+				// writable log so it does not linger).
+				if !last {
+					return -1, fmt.Errorf("store: uncommitted batch group mid-log in %s", name)
+				}
+				info.DroppedUncommitted += len(gRecs)
+				action := "truncating"
+				if f.opts.ReadOnly {
+					action = "ignoring (read-only)"
+				}
+				f.logf("store: WARNING: uncommitted batch %q (%d records) at tail of %s; %s", gID, len(gRecs), name, action)
+				return gStart, nil
+			}
+			return -1, nil
+		}
+		if err != nil {
+			return -1, fmt.Errorf("store: reading %s: %w", name, err)
+		}
+		plen, err := binary.ReadUvarint(cr)
+		if err != nil {
+			if last {
+				return torn(frameStart, "frame length cut short")
+			}
+			return -1, fmt.Errorf("store: torn frame mid-log in %s at offset %d", name, frameStart)
+		}
+		if plen > maxFrameBytes || frameStart+int64(plen) > s.size {
+			if last {
+				return torn(frameStart, fmt.Sprintf("frame length %d exceeds file", plen))
+			}
+			return -1, fmt.Errorf("store: corrupt frame length %d mid-log in %s at offset %d", plen, name, frameStart)
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(cr, crcb[:]); err != nil {
+			if last {
+				return torn(frameStart, "frame checksum cut short")
+			}
+			return -1, fmt.Errorf("store: torn frame mid-log in %s at offset %d", name, frameStart)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(cr, payload); err != nil {
+			if last {
+				return torn(frameStart, "frame payload cut short")
+			}
+			return -1, fmt.Errorf("store: torn frame mid-log in %s at offset %d", name, frameStart)
+		}
+		if frameCRC(kind, payload) != binary.LittleEndian.Uint32(crcb[:]) {
+			// A checksum mismatch on the very last frame is the crash
+			// signature (half-written sector); anywhere else it is damage
+			// recovery must not paper over.
+			if last && cr.n == s.size {
+				return torn(frameStart, "checksum mismatch on final frame")
+			}
+			return -1, fmt.Errorf("store: checksum mismatch mid-log in %s at offset %d", name, frameStart)
+		}
+
+		switch kind {
+		case frameRecord:
+			if gOpen {
+				gRecs = append(gRecs, payload)
+			} else if err := applyOne(payload); err != nil {
+				return -1, err
+			}
+		case frameBegin:
+			if gOpen {
+				return -1, fmt.Errorf("store: nested batch group in %s at offset %d", name, frameStart)
+			}
+			id, count, err := parseMarker(payload)
+			if err != nil {
+				return -1, fmt.Errorf("store: %s at offset %d: %w", name, frameStart, err)
+			}
+			gOpen, gID, gCount, gStart, gRecs = true, id, count, frameStart, gRecs[:0]
+		case frameCommit:
+			if !gOpen {
+				return -1, fmt.Errorf("store: commit without batch group in %s at offset %d", name, frameStart)
+			}
+			id, count, err := parseMarker(payload)
+			if err != nil {
+				return -1, fmt.Errorf("store: %s at offset %d: %w", name, frameStart, err)
+			}
+			if id != gID || count != gCount || len(gRecs) != gCount {
+				return -1, fmt.Errorf("store: batch group %q in %s commits %q with %d/%d records", gID, name, id, len(gRecs), gCount)
+			}
+			for _, p := range gRecs {
+				if err := applyOne(p); err != nil {
+					return -1, err
+				}
+			}
+			if gID != "" && *idx > from {
+				info.Batches[gID] = gCount
+			}
+			gOpen = false
+		default:
+			return -1, fmt.Errorf("store: unknown frame kind %d in %s at offset %d", kind, name, frameStart)
+		}
+	}
+}
+
+func frameCRC(kind byte, payload []byte) uint32 {
+	crc := crc32.Update(0, crcTable, []byte{kind})
+	return crc32.Update(crc, crcTable, payload)
+}
+
+func appendMarker(b []byte, id string, count int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(id)))
+	b = append(b, id...)
+	return binary.AppendUvarint(b, uint64(count))
+}
+
+func parseMarker(b []byte) (id string, count int, err error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || uint64(len(b)-w) < n {
+		return "", 0, errors.New("corrupt batch marker")
+	}
+	id = string(b[w : w+int(n)])
+	c, w2 := binary.Uvarint(b[w+int(n):])
+	if w2 <= 0 {
+		return "", 0, errors.New("corrupt batch marker")
+	}
+	return id, int(c), nil
+}
+
+func (f *FS) writable() error {
+	if f.opts.ReadOnly {
+		return errors.New("store: read-only")
+	}
+	if f.closed {
+		return errors.New("store: closed")
+	}
+	if !f.recovered {
+		return errors.New("store: Tail must run before Append")
+	}
+	return nil
+}
+
+// Append writes b to the WAL as one atomic group and flushes it to the
+// OS. With FsyncAlways it is durable on return; otherwise call Sync.
+func (f *FS) Append(b Batch) error {
+	if len(b.Records) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.writable(); err != nil {
+		return err
+	}
+	if f.seg != nil && f.segBytes >= f.opts.SegmentBytes {
+		if err := f.sealLocked(); err != nil {
+			return err
+		}
+	}
+	if f.seg == nil {
+		if err := f.openSegLocked(); err != nil {
+			return err
+		}
+	}
+	batched := b.ID != "" || len(b.Records) > 1
+	if batched {
+		if err := f.writeFrame(frameBegin, appendMarker(nil, b.ID, len(b.Records))); err != nil {
+			return err
+		}
+	}
+	for i := range b.Records {
+		payload, err := b.Records[i].MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("store: encoding record: %w", err)
+		}
+		if err := f.writeFrame(frameRecord, payload); err != nil {
+			return err
+		}
+	}
+	if batched {
+		if err := f.writeFrame(frameCommit, appendMarker(nil, b.ID, len(b.Records))); err != nil {
+			return err
+		}
+	}
+	if err := f.segW.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f.nextIndex += uint64(len(b.Records))
+	f.appendedRecords += uint64(len(b.Records))
+	if b.ID != "" {
+		f.appendedBatches++
+	}
+	if f.opts.Mode == FsyncAlways {
+		return f.fsyncLocked()
+	}
+	return nil
+}
+
+func (f *FS) writeFrame(kind byte, payload []byte) error {
+	f.scratch = f.scratch[:0]
+	f.scratch = append(f.scratch, kind)
+	f.scratch = binary.AppendUvarint(f.scratch, uint64(len(payload)))
+	f.scratch = binary.LittleEndian.AppendUint32(f.scratch, frameCRC(kind, payload))
+	if _, err := f.segW.Write(f.scratch); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.segW.Write(payload); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	n := int64(len(f.scratch) + len(payload))
+	f.segBytes += n
+	f.walBytes += n
+	return nil
+}
+
+func (f *FS) openSegLocked() error {
+	path := filepath.Join(f.walDir, fmt.Sprintf("seg-%016x.wal", f.nextIndex))
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:], walMagic)
+	hdr[4] = walVersion
+	binary.LittleEndian.PutUint64(hdr[5:], f.nextIndex)
+	if _, err := file.Write(hdr[:]); err != nil {
+		file.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if f.opts.Mode != FsyncOff {
+		// Make the new segment's directory entry durable so a power cut
+		// cannot orphan records fsynced into a file that is not findable.
+		if err := syncDir(f.walDir); err != nil {
+			file.Close()
+			return err
+		}
+	}
+	f.seg = file
+	f.segW = bufio.NewWriterSize(file, 1<<20)
+	f.segBytes = int64(segHeaderSize)
+	f.walBytes += int64(segHeaderSize)
+	f.segments++
+	return nil
+}
+
+func (f *FS) sealLocked() error {
+	if f.seg == nil {
+		return nil
+	}
+	if err := f.segW.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if f.opts.Mode != FsyncOff {
+		if err := f.fsyncLocked(); err != nil {
+			return err
+		}
+	}
+	err := f.seg.Close()
+	f.seg, f.segW = nil, nil
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (f *FS) fsyncLocked() error {
+	start := time.Now()
+	if err := f.seg.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	d := time.Since(start).Nanoseconds()
+	f.fsyncs++
+	f.fsyncNanos += d
+	i := 0
+	for i < len(FsyncBounds) && d > FsyncBounds[i] {
+		i++
+	}
+	f.fsyncHist[i]++
+	return nil
+}
+
+// Sync makes everything appended so far durable (one fsync for any
+// number of preceding appends — group commit). No-op under FsyncOff,
+// and under FsyncAlways, where Append already synced.
+func (f *FS) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seg == nil || f.opts.Mode != FsyncBatch {
+		return nil
+	}
+	if err := f.segW.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return f.fsyncLocked()
+}
+
+// Rotate seals the active segment; the next Append opens a fresh one.
+func (f *FS) Rotate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.writable(); err != nil {
+		return err
+	}
+	return f.sealLocked()
+}
+
+// Checkpoint persists cp atomically and prunes. Serialized against
+// itself; concurrent Appends proceed (checkpoint IO never holds the
+// append lock).
+func (f *FS) Checkpoint(cp *Checkpoint) error {
+	if f.opts.ReadOnly {
+		return errors.New("store: read-only")
+	}
+	f.cpMu.Lock()
+	defer f.cpMu.Unlock()
+
+	payload := encodeCheckpoint(cp)
+	final := filepath.Join(f.ckptDir, fmt.Sprintf("cp-%016x.ckpt", cp.Records))
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, payload); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(f.ckptDir); err != nil {
+		return err
+	}
+
+	f.mu.Lock()
+	f.checkpoints++
+	f.lastCPRecords = cp.Records
+	f.lastCPUnix = time.Now().Unix()
+	f.mu.Unlock()
+
+	// Retain the newest KeepCheckpoints, then drop WAL segments every
+	// retained checkpoint already covers.
+	cps, err := f.listCheckpoints()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	keep := f.opts.KeepCheckpoints
+	if len(cps) > keep {
+		for _, old := range cps[keep:] {
+			if err := os.Remove(old.path); err != nil {
+				f.logf("store: pruning checkpoint %s: %v", filepath.Base(old.path), err)
+			}
+		}
+		cps = cps[:keep]
+	}
+	oldest := cps[len(cps)-1].records
+	return f.pruneWAL(oldest)
+}
+
+// pruneWAL removes segments whose records all precede index `below`
+// (i.e. the next segment starts at or below it). The active segment
+// always stays.
+func (f *FS) pruneWAL(below uint64) error {
+	segs, err := f.listSegments()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for k := 0; k+1 < len(segs); k++ {
+		if segs[k+1].first > below {
+			break
+		}
+		if err := os.Remove(segs[k].path); err != nil {
+			f.logf("store: pruning segment %s: %v", filepath.Base(segs[k].path), err)
+			continue
+		}
+		f.mu.Lock()
+		f.pruned++
+		f.segments--
+		f.walBytes -= segs[k].size
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats reports durability counters.
+func (f *FS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hist := make([]uint64, len(f.fsyncHist))
+	copy(hist, f.fsyncHist)
+	return Stats{
+		Segments:              f.segments,
+		WALBytes:              f.walBytes,
+		NextIndex:             f.nextIndex,
+		AppendedRecords:       f.appendedRecords,
+		AppendedBatches:       f.appendedBatches,
+		Fsyncs:                f.fsyncs,
+		FsyncNanos:            f.fsyncNanos,
+		FsyncHist:             hist,
+		Checkpoints:           f.checkpoints,
+		LastCheckpointRecords: f.lastCPRecords,
+		LastCheckpointUnix:    f.lastCPUnix,
+		PrunedSegments:        f.pruned,
+	}
+}
+
+// Close seals the active segment. It does not checkpoint — callers
+// that want a final checkpoint take one first (Server.Drain does).
+func (f *FS) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.sealLocked()
+}
+
+func encodeCheckpoint(cp *Checkpoint) []byte {
+	names := make([]string, 0, len(cp.Sections))
+	for name := range cp.Sections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b := make([]byte, 0, 64)
+	b = append(b, ckptMagic...)
+	b = append(b, ckptVersion)
+	b = binary.LittleEndian.AppendUint64(b, cp.Records)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = binary.AppendUvarint(b, uint64(len(name)))
+		b = append(b, name...)
+		sec := cp.Sections[name]
+		b = binary.AppendUvarint(b, uint64(len(sec)))
+		b = append(b, sec...)
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+func decodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < 4+1+8+4 {
+		return nil, errors.New("truncated checkpoint")
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, errors.New("checkpoint checksum mismatch")
+	}
+	if string(body[:4]) != ckptMagic {
+		return nil, errors.New("not a checkpoint file")
+	}
+	if body[4] != ckptVersion {
+		return nil, fmt.Errorf("checkpoint version %d, want %d", body[4], ckptVersion)
+	}
+	cp := &Checkpoint{Records: binary.LittleEndian.Uint64(body[5:13]), Sections: map[string][]byte{}}
+	rest := body[13:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return nil, errors.New("truncated checkpoint")
+	}
+	rest = rest[w:]
+	for i := uint64(0); i < n; i++ {
+		nameLen, w := binary.Uvarint(rest)
+		if w <= 0 || uint64(len(rest)-w) < nameLen {
+			return nil, errors.New("truncated checkpoint")
+		}
+		name := string(rest[w : w+int(nameLen)])
+		rest = rest[w+int(nameLen):]
+		secLen, w2 := binary.Uvarint(rest)
+		if w2 <= 0 || uint64(len(rest)-w2) < secLen {
+			return nil, errors.New("truncated checkpoint")
+		}
+		cp.Sections[name] = append([]byte(nil), rest[w2:w2+int(secLen)]...)
+		rest = rest[w2+int(secLen):]
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("trailing bytes in checkpoint")
+	}
+	return cp, nil
+}
+
+func writeFileSync(path string, b []byte) error {
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := file.Write(b); err != nil {
+		file.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,512 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+)
+
+func mkRec(i int) dataset.Record {
+	start := time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second)
+	return dataset.Record{
+		From:            fmt.Sprintf("sender%d@esp.com", i),
+		To:              fmt.Sprintf("user%d@rcv.com", i),
+		StartTime:       start,
+		EndTime:         start.Add(2 * time.Second),
+		FromIP:          []string{"203.0.113.9"},
+		ToIP:            []string{"198.51.100.7"},
+		DeliveryResult:  []string{fmt.Sprintf("550 5.1.1 user user%d not found", i)},
+		DeliveryLatency: []int64{int64(10 + i)},
+		EmailFlag:       "Normal",
+	}
+}
+
+func mkRecs(lo, hi int) []dataset.Record {
+	out := make([]dataset.Record, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, mkRec(i))
+	}
+	return out
+}
+
+func openT(t *testing.T, opts FSOptions) *FS {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// recoverT runs the standard open sequence and collects the replay.
+func recoverT(t *testing.T, f *FS, from uint64) ([]dataset.Record, TailInfo) {
+	t.Helper()
+	var got []dataset.Record
+	next := from
+	info, err := f.Tail(from, func(idx uint64, rec *dataset.Record) error {
+		if idx != next {
+			t.Fatalf("replay index %d, want %d", idx, next)
+		}
+		next++
+		got = append(got, rec.Clone())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, info
+}
+
+func TestFSAppendTailRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir})
+	if cp, err := f.Recover(); err != nil || cp != nil {
+		t.Fatalf("fresh dir Recover = %v, %v", cp, err)
+	}
+	if got, info := recoverT(t, f, 0); len(got) != 0 || info.NextIndex != 0 {
+		t.Fatalf("fresh dir Tail replayed %d, next %d", len(got), info.NextIndex)
+	}
+	if err := f.Append(Batch{Records: mkRecs(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(Batch{ID: "batch-a", Records: mkRecs(1, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(Batch{ID: "batch-b", Records: mkRecs(5, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g := openT(t, FSOptions{Dir: dir})
+	got, info := recoverT(t, g, 0)
+	if len(got) != 8 || info.NextIndex != 8 || info.Replayed != 8 {
+		t.Fatalf("replayed %d records, next %d", len(got), info.NextIndex)
+	}
+	for i := range got {
+		want := mkRec(i)
+		if got[i].From != want.From || got[i].DeliveryResult[0] != want.DeliveryResult[0] ||
+			!got[i].StartTime.Equal(want.StartTime) {
+			t.Fatalf("record %d corrupted in flight: %+v", i, got[i])
+		}
+	}
+	if len(info.Batches) != 2 || info.Batches["batch-a"] != 4 || info.Batches["batch-b"] != 3 {
+		t.Fatalf("batches = %v", info.Batches)
+	}
+	// The engine accepts appends after recovery and a third incarnation
+	// sees them.
+	if err := g.Append(Batch{ID: "batch-c", Records: mkRecs(8, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	h := openT(t, FSOptions{Dir: dir})
+	got, info = recoverT(t, h, 0)
+	if len(got) != 10 || info.Batches["batch-c"] != 2 {
+		t.Fatalf("after second incarnation: %d records, batches %v", len(got), info.Batches)
+	}
+	h.Close()
+}
+
+func TestFSAppendRequiresRecovery(t *testing.T) {
+	f := openT(t, FSOptions{Dir: t.TempDir()})
+	err := f.Append(Batch{Records: mkRecs(0, 1)})
+	if err == nil || !strings.Contains(err.Error(), "Tail") {
+		t.Fatalf("Append before Tail: %v", err)
+	}
+}
+
+func TestFSCheckpointRecoverTail(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir})
+	recoverT(t, f, 0)
+	if err := f.Append(Batch{ID: "early", Records: mkRecs(0, 60)}); err != nil {
+		t.Fatal(err)
+	}
+	cp := &Checkpoint{Records: 60, Sections: map[string][]byte{
+		"alpha": []byte("first section"),
+		"beta":  {0, 1, 2, 255},
+		"empty": {},
+	}}
+	if err := f.Checkpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(Batch{ID: "late", Records: mkRecs(60, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g := openT(t, FSOptions{Dir: dir})
+	rcp, err := g.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcp == nil || rcp.Records != 60 {
+		t.Fatalf("Recover = %+v", rcp)
+	}
+	if string(rcp.Sections["alpha"]) != "first section" || len(rcp.Sections) != 3 {
+		t.Fatalf("sections = %v", rcp.Sections)
+	}
+	got, info := recoverT(t, g, rcp.Records)
+	if len(got) != 40 || info.NextIndex != 100 {
+		t.Fatalf("tail replayed %d, next %d; want 40, 100", len(got), info.NextIndex)
+	}
+	if got[0].From != mkRec(60).From {
+		t.Fatalf("tail starts at %q", got[0].From)
+	}
+	// "early" ends exactly at the checkpoint — fully covered, must not
+	// resurface; "late" intersects the tail.
+	if _, ok := info.Batches["early"]; ok {
+		t.Fatal("fully-checkpointed batch resurfaced in tail")
+	}
+	if info.Batches["late"] != 40 {
+		t.Fatalf("batches = %v", info.Batches)
+	}
+	g.Close()
+}
+
+// lastSegment returns the path of the newest WAL segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	return segs[len(segs)-1]
+}
+
+// tearFile truncates path after `keep` bytes using the faultinject torn
+// reader — the same fault the chaos client injects on the wire.
+func tearFile(t *testing.T, path string, keep int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, _ := io.ReadAll(faultinject.Plan{Torn: true, TornAfter: keep}.WrapRaw(bytes.NewReader(b)))
+	if len(torn) != keep {
+		t.Fatalf("torn reader kept %d bytes, want %d", len(torn), keep)
+	}
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFSTornTailTruncated: a crash mid-append leaves a partial trailing
+// frame; recovery must cut exactly that frame, keep every complete
+// record, warn, and leave the log appendable.
+func TestFSTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir})
+	recoverT(t, f, 0)
+	for i := 0; i < 20; i++ {
+		if err := f.Append(Batch{Records: mkRecs(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	seg := lastSegment(t, dir)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-way into the final frame (anywhere strictly inside it).
+	tearFile(t, seg, len(full)-3)
+
+	var warned bool
+	g := openT(t, FSOptions{Dir: dir, Logf: func(format string, args ...any) {
+		if strings.Contains(format, "WARNING") {
+			warned = true
+		}
+		t.Logf(format, args...)
+	}})
+	got, info := recoverT(t, g, 0)
+	if len(got) != 19 || info.NextIndex != 19 {
+		t.Fatalf("replayed %d, next %d; want 19", len(got), info.NextIndex)
+	}
+	if !info.TornTruncated || !warned {
+		t.Fatalf("torn tail not reported: info=%+v warned=%v", info, warned)
+	}
+	// The 20th record is gone from disk too; appending resumes at 19.
+	if err := g.Append(Batch{Records: mkRecs(19, 21)}); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	h := openT(t, FSOptions{Dir: dir})
+	got, info = recoverT(t, h, 0)
+	if len(got) != 21 || info.TornTruncated {
+		t.Fatalf("after repair: %d records, torn=%v", len(got), info.TornTruncated)
+	}
+	h.Close()
+}
+
+// TestFSTornTailSweep: every cut point inside the final record frame
+// must recover to exactly the complete prefix.
+func TestFSTornTailSweep(t *testing.T) {
+	build := func(dir string) (string, int64) {
+		f := openT(t, FSOptions{Dir: dir})
+		recoverT(t, f, 0)
+		for i := 0; i < 5; i++ {
+			if err := f.Append(Batch{Records: mkRecs(i, i+1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+		seg := lastSegment(t, dir)
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seg, fi.Size()
+	}
+	_, size := build(t.TempDir())
+	// The final frame starts where a 4-record log ends (appends are
+	// deterministic and the first 4 records are byte-identical).
+	probe4dir := t.TempDir()
+	f4 := openT(t, FSOptions{Dir: probe4dir})
+	recoverT(t, f4, 0)
+	for i := 0; i < 4; i++ {
+		f4.Append(Batch{Records: mkRecs(i, i+1)})
+	}
+	f4.Close()
+	fi4, _ := os.Stat(lastSegment(t, probe4dir))
+	lastFrameStart := fi4.Size()
+
+	for cut := lastFrameStart + 1; cut < size; cut += 5 {
+		dir := t.TempDir()
+		seg, _ := build(dir)
+		tearFile(t, seg, int(cut))
+		g := openT(t, FSOptions{Dir: dir, Logf: func(string, ...any) {}})
+		got, info := recoverT(t, g, 0)
+		if len(got) != 4 || !info.TornTruncated {
+			t.Fatalf("cut %d: replayed %d records, torn=%v", cut, len(got), info.TornTruncated)
+		}
+		g.Close()
+	}
+}
+
+// TestFSUncommittedBatchDropped: a crash before a batch's commit frame
+// lands must discard the whole batch — it was never acked, and the
+// client's retry will re-deliver it.
+func TestFSUncommittedBatchDropped(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir})
+	recoverT(t, f, 0)
+	if err := f.Append(Batch{ID: "keep", Records: mkRecs(0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(Batch{ID: "lost", Records: mkRecs(3, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	seg := lastSegment(t, dir)
+	full, _ := os.ReadFile(seg)
+	// Cut inside the trailing commit frame: the group loses its commit.
+	tearFile(t, seg, len(full)-2)
+
+	g := openT(t, FSOptions{Dir: dir, Logf: func(string, ...any) {}})
+	got, info := recoverT(t, g, 0)
+	if len(got) != 3 || info.NextIndex != 3 {
+		t.Fatalf("replayed %d, next %d; want 3", len(got), info.NextIndex)
+	}
+	if info.DroppedUncommitted != 5 {
+		t.Fatalf("dropped %d uncommitted records, want 5", info.DroppedUncommitted)
+	}
+	if _, ok := info.Batches["lost"]; ok {
+		t.Fatal("uncommitted batch registered")
+	}
+	// Retrying the batch after recovery lands it cleanly.
+	if err := g.Append(Batch{ID: "lost", Records: mkRecs(3, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	h := openT(t, FSOptions{Dir: dir})
+	got, info = recoverT(t, h, 0)
+	if len(got) != 8 || info.Batches["lost"] != 5 {
+		t.Fatalf("after retry: %d records, batches %v", len(got), info.Batches)
+	}
+	h.Close()
+}
+
+// TestFSCorruption: a flipped byte at the tail truncates like a torn
+// write; a flipped byte mid-log is unrecoverable damage and must error
+// rather than silently drop records.
+func TestFSCorruption(t *testing.T) {
+	build := func(dir string) string {
+		f := openT(t, FSOptions{Dir: dir})
+		recoverT(t, f, 0)
+		for i := 0; i < 10; i++ {
+			if err := f.Append(Batch{Records: mkRecs(i, i+1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+		return lastSegment(t, dir)
+	}
+	corrupt := func(path string, at int) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipped, _ := io.ReadAll(faultinject.Plan{Corrupt: true, CorruptAt: at}.WrapDecoded(bytes.NewReader(b)))
+		if err := os.WriteFile(path, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tail corruption: flip a byte in the final frame's payload.
+	dir := t.TempDir()
+	seg := build(dir)
+	fi, _ := os.Stat(seg)
+	corrupt(seg, int(fi.Size())-4)
+	g := openT(t, FSOptions{Dir: dir, Logf: func(string, ...any) {}})
+	got, info := recoverT(t, g, 0)
+	if len(got) != 9 || !info.TornTruncated {
+		t.Fatalf("tail corruption: replayed %d, torn=%v", len(got), info.TornTruncated)
+	}
+	g.Close()
+
+	// Mid-log corruption: flip a byte early; recovery must refuse.
+	dir2 := t.TempDir()
+	seg2 := build(dir2)
+	corrupt(seg2, segHeaderSize+20)
+	h := openT(t, FSOptions{Dir: dir2, Logf: func(string, ...any) {}})
+	_, err := h.Tail(0, func(uint64, *dataset.Record) error { return nil })
+	if err == nil {
+		t.Fatal("mid-log corruption accepted")
+	}
+	h.Close()
+}
+
+// TestFSRotationAndPrune: segments rotate at the size threshold, a
+// checkpoint prunes fully-covered segments, and replay from the
+// checkpoint still works while replay from zero reports over-pruning.
+func TestFSRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir, SegmentBytes: 4 << 10, KeepCheckpoints: 1})
+	recoverT(t, f, 0)
+	for i := 0; i < 200; i++ {
+		if err := f.Append(Batch{Records: mkRecs(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments (%d bytes)", st.Segments, st.WALBytes)
+	}
+	if st.NextIndex != 200 || st.AppendedRecords != 200 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := f.Checkpoint(&Checkpoint{Records: 200, Sections: map[string][]byte{"s": []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	st = f.Stats()
+	if st.PrunedSegments == 0 || st.Segments != 1 {
+		t.Fatalf("pruning did not happen: %+v", st)
+	}
+	f.Close()
+
+	g := openT(t, FSOptions{Dir: dir})
+	cp, err := g.Recover()
+	if err != nil || cp == nil || cp.Records != 200 {
+		t.Fatalf("Recover = %+v, %v", cp, err)
+	}
+	got, info := recoverT(t, g, cp.Records)
+	if len(got) != 0 || info.NextIndex != 200 {
+		t.Fatalf("tail after full checkpoint: %d records, next %d", len(got), info.NextIndex)
+	}
+	g.Close()
+
+	h := openT(t, FSOptions{Dir: dir})
+	if _, err := h.Tail(0, func(uint64, *dataset.Record) error { return nil }); err == nil {
+		t.Fatal("replay below the pruned floor accepted")
+	}
+	h.Close()
+}
+
+// TestFSCheckpointFallback: a corrupted newest checkpoint must fall
+// back to the previous one, not fail recovery.
+func TestFSCheckpointFallback(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir})
+	recoverT(t, f, 0)
+	if err := f.Append(Batch{Records: mkRecs(0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Checkpoint(&Checkpoint{Records: 5, Sections: map[string][]byte{"v": []byte("old")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Checkpoint(&Checkpoint{Records: 10, Sections: map[string][]byte{"v": []byte("new")}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Smash the newest checkpoint.
+	newest := filepath.Join(dir, "checkpoint", fmt.Sprintf("cp-%016x.ckpt", 10))
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	os.WriteFile(newest, b, 0o644)
+
+	g := openT(t, FSOptions{Dir: dir, Logf: func(string, ...any) {}})
+	cp, err := g.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil || cp.Records != 5 || string(cp.Sections["v"]) != "old" {
+		t.Fatalf("fallback checkpoint = %+v", cp)
+	}
+	got, _ := recoverT(t, g, cp.Records)
+	if len(got) != 5 {
+		t.Fatalf("tail from fallback replayed %d", len(got))
+	}
+	g.Close()
+}
+
+// TestFSReadOnly: offline analysis must not repair the log or accept
+// writes.
+func TestFSReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir})
+	recoverT(t, f, 0)
+	for i := 0; i < 10; i++ {
+		f.Append(Batch{Records: mkRecs(i, i+1)})
+	}
+	f.Close()
+	seg := lastSegment(t, dir)
+	fi, _ := os.Stat(seg)
+	tearFile(t, seg, int(fi.Size())-3)
+	sizeAfterTear, _ := os.Stat(seg)
+
+	ro := openT(t, FSOptions{Dir: dir, ReadOnly: true, Logf: func(string, ...any) {}})
+	got, info := recoverT(t, ro, 0)
+	if len(got) != 9 || !info.TornTruncated {
+		t.Fatalf("read-only replay: %d records, torn=%v", len(got), info.TornTruncated)
+	}
+	if err := ro.Append(Batch{Records: mkRecs(10, 11)}); err == nil {
+		t.Fatal("read-only Append accepted")
+	}
+	if err := ro.Checkpoint(&Checkpoint{Records: 9}); err == nil {
+		t.Fatal("read-only Checkpoint accepted")
+	}
+	ro.Close()
+	after, _ := os.Stat(seg)
+	if after.Size() != sizeAfterTear.Size() {
+		t.Fatal("read-only open modified the segment")
+	}
+}

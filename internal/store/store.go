@@ -1,0 +1,162 @@
+// Package store is the durability layer behind bounced: a pluggable
+// storage engine holding a segment-rotated write-ahead log of ingested
+// records plus periodic checkpoints of opaque, named state sections
+// (the analysis layer owns their encoding; the engine never looks
+// inside). The lifecycle is
+//
+//	eng := store.Open(...)          // filesystem engine
+//	cp, _ := eng.Recover()          // newest decodable checkpoint
+//	eng.Tail(cp.Records, apply)     // replay records the checkpoint missed
+//	eng.Append(batch)               // WAL ahead of every ack, from here on
+//	eng.Checkpoint(cp)              // off the hot path, prunes the log
+//
+// The contract that makes crash recovery byte-identical: Append order
+// is replay order (template mining is order-deterministic), a batch is
+// one atomic unit (replay sees all of it or none of it), and a torn
+// trailing write — the crash signature — is truncated away rather than
+// failing recovery. See DESIGN.md §11.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Batch is one atomic append: either a client batch with its
+// idempotency key, or a single bare record (ID ""). Replay never
+// surfaces a batch partially — a crash between its first record and
+// its commit marker discards it, which is exactly right because the
+// ack the client retries on was never sent.
+type Batch struct {
+	ID      string
+	Records []dataset.Record
+}
+
+// Checkpoint is a point-in-time capture of everything above the WAL,
+// valid at a record boundary: Sections reflect exactly the first
+// Records entries of the log, so recovery replays the tail from there.
+type Checkpoint struct {
+	Records  uint64
+	Sections map[string][]byte
+}
+
+// TailInfo summarizes a Tail replay.
+type TailInfo struct {
+	// Replayed is how many records the apply callback received.
+	Replayed int
+	// NextIndex is the total number of records in the log after the
+	// scan — the index the next Append assigns.
+	NextIndex uint64
+	// Batches maps committed batch IDs whose records intersect the
+	// replayed range to their record counts, so the caller can restore
+	// idempotency state for batches newer than the checkpoint.
+	Batches map[string]int
+	// DroppedUncommitted counts records discarded from a trailing batch
+	// whose commit marker never hit the disk (the batch was never
+	// acked; the client will retry it).
+	DroppedUncommitted int
+	// TornTruncated reports that a torn or corrupt trailing frame was
+	// cut from the last segment (or skipped, in read-only mode).
+	TornTruncated bool
+}
+
+// Engine is the storage abstraction. The filesystem implementation
+// lives in this package; the interface is what a SQLite/Postgres
+// backend would implement instead. Methods are safe for concurrent use
+// unless noted; the expected call order is Recover, Tail, then Append/
+// Sync/Rotate/Checkpoint freely.
+type Engine interface {
+	// Recover returns the newest decodable checkpoint, or nil when none
+	// exists. Corrupt checkpoints are skipped with a warning in favor of
+	// older ones.
+	Recover() (*Checkpoint, error)
+	// Tail replays records [from, end-of-log) in append order. The
+	// record pointer is only valid during the callback — copy to keep.
+	// Must run once before the first Append (it establishes the next
+	// record index and repairs a torn tail).
+	Tail(from uint64, apply func(index uint64, rec *dataset.Record) error) (TailInfo, error)
+	// Append writes one batch to the WAL as an atomic unit and flushes
+	// it to the OS (surviving process death; Sync covers power loss).
+	Append(b Batch) error
+	// Sync makes previous appends durable per the engine's fsync mode.
+	// Call before acking when batching fsyncs.
+	Sync() error
+	// Rotate seals the active WAL segment; the next append starts a
+	// fresh one.
+	Rotate() error
+	// Checkpoint atomically persists cp and prunes WAL segments wholly
+	// covered by the retained checkpoints.
+	Checkpoint(cp *Checkpoint) error
+	// Stats reports durability counters for /v1/stats and /metrics.
+	Stats() Stats
+	Close() error
+}
+
+// FsyncMode selects when the WAL calls fsync.
+type FsyncMode int
+
+const (
+	// FsyncBatch syncs once per Sync call (per acked ingest batch) —
+	// the default: group commit, bounded loss only on power failure.
+	FsyncBatch FsyncMode = iota
+	// FsyncAlways syncs inside every Append.
+	FsyncAlways
+	// FsyncOff never syncs; flush-to-OS still survives kill -9.
+	FsyncOff
+)
+
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncOff:
+		return "off"
+	default:
+		return "batch"
+	}
+}
+
+// ParseFsyncMode parses the -fsync flag values.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "batch", "":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return FsyncBatch, fmt.Errorf("store: unknown fsync mode %q (want always, batch, or off)", s)
+}
+
+// FsyncBounds are the fsync latency histogram bucket upper bounds in
+// nanoseconds (2µs doubling to ~16ms, +Inf implied), exported so the
+// metrics endpoint can render the histogram.
+var FsyncBounds = func() []int64 {
+	b := make([]int64, 14)
+	for i := range b {
+		b[i] = 2000 << i
+	}
+	return b
+}()
+
+// Stats is a point-in-time snapshot of engine counters. Counters are
+// per-process (they reset on restart, like every bounced counter);
+// gauges (Segments, WALBytes, NextIndex, LastCheckpoint*) describe the
+// on-disk state.
+type Stats struct {
+	Segments        int
+	WALBytes        int64
+	NextIndex       uint64
+	AppendedRecords uint64
+	AppendedBatches uint64
+	Fsyncs          uint64
+	FsyncNanos      int64
+	// FsyncHist has len(FsyncBounds)+1 buckets; the last is +Inf.
+	FsyncHist             []uint64
+	Checkpoints           uint64
+	LastCheckpointRecords uint64
+	LastCheckpointUnix    int64
+	PrunedSegments        uint64
+}

@@ -1,0 +1,139 @@
+#!/bin/sh
+# chaos_kill.sh — the kill -9 crash-recovery differential (make chaos-kill).
+#
+# Run A replays a corpus into a memory-only bounced and saves the final
+# report as the reference. Run B replays the same corpus into a durable
+# bounced (-data-dir) that is SIGKILLed at a seeded point mid-stream and
+# restarted on the same directory; the client sends idempotent
+# X-Batch-Id batches and retries through the outage, so a batch whose
+# ack was lost in the crash dedups instead of double-counting.
+#
+# Pass requires both: the two final reports are byte-identical (zero
+# loss, zero double-count), and run B's second boot recovered from a
+# checkpoint — i.e. it replayed only the WAL tail, not the whole log.
+# See DESIGN.md §11.
+#
+# Knobs: CHAOS_KILL_SEED, CHAOS_KILL_EMAILS, CHAOS_KILL_PORT.
+set -eu
+
+SEED="${CHAOS_KILL_SEED:-11}"
+EMAILS="${CHAOS_KILL_EMAILS:-20000}"
+PORT="${CHAOS_KILL_PORT:-18425}"
+URL="http://127.0.0.1:$PORT"
+
+say() { echo "chaos-kill: $*" >&2; }
+
+WORK=$(mktemp -d)
+SRV_PID=""
+cleanup() {
+	[ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+say "building binaries"
+go build -o "$WORK/bin/" ./cmd/bounced ./cmd/bouncegen
+BOUNCED="$WORK/bin/bounced"
+
+"$WORK/bin/bouncegen" -emails "$EMAILS" -seed 5 -out "$WORK/corpus.jsonl"
+
+wait_ready() {
+	i=0
+	while ! curl -sf "$URL/v1/stats" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 200 ]; then
+			say "FAIL: server did not come up on $URL"
+			exit 1
+		fi
+		sleep 0.05
+	done
+}
+
+accepted() {
+	curl -sf "$URL/v1/stats" 2>/dev/null |
+		sed -n 's/.*"accepted":[[:space:]]*\([0-9][0-9]*\).*/\1/p' | head -1
+}
+
+# feed replays the corpus with idempotent batch IDs and a retry budget
+# sized for a restart window. The seed fixes the batch-ID namespace, so
+# a re-sent batch after the crash carries the ID the server already saw.
+# The rate cap holds the stream open for a few seconds — long enough
+# for the kill to land mid-flight instead of after the last batch.
+feed() {
+	"$BOUNCED" loadgen -in "$WORK/corpus.jsonl" -url "$URL" -batch 128 \
+		-rate 6000 -chaos "seed=$SEED" -seed "$SEED" -retries 10000 \
+		-no-verify -out /dev/null 2>>"$WORK/client.log"
+}
+
+# --- Run A: uninterrupted reference -----------------------------------
+say "run A: memory-only reference"
+"$BOUNCED" -addr "127.0.0.1:$PORT" -no-env -flush-sections '' \
+	>"$WORK/a.log" 2>&1 &
+SRV_PID=$!
+wait_ready
+feed
+curl -sf "$URL/v1/report?section=all" >"$WORK/report_a.txt"
+kill -9 "$SRV_PID" 2>/dev/null
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+# --- Run B: durable, kill -9 mid-stream, restart, finish --------------
+DATA="$WORK/data"
+say "run B: durable server on $DATA"
+"$BOUNCED" -addr "127.0.0.1:$PORT" -no-env -flush-sections '' \
+	-data-dir "$DATA" -checkpoint-interval 500ms >"$WORK/b1.log" 2>&1 &
+SRV_PID=$!
+wait_ready
+feed &
+LOAD_PID=$!
+
+# The kill lands once the server has accepted a seeded fraction of the
+# corpus (between 25% and 65%) — deterministically mid-stream, not at a
+# wall-clock guess.
+THRESH=$((EMAILS / 4 + (SEED * 7919) % (EMAILS * 2 / 5)))
+while :; do
+	n=$(accepted) || n=""
+	if [ -n "$n" ] && [ "$n" -ge "$THRESH" ]; then
+		break
+	fi
+	if ! kill -0 "$LOAD_PID" 2>/dev/null; then
+		say "WARN: stream finished before the kill threshold ($THRESH); killing anyway"
+		break
+	fi
+	sleep 0.02
+done
+say "kill -9 at >=$THRESH accepted records"
+kill -9 "$SRV_PID" 2>/dev/null
+wait "$SRV_PID" 2>/dev/null || true
+
+say "restarting on the same data dir (client is retrying meanwhile)"
+"$BOUNCED" -addr "127.0.0.1:$PORT" -no-env -flush-sections '' \
+	-data-dir "$DATA" -checkpoint-interval 500ms >"$WORK/b2.log" 2>&1 &
+SRV_PID=$!
+if ! wait "$LOAD_PID"; then
+	say "FAIL: client did not finish the stream after the restart"
+	sed 's/^/chaos-kill:   client: /' "$WORK/client.log" >&2
+	exit 1
+fi
+wait_ready
+curl -sf "$URL/v1/report?section=all" >"$WORK/report_b.txt"
+
+# The second boot must prove it came back through the recovery path,
+# from a checkpoint (WAL-tail replay only, not a cold full-log replay).
+if ! grep 'recovered from' "$WORK/b2.log" >&2; then
+	say "FAIL: second boot did not log a recovery"
+	exit 1
+fi
+if grep -q 'checkpoint at 0 records' "$WORK/b2.log"; then
+	say "FAIL: second boot found no checkpoint (cold full-log replay)"
+	exit 1
+fi
+
+if ! cmp -s "$WORK/report_a.txt" "$WORK/report_b.txt"; then
+	cp "$WORK/report_a.txt" /tmp/chaos_kill_reference.txt
+	cp "$WORK/report_b.txt" /tmp/chaos_kill_crashed.txt
+	say "FAIL: reports diverge (dumps in /tmp/chaos_kill_*.txt)"
+	exit 1
+fi
+say "PASS: report byte-identical across kill -9 ($(wc -c <"$WORK/report_a.txt") bytes)"
