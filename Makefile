@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge bench-replay chaos chaos-cli chaos-kill cluster-diff
+.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge bench-replay chaos chaos-cli chaos-kill chaos-failover cluster-diff
 
 # check is the tier-1 gate plus static analysis and formatting.
 check: fmt vet build build-cmds test
@@ -53,6 +53,15 @@ chaos-cli:
 # byte-identical to an uninterrupted run. See DESIGN.md §11.
 chaos-kill:
 	./scripts/chaos_kill.sh
+
+# chaos-failover is the primary-death differential over a real replica
+# set: a semi-sync durable primary is SIGKILLed mid-stream, its standby
+# auto-promotes, the router re-elects it, the client retries the
+# in-flight batch through the same router address, and the final report
+# must be byte-identical to an uninterrupted single-node run with every
+# record classified exactly once. See DESIGN.md §12.
+chaos-failover:
+	./scripts/chaos_failover.sh
 
 # race-parallel focuses the race detector on the parallel delivery,
 # streaming, decode, and incremental-snapshot paths (fast enough for

@@ -24,6 +24,17 @@
 //	bounced -role=shard -shard-index=2 -shard-count=3 -addr :8427
 //	bounced -role=coordinator -shards http://h0:8425,http://h1:8426,http://h2:8427
 //
+// Replication (DESIGN.md §12) pairs a durable primary with standbys
+// that stream its checkpoint plus WAL tail and stay hot; on primary
+// death a standby promotes (POST /v1/promote, or automatically after
+// -failover-timeout) and serves the identical report with zero
+// acked-record loss. A router gives clients one stable address across
+// the failover:
+//
+//	bounced -data-dir /var/a -repl-ack 1 -addr :8425
+//	bounced -role=standby -primary http://h0:8425 -data-dir /var/b -failover-timeout 5s -addr :8426
+//	bounced -role=router -peers http://h0:8425,http://h1:8426 -addr :8427
+//
 // Endpoints: POST /v1/records (NDJSON, gzip-aware), GET /v1/report
 // ?section=table1,fig8, GET /v1/stats, POST /v1/snapshot, GET
 // /v1/partial (shard snapshot for coordinators), GET /metrics
@@ -55,6 +66,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/delivery"
 	"repro/internal/faultinject"
+	"repro/internal/replication"
 	"repro/internal/store"
 	"repro/internal/world"
 )
@@ -86,13 +98,20 @@ func serveMain(args []string) {
 		faultArg = fs.String("fault-spec", "", "arm deterministic fault injection, e.g. 'seed=7,torn=0.05,stall=2ms' (DESIGN.md §9)")
 		readTO   = fs.Duration("read-timeout", 0, "per-request body read deadline; slow-loris cutoff (0 disables)")
 		dedupWin = fs.Int("dedup-window", 256, "idempotent X-Batch-Id dedup window, in batches")
-		role     = fs.String("role", "single", "node role: single, shard (owns a slice of the 16 substreams), or coordinator (merges shard partials)")
+		role     = fs.String("role", "single", "node role: single, shard (owns a slice of the 16 substreams), coordinator (merges shard partials), standby (replicates a primary), or router (fronts a replica set)")
 		shardIdx = fs.Int("shard-index", 0, "shard role: this node's index in [0, shard-count)")
 		shardCnt = fs.Int("shard-count", 0, "shard role: total shard nodes; a record belongs here iff OwnerOf(record, shard-count) == shard-index")
 		shardArg = fs.String("shards", "", "coordinator role: comma-separated shard base URLs (their order is the merge order)")
 		dataDir  = fs.String("data-dir", "", "durability directory (WAL + checkpoints); boot recovers from it, empty = memory-only")
 		cpEvery  = fs.Duration("checkpoint-interval", 30*time.Second, "background checkpoint cadence with -data-dir (0 disables; shutdown still checkpoints)")
 		fsyncArg = fs.String("fsync", "batch", "WAL fsync mode with -data-dir: batch (per acked batch), always, or off (flush-to-OS only)")
+		primary  = fs.String("primary", "", "standby role: the primary's base URL to replicate from")
+		sbID     = fs.String("standby-id", "", "standby role: this node's name in the primary's standby registry (default the listen address)")
+		pollWait = fs.Duration("poll-interval", 2*time.Second, "standby role: WAL long-poll hold time on the primary")
+		failTO   = fs.Duration("failover-timeout", 0, "standby role: auto-promote after this long without a successful sync (0 = manual /v1/promote only)")
+		peersArg = fs.String("peers", "", "router role: comma-separated replica-set base URLs to probe and forward to")
+		replAck  = fs.Int("repl-ack", 0, "primary: semi-sync — gate each ingest ack on this many standbys having applied the batch (0 = async)")
+		replAckT = fs.Duration("repl-ack-timeout", 5*time.Second, "primary: semi-sync ack wait bound; on expiry the client gets a retryable 503")
 	)
 	fs.Parse(args)
 
@@ -115,12 +134,64 @@ func serveMain(args []string) {
 		if *dataDir != "" {
 			log.Fatal("-role=coordinator holds no records; -data-dir is a single/shard flag")
 		}
+	case "standby":
+		if *primary == "" {
+			log.Fatal("-role=standby requires -primary (the primary's base URL)")
+		}
+		if *dataDir == "" {
+			log.Fatal("-role=standby requires -data-dir: a standby replays the primary's WAL into its own durable log so it can survive promotion")
+		}
+		if *generate || *replay != "" {
+			log.Fatal("-role=standby refuses local ingestion; -generate and -replay are primary-side flags")
+		}
+	case "router":
+		if *peersArg == "" {
+			log.Fatal("-role=router requires -peers (comma-separated replica-set base URLs)")
+		}
+		if *generate || *replay != "" || *dataDir != "" {
+			log.Fatal("-role=router holds no records; -generate, -replay, and -data-dir are replica-side flags")
+		}
 	default:
-		log.Fatalf("unknown -role %q (want single, shard, or coordinator)", *role)
+		log.Fatalf("unknown -role %q (want single, shard, coordinator, standby, or router)", *role)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *role == "router" {
+		// Routers hold no records and serve no reports of their own, so
+		// they skip the world/env restore entirely.
+		var peers []string
+		for _, u := range strings.Split(*peersArg, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peers = append(peers, u)
+			}
+		}
+		rt, err := replication.NewRouter(replication.RouterConfig{Peers: peers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go rt.Run(ctx)
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpSrv := &http.Server{Handler: rt.Handler()}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+		log.Printf("router listening on %s over %d peers", ln.Addr(), len(peers))
+		<-ctx.Done()
+		stop()
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		return
+	}
 
 	cfg := world.DefaultConfig()
 	cfg.TotalEmails = *emails
@@ -129,6 +200,7 @@ func serveMain(args []string) {
 	sCfg := bounced.Config{
 		QueueDepth: *queue, Seed: *seed, DecodeWorkers: *decodeW, EnablePprof: *pprofOn,
 		ReadTimeout: *readTO, DedupWindow: *dedupWin,
+		Standby: *role == "standby", ReplAck: *replAck, ReplAckTimeout: *replAckT,
 	}
 	if *faultArg != "" {
 		sp, err := faultinject.ParseSpec(*faultArg)
@@ -226,6 +298,29 @@ func serveMain(args []string) {
 		}
 	}
 
+	if *role == "standby" {
+		id := *sbID
+		if id == "" {
+			id = *addr
+		}
+		sl, err := replication.NewStandby(replication.StandbyConfig{
+			PrimaryURL:      *primary,
+			ID:              id,
+			PollWait:        *pollWait,
+			FailoverTimeout: *failTO,
+		}, srv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.SetSync(sl)
+		go func() {
+			if err := sl.Run(ctx); err != nil {
+				log.Printf("sync loop: %v", err)
+			}
+		}()
+		log.Printf("standby %q replicating from %s (failover-timeout %s)", id, *primary, *failTO)
+	}
+
 	if *replay != "" {
 		n, err := preload(srv, *replay)
 		if err != nil {
@@ -258,9 +353,12 @@ func serveMain(args []string) {
 			log.Fatal(err)
 		}
 	}()
-	if *role == "shard" {
+	switch *role {
+	case "shard":
 		log.Printf("shard %d/%d listening on %s (seed %d)", *shardIdx, *shardCnt, ln.Addr(), *seed)
-	} else {
+	case "standby":
+		log.Printf("standby listening on %s (seed %d)", ln.Addr(), *seed)
+	default:
 		log.Printf("listening on %s (seed %d)", ln.Addr(), *seed)
 	}
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/ndr"
 	"repro/internal/policy"
+	"repro/internal/replication"
 	"repro/internal/simrng"
 	"repro/internal/store"
 )
@@ -98,6 +99,22 @@ type Config struct {
 	// Store is configured. Zero disables periodic checkpoints; Drain
 	// still takes a final one, and POST /v1/checkpoint forces one.
 	CheckpointInterval time.Duration
+	// Standby boots the node as a replication standby: ingestion is
+	// refused with a retryable 503 and records arrive only through
+	// ApplyBatch (the replication sync loop). Requires a Store. A
+	// standby flips to primary via Promote (POST /v1/promote or the
+	// sync loop's heartbeat timeout).
+	Standby bool
+	// ReplAck > 0 makes acks semi-synchronous: an ingest response
+	// leaves only after this many standbys confirm they applied the
+	// batch's records. With a standby attached this is what makes
+	// "zero acked records lost" across failover a guarantee — anything
+	// the client saw acked is already on the survivor.
+	ReplAck int
+	// ReplAckTimeout bounds a semi-sync ack wait (default 5s); on
+	// expiry the batch stays in the local WAL but the client gets a
+	// retryable 503 and must retry the same X-Batch-Id.
+	ReplAckTimeout time.Duration
 }
 
 // Server is the bounce-analytics service. Create with New, mount
@@ -140,6 +157,27 @@ type Server struct {
 	recovery RecoveryInfo
 	cpStop   chan struct{}
 	cpWG     sync.WaitGroup
+
+	// Replication (durable nodes only). walIndex mirrors the engine's
+	// next WAL index and is bumped under walMu so it always equals the
+	// log end in append order; the tracker wakes standby long-polls
+	// when it advances past a synced prefix and gates semi-sync acks.
+	// incMu protects the s.inc pointer itself, which a standby resync
+	// (ResetTo) swaps while readers are live. epoch is the fencing
+	// token: promotion bumps it, the checkpoint persists it, and the
+	// router prefers the highest one it can see.
+	standby            atomic.Bool
+	epoch              atomic.Uint64
+	lastCPEpoch        atomic.Uint64
+	promotions         atomic.Uint64
+	walIndex           atomic.Uint64
+	tracker            *replication.Tracker
+	incMu              sync.RWMutex
+	syncLoop           atomic.Pointer[replication.Standby]
+	replApplies        atomic.Uint64
+	replAppliedRecords atomic.Uint64
+	replAckWaits       atomic.Uint64
+	replAckTimeouts    atomic.Uint64
 
 	// consumedCond broadcasts store progress for drain barriers: a
 	// report taken after an ingest request returns covers everything
@@ -191,6 +229,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DedupWindow <= 0 {
 		cfg.DedupWindow = 256
 	}
+	if cfg.Standby && cfg.Store == nil {
+		return nil, errors.New("bounced: a standby needs a storage engine (replication ships WAL tails)")
+	}
 	s := &Server{
 		cfg:       cfg,
 		inc:       analysis.NewIncremental(cfg.Pipeline),
@@ -207,10 +248,16 @@ func New(cfg Config) (*Server, error) {
 	for _, t := range ndr.AllTypes {
 		s.typeHits[t] = new(atomic.Uint64)
 	}
+	s.epoch.Store(1)
+	s.standby.Store(cfg.Standby)
 	if s.eng != nil {
 		if err := s.recover(); err != nil {
 			return nil, err
 		}
+		next := s.eng.Stats().NextIndex
+		s.walIndex.Store(next)
+		s.lastCPEpoch.Store(s.epoch.Load())
+		s.tracker = replication.NewTracker(next)
 	}
 	s.inc.StartTrainer()
 	s.consumerWG.Add(1)
@@ -233,6 +280,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc(replication.PathStatus, s.handleReplStatus)
+	mux.HandleFunc(replication.PathWAL, s.handleReplWAL)
+	mux.HandleFunc(replication.PathCheckpoint, s.handleReplCheckpoint)
+	mux.HandleFunc(replication.PathPromote, s.handlePromote)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -298,6 +349,7 @@ func (s *Server) enqueue(rec *dataset.Record) error {
 		s.reserved.Add(-1)
 		return fmt.Errorf("bounced: wal append: %w", err)
 	}
+	s.walIndex.Add(1)
 	return s.queueAdmitted(rec)
 }
 
@@ -311,6 +363,16 @@ func (s *Server) queueAdmitted(rec *dataset.Record) error {
 	s.accepted.Add(1)
 	s.observe(rec)
 	return nil
+}
+
+// incState returns the current analysis accumulator. The pointer is
+// stable for the caller's use — a standby resync swaps s.inc for a
+// fresh accumulator but never mutates the old one again — so holding
+// the read lock only around the load is enough.
+func (s *Server) incState() *analysis.Incremental {
+	s.incMu.RLock()
+	defer s.incMu.RUnlock()
+	return s.inc
 }
 
 // owns reports whether this node's shard role covers rec. Single-role
@@ -328,6 +390,9 @@ func (s *Server) owns(rec *dataset.Record) bool {
 func (s *Server) Ingest(rec *dataset.Record) error {
 	if s.closed.Load() {
 		return ErrIngestClosed
+	}
+	if s.standby.Load() {
+		return errStandbyIngest
 	}
 	if !s.admitWait(1) {
 		return ErrIngestClosed
@@ -358,7 +423,7 @@ func (s *Server) consume() {
 			// which is what backs the queue up and exercises shedding.
 			time.Sleep(stall)
 		}
-		s.inc.Add(rec)
+		s.incState().Add(rec)
 		s.consumed.Add(1)
 		s.reserved.Add(-1)
 		s.consumedMu.Lock()
@@ -473,7 +538,7 @@ func (s *Server) Drain() uint64 {
 		s.queue.Close()
 	}
 	s.consumerWG.Wait()
-	s.inc.StopTrainer()
+	s.incState().StopTrainer()
 	if s.eng != nil {
 		s.stopCheckpointLoop()
 		// The final checkpoint makes the next boot replay-free; failing
@@ -498,7 +563,7 @@ func (s *Server) Abort() {
 	s.closed.Store(true)
 	s.queue.CloseRead()
 	s.consumerWG.Wait()
-	s.inc.StopTrainer()
+	s.incState().StopTrainer()
 	if s.eng != nil {
 		s.stopCheckpointLoop()
 		s.eng.Close()

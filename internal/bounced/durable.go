@@ -28,7 +28,31 @@ const (
 	// coverage may lag the checkpoint's record count (it is advisory;
 	// recovery only validates that it decodes).
 	sectionPartial = "partial"
+	// sectionRepl carries the replication epoch, the fencing token a
+	// promotion bumps. Persisting it in the checkpoint is what keeps a
+	// promoted node's epoch ahead of the dead primary's across its own
+	// restarts — and what ships it to standbys during a resync.
+	sectionRepl = "repl"
 )
+
+// replSectionBody is the JSON layout of sectionRepl.
+type replSectionBody struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// replEpoch decodes a checkpoint's epoch; 0 when the section is
+// missing (pre-replication checkpoints) or malformed.
+func replEpoch(cp *store.Checkpoint) uint64 {
+	blob, ok := cp.Sections[sectionRepl]
+	if !ok {
+		return 0
+	}
+	var body replSectionBody
+	if err := json.Unmarshal(blob, &body); err != nil {
+		return 0
+	}
+	return body.Epoch
+}
 
 // RecoveryInfo describes what New restored from the storage engine.
 type RecoveryInfo struct {
@@ -124,6 +148,11 @@ func (s *Server) recover() error {
 	for _, id := range ids {
 		s.dedup.register(id, info.Batches[id])
 	}
+	if cp != nil {
+		if epoch := replEpoch(cp); epoch > s.epoch.Load() {
+			s.epoch.Store(epoch)
+		}
+	}
 	s.lastCP.Store(from)
 	s.recovery = RecoveryInfo{
 		CheckpointRecords:  from,
@@ -163,15 +192,19 @@ func (s *Server) CheckpointNow() error {
 	}
 	s.cpMu.Lock()
 	defer s.cpMu.Unlock()
-	st := s.inc.CaptureState()
+	st := s.incState().CaptureState()
 	n := uint64(st.Records())
-	if n == s.lastCP.Load() {
+	epoch := s.epoch.Load()
+	// An epoch bump alone (promotion with no new records) still forces
+	// a write: the fencing token must survive a restart.
+	if n == s.lastCP.Load() && epoch == s.lastCPEpoch.Load() {
 		return nil
 	}
 	blob, err := st.MarshalBinary()
 	if err != nil {
 		return err
 	}
+	replBody, _ := json.Marshal(replSectionBody{Epoch: epoch})
 	// The dedup window is captured after the analysis state: it may
 	// include batches newer than n, which is safe — their records sit in
 	// the WAL tail past n and replay re-registers them idempotently.
@@ -181,11 +214,13 @@ func (s *Server) CheckpointNow() error {
 		sectionIncremental: blob,
 		sectionDedup:       s.dedup.marshal(),
 		sectionPartial:     s.partialSection(),
+		sectionRepl:        replBody,
 	}}
 	if err := s.eng.Checkpoint(cp); err != nil {
 		return err
 	}
 	s.lastCP.Store(n)
+	s.lastCPEpoch.Store(epoch)
 	return nil
 }
 
@@ -222,13 +257,18 @@ func (s *Server) checkpointLoop(every time.Duration) {
 }
 
 // syncWAL makes every prior append durable per the engine's fsync mode
-// — the group-commit point an ingest ack waits on.
+// — the group-commit point an ingest ack waits on. The replication
+// tracker advances here, not at append time, so a woken standby poll
+// always finds the promised tail bytes readable.
 func (s *Server) syncWAL() error {
 	if s.eng == nil {
 		return nil
 	}
 	if err := s.eng.Sync(); err != nil {
 		return fmt.Errorf("wal sync: %w", err)
+	}
+	if s.tracker != nil {
+		s.tracker.Advance(s.walIndex.Load())
 	}
 	return nil
 }
@@ -277,6 +317,20 @@ func (d *dedupWindow) marshal() []byte {
 		return []byte(`{"ids":[],"counts":[]}`)
 	}
 	return b
+}
+
+// reset discards the window and restores it from a checkpoint section
+// (empty blob = empty window) — the standby full-resync path, where
+// the local history is being replaced, not merged.
+func (d *dedupWindow) reset(b []byte) error {
+	d.mu.Lock()
+	d.seen = make(map[string]int, d.cap)
+	d.order = nil
+	d.mu.Unlock()
+	if len(b) == 0 {
+		return nil
+	}
+	return d.restore(b)
 }
 
 func (d *dedupWindow) restore(b []byte) error {

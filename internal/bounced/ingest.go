@@ -67,6 +67,13 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, 0, 0, "shutting down")
 		return
 	}
+	if s.standby.Load() {
+		// The router never routes here; a client that does (or hits the
+		// promotion window) gets a retryable refusal.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, 0, 0, errStandbyIngest.Error())
+		return
+	}
 	if s.cfg.ReadTimeout > 0 {
 		// Best-effort: ResponseController reaches the connection under
 		// the standard http.Server; httptest/recorder stacks without
@@ -87,7 +94,15 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	if batchID != "" {
 		if n, ok := s.dedup.lookup(batchID); ok {
 			// A replay of a batch already admitted: acknowledge with the
-			// original accepted count, ingest nothing.
+			// original accepted count, ingest nothing. The semi-sync gate
+			// still applies — the usual reason for this replay is a retry
+			// after an ack timed out waiting for a standby, and acking it
+			// before the standby catches up would reopen the loss window.
+			if err := s.waitReplicated(s.walIndex.Load()); err != nil {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, 0, 0, err.Error())
+				return
+			}
 			s.deduped.Add(uint64(n))
 			s.dedupBatches.Add(1)
 			writeJSON(w, http.StatusOK, ingestResponse{Accepted: n, Deduped: true})
@@ -178,6 +193,14 @@ func (s *Server) ingestStream(w http.ResponseWriter, reader io.Reader) {
 	}
 	if err := s.syncWAL(); err != nil {
 		httpError(w, http.StatusInternalServerError, 0, accepted, err.Error())
+		return
+	}
+	if err := s.waitReplicated(s.walIndex.Load()); err != nil {
+		// The streamed path is not idempotent: the records are durable
+		// locally but the client must not count them as delivered. Use
+		// X-Batch-Id batches when semi-sync replication is on.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, 0, accepted, err.Error())
 		return
 	}
 	s.batches.Add(1)
@@ -287,6 +310,7 @@ func (s *Server) ingestBatchDurable(w http.ResponseWriter, batchID string, recs 
 		httpError(w, http.StatusInternalServerError, 0, 0, "wal append: "+err.Error())
 		return false
 	}
+	end := s.walIndex.Add(uint64(len(recs)))
 	s.dedup.register(batchID, len(recs))
 	enqueued := 0
 	var enqErr error
@@ -310,6 +334,14 @@ func (s *Server) ingestBatchDurable(w http.ResponseWriter, batchID string, recs 
 	}
 	if enqErr != nil {
 		httpError(w, http.StatusServiceUnavailable, 0, enqueued, ErrIngestClosed.Error())
+		return false
+	}
+	if err := s.waitReplicated(end); err != nil {
+		// The batch is committed and registered locally, so the retry the
+		// client now owes dedups — and its ack waits here again until a
+		// standby really holds the records.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, 0, 0, err.Error())
 		return false
 	}
 	return true

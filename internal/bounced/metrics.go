@@ -123,7 +123,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	counter("bounced_snapshots_total", "Analysis snapshots built.", s.snapTaken.Load())
-	warmSnaps, coldSnaps := s.inc.Snapshots()
+	warmSnaps, coldSnaps := s.incState().Snapshots()
 	counter("bounced_snapshots_warm_total", "Snapshots that reused cached verdicts (suffix-only classify).", warmSnaps)
 	counter("bounced_snapshots_cold_total", "Snapshots that re-classified the full corpus.", coldSnaps)
 	gauge("bounced_queue_depth", "Records buffered in the ingest queue.", s.queue.Len())
@@ -172,6 +172,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "bounced_fsync_latency_seconds_bucket{le=\"+Inf\"} %d\n", est.Fsyncs)
 		fmt.Fprintf(&b, "bounced_fsync_latency_seconds_sum %g\n", float64(est.FsyncNanos)/1e9)
 		fmt.Fprintf(&b, "bounced_fsync_latency_seconds_count %d\n", est.Fsyncs)
+	}
+
+	if s.tracker != nil {
+		role := 0
+		if s.standby.Load() {
+			role = 1
+		}
+		standbys, maxLag := s.tracker.Snapshot()
+		gauge("bounced_standby", "1 when the node is a replication standby, 0 when primary.", role)
+		gauge("bounced_epoch", "Replication fencing epoch; promotion bumps it.", s.epoch.Load())
+		gauge("bounced_repl_next_index", "WAL log end in record indices (replication offset space).", s.walIndex.Load())
+		gauge("bounced_repl_standbys", "Standbys currently polling this node.", len(standbys))
+		gauge("bounced_repl_max_lag_records", "Records the slowest polling standby is behind the log end.", maxLag)
+		counter("bounced_promotions_total", "Standby-to-primary promotions on this node.", s.promotions.Load())
+		counter("bounced_repl_ack_waits_total", "Ingest acks gated on a semi-sync standby confirmation.", s.replAckWaits.Load())
+		counter("bounced_repl_ack_timeouts_total", "Semi-sync ack waits that timed out into a retryable 503.", s.replAckTimeouts.Load())
+		counter("bounced_repl_applies_total", "Replicated WAL units applied by this standby.", s.replApplies.Load())
+		counter("bounced_repl_applied_records_total", "Records applied from replicated WAL units.", s.replAppliedRecords.Load())
+		if sl := s.syncLoop.Load(); sl != nil && s.standby.Load() {
+			st := sl.Status()
+			gauge("bounced_repl_sync_lag_records", "Records this standby is behind the primary's reported log end.", st.LagRecords)
+			counter("bounced_repl_polls_total", "WAL-tail polls this standby has completed.", st.Polls)
+			counter("bounced_repl_resyncs_total", "Full checkpoint resyncs this standby has performed.", st.Resyncs)
+		}
 	}
 
 	h := s.hist

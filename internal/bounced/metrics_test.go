@@ -5,6 +5,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/store"
 )
 
 // TestLatencyHistBucketInclusivity pins the Prometheus bucket
@@ -86,6 +88,59 @@ bounced_classify_latency_seconds_count 3
 `
 	if !strings.Contains(body, golden) {
 		t.Fatalf("histogram block diverges from golden format.\n--- want ---\n%s\n--- /metrics ---\n%s", golden, body)
+	}
+}
+
+// TestMetricsReplicationBlock locks the replication series on durable
+// nodes: role/epoch gauges and the promotion counter, flipping with a
+// promotion, and absent entirely on memory-only nodes.
+func TestMetricsReplicationBlock(t *testing.T) {
+	scrape := func(s *Server) string {
+		rec := httptest.NewRecorder()
+		s.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec.Body.String()
+	}
+
+	mem, err := New(Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Abort()
+	if body := scrape(mem); strings.Contains(body, "bounced_epoch") {
+		t.Fatal("memory-only node exposes replication metrics")
+	}
+
+	s, err := New(Config{QueueDepth: 4, Standby: true, Store: store.NewMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Abort()
+	body := scrape(s)
+	for _, want := range []string{
+		"bounced_standby 1\n",
+		"bounced_epoch 1\n",
+		"bounced_repl_next_index 0\n",
+		"bounced_repl_standbys 0\n",
+		"bounced_promotions_total 0\n",
+		"bounced_repl_ack_waits_total 0\n",
+		"bounced_repl_applies_total 0\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("standby /metrics missing %q", strings.TrimSpace(want))
+		}
+	}
+	if !s.Promote(7, "test") {
+		t.Fatal("Promote returned false on a standby")
+	}
+	body = scrape(s)
+	for _, want := range []string{
+		"bounced_standby 0\n",
+		"bounced_epoch 7\n",
+		"bounced_promotions_total 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("promoted /metrics missing %q", strings.TrimSpace(want))
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ndr"
 	"repro/internal/policy"
+	"repro/internal/replication"
 	"repro/internal/store"
 )
 
@@ -26,11 +27,12 @@ func (s *Server) study() *bounce.Study {
 	if s.snapStudy != nil && s.snapAt == n {
 		return s.snapStudy
 	}
-	warmBefore, _ := s.inc.Snapshots()
+	inc := s.incState()
+	warmBefore, _ := inc.Snapshots()
 	t0 := time.Now()
-	a := s.inc.Snapshot(s.cfg.Env)
+	a := inc.Snapshot(s.cfg.Env)
 	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
-	if warmAfter, _ := s.inc.Snapshots(); warmAfter > warmBefore {
+	if warmAfter, _ := inc.Snapshots(); warmAfter > warmBefore {
 		s.snapWarmMs = ms
 	} else {
 		s.snapColdMs = ms
@@ -94,11 +96,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, 0, 0, "POST only")
 		return
 	}
-	warm0, cold0 := s.inc.Snapshots()
+	warm0, cold0 := s.incState().Snapshots()
 	t0 := time.Now()
 	st := s.study()
 	elapsedMs := float64(time.Since(t0).Nanoseconds()) / 1e6
-	warm1, cold1 := s.inc.Snapshots()
+	warm1, cold1 := s.incState().Snapshots()
 	labeled, coverage := st.Analysis.Pipeline.ManualLabelStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"records":        st.Records.Len(),
@@ -149,6 +151,50 @@ type statsResponse struct {
 	Classify        latencyStats      `json:"classify_latency"`
 	PolicyStages    []policy.StageHit `json:"policy_stages,omitempty"`
 	Durability      *durabilityStats  `json:"durability,omitempty"`
+	Replication     *replicationStats `json:"replication,omitempty"`
+}
+
+// replicationStats is the /v1/stats replication sub-object, present on
+// durable nodes. On a primary it lists the standby registry and the
+// semi-sync ack counters; on a standby it carries the sync loop's view
+// of its lag behind the primary.
+type replicationStats struct {
+	Role           string                    `json:"role"`
+	Epoch          uint64                    `json:"epoch"`
+	NextIndex      uint64                    `json:"next_index"`
+	Promotions     uint64                    `json:"promotions"`
+	Standbys       []replication.StandbyInfo `json:"standbys,omitempty"`
+	MaxLagRecords  uint64                    `json:"max_lag_records"`
+	AckWaits       uint64                    `json:"ack_waits"`
+	AckTimeouts    uint64                    `json:"ack_timeouts"`
+	Applies        uint64                    `json:"applies"`
+	AppliedRecords uint64                    `json:"applied_records"`
+	Sync           *replication.SyncStatus   `json:"sync,omitempty"`
+}
+
+// replicationBlock assembles the sub-object; nil on memory-only nodes.
+func (s *Server) replicationBlock() *replicationStats {
+	if s.tracker == nil {
+		return nil
+	}
+	standbys, maxLag := s.tracker.Snapshot()
+	rs := &replicationStats{
+		Role:           s.role(),
+		Epoch:          s.epoch.Load(),
+		NextIndex:      s.walIndex.Load(),
+		Promotions:     s.promotions.Load(),
+		Standbys:       standbys,
+		MaxLagRecords:  maxLag,
+		AckWaits:       s.replAckWaits.Load(),
+		AckTimeouts:    s.replAckTimeouts.Load(),
+		Applies:        s.replApplies.Load(),
+		AppliedRecords: s.replAppliedRecords.Load(),
+	}
+	if sl := s.syncLoop.Load(); sl != nil && s.standby.Load() {
+		st := sl.Status()
+		rs.Sync = &st
+	}
+	return rs
 }
 
 // durabilityStats is the /v1/stats durability sub-object, present only
@@ -239,7 +285,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if faults := s.faults.Counts(); len(faults) > 0 {
 		resp.FaultsByKind = faults
 	}
-	resp.SnapshotsWarm, resp.SnapshotsCold = s.inc.Snapshots()
+	resp.SnapshotsWarm, resp.SnapshotsCold = s.incState().Snapshots()
 	s.snapMu.Lock()
 	resp.SnapshotRecords = s.snapAt
 	resp.SnapshotMsCold = s.snapColdMs
@@ -249,5 +295,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.PolicyStages = s.cfg.PolicyMetrics.Snapshot()
 	}
 	resp.Durability = s.durability()
+	resp.Replication = s.replicationBlock()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -174,6 +174,9 @@ func (f *FS) listSegments() ([]segInfo, error) {
 		}
 		fi, err := e.Info()
 		if err != nil {
+			if os.IsNotExist(err) {
+				continue // pruned between ReadDir and stat
+			}
 			return nil, err
 		}
 		segs = append(segs, segInfo{path: filepath.Join(f.walDir, name), first: first, size: fi.Size()})
@@ -209,6 +212,9 @@ func (f *FS) listCheckpoints() ([]cpInfo, error) {
 		}
 		fi, err := e.Info()
 		if err != nil {
+			if os.IsNotExist(err) {
+				continue // pruned between ReadDir and stat
+			}
 			return nil, err
 		}
 		cps = append(cps, cpInfo{path: filepath.Join(f.ckptDir, name), records: records, mtime: fi.ModTime()})
@@ -260,7 +266,7 @@ func (f *FS) Tail(from uint64, apply func(index uint64, rec *dataset.Record) err
 	idx := from
 	if len(segs) > 0 {
 		if from < segs[0].first {
-			return info, fmt.Errorf("store: replay needs records from %d but oldest segment starts at %d (over-pruned wal)", from, segs[0].first)
+			return info, fmt.Errorf("replay needs records from %d but oldest segment starts at %d (over-pruned wal): %w", from, segs[0].first, ErrTailTruncated)
 		}
 		dec := &dataset.Decoder{}
 		scanned := false
@@ -527,6 +533,236 @@ func parseMarker(b []byte) (id string, count int, err error) {
 		return "", 0, errors.New("corrupt batch marker")
 	}
 	return id, int(c), nil
+}
+
+// ReadTail scans committed units [from, end) without mutating the log
+// or the engine: the replication read path. Unlike Tail it tolerates
+// everything a concurrent writer can leave behind — a frame mid-flush,
+// a batch group awaiting its commit, a segment created after the
+// directory listing — by stopping silently at the first anomaly and
+// reporting how far it got. A vanished starting segment (checkpoint
+// pruning won the race) is ErrTailTruncated: the caller refetches a
+// full checkpoint instead.
+func (f *FS) ReadTail(from uint64, apply func(start uint64, b RawBatch) error) (uint64, error) {
+	segs, err := f.listSegments()
+	if err != nil {
+		return from, fmt.Errorf("store: %w", err)
+	}
+	if len(segs) == 0 {
+		f.mu.Lock()
+		next, recovered := f.nextIndex, f.recovered
+		f.mu.Unlock()
+		if recovered && from < next {
+			return from, fmt.Errorf("tail from %d but the log is empty below %d: %w", from, next, ErrTailTruncated)
+		}
+		return from, nil
+	}
+	if from < segs[0].first {
+		return from, fmt.Errorf("tail from %d predates oldest retained segment (first %d): %w", from, segs[0].first, ErrTailTruncated)
+	}
+	start := 0
+	for k := range segs {
+		if segs[k].first <= from {
+			start = k
+		}
+	}
+	idx := segs[start].first
+	delivered := false
+	for k := start; k < len(segs); k++ {
+		if segs[k].first != idx {
+			// A gap can only mean the listing raced rotation/pruning in a
+			// way recovery would reject; stop at the last clean boundary.
+			break
+		}
+		next, stop, err := f.readSegmentUnits(segs[k], from, idx, &delivered, apply)
+		idx = next
+		if err != nil {
+			if !delivered && errors.Is(err, os.ErrNotExist) && k == start {
+				return from, fmt.Errorf("tail segment pruned underfoot at %d: %w", from, ErrTailTruncated)
+			}
+			if errors.Is(err, ErrStopTail) {
+				return idx, nil
+			}
+			if errors.Is(err, os.ErrNotExist) {
+				break
+			}
+			return idx, err
+		}
+		if stop {
+			break
+		}
+	}
+	return idx, nil
+}
+
+// readSegmentUnits walks one segment emitting whole committed units at
+// or past the replay point. It returns the index after the last clean
+// unit boundary, and stop=true when the scan hit an anomaly (torn
+// frame, open group at EOF) that ends the whole tail read.
+func (f *FS) readSegmentUnits(s segInfo, from, idx uint64, delivered *bool, apply func(uint64, RawBatch) error) (uint64, bool, error) {
+	file, err := os.Open(s.path)
+	if err != nil {
+		return idx, true, err
+	}
+	defer file.Close()
+
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(file, hdr[:]); err != nil {
+		return idx, true, nil // header still flushing, or truncated-empty
+	}
+	if string(hdr[:4]) != walMagic || hdr[4] != walVersion || binary.LittleEndian.Uint64(hdr[5:]) != s.first {
+		return idx, true, nil
+	}
+
+	br := bufio.NewReaderSize(file, 1<<20)
+	emit := func(start uint64, u RawBatch) error {
+		n := uint64(len(u.Payloads))
+		if start+n <= from {
+			return nil // wholly below the replay point
+		}
+		if err := apply(start, u); err != nil {
+			return err
+		}
+		*delivered = true
+		return nil
+	}
+	var (
+		gOpen  bool
+		gID    string
+		gCount int
+		gStart uint64
+		gRecs  [][]byte
+	)
+	for {
+		kind, err := br.ReadByte()
+		if err != nil {
+			if gOpen {
+				return gStart, true, nil // commit frame not flushed yet
+			}
+			return idx, err != io.EOF, nil
+		}
+		plen, err := binary.ReadUvarint(br)
+		if err != nil || plen > maxFrameBytes {
+			if gOpen {
+				idx = gStart
+			}
+			return idx, true, nil
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(br, crcb[:]); err != nil {
+			if gOpen {
+				idx = gStart
+			}
+			return idx, true, nil
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if gOpen {
+				idx = gStart
+			}
+			return idx, true, nil
+		}
+		if frameCRC(kind, payload) != binary.LittleEndian.Uint32(crcb[:]) {
+			if gOpen {
+				idx = gStart
+			}
+			return idx, true, nil
+		}
+		switch kind {
+		case frameRecord:
+			if gOpen {
+				gRecs = append(gRecs, payload)
+			} else {
+				if err := emit(idx, RawBatch{Payloads: [][]byte{payload}}); err != nil {
+					return idx + 1, true, err
+				}
+				idx++
+			}
+		case frameBegin:
+			if gOpen {
+				return gStart, true, nil
+			}
+			id, count, err := parseMarker(payload)
+			if err != nil {
+				return idx, true, nil
+			}
+			gOpen, gID, gCount, gStart, gRecs = true, id, count, idx, gRecs[:0]
+		case frameCommit:
+			if !gOpen {
+				return idx, true, nil
+			}
+			id, count, err := parseMarker(payload)
+			if err != nil || id != gID || count != gCount || len(gRecs) != gCount {
+				return gStart, true, nil
+			}
+			end := gStart + uint64(len(gRecs))
+			if err := emit(gStart, RawBatch{ID: gID, Payloads: gRecs}); err != nil {
+				return end, true, err
+			}
+			idx = end
+			gOpen = false
+			gRecs = nil // emitted slices escape to the callback's lifetime
+		default:
+			if gOpen {
+				idx = gStart
+			}
+			return idx, true, nil
+		}
+	}
+}
+
+// Reset discards the whole log and every checkpoint and restarts the
+// record index at next — a standby resynchronizing onto a checkpoint
+// fetched from its primary. The engine is appendable afterwards
+// without another Tail.
+func (f *FS) Reset(next uint64) error {
+	if f.opts.ReadOnly {
+		return errors.New("store: read-only")
+	}
+	f.cpMu.Lock()
+	defer f.cpMu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("store: closed")
+	}
+	if err := f.sealLocked(); err != nil {
+		return err
+	}
+	segs, err := f.listSegments()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, s := range segs {
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("store: reset: %w", err)
+		}
+	}
+	cps, err := f.listCheckpoints()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, c := range cps {
+		if err := os.Remove(c.path); err != nil {
+			return fmt.Errorf("store: reset: %w", err)
+		}
+	}
+	if f.opts.Mode != FsyncOff {
+		if err := syncDir(f.walDir); err != nil {
+			return err
+		}
+		if err := syncDir(f.ckptDir); err != nil {
+			return err
+		}
+	}
+	f.recovered = true
+	f.nextIndex = next
+	f.segments = 0
+	f.walBytes = 0
+	f.segBytes = 0
+	f.lastCPRecords = 0
+	f.lastCPUnix = 0
+	return nil
 }
 
 func (f *FS) writable() error {
@@ -811,6 +1047,15 @@ func (f *FS) Close() error {
 	f.closed = true
 	return f.sealLocked()
 }
+
+// EncodeCheckpoint renders cp in the self-validating single-file form
+// (magic, version, record count, named sections, whole-file CRC) — the
+// same bytes Checkpoint writes to disk, so a standby can fetch one over
+// HTTP and persist or decode it with no second format.
+func EncodeCheckpoint(cp *Checkpoint) []byte { return encodeCheckpoint(cp) }
+
+// DecodeCheckpoint parses and validates EncodeCheckpoint's output.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) { return decodeCheckpoint(b) }
 
 func encodeCheckpoint(cp *Checkpoint) []byte {
 	names := make([]string, 0, len(cp.Sections))

@@ -18,10 +18,33 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dataset"
 )
+
+// ErrTailTruncated reports that a tail read asked for records older
+// than the oldest retained WAL segment — checkpoint pruning already
+// discarded them. A replication follower that sees it must fall back
+// to a full checkpoint fetch; a recovery that sees it has a data dir
+// whose checkpoint and WAL disagree (operator error, not crash
+// damage). Match with errors.Is.
+var ErrTailTruncated = errors.New("store: tail truncated (records pruned below requested index)")
+
+// ErrStopTail, returned by a ReadTail callback, ends the scan early
+// without error — the unit that returned it still counts as delivered.
+var ErrStopTail = errors.New("store: stop tail")
+
+// RawBatch is one atomic WAL unit in wire form: a committed client
+// batch (ID, one payload per record) or a single bare record (ID "",
+// one payload). Payloads are the NDJSON bytes exactly as appended, so
+// replication ships them without a decode/re-encode round trip. The
+// payload slices are only valid during the ReadTail callback.
+type RawBatch struct {
+	ID       string
+	Payloads [][]byte
+}
 
 // Batch is one atomic append: either a client batch with its
 // idempotency key, or a single bare record (ID ""). Replay never
@@ -88,6 +111,22 @@ type Engine interface {
 	// Checkpoint atomically persists cp and prunes WAL segments wholly
 	// covered by the retained checkpoints.
 	Checkpoint(cp *Checkpoint) error
+	// ReadTail scans committed units [from, end-of-log) in append order
+	// without mutating anything: no torn-tail truncation, no recovery
+	// state. It is the replication read path — safe to call repeatedly
+	// and concurrently with Append. The scan stops silently at the first
+	// incomplete or damaged frame (the writer may still be flushing it)
+	// and returns the index one past the last unit delivered. A unit may
+	// straddle `from` when `from` is a mid-batch checkpoint boundary; the
+	// callback receives the whole unit with its true start index and
+	// skips the prefix itself. Returns ErrTailTruncated when `from`
+	// predates the oldest retained segment. The callback may return
+	// ErrStopTail to end the scan early without error.
+	ReadTail(from uint64, apply func(start uint64, b RawBatch) error) (uint64, error)
+	// Reset discards the entire log and all checkpoints and restarts the
+	// record index at next — a replication follower resynchronizing onto
+	// a fetched checkpoint. The engine is recovered (appendable) after.
+	Reset(next uint64) error
 	// Stats reports durability counters for /v1/stats and /metrics.
 	Stats() Stats
 	Close() error

@@ -1,0 +1,416 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// collectTail drains ReadTail into a unit list.
+type tailUnit struct {
+	id       string
+	start    uint64
+	payloads []string
+}
+
+func collectTail(t *testing.T, eng Engine, from uint64) ([]tailUnit, uint64) {
+	t.Helper()
+	var units []tailUnit
+	next, err := eng.ReadTail(from, func(start uint64, b RawBatch) error {
+		u := tailUnit{id: b.ID, start: start}
+		for _, p := range b.Payloads {
+			u.payloads = append(u.payloads, string(p))
+		}
+		units = append(units, u)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return units, next
+}
+
+// engines runs a subtest against both Engine implementations — the
+// point of the interface is that they are interchangeable.
+func engines(t *testing.T, run func(t *testing.T, eng Engine)) {
+	t.Run("fs", func(t *testing.T) {
+		f := openT(t, FSOptions{Dir: t.TempDir()})
+		defer f.Close()
+		run(t, f)
+	})
+	t.Run("mem", func(t *testing.T) {
+		m := NewMem()
+		defer m.Close()
+		run(t, m)
+	})
+}
+
+func TestReadTailUnits(t *testing.T) {
+	engines(t, func(t *testing.T, eng Engine) {
+		if _, err := eng.Tail(0, func(uint64, *dataset.Record) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Append(Batch{Records: mkRecs(0, 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Append(Batch{ID: "b1", Records: mkRecs(1, 4)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Append(Batch{ID: "b2", Records: mkRecs(4, 6)}); err != nil {
+			t.Fatal(err)
+		}
+
+		units, next := collectTail(t, eng, 0)
+		if next != 6 {
+			t.Fatalf("next = %d, want 6", next)
+		}
+		if len(units) != 3 {
+			t.Fatalf("units = %d, want 3", len(units))
+		}
+		if units[0].id != "" || units[0].start != 0 || len(units[0].payloads) != 1 {
+			t.Fatalf("bare unit = %+v", units[0])
+		}
+		if units[1].id != "b1" || units[1].start != 1 || len(units[1].payloads) != 3 {
+			t.Fatalf("b1 unit = %+v", units[1])
+		}
+		if units[2].id != "b2" || units[2].start != 4 {
+			t.Fatalf("b2 unit = %+v", units[2])
+		}
+		// Payloads are the appended wire bytes; they must decode back to
+		// the same record the batch carried.
+		var rec dataset.Record
+		if err := (&dataset.Decoder{}).Decode([]byte(units[1].payloads[0]), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.From != mkRec(1).From {
+			t.Fatalf("payload decodes to %q", rec.From)
+		}
+
+		// From a later offset only the units past it appear; a unit
+		// straddling `from` is delivered whole with its true start.
+		units, next = collectTail(t, eng, 2)
+		if next != 6 || len(units) != 2 {
+			t.Fatalf("from 2: %d units, next %d", len(units), next)
+		}
+		if units[0].id != "b1" || units[0].start != 1 || len(units[0].payloads) != 3 {
+			t.Fatalf("straddling unit = %+v", units[0])
+		}
+
+		// From the end: empty scan, no error.
+		units, next = collectTail(t, eng, 6)
+		if len(units) != 0 || next != 6 {
+			t.Fatalf("from end: %d units, next %d", len(units), next)
+		}
+
+		// ErrStopTail ends early; the stopping unit counts as delivered.
+		var got int
+		next, err := eng.ReadTail(0, func(start uint64, b RawBatch) error {
+			got++
+			if b.ID == "b1" {
+				return ErrStopTail
+			}
+			return nil
+		})
+		if err != nil || got != 2 || next != 4 {
+			t.Fatalf("stop: err=%v got=%d next=%d", err, got, next)
+		}
+	})
+}
+
+func TestReadTailTruncatedTyped(t *testing.T) {
+	engines(t, func(t *testing.T, eng Engine) {
+		if _, err := eng.Tail(0, func(uint64, *dataset.Record) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := eng.Append(Batch{ID: fmt.Sprintf("b%d", i), Records: mkRecs(i*4, i*4+4)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f, ok := eng.(*FS); ok {
+			// Force the WAL below the checkpoint into separate prunable
+			// segments.
+			if err := f.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Append(Batch{Records: mkRecs(200, 201)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Checkpoint(&Checkpoint{Records: 200, Sections: map[string][]byte{}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Checkpoint(&Checkpoint{Records: 200, Sections: map[string][]byte{"v": []byte("2")}}); err != nil {
+			t.Fatal(err)
+		}
+
+		_, err := eng.ReadTail(0, func(uint64, RawBatch) error { return nil })
+		if !errors.Is(err, ErrTailTruncated) {
+			t.Fatalf("ReadTail below the pruned floor: %v", err)
+		}
+		// The recovery path reports the same typed error (satellite: a
+		// stale offset must not silently replay from the wrong point).
+		_, err = eng.Tail(0, func(uint64, *dataset.Record) error { return nil })
+		if !errors.Is(err, ErrTailTruncated) {
+			t.Fatalf("Tail below the pruned floor: %v", err)
+		}
+		// From the checkpoint the tail is clean.
+		if _, err := eng.ReadTail(200, func(uint64, RawBatch) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestReadTailStopsAtTornFrame(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir})
+	recoverT(t, f, 0)
+	for i := 0; i < 10; i++ {
+		if err := f.Append(Batch{ID: fmt.Sprintf("b%d", i), Records: mkRecs(i, i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	seg := lastSegment(t, dir)
+	fi, _ := os.Stat(seg)
+	tearFile(t, seg, int(fi.Size())-3)
+
+	// The read-only scan must stop at the last complete unit — no
+	// truncation, no error: the writer could still be mid-flush.
+	g := openT(t, FSOptions{Dir: dir, ReadOnly: true, Logf: func(string, ...any) {}})
+	units, next := collectTail(t, g, 0)
+	if len(units) != 9 || next != 9 {
+		t.Fatalf("torn tail scan: %d units, next %d; want 9", len(units), next)
+	}
+	after, _ := os.Stat(seg)
+	if after.Size() != fi.Size()-3 {
+		t.Fatal("ReadTail modified the segment")
+	}
+	g.Close()
+}
+
+func TestEngineReset(t *testing.T) {
+	engines(t, func(t *testing.T, eng Engine) {
+		if _, err := eng.Tail(0, func(uint64, *dataset.Record) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Append(Batch{ID: "stale", Records: mkRecs(0, 30)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Checkpoint(&Checkpoint{Records: 30, Sections: map[string][]byte{"v": []byte("stale")}}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Resync onto a checkpoint from elsewhere: everything local goes.
+		if err := eng.Reset(100); err != nil {
+			t.Fatal(err)
+		}
+		if cp, err := eng.Recover(); err != nil || cp != nil {
+			t.Fatalf("Recover after Reset = %+v, %v", cp, err)
+		}
+		cp := &Checkpoint{Records: 100, Sections: map[string][]byte{"v": []byte("fetched")}}
+		if err := eng.Checkpoint(cp); err != nil {
+			t.Fatal(err)
+		}
+		// Appendable immediately, indices continuing from the reset point.
+		if err := eng.Append(Batch{ID: "fresh", Records: mkRecs(100, 104)}); err != nil {
+			t.Fatal(err)
+		}
+		units, next := collectTail(t, eng, 100)
+		if next != 104 || len(units) != 1 || units[0].start != 100 || units[0].id != "fresh" {
+			t.Fatalf("after reset: units=%+v next=%d", units, next)
+		}
+		if st := eng.Stats(); st.NextIndex != 104 {
+			t.Fatalf("stats after reset: %+v", st)
+		}
+	})
+}
+
+func TestMemEngineContract(t *testing.T) {
+	m := NewMem()
+	if err := m.Append(Batch{Records: mkRecs(0, 1)}); err == nil {
+		t.Fatal("Append before Tail accepted")
+	}
+	info, err := m.Tail(0, func(uint64, *dataset.Record) error { return nil })
+	if err != nil || info.NextIndex != 0 {
+		t.Fatalf("fresh Tail: %+v, %v", info, err)
+	}
+	if err := m.Append(Batch{ID: "a", Records: mkRecs(0, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(Batch{Records: mkRecs(5, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	// Replay everything, indices and batch registry intact.
+	var got []string
+	info, err = m.Tail(0, func(idx uint64, rec *dataset.Record) error {
+		got = append(got, rec.From)
+		return nil
+	})
+	if err != nil || len(got) != 6 || info.NextIndex != 6 || info.Replayed != 6 {
+		t.Fatalf("replay: %d records, info %+v, %v", len(got), info, err)
+	}
+	if got[0] != mkRec(0).From || got[5] != mkRec(5).From {
+		t.Fatalf("replay order: %v", got)
+	}
+	if info.Batches["a"] != 5 || len(info.Batches) != 1 {
+		t.Fatalf("batches = %v", info.Batches)
+	}
+	// Checkpoint round-trips through the on-disk codec and prunes.
+	if err := m.Checkpoint(&Checkpoint{Records: 5, Sections: map[string][]byte{"s": []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(&Checkpoint{Records: 6, Sections: map[string][]byte{"s": []byte("y")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(&Checkpoint{Records: 6, Sections: map[string][]byte{"s": []byte("z")}}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := m.Recover()
+	if err != nil || cp == nil || cp.Records != 6 || string(cp.Sections["s"]) != "z" {
+		t.Fatalf("Recover = %+v, %v", cp, err)
+	}
+	if st := m.Stats(); st.Checkpoints != 3 || st.LastCheckpointRecords != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Units below the oldest retained checkpoint are gone.
+	if _, err := m.Tail(0, func(uint64, *dataset.Record) error { return nil }); !errors.Is(err, ErrTailTruncated) {
+		t.Fatalf("pruned replay: %v", err)
+	}
+	if _, err := m.Tail(6, func(uint64, *dataset.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFSCheckpointRotateTailRace drives Append/Rotate/Checkpoint/
+// ReadTail/Tail(read-only)/Stats concurrently with tiny segments so
+// checkpoint pruning constantly races rotation and the tail scans —
+// the -race proof for the replication read path. Every ReadTail must
+// see a clean prefix of committed units (ascending, gapless from its
+// start) or a typed truncation; never an error, never reordered data.
+func TestFSCheckpointRotateTailRace(t *testing.T) {
+	dir := t.TempDir()
+	f := openT(t, FSOptions{Dir: dir, SegmentBytes: 2 << 10, Mode: FsyncOff, KeepCheckpoints: 1, Logf: func(string, ...any) {}})
+	recoverT(t, f, 0)
+
+	const total = 400
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		confirmed uint64 // record count acked by Append, monotone
+	)
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // writer: appends with periodic rotations
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < total; i += 4 {
+			if err := f.Append(Batch{ID: fmt.Sprintf("b%d", i), Records: mkRecs(i, i+4)}); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			mu.Lock()
+			confirmed = uint64(i + 4)
+			mu.Unlock()
+			if i%40 == 0 {
+				if err := f.Rotate(); err != nil {
+					t.Errorf("rotate: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // checkpointer: prunes aggressively behind the writer
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			n := confirmed
+			mu.Unlock()
+			if n > 0 {
+				if err := f.Checkpoint(&Checkpoint{Records: n, Sections: map[string][]byte{}}); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() { // tailers: replication reads from moving offsets
+			defer wg.Done()
+			from := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				expect := from
+				valid := false
+				next, err := f.ReadTail(from, func(start uint64, b RawBatch) error {
+					if !valid {
+						// First unit may straddle `from`; it anchors the scan.
+						if start > expect {
+							t.Errorf("tail from %d starts at %d (gap)", from, start)
+						}
+						expect = start
+						valid = true
+					} else if start != expect {
+						t.Errorf("unit at %d, want %d (reorder/gap)", start, expect)
+					}
+					expect = start + uint64(len(b.Payloads))
+					return nil
+				})
+				if err != nil {
+					if errors.Is(err, ErrTailTruncated) {
+						// Pruning outran this reader: restart from the floor,
+						// exactly the standby's checkpoint-refetch path.
+						mu.Lock()
+						from = confirmed
+						mu.Unlock()
+						continue
+					}
+					t.Errorf("readtail: %v", err)
+					return
+				}
+				if next < from {
+					t.Errorf("tail went backwards: from %d to %d", from, next)
+					return
+				}
+				from = next
+				f.Stats()
+			}
+		}()
+	}
+
+	wg.Wait()
+	// One deterministic final checkpoint (the storm's checkpointer may
+	// have lost every race), then the log must recover cleanly.
+	if err := f.Checkpoint(&Checkpoint{Records: total, Sections: map[string][]byte{}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g := openT(t, FSOptions{Dir: dir, Logf: func(string, ...any) {}})
+	cp, err := g.Recover()
+	if err != nil || cp == nil || cp.Records != total {
+		t.Fatalf("Recover after race: %+v, %v", cp, err)
+	}
+	_, info := recoverT(t, g, cp.Records)
+	if info.NextIndex != total {
+		t.Fatalf("next after race = %d, want %d", info.NextIndex, total)
+	}
+	g.Close()
+}

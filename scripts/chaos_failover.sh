@@ -1,0 +1,198 @@
+#!/bin/sh
+# chaos_failover.sh — the primary-death failover differential
+# (make chaos-failover).
+#
+# Run A replays a corpus into a memory-only bounced and saves the final
+# report as the reference. Run B builds a replica set — a durable
+# semi-sync primary, a durable standby streaming its checkpoint + WAL
+# tail, and a router fronting both — and replays the same corpus
+# through the router. Mid-stream the primary is SIGKILLed; the standby
+# auto-promotes after its failover timeout, the router re-elects it,
+# and the client (idempotent X-Batch-Id batches, retrying through the
+# outage) finishes the stream against the survivor.
+#
+# Pass requires all of: the standby actually promoted (role=primary at
+# a bumped epoch on /v1/repl/status), the router-served final report is
+# byte-identical to run A (zero acked-record loss, zero double-count),
+# and the survivor classified every corpus record exactly once
+# (consumed == corpus lines). See DESIGN.md §12.
+#
+# Knobs: CHAOS_FO_SEED, CHAOS_FO_EMAILS, CHAOS_FO_PORT (3 consecutive
+# ports from here: primary, standby, router).
+set -eu
+
+SEED="${CHAOS_FO_SEED:-13}"
+EMAILS="${CHAOS_FO_EMAILS:-20000}"
+PORT="${CHAOS_FO_PORT:-18435}"
+P_URL="http://127.0.0.1:$PORT"
+S_URL="http://127.0.0.1:$((PORT + 1))"
+R_URL="http://127.0.0.1:$((PORT + 2))"
+
+say() { echo "chaos-failover: $*" >&2; }
+
+WORK=$(mktemp -d)
+P_PID=""
+S_PID=""
+R_PID=""
+cleanup() {
+	for pid in "$P_PID" "$S_PID" "$R_PID"; do
+		[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+say "building binaries"
+go build -o "$WORK/bin/" ./cmd/bounced ./cmd/bouncegen
+BOUNCED="$WORK/bin/bounced"
+
+"$WORK/bin/bouncegen" -emails "$EMAILS" -seed 5 -out "$WORK/corpus.jsonl"
+CORPUS=$(wc -l <"$WORK/corpus.jsonl")
+
+# wait_ready <url> [max-iters]
+wait_ready() {
+	i=0
+	while ! curl -sf "$1/v1/stats" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt "${2:-200}" ]; then
+			say "FAIL: server did not come up on $1"
+			exit 1
+		fi
+		sleep 0.05
+	done
+}
+
+# stat_field <url> <json-field>
+stat_field() {
+	curl -sf "$1/v1/stats" 2>/dev/null |
+		sed -n "s/.*\"$2\":[[:space:]]*\([0-9][0-9]*\).*/\1/p" | head -1
+}
+
+# feed <url> replays the corpus with idempotent batch IDs and a retry
+# budget sized for a failover window: the router answers 502/503 while
+# the standby promotes, and the client hot-retries through it. The seed
+# fixes the batch-ID namespace, so a batch whose ack died with the
+# primary is re-sent under the same ID and dedups on the survivor
+# (semi-sync already applied it there). The rate cap holds the stream
+# open long enough for the kill to land mid-flight.
+feed() {
+	"$BOUNCED" loadgen -in "$WORK/corpus.jsonl" -url "$1" -batch 128 \
+		-rate 6000 -chaos "seed=$SEED" -seed "$SEED" -retries 100000 \
+		-no-verify -out /dev/null 2>>"$WORK/client.log"
+}
+
+# --- Run A: uninterrupted reference -----------------------------------
+say "run A: memory-only reference"
+"$BOUNCED" -addr "127.0.0.1:$PORT" -no-env -flush-sections '' \
+	>"$WORK/a.log" 2>&1 &
+P_PID=$!
+wait_ready "$P_URL"
+feed "$P_URL"
+curl -sf "$P_URL/v1/report?section=all" >"$WORK/report_a.txt"
+kill -9 "$P_PID" 2>/dev/null
+wait "$P_PID" 2>/dev/null || true
+P_PID=""
+
+# --- Run B: replica set, kill -9 the primary mid-stream ---------------
+say "run B: primary + standby + router"
+"$BOUNCED" -addr "127.0.0.1:$PORT" -no-env -flush-sections '' \
+	-data-dir "$WORK/primary" -checkpoint-interval 500ms -repl-ack 1 \
+	>"$WORK/primary.log" 2>&1 &
+P_PID=$!
+wait_ready "$P_URL"
+"$BOUNCED" -addr "127.0.0.1:$((PORT + 1))" -role standby -primary "$P_URL" \
+	-no-env -flush-sections '' -data-dir "$WORK/standby" \
+	-checkpoint-interval 500ms -failover-timeout 2s -poll-interval 500ms \
+	>"$WORK/standby.log" 2>&1 &
+S_PID=$!
+wait_ready "$S_URL"
+"$BOUNCED" -role router -peers "$P_URL,$S_URL" -addr "127.0.0.1:$((PORT + 2))" \
+	>"$WORK/router.log" 2>&1 &
+R_PID=$!
+i=0
+while ! curl -sf "$R_URL/v1/router/status" 2>/dev/null | grep -q "\"primary\":[[:space:]]*\"$P_URL\""; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		say "FAIL: router never elected the primary"
+		exit 1
+	fi
+	sleep 0.05
+done
+
+feed "$R_URL" &
+LOAD_PID=$!
+
+# The kill lands once the primary has accepted a seeded fraction of the
+# corpus (between 25% and 65%) — deterministically mid-stream, not at a
+# wall-clock guess.
+THRESH=$((EMAILS / 4 + (SEED * 7919) % (EMAILS * 2 / 5)))
+while :; do
+	n=$(stat_field "$P_URL" accepted) || n=""
+	if [ -n "$n" ] && [ "$n" -ge "$THRESH" ]; then
+		break
+	fi
+	if ! kill -0 "$LOAD_PID" 2>/dev/null; then
+		say "WARN: stream finished before the kill threshold ($THRESH); killing anyway"
+		break
+	fi
+	sleep 0.02
+done
+say "kill -9 primary at >=$THRESH accepted records"
+kill -9 "$P_PID" 2>/dev/null
+wait "$P_PID" 2>/dev/null || true
+P_PID=""
+
+# The standby must promote itself (failover-timeout) and answer as the
+# primary of a bumped epoch; the router re-elects it and the client
+# finishes the stream through the same address it started with.
+i=0
+while ! curl -sf "$S_URL/v1/repl/status" 2>/dev/null | grep -q '"role":[[:space:]]*"primary"'; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		say "FAIL: standby never promoted after the primary died"
+		sed 's/^/chaos-failover:   standby: /' "$WORK/standby.log" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+EPOCH=$(stat_field "$S_URL" epoch)
+if [ -z "$EPOCH" ] || [ "$EPOCH" -lt 2 ]; then
+	say "FAIL: promoted standby reports epoch '$EPOCH', want >= 2"
+	exit 1
+fi
+say "standby promoted at epoch $EPOCH"
+
+if ! wait "$LOAD_PID"; then
+	say "FAIL: client did not finish the stream after the failover"
+	sed 's/^/chaos-failover:   client: /' "$WORK/client.log" >&2
+	exit 1
+fi
+
+# Zero loss, zero double-count: the survivor classified every corpus
+# record exactly once. (Acked-but-unreplicated loss is impossible by
+# construction — -repl-ack 1 means no ack leaves before the standby
+# applied the batch — and an un-acked batch was retried under its
+# original ID until the survivor took or deduped it.)
+i=0
+while :; do
+	n=$(stat_field "$S_URL" consumed) || n=""
+	[ -n "$n" ] && [ "$n" -eq "$CORPUS" ] && break
+	i=$((i + 1))
+	if [ "$i" -gt 200 ]; then
+		say "FAIL: survivor consumed $n records, corpus has $CORPUS"
+		exit 1
+	fi
+	sleep 0.05
+done
+
+# The report must come back through the router — proof it re-elected
+# the promoted standby — and match run A byte for byte.
+curl -sf "$R_URL/v1/report?section=all" >"$WORK/report_b.txt"
+if ! cmp -s "$WORK/report_a.txt" "$WORK/report_b.txt"; then
+	cp "$WORK/report_a.txt" /tmp/chaos_failover_reference.txt
+	cp "$WORK/report_b.txt" /tmp/chaos_failover_survivor.txt
+	say "FAIL: reports diverge (dumps in /tmp/chaos_failover_*.txt)"
+	exit 1
+fi
+say "PASS: report byte-identical across primary kill -9 + promotion ($(wc -c <"$WORK/report_a.txt") bytes, $CORPUS records)"
