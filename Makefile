@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge bench-replay chaos chaos-cli chaos-kill chaos-failover cluster-diff
+.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge bench-replay bench-smoke fuzz-decode chaos chaos-cli chaos-kill chaos-failover cluster-diff
 
 # check is the tier-1 gate plus static analysis and formatting.
 check: fmt vet build build-cmds test
@@ -117,6 +117,20 @@ bench-ingest:
 	$(GO) test -run xxx -bench 'Unmarshal|DecoderDecode|ParallelDecode' -benchmem ./internal/dataset/
 	$(GO) run ./cmd/ingestbench -out BENCH_bounced.json
 	@tail -1 BENCH_bounced.json
+
+# bench-smoke is the CI regression gate for the ingest hot path: a
+# small-corpus ingestbench run appended to BENCH_bounced.json, diffed
+# against the previous ingest row, failing if decode allocations exceed
+# one heap allocation per record (the arena decoder's budget).
+bench-smoke:
+	$(GO) test -run xxx -bench 'Unmarshal|DecoderDecode|ParallelDecode' -benchmem ./internal/dataset/
+	$(GO) run ./cmd/ingestbench -emails 20000 -out BENCH_bounced.json
+	./scripts/bench_compare.sh -b ingest --max-allocs 1.0
+
+# fuzz-decode runs the fast-path-decoder-vs-encoding/json fuzzer for a
+# short budget (the committed corpus replays in plain `make test`).
+fuzz-decode:
+	$(GO) test -fuzz FuzzDecoderMatchesEncodingJSON -fuzztime 60s ./internal/dataset/
 
 # bench-replay measures crash recovery: rebuild-from-checkpoint+tail
 # versus a cold replay of the whole WAL, over the same 100k-record log,

@@ -56,6 +56,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"syscall"
@@ -74,6 +75,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bounced: ")
+	// bounced is an in-memory analytics store: the resident dataset IS
+	// the live heap, and Go's default 100% growth target makes the
+	// collector rescan every stored record's pointers once per heap
+	// doubling — >10% of replay CPU by GODEBUG=gctrace. Trading memory
+	// headroom for fewer rescans is the right default for a retention
+	// service; an explicit GOGC env var still wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
 		loadgenMain(os.Args[2:])
 		return
@@ -114,6 +124,17 @@ func serveMain(args []string) {
 		replAckT = fs.Duration("repl-ack-timeout", 5*time.Second, "primary: semi-sync ack wait bound; on expiry the client gets a retryable 503")
 	)
 	fs.Parse(args)
+
+	if *pprofOn {
+		// CPU and heap endpoints work unconditionally; contention
+		// profiling needs explicit sampling turned on. Rates follow the
+		// net/http/pprof documentation: every 1000th contended mutex
+		// event, and block events with ≥100µs of cumulative wait —
+		// cheap enough to leave on for a profiling run, informative
+		// enough to rank the walMu/storeMu critical sections.
+		runtime.SetMutexProfileFraction(1000)
+		runtime.SetBlockProfileRate(100_000)
+	}
 
 	switch *role {
 	case "single":

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestClassifyCtxMatchesClassifyRecord pins the zero-alloc batch
+// classifier to the per-record path verdict for verdict — the
+// byte-identity every differential test downstream depends on.
+func TestClassifyCtxMatchesClassifyRecord(t *testing.T) {
+	records := testCorpus()
+	view := dataset.SliceRecords(records)
+	sp := buildShardedPipeline(view, DefaultPipelineConfig())
+	cx := sp.NewClassifyCtx()
+	for i := range records {
+		got := cx.ClassifyRecord(&records[i])
+		want := sp.ClassifyRecord(&records[i])
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: ctx verdict %+v, per-record verdict %+v", i, got, want)
+		}
+	}
+}
+
+// TestClassifyCtxVerdictsAreStable: verdict slices handed out earlier
+// must not change as the ctx keeps classifying (arena spans are never
+// rewritten).
+func TestClassifyCtxVerdictsAreStable(t *testing.T) {
+	records := testCorpus()
+	view := dataset.SliceRecords(records)
+	sp := buildShardedPipeline(view, DefaultPipelineConfig())
+	cx := sp.NewClassifyCtx()
+	first := cx.ClassifyRecord(&records[0])
+	want := sp.ClassifyRecord(&records[0])
+	for i := range records {
+		cx.ClassifyRecord(&records[i])
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("early verdict mutated by later classifications: %+v want %+v", first, want)
+	}
+}
+
+func BenchmarkClassifyCtx(b *testing.B) {
+	records := testCorpus()
+	view := dataset.SliceRecords(records)
+	sp := buildShardedPipeline(view, DefaultPipelineConfig())
+	cx := sp.NewClassifyCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx.ClassifyRecord(&records[i%len(records)])
+	}
+}
+
+func BenchmarkClassifyRecord(b *testing.B) {
+	records := testCorpus()
+	view := dataset.SliceRecords(records)
+	sp := buildShardedPipeline(view, DefaultPipelineConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.ClassifyRecord(&records[i%len(records)])
+	}
+}

@@ -69,16 +69,33 @@ func NewIncremental(cfg PipelineConfig) *Incremental {
 	return inc
 }
 
-// Add absorbs one record under a short critical section: a deep copy
-// is appended to the slab store (the caller keeps ownership of rec and
-// may mutate it afterwards) and the popularity counts update. Order
-// matters (template mining is deterministic in record order), so feed
-// records in stream order. Drain training happens asynchronously.
+// Add absorbs one record under a short critical section: an isolated
+// copy lands in the slab store via arena-backed AppendCopy (the caller
+// keeps ownership of rec and may mutate it afterwards) and the
+// popularity counts update. Order matters (template mining is
+// deterministic in record order), so feed records in stream order.
+// Drain training happens asynchronously.
 func (inc *Incremental) Add(rec *dataset.Record) {
-	c := rec.Clone()
+	dom := rec.ToDomain()
 	inc.storeMu.Lock()
-	inc.store.Append(c)
-	inc.counts[rec.ToDomain()]++
+	inc.store.AppendCopy(rec)
+	inc.counts[dom]++
+	inc.storeMu.Unlock()
+	inc.trainCond.Signal()
+}
+
+// AddBatch absorbs a slice of records under one critical section and
+// one trainer wakeup — the batch counterpart of Add, with the same
+// copy-on-append isolation. Records are appended in slice order.
+func (inc *Incremental) AddBatch(recs []dataset.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	inc.storeMu.Lock()
+	for i := range recs {
+		inc.store.AppendCopy(&recs[i])
+		inc.counts[recs[i].ToDomain()]++
+	}
 	inc.storeMu.Unlock()
 	inc.trainCond.Signal()
 }
@@ -250,10 +267,13 @@ func (inc *Incremental) Finish(env *Environment) *Analysis {
 	return assemble(view, verdicts, sp, counts, env)
 }
 
-// classifyRange fills out[i] = p.ClassifyRecord(view.At(i)) for
-// i in [start, len(out)), fanning out across GOMAXPROCS workers when
-// the span is large enough to amortize them. Each slot depends only on
-// its own record, so the output is identical for any worker count.
+// classifyRange fills out[i] = classify(view.At(i)) for i in
+// [start, len(out)), fanning out across GOMAXPROCS workers when the
+// span is large enough to amortize them. Each worker classifies its
+// contiguous block through its own ClassifyCtx (reused token buffers
+// and verdict arenas — the zero-alloc batch path). Each slot depends
+// only on its own record, so the output is identical for any worker
+// count, and identical to per-record sp.ClassifyRecord.
 func classifyRange(sp *ShardedPipeline, view dataset.Records, out []ClassifiedRecord, start int) {
 	n := len(out)
 	span := n - start
@@ -262,8 +282,9 @@ func classifyRange(sp *ShardedPipeline, view dataset.Records, out []ClassifiedRe
 		workers = w
 	}
 	if workers <= 1 {
+		cx := sp.NewClassifyCtx()
 		for i := start; i < n; i++ {
-			out[i] = sp.ClassifyRecord(view.At(i))
+			out[i] = cx.ClassifyRecord(view.At(i))
 		}
 		return
 	}
@@ -277,8 +298,9 @@ func classifyRange(sp *ShardedPipeline, view dataset.Records, out []ClassifiedRe
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			cx := sp.NewClassifyCtx()
 			for i := lo; i < hi; i++ {
-				out[i] = sp.ClassifyRecord(view.At(i))
+				out[i] = cx.ClassifyRecord(view.At(i))
 			}
 		}(lo, hi)
 	}

@@ -188,9 +188,12 @@ type Server struct {
 
 	// live classification state: the most recent snapshot pipeline
 	// labels records as they arrive for the /metrics counters and the
-	// classify-latency histogram.
+	// classify-latency histogram. obsPool recycles per-goroutine
+	// ClassifyCtx wrappers (zero-alloc classification); a pooled ctx
+	// bound to a superseded pipeline is dropped on retrieval.
 	liveMu   sync.RWMutex
 	livePipe *analysis.ShardedPipeline
+	obsPool  sync.Pool // of *obsCtx
 
 	hist      *latencyHist
 	degrees   [3]atomic.Uint64            // by dataset.Degree
@@ -400,6 +403,84 @@ func (s *Server) Ingest(rec *dataset.Record) error {
 	return s.enqueue(rec)
 }
 
+// ingestSubBatch caps how many records IngestBatch admits per
+// reservation — small enough that a sub-batch never starves other
+// producers of the whole queue, large enough to amortize the admission
+// and WAL costs.
+const ingestSubBatch = 256
+
+// IngestBatch queues a slice of records under the same blocking
+// admission as Ingest, moving them in sub-batches so one caller cannot
+// reserve the entire queue. Records are enqueued in slice order; the
+// caller keeps ownership of recs afterwards (the queue copies). It
+// reports how many records were enqueued — short only when shutdown
+// (or a WAL failure) interrupts the batch.
+func (s *Server) IngestBatch(recs []dataset.Record) (int, error) {
+	max := ingestSubBatch
+	if s.cfg.QueueDepth < max {
+		max = s.cfg.QueueDepth
+	}
+	done := 0
+	for done < len(recs) {
+		if s.closed.Load() {
+			return done, ErrIngestClosed
+		}
+		if s.standby.Load() {
+			return done, errStandbyIngest
+		}
+		n := len(recs) - done
+		if n > max {
+			n = max
+		}
+		if !s.admitWait(n) {
+			return done, ErrIngestClosed
+		}
+		w, err := s.enqueueBatch(recs[done : done+n])
+		done += w
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// enqueueBatch writes already-admitted records to the queue under one
+// WAL group and one ring-buffer pass, reporting how many landed. On a
+// short write the unused reservations are released; replay order still
+// equals store order because the WAL append and the queue writes share
+// the walMu section, exactly as in the per-record path.
+func (s *Server) enqueueBatch(recs []dataset.Record) (int, error) {
+	if s.eng != nil {
+		s.walMu.Lock()
+		if err := s.eng.Append(store.Batch{Records: recs}); err != nil {
+			s.walMu.Unlock()
+			s.reserved.Add(-int64(len(recs)))
+			return 0, fmt.Errorf("bounced: wal append: %w", err)
+		}
+		s.walIndex.Add(uint64(len(recs)))
+		n, err := s.queue.WriteBatch(recs)
+		s.walMu.Unlock()
+		return s.finishEnqueueBatch(recs, n, err)
+	}
+	n, err := s.queue.WriteBatch(recs)
+	return s.finishEnqueueBatch(recs, n, err)
+}
+
+// finishEnqueueBatch settles accounting after a (possibly short) batch
+// queue write: accepted and live metrics for what landed, reservation
+// release for what did not.
+func (s *Server) finishEnqueueBatch(recs []dataset.Record, n int, err error) (int, error) {
+	if n > 0 {
+		s.accepted.Add(uint64(n))
+		s.observeBatch(recs[:n])
+	}
+	if err != nil {
+		s.reserved.Add(-int64(len(recs) - n))
+		return n, ErrIngestClosed
+	}
+	return n, nil
+}
+
 // consume is the single store writer: it drains the queue into the
 // incremental analysis store. The store append is a short critical
 // section (Drain training rides the Incremental's own trainer
@@ -413,19 +494,37 @@ func (s *Server) consume() {
 		s.consumedMu.Unlock()
 	}()
 	stall := s.faults.ConsumerStall()
+	if stall > 0 {
+		// Injected downstream stall: the consumer wedges per record,
+		// which is what backs the queue up and exercises shedding.
+		for {
+			rec, ok := s.queue.Next()
+			if !ok {
+				return
+			}
+			time.Sleep(stall)
+			s.incState().Add(rec)
+			s.consumed.Add(1)
+			s.reserved.Add(-1)
+			s.consumedMu.Lock()
+			s.consumedCond.Broadcast()
+			s.consumedMu.Unlock()
+		}
+	}
+	// Fast path: drain whatever is buffered in one ring-buffer pass and
+	// fold it into the store under one critical section. Equivalent to
+	// the per-record loop (AddBatch appends in order), with per-record
+	// lock traffic amortized across the batch.
+	batch := make([]dataset.Record, ingestSubBatch)
 	for {
-		rec, ok := s.queue.Next()
+		n, ok := s.queue.NextBatch(batch)
 		if !ok {
 			return
 		}
-		if stall > 0 {
-			// Injected downstream stall: the consumer wedges per record,
-			// which is what backs the queue up and exercises shedding.
-			time.Sleep(stall)
-		}
-		s.incState().Add(rec)
-		s.consumed.Add(1)
-		s.reserved.Add(-1)
+		s.incState().AddBatch(batch[:n])
+		clear(batch[:n]) // the store copied; do not pin record strings
+		s.consumed.Add(uint64(n))
+		s.reserved.Add(-int64(n))
 		s.consumedMu.Lock()
 		s.consumedCond.Broadcast()
 		s.consumedMu.Unlock()
@@ -488,21 +587,66 @@ func (s *Server) retryAfter() time.Duration {
 	return time.Duration(float64(base) * jitter)
 }
 
+// obsCtx pairs a reusable zero-alloc classification context with the
+// pipeline it was built over, so the pool can detect and drop contexts
+// orphaned by a snapshot swap.
+type obsCtx struct {
+	pipe *analysis.ShardedPipeline
+	cx   *analysis.ClassifyCtx
+}
+
+// obsCtxFor returns a pooled classification context for p, building a
+// fresh one when the pool is empty or its context predates p.
+func (s *Server) obsCtxFor(p *analysis.ShardedPipeline) *obsCtx {
+	if v := s.obsPool.Get(); v != nil {
+		if oc := v.(*obsCtx); oc.pipe == p {
+			return oc
+		}
+	}
+	return &obsCtx{pipe: p, cx: p.NewClassifyCtx()}
+}
+
 // observe updates the live metrics for one record: bounce degree
 // always, bounce types and classify latency once a snapshot pipeline
 // exists. Live counters are an operational view labeled by the latest
 // snapshot — reports always re-classify against a fresh snapshot.
 func (s *Server) observe(rec *dataset.Record) {
-	deg := rec.BounceDegree()
-	s.degrees[int(deg)].Add(1)
+	s.degrees[int(rec.BounceDegree())].Add(1)
 	s.liveMu.RLock()
 	p := s.livePipe
 	s.liveMu.RUnlock()
 	if p == nil {
 		return
 	}
+	oc := s.obsCtxFor(p)
+	s.observeClassified(oc, rec)
+	s.obsPool.Put(oc)
+}
+
+// observeBatch is observe over a slice, fetching the classification
+// context once per batch instead of once per record.
+func (s *Server) observeBatch(recs []dataset.Record) {
+	for i := range recs {
+		s.degrees[int(recs[i].BounceDegree())].Add(1)
+	}
+	s.liveMu.RLock()
+	p := s.livePipe
+	s.liveMu.RUnlock()
+	if p == nil {
+		return
+	}
+	oc := s.obsCtxFor(p)
+	for i := range recs {
+		s.observeClassified(oc, &recs[i])
+	}
+	s.obsPool.Put(oc)
+}
+
+// observeClassified classifies one record through oc and folds the
+// verdict into the live counters and the classify-latency histogram.
+func (s *Server) observeClassified(oc *obsCtx, rec *dataset.Record) {
 	start := time.Now()
-	c := p.ClassifyRecord(rec)
+	c := oc.cx.ClassifyRecord(rec)
 	s.hist.observe(time.Since(start).Nanoseconds())
 	if c.Ambiguous {
 		s.ambiguous.Add(1)

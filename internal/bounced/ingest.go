@@ -135,7 +135,12 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer zr.Close()
-		reader = zr
+		// Inflate ahead of the decoder from a dedicated goroutine, so
+		// decompression overlaps the parallel NDJSON decode instead of
+		// serializing with it.
+		ra := dataset.NewReadAhead(zr, 4)
+		defer ra.Close()
+		reader = ra
 	default:
 		s.countRejected(declared, 0)
 		httpError(w, http.StatusUnsupportedMediaType, 0, 0, "unsupported Content-Encoding "+enc)
@@ -161,28 +166,47 @@ func (s *Server) ingestStream(w http.ResponseWriter, reader io.Reader) {
 	pr := dataset.NewParallelReader(reader, s.cfg.DecodeWorkers)
 	defer pr.Close()
 	accepted := 0
-	for {
-		rec, ok := pr.Next()
-		if !ok {
-			break
+	if s.cfg.ShardCount > 0 {
+		// Shard role: the ownership check needs the per-record line
+		// number for its 400, so admit record by record.
+		for {
+			rec, ok := pr.Next()
+			if !ok {
+				break
+			}
+			if !s.owns(rec) {
+				s.badLines.Add(1)
+				s.rejected.Add(1)
+				httpError(w, http.StatusBadRequest, pr.Line(), accepted,
+					s.notOwnedMsg(rec))
+				return
+			}
+			// The reader reuses its record buffers once a chunk is consumed,
+			// but the queue holds the pointer until the store folds it in —
+			// copy the (small) struct out; its strings and slices are fresh
+			// per-record allocations and safe to share.
+			c := *rec
+			if err := s.Ingest(&c); err != nil {
+				httpError(w, http.StatusServiceUnavailable, pr.Line(), accepted, err.Error())
+				return
+			}
+			accepted++
 		}
-		if !s.owns(rec) {
-			s.badLines.Add(1)
-			s.rejected.Add(1)
-			httpError(w, http.StatusBadRequest, pr.Line(), accepted,
-				s.notOwnedMsg(rec))
-			return
+	} else {
+		// Single role owns everything: admit whole decoded chunks. The
+		// queue copies the records before the reader reuses the chunk.
+		for {
+			batch, ok := pr.NextBatch()
+			if !ok {
+				break
+			}
+			n, err := s.IngestBatch(batch)
+			accepted += n
+			if err != nil {
+				httpError(w, http.StatusServiceUnavailable, pr.Line(), accepted, err.Error())
+				return
+			}
 		}
-		// The reader reuses its record buffers once a chunk is consumed,
-		// but the queue holds the pointer until the store folds it in —
-		// copy the (small) struct out; its strings and slices are fresh
-		// per-record allocations and safe to share.
-		c := *rec
-		if err := s.Ingest(&c); err != nil {
-			httpError(w, http.StatusServiceUnavailable, pr.Line(), accepted, err.Error())
-			return
-		}
-		accepted++
 	}
 	if err := pr.Err(); err != nil {
 		s.badLines.Add(1)
@@ -218,21 +242,31 @@ func (s *Server) ingestBatch(w http.ResponseWriter, reader io.Reader, batchID st
 	if declared > 0 {
 		recs = make([]dataset.Record, 0, declared)
 	}
-	for {
-		rec, ok := pr.Next()
-		if !ok {
-			break
+	if s.cfg.ShardCount > 0 {
+		for {
+			rec, ok := pr.Next()
+			if !ok {
+				break
+			}
+			if !s.owns(rec) {
+				// All-or-nothing: a misrouted record rejects the whole batch
+				// before anything is admitted, so the client can re-partition
+				// and resend under the same ID.
+				s.badLines.Add(1)
+				s.countRejected(declared, len(recs)+1)
+				httpError(w, http.StatusBadRequest, pr.Line(), 0, s.notOwnedMsg(rec))
+				return
+			}
+			recs = append(recs, *rec)
 		}
-		if !s.owns(rec) {
-			// All-or-nothing: a misrouted record rejects the whole batch
-			// before anything is admitted, so the client can re-partition
-			// and resend under the same ID.
-			s.badLines.Add(1)
-			s.countRejected(declared, len(recs)+1)
-			httpError(w, http.StatusBadRequest, pr.Line(), 0, s.notOwnedMsg(rec))
-			return
+	} else {
+		for {
+			batch, ok := pr.NextBatch()
+			if !ok {
+				break
+			}
+			recs = append(recs, batch...)
 		}
-		recs = append(recs, *rec)
 	}
 	if err := pr.Err(); err != nil {
 		// Nothing was admitted: the whole batch is rejected and the
@@ -312,22 +346,18 @@ func (s *Server) ingestBatchDurable(w http.ResponseWriter, batchID string, recs 
 	}
 	end := s.walIndex.Add(uint64(len(recs)))
 	s.dedup.register(batchID, len(recs))
-	enqueued := 0
-	var enqErr error
-	for i := range recs {
-		if err := s.queue.Write(&recs[i]); err != nil {
-			// Shutdown raced the batch after its WAL commit: the dropped
-			// tail is not lost — recovery folds it back in from the log.
-			// Release the reservations the queue never took.
-			s.reserved.Add(-int64(len(recs) - i))
-			enqErr = err
-			break
-		}
-		s.accepted.Add(1)
-		s.observe(&recs[i])
-		enqueued++
-	}
+	enqueued, enqErr := s.queue.WriteBatch(recs)
 	s.walMu.Unlock()
+	if enqueued > 0 {
+		s.accepted.Add(uint64(enqueued))
+		s.observeBatch(recs[:enqueued])
+	}
+	if enqErr != nil {
+		// Shutdown raced the batch after its WAL commit: the dropped
+		// tail is not lost — recovery folds it back in from the log.
+		// Release the reservations the queue never took.
+		s.reserved.Add(-int64(len(recs) - enqueued))
+	}
 	if err := s.syncWAL(); err != nil {
 		httpError(w, http.StatusInternalServerError, 0, enqueued, err.Error())
 		return false

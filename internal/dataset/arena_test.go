@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestByteArenaInternIsolation(t *testing.T) {
+	var a byteArena
+	src := []byte("hello arena")
+	s := a.intern(src)
+	src[0] = 'X' // caller clobbers its buffer
+	if s != "hello arena" {
+		t.Fatalf("interned string aliased the source: %q", s)
+	}
+	if a.intern(nil) != "" || a.intern([]byte{}) != "" {
+		t.Fatal("empty intern should return the empty string")
+	}
+	// Spanning a chunk boundary must not corrupt earlier strings.
+	first := a.intern([]byte("pinned"))
+	big := make([]byte, byteArenaChunk)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	huge := a.intern(big)
+	if first != "pinned" {
+		t.Fatalf("chunk rollover corrupted earlier string: %q", first)
+	}
+	if len(huge) != byteArenaChunk || huge[0] != 'a' {
+		t.Fatal("oversized intern mangled")
+	}
+}
+
+func TestSliceArenaSpansAreCapped(t *testing.T) {
+	var a Arena[int64]
+	x := a.Alloc(3)
+	copy(x, []int64{1, 2, 3})
+	y := a.Alloc(2)
+	copy(y, []int64{9, 9})
+	// x has len==cap==3: appending must copy out, not write into y.
+	x = append(x, 42)
+	if y[0] != 9 || y[1] != 9 {
+		t.Fatalf("append through a capped span clobbered its neighbour: %v", y)
+	}
+	if x[3] != 42 {
+		t.Fatal("append lost the new element")
+	}
+}
+
+// TestRecordStoreAppendCopyIsolation pins AppendCopy's contract: the
+// stored record survives the caller clobbering its struct fields and
+// slice backings, and nil-vs-empty slice identity is preserved.
+func TestRecordStoreAppendCopyIsolation(t *testing.T) {
+	var s RecordStore
+	rec := Record{
+		From:            "a@x.com",
+		To:              "b@y.com",
+		StartTime:       time.Date(2024, 1, 2, 3, 4, 5, 0, time.UTC),
+		EndTime:         time.Date(2024, 1, 2, 3, 4, 6, 0, time.UTC),
+		FromIP:          []string{"1.1.1.1"},
+		ToIP:            nil,
+		DeliveryResult:  []string{"250 ok", "451 try again"},
+		DeliveryLatency: []int64{10, 20},
+		EmailFlag:       "normal",
+	}
+	want := rec.Clone()
+	s.AppendCopy(&rec)
+	rec.To = "clobbered@evil.com"
+	rec.FromIP[0] = "6.6.6.6"
+	rec.DeliveryResult[0] = "599 clobbered"
+	rec.DeliveryLatency[0] = -1
+
+	got := s.View().At(0)
+	if got.To != want.To || !reflect.DeepEqual(got.FromIP, want.FromIP) ||
+		!reflect.DeepEqual(got.DeliveryResult, want.DeliveryResult) ||
+		!reflect.DeepEqual(got.DeliveryLatency, want.DeliveryLatency) {
+		t.Fatalf("stored record aliased caller slices: got %+v want %+v", got, want)
+	}
+
+	// nil stays nil, non-nil empty stays non-nil empty.
+	s.AppendCopy(&Record{FromIP: []string{}, DeliveryLatency: []int64{}})
+	e := s.View().At(1)
+	if e.ToIP != nil || e.DeliveryResult != nil {
+		t.Fatal("nil slices must stay nil")
+	}
+	if e.FromIP == nil || len(e.FromIP) != 0 || e.DeliveryLatency == nil || len(e.DeliveryLatency) != 0 {
+		t.Fatal("empty slices must stay non-nil empty")
+	}
+}
+
+// TestRecordStoreAppendCopyNeighbours: consecutive appends draw from
+// the same arena chunks; writing through one record's slices must never
+// have been possible to begin with (spans are full-cap), and the spans
+// must hold distinct data.
+func TestRecordStoreAppendCopyNeighbours(t *testing.T) {
+	var s RecordStore
+	const n = 10 * slabSize / 8 // force several slab and chunk rollovers
+	for i := 0; i < n; i++ {
+		rec := Record{
+			To:              fmt.Sprintf("u%d@d%d.com", i, i%7),
+			DeliveryResult:  []string{fmt.Sprintf("451 defer %d", i), fmt.Sprintf("250 ok %d", i)},
+			DeliveryLatency: []int64{int64(i), int64(2 * i)},
+		}
+		s.AppendCopy(&rec)
+	}
+	v := s.View()
+	for i := 0; i < n; i++ {
+		r := v.At(i)
+		if r.DeliveryResult[0] != fmt.Sprintf("451 defer %d", i) ||
+			r.DeliveryLatency[1] != int64(2*i) {
+			t.Fatalf("record %d holds neighbour data: %+v", i, r)
+		}
+	}
+}

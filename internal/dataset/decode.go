@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"encoding/binary"
+	"math/bits"
 	"time"
 	"unicode/utf16"
 	"unicode/utf8"
@@ -8,20 +10,26 @@ import (
 
 // Decoder decodes Figure-3 JSON lines into Records with a fraction of
 // encoding/json's cost: a hand-rolled parser for the fixed schema packs
-// every string of a record into one backing blob (≈3 allocations per
-// record instead of ~29). Anything the fast path does not recognise —
-// unknown keys, exotic escapes, malformed input — falls back to
-// Record.UnmarshalJSON, so observable behaviour (including error text)
-// is always encoding/json's.
+// every string of a record into one backing blob, scans fields with
+// memchr-style vectorized byte searches, and backs the blob and the
+// record's slices with arena chunks — amortized well under one heap
+// allocation per record (encoding/json: ~29). Anything the fast path
+// does not recognise — unknown keys, exotic escapes, malformed input —
+// falls back to Record.UnmarshalJSON, so observable behaviour
+// (including error text) is always encoding/json's.
 //
 // Decode overwrites every field of dst with freshly backed values; the
-// scratch buffers are internal, so returned records stay valid across
-// calls. A Decoder is not safe for concurrent use; give each goroutine
-// its own.
+// scratch buffers are internal and the arenas append-only, so returned
+// records stay valid across calls. A Decoder is not safe for concurrent
+// use; give each goroutine its own.
 type Decoder struct {
 	buf  []byte // string-byte accumulator; becomes one blob per record
 	strs []span // spans into buf, one per string-array element
 	ints []int64
+
+	blobs   byteArena     // per-record blobs
+	strArrs Arena[string] // from_ip/to_ip/delivery_result backings
+	intArrs Arena[int64]  // delivery_latency backings
 }
 
 type span struct{ off, end int }
@@ -131,11 +139,11 @@ func (d *Decoder) fastDecode(b []byte, dst *Record) bool {
 		return false
 	}
 
-	blob := string(d.buf)
+	blob := d.blobs.intern(d.buf)
 	str := func(sp span) string { return blob[sp.off:sp.end] }
 	var arr []string
 	if len(d.strs) > 0 {
-		arr = make([]string, len(d.strs))
+		arr = d.strArrs.Alloc(len(d.strs))
 		for i, sp := range d.strs {
 			arr[i] = blob[sp.off:sp.end]
 		}
@@ -155,7 +163,7 @@ func (d *Decoder) fastDecode(b []byte, dst *Record) bool {
 	case len(d.ints) == 0:
 		lat = emptyInts
 	default:
-		lat = make([]int64, len(d.ints))
+		lat = d.intArrs.Alloc(len(d.ints))
 		copy(lat, d.ints)
 	}
 	*dst = Record{
@@ -171,35 +179,93 @@ func (d *Decoder) fastDecode(b []byte, dst *Record) bool {
 // strField parses a string value into the blob, decoding escape
 // sequences (json.Marshal HTML-escapes < > & as < etc., so real
 // NDR lines hit this constantly). Returns the blob span.
+//
+// Scanning is vectorized: bytes.IndexByte (assembly memchr) locates the
+// closing quote and any backslash, and the clean run between escapes is
+// control-checked eight bytes at a time and bulk-appended, instead of
+// walking byte by byte.
 func (d *Decoder) strField(p *jparser) (span, bool) {
 	if !p.eat('"') {
 		return span{}, false
 	}
 	off := len(d.buf)
-	start := p.i
-	for p.i < len(p.b) {
-		c := p.b[p.i]
-		switch {
-		case c == '"':
-			d.buf = append(d.buf, p.b[start:p.i]...)
-			p.i++
-			return span{off, len(d.buf)}, true
-		case c == '\\':
-			d.buf = append(d.buf, p.b[start:p.i]...)
-			p.i++
-			var ok bool
-			d.buf, ok = p.escape(d.buf)
-			if !ok {
-				return span{}, false
-			}
-			start = p.i
-		case c < 0x20:
+	for {
+		rest := p.b[p.i:]
+		j, high := scanQuoted(rest)
+		if j == len(rest) {
+			return span{}, false // unterminated string
+		}
+		if rest[j] < 0x20 {
+			return span{}, false // raw control char: stdlib rejects it
+		}
+		seg := rest[:j]
+		if high && !utf8.Valid(seg) {
+			// Invalid UTF-8: stdlib rewrites bad sequences to U+FFFD;
+			// let the fallback reproduce that exactly. (A multi-byte
+			// sequence never contains '"' or '\\', so validity is
+			// decidable per segment.)
 			return span{}, false
-		default:
-			p.i++
+		}
+		d.buf = append(d.buf, seg...)
+		if rest[j] == '"' {
+			p.i += j + 1
+			return span{off, len(d.buf)}, true
+		}
+		p.i += j + 1 // past the backslash; escape() consumes the rest
+		var ok bool
+		d.buf, ok = p.escape(d.buf)
+		if !ok {
+			return span{}, false
 		}
 	}
-	return span{}, false
+}
+
+// scanQuoted scans s for the first structural byte of a quoted JSON
+// string — a closing quote, a backslash, or a raw control byte — and
+// returns its index (len(s) if none), plus whether any scanned byte is
+// non-ASCII. One word-at-a-time pass replaces the two bytes.IndexByte
+// calls plus a separate validation sweep the caller would otherwise
+// make. Per byte b of each 8-byte word, the SWAR "hasless"/"haszero"
+// tricks mark b == '"', b == '\\', and b < 0x20 in parallel: a zero
+// byte in x^c sets its high marker bit in (y - 0x01…) & ^y & 0x80…,
+// and a byte below 0x20 sets it in (x - 0x20·0x01…) & ^x & 0x80….
+// UTF-8 continuation bytes keep their own high bit, so neither trick
+// can false-positive on multi-byte sequences; the quote and backslash
+// code points never occur inside one. nonASCII may overreport bytes
+// that share the final word with the stop byte — callers only use it
+// to decide whether to run a full utf8.Valid pass, so the slack is a
+// spurious (always-passing) check, never a wrong answer.
+func scanQuoted(s []byte) (stop int, nonASCII bool) {
+	const (
+		ones    = 0x0101010101010101
+		highBit = 0x8080808080808080
+		quotes  = 0x22 * ones
+		slashes = 0x5c * ones
+	)
+	i := 0
+	var hi uint64
+	for ; i+8 <= len(s); i += 8 {
+		x := binary.LittleEndian.Uint64(s[i:])
+		hi |= x
+		q := x ^ quotes
+		b := x ^ slashes
+		m := ((q - ones) & ^q & highBit) |
+			((b - ones) & ^b & highBit) |
+			((x - 0x20*ones) & ^x & highBit)
+		if m != 0 {
+			return i + bits.TrailingZeros64(m)/8, hi&highBit != 0
+		}
+	}
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c == '"' || c == '\\' || c < 0x20 {
+			return i, nonASCII || hi&highBit != 0
+		}
+		if c >= 0x80 {
+			nonASCII = true
+		}
+	}
+	return len(s), nonASCII || hi&highBit != 0
 }
 
 // escape decodes one escape sequence (cursor is past the backslash),
@@ -363,24 +429,19 @@ func (p *jparser) eat(c byte) bool {
 
 // rawString scans a quoted string with no escapes, returning the raw
 // bytes between the quotes. Escapes and control characters bail out.
+// Like strField, it leans on one scanQuoted sweep rather than a byte
+// loop.
 func (p *jparser) rawString() ([]byte, bool) {
 	if !p.eat('"') {
 		return nil, false
 	}
-	start := p.i
-	for p.i < len(p.b) {
-		c := p.b[p.i]
-		if c == '"' {
-			s := p.b[start:p.i]
-			p.i++
-			return s, true
-		}
-		if c == '\\' || c < 0x20 {
-			return nil, false
-		}
-		p.i++
+	rest := p.b[p.i:]
+	j, _ := scanQuoted(rest)
+	if j == len(rest) || rest[j] != '"' {
+		return nil, false
 	}
-	return nil, false
+	p.i += j + 1
+	return rest[:j], true
 }
 
 func (p *jparser) null() bool {
@@ -444,10 +505,22 @@ func parseTimeBytes(s []byte) (time.Time, bool) {
 	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6) {
 		return time.Time{}, false
 	}
-	t := time.Date(y, time.Month(mo), dd, hh, mi, ss, 0, time.UTC)
-	if t.Year() != y || t.Month() != time.Month(mo) || t.Day() != dd ||
-		t.Hour() != hh || t.Minute() != mi || t.Second() != ss {
+	// Range-check arithmetically instead of round-tripping through the
+	// time.Time accessors (six absDate computations per timestamp):
+	// these are exactly the bounds time.Parse enforces, including the
+	// Gregorian leap rule for February, so the fallback agrees on every
+	// input. num() already guarantees non-negative values.
+	if mo < 1 || mo > 12 || hh > 23 || mi > 59 || ss > 59 {
 		return time.Time{}, false
 	}
-	return t, true
+	maxDay := int(daysInMonth[mo])
+	if mo == 2 && y%4 == 0 && (y%100 != 0 || y%400 == 0) {
+		maxDay = 29
+	}
+	if dd < 1 || dd > maxDay {
+		return time.Time{}, false
+	}
+	return time.Date(y, time.Month(mo), dd, hh, mi, ss, 0, time.UTC), true
 }
+
+var daysInMonth = [13]int8{0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}

@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecoderMatchesEncodingJSON pins the fast-path decoder to
+// encoding/json over arbitrary inputs: same error presence, same error
+// text, deep-equal records, and byte-identical re-marshaling (which
+// covers the nil-vs-empty array distinction). The seeds walk the
+// interesting boundaries — \uXXXX escapes, surrogate pairs (paired,
+// lone, and pairless), raw UTF-8, empty/null/absent arrays, duplicate
+// keys, and truncated tails of a valid record.
+func FuzzDecoderMatchesEncodingJSON(f *testing.F) {
+	valid := `{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","from_ip":["1.2.3.4"],"to_ip":["5.6.7.8"],"delivery_result":["250 ok","451 4.7.1 try later"],"delivery_latency":[120,3500],"email_flag":"Normal"}`
+	seeds := []string{
+		valid,
+		`{}`,
+		`{"from":"quoted \"name\" <x@y>","to":"b\\u0040y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19"}`,
+		`{"from":"\u0041\u00e5\u4f60","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_result":["pair \ud83d\ude00 ok"]}`,
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_result":["lone \ud83d tail","pairless \ud83dx"]}`,
+		`{"from":"å@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","delivery_result":["452 böx füll"]}`,
+		`{"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19","from_ip":[],"to_ip":null,"delivery_latency":[]}`,
+		`{"from":"first@x.com","from":"second@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19"}`,
+		`{"from":"a@x.com","bogus":7}`,
+		`{"delivery_latency":[-1,0,9223372036854775807]}`,
+		`{"delivery_latency":[9223372036854775808]}`,
+		`{"delivery_latency":[1.5]}`,
+		`{"start_time":"2022-02-30 16:30:35"}`,
+		`  {"from":"a@x.com","to":"b@y.com","start_time":"2022-06-14 16:30:35","end_time":"2022-06-14 16:45:19"}  `,
+		`{"from":"ctrl \u0001 byte","to":"tab\there"}`,
+		`not json at all`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	// Truncated tails of the valid record: every prefix boundary the
+	// scanner can stop at.
+	for i := 0; i < len(valid); i += 7 {
+		f.Add([]byte(valid[:i]))
+	}
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var want Record
+		wantErr := json.Unmarshal(line, &want)
+		var d Decoder
+		var got Record
+		gotErr := d.Decode(bytes.Clone(line), &got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch on %q: stdlib %v, decoder %v", line, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("error text mismatch on %q:\nstdlib:  %v\ndecoder: %v", line, wantErr, gotErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record mismatch on %q:\nstdlib:  %+v\ndecoder: %+v", line, want, got)
+		}
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("re-marshal mismatch on %q:\nstdlib:  %s\ndecoder: %s", line, wb, gb)
+		}
+	})
+}

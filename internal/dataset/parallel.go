@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -34,7 +35,7 @@ func (e *LineError) Unwrap() error { return e.Err }
 // returned as-is; read errors are wrapped in a *LineError.
 func ScanLines(r io.Reader, fn func(line []byte, num int) error) error {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc.Buffer(make([]byte, 1<<20), maxLineBytes)
 	n := 0
 	for sc.Scan() {
 		n++
@@ -52,48 +53,52 @@ func ScanLines(r io.Reader, fn func(line []byte, num int) error) error {
 	return nil
 }
 
-// Chunking bounds for ParallelReader: a chunk closes at either limit,
-// so chunk boundaries depend only on the input bytes — never on worker
-// count or timing — which is what makes the record sequence invariant
-// across worker counts.
+// Block sizing for ParallelReader. The scanner goroutine only moves
+// blocks: it reads parallelBlock bytes, cuts at the last newline, and
+// hands the whole block to a worker — line splitting, numbering inside
+// the block, and decoding all happen on the worker, so the serial
+// section per record is a few instructions of memchr instead of a
+// per-line copy through bufio.Scanner. Block boundaries depend only on
+// the input bytes, never on worker count or timing, which keeps the
+// record sequence invariant across worker counts. maxLineBytes matches
+// the serial ReaderSource's scanner limit, so both paths reject the
+// same inputs.
 const (
-	chunkLines = 256
-	chunkBytes = 1 << 18
+	parallelBlock = 512 << 10
+	maxLineBytes  = 1 << 24
 )
 
-// lineSpan locates one line inside a chunk buffer.
-type lineSpan struct {
-	off, end int
-	num      int // 1-based global line number
-}
-
-// chunk is a batch of raw lines plus the records decoded from them.
+// chunk is one block of raw lines plus the records decoded from them.
 // Chunks are pooled; done is closed by the worker that decoded it.
 type chunk struct {
 	buf   []byte
-	spans []lineSpan
+	first int // 1-based global line number of the block's first line
 	recs  []Record
+	nums  []int // global line number per decoded record
 	err   error // *LineError on the first bad line, nil otherwise
 	done  chan struct{}
 }
 
 var chunkPool = sync.Pool{New: func() any { return new(chunk) }}
 
+var nl = []byte{'\n'}
+
 // ParallelReader is a RecordSource that decodes a JSONL stream on a
 // worker pool while preserving input order: a scanner goroutine slices
-// the stream into line chunks, workers decode chunks concurrently, and
-// Next yields records chunk by chunk in stream order — the same
-// order-merge discipline as delivery.ParallelRun, so the sequence is
-// byte-identical for any worker count.
+// the stream into line-aligned blocks, workers split and decode blocks
+// concurrently, and Next yields records chunk by chunk in stream order
+// — the same order-merge discipline as delivery.ParallelRun, so the
+// sequence is byte-identical for any worker count.
 //
-// Next/Err/Line must be called from one goroutine. Close releases the
-// pipeline (safe if the stream was only partially consumed) and must
-// not race with Next.
+// Next/NextBatch/Err/Line must be called from one goroutine. Close
+// releases the pipeline (safe if the stream was only partially
+// consumed) and must not race with Next.
 type ParallelReader struct {
 	jobs   chan *chunk
 	order  chan *chunk
 	cancel chan struct{}
 	once   sync.Once
+	block  int
 
 	cur     *chunk
 	curIdx  int
@@ -105,13 +110,24 @@ type ParallelReader struct {
 // NewParallelReader starts decoding r with the given worker count
 // (<=0 means GOMAXPROCS).
 func NewParallelReader(r io.Reader, workers int) *ParallelReader {
+	return newParallelReaderSize(r, workers, parallelBlock)
+}
+
+// newParallelReaderSize is NewParallelReader with an explicit block
+// size — the test hook that makes multi-block behaviour reachable with
+// small corpora.
+func newParallelReaderSize(r io.Reader, workers, block int) *ParallelReader {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if block <= 0 {
+		block = parallelBlock
 	}
 	p := &ParallelReader{
 		jobs:   make(chan *chunk, workers),
 		order:  make(chan *chunk, 2*workers+2),
 		cancel: make(chan struct{}),
+		block:  block,
 	}
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -123,50 +139,126 @@ func NewParallelReader(r io.Reader, workers int) *ParallelReader {
 func (p *ParallelReader) worker() {
 	var d Decoder
 	for c := range p.jobs {
-		if cap(c.recs) < len(c.spans) {
-			c.recs = make([]Record, len(c.spans))
-		}
-		c.recs = c.recs[:len(c.spans)]
-		for i, sp := range c.spans {
-			if err := d.Decode(c.buf[sp.off:sp.end], &c.recs[i]); err != nil {
-				c.err = &LineError{Line: sp.num, Err: err}
-				c.recs = c.recs[:i]
-				break
-			}
-		}
+		decodeChunk(&d, c)
 		close(c.done)
 	}
+}
+
+// decodeChunk splits a block into lines (memchr scan, trailing-\r
+// strip, blank lines numbered but skipped — bufio.ScanLines semantics)
+// and decodes each into the chunk's record buffer.
+func decodeChunk(d *Decoder, c *chunk) {
+	c.recs, c.nums = c.recs[:0], c.nums[:0]
+	num := c.first - 1
+	buf := c.buf
+	for off := 0; off < len(buf); {
+		var line []byte
+		if j := bytes.IndexByte(buf[off:], '\n'); j >= 0 {
+			line = buf[off : off+j]
+			off += j + 1
+		} else {
+			line = buf[off:] // partial final line (EOF or read error tail)
+			off = len(buf)
+		}
+		num++
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if len(c.recs) < cap(c.recs) {
+			c.recs = c.recs[:len(c.recs)+1]
+		} else {
+			c.recs = append(c.recs, Record{})
+		}
+		if err := d.Decode(line, &c.recs[len(c.recs)-1]); err != nil {
+			c.recs = c.recs[:len(c.recs)-1]
+			c.err = &LineError{Line: num, Err: err}
+			return
+		}
+		c.nums = append(c.nums, num)
+	}
+}
+
+// countLines returns how many scanner lines buf holds: one per newline,
+// plus a final unterminated line if the buffer does not end in one.
+func countLines(buf []byte) int {
+	n := bytes.Count(buf, nl)
+	if len(buf) > 0 && buf[len(buf)-1] != '\n' {
+		n++
+	}
+	return n
 }
 
 func (p *ParallelReader) scan(r io.Reader) {
 	defer close(p.jobs)
 	defer close(p.order)
-	c := newChunk()
-	err := ScanLines(r, func(line []byte, num int) error {
-		off := len(c.buf)
-		c.buf = append(c.buf, line...)
-		c.spans = append(c.spans, lineSpan{off, len(c.buf), num})
-		if len(c.spans) >= chunkLines || len(c.buf) >= chunkBytes {
-			if !p.emit(c) {
-				return io.EOF // cancelled; sentinel never surfaces
+	line := 0        // global lines handed to workers so far
+	var carry []byte // head of a line cut by the previous block
+	for {
+		c := newChunk()
+		c.buf = append(c.buf, carry...)
+		carry = carry[:0]
+
+		// Fill at least one more block's worth, growing past the target
+		// only while a single line spans blocks.
+		var readErr error
+		for {
+			target := len(c.buf) + p.block
+			if cap(c.buf) < target {
+				grown := make([]byte, len(c.buf), target)
+				copy(grown, c.buf)
+				c.buf = grown
 			}
-			c = newChunk()
+			for len(c.buf) < target && readErr == nil {
+				var n int
+				n, readErr = r.Read(c.buf[len(c.buf):target])
+				c.buf = c.buf[:len(c.buf)+n]
+			}
+			if readErr != nil || bytes.IndexByte(c.buf[target-p.block:], '\n') >= 0 {
+				break
+			}
+			// No newline in the whole buffer: the serial scanner would
+			// give up once its max token size fills without one.
+			if len(c.buf) >= maxLineBytes {
+				p.readErr = &LineError{Line: line, After: true, Err: bufio.ErrTooLong}
+				return
+			}
 		}
-		return nil
-	})
-	le, readFailed := err.(*LineError)
-	if readFailed {
-		p.readErr = le
-	}
-	// Emit the final partial chunk on clean EOF — and on a read error
-	// too: the lines scanned before the stream died are complete, and
-	// the serial ReaderSource yields them, so dropping them here would
-	// silently lose up to a chunk of records and skew the reported line
-	// by the same amount. A torn final line rides along and surfaces as
-	// a decode error at its true global number, exactly like the serial
-	// path; only cancellation (the io.EOF sentinel) skips the emit.
-	if len(c.spans) > 0 && (err == nil || readFailed) {
-		p.emit(c)
+
+		// Cut at the last newline mid-stream; at end of stream the
+		// partial final line rides along (the serial scanner yields it
+		// too — a torn tail then surfaces as a decode error at its true
+		// line, not a silent drop).
+		cut := len(c.buf)
+		if readErr == nil {
+			cut = bytes.LastIndexByte(c.buf, '\n') + 1 // >0: loop above saw one
+			carry = append(carry[:0], c.buf[cut:]...)
+			c.buf = c.buf[:cut]
+		}
+		// The only line that can exceed the serial scanner's limit with
+		// newlines present is the first (carry-completing) one.
+		if cut > 0 {
+			if fn := bytes.IndexByte(c.buf, '\n'); fn >= maxLineBytes || (fn < 0 && len(c.buf) > maxLineBytes) {
+				p.readErr = &LineError{Line: line, After: true, Err: bufio.ErrTooLong}
+				return
+			}
+		}
+
+		if len(c.buf) > 0 {
+			c.first = line + 1
+			line += countLines(c.buf)
+			if !p.emit(c) {
+				return // cancelled
+			}
+		}
+		if readErr != nil {
+			if readErr != io.EOF {
+				p.readErr = &LineError{Line: line, After: true, Err: readErr}
+			}
+			return
+		}
 	}
 }
 
@@ -189,7 +281,7 @@ func (p *ParallelReader) emit(c *chunk) bool {
 
 func newChunk() *chunk {
 	c := chunkPool.Get().(*chunk)
-	c.buf, c.spans, c.err, c.done = c.buf[:0], c.spans[:0], nil, nil
+	c.buf, c.err, c.done, c.first = c.buf[:0], nil, nil, 0
 	return c
 }
 
@@ -202,39 +294,71 @@ func (p *ParallelReader) Next() (*Record, bool) {
 	for {
 		if p.cur != nil && p.curIdx < len(p.cur.recs) {
 			rec := &p.cur.recs[p.curIdx]
-			p.line = p.cur.spans[p.curIdx].num
+			p.line = p.cur.nums[p.curIdx]
 			p.curIdx++
 			return rec, true
 		}
-		if p.cur != nil {
-			if p.cur.err != nil {
-				p.err = p.cur.err
-				p.line = p.cur.err.(*LineError).Line
-				p.release()
-				return nil, false
-			}
-			p.release()
-		}
-		c, ok := <-p.order
-		if !ok {
-			if p.err == nil && p.readErr != nil {
-				p.err = p.readErr
-				// Read failures carry the last line scanned; report it so
-				// Line() does not sit a chunk behind the true position.
-				p.line = p.readErr.Line
-			}
+		if !p.advance() {
 			return nil, false
 		}
-		<-c.done
-		p.cur, p.curIdx = c, 0
 	}
+}
+
+// NextBatch returns every remaining decoded record of the current
+// chunk — at least one when ok. The slice (and the records' backing
+// memory) is valid only until the next Next/NextBatch call; consumers
+// that retain records must copy them out first. Draining by NextBatch
+// yields exactly the Next sequence, chunked.
+func (p *ParallelReader) NextBatch() ([]Record, bool) {
+	if p.err != nil {
+		return nil, false
+	}
+	for {
+		if p.cur != nil && p.curIdx < len(p.cur.recs) {
+			recs := p.cur.recs[p.curIdx:len(p.cur.recs):len(p.cur.recs)]
+			p.line = p.cur.nums[len(p.cur.recs)-1]
+			p.curIdx = len(p.cur.recs)
+			return recs, true
+		}
+		if !p.advance() {
+			return nil, false
+		}
+	}
+}
+
+// advance retires the current chunk (surfacing its decode error, if
+// any) and pulls the next one in stream order. False means the stream
+// is over — p.err has the verdict.
+func (p *ParallelReader) advance() bool {
+	if p.cur != nil {
+		if p.cur.err != nil {
+			p.err = p.cur.err
+			p.line = p.cur.err.(*LineError).Line
+			p.release()
+			return false
+		}
+		p.release()
+	}
+	c, ok := <-p.order
+	if !ok {
+		if p.err == nil && p.readErr != nil {
+			p.err = p.readErr
+			// Read failures carry the last line scanned; report it so
+			// Line() does not sit a chunk behind the true position.
+			p.line = p.readErr.Line
+		}
+		return false
+	}
+	<-c.done
+	p.cur, p.curIdx = c, 0
+	return true
 }
 
 // release returns the current chunk to the pool. Safe only after the
 // chunk's done channel closed (its worker is finished with it).
 func (p *ParallelReader) release() {
 	// Drop oversize buffers instead of pooling them forever.
-	if p.cur != nil && cap(p.cur.buf) <= 4*chunkBytes {
+	if p.cur != nil && cap(p.cur.buf) <= 4*parallelBlock {
 		chunkPool.Put(p.cur)
 	}
 	p.cur = nil

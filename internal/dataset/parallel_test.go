@@ -143,9 +143,17 @@ func TestDecoderNoScratchAliasing(t *testing.T) {
 	}
 }
 
+// Test sizing: records from varied() are ~230 bytes, so testChunkLines
+// of them span several testBlock-sized blocks — every boundary path is
+// exercised with a small corpus.
+const (
+	testChunkLines = 256
+	testBlock      = 8 << 10
+)
+
 func parallelDecodeAll(t *testing.T, data []byte, workers int) ([]Record, error) {
 	t.Helper()
-	p := NewParallelReader(bytes.NewReader(data), workers)
+	p := newParallelReaderSize(bytes.NewReader(data), workers, testBlock)
 	defer p.Close()
 	var out []Record
 	for {
@@ -161,7 +169,7 @@ func parallelDecodeAll(t *testing.T, data []byte, workers int) ([]Record, error)
 // TestParallelReaderWorkerInvariance: 1, 4, and 16 workers must yield a
 // record sequence identical to the serial ReaderSource.
 func TestParallelReaderWorkerInvariance(t *testing.T) {
-	recs := varied(3 * chunkLines) // several chunks
+	recs := varied(3 * testChunkLines) // several chunks
 	data := encodeJSONL(t, recs)
 	want := Collect(NewReaderSource(bytes.NewReader(data)))
 	for _, workers := range []int{1, 4, 16} {
@@ -179,10 +187,10 @@ func TestParallelReaderWorkerInvariance(t *testing.T) {
 // chunk must surface the correct global line number, after yielding
 // every record before it.
 func TestParallelReaderMalformedMidChunk(t *testing.T) {
-	recs := varied(2*chunkLines + 50)
+	recs := varied(2*testChunkLines + 50)
 	data := encodeJSONL(t, recs)
 	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
-	badAt := chunkLines + 100 // 1-based line number inside chunk 2
+	badAt := testChunkLines + 100 // 1-based line number inside chunk 2
 	lines[badAt-1] = []byte(`{"from": broken`)
 	data = append(bytes.Join(lines, []byte("\n")), '\n')
 
@@ -251,7 +259,7 @@ func TestParallelReaderReadError(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p := NewParallelReader(rd, workers)
+		p := newParallelReaderSize(rd, workers, testBlock)
 		got := Collect(p)
 		if len(got) != len(want) {
 			t.Fatalf("workers=%d: %d records, serial got %d", workers, len(got), len(want))
@@ -297,12 +305,12 @@ func (c *cutReader) Read(b []byte) (int, error) {
 // before the cut (including the first partial chunk's worth) and
 // report a decode error at the torn line's true global number.
 func TestParallelReaderTornMidChunk(t *testing.T) {
-	recs := varied(chunkLines + 120)
+	recs := varied(testChunkLines + 120)
 	data := encodeJSONL(t, recs)
 
-	// Find the byte offset 20 bytes into line (chunkLines+50): mid-line,
+	// Find the byte offset 20 bytes into line (testChunkLines+50): mid-line,
 	// mid-second-chunk.
-	tornLine := chunkLines + 50
+	tornLine := testChunkLines + 50
 	off := 0
 	for i := 0; i < tornLine-1; i++ {
 		off += bytes.IndexByte(data[off:], '\n') + 1
@@ -319,7 +327,7 @@ func TestParallelReaderTornMidChunk(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p := NewParallelReader(&cutReader{r: zr, left: cut}, workers)
+		p := newParallelReaderSize(&cutReader{r: zr, left: cut}, workers, testBlock)
 		got := Collect(p)
 		if len(got) != tornLine-1 {
 			t.Fatalf("workers=%d: %d records before torn line, want %d", workers, len(got), tornLine-1)
@@ -343,17 +351,17 @@ func TestParallelReaderTornMidChunk(t *testing.T) {
 // cut must be yielded and the read error reported after the last
 // complete line, not a chunk earlier.
 func TestParallelReaderTruncatedTailAtBoundary(t *testing.T) {
-	recs := varied(chunkLines + 80)
+	recs := varied(testChunkLines + 80)
 	data := encodeJSONL(t, recs)
 
-	lastLine := chunkLines + 40
+	lastLine := testChunkLines + 40
 	off := 0
 	for i := 0; i < lastLine; i++ {
 		off += bytes.IndexByte(data[off:], '\n') + 1
 	}
 
 	for _, workers := range []int{1, 4} {
-		p := NewParallelReader(&cutReader{r: bytes.NewReader(data), left: off}, workers)
+		p := newParallelReaderSize(&cutReader{r: bytes.NewReader(data), left: off}, workers, testBlock)
 		got := Collect(p)
 		if len(got) != lastLine {
 			t.Fatalf("workers=%d: %d records, want %d", workers, len(got), lastLine)
@@ -378,10 +386,10 @@ func TestParallelReaderTruncatedTailAtBoundary(t *testing.T) {
 // TestParallelReaderEarlyClose: closing mid-stream must release the
 // pipeline without deadlocking, and blank lines keep global numbering.
 func TestParallelReaderEarlyClose(t *testing.T) {
-	recs := varied(4 * chunkLines)
+	recs := varied(4 * testChunkLines)
 	data := encodeJSONL(t, recs)
 	data = append([]byte("\n\n"), data...) // leading blanks shift line numbers
-	p := NewParallelReader(bytes.NewReader(data), 4)
+	p := newParallelReaderSize(bytes.NewReader(data), 4, testBlock)
 	rec, ok := p.Next()
 	if !ok || rec == nil {
 		t.Fatal("no first record")

@@ -36,13 +36,18 @@ func cloneStrings(s []string) []string {
 }
 
 // RecordStore holds records in fixed-size slabs. It is not
-// concurrency-safe by itself; callers serialize Append and take View
-// under the same lock. Slots already appended are immutable, so a View
-// taken under the lock may be read lock-free afterwards while further
-// Appends proceed.
+// concurrency-safe by itself; callers serialize Append/AppendCopy and
+// take View under the same lock. Slots already appended are immutable,
+// so a View taken under the lock may be read lock-free afterwards while
+// further Appends proceed.
 type RecordStore struct {
 	slabs [][]Record
 	n     int
+
+	// Arenas backing AppendCopy's isolated slices. Spans handed out are
+	// full-capacity and never rewritten, so views alias them safely.
+	strs Arena[string]
+	ints Arena[int64]
 }
 
 // Append adds rec to the store. The store keeps rec as given — callers
@@ -54,6 +59,41 @@ func (s *RecordStore) Append(rec Record) {
 	i := s.n >> slabShift
 	s.slabs[i] = append(s.slabs[i], rec)
 	s.n++
+}
+
+// AppendCopy appends an isolated copy of *rec: the attempt slices are
+// copied into store-owned arena chunks, so the caller may mutate or
+// reuse rec (and its slice backings) afterwards without aliasing into
+// the store. String bytes are shared — Go strings are immutable, so
+// that sharing is invisible. Nil slices stay nil and non-nil empties
+// stay non-nil (MarshalJSON's null-vs-[] distinction), matching
+// Record.Clone, but without its three per-record allocations.
+func (s *RecordStore) AppendCopy(rec *Record) {
+	c := *rec
+	c.FromIP = s.copyStrings(rec.FromIP)
+	c.ToIP = s.copyStrings(rec.ToIP)
+	c.DeliveryResult = s.copyStrings(rec.DeliveryResult)
+	switch {
+	case rec.DeliveryLatency == nil:
+	case len(rec.DeliveryLatency) == 0:
+		c.DeliveryLatency = emptyInts
+	default:
+		c.DeliveryLatency = s.ints.Alloc(len(rec.DeliveryLatency))
+		copy(c.DeliveryLatency, rec.DeliveryLatency)
+	}
+	s.Append(c)
+}
+
+func (s *RecordStore) copyStrings(src []string) []string {
+	if src == nil {
+		return nil
+	}
+	if len(src) == 0 {
+		return emptyStrings
+	}
+	dst := s.strs.Alloc(len(src))
+	copy(dst, src)
+	return dst
 }
 
 // Len returns the number of records appended so far.

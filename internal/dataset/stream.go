@@ -127,6 +127,39 @@ func (p *Pipe) Write(r *Record) error {
 	return nil
 }
 
+// WriteBatch copies recs into the pipe in order, blocking while the
+// buffer is full, and reports how many records were enqueued. It stops
+// early with ErrClosedPipe once the pipe closes from either side;
+// records [n:] are then not enqueued. Equivalent to calling Write per
+// record, but each lock acquisition moves as many records as fit.
+func (p *Pipe) WriteBatch(recs []Record) (n int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for n < len(recs) {
+		for p.n == len(p.buf) && !p.closed && !p.aborted {
+			p.notFull.Wait()
+		}
+		if p.closed || p.aborted {
+			return n, ErrClosedPipe
+		}
+		// Copy into the free region, at most two segments (ring wrap).
+		free := len(p.buf) - p.n
+		want := len(recs) - n
+		if want > free {
+			want = free
+		}
+		w := (p.head + p.n) % len(p.buf)
+		c := copy(p.buf[w:], recs[n:n+want])
+		if c < want {
+			copy(p.buf, recs[n+c:n+want])
+		}
+		p.n += want
+		n += want
+		p.notEmpty.Broadcast()
+	}
+	return n, nil
+}
+
 // Close signals the consumer that no more records follow; buffered
 // records remain readable. Subsequent or concurrently blocked writes
 // fail with ErrClosedPipe. Safe to call more than once.
@@ -181,6 +214,40 @@ func (p *Pipe) Next() (*Record, bool) {
 	p.mu.Unlock()
 	p.notFull.Signal()
 	return &p.cur, true
+}
+
+// NextBatch moves up to len(dst) buffered records into dst and reports
+// how many. It blocks like Next while the pipe is open and empty, and
+// returns 0, false once the pipe is aborted or closed and drained.
+// Consumed slots are zeroed so the pipe does not pin record strings.
+func (p *Pipe) NextBatch(dst []Record) (int, bool) {
+	if len(dst) == 0 {
+		return 0, true
+	}
+	p.mu.Lock()
+	for p.n == 0 && !p.closed && !p.aborted {
+		p.notEmpty.Wait()
+	}
+	if p.aborted || p.n == 0 { // aborted, or closed and fully drained
+		p.mu.Unlock()
+		return 0, false
+	}
+	want := p.n
+	if want > len(dst) {
+		want = len(dst)
+	}
+	// At most two segments (ring wrap), zeroing behind the copy.
+	c := copy(dst, p.buf[p.head:min(p.head+want, len(p.buf))])
+	clear(p.buf[p.head : p.head+c])
+	if c < want {
+		c2 := copy(dst[c:want], p.buf)
+		clear(p.buf[:c2])
+	}
+	p.head = (p.head + want) % len(p.buf)
+	p.n -= want
+	p.mu.Unlock()
+	p.notFull.Broadcast()
+	return want, true
 }
 
 // ReaderSource streams JSONL records from r without materializing the

@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/iotest"
+	"time"
+)
+
+func numberedRecords(n int) []Record {
+	recs := sampleRecords(n)
+	for i := range recs {
+		recs[i].From = "u" + strconv.Itoa(i) + "@s.example"
+	}
+	return recs
+}
+
+// TestPipeBatchRoundTrip: WriteBatch through a buffer smaller than the
+// batch, drained by NextBatch with a mismatched batch size, preserves
+// order and count — the wrap-around copy paths on both sides.
+func TestPipeBatchRoundTrip(t *testing.T) {
+	recs := numberedRecords(257)
+	p := NewPipe(7) // forces many ring wraps on both sides
+	go func() {
+		n, err := p.WriteBatch(recs)
+		if err != nil || n != len(recs) {
+			t.Errorf("WriteBatch = %d, %v; want %d, nil", n, err, len(recs))
+		}
+		p.Close()
+	}()
+	var got []Record
+	buf := make([]Record, 5) // not a divisor of 7 or 257
+	for {
+		n, ok := p.NextBatch(buf)
+		if !ok {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("drained %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].From != recs[i].From {
+			t.Fatalf("record %d: got %q, want %q", i, got[i].From, recs[i].From)
+		}
+	}
+}
+
+// TestPipeBatchInterleavesWithSingle: batch and single-record calls on
+// the same pipe cooperate — Write/WriteBatch producers against a
+// Next/NextBatch consumer still deliver everything in per-producer
+// order.
+func TestPipeBatchInterleavesWithSingle(t *testing.T) {
+	recs := numberedRecords(100)
+	p := NewPipe(4)
+	go func() {
+		for i := 0; i < len(recs); {
+			if i%3 == 0 {
+				end := i + 7
+				if end > len(recs) {
+					end = len(recs)
+				}
+				p.WriteBatch(recs[i:end])
+				i = end
+			} else {
+				p.Write(&recs[i])
+				i++
+			}
+		}
+		p.Close()
+	}()
+	var got []Record
+	buf := make([]Record, 3)
+	for flip := 0; ; flip++ {
+		if flip%2 == 0 {
+			r, ok := p.Next()
+			if !ok {
+				break
+			}
+			got = append(got, *r)
+		} else {
+			n, ok := p.NextBatch(buf)
+			if !ok {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("drained %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].From != recs[i].From {
+			t.Fatalf("record %d: got %q, want %q", i, got[i].From, recs[i].From)
+		}
+	}
+}
+
+// TestPipeWriteBatchUnblocksOnCloseRead: a WriteBatch blocked on a full
+// buffer fails with ErrClosedPipe when the consumer aborts, reporting
+// the short count.
+func TestPipeWriteBatchUnblocksOnCloseRead(t *testing.T) {
+	recs := numberedRecords(50)
+	p := NewPipe(4)
+	done := make(chan struct{})
+	var n int
+	var err error
+	go func() {
+		defer close(done)
+		n, err = p.WriteBatch(recs)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the writer fill and block
+	p.CloseRead()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteBatch still blocked after CloseRead")
+	}
+	if !errors.Is(err, ErrClosedPipe) {
+		t.Fatalf("WriteBatch error = %v, want ErrClosedPipe", err)
+	}
+	if n >= len(recs) {
+		t.Fatalf("WriteBatch reported %d records enqueued after abort", n)
+	}
+}
+
+// TestPipeNextBatchDoesNotPinRecords: consumed ring slots are zeroed,
+// matching Next's do-not-pin guarantee.
+func TestPipeNextBatchDoesNotPinRecords(t *testing.T) {
+	recs := numberedRecords(6)
+	p := NewPipe(8)
+	if _, err := p.WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Record, 4)
+	p.NextBatch(buf)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < 4; i++ {
+		if p.buf[i].From != "" {
+			t.Fatalf("slot %d still holds record %q after NextBatch", i, p.buf[i].From)
+		}
+	}
+}
+
+// TestReadAheadDeliversExactBytes pins ReadAhead to a plain io.ReadAll
+// of the same stream, across block boundaries and a one-byte reader.
+func TestReadAheadDeliversExactBytes(t *testing.T) {
+	src := make([]byte, readAheadBlock*2+12345)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	for _, wrap := range []func(io.Reader) io.Reader{
+		func(r io.Reader) io.Reader { return r },
+		iotest.OneByteReader,
+		iotest.HalfReader,
+	} {
+		ra := NewReadAhead(wrap(bytes.NewReader(src)), 2)
+		got, err := io.ReadAll(ra)
+		ra.Close()
+		if err != nil {
+			t.Fatalf("ReadAll: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("ReadAhead corrupted the stream: %d bytes, want %d", len(got), len(src))
+		}
+	}
+}
+
+// TestReadAheadSurfacesReadError: a mid-stream failure arrives after
+// the bytes that preceded it, like a plain reader.
+func TestReadAheadSurfacesReadError(t *testing.T) {
+	src := []byte("hello world")
+	ra := NewReadAhead(iotest.TimeoutReader(iotest.OneByteReader(bytes.NewReader(src))), 2)
+	defer ra.Close()
+	got, err := io.ReadAll(ra)
+	if err == nil {
+		t.Fatal("expected a read error")
+	}
+	if len(got) == 0 {
+		t.Fatal("bytes before the failure were dropped")
+	}
+}
+
+// TestReadAheadCloseReleasesPump: closing early (consumer abandons the
+// stream) must not leak the pump goroutine even when it is blocked on
+// a full block channel.
+func TestReadAheadCloseReleasesPump(t *testing.T) {
+	src := make([]byte, readAheadBlock*16)
+	ra := NewReadAhead(bytes.NewReader(src), 1)
+	buf := make([]byte, 10)
+	ra.Read(buf) // ensure the pump has started delivering
+	done := make(chan struct{})
+	go func() {
+		ra.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+}
+
+// TestReadAheadConcurrentWithPipe is a smoke test under -race: many
+// pipes and readers at once.
+func TestReadAheadConcurrentWithPipe(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := bytes.Repeat([]byte("abc123\n"), 10000)
+			ra := NewReadAhead(bytes.NewReader(src), 2)
+			defer ra.Close()
+			got, err := io.ReadAll(ra)
+			if err != nil || !bytes.Equal(got, src) {
+				t.Errorf("stream mismatch: err=%v len=%d", err, len(got))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"unicode"
+	"unicode/utf8"
 )
 
 // Wildcard is the placeholder for variable template positions. The
@@ -71,7 +73,8 @@ type Parser struct {
 	groups []*Group
 	nextID int
 	frozen bool
-	fp     uint64 // structural fingerprint, see Fingerprint
+	fp     uint64   // structural fingerprint, see Fingerprint
+	tokBuf []string // tokenization scratch, used under mu only
 }
 
 // New creates a parser; zero-value config fields fall back to defaults.
@@ -148,7 +151,48 @@ func hasDigit(s string) bool {
 	return false
 }
 
-func tokenize(line string) []string { return strings.Fields(line) }
+// asciiSpace marks the bytes unicode.IsSpace reports in ASCII range —
+// the same table strings.Fields keys its fast path on.
+var asciiSpace = [256]uint8{'\t': 1, '\n': 1, '\v': 1, '\f': 1, '\r': 1, ' ': 1}
+
+// appendFields appends the fields of line to dst and returns it —
+// strings.Fields with a caller-owned buffer, so the per-line []string
+// allocation on the match hot path disappears. Field boundaries are
+// identical to strings.Fields (unicode.IsSpace separators, including
+// non-ASCII spaces like U+00A0): the returned tokens are substrings of
+// line in order.
+func appendFields(dst []string, line string) []string {
+	start := -1 // field start, or -1 between fields
+	i := 0
+	for i < len(line) {
+		if c := line[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] == 1 {
+				if start >= 0 {
+					dst = append(dst, line[start:i])
+					start = -1
+				}
+			} else if start < 0 {
+				start = i
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(line[i:])
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = append(dst, line[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+		i += size
+	}
+	if start >= 0 {
+		dst = append(dst, line[start:])
+	}
+	return dst
+}
 
 // routeKey returns the routing key for a token at an internal layer.
 func (p *Parser) routeKey(tok string) string {
@@ -200,7 +244,22 @@ func (p *Parser) leafFor(tokens []string, insert bool) *node {
 	return cur
 }
 
-func lengthKey(n int) string { return "len:" + strconv.Itoa(n) }
+// lengthKeys caches the first-layer routing keys for common token
+// counts; building "len:N" per line was the last allocation on the
+// zero-alloc match path.
+var lengthKeys = func() (ks [128]string) {
+	for n := range ks {
+		ks[n] = "len:" + strconv.Itoa(n)
+	}
+	return
+}()
+
+func lengthKey(n int) string {
+	if n >= 0 && n < len(lengthKeys) {
+		return lengthKeys[n]
+	}
+	return "len:" + strconv.Itoa(n)
+}
 
 // similarity is Drain's simSeq: fraction of positions whose tokens match
 // (wildcard template positions count as matches).
@@ -218,14 +277,16 @@ func similarity(tmpl, tokens []string) float64 {
 }
 
 // Train absorbs one log line and returns the group it joined (or
-// founded).
+// founded). Tokenization reuses the parser's scratch buffer under the
+// lock, so a training call allocates only when it founds a group.
 func (p *Parser) Train(line string) *Group {
-	tokens := tokenize(line)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.frozen {
 		panic("drain: Train on frozen parser")
 	}
+	p.tokBuf = appendFields(p.tokBuf[:0], line)
+	tokens := p.tokBuf
 	leaf := p.leafFor(tokens, true)
 
 	var best *Group
@@ -259,13 +320,22 @@ func (p *Parser) Train(line string) *Group {
 }
 
 // Match routes a line to its group without updating any state. It
-// returns nil when no group is similar enough.
+// returns nil when no group is similar enough. On a frozen parser the
+// call is lock-free but allocates a token slice per line; batch callers
+// should hold a Matcher instead.
 func (p *Parser) Match(line string) *Group {
-	tokens := tokenize(line)
-	if !p.frozen {
-		p.mu.Lock()
-		defer p.mu.Unlock()
+	if p.frozen {
+		return p.matchTokens(appendFields(nil, line))
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tokBuf = appendFields(p.tokBuf[:0], line)
+	return p.matchTokens(p.tokBuf)
+}
+
+// matchTokens is Match over pre-split tokens. Callers either hold p.mu
+// or operate on a frozen parser.
+func (p *Parser) matchTokens(tokens []string) *Group {
 	leaf := p.leafFor(tokens, false)
 	if leaf == nil {
 		return nil
@@ -281,6 +351,29 @@ func (p *Parser) Match(line string) *Group {
 		return nil
 	}
 	return best
+}
+
+// Matcher is a single-goroutine match context over a frozen parser: it
+// owns a reusable token buffer, so repeated Match calls are zero-alloc
+// over the lock-free tree. Create one per classification worker.
+type Matcher struct {
+	p    *Parser
+	toks []string
+}
+
+// Matcher returns a zero-alloc match context. The parser must be
+// frozen: the matcher reads the tree without the mutex.
+func (p *Parser) Matcher() *Matcher {
+	if !p.frozen {
+		panic("drain: Matcher on unfrozen parser")
+	}
+	return &Matcher{p: p}
+}
+
+// Match routes a line to its group, reusing the matcher's token buffer.
+func (m *Matcher) Match(line string) *Group {
+	m.toks = appendFields(m.toks[:0], line)
+	return m.p.matchTokens(m.toks)
 }
 
 // Clone returns a deep copy of the parser: the clone and the original

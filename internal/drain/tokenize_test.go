@@ -1,0 +1,97 @@
+package drain
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAppendFieldsMatchesStringsFields pins the zero-alloc tokenizer to
+// strings.Fields semantics byte for byte — template mining and matching
+// both key on these boundaries.
+func TestAppendFieldsMatchesStringsFields(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"one",
+		"  leading and trailing  ",
+		"550 5.1.1 User unknown: no such user",
+		"tab\tseparated\tand\nnewlines\r\nmixed",
+		"\v\fvertical form feeds\v",
+		"unicode nbsp and line-sep fields", // non-ASCII spaces
+		"nextline math-space",
+		"café résumé", // non-space multibyte runes
+		"emoji \U0001f600 in the middle",
+		"broken\xff\xfeutf8 bytes",
+		strings.Repeat("x ", 300),
+	}
+	for _, in := range cases {
+		want := strings.Fields(in)
+		got := appendFields(nil, in)
+		// strings.Fields returns an empty slice for all-space input;
+		// appendFields leaves dst (nil here) untouched. Only boundary
+		// content matters to callers.
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("appendFields(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAppendFieldsReusesBuffer(t *testing.T) {
+	buf := make([]string, 0, 16)
+	out := appendFields(buf[:0], "a b c")
+	if len(out) != 3 || &out[0] != &buf[:1][0] {
+		t.Fatal("appendFields did not write into the provided buffer")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = appendFields(buf[:0], "550 5.1.1 user unknown at host example.com")
+	})
+	if allocs != 0 {
+		t.Fatalf("appendFields allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestMatcherEquivalence: a Matcher over a frozen parser returns the
+// same group as Parser.Match for every line, with zero allocations.
+func TestMatcherEquivalence(t *testing.T) {
+	p := New(Config{})
+	lines := make([]string, 0, 200)
+	for i := 0; i < 100; i++ {
+		lines = append(lines,
+			fmt.Sprintf("550 5.1.1 user u%d unknown at host%d.example.com", i, i%7),
+			fmt.Sprintf("451 4.7.1 greylisted try again in %d seconds", i*13),
+		)
+	}
+	for _, l := range lines {
+		p.Train(l)
+	}
+	p.Freeze()
+	m := p.Matcher()
+	for _, l := range lines {
+		if got, want := m.Match(l), p.Match(l); got != want {
+			t.Fatalf("Matcher.Match(%q) = %v, Parser.Match = %v", l, got, want)
+		}
+	}
+	if g := m.Match("completely unrelated words without any cluster"); g != nil {
+		t.Fatalf("unrelated line matched group %d", g.ID)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Match(lines[0])
+	})
+	if allocs != 0 {
+		t.Fatalf("Matcher.Match allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestMatcherPanicsUnfrozen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Matcher on unfrozen parser did not panic")
+		}
+	}()
+	New(Config{}).Matcher()
+}

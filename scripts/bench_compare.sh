@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff the last two rows of the bench history file.
+#
+# BENCH_bounced.json accumulates one JSON line per bench run (loadgen
+# "serve" rows plus tagged ingest/merge/replay rows). This script picks
+# the newest row of one bench kind, diffs every shared numeric field
+# against the previous row of the same kind, and optionally enforces
+# the allocation regression gate CI runs on every push.
+#
+# Usage:
+#   scripts/bench_compare.sh                      # compare the newest row's kind
+#   scripts/bench_compare.sh -b ingest            # compare the last two ingest rows
+#   scripts/bench_compare.sh -b ingest --max-allocs 1.0
+#                                                 # also fail if the newest ingest
+#                                                 # row's allocs_per_record > 1.0
+#   scripts/bench_compare.sh -f other.json -b serve
+#
+# No jq dependency: field extraction is a plain awk scan for
+# "key":number pairs (first occurrence wins, which keeps nested
+# per-shard entries from shadowing top-level fields).
+set -euo pipefail
+
+FILE=BENCH_bounced.json
+BENCH=""
+MAX_ALLOCS=""
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-f)
+		FILE=$2
+		shift 2
+		;;
+	-b)
+		BENCH=$2
+		shift 2
+		;;
+	--max-allocs)
+		MAX_ALLOCS=$2
+		shift 2
+		;;
+	-h | --help)
+		sed -n '2,18p' "$0"
+		exit 0
+		;;
+	*)
+		echo "bench_compare.sh: unknown argument $1 (try --help)" >&2
+		exit 2
+		;;
+	esac
+done
+
+if [ ! -f "$FILE" ]; then
+	echo "bench_compare.sh: $FILE not found" >&2
+	exit 2
+fi
+
+awk -v bench="$BENCH" -v maxallocs="$MAX_ALLOCS" '
+function extract(line, keys, vals,   n, s, m, sep, k, v) {
+	n = 0
+	s = line
+	while (match(s, /"[A-Za-z_0-9]+":-?[0-9][0-9.eE+-]*/)) {
+		m = substr(s, RSTART, RLENGTH)
+		sep = index(m, ":")
+		k = substr(m, 2, sep - 3)
+		v = substr(m, sep + 1) + 0
+		if (!(k in vals)) {
+			keys[++n] = k
+			vals[k] = v
+		}
+		s = substr(s, RSTART + RLENGTH)
+	}
+	return n
+}
+{
+	tag = "serve"
+	if (match($0, /"bench":"[a-z]+"/)) tag = substr($0, RSTART + 9, RLENGTH - 10)
+	prev[tag] = last[tag]
+	last[tag] = $0
+	lastTag = tag
+}
+END {
+	if (bench == "") bench = lastTag
+	if (!(bench in last)) {
+		printf "bench_compare.sh: no %s rows in the history\n", bench
+		exit 2
+	}
+	nn = extract(last[bench], nk, nv)
+	printf "bench kind: %s\n", bench
+	if (prev[bench] == "") {
+		printf "only one %s row; nothing to compare against\n", bench
+	} else {
+		extract(prev[bench], okeys, ov)
+		printf "%-34s %16s %16s %10s\n", "field", "previous", "latest", "delta"
+		for (i = 1; i <= nn; i++) {
+			k = nk[i]
+			if (!(k in ov)) continue
+			d = "n/a"
+			if (ov[k] != 0) d = sprintf("%+.1f%%", 100 * (nv[k] - ov[k]) / ov[k])
+			printf "%-34s %16.3f %16.3f %10s\n", k, ov[k], nv[k], d
+		}
+	}
+	if (maxallocs != "") {
+		if (!("allocs_per_record" in nv)) {
+			printf "FAIL: latest %s row has no allocs_per_record field\n", bench
+			exit 1
+		}
+		if (nv["allocs_per_record"] > maxallocs + 0) {
+			printf "FAIL: allocs_per_record %.4f exceeds the %.2f gate\n", \
+				nv["allocs_per_record"], maxallocs + 0
+			exit 1
+		}
+		printf "allocs gate ok: %.4f <= %.2f\n", nv["allocs_per_record"], maxallocs + 0
+	}
+}
+' "$FILE"
