@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge bench-replay bench-smoke fuzz-decode chaos chaos-cli chaos-kill chaos-failover cluster-diff
+.PHONY: check fmt vet build build-cmds test race race-parallel bench bench-parallel serve bench-serve bench-ingest bench-merge bench-replay bench-smoke fuzz-decode chaos chaos-cli chaos-kill chaos-failover chaos-shard-failover cluster-diff
 
 # check is the tier-1 gate plus static analysis and formatting.
 check: fmt vet build build-cmds test
@@ -62,6 +62,17 @@ chaos-kill:
 # record classified exactly once. See DESIGN.md §12.
 chaos-failover:
 	./scripts/chaos_failover.sh
+
+# chaos-shard-failover composes sharding with replication: two shards,
+# each a replica set (semi-sync durable primary + shard-aware standby +
+# router), behind a coordinator fanning in through the routers. Shard
+# 0's primary is SIGKILLed mid-stream; its standby auto-promotes, the
+# router re-elects it, the client retries through the outage, and the
+# coordinator's merged report must be byte-identical to an
+# uninterrupted run with every record classified exactly once. See
+# DESIGN.md §14.
+chaos-shard-failover:
+	./scripts/chaos_shard_failover.sh
 
 # race-parallel focuses the race detector on the parallel delivery,
 # streaming, decode, and incremental-snapshot paths (fast enough for

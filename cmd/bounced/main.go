@@ -35,6 +35,18 @@
 //	bounced -role=standby -primary http://h0:8425 -data-dir /var/b -failover-timeout 5s -addr :8426
 //	bounced -role=router -peers http://h0:8425,http://h1:8426 -addr :8427
 //
+// Replicated shards (DESIGN.md §14) compose the two: each shard is a
+// replica set — a shard-role primary with standbys carrying the same
+// -shard-index/-shard-count, fronted by its own router — and the
+// coordinator fans in through the router URLs, following each shard's
+// elected highest-epoch primary:
+//
+//	bounced -role=shard -shard-index=0 -shard-count=2 -data-dir /var/s0a -repl-ack 1 -addr :8425
+//	bounced -role=standby -shard-index=0 -shard-count=2 -primary http://h0:8425 -data-dir /var/s0b -failover-timeout 5s -addr :8426
+//	bounced -role=router -peers http://h0:8425,http://h0:8426 -addr :8427
+//	... same trio for shard 1 on :8428-:8430 ...
+//	bounced -role=coordinator -shards http://h0:8427,http://h1:8430
+//
 // Endpoints: POST /v1/records (NDJSON, gzip-aware), GET /v1/report
 // ?section=table1,fig8, GET /v1/stats, POST /v1/snapshot, GET
 // /v1/partial (shard snapshot for coordinators), GET /metrics
@@ -109,8 +121,8 @@ func serveMain(args []string) {
 		readTO   = fs.Duration("read-timeout", 0, "per-request body read deadline; slow-loris cutoff (0 disables)")
 		dedupWin = fs.Int("dedup-window", 256, "idempotent X-Batch-Id dedup window, in batches")
 		role     = fs.String("role", "single", "node role: single, shard (owns a slice of the 16 substreams), coordinator (merges shard partials), standby (replicates a primary), or router (fronts a replica set)")
-		shardIdx = fs.Int("shard-index", 0, "shard role: this node's index in [0, shard-count)")
-		shardCnt = fs.Int("shard-count", 0, "shard role: total shard nodes; a record belongs here iff OwnerOf(record, shard-count) == shard-index")
+		shardIdx = fs.Int("shard-index", 0, "shard/standby role: this node's index in [0, shard-count)")
+		shardCnt = fs.Int("shard-count", 0, "shard/standby role: total shards; a record belongs here iff OwnerOf(record, shard-count) == shard-index (standbys carry their shard primary's values so ownership survives promotion)")
 		shardArg = fs.String("shards", "", "coordinator role: comma-separated shard base URLs (their order is the merge order)")
 		dataDir  = fs.String("data-dir", "", "durability directory (WAL + checkpoints); boot recovers from it, empty = memory-only")
 		cpEvery  = fs.Duration("checkpoint-interval", 30*time.Second, "background checkpoint cadence with -data-dir (0 disables; shutdown still checkpoints)")
@@ -164,6 +176,11 @@ func serveMain(args []string) {
 		}
 		if *generate || *replay != "" {
 			log.Fatal("-role=standby refuses local ingestion; -generate and -replay are primary-side flags")
+		}
+		// A standby may replicate a *shard* primary; it then carries the
+		// same shard coordinates so a promotion keeps enforcing ownership.
+		if (*shardCnt != 0 || *shardIdx != 0) && (*shardCnt <= 0 || *shardIdx < 0 || *shardIdx >= *shardCnt) {
+			log.Fatalf("standby shard attachment needs 0 <= -shard-index < -shard-count (got index %d, count %d)", *shardIdx, *shardCnt)
 		}
 	case "router":
 		if *peersArg == "" {
@@ -287,7 +304,7 @@ func serveMain(args []string) {
 		}
 		return
 	}
-	if *role == "shard" {
+	if *role == "shard" || (*role == "standby" && *shardCnt > 0) {
 		sCfg.ShardCount = *shardCnt
 		sCfg.ShardIndex = *shardIdx
 	}
@@ -378,7 +395,11 @@ func serveMain(args []string) {
 	case "shard":
 		log.Printf("shard %d/%d listening on %s (seed %d)", *shardIdx, *shardCnt, ln.Addr(), *seed)
 	case "standby":
-		log.Printf("standby listening on %s (seed %d)", ln.Addr(), *seed)
+		if *shardCnt > 0 {
+			log.Printf("standby for shard %d/%d listening on %s (seed %d)", *shardIdx, *shardCnt, ln.Addr(), *seed)
+		} else {
+			log.Printf("standby listening on %s (seed %d)", ln.Addr(), *seed)
+		}
 	default:
 		log.Printf("listening on %s (seed %d)", ln.Addr(), *seed)
 	}
@@ -456,6 +477,7 @@ func loadgenMain(args []string) {
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the replay here")
 		memProf = fs.String("memprofile", "", "write a heap profile after the replay here")
 		chaos   = fs.String("chaos", "", "chaos mode: client-side fault spec, e.g. 'seed=3,torn=0.3,truncgz=0.2,dup=0.5' (DESIGN.md §9)")
+		shardsA = fs.String("shard-urls", "", "chaos mode: comma-separated per-shard ingest URLs (shard node or its router); records route by substream ownership")
 		noVerif = fs.Bool("no-verify", false, "chaos mode: skip the server-counter balance check (needed when the server restarts mid-run, which resets its counters)")
 		seed    = fs.Uint64("seed", 1, "chaos mode: batch-ID namespace and default fault seed")
 		retries = fs.Int("retries", 0, "chaos mode: max attempts per batch (0 = default 50)")
@@ -514,8 +536,16 @@ func loadgenMain(args []string) {
 		if csp.Seed == 0 {
 			csp.Seed = *seed
 		}
+		var shardURLs []string
+		if *shardsA != "" {
+			for _, u := range strings.Split(*shardsA, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					shardURLs = append(shardURLs, u)
+				}
+			}
+		}
 		cres, err := bounced.Chaos(bounced.ChaosConfig{
-			URL: target, Path: *in, BatchSize: *batch, Seed: *seed,
+			URL: target, ShardURLs: shardURLs, Path: *in, BatchSize: *batch, Seed: *seed,
 			Faults: csp, MaxRetries: *retries, Gzip: *gz, Rate: *rate,
 			Progress: os.Stderr,
 		})
@@ -526,7 +556,9 @@ func loadgenMain(args []string) {
 		// presented record classified exactly once, server-side. A
 		// restarted server starts its counters over, so cross-restart
 		// drills verify by report differential instead (-no-verify).
-		if !*noVerif {
+		// Sharded runs also skip it: no single node's counters cover the
+		// stream (the drill verifies by coordinator report differential).
+		if !*noVerif && len(shardURLs) == 0 {
 			if err := bounced.ChaosVerify(target, cres); err != nil {
 				log.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package bounced
 
 import (
+	"bufio"
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/dataset"
 	"repro/internal/faultinject"
 )
@@ -22,8 +24,17 @@ import (
 // batch lands. A chaos run against a healthy (or fault-injecting)
 // server must converge on exactly the clean run's final state.
 type ChaosConfig struct {
-	// URL is the service base, e.g. http://localhost:8425.
+	// URL is the service base, e.g. http://localhost:8425. Ignored when
+	// ShardURLs is set.
 	URL string
+	// ShardURLs, when non-empty, runs the replay against a sharded
+	// deployment: each record routes to the shard that owns its
+	// substream (analysis.OwnerOf over len(ShardURLs) shards), so every
+	// entry must be shard i's ingest address — the shard node itself or
+	// its replica-set router. Batches stay sequential across the whole
+	// stream, which preserves per-substream ingestion order because a
+	// substream lives entirely inside one shard.
+	ShardURLs []string
 	// Path is the JSONL (optionally gzipped) record file to replay.
 	Path string
 	// BatchSize is records per POST (default 200).
@@ -90,6 +101,34 @@ func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res := &ChaosResult{}
 	start := time.Now()
 	var sendErr error
+	if n := len(cfg.ShardURLs); n > 0 {
+		// Sharded replay: per-shard batch streams with per-shard ID
+		// namespaces, still one batch in flight at a time overall.
+		idxs := make([]int, n)
+		sent := 0
+		scanErr := scanShardRecordLines(rd, LoadgenConfig{BatchSize: cfg.BatchSize, Rate: cfg.Rate}, n, start, func(shard int, body []byte, count int) {
+			if sendErr != nil {
+				return
+			}
+			idxs[shard]++
+			sent++
+			id := fmt.Sprintf("chaos-%d-s%d-%d", cfg.Seed, shard, idxs[shard])
+			sendErr = sendChaosBatch(client, cfg, cfg.ShardURLs[shard], inj.NextPlan(), res, id, body, count)
+			if cfg.Progress != nil && sent%50 == 0 {
+				fmt.Fprintf(cfg.Progress, "chaos: %d records in %d batches across %d shards (%d retries, %d shed)\n",
+					res.Records, res.Batches, n, res.Retries, res.Shed)
+			}
+		})
+		if sendErr != nil {
+			return nil, sendErr
+		}
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		res.Seconds = time.Since(start).Seconds()
+		res.FaultCounts = inj.Counts()
+		return res, nil
+	}
 	idx := 0
 	scanRecordLines(rd, LoadgenConfig{BatchSize: cfg.BatchSize, Rate: cfg.Rate}, start, func(body []byte, count int) {
 		if sendErr != nil {
@@ -97,7 +136,7 @@ func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}
 		idx++
 		id := fmt.Sprintf("chaos-%d-%d", cfg.Seed, idx)
-		sendErr = sendChaosBatch(client, cfg, inj.NextPlan(), res, id, body, count)
+		sendErr = sendChaosBatch(client, cfg, cfg.URL, inj.NextPlan(), res, id, body, count)
 		if cfg.Progress != nil && idx%50 == 0 {
 			fmt.Fprintf(cfg.Progress, "chaos: %d records in %d batches (%d retries, %d shed)\n",
 				res.Records, res.Batches, res.Retries, res.Shed)
@@ -111,15 +150,69 @@ func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
 	return res, nil
 }
 
+// scanShardRecordLines is scanRecordLines for a sharded target: it
+// decodes every line just enough to compute its owning shard and
+// accumulates per-shard batch bodies, flushing each shard's batch when
+// it fills. Rate pacing covers the total record stream. The final
+// short batches flush in shard order at EOF.
+func scanShardRecordLines(r io.Reader, cfg LoadgenConfig, shards int, start time.Time, emit func(shard int, body []byte, count int)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	bufs := make([]bytes.Buffer, shards)
+	counts := make([]int, shards)
+	total := 0
+	var dec dataset.Decoder
+	var rec dataset.Record
+	flush := func(shard int) {
+		if counts[shard] == 0 {
+			return
+		}
+		if cfg.Rate > 0 {
+			due := start.Add(time.Duration(float64(total) / cfg.Rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		body := make([]byte, bufs[shard].Len())
+		copy(body, bufs[shard].Bytes())
+		emit(shard, body, counts[shard])
+		bufs[shard].Reset()
+		counts[shard] = 0
+	}
+	line := 0
+	for sc.Scan() {
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		line++
+		if err := dec.Decode(b, &rec); err != nil {
+			return fmt.Errorf("chaos: line %d: %v", line, err)
+		}
+		shard := analysis.OwnerOf(&rec, shards)
+		bufs[shard].Write(b)
+		bufs[shard].WriteByte('\n')
+		counts[shard]++
+		total++
+		if counts[shard] >= cfg.BatchSize {
+			flush(shard)
+		}
+	}
+	for s := range bufs {
+		flush(s)
+	}
+	return sc.Err()
+}
+
 // sendChaosBatch delivers one batch to acceptance: an optional doomed
 // damaged send first, then clean sends retried through 429 sheds and
 // fault-injected refusals, then an optional duplicate replay that must
 // be acknowledged from the dedup window.
-func sendChaosBatch(client *http.Client, cfg ChaosConfig, plan faultinject.Plan, res *ChaosResult, id string, body []byte, count int) error {
+func sendChaosBatch(client *http.Client, cfg ChaosConfig, url string, plan faultinject.Plan, res *ChaosResult, id string, body []byte, count int) error {
 	// The damaged send is expected to be refused whole: the batch ID
 	// stays unregistered and the ID-carrying retry below lands the real
 	// records. A 2xx here would mean the server admitted a mangled body.
-	if status, reply, err := sendDamaged(client, cfg, plan, res, id, body, count); err != nil {
+	if status, reply, err := sendDamaged(client, cfg, url, plan, res, id, body, count); err != nil {
 		return err
 	} else if status == http.StatusOK {
 		return fmt.Errorf("chaos: damaged send of %s was accepted: %+v", id, reply)
@@ -136,7 +229,7 @@ func sendChaosBatch(client *http.Client, cfg ChaosConfig, plan faultinject.Plan,
 			plan.Fired(faultinject.KindLoris)
 			res.Faulted++
 		}
-		status, reply, retryMs, err := postChaos(client, cfg, id, count, cleanBody(cfg, body), cfg.Gzip, slow)
+		status, reply, retryMs, err := postChaos(client, url, id, count, cleanBody(cfg, body), cfg.Gzip, slow)
 		if err != nil {
 			if attempt > cfg.MaxRetries {
 				return fmt.Errorf("chaos: batch %s: %w", id, err)
@@ -188,7 +281,7 @@ func sendChaosBatch(client *http.Client, cfg ChaosConfig, plan faultinject.Plan,
 		// acknowledgement means the server double-ingested.
 		plan.Fired(faultinject.KindDup)
 		res.Duplicates++
-		status, reply, _, err := postChaos(client, cfg, id, count, cleanBody(cfg, body), cfg.Gzip, 0)
+		status, reply, _, err := postChaos(client, url, id, count, cleanBody(cfg, body), cfg.Gzip, 0)
 		if err != nil {
 			return fmt.Errorf("chaos: dup replay of %s: %w", id, err)
 		}
@@ -204,7 +297,7 @@ func sendChaosBatch(client *http.Client, cfg ChaosConfig, plan faultinject.Plan,
 // sendDamaged issues the plan's deliberately broken send, if any:
 // a torn body cut mid-record or a truncated gzip stream. Returns the
 // refusal status (0 when the plan injects no damage here).
-func sendDamaged(client *http.Client, cfg ChaosConfig, plan faultinject.Plan, res *ChaosResult, id string, body []byte, count int) (int, ingestResponse, error) {
+func sendDamaged(client *http.Client, cfg ChaosConfig, url string, plan faultinject.Plan, res *ChaosResult, id string, body []byte, count int) (int, ingestResponse, error) {
 	switch {
 	case plan.TruncGzip:
 		var zbuf bytes.Buffer
@@ -217,7 +310,7 @@ func sendDamaged(client *http.Client, cfg ChaosConfig, plan faultinject.Plan, re
 		}
 		plan.Fired(faultinject.KindTruncGz)
 		res.Faulted++
-		status, reply, _, err := postChaos(client, cfg, id, count, zbuf.Bytes()[:cut], true, 0)
+		status, reply, _, err := postChaos(client, url, id, count, zbuf.Bytes()[:cut], true, 0)
 		if err == nil {
 			res.Presented += count
 		}
@@ -229,7 +322,7 @@ func sendDamaged(client *http.Client, cfg ChaosConfig, plan faultinject.Plan, re
 		}
 		plan.Fired(faultinject.KindTorn)
 		res.Faulted++
-		status, reply, _, err := postChaos(client, cfg, id, count, body[:cut], false, 0)
+		status, reply, _, err := postChaos(client, url, id, count, body[:cut], false, 0)
 		if err == nil {
 			res.Presented += count
 		}
@@ -254,7 +347,7 @@ func cleanBody(cfg ChaosConfig, body []byte) []byte {
 // true record count so the server's shed/reject accounting is exact
 // even for bodies it never decodes. slow > 0 trickles the body in
 // small pauses — the slow-loris shape.
-func postChaos(client *http.Client, cfg ChaosConfig, id string, count int, payload []byte, gzipped bool, slow time.Duration) (int, ingestResponse, float64, error) {
+func postChaos(client *http.Client, url string, id string, count int, payload []byte, gzipped bool, slow time.Duration) (int, ingestResponse, float64, error) {
 	var rd io.Reader = bytes.NewReader(payload)
 	if slow > 0 {
 		pr, pw := io.Pipe()
@@ -273,7 +366,7 @@ func postChaos(client *http.Client, cfg ChaosConfig, id string, count int, paylo
 		}()
 		rd = pr
 	}
-	req, err := http.NewRequest(http.MethodPost, cfg.URL+"/v1/records", rd)
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/records", rd)
 	if err != nil {
 		return 0, ingestResponse{}, 0, err
 	}

@@ -1,6 +1,8 @@
 package bounced
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,13 +13,16 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/replication"
 )
 
 // CoordinatorConfig assembles a Coordinator.
 type CoordinatorConfig struct {
-	// ShardURLs are the shard nodes' base URLs (e.g.
-	// "http://10.0.0.1:8080"). Their order is the merge order — any
-	// order yields the same report bytes, but keeping it fixed makes the
+	// ShardURLs are the shards' base URLs (e.g. "http://10.0.0.1:8080").
+	// Each entry may be a plain shard node or a -role=router front door
+	// for that shard's replica set — the coordinator probes which one it
+	// is on every fan-in. Their order is the merge order — any order
+	// yields the same report bytes, but keeping it fixed makes the
 	// fan-in fully deterministic.
 	ShardURLs []string
 	// Env supplies the external services report sections consult (same
@@ -33,6 +38,12 @@ type CoordinatorConfig struct {
 // aggregates, and renders through the same section dispatcher a single
 // node uses — so the report bytes are identical to one node having
 // ingested the full stream (for the partial-renderable sections).
+//
+// When a shard URL fronts a replica set (a -role=router instance), the
+// coordinator follows the router's elected highest-epoch primary for
+// the partial fetch, and retries one re-probe before failing the
+// gather — enough to ride through a promotion that completed between
+// the probe and the fetch.
 type Coordinator struct {
 	cfg    CoordinatorConfig
 	client *http.Client
@@ -40,10 +51,12 @@ type Coordinator struct {
 	fanins    atomic.Uint64 // successful full fan-ins
 	faninErrs atomic.Uint64 // fan-ins failed by an unreachable/invalid shard
 	reports   atomic.Uint64 // reports rendered
+	reprobes  atomic.Uint64 // second-chance re-probes after a failed shard fetch
 
 	mu          sync.Mutex
 	lastMergeMs float64
 	lastRecords int
+	lastShards  []shardInfo // topology view from the last successful gather
 	startedAt   time.Time
 }
 
@@ -52,6 +65,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if len(cfg.ShardURLs) == 0 {
 		return nil, fmt.Errorf("bounced: coordinator needs at least one shard URL")
 	}
+	// Normalize into a private copy: the caller's slice stays untouched.
+	urls := make([]string, len(cfg.ShardURLs))
+	for i, u := range cfg.ShardURLs {
+		urls[i] = strings.TrimRight(u, "/")
+	}
+	cfg.ShardURLs = urls
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
@@ -73,34 +92,146 @@ func (c *Coordinator) Handler() http.Handler {
 
 // shardInfo is one shard's contribution to a fan-in.
 type shardInfo struct {
-	URL     string `json:"url"`
-	Records int    `json:"records"`
-	Bytes   int    `json:"snapshot_bytes"`
+	URL        string `json:"url"`
+	Routed     bool   `json:"routed,omitempty"`  // URL is a replica-set router
+	Primary    string `json:"primary,omitempty"` // elected node the partial came from
+	Epoch      uint64 `json:"epoch,omitempty"`
+	LagRecords uint64 `json:"lag_records,omitempty"` // worst standby lag behind the primary
+	Records    int    `json:"records"`
+	Bytes      int    `json:"snapshot_bytes"`
+}
+
+// resolveShard decides where a shard's partial snapshot lives. A
+// replica-set router answers /v1/router/status: follow its elected
+// primary and record epoch plus the worst standby lag. A plain node
+// 404s there; fall back to its own /v1/repl/status for the epoch and
+// fetch from the node itself.
+func (c *Coordinator) resolveShard(ctx context.Context, base string) (target string, info shardInfo, err error) {
+	info = shardInfo{URL: base}
+	var rs replication.RouterStatus
+	ok, err := c.getJSON(ctx, base+replication.PathRouterStatus, &rs)
+	if err != nil {
+		return "", info, err
+	}
+	if ok {
+		if rs.Primary == "" {
+			return "", info, fmt.Errorf("router has no elected primary")
+		}
+		info.Routed = true
+		info.Primary = rs.Primary
+		info.Epoch = rs.PrimaryEpoch
+		var primaryNext uint64
+		for _, p := range rs.Peers {
+			if p.URL == rs.Primary {
+				primaryNext = p.NextIndex
+			}
+		}
+		for _, p := range rs.Peers {
+			if p.Role == "standby" && p.Error == "" && primaryNext > p.NextIndex {
+				if lag := primaryNext - p.NextIndex; lag > info.LagRecords {
+					info.LagRecords = lag
+				}
+			}
+		}
+		return rs.Primary, info, nil
+	}
+	// Not a router. A bounced node reports its own role/epoch; tolerate
+	// a 404 (foreign or ancient node) and fetch from the base URL with
+	// no epoch rather than failing the gather.
+	var ns replication.NodeStatus
+	if ok, err = c.getJSON(ctx, base+replication.PathStatus, &ns); err != nil {
+		return "", info, err
+	} else if ok {
+		info.Epoch = ns.Epoch
+	}
+	return base, info, nil
+}
+
+// getJSON fetches and decodes url into out. A 404 reports (false, nil)
+// so callers can treat "endpoint not there" as a topology signal;
+// transport errors and other statuses are hard errors.
+func (c *Coordinator) getJSON(ctx context.Context, url string, out any) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	return true, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// fetchPartial grabs one node's partial snapshot.
+func (c *Coordinator) fetchPartial(ctx context.Context, target string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(target, "/")+"/v1/partial", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// fetchShard resolves one shard and fetches its partial. On any
+// failure it re-probes once: a primary that died between the probe and
+// the fetch has usually been replaced by the router's next sweep, so a
+// single second look rides through the election instead of failing the
+// whole gather.
+func (c *Coordinator) fetchShard(ctx context.Context, base string) ([]byte, shardInfo, error) {
+	target, info, err := c.resolveShard(ctx, base)
+	if err == nil {
+		var blob []byte
+		if blob, err = c.fetchPartial(ctx, target); err == nil {
+			return blob, info, nil
+		}
+		err = fmt.Errorf("partial from %s: %v", target, err)
+	}
+	if ctx.Err() != nil {
+		return nil, info, err
+	}
+	c.reprobes.Add(1)
+	target, info, err2 := c.resolveShard(ctx, base)
+	if err2 != nil {
+		return nil, info, fmt.Errorf("%v (re-probe: %v)", err, err2)
+	}
+	blob, err2 := c.fetchPartial(ctx, target)
+	if err2 != nil {
+		return nil, info, fmt.Errorf("%v (re-probe partial from %s: %v)", err, target, err2)
+	}
+	return blob, info, nil
 }
 
 // gather fans in every shard's partial snapshot (concurrently) and
 // merges them in ShardURLs order. Any unreachable or undecodable shard
 // fails the whole fan-in: a silently partial report would be worse
-// than no report.
-func (c *Coordinator) gather() (*analysis.PartialSet, []shardInfo, error) {
+// than no report. ctx is the inbound request's context, so a client
+// that disconnects cancels the fan-in instead of leaving it running
+// against the shard tier.
+func (c *Coordinator) gather(ctx context.Context) (*analysis.PartialSet, []shardInfo, error) {
 	blobs := make([][]byte, len(c.cfg.ShardURLs))
+	infos := make([]shardInfo, len(c.cfg.ShardURLs))
 	errs := make([]error, len(c.cfg.ShardURLs))
 	var wg sync.WaitGroup
 	for i, base := range c.cfg.ShardURLs {
 		wg.Add(1)
 		go func(i int, base string) {
 			defer wg.Done()
-			resp, err := c.client.Get(strings.TrimRight(base, "/") + "/v1/partial")
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				errs[i] = fmt.Errorf("status %s", resp.Status)
-				return
-			}
-			blobs[i], errs[i] = io.ReadAll(resp.Body)
+			blobs[i], infos[i], errs[i] = c.fetchShard(ctx, base)
 		}(i, base)
 	}
 	wg.Wait()
@@ -111,7 +242,6 @@ func (c *Coordinator) gather() (*analysis.PartialSet, []shardInfo, error) {
 		}
 	}
 
-	infos := make([]shardInfo, len(blobs))
 	t0 := time.Now()
 	var merged *analysis.PartialSet
 	for i, b := range blobs {
@@ -120,7 +250,7 @@ func (c *Coordinator) gather() (*analysis.PartialSet, []shardInfo, error) {
 			c.faninErrs.Add(1)
 			return nil, nil, fmt.Errorf("shard %d (%s): %v", i, c.cfg.ShardURLs[i], err)
 		}
-		infos[i] = shardInfo{URL: c.cfg.ShardURLs[i], Records: ps.Total, Bytes: len(b)}
+		infos[i].Records, infos[i].Bytes = ps.Total, len(b)
 		if merged == nil {
 			merged = ps
 			continue
@@ -134,6 +264,7 @@ func (c *Coordinator) gather() (*analysis.PartialSet, []shardInfo, error) {
 	c.mu.Lock()
 	c.lastMergeMs = ms
 	c.lastRecords = merged.Total
+	c.lastShards = append([]shardInfo(nil), infos...)
 	c.mu.Unlock()
 	c.fanins.Add(1)
 	return merged, infos, nil
@@ -161,7 +292,7 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, 0, 0, "GET only")
 		return
 	}
-	merged, _, err := c.gather()
+	merged, _, err := c.gather(r.Context())
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, 0, 0, err.Error())
 		return
@@ -185,12 +316,14 @@ type coordinatorStats struct {
 	MergeMs       float64     `json:"merge_ms"`
 	Fanins        uint64      `json:"fanins"`
 	FaninErrors   uint64      `json:"fanin_errors"`
+	Reprobes      uint64      `json:"reprobes"`
 	Reports       uint64      `json:"reports"`
 }
 
-// handleStats fans in fresh shard snapshots and reports the topology.
+// handleStats fans in fresh shard snapshots and reports the topology,
+// including each shard's replication epoch and worst standby lag.
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	merged, infos, err := c.gather()
+	merged, infos, err := c.gather(r.Context())
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, 0, 0, err.Error())
 		return
@@ -205,6 +338,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		MergeMs:       ms,
 		Fanins:        c.fanins.Load(),
 		FaninErrors:   c.faninErrs.Load(),
+		Reprobes:      c.reprobes.Load(),
 		Reports:       c.reports.Load(),
 	})
 }
@@ -216,6 +350,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	ms := c.lastMergeMs
 	records := c.lastRecords
+	shards := append([]shardInfo(nil), c.lastShards...)
 	c.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "# HELP coordinator_shards Configured shard nodes.\n# TYPE coordinator_shards gauge\ncoordinator_shards %d\n", len(c.cfg.ShardURLs))
@@ -223,7 +358,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP coordinator_merge_ms Milliseconds the last partial merge took.\n# TYPE coordinator_merge_ms gauge\ncoordinator_merge_ms %g\n", ms)
 	fmt.Fprintf(&b, "# HELP coordinator_fanins_total Successful shard fan-ins.\n# TYPE coordinator_fanins_total counter\ncoordinator_fanins_total %d\n", c.fanins.Load())
 	fmt.Fprintf(&b, "# HELP coordinator_fanin_errors_total Fan-ins failed by an unreachable or invalid shard.\n# TYPE coordinator_fanin_errors_total counter\ncoordinator_fanin_errors_total %d\n", c.faninErrs.Load())
+	fmt.Fprintf(&b, "# HELP coordinator_reprobes_total Second-chance shard re-probes after a failed fetch.\n# TYPE coordinator_reprobes_total counter\ncoordinator_reprobes_total %d\n", c.reprobes.Load())
 	fmt.Fprintf(&b, "# HELP coordinator_reports_total Merged reports rendered.\n# TYPE coordinator_reports_total counter\ncoordinator_reports_total %d\n", c.reports.Load())
+	if len(shards) > 0 {
+		b.WriteString("# HELP coordinator_shard_epoch Replication epoch of the shard's elected primary at the last gather.\n# TYPE coordinator_shard_epoch gauge\n")
+		for _, s := range shards {
+			fmt.Fprintf(&b, "coordinator_shard_epoch{shard=%q} %d\n", s.URL, s.Epoch)
+		}
+		b.WriteString("# HELP coordinator_shard_lag_records Worst standby lag (records) behind the shard's primary at the last gather.\n# TYPE coordinator_shard_lag_records gauge\n")
+		for _, s := range shards {
+			fmt.Fprintf(&b, "coordinator_shard_lag_records{shard=%q} %d\n", s.URL, s.LagRecords)
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
 }

@@ -1,0 +1,315 @@
+package bounced_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bounced"
+	"repro/internal/dataset"
+	"repro/internal/replication"
+)
+
+// TestCoordinatorShardURLsNotMutated: URL normalization must work on a
+// private copy, not write through the caller's slice.
+func TestCoordinatorShardURLsNotMutated(t *testing.T) {
+	urls := []string{"http://a:1/", "http://b:2///"}
+	want := append([]string(nil), urls...)
+	if _, err := bounced.NewCoordinator(bounced.CoordinatorConfig{ShardURLs: urls}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(urls, want) {
+		t.Fatalf("caller slice mutated: %v, want %v", urls, want)
+	}
+}
+
+// TestCoordinatorGatherAbortsOnClientDisconnect: the fan-in must run
+// under the inbound request's context, so a report client that hangs up
+// cancels the shard fetches promptly instead of leaving them running
+// against the shard tier for the fan-in client's full timeout.
+func TestCoordinatorGatherAbortsOnClientDisconnect(t *testing.T) {
+	var once sync.Once
+	canceled := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc(replication.PathStatus, func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(replication.NodeStatus{Role: "primary", Epoch: 1})
+	})
+	mux.HandleFunc("/v1/partial", func(w http.ResponseWriter, r *http.Request) {
+		// Serve nothing until the coordinator gives up on us.
+		<-r.Context().Done()
+		once.Do(func() { close(canceled) })
+	})
+	shard := httptest.NewServer(mux)
+	defer shard.Close()
+
+	coord, err := bounced.NewCoordinator(bounced.CoordinatorConfig{ShardURLs: []string{shard.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cts.URL+"/v1/report", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("report finished despite the blocked shard")
+	}
+	// The shard-side fetch must be torn down almost immediately after
+	// the client walks away — not after the fan-in client's 30s timeout.
+	select {
+	case <-canceled:
+	case <-time.After(3 * time.Second):
+		t.Fatal("shard fetch still running after client disconnect")
+	}
+}
+
+// TestCoordinatorReprobeFollowsNewPrimary: when the primary a router
+// reported dies before the partial fetch lands, one re-probe must pick
+// up the router's next election instead of failing the gather.
+func TestCoordinatorReprobeFollowsNewPrimary(t *testing.T) {
+	records, env := fixture(t)
+	want := singleNodeReport(t, records, env)
+
+	live := newServer(t, bounced.Config{Env: env})
+	defer live.Abort()
+	lts := httptest.NewServer(live.Handler())
+	defer lts.Close()
+	if ir := postRecords(t, lts.URL, encodeNDJSON(t, records)); ir.status != http.StatusOK {
+		t.Fatalf("live shard ingest: %d %s", ir.status, ir.Error)
+	}
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from here on
+
+	// A scripted router: the first status probe names the dead primary
+	// (it just crashed), every later probe names the promoted survivor.
+	var mu sync.Mutex
+	probes := 0
+	rmux := http.NewServeMux()
+	rmux.HandleFunc(replication.PathRouterStatus, func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		probes++
+		primary := dead.URL
+		if probes > 1 {
+			primary = lts.URL
+		}
+		mu.Unlock()
+		json.NewEncoder(w).Encode(replication.RouterStatus{Primary: primary, PrimaryEpoch: 2})
+	})
+	router := httptest.NewServer(rmux)
+	defer router.Close()
+
+	coord, err := bounced.NewCoordinator(bounced.CoordinatorConfig{ShardURLs: []string{router.URL}, Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	status, got := getBody(t, cts.URL+"/v1/report")
+	if status != http.StatusOK {
+		t.Fatalf("report through re-probe: status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("re-probed report diverges from single node (%d vs %d bytes)", len(got), len(want))
+	}
+	status, stats := getBody(t, cts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	for _, needle := range []string{`"reprobes": 1`, `"routed": true`, `"epoch": 2`} {
+		if !strings.Contains(string(stats), needle) {
+			t.Fatalf("stats missing %s: %s", needle, stats)
+		}
+	}
+}
+
+// shardSet is one shard of a replicated-shard deployment: a semi-sync
+// primary plus a standby (both carrying the shard's coordinates) behind
+// a router, the topology DESIGN.md §14 describes.
+type shardSet struct {
+	pair   *replPair
+	router *replication.Router
+	rts    *httptest.Server
+	stop   func()
+}
+
+func newShardSet(t *testing.T, env *analysis.Environment, idx, cnt int) *shardSet {
+	t.Helper()
+	pair := newReplPair(t,
+		bounced.Config{Env: env, ShardCount: cnt, ShardIndex: idx, ReplAck: 1, ReplAckTimeout: 10 * time.Second},
+		bounced.Config{Env: env, ShardCount: cnt, ShardIndex: idx},
+		replication.StandbyConfig{ID: fmt.Sprintf("shard%d-standby", idx)})
+	router, err := replication.NewRouter(replication.RouterConfig{
+		Peers:         []string{pair.pts.URL, pair.sts.URL},
+		ProbeInterval: 20 * time.Millisecond,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go router.Run(ctx)
+	rts := httptest.NewServer(router.Handler())
+	return &shardSet{
+		pair:   pair,
+		router: router,
+		rts:    rts,
+		stop: func() {
+			cancel()
+			rts.Close()
+			pair.stop()
+		},
+	}
+}
+
+// TestReplicatedShardsFailover is the composition's acceptance test:
+// two shards, each a replica set behind its own router, a coordinator
+// fanning in through the routers. Shard 0's primary dies mid-stream,
+// its standby promotes at a bumped epoch, the router re-elects it, the
+// client's owed retry dedups, and the coordinator's merged report is
+// byte-identical to an uninterrupted single node — every record
+// classified exactly once across the failover.
+func TestReplicatedShardsFailover(t *testing.T) {
+	records, env := fixture(t)
+	want := singleNodeReport(t, records, env)
+
+	sets := []*shardSet{newShardSet(t, env, 0, 2), newShardSet(t, env, 1, 2)}
+	defer sets[0].stop()
+	defer sets[1].stop()
+	for i, s := range sets {
+		primary := s.pair.pts.URL
+		waitFor(t, 5*time.Second, fmt.Sprintf("shard %d router election", i), func() bool {
+			return s.router.Primary() == primary
+		})
+	}
+
+	coord, err := bounced.NewCoordinator(bounced.CoordinatorConfig{
+		ShardURLs: []string{sets[0].rts.URL, sets[1].rts.URL}, Env: env,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	parts := make([][]dataset.Record, 2)
+	for i := range records {
+		own := analysis.OwnerOf(&records[i], 2)
+		parts[own] = append(parts[own], records[i])
+	}
+	if len(parts[0]) < 2 || len(parts[1]) < 1 {
+		t.Fatalf("degenerate split: %d/%d", len(parts[0]), len(parts[1]))
+	}
+
+	// Shard 1 ingests its whole slice through its router, undisturbed.
+	if ir := postBatch(t, sets[1].rts.URL, "sr1-all", parts[1]); ir.status != http.StatusOK || ir.Accepted != len(parts[1]) {
+		t.Fatalf("shard 1 ingest: %d accepted %d of %d: %s", ir.status, ir.Accepted, len(parts[1]), ir.Error)
+	}
+
+	// Shard 0 gets half its slice, then loses its primary.
+	half := len(parts[0]) / 2
+	if ir := postBatch(t, sets[0].rts.URL, "sr0-0", parts[0][:half]); ir.status != http.StatusOK || ir.Accepted != half {
+		t.Fatalf("shard 0 first half: %d accepted %d: %s", ir.status, ir.Accepted, ir.Error)
+	}
+	// Semi-sync acks: everything acked is already on the standby.
+	if got, want := sets[0].pair.standby.AppliedIndex(), sets[0].pair.primary.AppliedIndex(); got != want {
+		t.Fatalf("shard 0 standby applied %d, primary log end %d", got, want)
+	}
+	sets[0].pair.pts.Close()
+	sets[0].pair.primary.Abort()
+	resp, err := http.Post(sets[0].pair.sts.URL+replication.PathPromote, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d", resp.StatusCode)
+	}
+	if got := sets[0].pair.standby.Epoch(); got != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", got)
+	}
+	survivor := sets[0].pair.sts.URL
+	waitFor(t, 5*time.Second, "shard 0 router re-election", func() bool {
+		return sets[0].router.Primary() == survivor
+	})
+
+	// The retry a client owes for its in-flight batch must dedup on the
+	// promoted standby, through the same router address.
+	if ir := postBatch(t, sets[0].rts.URL, "sr0-0", parts[0][:half]); ir.status != http.StatusOK || !ir.Deduped {
+		t.Fatalf("owed retry via router: status %d deduped %v", ir.status, ir.Deduped)
+	}
+	// The rest of the stream lands on the survivor.
+	if ir := postBatch(t, sets[0].rts.URL, "sr0-1", parts[0][half:]); ir.status != http.StatusOK || ir.Accepted != len(parts[0])-half {
+		t.Fatalf("shard 0 second half: %d accepted %d: %s", ir.status, ir.Accepted, ir.Error)
+	}
+	// Ownership still holds on the promoted standby: a shard-1 record
+	// through shard 0's router is refused, not silently absorbed.
+	if ir := postBatch(t, sets[0].rts.URL, "sr0-stray", parts[1][:1]); ir.status != http.StatusBadRequest || !strings.Contains(ir.Error, "owned by shard 1") {
+		t.Fatalf("misroute after promotion: status %d error %q", ir.status, ir.Error)
+	}
+
+	status, got := getBody(t, cts.URL+"/v1/report")
+	if status != http.StatusOK {
+		t.Fatalf("coordinator report: status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-failover merged report diverges from single node (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The topology view names the promoted primary and its epoch.
+	status, stats := getBody(t, cts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("coordinator stats: status %d", status)
+	}
+	var cs struct {
+		Shards []struct {
+			URL     string `json:"url"`
+			Routed  bool   `json:"routed"`
+			Primary string `json:"primary"`
+			Epoch   uint64 `json:"epoch"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(stats, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Shards) != 2 {
+		t.Fatalf("stats shards = %d", len(cs.Shards))
+	}
+	if !cs.Shards[0].Routed || cs.Shards[0].Primary != survivor || cs.Shards[0].Epoch != 2 {
+		t.Fatalf("shard 0 view = %+v, want routed primary %s at epoch 2", cs.Shards[0], survivor)
+	}
+	if !cs.Shards[1].Routed || cs.Shards[1].Epoch != 1 {
+		t.Fatalf("shard 1 view = %+v, want routed epoch 1", cs.Shards[1])
+	}
+
+	// Metrics expose the per-shard epoch gauges after the gather.
+	status, metrics := getBody(t, cts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("coordinator metrics: status %d", status)
+	}
+	epochLine := fmt.Sprintf("coordinator_shard_epoch{shard=%q} 2", sets[0].rts.URL)
+	if !strings.Contains(string(metrics), epochLine) {
+		t.Fatalf("metrics missing %q:\n%s", epochLine, metrics)
+	}
+	if !strings.Contains(string(metrics), "coordinator_shard_lag_records{") {
+		t.Fatal("metrics missing per-shard lag gauge")
+	}
+}

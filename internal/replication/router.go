@@ -86,9 +86,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, errors.New("replication: router needs peers")
 	}
+	// Normalize into a private copy: the caller's slice stays untouched.
+	peers := make([]string, len(cfg.Peers))
 	for i, p := range cfg.Peers {
-		cfg.Peers[i] = strings.TrimRight(p, "/")
+		peers[i] = strings.TrimRight(p, "/")
 	}
+	cfg.Peers = peers
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 250 * time.Millisecond
 	}
@@ -194,10 +197,12 @@ func (r *Router) sweep() {
 	if best != "" {
 		r.primary, r.primaryEpoch = best, bestEpoch
 	} else if prev != "" {
-		if ps := r.peerStatus[prev]; ps != nil && ps.Error != "" {
-			// The previous primary is gone and nothing has promoted yet:
-			// drop it so forwards fail fast as 503s instead of hanging on
-			// a dead socket.
+		if ps := r.peerStatus[prev]; ps == nil || ps.Error != "" || ps.Role != "primary" {
+			// The previous primary is gone — or answered the probe but no
+			// longer claims the primary role (demoted after rejoining
+			// post-failover) — and nothing has been elected yet: drop it
+			// so forwards fail fast as 503s instead of hanging on a dead
+			// socket or bouncing off a standby's write refusal.
 			r.primary = ""
 		}
 	}
@@ -223,7 +228,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/v1/router/status", r.handleStatus)
+	mux.HandleFunc(PathRouterStatus, r.handleStatus)
 	mux.HandleFunc("/", r.forward)
 	return mux
 }
@@ -272,7 +277,7 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	out.Header = req.Header.Clone()
-	out.Header.Del("Connection")
+	stripHopByHop(out.Header)
 	out.ContentLength = req.ContentLength
 	resp, err := r.fwd.Do(out)
 	if err != nil {
@@ -284,15 +289,42 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request) {
 	}
 	defer resp.Body.Close()
 	r.forwards.Add(1)
+	stripHopByHop(resp.Header)
 	hdr := w.Header()
 	for k, vs := range resp.Header {
-		if k == "Connection" {
-			continue
-		}
 		hdr[k] = vs
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+}
+
+// hopByHopHeaders are the connection-scoped headers RFC 9110 §7.6.1
+// forbids an intermediary from forwarding.
+var hopByHopHeaders = []string{
+	"Connection",
+	"Keep-Alive",
+	"Proxy-Connection",
+	"Te",
+	"Trailer",
+	"Transfer-Encoding",
+	"Upgrade",
+}
+
+// stripHopByHop removes the hop-by-hop header set plus every header the
+// Connection header names: those belong to the connection the message
+// arrived on and must not be relayed to the next hop. Used on both the
+// outbound request and the relayed response.
+func stripHopByHop(h http.Header) {
+	for _, v := range h.Values("Connection") {
+		for _, tok := range strings.Split(v, ",") {
+			if tok = strings.TrimSpace(tok); tok != "" {
+				h.Del(tok)
+			}
+		}
+	}
+	for _, k := range hopByHopHeaders {
+		h.Del(k)
+	}
 }
 
 func httpJSONError(w http.ResponseWriter, status int, msg string) {

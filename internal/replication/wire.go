@@ -51,6 +51,9 @@ const (
 	PathCheckpoint = "/v1/repl/checkpoint"
 	PathStatus     = "/v1/repl/status"
 	PathPromote    = "/v1/promote"
+	// PathRouterStatus is served by -role=router nodes; the coordinator
+	// probes it to follow each shard's elected primary.
+	PathRouterStatus = "/v1/router/status"
 )
 
 var wireCRC = crc32.MakeTable(crc32.Castagnoli)

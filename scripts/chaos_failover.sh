@@ -36,7 +36,7 @@ S_PID=""
 R_PID=""
 cleanup() {
 	for pid in "$P_PID" "$S_PID" "$R_PID"; do
-		[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+		[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
 	done
 	rm -rf "$WORK"
 }

@@ -26,7 +26,7 @@ say() { echo "chaos-kill: $*" >&2; }
 WORK=$(mktemp -d)
 SRV_PID=""
 cleanup() {
-	[ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+	[ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
 	rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM

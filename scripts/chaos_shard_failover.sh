@@ -1,0 +1,249 @@
+#!/bin/sh
+# chaos_shard_failover.sh — the replicated-shards failover differential
+# (make chaos-shard-failover). DESIGN.md §14: composes sharding (§10)
+# with replication (§12).
+#
+# Run A replays a corpus into one memory-only bounced fronted by a
+# single-"shard" coordinator and saves the coordinator's merged report
+# as the reference. Run B builds two shards, each a replica set — a
+# durable semi-sync shard primary, a durable shard-aware standby
+# streaming its checkpoint + WAL tail, and a router fronting the pair —
+# plus a coordinator fanning in through the two routers. The client
+# routes each record to its owning shard's router (idempotent
+# X-Batch-Id batches). Mid-stream shard 0's primary is SIGKILLed; its
+# standby auto-promotes after the failover timeout, the router
+# re-elects it, and the client retries through the outage and finishes
+# the stream against the survivor.
+#
+# Pass requires all of: the standby actually promoted (role=primary at
+# a bumped epoch), the router re-elected it, the coordinator's stats
+# expose the bumped epoch, the survivors together classified every
+# corpus record exactly once (sum of consumed == corpus lines), and the
+# coordinator's final merged report is byte-identical to run A.
+#
+# Knobs: CHAOS_SF_SEED, CHAOS_SF_EMAILS, CHAOS_SF_PORT (9 consecutive
+# ports from here: shard0 primary/standby/router, shard1
+# primary/standby/router, coordinator, then run A's node+coordinator).
+set -eu
+
+SEED="${CHAOS_SF_SEED:-11}"
+EMAILS="${CHAOS_SF_EMAILS:-20000}"
+PORT="${CHAOS_SF_PORT:-18445}"
+P0_URL="http://127.0.0.1:$PORT"
+S0_URL="http://127.0.0.1:$((PORT + 1))"
+R0_URL="http://127.0.0.1:$((PORT + 2))"
+P1_URL="http://127.0.0.1:$((PORT + 3))"
+S1_URL="http://127.0.0.1:$((PORT + 4))"
+R1_URL="http://127.0.0.1:$((PORT + 5))"
+CO_URL="http://127.0.0.1:$((PORT + 6))"
+REF_URL="http://127.0.0.1:$((PORT + 7))"
+REFC_URL="http://127.0.0.1:$((PORT + 8))"
+
+say() { echo "chaos-shard-failover: $*" >&2; }
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do
+		kill -9 "$pid" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+say "building binaries"
+go build -o "$WORK/bin/" ./cmd/bounced ./cmd/bouncegen
+BOUNCED="$WORK/bin/bounced"
+
+"$WORK/bin/bouncegen" -emails "$EMAILS" -seed 5 -out "$WORK/corpus.jsonl"
+CORPUS=$(wc -l <"$WORK/corpus.jsonl")
+
+# wait_ready <url> [max-iters]
+wait_ready() {
+	i=0
+	while ! curl -sf "$1/v1/stats" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt "${2:-200}" ]; then
+			say "FAIL: server did not come up on $1"
+			exit 1
+		fi
+		sleep 0.05
+	done
+}
+
+# wait_elected <router-url> <primary-url>
+wait_elected() {
+	i=0
+	while ! curl -sf "$1/v1/router/status" 2>/dev/null | grep -q "\"primary\":[[:space:]]*\"$2\""; do
+		i=$((i + 1))
+		if [ "$i" -gt 300 ]; then
+			say "FAIL: router $1 never elected $2"
+			exit 1
+		fi
+		sleep 0.05
+	done
+}
+
+# stat_field <url> <json-field>
+stat_field() {
+	curl -sf "$1/v1/stats" 2>/dev/null |
+		sed -n "s/.*\"$2\":[[:space:]]*\([0-9][0-9]*\).*/\1/p" | head -1
+}
+
+# --- Run A: uninterrupted single-node reference through a coordinator --
+# The reference report comes through a 1-shard coordinator so both runs
+# render the same (partial-renderable) section set.
+say "run A: memory-only reference behind a 1-shard coordinator"
+"$BOUNCED" -addr "127.0.0.1:$((PORT + 7))" -no-env -flush-sections '' \
+	>"$WORK/ref.log" 2>&1 &
+REF_PID=$!
+PIDS="$PIDS $REF_PID"
+wait_ready "$REF_URL"
+"$BOUNCED" -role coordinator -shards "$REF_URL" -no-env \
+	-addr "127.0.0.1:$((PORT + 8))" >"$WORK/refcoord.log" 2>&1 &
+REFC_PID=$!
+PIDS="$PIDS $REFC_PID"
+wait_ready "$REFC_URL"
+"$BOUNCED" loadgen -in "$WORK/corpus.jsonl" -url "$REF_URL" -batch 128 \
+	-chaos "seed=$SEED" -seed "$SEED" -retries 100000 -out /dev/null \
+	2>>"$WORK/client_a.log"
+curl -sf "$REFC_URL/v1/report" >"$WORK/report_a.txt"
+kill -9 "$REF_PID" "$REFC_PID" 2>/dev/null
+wait "$REF_PID" "$REFC_PID" 2>/dev/null || true
+
+# --- Run B: two replica-set shards, kill -9 shard 0's primary ----------
+say "run B: 2 shards x (primary + standby + router) + coordinator"
+"$BOUNCED" -addr "127.0.0.1:$PORT" -role shard -shard-index 0 -shard-count 2 \
+	-no-env -flush-sections '' -data-dir "$WORK/s0-primary" \
+	-checkpoint-interval 500ms -repl-ack 1 >"$WORK/s0-primary.log" 2>&1 &
+P0_PID=$!
+PIDS="$PIDS $P0_PID"
+"$BOUNCED" -addr "127.0.0.1:$((PORT + 3))" -role shard -shard-index 1 -shard-count 2 \
+	-no-env -flush-sections '' -data-dir "$WORK/s1-primary" \
+	-checkpoint-interval 500ms -repl-ack 1 >"$WORK/s1-primary.log" 2>&1 &
+P1_PID=$!
+PIDS="$PIDS $P1_PID"
+wait_ready "$P0_URL"
+wait_ready "$P1_URL"
+"$BOUNCED" -addr "127.0.0.1:$((PORT + 1))" -role standby -shard-index 0 -shard-count 2 \
+	-primary "$P0_URL" -no-env -flush-sections '' -data-dir "$WORK/s0-standby" \
+	-checkpoint-interval 500ms -failover-timeout 2s -poll-interval 500ms \
+	>"$WORK/s0-standby.log" 2>&1 &
+S0_PID=$!
+PIDS="$PIDS $S0_PID"
+"$BOUNCED" -addr "127.0.0.1:$((PORT + 4))" -role standby -shard-index 1 -shard-count 2 \
+	-primary "$P1_URL" -no-env -flush-sections '' -data-dir "$WORK/s1-standby" \
+	-checkpoint-interval 500ms -failover-timeout 2s -poll-interval 500ms \
+	>"$WORK/s1-standby.log" 2>&1 &
+S1_PID=$!
+PIDS="$PIDS $S1_PID"
+wait_ready "$S0_URL"
+wait_ready "$S1_URL"
+"$BOUNCED" -role router -peers "$P0_URL,$S0_URL" -addr "127.0.0.1:$((PORT + 2))" \
+	>"$WORK/r0.log" 2>&1 &
+R0_PID=$!
+PIDS="$PIDS $R0_PID"
+"$BOUNCED" -role router -peers "$P1_URL,$S1_URL" -addr "127.0.0.1:$((PORT + 5))" \
+	>"$WORK/r1.log" 2>&1 &
+R1_PID=$!
+PIDS="$PIDS $R1_PID"
+wait_elected "$R0_URL" "$P0_URL"
+wait_elected "$R1_URL" "$P1_URL"
+"$BOUNCED" -role coordinator -shards "$R0_URL,$R1_URL" -no-env \
+	-addr "127.0.0.1:$((PORT + 6))" >"$WORK/coord.log" 2>&1 &
+CO_PID=$!
+PIDS="$PIDS $CO_PID"
+wait_ready "$CO_URL"
+
+# The client routes each record to its owning shard's router. The rate
+# cap holds the stream open long enough for the kill to land mid-flight;
+# the retry budget rides through the promotion window's 502/503s.
+"$BOUNCED" loadgen -in "$WORK/corpus.jsonl" -shard-urls "$R0_URL,$R1_URL" \
+	-batch 128 -rate 6000 -chaos "seed=$SEED" -seed "$SEED" -retries 100000 \
+	-no-verify -out /dev/null 2>>"$WORK/client_b.log" &
+LOAD_PID=$!
+
+# The kill lands once shard 0's primary has accepted a seeded fraction
+# of the corpus (12.5%-32.5% of the total, well inside shard 0's ~50%
+# share) — deterministically mid-stream, not at a wall-clock guess.
+THRESH=$((EMAILS / 8 + (SEED * 7919) % (EMAILS / 5)))
+while :; do
+	n=$(stat_field "$P0_URL" accepted) || n=""
+	if [ -n "$n" ] && [ "$n" -ge "$THRESH" ]; then
+		break
+	fi
+	if ! kill -0 "$LOAD_PID" 2>/dev/null; then
+		say "WARN: stream finished before the kill threshold ($THRESH); killing anyway"
+		break
+	fi
+	sleep 0.02
+done
+say "kill -9 shard 0 primary at >=$THRESH accepted records"
+kill -9 "$P0_PID" 2>/dev/null
+wait "$P0_PID" 2>/dev/null || true
+
+# Shard 0's standby must promote itself at a bumped epoch and the
+# router must re-elect it; the client keeps talking to the same router
+# address throughout.
+i=0
+while ! curl -sf "$S0_URL/v1/repl/status" 2>/dev/null | grep -q '"role":[[:space:]]*"primary"'; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		say "FAIL: shard 0 standby never promoted after the primary died"
+		sed 's/^/chaos-shard-failover:   standby: /' "$WORK/s0-standby.log" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+EPOCH=$(stat_field "$S0_URL" epoch)
+if [ -z "$EPOCH" ] || [ "$EPOCH" -lt 2 ]; then
+	say "FAIL: promoted standby reports epoch '$EPOCH', want >= 2"
+	exit 1
+fi
+say "shard 0 standby promoted at epoch $EPOCH"
+wait_elected "$R0_URL" "$S0_URL"
+say "router re-elected the promoted standby"
+
+if ! wait "$LOAD_PID"; then
+	say "FAIL: client did not finish the stream after the failover"
+	sed 's/^/chaos-shard-failover:   client: /' "$WORK/client_b.log" >&2
+	exit 1
+fi
+
+# Zero loss, zero double-count: the two survivors together classified
+# every corpus record exactly once. (Acked-but-unreplicated loss is
+# impossible by construction — -repl-ack 1 holds each ack until the
+# standby applied the batch — and an un-acked batch was retried under
+# its original ID until the survivor took or deduped it.)
+i=0
+while :; do
+	a=$(stat_field "$S0_URL" consumed) || a=""
+	b=$(stat_field "$P1_URL" consumed) || b=""
+	[ -n "$a" ] && [ -n "$b" ] && [ "$((a + b))" -eq "$CORPUS" ] && break
+	i=$((i + 1))
+	if [ "$i" -gt 200 ]; then
+		say "FAIL: survivors consumed ${a:-?}+${b:-?} records, corpus has $CORPUS"
+		exit 1
+	fi
+	sleep 0.05
+done
+
+# The coordinator's topology view must carry the bumped epoch through
+# the router probe.
+if ! curl -sf "$CO_URL/v1/stats" | grep -q "\"epoch\":[[:space:]]*$EPOCH"; then
+	say "FAIL: coordinator stats do not expose the promoted epoch $EPOCH"
+	curl -sf "$CO_URL/v1/stats" | sed 's/^/chaos-shard-failover:   stats: /' >&2
+	exit 1
+fi
+
+# The merged report must come back through router fan-in — proof the
+# coordinator followed the re-election — and match run A byte for byte.
+curl -sf "$CO_URL/v1/report" >"$WORK/report_b.txt"
+if ! cmp -s "$WORK/report_a.txt" "$WORK/report_b.txt"; then
+	cp "$WORK/report_a.txt" /tmp/chaos_shard_failover_reference.txt
+	cp "$WORK/report_b.txt" /tmp/chaos_shard_failover_merged.txt
+	say "FAIL: reports diverge (dumps in /tmp/chaos_shard_failover_*.txt)"
+	exit 1
+fi
+say "PASS: merged report byte-identical across shard-primary kill -9 + promotion ($(wc -c <"$WORK/report_a.txt") bytes, $CORPUS records)"
